@@ -1,0 +1,22 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one paper table/figure: it runs the
+experiment once under pytest-benchmark (rounds=1 — these are end-to-end
+experiment timings, not microbenchmarks), prints the table the paper
+reports, and asserts the paper's qualitative shape (who wins, rough
+factors, crossovers).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

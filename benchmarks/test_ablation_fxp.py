@@ -1,0 +1,13 @@
+"""FXP-fusion ablation — fused xor-popcount vs discrete sequence."""
+
+from repro.experiments import run_fxp_ablation
+
+
+def test_fxp_ablation(run_once):
+    rows, text = run_once(run_fxp_ablation)
+    print("\n" + text)
+
+    # Fusion always wins, and matters most for narrow vectors (where
+    # the 3-instruction sequence dominates the inner loop).
+    assert all(r["fxp_speedup_pct"] > 0 for r in rows)
+    assert rows[0]["fxp_speedup_pct"] > rows[-1]["fxp_speedup_pct"]

@@ -1,0 +1,21 @@
+"""Design sweep — SSAM-2/4/8/16 throughput, area, power on exact search."""
+
+from repro.experiments import run_vector_length_sweep
+
+
+def test_vector_length_sweep(run_once):
+    rows, text = run_once(run_vector_length_sweep)
+    print("\n" + text)
+
+    # Wider vectors always reduce per-candidate cycles...
+    cycles = [r["cycles_per_candidate"] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    # ...but area and power grow monotonically...
+    assert [r["area_mm2"] for r in rows] == sorted(r["area_mm2"] for r in rows)
+    assert [r["power_w"] for r in rows] == sorted(r["power_w"] for r in rows)
+    # ...so area-normalized efficiency peaks at an intermediate design
+    # (the reason the paper evaluates the whole sweep rather than
+    # defaulting to the widest machine).
+    anorm = [r["qps_per_mm2"] for r in rows]
+    assert max(anorm) not in (anorm[0],) or anorm[0] > anorm[-1]
+    assert anorm.index(max(anorm)) < len(anorm) - 1

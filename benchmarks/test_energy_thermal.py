@@ -1,0 +1,38 @@
+"""Section V-A adjunct benches: energy breakdown and thermal feasibility."""
+
+from repro.experiments import run_energy_breakdown, run_thermal_check
+
+
+def test_energy_breakdown(run_once):
+    rows, text = run_once(run_energy_breakdown)
+    print("\n" + text)
+
+    by_design = {r["design"]: r for r in rows}
+    # SSAM-4 is the energy sweet spot on GloVe (matches the Fig. 6b
+    # per-design ordering).
+    assert by_design["SSAM-4"]["mJ_per_query"] == min(r["mJ_per_query"] for r in rows)
+    # Register files + pipeline/control grow into the dominant burners
+    # at wide vectors — the structural reason wide designs lose.
+    assert (
+        by_design["SSAM-16"]["register_files_pct"]
+        > by_design["SSAM-2"]["register_files_pct"]
+    )
+    assert (
+        by_design["SSAM-16"]["pipeline_control_pct"]
+        > by_design["SSAM-2"]["pipeline_control_pct"]
+    )
+
+
+def test_thermal_check(run_once):
+    rows, text = run_once(run_thermal_check)
+    print("\n" + text)
+
+    ssam = [r for r in rows if r["design"].startswith("SSAM")]
+    core = next(r for r in rows if "general-purpose" in r["design"])
+    # The paper's argument: every SSAM point fits under the DRAM
+    # retention ceiling; a general-purpose core does not.
+    assert all(r["feasible"] for r in ssam)
+    assert not core["feasible"]
+    # Headroom shrinks monotonically with design width.
+    heads = [r["headroom_c"] for r in ssam]
+    assert heads == sorted(heads, reverse=True)

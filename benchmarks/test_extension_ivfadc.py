@@ -1,0 +1,24 @@
+"""Extension bench: IVFADC (inverted file + PQ residuals + re-ranking)."""
+
+from repro.experiments import run_ivfadc
+
+
+def test_ivfadc_extension(run_once):
+    rows, text = run_once(run_ivfadc)
+    print("\n" + text)
+
+    ivf_rows = [r for r in rows if r["index"] == "IVFADC"]
+    kd_rows = [r for r in rows if r["index"].startswith("kd-forest")]
+
+    # Recall rises (weakly) with nprobe.
+    recalls = [r["recall"] for r in ivf_rows]
+    assert recalls == sorted(recalls) or max(recalls) - min(recalls) < 0.15
+    assert max(recalls) > 0.4
+
+    # The compressed index touches orders of magnitude fewer bytes than
+    # the float kd-forest at comparable recall...
+    best_ivf = max(ivf_rows, key=lambda r: r["recall"])
+    kd_near = min(kd_rows, key=lambda r: abs(r["recall"] - best_ivf["recall"]))
+    assert best_ivf["bytes_per_query"] < kd_near["bytes_per_query"] / 50
+    # ...which converts into a large throughput advantage on SSAM.
+    assert best_ivf["ssam_qps"] > 5 * kd_near["ssam_qps"]

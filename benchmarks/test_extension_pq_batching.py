@@ -1,0 +1,31 @@
+"""Extension benches: product-quantization scan and multi-query batching."""
+
+from repro.experiments import run_batching_ablation, run_pq_extension
+
+
+def test_pq_extension(run_once):
+    rows, text = run_once(run_pq_extension)
+    print("\n" + text)
+
+    float_row = rows[0]
+    pq_rows = rows[1:]
+    # PQ trades recall for large data-movement/throughput gains...
+    assert all(r["speedup_x"] > 3 for r in pq_rows)
+    assert all(r["recall"] < 1.0 for r in pq_rows)
+    assert all(r["recall"] > 0.15 for r in pq_rows)
+    # ...and more subspaces buy accuracy back at lower speedup.
+    assert pq_rows[-1]["speedup_x"] < pq_rows[0]["speedup_x"]
+    assert float_row["recall"] == 1.0
+
+
+def test_batching_ablation(run_once):
+    rows, text = run_once(run_batching_ablation)
+    print("\n" + text)
+
+    # Per-query bandwidth demand falls linearly with the batch...
+    assert rows[-1]["bytes_per_query"] * 4 == rows[0]["bytes_per_query"]
+    # ...per-query cycles fall sub-linearly (compute is not shared)...
+    assert rows[0]["cycles_per_query"] > rows[-1]["cycles_per_query"]
+    assert rows[-1]["cycles_per_query"] > rows[0]["cycles_per_query"] / 4
+    # ...and batch latency grows — the paper's latency argument.
+    assert rows[-1]["latency_x_batch1"] > 2.0

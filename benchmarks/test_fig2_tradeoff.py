@@ -1,0 +1,28 @@
+"""Fig. 2 — approximate kNN throughput vs accuracy (CPU, 3 datasets)."""
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_tradeoff(run_once):
+    rows, text = run_once(run_fig2)
+    print("\n" + text)
+
+    for dataset in ("glove", "gist", "alexnet"):
+        sub = [r for r in rows if r["dataset"] == dataset]
+        linear = next(r for r in sub if r["algorithm"] == "linear")
+        assert linear["recall"] == 1.0
+
+        # Paper: indexes deliver large speedups at moderate accuracy...
+        moderate = [
+            r for r in sub if r["algorithm"] != "linear" and r["recall"] >= 0.5
+        ]
+        assert moderate, f"{dataset}: no index reached 50% recall"
+        assert max(r["speedup_vs_linear"] for r in moderate) > 5
+
+        # ...and degrade toward linear as accuracy nears 100%.
+        for alg in ("kdtree", "kmeans"):
+            pts = sorted(
+                (r for r in sub if r["algorithm"] == alg), key=lambda r: r["checks"]
+            )
+            assert pts[-1]["recall"] >= pts[0]["recall"] - 0.05
+            assert pts[-1]["speedup_vs_linear"] < pts[0]["speedup_vs_linear"] * 1.5

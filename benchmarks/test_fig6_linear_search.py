@@ -1,0 +1,35 @@
+"""Fig. 6a/6b — exact linear search: area-normalized throughput and
+energy efficiency across CPU / GPU / FPGA / SSAM-2..16."""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_linear_search(run_once):
+    rows, text = run_once(run_fig6)
+    print("\n" + text)
+
+    for dataset in ("glove", "gist", "alexnet"):
+        sub = [r for r in rows if r["dataset"] == dataset]
+        ssam = [r for r in sub if r["platform"].startswith("SSAM")]
+        gpu = next(r for r in sub if r["platform"] == "Titan X")
+        fpga = next(r for r in sub if r["platform"] == "Kintex-7")
+
+        # Paper abstract: "up to two orders of magnitude area-normalized
+        # throughput and energy efficiency improvement over multicore CPUs".
+        assert max(r["anorm_x_cpu"] for r in ssam) > 50
+        assert max(r["energy_x_cpu"] for r in ssam) > 25
+
+        # "SSAM has higher throughput and is more energy efficient than
+        # competing GPUs and FPGAs."
+        best = max(ssam, key=lambda r: r["anorm_x_cpu"])
+        assert best["anorm_x_cpu"] > gpu["anorm_x_cpu"]
+        assert best["energy_x_cpu"] > gpu["energy_x_cpu"]
+        assert best["anorm_x_cpu"] > fpga["anorm_x_cpu"]
+
+        # GPU and FPGA are within ~2 orders of each other ("comparable").
+        assert 0.01 < fpga["anorm_x_cpu"] / gpu["anorm_x_cpu"] < 100
+
+    # Peak advantage across datasets is in the paper's "up to 426x /
+    # 934x" regime: hundreds, not tens or tens of thousands.
+    peak_anorm = max(r["anorm_x_cpu"] for r in rows if r["platform"].startswith("SSAM"))
+    assert 100 < peak_anorm < 5000

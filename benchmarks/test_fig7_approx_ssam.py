@@ -1,0 +1,43 @@
+"""Fig. 7 — area-normalized throughput vs accuracy, SSAM vs CPU."""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_approx_search(run_once):
+    rows, text = run_once(run_fig7)
+    print("\n" + text)
+
+    for dataset in ("glove", "gist", "alexnet"):
+        sub = [r for r in rows if r["dataset"] == dataset]
+        # Paper: "at a 50% accuracy target we observe up to two orders
+        # of magnitude throughput improvement for kd-tree, k-means, and
+        # HP-MPLSH over CPU baselines".
+        at_50 = [r for r in sub if r["recall"] >= 0.5]
+        assert at_50, f"{dataset}: nothing reached 50% recall"
+        assert max(r["speedup"] for r in at_50) > 20
+
+        # SSAM wins at every operating point (same work, more bandwidth
+        # and cheaper compute).
+        assert all(r["speedup"] > 1 for r in sub)
+
+
+def test_fig7_mplsh_hash_bits_tradeoff(run_once):
+    """Paper Section V-C: fewer hash bits shift MPLSH's bottleneck from
+    hashing to bucket scans."""
+    from repro.ann import MultiProbeLSH
+    from repro.experiments.common import load_workload
+
+    def sweep():
+        ds = load_workload("glove", n=4000, n_queries=10)
+        few_bits = MultiProbeLSH(n_tables=4, n_bits=8, seed=0).build(ds.train)
+        many_bits = MultiProbeLSH(n_tables=4, n_bits=18, seed=0).build(ds.train)
+        return (
+            few_bits.search(ds.test, ds.k, checks=2),
+            many_bits.search(ds.test, ds.k, checks=2),
+        )
+
+    res_few, res_many = run_once(sweep)
+    # Fewer bits -> bigger buckets -> more candidates scanned per probe.
+    assert res_few.stats.candidates_scanned > 4 * res_many.stats.candidates_scanned
+    # Hash work drops with the bit count.
+    assert res_few.stats.hash_evaluations < res_many.stats.hash_evaluations

@@ -1,0 +1,28 @@
+"""Section II-D — numerical representations: fixed point & binarization."""
+
+from repro.experiments import run_binarization, run_fixed_point
+
+
+def test_fixed_point_accuracy(run_once):
+    rows, text = run_once(run_fixed_point)
+    print("\n" + text)
+
+    # Paper: "negligible accuracy loss between 32-bit floating-point and
+    # 32-bit fixed-point data representations."
+    for row in rows:
+        assert row["recall_vs_float"] > 0.99, row
+
+
+def test_binarization_tradeoff(run_once):
+    rows, text = run_once(run_binarization)
+    print("\n" + text)
+
+    # Longer codes recover accuracy; shorter codes buy data reduction —
+    # the tradeoff behind Table V's Hamming gains.
+    recalls = [r["recall_vs_float"] for r in rows]
+    assert recalls[-1] > recalls[0]
+    # Sign-random-projection codes are the paper's baseline binarization;
+    # learned codes (ITQ) do better — see the binarize-itq example.
+    assert recalls[-1] > 0.25
+    reductions = [r["data_reduction_x"] for r in rows]
+    assert reductions == sorted(reductions, reverse=True)

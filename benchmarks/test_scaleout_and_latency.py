@@ -1,0 +1,78 @@
+"""Extension benches: multi-module scale-out and latency-vs-batching.
+
+These cover the paper's system-level claims that have no table of their
+own: capacity scaling over chained cubes (Section III-A) and the
+introduction's latency argument against batching.
+"""
+
+from repro.analysis.latency import QueryLatencyModel, batch_for_utilization
+from repro.baselines import TitanX
+from repro.core.accelerator import SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.datasets import get_workload
+from repro.experiments.fig6 import ssam_linear_calibration
+from repro.experiments.scaleout import run_scaleout
+from repro.host.scheduler import QueryScheduler
+
+
+def test_scaleout(run_once):
+    rows, text = run_once(run_scaleout)
+    print("\n" + text)
+
+    # Capacity scales by adding cubes...
+    assert rows[-1]["modules"] > rows[1]["modules"] >= 1
+    # ...throughput is flat once cubes are full (each brings its own
+    # bandwidth), never collapsing with corpus growth...
+    full = [r for r in rows if r["modules"] >= 1 and r["corpus_gb"] >= 7]
+    qps = [r["qps"] for r in full]
+    assert max(qps) / min(qps) < 2.5
+    # ...and the external links always carry the merge traffic.
+    assert all(r["links_ok"] for r in rows)
+
+
+def test_latency_batching(run_once):
+    """Quantifies: "batching requests ... has limited benefits as
+    time-sensitive applications have stringent latency budgets"."""
+    spec = get_workload("glove")
+
+    def build_models():
+        gpu = TitanX()
+        gpu_scan = 4.0 * spec.paper_n * spec.dims / gpu.effective_bandwidth(spec.dims)
+        gpu_model = QueryLatencyModel(
+            "Titan X", scan_seconds=gpu_scan,
+            batch_fixed_seconds=gpu.launch_seconds, concurrent_scans=gpu.batch_size,
+        )
+        perf = SSAMPerformanceModel(SSAMConfig.design(4))
+        calib = ssam_linear_calibration(spec.dims, 4)
+        ssam_model = QueryLatencyModel(
+            "SSAM-4", scan_seconds=1.0 / perf.linear_throughput(calib, spec.paper_n)
+        )
+        return gpu_model, ssam_model
+
+    gpu_model, ssam_model = run_once(build_models)
+
+    # SSAM is at peak utilization from batch 1.
+    assert ssam_model.utilization(1) > 0.99
+    # The GPU needs a large batch to approach its peak...
+    gpu_batch = batch_for_utilization(gpu_model, 0.9)
+    assert gpu_batch > 100
+    # ...and even then a query's latency exceeds SSAM's unbatched one.
+    assert gpu_model.batch_latency(gpu_batch) > 1.5 * ssam_model.batch_latency(1)
+    # A single unbatched GPU query wastes >99% of the machine.
+    assert gpu_model.utilization(1) < 0.01
+    print(
+        f"\nGPU needs batch {gpu_batch} for 90% utilization "
+        f"({1e3 * gpu_model.batch_latency(gpu_batch):.1f} ms latency); "
+        f"SSAM-4 serves at peak from batch 1 "
+        f"({1e3 * ssam_model.batch_latency(1):.1f} ms latency)"
+    )
+
+    # Scheduler: a SSAM pool holds p99 within a 10 ms budget at most of
+    # its capacity.
+    pool = QueryScheduler(n_modules=8, service_seconds=ssam_model.scan_seconds)
+    load = pool.max_load_within_budget(latency_budget=5 * ssam_model.scan_seconds,
+                                       n_queries=2000)
+    assert load > 0.4 * pool.capacity_qps
+    print(f"8-module pool sustains {load:.0f} q/s within a "
+          f"{5e3 * ssam_model.scan_seconds:.1f} ms p99 budget "
+          f"({100 * load / pool.capacity_qps:.0f}% of capacity)")

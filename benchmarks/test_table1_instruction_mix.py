@@ -1,0 +1,20 @@
+"""Table I — instruction-mix profiles of the four kNN algorithms."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_instruction_mix(run_once):
+    rows, text = run_once(run_table1)
+    print("\n" + text)
+
+    by_alg = {r["algorithm"]: r for r in rows}
+    # Paper shape: linear search is the most vector-heavy; MPLSH the
+    # least (hashing + directory lookups are scalar work); every
+    # algorithm is read-dominated over writes.
+    assert by_alg["Linear"]["vector_pct"] > by_alg["MPLSH"]["vector_pct"]
+    assert by_alg["K-Means"]["vector_pct"] > by_alg["MPLSH"]["vector_pct"]
+    for r in rows:
+        assert r["mem_read_pct"] > r["mem_write_pct"]
+    # Vectorization is substantial everywhere ("vector operations and
+    # extensions are important for kNN workloads").
+    assert all(r["vector_pct"] > 15 for r in rows)

@@ -1,0 +1,24 @@
+"""Table III — SSAM accelerator power by module."""
+
+import pytest
+
+from repro.core.power import PAPER_POWER_TABLE, PAPER_TOTAL_POWER
+from repro.experiments import run_table3
+
+
+def test_table3_power(run_once):
+    rows, text = run_once(run_table3)
+    print("\n" + text)
+
+    for row in rows:
+        vlen = int(row["Module"].split("-")[1])
+        # Exact reproduction of the published per-module numbers.
+        for comp, watts in PAPER_POWER_TABLE[vlen].items():
+            assert row[comp] == pytest.approx(watts)
+        assert row["total"] == pytest.approx(PAPER_TOTAL_POWER[vlen])
+        # Structural fit stays within 5% of the component sum.
+        assert row["structural_total"] == pytest.approx(row["component_sum"], rel=0.05)
+
+    # Power grows with vector length (register files + pipeline dominate).
+    totals = [r["total"] for r in rows]
+    assert totals == sorted(totals)

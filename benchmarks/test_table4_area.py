@@ -1,0 +1,24 @@
+"""Table IV — SSAM accelerator area by module."""
+
+import pytest
+
+from repro.core.area import PAPER_AREA_TABLE
+from repro.experiments import run_table4
+
+
+def test_table4_area(run_once):
+    rows, text = run_once(run_table4)
+    print("\n" + text)
+
+    published_totals = {2: 30.52, 4: 38.34, 8: 58.21, 16: 97.48}
+    for row in rows:
+        vlen = int(row["Module"].split("-")[1])
+        for comp, mm2 in PAPER_AREA_TABLE[vlen].items():
+            assert row[comp] == pytest.approx(mm2)
+        assert row["total"] == pytest.approx(published_totals[vlen], abs=0.01)
+
+    # Paper Section V-A: narrow designs fit the normalized HMC logic
+    # die budget (~70.6 mm^2); SSAM-16 does not.
+    fits = {r["Module"]: r["fits_hmc_die"] for r in rows}
+    assert fits["SSAM-2"] and fits["SSAM-4"] and fits["SSAM-8"]
+    assert not fits["SSAM-16"]

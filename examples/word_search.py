@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Semantic word search with multi-probe LSH (the paper's GloVe workload).
+
+Builds a hyperplane MPLSH index over a GloVe-like embedding corpus and
+sweeps the probe count — the same knob the paper sweeps in Fig. 2 —
+showing the recall/throughput tradeoff and how the SSAM module would
+serve each operating point.
+
+Run:  python examples/word_search.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import throughput_accuracy_sweep
+from repro.ann import LinearScan, MultiProbeLSH
+from repro.baselines import XeonE5_2620
+from repro.core.accelerator import SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.datasets import get_workload, make_glove_like
+from repro.experiments.fig6 import ssam_linear_calibration
+
+
+def main() -> None:
+    spec = get_workload("glove")
+    ds = make_glove_like(n=12_000, n_queries=60)
+    print(f"word-embedding corpus stand-in: {ds}")
+
+    exact = LinearScan().build(ds.train).search(ds.test, ds.k)
+    index = MultiProbeLSH(n_tables=8, n_bits=16, seed=0).build(ds.train)
+    print(f"MPLSH index: 8 tables x 16 bits, mean bucket {index.mean_bucket_size:.1f}")
+
+    points = throughput_accuracy_sweep(
+        index, ds.test, exact.ids, ds.k, checks_schedule=(1, 2, 4, 8, 16, 32),
+        algorithm="mplsh",
+    )
+
+    cpu = XeonE5_2620()
+    model = SSAMPerformanceModel(SSAMConfig.design(4))
+    calib = ssam_linear_calibration(spec.dims, 4)
+    scale = spec.paper_n / ds.n
+
+    rows = []
+    for pt in points:
+        sc = pt.scaled_to(scale)
+        ssam = model.approx_throughput(
+            calib, sc.candidates_per_query, nodes_per_query=sc.nodes_per_query,
+            hashes_per_query=sc.hashes_per_query, dims=spec.dims,
+        )
+        host = cpu.approx_qps(
+            sc.candidates_per_query, spec.dims, hashes_per_query=sc.hashes_per_query
+        )
+        rows.append({
+            "probes": pt.checks, "recall": round(pt.recall, 3),
+            "cand/query": round(sc.candidates_per_query),
+            "SSAM-4 qps": round(ssam), "CPU qps": round(host),
+            "speedup": round(ssam / host, 1),
+        })
+    print()
+    print(format_table(
+        rows,
+        columns=["probes", "recall", "cand/query", "SSAM-4 qps", "CPU qps", "speedup"],
+        title=f"MPLSH probe sweep projected to paper scale ({spec.paper_n:,} words)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of *Application Codesign of Near-Data Processing
+for Similarity Search* (Lee et al., IPDPS 2018).
+
+The package rebuilds the paper's whole stack in Python:
+
+- :mod:`repro.core` — the SSAM accelerator (the paper's contribution):
+  processing units, hardware priority queue/stack/scratchpad, assembly
+  kernels, calibrated power/area models, and the module-level
+  performance model;
+- :mod:`repro.isa` — the Table II instruction set with assembler and
+  cycle-approximate simulator;
+- :mod:`repro.hmc` / :mod:`repro.memsys` — the Hybrid Memory Cube and
+  conventional-DRAM substrates;
+- :mod:`repro.ann` — exact kNN plus the three approximate indexes the
+  paper characterizes (randomized kd-forest, hierarchical k-means tree,
+  hyperplane multi-probe LSH), all from scratch;
+- :mod:`repro.distances` / :mod:`repro.datasets` — metrics,
+  representations, and workload generators;
+- :mod:`repro.baselines` — CPU/GPU/FPGA/Automata-Processor models;
+- :mod:`repro.host` — the Fig. 4 driver API (nmalloc/nexec/...);
+- :mod:`repro.experiments` — one runner per paper table and figure.
+
+Quickstart::
+
+    from repro.host import SSAMDriver, IndexMode
+    from repro.datasets import make_glove_like
+
+    ds = make_glove_like(n=10_000)
+    driver = SSAMDriver()
+    buf = driver.nmalloc(ds.train.nbytes)
+    driver.nmode(buf, IndexMode.KDTREE)
+    driver.nmemcpy(buf, ds.train)
+    driver.nbuild_index(buf, params={"n_trees": 4})
+    driver.nwrite_query(buf, ds.test[0])
+    driver.nexec(buf, k=ds.k, checks=512)
+    neighbors = driver.nread_result(buf)
+    driver.nfree(buf)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ann",
+    "analysis",
+    "baselines",
+    "core",
+    "datasets",
+    "distances",
+    "experiments",
+    "hmc",
+    "host",
+    "isa",
+    "memsys",
+]

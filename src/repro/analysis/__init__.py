@@ -1,0 +1,22 @@
+"""Analysis utilities: instruction mixes, cost models, sweeps, reports."""
+
+from repro.analysis.instruction_mix import algorithm_instruction_mix
+from repro.analysis.latency import QueryLatencyModel, batch_for_utilization
+from repro.analysis.scaling import TechNode, scale_area, scale_power
+from repro.analysis.sweep import TradeoffPoint, throughput_accuracy_sweep
+from repro.analysis.tco import TCOModel, TCOReport
+from repro.analysis.report import format_table
+
+__all__ = [
+    "algorithm_instruction_mix",
+    "QueryLatencyModel",
+    "batch_for_utilization",
+    "TechNode",
+    "scale_area",
+    "scale_power",
+    "TradeoffPoint",
+    "throughput_accuracy_sweep",
+    "TCOModel",
+    "TCOReport",
+    "format_table",
+]

@@ -1,0 +1,42 @@
+"""CSV export of experiment rows (figure-data files).
+
+Every experiment runner returns dict rows; these helpers serialize them
+so the tables/figures can be re-plotted outside Python.  Used by the
+``python -m repro.experiments --csv DIR`` flag.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Mapping, Sequence
+
+__all__ = ["rows_to_csv", "save_rows"]
+
+
+def rows_to_csv(rows: Sequence[Mapping]) -> str:
+    """Render dict rows as CSV text (union of keys, first-seen order)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    import io
+
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buf.getvalue()
+
+
+def save_rows(rows: Sequence[Mapping], path: str) -> str:
+    """Write rows to ``path`` (parent directories created); returns path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        fh.write(rows_to_csv(rows))
+    return path

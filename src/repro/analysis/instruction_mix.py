@@ -1,0 +1,58 @@
+"""Algorithm-level instruction-mix profiling (paper Table I).
+
+The paper instruments the four kNN variants with Pin on a CPU and
+reports the fraction of AVX/SSE instructions, memory reads, and memory
+writes.  Our analogue runs each algorithm's hand-written kernel on the
+SSAM ISA simulator over a representative workload and reports the same
+three columns (vector instructions standing in for AVX/SSE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ann import HierarchicalKMeansTree, MultiProbeLSH, RandomizedKDForest
+from repro.core.kernels.linear import euclidean_scan_kernel
+from repro.core.kernels.mplsh import mplsh_kernel
+from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
+from repro.isa.simulator import MachineConfig
+from repro.isa.trace import InstructionMix
+
+__all__ = ["algorithm_instruction_mix"]
+
+
+def algorithm_instruction_mix(
+    data: np.ndarray,
+    queries: np.ndarray,
+    machine: Optional[MachineConfig] = None,
+    budget: int = 256,
+    seed: int = 0,
+) -> Dict[str, InstructionMix]:
+    """Instruction mixes for linear / kd-tree / k-means / MPLSH kernels.
+
+    Runs every algorithm's kernel over each query and aggregates the
+    dynamic instruction counts.  ``budget`` is the per-query check
+    bound for the approximate algorithms.  Returns a dict keyed by the
+    paper's algorithm names.
+    """
+    machine = machine or MachineConfig(vector_length=4, stack_depth=512)
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    k = 10
+
+    forest = RandomizedKDForest(n_trees=1, leaf_size=32, seed=seed).build(data)
+    kmtree = HierarchicalKMeansTree(branching=8, leaf_size=32, seed=seed).build(data)
+    lsh = MultiProbeLSH(n_tables=2, n_bits=12, seed=seed).build(data)
+
+    runs: Dict[str, List] = {"Linear": [], "KD-Tree": [], "K-Means": [], "MPLSH": []}
+    for q in queries:
+        runs["Linear"].append(euclidean_scan_kernel(data, q, k, machine).run().stats)
+        runs["KD-Tree"].append(kdtree_kernel(forest, q, k, budget, machine).run().stats)
+        runs["K-Means"].append(kmeans_tree_kernel(kmtree, q, k, budget, machine).run().stats)
+        runs["MPLSH"].append(
+            mplsh_kernel(lsh, q, k, n_probes=4, budget=budget, machine=machine).run().stats
+        )
+
+    return {name: InstructionMix.from_stats(stats) for name, stats in runs.items()}

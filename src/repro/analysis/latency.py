@@ -1,0 +1,99 @@
+"""Query latency and batching analysis.
+
+The paper's introduction motivates near-data processing with latency:
+"batching requests to amortize this data movement has limited benefits
+as time-sensitive applications have stringent latency budgets."  This
+module quantifies that argument:
+
+- :class:`QueryLatencyModel` gives per-platform latency as a function
+  of batch size (throughput-oriented platforms amortize fixed costs
+  over a batch but make early queries wait for the whole batch);
+- :func:`batch_for_utilization` inverts the model: how large a batch a
+  platform needs to reach a utilization target, and what latency that
+  costs — SSAM reaches peak utilization at batch 1 because the fixed
+  per-query cost is tiny and the scan itself is the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueryLatencyModel", "batch_for_utilization"]
+
+
+@dataclass(frozen=True)
+class QueryLatencyModel:
+    """Latency/throughput of a platform serving batched kNN queries.
+
+    Attributes
+    ----------
+    name:
+        Platform label.
+    scan_seconds:
+        Time to stream the corpus once for one query's worth of
+        distance work (the unavoidable per-query service time).
+    batch_fixed_seconds:
+        Cost paid once per batch (kernel launch, PCIe transfer, request
+        coalescing).  This is what batching amortizes.
+    concurrent_scans:
+        How many queries one corpus pass can serve simultaneously
+        (platforms that re-stream per query have 1; batched GEMM-style
+        kNN shares the stream across the whole batch).
+    """
+
+    name: str
+    scan_seconds: float
+    batch_fixed_seconds: float = 0.0
+    concurrent_scans: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scan_seconds <= 0:
+            raise ValueError("scan_seconds must be positive")
+        if self.batch_fixed_seconds < 0 or self.concurrent_scans <= 0:
+            raise ValueError("invalid batching parameters")
+
+    def batch_latency(self, batch: int) -> float:
+        """Completion time of a batch of ``batch`` queries (seconds).
+
+        Every query in the batch finishes together (the batch is the
+        scheduling unit), so this is also the *per-query* latency.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        passes = -(-batch // self.concurrent_scans)
+        return self.batch_fixed_seconds + passes * self.scan_seconds
+
+    def throughput(self, batch: int) -> float:
+        """Sustained queries/s at the given batch size."""
+        return batch / self.batch_latency(batch)
+
+    @property
+    def peak_throughput(self) -> float:
+        """Asymptotic queries/s as batch size grows without bound."""
+        return self.concurrent_scans / self.scan_seconds
+
+    def utilization(self, batch: int) -> float:
+        """Fraction of peak throughput achieved at this batch size."""
+        return self.throughput(batch) / self.peak_throughput
+
+
+def batch_for_utilization(model: QueryLatencyModel, target: float) -> int:
+    """Smallest batch reaching ``target`` utilization (0 < target < 1).
+
+    Doubles then binary-searches; raises if the target is unreachable
+    below 2**24 queries per batch (practically: never batch that much).
+    """
+    if not 0 < target < 1:
+        raise ValueError("target must be in (0, 1)")
+    lo, hi = 1, 1
+    while model.utilization(hi) < target:
+        hi *= 2
+        if hi > 1 << 24:
+            raise ValueError(f"{model.name}: target {target} unreachable")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if model.utilization(mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

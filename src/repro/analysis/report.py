@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its table/figure in the same aligned format so
+``pytest benchmarks/ --benchmark-only`` output can be diffed against
+EXPERIMENTS.md by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Iterable[str] = (),
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order; unlisted keys are appended in
+    first-seen order.
+    """
+    rows = list(rows)
+    cols: List[str] = list(columns)
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    rendered = [[_render(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+        for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

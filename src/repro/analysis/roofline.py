@@ -1,0 +1,93 @@
+"""Roofline characterization (the paper's Section V-B framing).
+
+The paper attributes "roughly one order of magnitude run time
+improvement to the higher internal bandwidth" and the rest to
+specialization.  The roofline makes that split explicit: a kernel with
+arithmetic intensity ``I`` (ops per byte streamed) attains
+``min(peak_compute, I * peak_bandwidth)`` on a machine.  kNN distance
+kernels have tiny, dimension-independent intensity (~0.75 op/B for
+Euclidean), which pins every platform to its bandwidth wall — the
+architectural argument for near-data processing in one number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["RooflinePlatform", "KernelPoint", "attainable", "knee_intensity"]
+
+
+@dataclass(frozen=True)
+class RooflinePlatform:
+    """A machine's two ceilings."""
+
+    name: str
+    peak_compute: float        # ops/s
+    peak_bandwidth: float      # bytes/s
+
+    def __post_init__(self) -> None:
+        if self.peak_compute <= 0 or self.peak_bandwidth <= 0:
+            raise ValueError("peaks must be positive")
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel's arithmetic intensity (ops per DRAM byte)."""
+
+    name: str
+    ops: float
+    bytes_streamed: float
+
+    def __post_init__(self) -> None:
+        if self.ops < 0 or self.bytes_streamed <= 0:
+            raise ValueError("ops must be >= 0 and bytes positive")
+
+    @property
+    def intensity(self) -> float:
+        return self.ops / self.bytes_streamed
+
+    @classmethod
+    def euclidean_scan(cls, dims: int, bytes_per_dim: int = 4) -> "KernelPoint":
+        """The paper's core kernel: 3 ops (sub, mul, add) per element."""
+        return cls(f"euclidean_d{dims}", ops=3.0 * dims, bytes_streamed=float(bytes_per_dim * dims))
+
+    @classmethod
+    def hamming_scan(cls, bits: int) -> "KernelPoint":
+        """Packed Hamming: one fused xor-popcount op per 32-bit word."""
+        words = -(-bits // 32)
+        return cls(f"hamming_{bits}b", ops=float(words), bytes_streamed=4.0 * words)
+
+
+def attainable(platform: RooflinePlatform, kernel: KernelPoint) -> float:
+    """Attainable ops/s for the kernel on the platform (the roofline)."""
+    return min(platform.peak_compute, kernel.intensity * platform.peak_bandwidth)
+
+
+def knee_intensity(platform: RooflinePlatform) -> float:
+    """Intensity (ops/byte) where the platform turns compute-bound."""
+    return platform.peak_compute / platform.peak_bandwidth
+
+
+def bandwidth_bound(platform: RooflinePlatform, kernel: KernelPoint) -> bool:
+    """Whether the kernel sits on the bandwidth slope of the roofline."""
+    return kernel.intensity < knee_intensity(platform)
+
+
+def speedup_decomposition(
+    slow: RooflinePlatform, fast: RooflinePlatform, kernel: KernelPoint
+) -> dict:
+    """Split a bandwidth-bound speedup into its bandwidth and residual parts.
+
+    For a kernel bandwidth-bound on both machines the attainable ratio
+    *is* the bandwidth ratio; any measured gap beyond it is
+    specialization/software efficiency — the decomposition the paper
+    makes for SSAM vs CPU.
+    """
+    ratio = attainable(fast, kernel) / attainable(slow, kernel)
+    bw_ratio = fast.peak_bandwidth / slow.peak_bandwidth
+    return {
+        "attainable_ratio": ratio,
+        "bandwidth_ratio": bw_ratio,
+        "both_bandwidth_bound": bandwidth_bound(slow, kernel) and bandwidth_bound(fast, kernel),
+    }

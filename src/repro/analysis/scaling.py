@@ -1,0 +1,72 @@
+"""Technology-node normalization (paper Section IV).
+
+The paper synthesizes at TSMC 65 nm and reports results "normalized to
+a 28 nm technology process using linear scaling factors".  This module
+implements that convention — linear in feature size for area-per-layout
+value and power — plus the more physical quadratic-area alternative,
+so the difference between the two conventions can be quantified (an
+ablation the tests cover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechNode", "scale_area", "scale_power"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A CMOS process node."""
+
+    feature_nm: float
+    nominal_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature_nm must be positive")
+
+
+def scale_area(
+    value_mm2: float,
+    source: TechNode,
+    target: TechNode,
+    convention: str = "linear",
+) -> float:
+    """Scale an area figure between nodes.
+
+    ``convention="linear"`` follows the paper (value scales with the
+    feature-size ratio); ``"quadratic"`` scales with the ratio squared
+    (ideal dimension scaling).
+    """
+    if value_mm2 < 0:
+        raise ValueError("area must be non-negative")
+    ratio = target.feature_nm / source.feature_nm
+    if convention == "linear":
+        return value_mm2 * ratio
+    if convention == "quadratic":
+        return value_mm2 * ratio * ratio
+    raise ValueError("convention must be 'linear' or 'quadratic'")
+
+
+def scale_power(
+    value_w: float,
+    source: TechNode,
+    target: TechNode,
+    convention: str = "linear",
+) -> float:
+    """Scale a power figure between nodes.
+
+    Linear convention: capacitance (hence dynamic power at fixed
+    frequency) scales with feature size.  The ``"dennard"`` convention
+    additionally scales with the supply-voltage ratio squared.
+    """
+    if value_w < 0:
+        raise ValueError("power must be non-negative")
+    ratio = target.feature_nm / source.feature_nm
+    if convention == "linear":
+        return value_w * ratio
+    if convention == "dennard":
+        v = target.nominal_vdd / source.nominal_vdd
+        return value_w * ratio * v * v
+    raise ValueError("convention must be 'linear' or 'dennard'")

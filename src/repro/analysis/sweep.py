@@ -1,0 +1,87 @@
+"""Throughput-versus-accuracy sweep harness (Figs. 2 and 7).
+
+The paper's characterization sweeps, per algorithm, the knob that
+controls how much of the dataset each query touches (backtracking
+checks for the trees, probes for MPLSH), and plots throughput against
+recall.  :func:`throughput_accuracy_sweep` runs a built index over a
+query batch at each knob setting, measures recall against exact search
+and the per-query work stats, and lets callers attach any platform's
+throughput model to those stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ann.base import Index, SearchStats
+from repro.ann.recall import mean_recall
+
+__all__ = ["TradeoffPoint", "throughput_accuracy_sweep"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point on a Fig. 2 / Fig. 7 curve."""
+
+    algorithm: str
+    checks: int
+    recall: float
+    candidates_per_query: float
+    nodes_per_query: float
+    hashes_per_query: float
+
+    def scaled_to(self, factor: float) -> "TradeoffPoint":
+        """Extrapolate per-query work to a ``factor``x larger corpus.
+
+        Candidate counts scale linearly with corpus size at fixed index
+        parameters (bucket populations grow proportionally); traversal
+        depth grows only logarithmically and is left unscaled
+        (conservative for SSAM, which wins on bucket scans).
+        """
+        return TradeoffPoint(
+            algorithm=self.algorithm,
+            checks=self.checks,
+            recall=self.recall,
+            candidates_per_query=self.candidates_per_query * factor,
+            nodes_per_query=self.nodes_per_query,
+            hashes_per_query=self.hashes_per_query,
+        )
+
+
+def throughput_accuracy_sweep(
+    index: Index,
+    queries: np.ndarray,
+    exact_ids: np.ndarray,
+    k: int,
+    checks_schedule: Sequence[int],
+    algorithm: Optional[str] = None,
+) -> List[TradeoffPoint]:
+    """Sweep an index's check budget; returns one point per setting.
+
+    ``exact_ids`` is the ground-truth ``(q, k)`` id matrix from
+    :class:`repro.ann.LinearScan` (computed once by the caller and
+    shared across algorithms, exactly as the paper's accuracy metric
+    prescribes).
+    """
+    name = algorithm or type(index).__name__
+    n_q = np.atleast_2d(queries).shape[0]
+    points: List[TradeoffPoint] = []
+    for checks in checks_schedule:
+        if checks <= 0:
+            raise ValueError("checks must be positive")
+        res = index.search(queries, k, checks=checks)
+        stats: SearchStats = res.stats
+        points.append(
+            TradeoffPoint(
+                algorithm=name,
+                checks=int(checks),
+                recall=mean_recall(res.ids, exact_ids),
+                candidates_per_query=stats.candidates_scanned / n_q,
+                nodes_per_query=stats.nodes_visited / n_q,
+                hashes_per_query=stats.hash_evaluations / n_q,
+            )
+        )
+    return points

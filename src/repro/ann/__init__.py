@@ -1,0 +1,43 @@
+"""Approximate and exact k-nearest-neighbor algorithms (from scratch).
+
+This package reimplements every algorithm the paper characterizes
+(Section II-C), with the same knobs the paper sweeps:
+
+- :class:`~repro.ann.exact.LinearScan` — exact brute-force kNN, the
+  accuracy ground truth and the workload SSAM accelerates directly;
+- :class:`~repro.ann.kdtree.RandomizedKDForest` — FLANN-style randomized
+  kd-trees with best-bin-first backtracking bounded by ``max_checks``;
+- :class:`~repro.ann.kmeans_tree.HierarchicalKMeansTree` — FLANN-style
+  hierarchical k-means tree (k-means++ + Lloyd, built from scratch);
+- :class:`~repro.ann.mplsh.MultiProbeLSH` — FALCONN-style hyperplane
+  multi-probe LSH (20 hash bits by default, as in the paper).
+
+All indexes share the :class:`~repro.ann.base.Index` interface and
+report :class:`~repro.ann.base.SearchStats` (candidates scanned, nodes
+visited, hash evaluations), which the performance models convert into
+bytes-touched and cycles for each hardware platform.
+"""
+
+from repro.ann.base import Index, SearchResult, SearchStats
+from repro.ann.exact import LinearScan
+from repro.ann.kdtree import RandomizedKDForest
+from repro.ann.kmeans_tree import HierarchicalKMeansTree
+from repro.ann.mplsh import MultiProbeLSH
+from repro.ann.ivf import IVFADC
+from repro.ann.pq import PQLinearScan, ProductQuantizer
+from repro.ann.recall import recall_at_k, mean_recall
+
+__all__ = [
+    "Index",
+    "SearchResult",
+    "SearchStats",
+    "LinearScan",
+    "RandomizedKDForest",
+    "HierarchicalKMeansTree",
+    "MultiProbeLSH",
+    "ProductQuantizer",
+    "PQLinearScan",
+    "IVFADC",
+    "recall_at_k",
+    "mean_recall",
+]

@@ -1,0 +1,168 @@
+"""Common interface for kNN indexes.
+
+The paper's characterization (Fig. 2) and its SSAM projection (Fig. 7)
+both need two things from every algorithm: the *answers* (to measure
+accuracy against exact search) and the *work done* (candidates scanned,
+tree nodes touched, hashes computed) to charge each platform's
+performance model.  ``SearchStats`` carries the work accounting through
+the whole stack.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SearchStats", "SearchResult", "Index"]
+
+
+@dataclass
+class SearchStats:
+    """Work performed while answering one query (or a batch).
+
+    Attributes
+    ----------
+    candidates_scanned:
+        Database vectors whose full distance was evaluated.  For exact
+        search this equals ``n``; for indexes it is the sum of visited
+        bucket sizes.  This is the quantity that dominates bytes moved.
+    nodes_visited:
+        Interior index nodes touched during traversal (0 for linear).
+    hash_evaluations:
+        Hash-function dot products computed (MPLSH only).
+    distance_ops:
+        Scalar multiply-accumulate count for distance math
+        (``candidates_scanned * dims`` for dense metrics).
+    """
+
+    candidates_scanned: int = 0
+    nodes_visited: int = 0
+    hash_evaluations: int = 0
+    distance_ops: int = 0
+
+    def __iadd__(self, other: "SearchStats") -> "SearchStats":
+        self.candidates_scanned += other.candidates_scanned
+        self.nodes_visited += other.nodes_visited
+        self.hash_evaluations += other.hash_evaluations
+        self.distance_ops += other.distance_ops
+        return self
+
+    def __add__(self, other: "SearchStats") -> "SearchStats":
+        out = SearchStats(
+            self.candidates_scanned, self.nodes_visited,
+            self.hash_evaluations, self.distance_ops,
+        )
+        out += other
+        return out
+
+    def scaled(self, factor: float) -> "SearchStats":
+        """Stats scaled by a constant (used to extrapolate to paper-scale n)."""
+        return SearchStats(
+            candidates_scanned=int(round(self.candidates_scanned * factor)),
+            nodes_visited=int(round(self.nodes_visited * factor)),
+            hash_evaluations=int(round(self.hash_evaluations * factor)),
+            distance_ops=int(round(self.distance_ops * factor)),
+        )
+
+
+@dataclass
+class SearchResult:
+    """Result of a batch of queries.
+
+    ``ids`` and ``distances`` have shape ``(q, k)``, sorted ascending by
+    distance.  Queries that found fewer than ``k`` candidates pad with
+    id ``-1`` and distance ``inf`` (only possible for approximate
+    indexes with tiny check budgets).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def k(self) -> int:
+        return self.ids.shape[1]
+
+    @property
+    def n_queries(self) -> int:
+        return self.ids.shape[0]
+
+
+def top_k_from_candidates(
+    query: np.ndarray,
+    candidate_ids: np.ndarray,
+    dataset: np.ndarray,
+    k: int,
+    metric,
+) -> tuple:
+    """Rank candidate rows of ``dataset`` against ``query``; return (ids, dists).
+
+    Deduplicates candidates, computes exact distances with ``metric``,
+    and returns the ``k`` smallest (padded with -1/inf when there are
+    fewer than ``k`` candidates).  This is the shared "bucket scan +
+    priority queue" tail of every approximate algorithm.
+    """
+    if candidate_ids.size == 0:
+        return (np.full(k, -1, dtype=np.int64), np.full(k, np.inf))
+    cand = np.unique(candidate_ids)
+    dists = metric(query[None, :], dataset[cand])[0]
+    if cand.size <= k:
+        order = np.argsort(dists, kind="stable")
+        ids = cand[order]
+        dd = dists[order]
+        pad = k - cand.size
+        if pad > 0:
+            ids = np.concatenate([ids, np.full(pad, -1, dtype=np.int64)])
+            dd = np.concatenate([dd, np.full(pad, np.inf)])
+        return ids.astype(np.int64), dd
+    part = np.argpartition(dists, k - 1)[:k]
+    order = part[np.argsort(dists[part], kind="stable")]
+    return cand[order].astype(np.int64), dists[order]
+
+
+class Index(abc.ABC):
+    """Abstract kNN index over a fixed database.
+
+    Concrete indexes are constructed with their hyperparameters, then
+    ``build(data)`` once, then answer queries with ``search``.  The
+    ``checks`` argument bounds the work an approximate index may do per
+    query (number of candidates scanned), which is the single knob the
+    paper sweeps to trade accuracy for throughput.
+    """
+
+    #: Set by build(); the database array, shape (n, d), float32/float64.
+    data: Optional[np.ndarray] = None
+
+    @abc.abstractmethod
+    def build(self, data: np.ndarray) -> "Index":
+        """Construct the index over ``data`` (shape ``(n, d)``)."""
+
+    @abc.abstractmethod
+    def search(self, queries: np.ndarray, k: int, checks: Optional[int] = None) -> SearchResult:
+        """Answer a batch of queries; ``checks`` bounds per-query work."""
+
+    def _require_built(self) -> np.ndarray:
+        if self.data is None:
+            raise RuntimeError(f"{type(self).__name__}.build() must be called before search()")
+        return self.data
+
+    @property
+    def n(self) -> int:
+        return 0 if self.data is None else self.data.shape[0]
+
+    @property
+    def dims(self) -> int:
+        return 0 if self.data is None else self.data.shape[1]
+
+
+def validate_queries(queries: np.ndarray, dims: int) -> np.ndarray:
+    """Promote/validate a query batch to shape ``(q, dims)`` float64."""
+    q = np.asarray(queries, dtype=np.float64)
+    if q.ndim == 1:
+        q = q[None, :]
+    if q.ndim != 2 or q.shape[1] != dims:
+        raise ValueError(f"queries must have shape (q, {dims}); got {np.asarray(queries).shape}")
+    return q

@@ -1,0 +1,247 @@
+"""Hierarchical k-means tree (FLANN-style), built from scratch.
+
+The paper's second indexing technique (Section II-C): "the dataset is
+partitioned recursively based on k-means cluster assignments to form a
+tree"; queries descend to the nearest centroid's subtree and backtrack
+through "close by" buckets under a check budget.
+
+The clustering substrate — k-means++ seeding plus Lloyd iterations — is
+implemented here directly (no sklearn), fully vectorized: assignment is
+one ``(n, B)`` distance matrix per iteration and the centroid update is
+a segmented mean via ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ann.base import (
+    Index,
+    SearchResult,
+    SearchStats,
+    top_k_from_candidates,
+    validate_queries,
+)
+from repro.distances.metrics import get_metric, squared_euclidean
+
+__all__ = ["HierarchicalKMeansTree", "kmeans"]
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    max_iters: int = 10,
+    tol: float = 1e-4,
+) -> tuple:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(centroids, assignments)``.  Handles ``n < n_clusters`` by
+    reducing the cluster count, and re-seeds emptied clusters with the
+    point farthest from its centroid, so every returned centroid owns at
+    least one point.
+    """
+    n = data.shape[0]
+    k = min(n_clusters, n)
+    if k <= 0:
+        raise ValueError("n_clusters must be positive")
+
+    # --- k-means++ seeding -------------------------------------------------
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_d2 = squared_euclidean(data, centroids[0:1])[:, 0]
+    for c in range(1, k):
+        total = closest_d2.sum()
+        if total <= 0.0:
+            # All remaining points coincide with chosen centroids; pick
+            # arbitrary distinct rows.
+            centroids[c] = data[int(rng.integers(n))]
+            continue
+        probs = closest_d2 / total
+        idx = int(rng.choice(n, p=probs))
+        centroids[c] = data[idx]
+        d2_new = squared_euclidean(data, centroids[c:c + 1])[:, 0]
+        np.minimum(closest_d2, d2_new, out=closest_d2)
+
+    # --- Lloyd iterations ---------------------------------------------------
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iters):
+        d2 = squared_euclidean(data, centroids)
+        assignments = d2.argmin(axis=1)
+        new_centroids = np.zeros_like(centroids)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        np.add.at(new_centroids, assignments, data)
+        empty = counts == 0
+        if empty.any():
+            # Re-seed empty clusters at the currently worst-fit points.
+            worst = np.argsort(d2[np.arange(n), assignments])[::-1]
+            for slot, point in zip(np.flatnonzero(empty), worst):
+                new_centroids[slot] = data[point]
+                counts[slot] = 1.0
+        new_centroids /= counts[:, None]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift < tol:
+            break
+    d2 = squared_euclidean(data, centroids)
+    assignments = d2.argmin(axis=1)
+    return centroids, assignments
+
+
+@dataclass
+class _KMeansNode:
+    """One node of the k-means tree.
+
+    Interior nodes hold the child centroids (``(B, d)``) and child node
+    ids; leaves hold a bucket of database row indices.
+    """
+
+    centroids: Optional[np.ndarray] = None
+    children: List[int] = field(default_factory=list)
+    bucket: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.bucket is not None
+
+
+class HierarchicalKMeansTree(Index):
+    """Hierarchical k-means tree with best-bin-first backtracking.
+
+    Parameters
+    ----------
+    branching:
+        Clusters per interior node (FLANN calls this the branching
+        factor; the paper's characterization uses FLANN defaults).
+    leaf_size:
+        Node sizes at or below this become leaf buckets.
+    max_iters:
+        Lloyd iterations per node split.
+    metric:
+        Final-ranking metric; traversal ordering always uses squared
+        Euclidean distance to centroids (the structure is built with
+        Euclidean k-means, as in FLANN).
+    """
+
+    def __init__(
+        self,
+        branching: int = 8,
+        leaf_size: int = 32,
+        max_iters: int = 8,
+        metric: str = "euclidean",
+        seed: int = 0,
+        default_checks: int = 256,
+    ):
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        if leaf_size <= 0:
+            raise ValueError("leaf_size must be positive")
+        self.branching = int(branching)
+        self.leaf_size = int(leaf_size)
+        self.max_iters = int(max_iters)
+        self.metric_name = metric
+        self.metric = get_metric(metric)
+        self.seed = int(seed)
+        self.default_checks = int(default_checks)
+        self.nodes: List[_KMeansNode] = []
+        self.data: Optional[np.ndarray] = None
+
+    def build(self, data: np.ndarray) -> "HierarchicalKMeansTree":
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        self.data = arr
+        self.nodes = [_KMeansNode()]
+        rng = np.random.default_rng(self.seed)
+        stack = [(0, np.arange(arr.shape[0], dtype=np.int64))]
+        while stack:
+            node_id, rows = stack.pop()
+            node = self.nodes[node_id]
+            if rows.size <= self.leaf_size:
+                node.bucket = rows
+                continue
+            centroids, assign = kmeans(arr[rows], self.branching, rng, self.max_iters)
+            if centroids.shape[0] < 2:
+                node.bucket = rows
+                continue
+            node.centroids = centroids
+            for c in range(centroids.shape[0]):
+                child_rows = rows[assign == c]
+                child = _KMeansNode()
+                self.nodes.append(child)
+                child_id = len(self.nodes) - 1
+                node.children.append(child_id)
+                if child_rows.size == rows.size:
+                    # Clustering failed to split (identical points);
+                    # force a leaf to guarantee termination.
+                    child.bucket = child_rows
+                else:
+                    stack.append((child_id, child_rows))
+        return self
+
+    def _search_one(self, query: np.ndarray, k: int, checks: int) -> tuple:
+        data = self.data
+        assert data is not None
+        heap: list = [(0.0, 0, 0)]  # (centroid distance bound, tiebreak, node id)
+        counter = 1
+        candidates: List[np.ndarray] = []
+        n_candidates = 0
+        nodes_visited = 0
+        while heap and n_candidates < checks:
+            _, _, node_id = heapq.heappop(heap)
+            node = self.nodes[node_id]
+            # Descend through interior nodes toward the closest centroid,
+            # queueing every sibling with its centroid distance -- the
+            # paper's "backtracking to close-by buckets".
+            while not node.is_leaf:
+                nodes_visited += 1
+                d2 = squared_euclidean(query[None, :], node.centroids)[0]
+                order = np.argsort(d2, kind="stable")
+                best = order[0]
+                for c in order[1:]:
+                    heapq.heappush(heap, (float(d2[c]), counter, node.children[c]))
+                    counter += 1
+                node = self.nodes[node.children[best]]
+            nodes_visited += 1
+            bucket = node.bucket
+            assert bucket is not None
+            candidates.append(bucket)
+            n_candidates += bucket.size
+
+        cand = np.concatenate(candidates) if candidates else np.empty(0, dtype=np.int64)
+        ids, dists = top_k_from_candidates(query, cand, data, k, self.metric)
+        stats = SearchStats(
+            candidates_scanned=n_candidates,
+            nodes_visited=nodes_visited,
+            distance_ops=int(np.unique(cand).size) * data.shape[1],
+        )
+        return ids, dists, stats
+
+    def search(self, queries: np.ndarray, k: int, checks: Optional[int] = None) -> SearchResult:
+        data = self._require_built()
+        q = validate_queries(queries, data.shape[1])
+        if k <= 0:
+            raise ValueError("k must be positive")
+        budget = self.default_checks if checks is None else int(checks)
+        if budget <= 0:
+            raise ValueError("checks must be positive")
+        ids = np.empty((q.shape[0], k), dtype=np.int64)
+        dists = np.empty((q.shape[0], k))
+        total = SearchStats()
+        for i in range(q.shape[0]):
+            ids[i], dists[i], st = self._search_one(q[i], k, budget)
+            total += st
+        return SearchResult(ids=ids, distances=dists, stats=total)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for nd in self.nodes if nd.is_leaf)

@@ -1,0 +1,43 @@
+"""Search accuracy (recall) metrics.
+
+The paper defines accuracy as ``|S_E ∩ S_A| / |S_E|`` where ``S_E`` is
+the exact neighbor set from floating-point linear search and ``S_A`` the
+approximate set (Section II-C).  These helpers compute that per query
+and averaged over a batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "mean_recall"]
+
+
+def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
+    """Per-query recall ``|S_E ∩ S_A| / |S_E|``.
+
+    Both arguments have shape ``(q, k)``; padding ids (``-1``) in the
+    approximate result never count as hits.  Returns shape ``(q,)``.
+    """
+    a = np.asarray(approx_ids)
+    e = np.asarray(exact_ids)
+    if a.ndim == 1:
+        a = a[None, :]
+    if e.ndim == 1:
+        e = e[None, :]
+    if a.shape[0] != e.shape[0]:
+        raise ValueError("approx and exact batches must have the same number of queries")
+    out = np.empty(a.shape[0], dtype=np.float64)
+    for i in range(a.shape[0]):
+        exact_set = e[i][e[i] >= 0]
+        approx_set = a[i][a[i] >= 0]
+        if exact_set.size == 0:
+            out[i] = 1.0
+            continue
+        out[i] = np.intersect1d(exact_set, approx_set).size / exact_set.size
+    return out
+
+
+def mean_recall(approx_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """Batch-mean recall; the y-axis of the paper's Fig. 2 / Fig. 7."""
+    return float(recall_at_k(approx_ids, exact_ids).mean())

@@ -1,0 +1,29 @@
+"""Applications beyond kNN serving (paper Section VI-B).
+
+The paper argues SSAM generalizes past query serving: "applications
+such as support vector machines, k-means, neural networks, and frequent
+itemset mining can all be implemented on SSAM", with the vectorized FXP
+instruction called out for "binary neural networks ... and binary hash
+functions".  This package builds three of them on the same substrate:
+
+- :class:`~repro.apps.kmeans_offload.KMeansOffload` — k-means clustering
+  with the assignment scans offloaded to SSAM ("streaming the dataset
+  in as kNN queries to determine the closest centroid");
+- :class:`~repro.apps.binary_nn.BinaryLinearLayer` — an XNOR-net-style
+  binary layer whose matrix multiply is exactly the packed
+  xor-popcount the FXP datapath executes;
+- :func:`~repro.apps.similarity_join.all_pairs_similarity` — the
+  all-pairs similarity join of the related-work NLP accelerator,
+  expressed over our index interface.
+"""
+
+from repro.apps.binary_nn import BinaryLinearLayer, binarize_activations
+from repro.apps.kmeans_offload import KMeansOffload
+from repro.apps.similarity_join import all_pairs_similarity
+
+__all__ = [
+    "BinaryLinearLayer",
+    "binarize_activations",
+    "KMeansOffload",
+    "all_pairs_similarity",
+]

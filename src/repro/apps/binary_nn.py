@@ -1,0 +1,106 @@
+"""Binary neural network layer on the FXP datapath (§VI-B).
+
+XNOR-net-style binary layers replace the floating-point matrix multiply
+with bitwise operations: with activations and weights constrained to
+±1 and packed 32-per-word,
+
+``dot(a, w) = n_bits - 2 * hamming(pack(a), pack(w))``
+
+— which is exactly the computation SSAM's fused xor-popcount executes,
+the paper's "classes of application which rely on many Hamming distance
+calculations such as binary neural networks".
+
+:class:`BinaryLinearLayer` evaluates a binarized fully-connected layer
+two ways (bit-packed XNOR-popcount and the ±1 integer reference), which
+the tests prove identical, and prices the layer on a SSAM design point
+via the Hamming-kernel calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distances.binarize import pack_bits
+from repro.distances.metrics import hamming_packed
+
+__all__ = ["BinaryLinearLayer", "binarize_activations"]
+
+
+def binarize_activations(x: np.ndarray) -> np.ndarray:
+    """Sign-binarize activations to {0, 1} bits (1 encodes +1)."""
+    arr = np.asarray(x, dtype=np.float64)
+    return (arr >= 0.0).astype(np.uint8)
+
+
+class BinaryLinearLayer:
+    """A fully-connected layer with ±1 weights and ±1 activations.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer shape.  ``in_features`` is the bit-vector length.
+    seed:
+        Weight initialization seed (random ±1; training a BNN is out of
+        scope — the point is the inference datapath).
+    scale:
+        Per-layer scaling factor applied to the integer pre-activation
+        (XNOR-net uses the mean absolute weight; any positive constant
+        preserves the sign pattern).
+    """
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0, scale: float = 1.0):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.scale = float(scale)
+        rng = np.random.default_rng(seed)
+        self.weight_bits = rng.integers(0, 2, size=(out_features, in_features)).astype(np.uint8)
+        self._weight_codes = pack_bits(self.weight_bits)
+
+    @property
+    def weights_pm1(self) -> np.ndarray:
+        """Weights as ±1 integers (the mathematical definition)."""
+        return self.weight_bits.astype(np.int64) * 2 - 1
+
+    def forward_reference(self, activations_bits: np.ndarray) -> np.ndarray:
+        """±1 integer matmul — the definitionally-correct slow path."""
+        a = np.atleast_2d(activations_bits).astype(np.int64) * 2 - 1
+        return self.scale * (a @ self.weights_pm1.T)
+
+    def forward(self, activations_bits: np.ndarray) -> np.ndarray:
+        """Packed XNOR-popcount path (what SSAM's VFXP executes).
+
+        ``dot = n - 2 * hamming``: each agreeing bit contributes +1 and
+        each disagreeing bit -1.
+        """
+        bits = np.atleast_2d(activations_bits)
+        if bits.shape[1] != self.in_features:
+            raise ValueError(f"expected {self.in_features}-bit activations")
+        codes = pack_bits(bits)
+        dist = hamming_packed(codes, self._weight_codes).astype(np.int64)
+        return self.scale * (self.in_features - 2 * dist)
+
+    def forward_sign(self, activations_bits: np.ndarray) -> np.ndarray:
+        """Forward + sign nonlinearity: the next layer's input bits."""
+        return (self.forward(activations_bits) >= 0).astype(np.uint8)
+
+    # ---------------------------------------------------------------- costing
+    def ssam_words_per_neuron(self) -> int:
+        """Packed words streamed per output neuron per input."""
+        return (self.in_features + 31) // 32
+
+    def ssam_layer_qps(self, calib, model) -> float:
+        """Layer evaluations/s on a SSAM module.
+
+        One layer evaluation streams all ``out_features`` weight rows —
+        exactly a Hamming linear scan with n = out_features — so the
+        Hamming :class:`~repro.core.accelerator.KernelCalibration`
+        prices it directly.
+        """
+        rate = model.candidate_rate(calib)       # weight rows / second
+        return rate / self.out_features

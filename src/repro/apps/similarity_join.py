@@ -1,0 +1,78 @@
+"""All-pairs similarity join (related work: Tandon et al.'s NLP
+accelerator; a classic data-intensive SSAM workload).
+
+Finds every pair of dataset vectors within a distance threshold by
+issuing each vector as a query against an index — the self-join
+formulation that maps onto SSAM's query stream (the dataset is resident;
+the "queries" are the dataset streamed back through the host, like the
+k-means offload).  With an approximate index the join trades recall for
+scan volume exactly like single-query search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann.base import Index, SearchStats
+from repro.ann.exact import LinearScan
+
+__all__ = ["all_pairs_similarity"]
+
+
+def all_pairs_similarity(
+    data: np.ndarray,
+    threshold: float,
+    index: Optional[Index] = None,
+    k: int = 32,
+    checks: Optional[int] = None,
+    batch: int = 256,
+) -> Tuple[List[Tuple[int, int]], SearchStats]:
+    """All (i, j), i < j, with ``d(x_i, x_j) <= threshold``.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` vectors, both the corpus and the query stream.
+    threshold:
+        Distance cutoff (in the index's metric).
+    index:
+        A *built* index over ``data``; defaults to exact
+        :class:`LinearScan` (the complete join).  With an approximate
+        index, pairs beyond its k/checks horizon may be missed.
+    k:
+        Neighbors retrieved per probe; must exceed the largest expected
+        neighborhood size for a complete join.
+    batch:
+        Query batch size (bounds peak memory).
+
+    Returns the pair list and the aggregate work stats (what SSAM would
+    be charged for the whole join).
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if index is None:
+        index = LinearScan().build(arr)
+    elif index.data is None:
+        raise ValueError("index must be built over the same data")
+
+    pairs: List[Tuple[int, int]] = []
+    total = SearchStats()
+    n = arr.shape[0]
+    k_eff = min(k, n)
+    for start in range(0, n, batch):
+        stop = min(start + batch, n)
+        res = index.search(arr[start:stop], k_eff, checks=checks)
+        total += res.stats
+        for row in range(stop - start):
+            i = start + row
+            mask = (res.distances[row] <= threshold) & (res.ids[row] >= 0)
+            for j in res.ids[row][mask]:
+                if j > i:
+                    pairs.append((i, int(j)))
+    pairs.sort()
+    return pairs, total

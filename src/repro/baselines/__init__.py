@@ -1,0 +1,26 @@
+"""Baseline platform models (paper Section IV).
+
+The paper measures kNN on a Xeon E5-2620 CPU (FLANN/FALCONN), an NVIDIA
+Titan X GPU (Garcia et al.'s brute-force kNN), a Xilinx Kintex-7 FPGA
+(the SSAM logic as a soft vector core), and the Micron Automata
+Processor (Table VI).  We cannot run those devices, so each baseline is
+an analytic roofline model — effective memory bandwidth vs. compute
+rate, with die area and measured dynamic power — calibrated against the
+platforms' public specifications and the paper's reported figures.
+Every calibration constant is documented at its definition.
+"""
+
+from repro.baselines.platform import Platform, roofline_qps
+from repro.baselines.cpu import XeonE5_2620
+from repro.baselines.gpu import TitanX
+from repro.baselines.fpga import Kintex7
+from repro.baselines.automata import AutomataProcessor
+
+__all__ = [
+    "Platform",
+    "roofline_qps",
+    "XeonE5_2620",
+    "TitanX",
+    "Kintex7",
+    "AutomataProcessor",
+]

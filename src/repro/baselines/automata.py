@@ -1,0 +1,82 @@
+"""Micron Automata Processor baseline (paper Table VI).
+
+The AP evaluates nondeterministic finite automata against a streamed
+symbol sequence; Lee et al. (IPDPS'17, the paper's reference [53])
+encode each dataset vector as an NFA computing a Hamming-distance
+threshold, so one pass of the query symbols scores every resident
+vector in parallel.  The catch is *capacity*: high-dimensional vectors
+consume STEs (state transition elements) proportionally to their
+dimensionality, so large datasets need many board reconfigurations, and
+reconfiguration dominates (paper: "the AP is bottlenecked by the high
+reconfiguration overheads").
+
+Model::
+
+    vectors_per_config = capacity_dims / dims
+    n_configs          = ceil(n / vectors_per_config)
+    batch_time         = reconfig_seconds + batch * dims / symbol_rate
+    throughput         = batch / (n_configs * batch_time)
+
+Calibration: ``capacity_dims = 100_000`` (effective vector-dimensions
+resident per configuration, folding in the STEs-per-dimension encoding
+cost), ``batch = 2300`` queries streamed per configuration pass,
+``reconfig = 50 ms`` (first generation).  The second generation applies
+the 100x faster reconfiguration the paper adopts from [53].  With these
+three constants the model lands within a few percent of five of the six
+Table VI cells (GloVe gen-1 is the outlier; the paper's GloVe run
+appears to use a different batching regime, and our EXPERIMENTS.md
+reports the deviation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.platform import Platform
+
+__all__ = ["AutomataProcessor"]
+
+
+@dataclass
+class AutomataProcessor(Platform):
+    """One AP board running linear Hamming-distance kNN."""
+
+    name: str = "Automata Processor"
+    die_area_mm2: float = 200.0          # D480 rank, nominal
+    dynamic_power_w: float = 4.0
+    generation: int = 1
+    capacity_dims: float = 100_000.0
+    batch_queries: int = 2300
+    symbol_rate_hz: float = 133e6
+    reconfig_seconds_gen1: float = 50e-3
+
+    def __post_init__(self) -> None:
+        if self.generation not in (1, 2):
+            raise ValueError("generation must be 1 or 2")
+
+    @property
+    def reconfig_seconds(self) -> float:
+        """Gen-2 assumes the 100x faster reconfiguration of [53]."""
+        scale = 1.0 if self.generation == 1 else 0.01
+        return self.reconfig_seconds_gen1 * scale
+
+    def n_configs(self, n: int, dims: int) -> int:
+        """Board reconfigurations needed to cover the dataset."""
+        if n <= 0 or dims <= 0:
+            raise ValueError("n and dims must be positive")
+        vectors_per_config = max(1.0, self.capacity_dims / dims)
+        return max(1, int(-(-n // vectors_per_config)))
+
+    def fits_one_config(self, n: int, dims: int) -> bool:
+        return self.n_configs(n, dims) == 1
+
+    def linear_qps(self, n: int, dims: int) -> float:
+        """Linear *Hamming* kNN throughput (the AP cannot do arithmetic
+        distances; the paper compares on Hamming only)."""
+        configs = self.n_configs(n, dims)
+        batch_time = self.reconfig_seconds + self.batch_queries * dims / self.symbol_rate_hz
+        if configs == 1:
+            # Resident dataset: no reconfiguration per batch.
+            batch_time = self.batch_queries * dims / self.symbol_rate_hz
+            return self.batch_queries / batch_time
+        return self.batch_queries / (configs * batch_time)

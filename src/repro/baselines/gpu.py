@@ -1,0 +1,88 @@
+"""NVIDIA Titan X (Maxwell) GPU baseline (Garcia et al. brute-force kNN).
+
+Calibration constants:
+
+- **Memory**: 336 GB/s GDDR5 at 75% streaming efficiency (typical for a
+  well-coalesced kernel) -> 252 GB/s effective.
+- **Compute**: 6.1 TFLOP/s single precision (3072 cores x 1 GHz x 2).
+- **Die area**: GM200 is 601 mm^2 at 28 nm (TechPowerUp, the paper's
+  own source [39]).
+- **Dynamic power**: 180 W load-minus-idle, consistent with the 250 W
+  TDP part under a memory-bound kernel.
+- **Software efficiency**: Garcia's kNN is a tiled GEMM-like kernel;
+  it keeps ~60% of effective bandwidth at low d (kernel launch and
+  top-k selection overheads) and ~90% at high d, modeled with the same
+  saturating form as the CPU but a much smaller ``overhead_dims`` —
+  GPUs batch queries, amortizing per-vector overhead.
+- **Batch latency floor**: GPU queries are answered in batches; the
+  ~50 us kernel-launch + PCIe floor is charged per query at batch size
+  256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.platform import Platform, roofline_qps
+from repro.memsys.ddr import GDDR5_TITANX, MemorySystem
+
+__all__ = ["TitanX"]
+
+
+@dataclass
+class TitanX(Platform):
+    """Titan X running an optimized brute-force GPU kNN."""
+
+    name: str = "Titan X"
+    die_area_mm2: float = 601.0
+    dynamic_power_w: float = 180.0
+    compute_rate: float = 6.1e12
+    memory: MemorySystem = field(default_factory=lambda: MemorySystem(GDDR5_TITANX, n_channels=1))
+    overhead_dims: float = 60.0
+    batch_size: int = 256
+    launch_seconds: float = 50e-6
+
+    def software_efficiency(self, dims: int) -> float:
+        return dims / (dims + self.overhead_dims)
+
+    def effective_bandwidth(self, dims: int) -> float:
+        return self.memory.effective_bandwidth * self.software_efficiency(dims)
+
+    @property
+    def fixed_query_seconds(self) -> float:
+        return self.launch_seconds / self.batch_size
+
+    def linear_qps(self, n: int, dims: int) -> float:
+        if n <= 0 or dims <= 0:
+            raise ValueError("n and dims must be positive")
+        bytes_per_query = 4.0 * n * dims
+        ops_per_query = 3.0 * n * dims
+        return roofline_qps(
+            bytes_per_query,
+            self.effective_bandwidth(dims),
+            ops_per_query,
+            self.compute_rate,
+            self.fixed_query_seconds,
+        )
+
+    def approx_qps(
+        self,
+        candidates_per_query: float,
+        dims: int,
+        nodes_per_query: float = 0.0,
+        hashes_per_query: float = 0.0,
+    ) -> float:
+        """GPUs tolerate indexes poorly: traversal divergence costs ~1 us/node.
+
+        (The paper compares GPUs on exact search only; this method
+        exists for the extension sweeps.)
+        """
+        bytes_per_query = 4.0 * candidates_per_query * dims
+        ops_per_query = 3.0 * candidates_per_query * dims + 2.0 * hashes_per_query * dims
+        return roofline_qps(
+            bytes_per_query,
+            self.effective_bandwidth(dims),
+            ops_per_query,
+            self.compute_rate,
+            self.fixed_query_seconds + nodes_per_query * 1e-6,
+        )

@@ -1,0 +1,78 @@
+"""Shared platform-model machinery.
+
+Every baseline answers the same questions the SSAM model answers, so
+the Fig. 6 / Fig. 7 experiments can iterate over platforms uniformly:
+
+- ``linear_qps(n, dims)`` — exact-scan queries/s on an ``n x dims``
+  32-bit corpus;
+- ``approx_qps(...)`` — queries/s given the measured per-query work of
+  a real index run (candidates scanned, nodes visited, hashes);
+- ``point(qps)`` — package with area and power into a
+  :class:`repro.core.accelerator.PlatformPoint`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.accelerator import PlatformPoint
+
+__all__ = ["Platform", "roofline_qps"]
+
+
+def roofline_qps(
+    bytes_per_query: float,
+    effective_bandwidth: float,
+    ops_per_query: float,
+    compute_rate: float,
+    fixed_seconds: float = 0.0,
+) -> float:
+    """Queries/s under a bandwidth/compute roofline.
+
+    The query costs the *larger* of its memory time and compute time
+    (streaming overlaps arithmetic), plus any fixed per-query overhead.
+    """
+    if bytes_per_query < 0 or ops_per_query < 0:
+        raise ValueError("work terms must be non-negative")
+    mem_s = bytes_per_query / effective_bandwidth if effective_bandwidth > 0 else 0.0
+    cpu_s = ops_per_query / compute_rate if compute_rate > 0 else 0.0
+    total = max(mem_s, cpu_s) + fixed_seconds
+    if total <= 0:
+        raise ValueError("query with no cost; check inputs")
+    return 1.0 / total
+
+
+@dataclass
+class Platform(abc.ABC):
+    """A heterogeneous-computing baseline."""
+
+    name: str
+    die_area_mm2: float
+    dynamic_power_w: float
+
+    @abc.abstractmethod
+    def linear_qps(self, n: int, dims: int) -> float:
+        """Exact linear-scan kNN throughput over ``n`` x ``dims`` float32."""
+
+    def approx_qps(
+        self,
+        candidates_per_query: float,
+        dims: int,
+        nodes_per_query: float = 0.0,
+        hashes_per_query: float = 0.0,
+    ) -> float:
+        """Index-assisted throughput; default charges candidates only.
+
+        Subclasses refine with traversal and hashing costs.
+        """
+        n_equivalent = max(1, int(round(candidates_per_query)))
+        return self.linear_qps(n_equivalent, dims)
+
+    def point(self, qps: float) -> PlatformPoint:
+        return PlatformPoint(
+            platform=self.name,
+            throughput_qps=qps,
+            area_mm2=self.die_area_mm2,
+            power_w=self.dynamic_power_w,
+        )

@@ -1,0 +1,43 @@
+"""SSAM — the paper's primary contribution.
+
+The Similarity Search Associative Memory is a near-data accelerator
+instantiated on the logic layer of a Hybrid Memory Cube.  This package
+models it at three levels:
+
+- **Microarchitecture** — the hardware units
+  (:mod:`repro.isa.units`, re-exported here) and the per-PU ISA
+  simulator in :mod:`repro.isa`;
+- **Kernels** — the paper's hand-written assembly benchmarks
+  (:mod:`repro.core.kernels`): linear scans for every distance metric,
+  index traversals, and the software-priority-queue ablation;
+- **Accelerator & module** — :mod:`repro.core.accelerator` replicates
+  processing units behind each vault controller and applies the
+  bandwidth/compute roofline; :mod:`repro.core.module` assembles a full
+  SSAM memory module on the HMC substrate;
+- **Physical design** — calibrated per-module power
+  (:mod:`repro.core.power`, paper Table III) and area
+  (:mod:`repro.core.area`, paper Table IV) models.
+"""
+
+from repro.isa.units import HardwarePriorityQueue, HardwareStack, Scratchpad
+from repro.core.config import SSAMConfig
+from repro.core.power import AcceleratorPowerModel, PAPER_POWER_TABLE
+from repro.core.area import AcceleratorAreaModel, PAPER_AREA_TABLE
+from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
+from repro.core.module import SSAMModule
+from repro.core.thermal import StackThermalModel
+
+__all__ = [
+    "HardwarePriorityQueue",
+    "HardwareStack",
+    "Scratchpad",
+    "SSAMConfig",
+    "AcceleratorPowerModel",
+    "PAPER_POWER_TABLE",
+    "AcceleratorAreaModel",
+    "PAPER_AREA_TABLE",
+    "KernelCalibration",
+    "SSAMPerformanceModel",
+    "SSAMModule",
+    "StackThermalModel",
+]

@@ -1,0 +1,209 @@
+"""SSAM module-level performance model.
+
+The paper's methodology (Section IV): simulate the PU down to cycles on
+representative data, then scale to the full module — PUs replicated per
+vault until aggregate streaming demand saturates the vault bandwidth,
+with the module-level roofline
+
+``throughput = min(compute rate of all PUs, internal bandwidth / bytes)``
+
+:class:`KernelCalibration` extracts a per-candidate cycle cost from two
+ISA-simulator runs of different sizes (a two-point linear fit separates
+fixed per-query overhead from marginal per-candidate cost), and
+:class:`SSAMPerformanceModel` applies the roofline for exact and
+approximate (index-driven) workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.area import AcceleratorAreaModel
+from repro.core.config import SSAMConfig
+from repro.core.power import AcceleratorPowerModel
+
+__all__ = ["KernelCalibration", "SSAMPerformanceModel", "PlatformPoint"]
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Per-candidate cost of one kernel on one PU configuration.
+
+    Attributes
+    ----------
+    cycles_per_candidate:
+        Marginal cycles to stream and score one more database vector.
+    fixed_cycles:
+        Per-query overhead (setup, final drain).
+    bytes_per_candidate:
+        DRAM bytes streamed per candidate (padded row size).
+    """
+
+    name: str
+    vector_length: int
+    cycles_per_candidate: float
+    fixed_cycles: float
+    bytes_per_candidate: float
+
+    @classmethod
+    def from_kernel_factory(
+        cls,
+        factory: Callable[[int], "object"],
+        n_small: int = 64,
+        n_large: int = 256,
+    ) -> "KernelCalibration":
+        """Calibrate by running a kernel at two candidate counts.
+
+        ``factory(n)`` must return a :class:`repro.core.kernels.common.Kernel`
+        scanning ``n`` candidates.  The two-point fit gives the marginal
+        per-candidate cycles exactly for the loop-structured kernels.
+        """
+        if n_large <= n_small:
+            raise ValueError("n_large must exceed n_small")
+        k_small = factory(n_small)
+        k_large = factory(n_large)
+        r_small = k_small.run()
+        r_large = k_large.run()
+        cpc = (r_large.stats.cycles - r_small.stats.cycles) / (n_large - n_small)
+        fixed = max(0.0, r_small.stats.cycles - cpc * n_small)
+        bpc = (r_large.stats.dram_bytes_read - r_small.stats.dram_bytes_read) / (
+            n_large - n_small
+        )
+        return cls(
+            name=k_large.name,
+            vector_length=k_large.machine.vector_length,
+            cycles_per_candidate=cpc,
+            fixed_cycles=fixed,
+            bytes_per_candidate=bpc,
+        )
+
+    def pu_candidate_rate(self, frequency_hz: float) -> float:
+        """Candidates/s one PU can score, compute-bound."""
+        return frequency_hz / self.cycles_per_candidate
+
+    def pu_bandwidth_demand(self, frequency_hz: float) -> float:
+        """Streaming bytes/s one PU pulls when running flat out."""
+        return self.pu_candidate_rate(frequency_hz) * self.bytes_per_candidate
+
+
+@dataclass(frozen=True)
+class PlatformPoint:
+    """One platform's result for a workload: the Fig. 6 / Fig. 7 tuple."""
+
+    platform: str
+    throughput_qps: float
+    area_mm2: float
+    power_w: float
+
+    @property
+    def area_normalized_qps(self) -> float:
+        """Queries/s per mm^2 (Fig. 6a's y-axis)."""
+        return self.throughput_qps / self.area_mm2
+
+    @property
+    def queries_per_joule(self) -> float:
+        """Energy efficiency (Fig. 6b's y-axis)."""
+        return self.throughput_qps / self.power_w
+
+
+class SSAMPerformanceModel:
+    """Throughput / energy / area projections for one SSAM design point."""
+
+    def __init__(
+        self,
+        config: SSAMConfig,
+        power_model: Optional[AcceleratorPowerModel] = None,
+        area_model: Optional[AcceleratorAreaModel] = None,
+    ):
+        self.config = config
+        self.power_model = power_model or AcceleratorPowerModel()
+        self.area_model = area_model or AcceleratorAreaModel()
+
+    # ----------------------------------------------------------------- physical
+    @property
+    def total_power_w(self) -> float:
+        return self.power_model.total_power(self.config.vector_length)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.area_model.total_area(self.config.vector_length)
+
+    # ----------------------------------------------------------------- rooflines
+    def candidate_rate(self, calib: KernelCalibration) -> float:
+        """Aggregate candidates/s across the module, with both caps.
+
+        Per vault, PU compute is capped by the vault controller's
+        bandwidth; module-wide, the sum is additionally capped by the
+        aggregate internal bandwidth (they coincide when all vaults are
+        busy, but the second cap also covers external-link-fed setups).
+        """
+        cfg = self.config
+        f = cfg.machine.frequency_hz
+        per_pu = calib.pu_candidate_rate(f)
+        vault_cap = cfg.vault_bandwidth / calib.bytes_per_candidate
+        per_vault = min(cfg.pus_per_vault * per_pu, vault_cap)
+        module = per_vault * cfg.n_vaults
+        return min(module, cfg.internal_bandwidth / calib.bytes_per_candidate)
+
+    def linear_throughput(self, calib: KernelCalibration, n_candidates: int) -> float:
+        """Exact-scan queries/s over a database of ``n_candidates``.
+
+        The dataset is partitioned across vaults; every query scans all
+        of it, so throughput is the aggregate candidate rate divided by
+        the database size, minus the per-query fixed overhead.
+        """
+        if n_candidates <= 0:
+            raise ValueError("n_candidates must be positive")
+        cfg = self.config
+        rate = self.candidate_rate(calib)
+        scan_seconds = n_candidates / rate
+        # Fixed overhead is paid once per query per PU chain; it is
+        # amortized across vaults working in parallel.
+        fixed_seconds = calib.fixed_cycles / cfg.machine.frequency_hz
+        return 1.0 / (scan_seconds + fixed_seconds)
+
+    def approx_throughput(
+        self,
+        calib: KernelCalibration,
+        candidates_per_query: float,
+        nodes_per_query: float = 0.0,
+        cycles_per_node: float = 60.0,
+        hashes_per_query: float = 0.0,
+        cycles_per_hash_dim: float = 2.5,
+        dims: int = 0,
+    ) -> float:
+        """Queries/s for an index-driven search.
+
+        ``candidates_per_query``/``nodes_per_query``/``hashes_per_query``
+        come from the *measured* behaviour of the real index
+        (:class:`repro.ann.base.SearchStats`), so the model charges the
+        accelerator only for work the algorithm actually does:
+        bucket-scan candidates at the calibrated scan cost, traversal
+        nodes at a scalar-path cost, and hash evaluations at a vector
+        dot-product cost (for MPLSH).  Traversal is sequential per
+        query, but independent queries pipeline across PUs, so the
+        module processes queries at the aggregate PU rate.
+        """
+        cfg = self.config
+        f = cfg.machine.frequency_hz
+        scan_cycles = candidates_per_query * calib.cycles_per_candidate
+        traversal_cycles = nodes_per_query * cycles_per_node
+        hash_cycles = hashes_per_query * cycles_per_hash_dim * max(dims, 1) / cfg.vector_length
+        cycles = scan_cycles + traversal_cycles + hash_cycles + calib.fixed_cycles
+        per_pu_qps = f / cycles
+        compute_qps = per_pu_qps * cfg.total_pus
+        bw_qps = cfg.internal_bandwidth / max(
+            candidates_per_query * calib.bytes_per_candidate, 1.0
+        )
+        return min(compute_qps, bw_qps)
+
+    # ----------------------------------------------------------------- summary
+    def platform_point(self, throughput_qps: float) -> PlatformPoint:
+        """Package a throughput into the Fig. 6 comparison tuple."""
+        return PlatformPoint(
+            platform=self.config.name,
+            throughput_qps=throughput_qps,
+            area_mm2=self.total_area_mm2,
+            power_w=self.total_power_w,
+        )

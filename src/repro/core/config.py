@@ -1,0 +1,91 @@
+"""Top-level SSAM design-point configuration.
+
+One :class:`SSAMConfig` describes a complete SSAM module design point:
+the per-PU microarchitecture (vector length, scratchpad, queue depths —
+see :class:`repro.isa.simulator.MachineConfig`) plus the module-level
+organization (how many HMC vaults, internal/external bandwidth, and how
+many processing units sit behind each vault controller).
+
+The paper's four evaluated design points are ``SSAMConfig.design(v)``
+for v in {2, 4, 8, 16} (called SSAM-2 .. SSAM-16 throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.isa.simulator import MachineConfig
+
+__all__ = ["SSAMConfig"]
+
+#: Processing units per vault for each paper design point, derived from
+#: the paper's replication rule ("replicate processing units to fully
+#: use the memory bandwidth") applied to the measured per-PU streaming
+#: demand of the kernel suite; consistent with the scratchpad SRAM area
+#: growth in paper Table IV.
+_PUS_PER_VAULT = {2: 4, 4: 5, 8: 9, 16: 15}
+
+
+@dataclass(frozen=True)
+class SSAMConfig:
+    """A complete SSAM module design point.
+
+    Attributes
+    ----------
+    machine:
+        Per-PU microarchitecture (vector length etc.).
+    n_vaults:
+        HMC vaults (HMC 2.0 has 32).
+    vault_bandwidth:
+        Per-vault-controller bandwidth in bytes/s (10 GB/s in HMC 2.0).
+    external_link_bandwidth:
+        Aggregate external SerDes bandwidth in bytes/s (240 GB/s).
+    pus_per_vault:
+        Processing units instantiated next to each vault controller.
+    capacity_bytes:
+        DRAM capacity of the module (HMC 2.0: 8 GB).
+    """
+
+    machine: MachineConfig = MachineConfig()
+    n_vaults: int = 32
+    vault_bandwidth: float = 10e9
+    external_link_bandwidth: float = 240e9
+    pus_per_vault: int = 5
+    capacity_bytes: int = 8 << 30
+
+    def __post_init__(self) -> None:
+        if self.n_vaults <= 0 or self.pus_per_vault <= 0:
+            raise ValueError("n_vaults and pus_per_vault must be positive")
+        if self.vault_bandwidth <= 0 or self.external_link_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @classmethod
+    def design(cls, vector_length: int) -> "SSAMConfig":
+        """The paper's SSAM-<v> design point."""
+        if vector_length not in _PUS_PER_VAULT:
+            raise ValueError(f"paper design points are {sorted(_PUS_PER_VAULT)}")
+        return cls(
+            machine=MachineConfig(vector_length=vector_length),
+            pus_per_vault=_PUS_PER_VAULT[vector_length],
+        )
+
+    @property
+    def name(self) -> str:
+        return f"SSAM-{self.machine.vector_length}"
+
+    @property
+    def vector_length(self) -> int:
+        return self.machine.vector_length
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate internal bandwidth across all vaults (bytes/s)."""
+        return self.n_vaults * self.vault_bandwidth
+
+    @property
+    def total_pus(self) -> int:
+        return self.n_vaults * self.pus_per_vault
+
+    def with_machine(self, **kwargs) -> "SSAMConfig":
+        """A copy with updated per-PU machine parameters."""
+        return replace(self, machine=replace(self.machine, **kwargs))

@@ -1,0 +1,50 @@
+"""Hand-written SSAM assembly kernels (paper Section IV: "each benchmark
+is handwritten using our instruction set").
+
+Kernel generators emit assembly text parameterized by workload shape
+(dataset size, dimensionality, vector length) and return
+:class:`~repro.core.kernels.common.Kernel` objects that know how to lay
+out their data in the simulator's scratchpad/DRAM, run, and read back
+results — so every kernel is testable end-to-end against the NumPy
+reference implementations in :mod:`repro.ann`.
+
+Kernels:
+
+- :mod:`~repro.core.kernels.linear` — exact linear scans for Euclidean,
+  Manhattan, and cosine ranking, plus the software-priority-queue
+  ablation variant (paper Section V-B);
+- :mod:`~repro.core.kernels.hamming` — Hamming-space scan using the
+  fused ``VFXP`` xor-popcount instruction, plus the discrete
+  XOR+POPCOUNT ablation;
+- :mod:`~repro.core.kernels.traversal` — kd-tree and hierarchical
+  k-means tree traversals using the hardware stack for backtracking;
+- :mod:`~repro.core.kernels.mplsh` — hyperplane hashing and bucket
+  probing.
+"""
+
+from repro.core.kernels.common import Kernel, KernelResult, quantize_for_kernel
+from repro.core.kernels.linear import (
+    cosine_scan_kernel,
+    euclidean_scan_kernel,
+    manhattan_scan_kernel,
+)
+from repro.core.kernels.hamming import hamming_scan_kernel
+from repro.core.kernels.batched import batched_euclidean_scan_kernel
+from repro.core.kernels.pq import pq_adc_scan_kernel
+from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
+from repro.core.kernels.mplsh import mplsh_kernel
+
+__all__ = [
+    "Kernel",
+    "KernelResult",
+    "quantize_for_kernel",
+    "euclidean_scan_kernel",
+    "manhattan_scan_kernel",
+    "cosine_scan_kernel",
+    "hamming_scan_kernel",
+    "batched_euclidean_scan_kernel",
+    "pq_adc_scan_kernel",
+    "kdtree_kernel",
+    "kmeans_tree_kernel",
+    "mplsh_kernel",
+]

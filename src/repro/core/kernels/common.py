@@ -1,0 +1,214 @@
+"""Shared kernel infrastructure: register conventions, data layout,
+fixed-point quantization, and the :class:`Kernel` runner.
+
+Register conventions (documented so the generated assembly is readable):
+
+========  =====================================================
+Register  Use
+========  =====================================================
+s0        hardwired zero
+s1        streaming data pointer (DRAM)
+s2        loop bound: candidate count / budget
+s3        padded dimensionality (words per vector chunk)
+s5        current candidate id
+s6..s8    inner-loop counters / query pointer
+s9..s19   temporaries (reductions, division, traversal state)
+s20..s29  kernel-specific state (node pointers, budgets)
+v1        streamed data chunk
+v2        query chunk
+v3        accumulator (distance / dot)
+v4..v6    temporaries / secondary accumulators
+========  =====================================================
+
+Data layout: the query lives at scratchpad word 0; index structures the
+kernel keeps hot (tree nodes, software priority queue) follow it; the
+dataset and any large structures (buckets, centroids, hash directories)
+live in DRAM starting at the simulator's ``dram_base``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.isa.simulator import MachineConfig, RunStats, Simulator
+
+__all__ = [
+    "Kernel",
+    "KernelResult",
+    "quantize_for_kernel",
+    "pad_to_multiple",
+    "reduce_vector_asm",
+    "abs_vector_asm",
+    "division_asm",
+]
+
+
+def pad_to_multiple(array: np.ndarray, multiple: int, axis: int = -1) -> np.ndarray:
+    """Zero-pad ``array`` along ``axis`` to a multiple of ``multiple``."""
+    size = array.shape[axis]
+    target = -(-size // multiple) * multiple
+    if target == size:
+        return array
+    pad = [(0, 0)] * array.ndim
+    pad[axis] = (0, target - size)
+    return np.pad(array, pad)
+
+
+def quantize_for_kernel(
+    data: np.ndarray,
+    queries: np.ndarray,
+    headroom_bits: int = 2,
+    max_scale: float = 4096.0,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Quantize floats to integers safe for 32-bit distance accumulation.
+
+    Chooses the largest power-of-two scale such that a full squared-
+    Euclidean accumulation over all dimensions stays below
+    ``2**(31 - headroom_bits)``, guaranteeing the strict-32-bit datapath
+    never overflows.  Returns ``(data_int, queries_int, scale)``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    dims = data.shape[1]
+    span = max(
+        float(np.abs(data).max(initial=0.0)),
+        float(np.abs(queries).max(initial=0.0)),
+        1e-12,
+    )
+    # Worst-case accumulated value: dims * (2 * span * scale)^2.
+    budget = 2.0 ** (31 - headroom_bits)
+    scale = np.sqrt(budget / (dims * 4.0 * span * span))
+    scale = float(2 ** int(np.floor(np.log2(max(scale, 1.0)))))
+    scale = min(scale, max_scale)
+    d_int = np.rint(data * scale).astype(np.int64)
+    q_int = np.rint(queries * scale).astype(np.int64)
+    return d_int, q_int, scale
+
+
+def reduce_vector_asm(vreg: str, dest: str, tmp: str, vlen: int) -> List[str]:
+    """Horizontal sum of a vector register into a scalar via lane moves.
+
+    ``VLEN - 1`` extract+add pairs; the ISA has no reduce instruction
+    (neither does the paper's Table II), so kernels reduce explicitly.
+    """
+    lines = [f"vsmove {dest}, {vreg}, 0"]
+    for lane in range(1, vlen):
+        lines.append(f"vsmove {tmp}, {vreg}, {lane}")
+        lines.append(f"add {dest}, {dest}, {tmp}")
+    return lines
+
+
+def abs_vector_asm(vreg: str, mask_tmp: str) -> List[str]:
+    """Lane-wise absolute value: ``x = (x ^ (x >> 31)) - (x >> 31)``."""
+    return [
+        f"vsra {mask_tmp}, {vreg}, 31",
+        f"vxor {vreg}, {vreg}, {mask_tmp}",
+        f"vsub {vreg}, {vreg}, {mask_tmp}",
+    ]
+
+
+def division_asm(
+    num: str, den: str, quot: str, rem: str, bit: str, one: str, tmp: str,
+    label_prefix: str,
+) -> List[str]:
+    """32-iteration restoring division: ``quot = num / den`` (num>=0, den>0).
+
+    This is the paper's "fixed-point division ... performed in software
+    using shifts and subtracts" (Section V-D), used by the cosine
+    kernel.  Clobbers ``num`` conceptually but actually only reads it.
+    """
+    lp = label_prefix
+    return [
+        f"li {quot}, 0",
+        f"li {rem}, 0",
+        f"li {bit}, 31",
+        f"li {one}, 1",
+        f"{lp}_divloop:",
+        f"sl {rem}, {rem}, 1",
+        f"sr {tmp}, {num}, {bit}",
+        f"andi {tmp}, {tmp}, 1",
+        f"or {rem}, {rem}, {tmp}",
+        f"blt {rem}, {den}, {lp}_divskip",
+        f"sub {rem}, {rem}, {den}",
+        f"sl {tmp}, {one}, {bit}",
+        f"or {quot}, {quot}, {tmp}",
+        f"{lp}_divskip:",
+        f"subi {bit}, {bit}, 1",
+        f"blt {bit}, s0, {lp}_divdone",
+        f"j {lp}_divloop",
+        f"{lp}_divdone:",
+    ]
+
+
+@dataclass
+class KernelResult:
+    """Output of one kernel run."""
+
+    ids: np.ndarray
+    values: np.ndarray
+    stats: RunStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+@dataclass
+class Kernel:
+    """An assembled kernel plus its data-loading recipe.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (used in experiment tables).
+    source:
+        Assembly text (kept for disassembly / inspection).
+    loader:
+        ``loader(sim)`` places all operands into the simulator's
+        scratchpad and DRAM.
+    k:
+        Number of results read back from the priority queue (or the
+        software result array).
+    reader:
+        Optional override returning ``(ids, values)`` from the machine
+        state after the run; defaults to draining the hardware queue.
+    """
+
+    name: str
+    source: str
+    loader: Callable[[Simulator], None]
+    k: int
+    machine: MachineConfig
+    reader: Optional[Callable[[Simulator], Tuple[np.ndarray, np.ndarray]]] = None
+    metadata: Dict = field(default_factory=dict)
+    _program: Optional[Program] = None
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = assemble(self.source)
+        return self._program
+
+    def make_simulator(self, dram_words: int = 1 << 22) -> Simulator:
+        sim = Simulator(self.machine, dram_words=dram_words)
+        self.loader(sim)
+        return sim
+
+    def run(self, sim: Optional[Simulator] = None,
+            max_instructions: int = 50_000_000) -> KernelResult:
+        """Assemble (cached), load, execute, and read back top-k."""
+        if sim is None:
+            sim = self.make_simulator(dram_words=self.metadata.get("dram_words", 1 << 22))
+        stats = sim.run(self.program, max_instructions=max_instructions)
+        if self.reader is not None:
+            ids, values = self.reader(sim)
+        else:
+            pairs = sim.pqueue.as_sorted()[: self.k]
+            ids = np.array([p[0] for p in pairs], dtype=np.int64)
+            values = np.array([p[1] for p in pairs], dtype=np.int64)
+        return KernelResult(ids=ids, values=values, stats=stats)

@@ -1,0 +1,312 @@
+"""Exact linear-scan kernels (Euclidean, Manhattan, cosine).
+
+These are the paper's primary benchmark kernels (Fig. 6, Table V): every
+database vector is streamed from the vault, its distance to the
+scratchpad-resident query is accumulated in the vector unit, and the
+(id, distance) tuple is inserted into the hardware priority queue —
+one instruction, the headline SSAM extension.
+
+Each generator also supports the **software priority queue** ablation of
+paper Section V-B (``software_pq=True``): the top-k list is kept as a
+sorted array in the scratchpad and maintained with an explicit
+compare/shift loop, exactly what a PU without the PQUEUE unit would run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels.common import (
+    Kernel,
+    abs_vector_asm,
+    division_asm,
+    pad_to_multiple,
+    quantize_for_kernel,
+    reduce_vector_asm,
+)
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = [
+    "euclidean_scan_kernel",
+    "manhattan_scan_kernel",
+    "cosine_scan_kernel",
+]
+
+
+def _software_pq_asm(k: int, vbase: int, ibase: int,
+                     dist_reg: str = "s9", id_reg: str = "s5") -> List[str]:
+    """Sorted-array insert: the software priority queue of Section V-B.
+
+    Scratchpad layout: ``values[0..k-1]`` at ``vbase`` (ascending),
+    ``ids[0..k-1]`` at ``ibase``.  Skip path costs one load + one
+    branch; an insert shifts larger entries down one slot at a time.
+    """
+    return [
+        f"load s12, {vbase + k - 1}(s0)",     # current worst value
+        f"blt {dist_reg}, s12, swpq_insert",
+        "j swpq_done",
+        "swpq_insert:",
+        f"li s13, {k - 1}",                    # insertion candidate j
+        "swpq_loop:",
+        "be s13, s0, swpq_place",
+        f"addi s14, s13, {vbase - 1}",         # &values[j-1]
+        "load s15, 0(s14)",
+        f"blt s15, {dist_reg}, swpq_place",    # values[j-1] < dist: place at j
+        f"addi s16, s13, {vbase}",             # shift value j-1 -> j
+        "store s15, 0(s16)",
+        f"addi s17, s13, {ibase - 1}",         # shift id j-1 -> j
+        "load s18, 0(s17)",
+        f"addi s19, s13, {ibase}",
+        "store s18, 0(s19)",
+        "subi s13, s13, 1",
+        "j swpq_loop",
+        "swpq_place:",
+        f"addi s16, s13, {vbase}",
+        f"store {dist_reg}, 0(s16)",
+        f"addi s17, s13, {ibase}",
+        f"store {id_reg}, 0(s17)",
+        "swpq_done:",
+    ]
+
+
+def _software_pq_reader(k: int, vbase: int, ibase: int):
+    def read(sim: Simulator) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.array([sim.scratchpad.read(vbase + i) for i in range(k)], dtype=np.int64)
+        ids = np.array([sim.scratchpad.read(ibase + i) for i in range(k)], dtype=np.int64)
+        valid = values < (1 << 31) - 1
+        sim.scratchpad.reads -= 2 * k  # readback is host-side, not kernel work
+        return ids[valid], values[valid]
+    return read
+
+
+def _scan_kernel(
+    name: str,
+    inner_body: List[str],
+    reduce_and_insert: List[str],
+    dataset_int: np.ndarray,
+    query_int: np.ndarray,
+    k: int,
+    machine: MachineConfig,
+    software_pq: bool,
+    extra_init: Optional[List[str]] = None,
+    metadata: Optional[dict] = None,
+) -> Kernel:
+    """Assemble the common outer scan structure around a distance body."""
+    vlen = machine.vector_length
+    data = pad_to_multiple(dataset_int, vlen, axis=1)
+    query = pad_to_multiple(query_int.reshape(-1), vlen, axis=0)
+    n, dp = data.shape
+    if k > machine.pq_depth * machine.pq_chained and not software_pq:
+        raise ValueError(
+            f"k={k} exceeds the hardware priority queue depth "
+            f"({machine.pq_depth * machine.pq_chained}); chain more queues"
+        )
+
+    vbase = dp            # software PQ arrays sit right after the query
+    ibase = dp + k
+    dram_base = machine.scratchpad_bytes // 4
+
+    lines: List[str] = [
+        f"# {name}: n={n}, padded dims={dp}, VLEN={vlen}",
+        f"li s1, {dram_base}",
+        f"li s2, {n}",
+        f"li s3, {dp}",
+        "li s5, 0",
+    ]
+    if extra_init:
+        lines += extra_init
+    lines += [
+        "outer:",
+        "li s10, 0",
+        "svmove v3, s10",
+        "svmove v5, s10",
+        "li s7, 0",
+        "li s6, 0",
+        "mem_fetch 0(s1)",
+        "inner:",
+        "vload v1, 0(s1)",
+        "vload v2, 0(s7)",
+        *inner_body,
+        f"addi s1, s1, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        "blt s6, s3, inner",
+        *reduce_and_insert,
+    ]
+    if software_pq:
+        lines += _software_pq_asm(k, vbase, ibase)
+    else:
+        lines += ["pqueue_insert s5, s9"]
+    lines += [
+        "addi s5, s5, 1",
+        "blt s5, s2, outer",
+        "halt",
+    ]
+
+    flat_data = data.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, query)
+        if software_pq:
+            sim.load_scratchpad(vbase, np.full(k, (1 << 31) - 1, dtype=np.int64))
+            sim.load_scratchpad(ibase, np.full(k, -1, dtype=np.int64))
+        sim.load_dram(sim.dram_base, flat_data)
+
+    meta = {"n": n, "dims_padded": dp, "bytes_per_candidate": dp * 4,
+            "dram_words": max(1 << 16, flat_data.size + 1024)}
+    meta.update(metadata or {})
+    return Kernel(
+        name=name,
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        reader=_software_pq_reader(k, vbase, ibase) if software_pq else None,
+        metadata=meta,
+    )
+
+
+def euclidean_scan_kernel(
+    dataset: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+    software_pq: bool = False,
+    prequantized: bool = False,
+) -> Kernel:
+    """Exact squared-Euclidean linear scan.
+
+    ``prequantized`` skips fixed-point conversion when the caller
+    already holds safe integer data (e.g. a sweep reusing one
+    quantization for many kernels).
+    """
+    if prequantized:
+        d_int = np.asarray(dataset, dtype=np.int64)
+        q_int = np.asarray(query, dtype=np.int64).reshape(1, -1)
+        scale = 1.0
+    else:
+        d_int, q_int, scale = quantize_for_kernel(dataset, query)
+    vlen = machine.vector_length
+    body = [
+        "vsub v4, v1, v2",
+        "vmult v4, v4, v4",
+        "vadd v3, v3, v4",
+    ]
+    reduce_insert = reduce_vector_asm("v3", "s9", "s10", vlen)
+    return _scan_kernel(
+        "linear_euclidean", body, reduce_insert,
+        d_int, q_int[0], k, machine, software_pq,
+        metadata={"scale": scale, "metric": "euclidean"},
+    )
+
+
+def manhattan_scan_kernel(
+    dataset: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+    software_pq: bool = False,
+) -> Kernel:
+    """Exact Manhattan (L1) linear scan.
+
+    Lane-wise absolute value is the standard 3-op mask trick; total
+    inner-loop work is close to Euclidean's, which is why the paper
+    measures ~1x relative throughput (Table V).
+    """
+    d_int, q_int, scale = quantize_for_kernel(dataset, query)
+    vlen = machine.vector_length
+    body = [
+        "vsub v4, v1, v2",
+        *abs_vector_asm("v4", "v6"),
+        "vadd v3, v3, v4",
+    ]
+    reduce_insert = reduce_vector_asm("v3", "s9", "s10", vlen)
+    return _scan_kernel(
+        "linear_manhattan", body, reduce_insert,
+        d_int, q_int[0], k, machine, software_pq,
+        metadata={"scale": scale, "metric": "manhattan"},
+    )
+
+
+def cosine_scan_kernel(
+    dataset: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+    software_pq: bool = False,
+    frac_bits: int = 10,
+) -> Kernel:
+    """Cosine-similarity ranking scan.
+
+    Since the query norm is constant across candidates, ranking by
+    cosine equals ranking by the monotone surrogate
+    ``sign(dot) * dot^2 / ||x||^2``, which needs one software division
+    per candidate — the paper's "fixed-point division ... using shifts
+    and subtracts", and the reason cosine runs at roughly half the
+    throughput of Euclidean (Table V).
+
+    The kernel pre-shifts ``dot`` so its square fits the 32-bit
+    datapath; ``frac_bits`` sets the quotient's fractional precision.
+    """
+    d_int, q_int, scale = quantize_for_kernel(dataset, query)
+    vlen = machine.vector_length
+    dims = d_int.shape[1]
+    # |dot| <= dims * (scale*span)^2 <= 2^29 by quantization; pre-shift so
+    # the squared value fits in 31 bits.
+    span = max(
+        float(np.abs(d_int).max(initial=1)), float(np.abs(q_int).max(initial=1))
+    )
+    max_dot = dims * span * span
+    pre_shift = max(0, int(np.ceil(np.log2(max(max_dot, 1)))) - 14)
+    den_shift = min(31, 2 * pre_shift + frac_bits)
+
+    body = [
+        "vmult v4, v1, v2",
+        "vadd v3, v3, v4",      # dot accumulator
+        "vmult v6, v1, v1",
+        "vadd v5, v5, v6",      # ||x||^2 accumulator
+    ]
+    reduce_insert = [
+        *reduce_vector_asm("v3", "s9", "s10", vlen),    # s9 = dot
+        *reduce_vector_asm("v5", "s11", "s10", vlen),   # s11 = nx
+        f"sra s20, s9, {pre_shift}",
+        "mult s12, s20, s20",                             # num = (dot>>P)^2
+        f"sra s13, s11, {den_shift}",
+        "bne s13, s0, cos_den_ok",
+        "li s13, 1",
+        "cos_den_ok:",
+        *division_asm("s12", "s13", "s14", "s15", "s16", "s17", "s18", "cos"),
+        "blt s9, s0, cos_neg",
+        "sub s14, s0, s14",                                # dot >= 0: value = -quot
+        "cos_neg:",
+        "mv s9, s14",
+    ]
+    return _scan_kernel(
+        "linear_cosine", body, reduce_insert,
+        d_int, q_int[0], k, machine, software_pq,
+        metadata={
+            "scale": scale, "metric": "cosine",
+            "pre_shift": pre_shift, "den_shift": den_shift,
+        },
+    )
+
+
+def cosine_reference_values(
+    dataset_int: np.ndarray, query_int: np.ndarray, pre_shift: int, den_shift: int
+) -> np.ndarray:
+    """NumPy bit-exact model of the cosine kernel's surrogate score.
+
+    Used by the tests to validate the kernel's arithmetic
+    instruction-for-instruction.
+    """
+    d = np.asarray(dataset_int, dtype=np.int64)
+    q = np.asarray(query_int, dtype=np.int64).reshape(-1)
+    dot = d @ q
+    nx = np.einsum("ij,ij->i", d, d)
+    ds = dot >> pre_shift
+    num = ds * ds
+    den = np.maximum(nx >> den_shift, 1)
+    quot = num // den
+    return np.where(dot < 0, quot, -quot)

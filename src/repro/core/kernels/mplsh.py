@@ -1,0 +1,302 @@
+"""Hyperplane multi-probe LSH kernel.
+
+Per table: the PU computes the ``m`` hyperplane projections with the
+vector unit (hash weights stream from DRAM — the paper stores "hash
+function weights in MPLSH ... in SSAM memory since they are larger and
+experience limited reuse"), assembles the sign-bit key on the scalar
+datapath, then probes the home bucket plus ``n_probes - 1`` single-bit
+perturbations chosen by smallest ``|projection|`` (the boundary-distance
+heuristic of Lv et al.; the software index in :mod:`repro.ann.mplsh`
+implements the full multi-bit perturbation sequence — single-bit flips
+are the standard hardware simplification and match for small probe
+counts, where the cheapest perturbations are single flips).
+
+DRAM layout: hyperplanes ``(L, m, dp)``, then per table a directory of
+``2^m`` entries ``[bucket_ptr, count]``, then the bucket payloads
+(``[global_id, vec]`` entries).  Scratchpad: query, then the ``m``-entry
+|projection| array used for probe selection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ann.mplsh import MultiProbeLSH
+from repro.core.kernels.common import (
+    Kernel,
+    pad_to_multiple,
+    quantize_for_kernel,
+    reduce_vector_asm,
+)
+from repro.core.kernels.traversal import _bucket_scan_asm
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = ["mplsh_kernel", "mplsh_reference_search"]
+
+_INT_MAX = (1 << 31) - 1
+
+
+def _quantize_lsh(index: MultiProbeLSH, query: np.ndarray):
+    """Shared quantization for data, query, and hyperplanes.
+
+    Hyperplanes get their own scale: projections are dot products of a
+    data-scaled query with plane-scaled weights, so the accumulation
+    budget splits between the two scales.
+    """
+    data_int, q_int, scale = quantize_for_kernel(index.data, query, headroom_bits=4)
+    planes = index.hyperplanes  # (L, d, m)
+    span = max(float(np.abs(planes).max()), 1e-12)
+    dims = index.data.shape[1]
+    qspan = max(float(np.abs(q_int).max()), 1.0)
+    budget = 2.0 ** 29
+    pscale = budget / (dims * span * qspan)
+    pscale = float(2 ** int(np.floor(np.log2(max(min(pscale, 1024.0), 1.0)))))
+    planes_int = np.rint(planes * pscale).astype(np.int64)
+    return data_int, q_int[0], planes_int, scale, pscale
+
+
+def _build_tables(
+    index: MultiProbeLSH, data_int: np.ndarray, planes_int: np.ndarray, dp: int,
+    dram_base: int,
+) -> Tuple[np.ndarray, dict]:
+    """Build the DRAM image: hyperplanes, per-table directories, buckets.
+
+    Keys are recomputed from the *quantized* data and planes so the
+    kernel's integer sign computation agrees with the directory.
+    """
+    L, d, m = planes_int.shape
+    n = data_int.shape[0]
+    chunks: List[np.ndarray] = []
+    layout = {}
+
+    hp = np.transpose(planes_int, (0, 2, 1))  # (L, m, d)
+    hp_padded = np.zeros((L, m, dp), dtype=np.int64)
+    hp_padded[:, :, :d] = hp
+    layout["hyperplane_base"] = dram_base
+    chunks.append(hp_padded.reshape(-1))
+    cursor = dram_base + hp_padded.size
+
+    keys = np.zeros((L, n), dtype=np.int64)
+    for t in range(L):
+        proj = data_int @ planes_int[t]  # (n, m)
+        bits = (proj >= 0).astype(np.int64)
+        keys[t] = bits @ (1 << np.arange(m, dtype=np.int64))
+
+    layout["directory_bases"] = []
+    dir_entries = 1 << m
+    data_pad = data_int
+    if data_pad.shape[1] < dp:
+        data_pad = np.pad(data_pad, ((0, 0), (0, dp - data_pad.shape[1])))
+    for t in range(L):
+        directory = np.zeros((dir_entries, 2), dtype=np.int64)
+        bucket_chunks: List[np.ndarray] = []
+        bucket_cursor = cursor + directory.size
+        order = np.argsort(keys[t], kind="stable")
+        sorted_keys = keys[t][order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        groups = np.split(order, boundaries)
+        uniq = np.concatenate([sorted_keys[:1], sorted_keys[boundaries]]) if n else []
+        for rows, key in zip(groups, uniq):
+            entry = np.zeros((rows.size, dp + 1), dtype=np.int64)
+            entry[:, 0] = rows
+            entry[:, 1:] = data_pad[rows]
+            directory[int(key)] = (bucket_cursor, rows.size)
+            bucket_chunks.append(entry.reshape(-1))
+            bucket_cursor += entry.size
+        layout["directory_bases"].append(cursor)
+        chunks.append(directory.reshape(-1))
+        chunks.extend(bucket_chunks)
+        cursor = bucket_cursor
+    layout["end"] = cursor
+    return np.concatenate(chunks), layout
+
+
+def mplsh_kernel(
+    index: MultiProbeLSH,
+    query: np.ndarray,
+    k: int,
+    n_probes: int,
+    budget: int,
+    machine: MachineConfig = MachineConfig(),
+) -> Kernel:
+    """Multi-probe LSH query kernel over a built :class:`MultiProbeLSH`."""
+    if index.data is None:
+        raise ValueError("index must be built before generating a kernel")
+    if index.n_bits > 22:
+        raise ValueError(
+            "kernel directories are direct-mapped (2^m entries); use n_bits <= 22"
+        )
+    if n_probes > index.n_bits + 1:
+        raise ValueError("n_probes cannot exceed n_bits + 1 (single-bit flips)")
+    vlen = machine.vector_length
+    data_int, q_int, planes_int, scale, pscale = _quantize_lsh(index, query)
+    dp = -(-data_int.shape[1] // vlen) * vlen
+    q_pad = pad_to_multiple(q_int, vlen)
+    dram_base = machine.scratchpad_bytes // 4
+    dram_image, layout = _build_tables(index, data_int, planes_int, dp, dram_base)
+    L, _, m = planes_int.shape
+    nt = dp                      # |projection| array base in scratchpad
+    hbase = layout["hyperplane_base"]
+
+    # Directory bases differ per table; store them in scratchpad after the
+    # projection array so the kernel can index them.
+    dirs_base = nt + m
+    dir_table = np.array(layout["directory_bases"], dtype=np.int64)
+
+    lines = [
+        f"# MPLSH: L={L}, m={m}, probes={n_probes}, dp={dp}, budget={budget}",
+        f"li s3, {dp}",
+        f"li s21, {budget}",
+        f"li s19, {m}",
+        f"li s18, {n_probes}",
+        f"li s30, {L}",
+        "li s20, 0",                          # table index
+        "table_loop:",
+        f"multi s28, s20, {m * dp}",
+        f"addi s28, s28, {hbase}",            # hyperplane base for table
+        "li s16, 0",                          # base key
+        "li s24, 0",                          # bit index
+        "bit_loop:",
+        "mv s1, s28",
+        "mem_fetch 0(s1)",
+        "li s10, 0",
+        "svmove v3, s10",
+        "li s7, 0",
+        "li s6, 0",
+        "hp_inner:",
+        "vload v1, 0(s1)",
+        "vload v2, 0(s7)",
+        "vmult v4, v1, v2",
+        "vadd v3, v3, v4",
+        f"addi s1, s1, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        "blt s6, s3, hp_inner",
+        *reduce_vector_asm("v3", "s9", "s10", vlen),
+        "blt s9, s0, bit_neg",                # projection < 0: bit stays 0
+        "li s11, 1",
+        "sl s11, s11, s24",
+        "or s16, s16, s11",
+        "bit_neg:",
+        "sra s12, s9, 31",                    # |projection| for probe ranking
+        "xor s13, s9, s12",
+        "sub s13, s13, s12",
+        f"addi s14, s24, {nt}",
+        "store s13, 0(s14)",
+        "add s28, s28, s3",                   # next hyperplane row
+        "addi s24, s24, 1",
+        "blt s24, s19, bit_loop",
+        "li s25, 0",                          # probe index
+        "probe_loop:",
+        "be s25, s0, probe_home",
+        f"li s11, {_INT_MAX}",                # select smallest remaining |proj|
+        "li s12, 0",
+        "li s13, 0",
+        "find_loop:",
+        f"addi s14, s13, {nt}",
+        "load s15, 0(s14)",
+        "blt s15, s11, find_better",
+        "j find_next",
+        "find_better:",
+        "mv s11, s15",
+        "mv s12, s13",
+        "find_next:",
+        "addi s13, s13, 1",
+        "blt s13, s19, find_loop",
+        f"addi s14, s12, {nt}",               # mark chosen bit as used
+        f"li s15, {_INT_MAX}",
+        "store s15, 0(s14)",
+        "li s15, 1",
+        "sl s15, s15, s12",
+        "xor s17, s16, s15",                  # flip one bit off the base key
+        "j probe_lookup",
+        "probe_home:",
+        "mv s17, s16",
+        "probe_lookup:",
+        f"addi s14, s20, {dirs_base}",        # directory base for this table
+        "load s14, 0(s14)",
+        "multi s15, s17, 2",
+        "add s14, s14, s15",
+        "load s1, 0(s14)",                    # bucket pointer
+        "load s2, 1(s14)",                    # bucket count
+        "be s1, s0, probe_empty",
+        "mem_fetch 0(s1)",
+        *_bucket_scan_asm(vlen, "lsh", "lsh_done"),
+        "probe_empty:",
+        "addi s25, s25, 1",
+        "blt s25, s18, probe_loop",
+        "addi s20, s20, 1",
+        "blt s20, s30, table_loop",
+        "lsh_done:",
+        "halt",
+    ]
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, q_pad)
+        sim.load_scratchpad(dirs_base, dir_table)
+        sim.load_dram(dram_base, dram_image)
+
+    return Kernel(
+        name="mplsh_query",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata={
+            "scale": scale, "plane_scale": pscale, "dims_padded": dp,
+            "n_probes": n_probes, "budget": budget,
+            "bytes_per_candidate": (dp + 1) * 4,
+            "dram_words": int(layout["end"] - dram_base) + 1024,
+        },
+    )
+
+
+def mplsh_reference_search(
+    index: MultiProbeLSH, query: np.ndarray, k: int, n_probes: int, budget: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Python mirror of the kernel's probing order and arithmetic."""
+    data_int, q_int, planes_int, scale, pscale = _quantize_lsh(index, query)
+    L, d, m = planes_int.shape
+    n = data_int.shape[0]
+    results: List[Tuple[int, int]] = []
+    remaining = budget
+
+    # Per-table key tables from quantized data (same as _build_tables).
+    weights = 1 << np.arange(m, dtype=np.int64)
+    done = False
+    for t in range(L):
+        proj_data = data_int @ planes_int[t]
+        keys = ((proj_data >= 0).astype(np.int64) @ weights)
+        buckets: dict = {}
+        for i in range(n):
+            buckets.setdefault(int(keys[i]), []).append(i)
+        proj_q = q_int @ planes_int[t]
+        base_key = int(((proj_q >= 0).astype(np.int64) @ weights))
+        penalties = np.abs(proj_q).astype(np.int64)
+        flip_order = []
+        pen = penalties.copy()
+        for _ in range(max(0, n_probes - 1)):
+            b = int(np.argmin(pen))
+            flip_order.append(b)
+            pen[b] = _INT_MAX
+        probe_keys = [base_key] + [base_key ^ (1 << b) for b in flip_order]
+        for key in probe_keys:
+            for r in buckets.get(key, []):
+                diff = data_int[r] - q_int
+                results.append((int(r), int(np.dot(diff, diff))))
+                remaining -= 1
+                if remaining == 0:
+                    done = True
+                    break
+            if done:
+                break
+        if done:
+            break
+    results.sort(key=lambda t: t[1])
+    top = results[:k]
+    return (
+        np.array([t[0] for t in top], dtype=np.int64),
+        np.array([t[1] for t in top], dtype=np.int64),
+    )

@@ -1,0 +1,144 @@
+"""Product-quantization ADC scan kernel.
+
+Per query, the host writes the ``(m, 256)`` ADC distance tables into
+the scratchpad (8 KB at m=8 — the "frequently accessed data structures"
+the scratchpad exists for) and the PU streams byte codes from the
+vault: one 32-bit word carries four subspace codes, unpacked with
+shifts, each indexing one scalar table lookup.  The whole candidate
+costs ~6 scalar instructions per subspace and streams m bytes instead
+of 4*d — the compressed-domain scan that pairs naturally with SSAM's
+scratchpad + streaming design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ann.pq import ProductQuantizer
+from repro.core.kernels.common import Kernel
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = ["pq_adc_scan_kernel", "quantize_tables"]
+
+
+def quantize_tables(tables: np.ndarray, frac_bits: int = 8) -> np.ndarray:
+    """Fixed-point quantization of ADC tables, overflow-safe for the sum.
+
+    ``sum over m entries < 2^31`` must hold; the scale is capped
+    accordingly.
+    """
+    t = np.asarray(tables, dtype=np.float64)
+    m = t.shape[0]
+    peak = float(t.max(initial=0.0))
+    scale = float(1 << frac_bits)
+    if peak > 0:
+        limit = (2.0**30) / (m * peak)
+        while scale > limit and scale > 1.0:
+            scale /= 2.0
+    return np.rint(t * scale).astype(np.int64)
+
+
+def pack_codes(codes: np.ndarray) -> np.ndarray:
+    """Pack (n, m) uint8 codes into (n, ceil(m/4)) little-endian words."""
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    n, m = codes.shape
+    wp = -(-m // 4)
+    padded = np.zeros((n, wp * 4), dtype=np.int64)
+    padded[:, :m] = codes
+    shifts = np.array([0, 8, 16, 24], dtype=np.int64)
+    return (padded.reshape(n, wp, 4) << shifts[None, None, :]).sum(axis=2)
+
+
+def pq_adc_scan_kernel(
+    pq: ProductQuantizer,
+    codes: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+    frac_bits: int = 8,
+) -> Kernel:
+    """Exhaustive ADC scan over PQ codes on one PU.
+
+    ``codes`` is the ``(n, m)`` uint8 code matrix from
+    :meth:`ProductQuantizer.encode`; ``query`` the raw float query.
+    Results: hardware priority queue holds the k smallest quantized ADC
+    distances with candidate ids.
+    """
+    if pq.codebooks is None:
+        raise ValueError("quantizer must be fit before generating a kernel")
+    if pq.n_centroids > 256:
+        raise ValueError("codes must fit one byte")
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    n, m = codes.shape
+    if m != pq.n_subspaces:
+        raise ValueError("code width does not match the quantizer")
+    if k > machine.pq_depth * machine.pq_chained:
+        raise ValueError("k exceeds hardware priority queue depth")
+
+    tables_int = quantize_tables(pq.distance_tables(query), frac_bits)
+    table_stride = pq.n_centroids
+    tb = 0                                  # tables at scratchpad base
+    dram_base = machine.scratchpad_bytes // 4
+    packed = pack_codes(codes)
+    words_per_code = packed.shape[1]
+
+    lines: List[str] = [
+        f"# PQ ADC scan: n={n}, m={m}, k(table)={table_stride}",
+        f"li s1, {dram_base}",
+        f"li s2, {n}",
+        f"li s19, {m}",
+        "li s5, 0",
+        "outer:",
+        "mem_fetch 0(s1)",
+        "li s9, 0",                          # distance accumulator
+        "li s6, 0",                          # subspace index j
+        "li s11, 0",                         # current packed word
+        "pq_sub:",
+        "andi s10, s6, 3",
+        "bne s10, s0, pq_noload",
+        "load s11, 0(s1)",                   # next 4 codes
+        "addi s1, s1, 1",
+        "pq_noload:",
+        "andi s12, s11, 255",                # extract one byte code
+        "sr s11, s11, 8",
+        f"multi s13, s6, {table_stride}",    # &tables[j][code]
+        "add s13, s13, s12",
+        f"addi s13, s13, {tb}",
+        "load s14, 0(s13)",                  # scratchpad table lookup
+        "add s9, s9, s14",
+        "addi s6, s6, 1",
+        "blt s6, s19, pq_sub",
+        "pqueue_insert s5, s9",
+        "addi s5, s5, 1",
+        "blt s5, s2, outer",
+        "halt",
+    ]
+
+    flat_codes = packed.reshape(-1)
+    flat_tables = tables_int.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(tb, flat_tables)
+        sim.load_dram(sim.dram_base, flat_codes)
+
+    return Kernel(
+        name="pq_adc_scan",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata={
+            "n": n, "m": m, "bytes_per_candidate": words_per_code * 4,
+            "frac_bits": frac_bits, "tables_int": tables_int,
+            "dram_words": max(1 << 16, flat_codes.size + 1024),
+        },
+    )
+
+
+def adc_reference_values(tables_int: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Bit-exact NumPy mirror of the kernel's quantized accumulation."""
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+    cols = np.arange(codes.shape[1])
+    return tables_int[cols[None, :], codes].sum(axis=1)

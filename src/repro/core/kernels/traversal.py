@@ -1,0 +1,471 @@
+"""Index-traversal kernels: kd-tree and hierarchical k-means tree.
+
+These kernels exercise the parts of the PU the linear scans do not: the
+scalar datapath walks the index (scratchpad-resident node records), the
+**hardware stack** holds the backtracking frontier (the paper's "natural
+choice to facilitate backtracking when traversing hierarchical index
+structures"), and leaf buckets are streamed from DRAM through the same
+vector distance loop as the linear kernels.
+
+Traversal order is depth-first with a candidate budget (the paper's
+"user-specified bound [on] the number of additional buckets visited
+when backtracking").  Python reference implementations with identical
+ordering (``kdtree_reference_search`` / ``kmeans_reference_search``) let
+the tests check the kernels bit-for-bit.
+
+Data layout
+-----------
+Scratchpad: query at word 0, then 4-word node records.
+
+- kd-tree node: ``[split_dim, split_val, left, right]``; leaves use
+  ``[-1, 0, bucket_ptr, count]`` (bucket_ptr is a DRAM word address).
+- k-means node: ``[is_leaf, n_children | count, first_child | bucket_ptr,
+  centroid_ptr]``; children of a node are renumbered to be consecutive,
+  and its child centroids sit contiguously in DRAM.
+
+DRAM buckets hold ``[global_id, vec[0..dp-1]]`` entries back to back, so
+a bucket scan is one contiguous stream — the access pattern the vault
+prefetcher (and the paper) assume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ann.kdtree import RandomizedKDForest, _FlatTree
+from repro.ann.kmeans_tree import HierarchicalKMeansTree
+from repro.core.kernels.common import (
+    Kernel,
+    pad_to_multiple,
+    quantize_for_kernel,
+    reduce_vector_asm,
+)
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = [
+    "kdtree_kernel",
+    "kdtree_reference_search",
+    "kmeans_tree_kernel",
+    "kmeans_reference_search",
+]
+
+_INT_MAX = (1 << 31) - 1
+
+
+def _bucket_scan_asm(vlen: int, prefix: str, done_label: str) -> List[str]:
+    """Scan ``s2`` bucket entries at DRAM pointer ``s1``.
+
+    Each entry is ``[id, vec(dp words)]``; distances accumulate in v3
+    and go into the hardware priority queue.  Decrements the budget in
+    ``s21`` and jumps to ``done_label`` when it hits zero.
+    """
+    return [
+        f"{prefix}_bucket_loop:",
+        f"be s2, s0, {prefix}_bucket_done",
+        "load s5, 0(s1)",            # global id
+        "addi s1, s1, 1",
+        "li s10, 0",
+        "svmove v3, s10",
+        "li s7, 0",
+        "li s6, 0",
+        f"{prefix}_inner:",
+        "vload v1, 0(s1)",
+        "vload v2, 0(s7)",
+        "vsub v4, v1, v2",
+        "vmult v4, v4, v4",
+        "vadd v3, v3, v4",
+        f"addi s1, s1, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        f"blt s6, s3, {prefix}_inner",
+        *reduce_vector_asm("v3", "s9", "s10", vlen),
+        "pqueue_insert s5, s9",
+        "subi s2, s2, 1",
+        "subi s21, s21, 1",
+        f"be s21, s0, {done_label}",
+        f"j {prefix}_bucket_loop",
+        f"{prefix}_bucket_done:",
+    ]
+
+
+# --------------------------------------------------------------------- kd-tree
+def _flatten_kd_layout(
+    tree: _FlatTree, data_int: np.ndarray, dp: int, scale: float, dram_base: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the scratchpad node table and DRAM bucket image for a kd-tree."""
+    n_nodes = tree.n_nodes
+    nodes = np.zeros((n_nodes, 4), dtype=np.int64)
+    bucket_words: List[np.ndarray] = []
+    cursor = dram_base
+    for i in range(n_nodes):
+        if tree.split_dim[i] != -1:
+            nodes[i] = (
+                tree.split_dim[i],
+                int(np.rint(tree.split_val[i] * scale)),
+                tree.left[i],
+                tree.right[i],
+            )
+        else:
+            rows = tree.perm[tree.leaf_start[i]:tree.leaf_end[i]]
+            count = rows.size
+            entry = np.zeros((count, dp + 1), dtype=np.int64)
+            entry[:, 0] = rows
+            entry[:, 1:] = data_int[rows]
+            nodes[i] = (-1, 0, cursor, count)
+            bucket_words.append(entry.reshape(-1))
+            cursor += count * (dp + 1)
+    dram_image = (
+        np.concatenate(bucket_words) if bucket_words else np.empty(0, dtype=np.int64)
+    )
+    return nodes, dram_image
+
+
+def kdtree_kernel(
+    forest: RandomizedKDForest,
+    query: np.ndarray,
+    k: int,
+    budget: int,
+    machine: MachineConfig = MachineConfig(),
+    tree_index: int = 0,
+) -> Kernel:
+    """Depth-first kd-tree search with hardware-stack backtracking.
+
+    ``budget`` bounds the number of candidates whose distance is
+    computed (the paper's check bound).  Uses one tree of the forest;
+    in a full deployment each PU walks a different tree in parallel.
+    """
+    if forest.data is None:
+        raise ValueError("forest must be built before generating a kernel")
+    tree = forest.trees[tree_index]
+    vlen = machine.vector_length
+    data_int, q_int, scale = quantize_for_kernel(forest.data, query)
+    data_int = pad_to_multiple(data_int, vlen, axis=1)
+    q_pad = pad_to_multiple(q_int[0], vlen)
+    dp = data_int.shape[1]
+    dram_base = machine.scratchpad_bytes // 4
+    nodes, dram_image = _flatten_kd_layout(tree, data_int, dp, scale, dram_base)
+    nt = dp  # node table scratchpad base
+
+    lines = [
+        f"# kd-tree DFS: nodes={nodes.shape[0]}, dp={dp}, budget={budget}",
+        f"li s3, {dp}",
+        f"li s21, {budget}",
+        "li s22, 0",                  # stack depth (software mirror)
+        f"li s20, {nt}",              # current node address = root
+        "descend:",
+        "load s10, 0(s20)",           # split_dim
+        "blt s10, s0, leaf",
+        "load s11, 1(s20)",           # split_val
+        "load s12, 2(s20)",           # left child index
+        "load s13, 3(s20)",           # right child index
+        "load s14, 0(s10)",           # query[dim] (query at scratchpad 0)
+        "blt s14, s11, go_left",
+        "multi s15, s12, 4",          # far = left
+        f"addi s15, s15, {nt}",
+        "push s15",
+        "addi s22, s22, 1",
+        "multi s20, s13, 4",          # near = right
+        f"addi s20, s20, {nt}",
+        "j descend",
+        "go_left:",
+        "multi s15, s13, 4",          # far = right
+        f"addi s15, s15, {nt}",
+        "push s15",
+        "addi s22, s22, 1",
+        "multi s20, s12, 4",          # near = left
+        f"addi s20, s20, {nt}",
+        "j descend",
+        "leaf:",
+        "load s1, 2(s20)",            # bucket DRAM pointer
+        "load s2, 3(s20)",            # bucket count
+        "mem_fetch 0(s1)",
+        *_bucket_scan_asm(vlen, "kd", "done"),
+        "be s22, s0, done",           # frontier exhausted
+        "pop s20",
+        "subi s22, s22, 1",
+        "j descend",
+        "done:",
+        "halt",
+    ]
+
+    node_words = nodes.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, q_pad)
+        sim.load_scratchpad(nt, node_words)
+        if dram_image.size:
+            sim.load_dram(dram_base, dram_image)
+
+    return Kernel(
+        name="kdtree_traversal",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata={
+            "scale": scale, "dims_padded": dp, "budget": budget,
+            "bytes_per_candidate": (dp + 1) * 4,
+            "dram_words": max(1 << 16, int(dram_image.size) + 1024),
+            "stack_depth_needed": None,
+        },
+    )
+
+
+def kdtree_reference_search(
+    forest: RandomizedKDForest,
+    query: np.ndarray,
+    k: int,
+    budget: int,
+    tree_index: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Python mirror of :func:`kdtree_kernel`'s exact traversal order.
+
+    Same quantization, same DFS order, same budget semantics; returns
+    ``(ids, int_distances)`` sorted ascending, for bit-exact kernel
+    validation.
+    """
+    tree = forest.trees[tree_index]
+    data_int, q_int, scale = quantize_for_kernel(forest.data, query)
+    q = q_int[0]
+    results: List[Tuple[int, int]] = []
+    remaining = budget
+    stack: List[int] = []
+    node = 0
+    while True:
+        while tree.split_dim[node] != -1:
+            dim = tree.split_dim[node]
+            val = int(np.rint(tree.split_val[node] * scale))
+            if q[dim] < val:
+                stack.append(int(tree.right[node]))
+                node = int(tree.left[node])
+            else:
+                stack.append(int(tree.left[node]))
+                node = int(tree.right[node])
+        rows = tree.perm[tree.leaf_start[node]:tree.leaf_end[node]]
+        for r in rows:
+            diff = data_int[r] - q
+            results.append((int(r), int(np.dot(diff, diff))))
+            remaining -= 1
+            if remaining == 0:
+                break
+        if remaining == 0 or not stack:
+            break
+        node = stack.pop()
+    results.sort(key=lambda t: t[1])
+    top = results[:k]
+    return (
+        np.array([t[0] for t in top], dtype=np.int64),
+        np.array([t[1] for t in top], dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------- k-means tree
+def _flatten_kmeans_layout(
+    index: HierarchicalKMeansTree, data_int: np.ndarray, dp: int, scale: float,
+    dram_base: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Renumber the k-means tree so children are consecutive; build images.
+
+    Returns ``(node_table, dram_image)``.  DRAM holds, per interior
+    node, its child centroids (quantized, padded) back to back, then all
+    leaf buckets.
+    """
+    # BFS renumbering with consecutive children.
+    order: List[int] = [0]
+    new_id = {0: 0}
+    queue = [0]
+    while queue:
+        old = queue.pop(0)
+        for child in index.nodes[old].children:
+            new_id[child] = len(order)
+            order.append(child)
+            queue.append(child)
+
+    n_nodes = len(order)
+    nodes = np.zeros((n_nodes, 4), dtype=np.int64)
+    dram_chunks: List[np.ndarray] = []
+    cursor = dram_base
+    for new, old in enumerate(order):
+        nd = index.nodes[old]
+        if nd.is_leaf:
+            rows = nd.bucket
+            entry = np.zeros((rows.size, dp + 1), dtype=np.int64)
+            entry[:, 0] = rows
+            entry[:, 1:] = data_int[rows]
+            nodes[new] = (1, rows.size, cursor, 0)
+            dram_chunks.append(entry.reshape(-1))
+            cursor += entry.size
+        else:
+            cents = np.rint(nd.centroids * scale).astype(np.int64)
+            if cents.shape[1] < dp:
+                cents = np.pad(cents, ((0, 0), (0, dp - cents.shape[1])))
+            first_child = new_id[nd.children[0]]
+            nodes[new] = (0, len(nd.children), first_child, cursor)
+            dram_chunks.append(cents.reshape(-1))
+            cursor += cents.size
+    dram_image = (
+        np.concatenate(dram_chunks) if dram_chunks else np.empty(0, dtype=np.int64)
+    )
+    return nodes, dram_image
+
+
+def kmeans_tree_kernel(
+    index: HierarchicalKMeansTree,
+    query: np.ndarray,
+    k: int,
+    budget: int,
+    machine: MachineConfig = MachineConfig(),
+) -> Kernel:
+    """DFS k-means-tree search: nearest-centroid descent + stack backtrack.
+
+    At each interior node the kernel streams the child centroids from
+    DRAM (the paper stores centroids in SSAM memory: "larger and
+    experience limited reuse"), descends into the nearest, and pushes
+    the others onto the hardware stack.
+    """
+    if index.data is None:
+        raise ValueError("index must be built before generating a kernel")
+    vlen = machine.vector_length
+    data_int, q_int, scale = quantize_for_kernel(index.data, query)
+    data_int = pad_to_multiple(data_int, vlen, axis=1)
+    q_pad = pad_to_multiple(q_int[0], vlen)
+    dp = data_int.shape[1]
+    dram_base = machine.scratchpad_bytes // 4
+    nodes, dram_image = _flatten_kmeans_layout(index, data_int, dp, scale, dram_base)
+    nt = dp
+
+    lines = [
+        f"# k-means tree DFS: nodes={nodes.shape[0]}, dp={dp}, budget={budget}",
+        f"li s3, {dp}",
+        f"li s21, {budget}",
+        "li s22, 0",
+        f"li s20, {nt}",
+        "knode:",
+        "load s10, 0(s20)",          # is_leaf
+        "bne s10, s0, kleaf",
+        "load s23, 1(s20)",          # n_children
+        "load s28, 2(s20)",          # first child (new numbering)
+        "load s27, 3(s20)",          # centroid DRAM base
+        "li s24, 0",                  # child cursor
+        "li s25, 0",                  # best child
+        f"li s26, {_INT_MAX}",        # best distance
+        "cent_loop:",
+        f"multi s1, s24, {dp}",
+        "add s1, s1, s27",
+        "mem_fetch 0(s1)",
+        "li s10, 0",
+        "svmove v3, s10",
+        "li s7, 0",
+        "li s6, 0",
+        "cent_inner:",
+        "vload v1, 0(s1)",
+        "vload v2, 0(s7)",
+        "vsub v4, v1, v2",
+        "vmult v4, v4, v4",
+        "vadd v3, v3, v4",
+        f"addi s1, s1, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        "blt s6, s3, cent_inner",
+        *reduce_vector_asm("v3", "s9", "s10", vlen),
+        "blt s9, s26, cent_better",
+        "j cent_next",
+        "cent_better:",
+        "mv s26, s9",
+        "mv s25, s24",
+        "cent_next:",
+        "addi s24, s24, 1",
+        "blt s24, s23, cent_loop",
+        "li s24, 0",                  # pass 2: push non-best children
+        "push_loop:",
+        "be s24, s25, push_skip",
+        "add s29, s28, s24",
+        "multi s29, s29, 4",
+        f"addi s29, s29, {nt}",
+        "push s29",
+        "addi s22, s22, 1",
+        "push_skip:",
+        "addi s24, s24, 1",
+        "blt s24, s23, push_loop",
+        "add s29, s28, s25",          # descend into best child
+        "multi s29, s29, 4",
+        f"addi s29, s29, {nt}",
+        "mv s20, s29",
+        "j knode",
+        "kleaf:",
+        "load s2, 1(s20)",            # count
+        "load s1, 2(s20)",            # bucket pointer
+        "mem_fetch 0(s1)",
+        *_bucket_scan_asm(vlen, "km", "kdone"),
+        "be s22, s0, kdone",
+        "pop s20",
+        "subi s22, s22, 1",
+        "j knode",
+        "kdone:",
+        "halt",
+    ]
+
+    node_words = nodes.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, q_pad)
+        sim.load_scratchpad(nt, node_words)
+        if dram_image.size:
+            sim.load_dram(dram_base, dram_image)
+
+    return Kernel(
+        name="kmeans_traversal",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata={
+            "scale": scale, "dims_padded": dp, "budget": budget,
+            "bytes_per_candidate": (dp + 1) * 4,
+            "dram_words": max(1 << 16, int(dram_image.size) + 1024),
+        },
+    )
+
+
+def kmeans_reference_search(
+    index: HierarchicalKMeansTree, query: np.ndarray, k: int, budget: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Python mirror of :func:`kmeans_tree_kernel`'s traversal order."""
+    data_int, q_int, scale = quantize_for_kernel(index.data, query)
+    q = q_int[0]
+    results: List[Tuple[int, int]] = []
+    remaining = budget
+    stack: List[int] = []
+    node_id = 0
+    while True:
+        nd = index.nodes[node_id]
+        while not nd.is_leaf:
+            cents = np.rint(nd.centroids * scale).astype(np.int64)
+            if cents.shape[1] < q.size:
+                cents = np.pad(cents, ((0, 0), (0, q.size - cents.shape[1])))
+            diffs = cents - q
+            d2 = np.einsum("ij,ij->i", diffs, diffs)
+            # Kernel keeps the first strict minimum (blt), matching argmin.
+            best = int(np.argmin(d2))
+            for c in range(len(nd.children)):
+                if c != best:
+                    stack.append(nd.children[c])
+            node_id = nd.children[best]
+            nd = index.nodes[node_id]
+        for r in nd.bucket:
+            diff = data_int[r] - q
+            results.append((int(r), int(np.dot(diff, diff))))
+            remaining -= 1
+            if remaining == 0:
+                break
+        if remaining == 0 or not stack:
+            break
+        node_id = stack.pop()
+    results.sort(key=lambda t: t[1])
+    top = results[:k]
+    return (
+        np.array([t[0] for t in top], dtype=np.int64),
+        np.array([t[1] for t in top], dtype=np.int64),
+    )

@@ -1,0 +1,206 @@
+"""A functional SSAM memory module: accelerators over HMC vaults.
+
+:class:`SSAMModule` is the device the host driver talks to (paper
+Fig. 3/5): a dataset distributed across the HMC's vaults, one group of
+processing units per vault, and a query broadcast that runs the real
+ISA kernels on every vault's partition.  The host performs the final
+global top-k reduction across vault results — exactly the paper's
+"the host processor broadcasts the search across SSAM processing units
+and performs the final set of global top-k reductions".
+
+For paper-scale datasets, running cycle simulations for every vault is
+unnecessary; the module exposes the analytic path through
+:class:`repro.core.accelerator.SSAMPerformanceModel` for that, while
+this functional path proves end-to-end correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SSAMConfig
+from repro.core.kernels.common import Kernel, quantize_for_kernel
+from repro.core.kernels.hamming import hamming_scan_kernel
+from repro.core.kernels.linear import (
+    cosine_scan_kernel,
+    euclidean_scan_kernel,
+    manhattan_scan_kernel,
+)
+from repro.isa.simulator import RunStats
+
+__all__ = ["SSAMModule", "VaultQueryResult", "ModuleQueryResult"]
+
+
+@dataclass
+class VaultQueryResult:
+    """One vault's partial top-k plus the cycle cost of producing it."""
+
+    vault: int
+    ids: np.ndarray            # global database ids
+    values: np.ndarray
+    stats: RunStats
+
+
+@dataclass
+class ModuleQueryResult:
+    """The module's merged answer to one query."""
+
+    ids: np.ndarray
+    values: np.ndarray
+    vault_results: List[VaultQueryResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        """Query latency in cycles: the slowest vault (vaults run in parallel)."""
+        return max((v.stats.cycles for v in self.vault_results), default=0)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(v.stats.dram_bytes_read for v in self.vault_results)
+
+
+_KERNELS: Dict[str, Callable] = {
+    "euclidean": euclidean_scan_kernel,
+    "manhattan": manhattan_scan_kernel,
+    "cosine": cosine_scan_kernel,
+}
+
+
+class SSAMModule:
+    """A functional SSAM module over ``config.n_vaults`` vault partitions.
+
+    Parameters
+    ----------
+    config:
+        The design point; ``n_vaults`` controls the partitioning.
+        Functional tests typically use a reduced vault count so the
+        cycle simulations stay fast.
+    """
+
+    def __init__(self, config: Optional[SSAMConfig] = None):
+        self.config = config or SSAMConfig.design(4)
+        self._partitions: List[np.ndarray] = []     # global ids per vault
+        self._data_int: Optional[np.ndarray] = None
+        self._codes: Optional[np.ndarray] = None
+        self._scale: float = 1.0
+        self.accelerator_enabled = True
+
+    # ------------------------------------------------------------------ loading
+    def load_dataset(self, data: np.ndarray) -> None:
+        """Quantize and distribute a float dataset across vaults.
+
+        Rows are block-partitioned (contiguous slabs per vault), which
+        keeps each vault's scan fully sequential — the access pattern
+        the stream prefetcher and the paper both assume.
+        """
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        # Quantization must be shared across vaults (and with queries), so
+        # it happens once here; per-query requantization would let two
+        # vaults disagree about distances.
+        self._data_int, _, self._scale = quantize_for_kernel(arr, arr[:1])
+        self._codes = None
+        n = arr.shape[0]
+        bounds = np.linspace(0, n, self.config.n_vaults + 1).astype(np.int64)
+        self._partitions = [
+            np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+            for i in range(self.config.n_vaults)
+        ]
+
+    def load_codes(self, codes: np.ndarray) -> None:
+        """Distribute packed Hamming codes (uint32 ``(n, w)``) across vaults."""
+        arr = np.asarray(codes)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("codes must be a non-empty (n, w) array")
+        self._codes = arr
+        self._data_int = None
+        n = arr.shape[0]
+        bounds = np.linspace(0, n, self.config.n_vaults + 1).astype(np.int64)
+        self._partitions = [
+            np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+            for i in range(self.config.n_vaults)
+        ]
+
+    @property
+    def n_rows(self) -> int:
+        if self._data_int is not None:
+            return self._data_int.shape[0]
+        if self._codes is not None:
+            return self._codes.shape[0]
+        return 0
+
+    def bytes_loaded(self) -> int:
+        if self._data_int is not None:
+            return self._data_int.shape[0] * self._data_int.shape[1] * 4
+        if self._codes is not None:
+            return self._codes.shape[0] * self._codes.shape[1] * 4
+        return 0
+
+    # ------------------------------------------------------------------ querying
+    def query(self, query: np.ndarray, k: int, metric: str = "euclidean") -> ModuleQueryResult:
+        """Broadcast one query to every vault and merge the partial top-k.
+
+        Runs the real assembly kernel per vault on the ISA simulator;
+        the merge mirrors what the host does over the external links.
+        """
+        if not self.accelerator_enabled:
+            raise RuntimeError(
+                "accelerator logic is disabled; module is acting as plain memory"
+            )
+        if not self._partitions:
+            raise RuntimeError("load_dataset()/load_codes() before query()")
+        vault_results: List[VaultQueryResult] = []
+        if metric == "hamming":
+            if self._codes is None:
+                raise RuntimeError("hamming queries require load_codes()")
+            q_code = np.asarray(query).reshape(-1)
+            for vault, part in enumerate(self._partitions):
+                if part.size == 0:
+                    continue
+                kern = hamming_scan_kernel(
+                    self._codes[part], q_code, min(k, part.size), self.config.machine
+                )
+                res = kern.run()
+                vault_results.append(
+                    VaultQueryResult(vault, part[res.ids], res.values, res.stats)
+                )
+        else:
+            if self._data_int is None:
+                raise RuntimeError(f"{metric} queries require load_dataset()")
+            if metric not in _KERNELS:
+                raise ValueError(f"unsupported metric {metric!r}; valid: {sorted(_KERNELS)} + ['hamming']")
+            q_int = np.rint(np.asarray(query, dtype=np.float64) * self._scale).astype(np.int64)
+            for vault, part in enumerate(self._partitions):
+                if part.size == 0:
+                    continue
+                kern = _KERNELS[metric](
+                    self._data_int[part], q_int, min(k, part.size),
+                    self.config.machine, prequantized=True,
+                ) if metric == "euclidean" else _KERNELS[metric](
+                    self._data_int[part] / self._scale, q_int / self._scale,
+                    min(k, part.size), self.config.machine,
+                )
+                res = kern.run()
+                vault_results.append(
+                    VaultQueryResult(vault, part[res.ids], res.values, res.stats)
+                )
+
+        # Host-side global top-k reduction over the vault partials.
+        all_ids = np.concatenate([v.ids for v in vault_results])
+        all_vals = np.concatenate([v.values for v in vault_results])
+        order = np.argsort(all_vals, kind="stable")[:k]
+        return ModuleQueryResult(
+            ids=all_ids[order], values=all_vals[order], vault_results=vault_results
+        )
+
+    # ------------------------------------------------------------------ control
+    def disable_accelerator(self) -> None:
+        """Bypass acceleration logic (module acts as a standard memory)."""
+        self.accelerator_enabled = False
+
+    def enable_accelerator(self) -> None:
+        self.accelerator_enabled = True

@@ -1,0 +1,147 @@
+"""SSAM accelerator power model (paper Table III).
+
+The paper synthesizes the accelerator in a TSMC 65 nm process, measures
+module-level power with PrimeTime using activity traces from real
+datasets, and linearly normalizes to 28 nm.  Table III reports total
+accelerator power, broken down by module, for the four design points.
+
+Those published numbers are our calibrated ground truth (we cannot run
+PrimeTime from Python); :data:`PAPER_POWER_TABLE` records them exactly.
+:class:`AcceleratorPowerModel` wraps the table and adds a *structural*
+scaling model — each component is decomposed into a fixed part and a
+per-vector-lane part, least-squares fitted to the table — so power can
+be estimated for design points the paper did not synthesize, and so the
+tests can check the structural fit stays faithful to the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["PAPER_POWER_TABLE", "AcceleratorPowerModel", "COMPONENTS"]
+
+#: Module breakdown columns, in the paper's order.
+COMPONENTS: List[str] = [
+    "priority_queue",
+    "stack_unit",
+    "alus",
+    "scratchpad",
+    "register_files",
+    "instruction_memory",
+    "pipeline_control",
+]
+
+#: Paper Table III — accelerator power in watts by module, per design
+#: point (normalized to 28 nm).  Keys are vector lengths.
+PAPER_POWER_TABLE: Dict[int, Dict[str, float]] = {
+    2: {
+        "priority_queue": 1.63, "stack_unit": 1.02, "alus": 0.33,
+        "scratchpad": 1.92, "register_files": 2.52,
+        "instruction_memory": 0.45, "pipeline_control": 2.28,
+    },
+    4: {
+        "priority_queue": 1.56, "stack_unit": 1.00, "alus": 0.32,
+        "scratchpad": 2.16, "register_files": 3.24,
+        "instruction_memory": 0.44, "pipeline_control": 2.82,
+    },
+    8: {
+        "priority_queue": 1.42, "stack_unit": 1.02, "alus": 0.32,
+        "scratchpad": 2.58, "register_files": 4.68,
+        "instruction_memory": 0.44, "pipeline_control": 4.28,
+    },
+    16: {
+        "priority_queue": 1.45, "stack_unit": 0.84, "alus": 0.51,
+        "scratchpad": 3.80, "register_files": 6.97,
+        "instruction_memory": 0.41, "pipeline_control": 7.09,
+    },
+}
+
+#: The paper's published "Total" column.  Curiously these equal the
+#: component sum *minus the priority queue* for every design point
+#: (e.g. SSAM-2: components sum to 10.15 W, published total is 8.52 W,
+#: difference 1.63 W = the PQ row) — presumably the total was taken
+#: with the chainable queue power-gated.  We keep the published totals
+#: as the energy model's ground truth and expose both.
+PAPER_TOTAL_POWER: Dict[int, float] = {2: 8.52, 4: 9.98, 8: 13.32, 16: 19.62}
+
+
+def _fit_linear(xs: List[float], ys: List[float]) -> tuple:
+    """Ordinary least squares fit y = a + b*x (tiny, dependency-free)."""
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0.0:
+        return my, 0.0
+    b = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+    return my - b * mx, b
+
+
+@dataclass(frozen=True)
+class _ComponentFit:
+    fixed: float
+    per_lane: float
+
+    def at(self, vlen: int) -> float:
+        return max(0.0, self.fixed + self.per_lane * vlen)
+
+
+class AcceleratorPowerModel:
+    """Per-module power for an SSAM design point, in watts.
+
+    For the paper's design points (vector length 2/4/8/16), returns the
+    published Table III values exactly.  Other vector lengths use the
+    structural fit (fixed + per-lane watts per component).
+    """
+
+    def __init__(self):
+        vlens = sorted(PAPER_POWER_TABLE)
+        self._fits: Dict[str, _ComponentFit] = {}
+        for comp in COMPONENTS:
+            a, b = _fit_linear(
+                [float(v) for v in vlens],
+                [PAPER_POWER_TABLE[v][comp] for v in vlens],
+            )
+            self._fits[comp] = _ComponentFit(a, b)
+
+    def component_power(self, vector_length: int) -> Dict[str, float]:
+        """Power (W) per module for the given vector length."""
+        if vector_length in PAPER_POWER_TABLE:
+            return dict(PAPER_POWER_TABLE[vector_length])
+        if vector_length <= 0:
+            raise ValueError("vector_length must be positive")
+        return {c: self._fits[c].at(vector_length) for c in COMPONENTS}
+
+    def structural_power(self, vector_length: int) -> Dict[str, float]:
+        """The structural fit even at table design points (for validation)."""
+        return {c: self._fits[c].at(vector_length) for c in COMPONENTS}
+
+    def total_power(self, vector_length: int) -> float:
+        """Total accelerator power in watts.
+
+        For the paper's design points this is the published Table III
+        total (which excludes the priority queue; see
+        :data:`PAPER_TOTAL_POWER`); elsewhere the analogous structural
+        sum without the PQ component.
+        """
+        if vector_length in PAPER_TOTAL_POWER:
+            return PAPER_TOTAL_POWER[vector_length]
+        comps = self.component_power(vector_length)
+        return sum(p for c, p in comps.items() if c != "priority_queue")
+
+    def component_sum(self, vector_length: int) -> float:
+        """Sum over all modules including the priority queue."""
+        return sum(self.component_power(vector_length).values())
+
+    def table_rows(self) -> List[dict]:
+        """Rows formatted like paper Table III (one per design point)."""
+        rows = []
+        for vlen in sorted(PAPER_POWER_TABLE):
+            comps = self.component_power(vlen)
+            row = {"Module": f"SSAM-{vlen}"}
+            row.update({c: round(p, 2) for c, p in comps.items()})
+            row["component_sum"] = round(sum(comps.values()), 2)
+            row["total"] = round(self.total_power(vlen), 2)
+            rows.append(row)
+        return rows

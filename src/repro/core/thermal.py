@@ -1,0 +1,82 @@
+"""Thermal feasibility of logic-on-DRAM stacking (paper Section V-A).
+
+The paper argues heat is not a showstopper: "prior work by Puttaswamy
+et al. shows temperature increases from integrating logic on die-stacked
+memory are not fatal to the design even for a general purpose core.
+Since SSAM consumes less power than general purpose cores, we do not
+expect thermal issues to be fatal."
+
+:class:`StackThermalModel` quantifies that argument with the standard
+junction-temperature estimate ``T_j = T_ambient + P_total * theta_ja``
+plus a DRAM-specific constraint: stacked DRAM must stay below its
+retention-derating ceiling (85 C normal refresh), which is the binding
+limit — not logic failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.power import AcceleratorPowerModel
+
+__all__ = ["StackThermalModel"]
+
+
+@dataclass(frozen=True)
+class StackThermalModel:
+    """First-order thermal model of an HMC-like stack.
+
+    Attributes
+    ----------
+    ambient_c:
+        Local ambient (inside a server chassis: ~45 C).
+    theta_ja:
+        Junction-to-ambient thermal resistance (K/W).  1.2 K/W models a
+        cube with a heat spreader under directed airflow — between a
+        bare package and an actively cooled CPU.
+    dram_power_w:
+        The DRAM layers' own power under full-bandwidth streaming
+        (HMC-class cubes draw ~11 W of DRAM+SerDes power).
+    dram_limit_c:
+        Retention ceiling for normal refresh (JEDEC: 85 C; extended
+        refresh buys 95 C at 2x refresh power).
+    """
+
+    ambient_c: float = 45.0
+    theta_ja: float = 1.2
+    dram_power_w: float = 11.0
+    dram_limit_c: float = 85.0
+
+    def junction_temp_c(self, logic_power_w: float) -> float:
+        """Steady-state stack temperature with the given logic power."""
+        if logic_power_w < 0:
+            raise ValueError("logic power must be non-negative")
+        return self.ambient_c + (logic_power_w + self.dram_power_w) * self.theta_ja
+
+    def headroom_c(self, logic_power_w: float) -> float:
+        """Margin to the DRAM retention ceiling (negative = infeasible)."""
+        return self.dram_limit_c - self.junction_temp_c(logic_power_w)
+
+    def feasible(self, logic_power_w: float) -> bool:
+        return self.headroom_c(logic_power_w) >= 0.0
+
+    def max_logic_power_w(self) -> float:
+        """Largest logic-layer power the stack tolerates."""
+        return max(0.0, (self.dram_limit_c - self.ambient_c) / self.theta_ja - self.dram_power_w)
+
+    def ssam_report(self, power_model: AcceleratorPowerModel = None) -> list:
+        """Per-design-point feasibility rows (the §V-A check)."""
+        power_model = power_model or AcceleratorPowerModel()
+        rows = []
+        for vlen in (2, 4, 8, 16):
+            p = power_model.total_power(vlen)
+            rows.append(
+                {
+                    "design": f"SSAM-{vlen}",
+                    "logic_power_w": round(p, 2),
+                    "junction_c": round(self.junction_temp_c(p), 1),
+                    "headroom_c": round(self.headroom_c(p), 1),
+                    "feasible": self.feasible(p),
+                }
+            )
+        return rows

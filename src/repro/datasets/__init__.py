@@ -1,0 +1,50 @@
+"""Dataset generation and workload presets.
+
+The paper evaluates on three real datasets (Section II-B):
+
+- **GloVe**: 1.2M 100-d word embeddings from Twitter, k=6;
+- **GIST**: 1M 960-d GIST image descriptors, k=10;
+- **AlexNet**: 1M 4096-d fc7 features from Flickr images, k=16.
+
+We do not ship those corpora; instead :mod:`repro.datasets.synthetic`
+generates clustered Gaussian-mixture stand-ins with the same
+dimensionality and comparable cluster structure, which preserves the
+recall-vs-throughput behaviour of indexing structures (what the
+evaluation actually measures).  Scale defaults are reduced so the full
+benchmark suite runs on one machine; every generator takes ``n`` so the
+paper-scale experiment is one argument away.
+"""
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_clustered_dataset,
+    make_alexnet_like,
+    make_gist_like,
+    make_glove_like,
+)
+from repro.datasets.loaders import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.datasets.workloads import WORKLOADS, WorkloadSpec, get_workload
+
+__all__ = [
+    "Dataset",
+    "make_clustered_dataset",
+    "make_alexnet_like",
+    "make_gist_like",
+    "make_glove_like",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "read_fvecs",
+    "read_bvecs",
+    "read_ivecs",
+    "write_fvecs",
+    "write_bvecs",
+    "write_ivecs",
+]

@@ -1,0 +1,94 @@
+"""Readers/writers for the TEXMEX vector-file formats.
+
+The paper's GIST corpus ships in INRIA's TEXMEX formats, so downstream
+users holding the real data can drop it straight into this repo:
+
+- ``.fvecs`` — per vector: int32 dimension ``d`` then ``d`` float32;
+- ``.bvecs`` — int32 ``d`` then ``d`` uint8;
+- ``.ivecs`` — int32 ``d`` then ``d`` int32 (ground-truth id lists).
+
+All readers validate that every record advertises the same
+dimensionality and support ``count``/``offset`` windows so a 1M-vector
+file can be sampled without loading it whole.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "read_fvecs", "write_fvecs",
+    "read_bvecs", "write_bvecs",
+    "read_ivecs", "write_ivecs",
+]
+
+
+def _read_vecs(path: str, dtype: np.dtype, item_bytes: int,
+               count: Optional[int], offset: int) -> np.ndarray:
+    size = os.path.getsize(path)
+    if size < 4:
+        raise ValueError(f"{path}: too small to contain a record")
+    with open(path, "rb") as fh:
+        dim = int(np.frombuffer(fh.read(4), dtype="<i4")[0])
+        if dim <= 0:
+            raise ValueError(f"{path}: invalid dimension {dim}")
+        record = 4 + dim * item_bytes
+        if size % record:
+            raise ValueError(
+                f"{path}: size {size} is not a multiple of the record size "
+                f"{record} (d={dim})"
+            )
+        total = size // record
+        if offset < 0 or offset > total:
+            raise ValueError(f"offset {offset} outside [0, {total}]")
+        n = total - offset if count is None else min(count, total - offset)
+        fh.seek(offset * record)
+        raw = np.frombuffer(fh.read(n * record), dtype=np.uint8)
+    rows = raw.reshape(n, record)
+    dims = rows[:, :4].copy().view("<i4").reshape(n)
+    if not (dims == dim).all():
+        bad = int(np.flatnonzero(dims != dim)[0])
+        raise ValueError(f"{path}: record {offset + bad} has d={dims[bad]} != {dim}")
+    return rows[:, 4:].copy().view(dtype).reshape(n, dim)
+
+
+def _write_vecs(path: str, data: np.ndarray, dtype: np.dtype) -> None:
+    arr = np.ascontiguousarray(np.asarray(data, dtype=dtype))
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    n, d = arr.shape
+    out = np.empty((n, 4 + d * arr.itemsize), dtype=np.uint8)
+    out[:, :4] = np.full(n, d, dtype="<i4")[:, None].view(np.uint8)
+    out[:, 4:] = arr.view(np.uint8).reshape(n, d * arr.itemsize)
+    with open(path, "wb") as fh:
+        fh.write(out.tobytes())
+
+
+def read_fvecs(path: str, count: Optional[int] = None, offset: int = 0) -> np.ndarray:
+    """Read float32 vectors; returns ``(n, d)`` float32."""
+    return _read_vecs(path, np.dtype("<f4"), 4, count, offset)
+
+
+def write_fvecs(path: str, data: np.ndarray) -> None:
+    _write_vecs(path, data, np.dtype("<f4"))
+
+
+def read_bvecs(path: str, count: Optional[int] = None, offset: int = 0) -> np.ndarray:
+    """Read uint8 vectors (e.g. SIFT1B base); returns ``(n, d)`` uint8."""
+    return _read_vecs(path, np.dtype("u1"), 1, count, offset)
+
+
+def write_bvecs(path: str, data: np.ndarray) -> None:
+    _write_vecs(path, data, np.dtype("u1"))
+
+
+def read_ivecs(path: str, count: Optional[int] = None, offset: int = 0) -> np.ndarray:
+    """Read int32 id lists (TEXMEX ground truth); returns ``(n, k)`` int32."""
+    return _read_vecs(path, np.dtype("<i4"), 4, count, offset)
+
+
+def write_ivecs(path: str, data: np.ndarray) -> None:
+    _write_vecs(path, data, np.dtype("<i4"))

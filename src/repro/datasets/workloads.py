@@ -1,0 +1,75 @@
+"""Workload parameter presets (paper Section II-B).
+
+A :class:`WorkloadSpec` bundles everything an experiment needs to know
+about one of the paper's three evaluation workloads: how to generate the
+dataset stand-in, the per-dataset neighbor count ``k``, the paper-scale
+corpus size (used by the analytic performance models, which care about
+bytes streamed, not about how many vectors we actually materialize in
+RAM), and the dimensionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_alexnet_like,
+    make_gist_like,
+    make_glove_like,
+)
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Workload name ("glove", "gist", "alexnet").
+    dims:
+        Feature dimensionality.
+    k:
+        Neighbors returned per query.
+    paper_n:
+        Corpus size used in the paper (1.2M / 1M / 1M).  The performance
+        models stream this much data per exact query regardless of the
+        in-memory stand-in size.
+    make:
+        Factory producing a reduced-scale in-memory :class:`Dataset`.
+    """
+
+    name: str
+    dims: int
+    k: int
+    paper_n: int
+    make: Callable[..., Dataset]
+
+    @property
+    def bytes_per_vector(self) -> int:
+        """Bytes per database vector at the paper's 32-bit representation."""
+        return 4 * self.dims
+
+    @property
+    def paper_corpus_bytes(self) -> int:
+        """Total corpus size at paper scale (drives bandwidth-bound models)."""
+        return self.paper_n * self.bytes_per_vector
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "glove": WorkloadSpec("glove", dims=100, k=6, paper_n=1_200_000, make=make_glove_like),
+    "gist": WorkloadSpec("gist", dims=960, k=10, paper_n=1_000_000, make=make_gist_like),
+    "alexnet": WorkloadSpec("alexnet", dims=4096, k=16, paper_n=1_000_000, make=make_alexnet_like),
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload preset by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; valid: {sorted(WORKLOADS)}") from None

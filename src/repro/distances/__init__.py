@@ -1,0 +1,63 @@
+"""Distance metrics and numerical representations for similarity search.
+
+This package implements every distance metric the paper exercises
+(Section II-D and Table V):
+
+- Euclidean / squared-Euclidean distance,
+- Manhattan (L1) distance,
+- cosine similarity (as a distance),
+- Chi-squared distance,
+- Jaccard distance,
+- Hamming distance on packed binary codes,
+- learned Mahalanobis distances,
+
+plus the two alternative numerical representations characterized in the
+paper: 32-bit fixed point (Section II-D, "negligible accuracy loss") and
+Hamming-space binarization via sign random projections.
+
+All metrics operate on NumPy arrays, are fully vectorized (no Python-level
+loops over dataset rows), and share the convention ``metric(queries,
+dataset) -> (q, n)`` distance matrix where smaller means more similar.
+"""
+
+from repro.distances.metrics import (
+    METRICS,
+    chi_squared,
+    cosine_distance,
+    euclidean,
+    get_metric,
+    hamming_packed,
+    jaccard,
+    manhattan,
+    pairwise_distance,
+    squared_euclidean,
+)
+from repro.distances.fixed_point import (
+    FixedPointFormat,
+    from_fixed_point,
+    to_fixed_point,
+)
+from repro.distances.binarize import SignRandomProjection, pack_bits, unpack_bits
+from repro.distances.itq import IterativeQuantization
+from repro.distances.learned import MahalanobisMetric
+
+__all__ = [
+    "METRICS",
+    "chi_squared",
+    "cosine_distance",
+    "euclidean",
+    "get_metric",
+    "hamming_packed",
+    "jaccard",
+    "manhattan",
+    "pairwise_distance",
+    "squared_euclidean",
+    "FixedPointFormat",
+    "from_fixed_point",
+    "to_fixed_point",
+    "SignRandomProjection",
+    "IterativeQuantization",
+    "pack_bits",
+    "unpack_bits",
+    "MahalanobisMetric",
+]

@@ -1,0 +1,124 @@
+"""Hamming-space binarization (paper Section II-D).
+
+The paper observes that carefully constructed Hamming codes trade a
+little accuracy for large throughput gains: the dataset shrinks (1 bit
+per projected dimension) and distances become XOR+popcount, which SSAM
+executes with its fused ``FXP`` instruction.
+
+We implement the classic *sign random projection* scheme (the same
+family as hyperplane LSH): project onto ``n_bits`` random Gaussian
+directions and keep the sign bit.  The Hamming distance between two
+codes is then a monotone estimator of the angle between the original
+vectors, preserving neighbor ordering in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SignRandomProjection", "pack_bits", "unpack_bits"]
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(n, b)`` 0/1 array into ``(n, ceil(b/32))`` uint32 words.
+
+    Bit ``j`` of a row lands in word ``j // 32``, bit position ``j % 32``
+    (little-endian within each word), mirroring how SSAM stores 32
+    binary dimensions per 32-bit word for the FXP instruction.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError("expected a (n, b) bit array")
+    n, b = arr.shape
+    n_words = (b + 31) // 32
+    padded = np.zeros((n, n_words * 32), dtype=np.uint8)
+    padded[:, :b] = (arr != 0).astype(np.uint8)
+    # Pack each group of 32 bits into one word, little-endian bit order.
+    reshaped = padded.reshape(n, n_words, 32).astype(np.uint32)
+    weights = (np.uint32(1) << np.arange(32, dtype=np.uint32))
+    return (reshaped * weights[None, None, :]).sum(axis=2, dtype=np.uint32)
+
+
+def unpack_bits(words: np.ndarray, n_bits: Optional[int] = None) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a ``(n, n_bits)`` uint8 array."""
+    arr = np.asarray(words, dtype=np.uint32)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    n, n_words = arr.shape
+    shifts = np.arange(32, dtype=np.uint32)
+    bits = ((arr[:, :, None] >> shifts[None, None, :]) & np.uint32(1)).astype(np.uint8)
+    flat = bits.reshape(n, n_words * 32)
+    if n_bits is not None:
+        if n_bits > n_words * 32:
+            raise ValueError("n_bits exceeds packed capacity")
+        flat = flat[:, :n_bits]
+    return flat
+
+
+class SignRandomProjection:
+    """Binarize real vectors into packed Hamming codes.
+
+    Parameters
+    ----------
+    n_dims:
+        Input feature dimensionality.
+    n_bits:
+        Output code length in bits.  The paper's Table V throughput
+        ratios (4.38x for 100-d GloVe up to 9.38x for 4096-d AlexNet)
+        follow from the data-volume reduction ``32*d / n_bits`` combined
+        with the cheaper per-word FXP distance.
+    seed:
+        Seed for the Gaussian projection matrix; fixing it makes the
+        code deterministic and shareable between the database and
+        queries (mandatory — both sides must use the same hyperplanes).
+    center:
+        If true (default), subtract the training mean before taking
+        signs, which balances the bit distribution on uncentered data.
+    """
+
+    def __init__(self, n_dims: int, n_bits: int = 256, seed: int = 0, center: bool = True):
+        if n_dims <= 0 or n_bits <= 0:
+            raise ValueError("n_dims and n_bits must be positive")
+        self.n_dims = int(n_dims)
+        self.n_bits = int(n_bits)
+        self.center = bool(center)
+        rng = np.random.default_rng(seed)
+        # Gaussian directions give unbiased angle estimates (Goemans-
+        # Williamson); normalization is irrelevant to the sign.
+        self.hyperplanes = rng.standard_normal((self.n_dims, self.n_bits))
+        self._mean: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "SignRandomProjection":
+        """Estimate the centering mean from training data."""
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.n_dims:
+            raise ValueError(f"expected (n, {self.n_dims}) training data")
+        self._mean = arr.mean(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Encode vectors to packed uint32 Hamming codes of shape (n, n_bits/32)."""
+        arr = np.asarray(data, dtype=np.float64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.n_dims:
+            raise ValueError(f"expected vectors of dimension {self.n_dims}")
+        if self.center:
+            mean = self._mean if self._mean is not None else 0.0
+            arr = arr - mean
+        bits = (arr @ self.hyperplanes) >= 0.0
+        packed = pack_bits(bits)
+        return packed[0] if single else packed
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    @property
+    def words_per_code(self) -> int:
+        """Number of 32-bit words per packed code."""
+        return (self.n_bits + 31) // 32

@@ -1,0 +1,80 @@
+"""32-bit fixed-point representation (paper Section II-D).
+
+The paper converts each dataset to 32-bit fixed point and finds
+"negligible accuracy loss" versus 32-bit floating point, which justifies
+building SSAM's ALUs as integer units.  This module provides the
+conversion used for that experiment: a signed Qm.n format with saturation
+on overflow and round-to-nearest on quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "to_fixed_point", "from_fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``total_bits`` including sign.
+
+    ``frac_bits`` of the word hold the fraction; the remaining
+    ``total_bits - frac_bits`` (including the sign bit) hold the integer
+    part.  The default Q16.16 comfortably covers feature descriptors
+    (GloVe/GIST/AlexNet values are O(1)–O(100)).
+    """
+
+    total_bits: int = 32
+    frac_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.total_bits <= 64:
+            raise ValueError("total_bits must be in [1, 64]")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def scale(self) -> float:
+        """Multiplier mapping real values to integer codes (2**frac_bits)."""
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_code(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return self.min_code / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable step (one ULP)."""
+        return 1.0 / self.scale
+
+
+def to_fixed_point(values: np.ndarray, fmt: FixedPointFormat = FixedPointFormat()) -> np.ndarray:
+    """Quantize floats to fixed-point integer codes (int64 container).
+
+    Rounds to nearest and saturates at the format limits, which is what
+    a hardware conversion unit would do.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    codes = np.rint(arr * fmt.scale)
+    np.clip(codes, fmt.min_code, fmt.max_code, out=codes)
+    return codes.astype(np.int64)
+
+
+def from_fixed_point(codes: np.ndarray, fmt: FixedPointFormat = FixedPointFormat()) -> np.ndarray:
+    """Dequantize integer codes back to float64."""
+    return np.asarray(codes, dtype=np.float64) / fmt.scale

@@ -1,0 +1,62 @@
+"""Learned (Mahalanobis) distance metrics (paper Section II-D).
+
+The paper cites Xing et al.'s distance-metric learning as an alternative
+metric family.  A learned metric of that family is a Mahalanobis
+distance ``d(q, x) = sqrt((q-x)^T M (q-x))`` with ``M`` positive
+semi-definite.  Because ``M = L L^T``, evaluating it reduces to a linear
+transform followed by ordinary Euclidean distance — exactly how SSAM
+would run it (transform once on the host, stream Euclidean near memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.metrics import euclidean
+
+__all__ = ["MahalanobisMetric"]
+
+
+class MahalanobisMetric:
+    """Mahalanobis distance with an explicit PSD matrix ``M``.
+
+    Parameters
+    ----------
+    matrix:
+        A ``(d, d)`` symmetric positive semi-definite matrix.  The
+        constructor validates symmetry and PSD-ness (within a small
+        tolerance) and precomputes the Cholesky-like factor ``L`` such
+        that ``M = L L^T`` via an eigendecomposition, which tolerates
+        rank deficiency.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError("matrix must be square")
+        if not np.allclose(m, m.T, atol=1e-10):
+            raise ValueError("matrix must be symmetric")
+        evals, evecs = np.linalg.eigh(m)
+        if evals.min() < -1e-8 * max(1.0, abs(evals.max())):
+            raise ValueError("matrix must be positive semi-definite")
+        evals = np.clip(evals, 0.0, None)
+        self.matrix = m
+        self._factor = evecs * np.sqrt(evals)[None, :]  # L with M = L L^T
+
+    @classmethod
+    def from_covariance(cls, data: np.ndarray, regularization: float = 1e-6) -> "MahalanobisMetric":
+        """Classic whitening metric: ``M`` = inverse covariance of the data."""
+        arr = np.asarray(data, dtype=np.float64)
+        cov = np.cov(arr, rowvar=False)
+        cov = np.atleast_2d(cov)
+        cov += regularization * np.eye(cov.shape[0])
+        return cls(np.linalg.inv(cov))
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Map vectors into the space where the metric becomes Euclidean."""
+        arr = np.asarray(vectors, dtype=np.float64)
+        return arr @ self._factor
+
+    def __call__(self, queries: np.ndarray, dataset: np.ndarray) -> np.ndarray:
+        """Distance matrix ``(q, n)`` under the learned metric."""
+        return euclidean(self.transform(np.atleast_2d(queries)), self.transform(np.atleast_2d(dataset)))

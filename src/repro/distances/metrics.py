@@ -1,0 +1,223 @@
+"""Vectorized distance metrics.
+
+Every metric follows the same contract::
+
+    metric(queries, dataset) -> distances
+
+where ``queries`` has shape ``(q, d)`` (a single query of shape ``(d,)``
+is promoted to ``(1, d)``), ``dataset`` has shape ``(n, d)``, and the
+result has shape ``(q, n)``.  Smaller distances always mean "more
+similar"; similarity measures (cosine) are negated/complemented so that a
+single top-k-smallest primitive serves every metric, exactly as the SSAM
+hardware priority queue does.
+
+Implementations avoid Python-level loops over dataset rows — the hot path
+is a handful of BLAS-backed matrix operations, following the
+vectorize-and-broadcast idiom for numerical Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "manhattan",
+    "cosine_distance",
+    "chi_squared",
+    "jaccard",
+    "hamming_packed",
+    "METRICS",
+    "get_metric",
+    "pairwise_distance",
+]
+
+
+def _as_2d(x: ArrayLike) -> np.ndarray:
+    """Promote a single vector to a one-row matrix; validate shape."""
+    arr = np.asarray(x)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {arr.shape}")
+    return arr
+
+
+def _check_dims(queries: np.ndarray, dataset: np.ndarray) -> None:
+    if queries.shape[1] != dataset.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have d={queries.shape[1]}, "
+            f"dataset has d={dataset.shape[1]}"
+        )
+
+
+def squared_euclidean(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Squared L2 distance, ``||q - x||^2``.
+
+    Computed via the expansion ``||q||^2 - 2 q.x + ||x||^2`` so the
+    dominant cost is a single GEMM, which is how both the paper's CPU
+    baseline (AVX) and the SSAM vector units evaluate it.  Clamped at
+    zero to guard against negative values from floating-point
+    cancellation.
+    """
+    q = _as_2d(queries).astype(np.float64, copy=False)
+    x = _as_2d(dataset).astype(np.float64, copy=False)
+    _check_dims(q, x)
+    qq = np.einsum("ij,ij->i", q, q)[:, None]
+    xx = np.einsum("ij,ij->i", x, x)[None, :]
+    d2 = qq + xx - 2.0 * (q @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def euclidean(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """L2 distance ``||q - x||``; the paper's canonical metric."""
+    return np.sqrt(squared_euclidean(queries, dataset))
+
+
+def manhattan(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """L1 distance ``sum_i |q_i - x_i|``.
+
+    The paper reports Manhattan at ~1x the throughput of Euclidean on
+    SSAM (Table V) because it needs a similar number of vector ops.
+    """
+    q = _as_2d(queries).astype(np.float64, copy=False)
+    x = _as_2d(dataset).astype(np.float64, copy=False)
+    _check_dims(q, x)
+    # Broadcast in chunks to bound peak memory at ~64 MB per block.
+    n_q, n_x = q.shape[0], x.shape[0]
+    out = np.empty((n_q, n_x), dtype=np.float64)
+    max_elems = 8_000_000
+    step = max(1, max_elems // max(1, n_x * q.shape[1]))
+    for start in range(0, n_q, step):
+        stop = min(start + step, n_q)
+        out[start:stop] = np.abs(q[start:stop, None, :] - x[None, :, :]).sum(axis=2)
+    return out
+
+
+def cosine_distance(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Cosine distance ``1 - cos(q, x)``.
+
+    Zero vectors are treated as maximally dissimilar to everything
+    (distance 1) rather than raising, matching common ANN-library
+    behaviour.  The paper implements the division in software on SSAM,
+    making cosine ~2x the cost of Euclidean (Table V).
+    """
+    q = _as_2d(queries).astype(np.float64, copy=False)
+    x = _as_2d(dataset).astype(np.float64, copy=False)
+    _check_dims(q, x)
+    qn = np.linalg.norm(q, axis=1)
+    xn = np.linalg.norm(x, axis=1)
+    denom = qn[:, None] * xn[None, :]
+    dots = q @ x.T
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos = np.where(denom > 0.0, dots / denom, 0.0)
+    np.clip(cos, -1.0, 1.0, out=cos)
+    return 1.0 - cos
+
+
+def chi_squared(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Chi-squared distance ``0.5 * sum_i (q_i - x_i)^2 / (q_i + x_i)``.
+
+    Defined for non-negative histogram-like features; bins where
+    ``q_i + x_i == 0`` contribute zero.
+    """
+    q = _as_2d(queries).astype(np.float64, copy=False)
+    x = _as_2d(dataset).astype(np.float64, copy=False)
+    _check_dims(q, x)
+    if (q < 0).any() or (x < 0).any():
+        raise ValueError("chi_squared requires non-negative features")
+    n_q, n_x = q.shape[0], x.shape[0]
+    out = np.empty((n_q, n_x), dtype=np.float64)
+    max_elems = 4_000_000
+    step = max(1, max_elems // max(1, n_x * q.shape[1]))
+    for start in range(0, n_q, step):
+        stop = min(start + step, n_q)
+        diff = q[start:stop, None, :] - x[None, :, :]
+        tot = q[start:stop, None, :] + x[None, :, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(tot > 0.0, diff * diff / tot, 0.0)
+        out[start:stop] = 0.5 * terms.sum(axis=2)
+    return out
+
+
+def jaccard(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Jaccard distance on binary (0/1) vectors: ``1 - |A & B| / |A | B|``.
+
+    Two all-zero vectors have distance 0 (identical empty sets).
+    """
+    q = _as_2d(queries).astype(bool)
+    x = _as_2d(dataset).astype(bool)
+    _check_dims(q, x)
+    qf = q.astype(np.float64)
+    xf = x.astype(np.float64)
+    inter = qf @ xf.T
+    union = qf.sum(axis=1)[:, None] + xf.sum(axis=1)[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sim = np.where(union > 0.0, inter / union, 1.0)
+    return 1.0 - sim
+
+
+# Lookup table for the number of set bits in each byte value; a dot with
+# this table after a bytewise XOR gives a vectorized popcount, mirroring
+# the SSAM FXP (fused xor-popcount) instruction.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+
+def hamming_packed(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Hamming distance between bit-packed codes (dtype uint8/uint32/uint64).
+
+    Inputs are arrays of packed words, shape ``(q, w)`` and ``(n, w)``;
+    the distance is the total number of differing bits.  This is the
+    software analogue of the SSAM ``VFXP`` instruction, which XORs a
+    32-bit word against the query and accumulates the popcount in one
+    cycle per word.
+    """
+    q = _as_2d(queries)
+    x = _as_2d(dataset)
+    if not (np.issubdtype(q.dtype, np.unsignedinteger) and np.issubdtype(x.dtype, np.unsignedinteger)):
+        raise ValueError("hamming_packed expects unsigned integer packed codes; use pack_bits()")
+    _check_dims(q, x)
+    qb = q.view(np.uint8).reshape(q.shape[0], -1)
+    xb = x.view(np.uint8).reshape(x.shape[0], -1)
+    n_q, n_x = qb.shape[0], xb.shape[0]
+    out = np.empty((n_q, n_x), dtype=np.uint32)
+    max_elems = 8_000_000
+    step = max(1, max_elems // max(1, n_x * qb.shape[1]))
+    for start in range(0, n_q, step):
+        stop = min(start + step, n_q)
+        xor = qb[start:stop, None, :] ^ xb[None, :, :]
+        out[start:stop] = _POPCOUNT8[xor].sum(axis=2, dtype=np.uint32)
+    return out
+
+
+MetricFn = Callable[[ArrayLike, ArrayLike], np.ndarray]
+
+#: Registry of named metrics; names match the paper's terminology.
+METRICS: Dict[str, MetricFn] = {
+    "euclidean": euclidean,
+    "squared_euclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "cosine": cosine_distance,
+    "chi_squared": chi_squared,
+    "jaccard": jaccard,
+    "hamming": hamming_packed,
+}
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a metric by name; raises ``KeyError`` with the valid names."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; valid metrics: {sorted(METRICS)}") from None
+
+
+def pairwise_distance(queries: ArrayLike, dataset: ArrayLike, metric: str = "euclidean") -> np.ndarray:
+    """Compute the ``(q, n)`` distance matrix under a named metric."""
+    return get_metric(metric)(queries, dataset)

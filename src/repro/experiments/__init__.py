@@ -1,0 +1,66 @@
+"""Experiment runners — one per paper table/figure.
+
+Each runner is a function returning ``(rows, text)``: a list of dict
+rows (machine-readable, asserted on by the benchmarks) and a formatted
+table (printed by the benchmarks, recorded in EXPERIMENTS.md).  Default
+dataset scales are reduced for laptop runtimes; every runner takes
+explicit sizes for paper-scale runs.
+
+=============  =====================================================
+Runner         Paper artifact
+=============  =====================================================
+``fig2``       Fig. 2 — CPU throughput vs accuracy, 3 datasets
+``table1``     Table I — instruction mix per algorithm
+``table3``     Table III — accelerator power by module
+``table4``     Table IV — accelerator area by module
+``fig6``       Fig. 6a/6b — linear search across platforms
+``fig7``       Fig. 7 — SSAM vs CPU with indexing
+``table5``     Table V — alternative distance metrics on SSAM
+``table6``     Table VI — SSAM vs Automata Processor (Hamming)
+``ablation_priority_queue``  Section V-B hardware/software PQ
+``tco``        Section VI-A datacenter cost model
+``fixed_point``  Section II-D representations
+=============  =====================================================
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.table1 import run_table1
+from repro.experiments.tables34 import run_table3, run_table4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.ablations import (
+    run_fxp_ablation,
+    run_priority_queue_ablation,
+    run_vector_length_sweep,
+)
+from repro.experiments.extensions import run_batching_ablation, run_pq_extension
+from repro.experiments.energy import run_energy_breakdown, run_thermal_check
+from repro.experiments.ivfadc import run_ivfadc
+from repro.experiments.scaleout import run_scaleout
+from repro.experiments.tco import run_tco
+from repro.experiments.representations import run_fixed_point, run_binarization
+
+__all__ = [
+    "run_fig2",
+    "run_table1",
+    "run_table3",
+    "run_table4",
+    "run_fig6",
+    "run_fig7",
+    "run_table5",
+    "run_table6",
+    "run_priority_queue_ablation",
+    "run_fxp_ablation",
+    "run_vector_length_sweep",
+    "run_pq_extension",
+    "run_batching_ablation",
+    "run_ivfadc",
+    "run_energy_breakdown",
+    "run_thermal_check",
+    "run_scaleout",
+    "run_tco",
+    "run_fixed_point",
+    "run_binarization",
+]

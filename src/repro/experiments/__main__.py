@@ -1,0 +1,106 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig6 tco   # run a subset
+    python -m repro.experiments --list     # show available experiments
+
+Each experiment prints the table its paper artifact reports; the same
+runners back the benchmark suite (``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_binarization,
+    run_energy_breakdown,
+    run_fig2,
+    run_fig6,
+    run_fig7,
+    run_fixed_point,
+    run_fxp_ablation,
+    run_batching_ablation,
+    run_ivfadc,
+    run_thermal_check,
+    run_pq_extension,
+    run_priority_queue_ablation,
+    run_scaleout,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_tco,
+    run_vector_length_sweep,
+)
+
+RUNNERS = {
+    "fig2": (run_fig2, "Fig. 2: CPU throughput vs accuracy"),
+    "table1": (run_table1, "Table I: instruction mixes"),
+    "table3": (run_table3, "Table III: accelerator power"),
+    "table4": (run_table4, "Table IV: accelerator area"),
+    "fig6": (run_fig6, "Fig. 6: linear search across platforms"),
+    "fig7": (run_fig7, "Fig. 7: indexed search, SSAM vs CPU"),
+    "table5": (run_table5, "Table V: alternative distance metrics"),
+    "table6": (run_table6, "Table VI: SSAM vs Automata Processor"),
+    "pq": (run_priority_queue_ablation, "Section V-B: HW vs SW priority queue"),
+    "fxp": (run_fxp_ablation, "FXP fusion ablation"),
+    "vlen": (run_vector_length_sweep, "Vector-length design sweep"),
+    "pqcodes": (run_pq_extension, "Extension: product-quantization scan"),
+    "batching": (run_batching_ablation, "Extension: multi-query batching"),
+    "ivfadc": (run_ivfadc, "Extension: IVFADC compressed index"),
+    "scaleout": (run_scaleout, "Multi-module capacity scale-out"),
+    "tco": (run_tco, "Section VI-A: datacenter TCO"),
+    "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
+    "thermal": (run_thermal_check, "Section V-A thermal check"),
+    "fixedpoint": (run_fixed_point, "Section II-D: fixed point"),
+    "binarization": (run_binarization, "Section II-D: binarization"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="NAME",
+                        help=f"experiments to run (default: all); one of {', '.join(RUNNERS)}")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each experiment's rows to DIR/<name>.csv")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, desc) in RUNNERS.items():
+            print(f"{name:14s} {desc}")
+        return 0
+
+    names = args.experiments or list(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}; use --list")
+
+    for name in names:
+        runner, desc = RUNNERS[name]
+        t0 = time.perf_counter()
+        rows, text = runner()
+        dt = time.perf_counter() - t0
+        print(f"\n{'=' * 72}\n{desc}   [{dt:.1f}s]\n{'=' * 72}")
+        print(text)
+        if args.csv:
+            import os
+
+            from repro.analysis.export import save_rows
+
+            path = save_rows(rows, os.path.join(args.csv, f"{name}.csv"))
+            print(f"[rows written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared experiment plumbing: reduced-scale dataset cache and indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann import (
+    HierarchicalKMeansTree,
+    LinearScan,
+    MultiProbeLSH,
+    RandomizedKDForest,
+)
+from repro.datasets import Dataset, get_workload
+
+__all__ = [
+    "load_workload",
+    "build_all_indexes",
+    "exact_ground_truth",
+    "DEFAULT_SCALES",
+    "CHECKS_SCHEDULES",
+]
+
+#: Reduced in-memory corpus sizes per workload (paper scale is 1M+).
+DEFAULT_SCALES: Dict[str, int] = {"glove": 8000, "gist": 3000, "alexnet": 1500}
+
+#: Check/probe schedules swept per algorithm (paper sweeps the same knobs).
+CHECKS_SCHEDULES: Dict[str, Sequence[int]] = {
+    "kdtree": (32, 64, 128, 256, 512, 1024, 2048),
+    "kmeans": (32, 64, 128, 256, 512, 1024, 2048),
+    "mplsh": (1, 2, 4, 8, 16, 32),
+}
+
+_dataset_cache: Dict[Tuple[str, int, int], Dataset] = {}
+
+
+def load_workload(name: str, n: Optional[int] = None, n_queries: int = 30) -> Dataset:
+    """Reduced-scale dataset for a workload, memoized per size."""
+    spec = get_workload(name)
+    size = n or DEFAULT_SCALES[name]
+    key = (name, size, n_queries)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = spec.make(n=size, n_queries=n_queries)
+    return _dataset_cache[key]
+
+
+def build_all_indexes(data: np.ndarray, seed: int = 0, lsh_bits: int = 14):
+    """The paper's three approximate indexes over one dataset."""
+    return {
+        "kdtree": RandomizedKDForest(n_trees=4, leaf_size=32, seed=seed).build(data),
+        "kmeans": HierarchicalKMeansTree(branching=8, leaf_size=32, seed=seed).build(data),
+        "mplsh": MultiProbeLSH(n_tables=8, n_bits=lsh_bits, seed=seed).build(data),
+    }
+
+
+def exact_ground_truth(data: np.ndarray, queries: np.ndarray, k: int):
+    """Exact top-k ids + the LinearScan index (reused by sweeps)."""
+    scan = LinearScan().build(data)
+    res = scan.search(queries, k)
+    return res.ids, scan

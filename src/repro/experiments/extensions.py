@@ -1,0 +1,122 @@
+"""Extension experiments: PQ compressed-domain search and query batching.
+
+Neither has a table in the paper, but both probe design decisions the
+paper motivates: PQ is the compression scheme behind the GIST dataset's
+source paper (reference [27]) and the natural generalization of the
+Hamming datapath; batching is the alternative the introduction argues
+against for latency reasons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.ann import LinearScan, PQLinearScan, mean_recall
+from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.core.kernels.batched import batched_euclidean_scan_kernel
+from repro.core.kernels.linear import euclidean_scan_kernel
+from repro.core.kernels.pq import pq_adc_scan_kernel
+from repro.datasets import get_workload
+from repro.experiments.common import load_workload
+from repro.isa.simulator import MachineConfig
+
+__all__ = ["run_pq_extension", "run_batching_ablation"]
+
+
+def run_pq_extension(
+    workload: str = "gist",
+    n: int = 1500,
+    n_queries: int = 15,
+    subspace_sweep: Tuple[int, ...] = (8, 16, 32),
+    n_centroids: int = 64,
+    vector_length: int = 4,
+) -> Tuple[List[dict], str]:
+    """PQ recall + SSAM throughput vs the float and Hamming scans."""
+    ds = load_workload(workload, n=n, n_queries=n_queries)
+    spec = get_workload(workload)
+    exact = LinearScan().build(ds.train).search(ds.test, ds.k)
+    machine = MachineConfig(vector_length=vector_length)
+    model = SSAMPerformanceModel(SSAMConfig.design(vector_length))
+
+    float_calib = KernelCalibration.from_kernel_factory(
+        lambda m: euclidean_scan_kernel(
+            ds.train[:m].astype(np.float64), ds.test[0], 8, machine
+        ),
+        24, 96,
+    )
+    float_qps = model.linear_throughput(float_calib, spec.paper_n)
+
+    rows: List[dict] = [
+        {
+            "scan": "float32", "recall": 1.0,
+            "bytes_per_vec": 4 * spec.dims,
+            "ssam_qps": round(float_qps, 2), "speedup_x": 1.0,
+        }
+    ]
+    for m in subspace_sweep:
+        scan = PQLinearScan(n_subspaces=m, n_centroids=n_centroids, seed=0).build(
+            np.asarray(ds.train, dtype=np.float64)
+        )
+        res = scan.search(ds.test, ds.k)
+        recall = mean_recall(res.ids, exact.ids)
+        codes = scan.codes
+        calib = KernelCalibration.from_kernel_factory(
+            lambda cnt: pq_adc_scan_kernel(scan.pq, codes[:cnt], ds.test[0], 8, machine),
+            24, 96,
+        )
+        qps = model.linear_throughput(calib, spec.paper_n)
+        rows.append(
+            {
+                "scan": f"PQ m={m}", "recall": round(recall, 3),
+                "bytes_per_vec": calib.bytes_per_candidate,
+                "ssam_qps": round(qps, 2),
+                "speedup_x": round(qps / float_qps, 2),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=["scan", "recall", "bytes_per_vec", "ssam_qps", "speedup_x"],
+        title=f"PQ extension: compressed-domain exact scan on {workload} "
+        f"(SSAM-{vector_length}, paper-scale corpus)",
+    )
+    return rows, text
+
+
+def run_batching_ablation(
+    dims: int = 100,
+    n: int = 128,
+    k: int = 8,
+    vector_length: int = 8,
+    seed: int = 0,
+) -> Tuple[List[dict], str]:
+    """Per-query cost and batch latency across batch sizes 1..4."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, dims))
+    queries = rng.standard_normal((4, dims))
+    machine = MachineConfig(vector_length=vector_length)
+    rows: List[dict] = []
+    base_cycles = None
+    for batch in (1, 2, 4):
+        res = batched_euclidean_scan_kernel(data, queries[:batch], k, machine).run()
+        if base_cycles is None:
+            base_cycles = res.stats.cycles
+        rows.append(
+            {
+                "batch": batch,
+                "cycles_total": res.stats.cycles,
+                "cycles_per_query": round(res.stats.cycles / batch, 1),
+                "bytes_per_query": round(res.stats.dram_bytes_read / batch, 1),
+                "latency_x_batch1": round(res.stats.cycles / base_cycles, 2),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=["batch", "cycles_total", "cycles_per_query", "bytes_per_query",
+                 "latency_x_batch1"],
+        title=f"Batching ablation: multi-query scan, d={dims}, SSAM-{vector_length}",
+    )
+    return rows, text

@@ -1,0 +1,77 @@
+"""Fig. 2 — approximate-kNN throughput vs accuracy on the CPU.
+
+For each dataset, sweeps the three indexing techniques' check budgets,
+measures recall against exact search, and converts the measured
+per-query work into single-threaded CPU throughput with the calibrated
+Xeon model (the paper's Fig. 2 is single-threaded).  The linear-scan
+baseline appears as the 100%-accuracy anchor.
+
+The paper's headline claims this reproduces: indexes buy up to ~170x
+over linear at >=50% accuracy, ~13x at 90%, and degrade toward linear
+past 95-99%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import throughput_accuracy_sweep
+from repro.baselines.cpu import XeonE5_2620
+from repro.datasets import get_workload
+from repro.experiments.common import (
+    CHECKS_SCHEDULES,
+    build_all_indexes,
+    exact_ground_truth,
+    load_workload,
+)
+
+__all__ = ["run_fig2"]
+
+
+def run_fig2(
+    workloads: Tuple[str, ...] = ("glove", "gist", "alexnet"),
+    n: Optional[int] = None,
+    n_queries: int = 30,
+) -> Tuple[List[dict], str]:
+    """Returns (rows, table).  Row keys: dataset, algorithm, checks,
+    recall, cpu_qps, speedup_vs_linear."""
+    cpu = XeonE5_2620(single_thread=True)
+    rows: List[dict] = []
+    for wname in workloads:
+        ds = load_workload(wname, n=n, n_queries=n_queries)
+        spec = get_workload(wname)
+        scale = spec.paper_n / ds.n  # extrapolate work to paper-scale corpus
+        exact_ids, _ = exact_ground_truth(ds.train, ds.test, ds.k)
+        linear_qps = cpu.linear_qps(spec.paper_n, spec.dims)
+        rows.append(
+            {
+                "dataset": wname, "algorithm": "linear", "checks": ds.n,
+                "recall": 1.0, "cpu_qps": linear_qps, "speedup_vs_linear": 1.0,
+            }
+        )
+        for alg, index in build_all_indexes(ds.train).items():
+            points = throughput_accuracy_sweep(
+                index, ds.test, exact_ids, ds.k, CHECKS_SCHEDULES[alg], algorithm=alg
+            )
+            for pt in points:
+                scaled = pt.scaled_to(scale)
+                qps = cpu.approx_qps(
+                    scaled.candidates_per_query,
+                    spec.dims,
+                    nodes_per_query=scaled.nodes_per_query,
+                    hashes_per_query=scaled.hashes_per_query,
+                )
+                rows.append(
+                    {
+                        "dataset": wname, "algorithm": alg, "checks": pt.checks,
+                        "recall": round(pt.recall, 3), "cpu_qps": qps,
+                        "speedup_vs_linear": qps / linear_qps,
+                    }
+                )
+    text = format_table(
+        rows,
+        columns=["dataset", "algorithm", "checks", "recall", "cpu_qps", "speedup_vs_linear"],
+        title="Fig. 2: CPU throughput vs accuracy (single-threaded, paper-scale corpus)",
+    )
+    return rows, text

@@ -1,0 +1,95 @@
+"""Fig. 6 — exact linear search across platforms.
+
+Area-normalized throughput (6a) and energy efficiency (6b) for
+Euclidean linear scan over the three paper-scale corpora, across the
+CPU, GPU, FPGA, and the four SSAM design points.
+
+SSAM throughput comes from the module roofline fed by ISA-simulator
+kernel calibrations (real cycle counts of the hand-written kernels);
+the baselines use their documented roofline models.  The experiment
+also checks the external links carry the result traffic (the paper's
+Section III-B claim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.baselines import Kintex7, TitanX, XeonE5_2620
+from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.core.kernels.linear import euclidean_scan_kernel
+from repro.datasets import get_workload
+from repro.hmc.links import LinkSet
+from repro.isa.simulator import MachineConfig
+
+__all__ = ["run_fig6", "ssam_linear_calibration"]
+
+_calib_cache: Dict[Tuple[int, int], KernelCalibration] = {}
+
+
+def ssam_linear_calibration(dims: int, vector_length: int, seed: int = 0) -> KernelCalibration:
+    """ISA-simulator calibration for the Euclidean scan at one shape."""
+    key = (dims, vector_length)
+    if key not in _calib_cache:
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((96, dims))
+        query = rng.standard_normal(dims)
+        mc = MachineConfig(vector_length=vector_length)
+        _calib_cache[key] = KernelCalibration.from_kernel_factory(
+            lambda n: euclidean_scan_kernel(data[:n], query, 8, mc),
+            n_small=24,
+            n_large=96,
+        )
+    return _calib_cache[key]
+
+
+def run_fig6(
+    workloads: Tuple[str, ...] = ("glove", "gist", "alexnet"),
+    vector_lengths: Tuple[int, ...] = (2, 4, 8, 16),
+) -> Tuple[List[dict], str]:
+    """Returns (rows, table).  Row keys: dataset, platform, qps,
+    qps_per_mm2, queries_per_joule, and the two x-vs-CPU ratios."""
+    cpu, gpu, fpga = XeonE5_2620(), TitanX(), Kintex7()
+    links = LinkSet()
+    rows: List[dict] = []
+    for wname in workloads:
+        spec = get_workload(wname)
+        points = []
+        for vlen in vector_lengths:
+            calib = ssam_linear_calibration(spec.dims, vlen)
+            model = SSAMPerformanceModel(SSAMConfig.design(vlen))
+            qps = model.linear_throughput(calib, spec.paper_n)
+            assert links.result_traffic_fits(qps, spec.k, query_bytes=4 * spec.dims), (
+                "external links saturated by result traffic — model violates "
+                "the paper's Section III-B assumption"
+            )
+            points.append(model.platform_point(qps))
+        for platform in (cpu, gpu, fpga):
+            points.append(platform.point(platform.linear_qps(spec.paper_n, spec.dims)))
+
+        cpu_point = next(p for p in points if p.platform == cpu.name)
+        for p in points:
+            rows.append(
+                {
+                    "dataset": wname,
+                    "platform": p.platform,
+                    "qps": p.throughput_qps,
+                    "qps_per_mm2": p.area_normalized_qps,
+                    "queries_per_joule": p.queries_per_joule,
+                    "anorm_x_cpu": p.area_normalized_qps / cpu_point.area_normalized_qps,
+                    "energy_x_cpu": p.queries_per_joule / cpu_point.queries_per_joule,
+                }
+            )
+    text = format_table(
+        rows,
+        columns=[
+            "dataset", "platform", "qps", "qps_per_mm2", "queries_per_joule",
+            "anorm_x_cpu", "energy_x_cpu",
+        ],
+        title="Fig. 6: exact linear search, Euclidean, paper-scale corpora",
+    )
+    return rows, text

@@ -1,0 +1,87 @@
+"""Fig. 7 — area-normalized throughput vs accuracy, SSAM vs CPU.
+
+For each dataset and each indexing technique, the sweep measures recall
+and per-query work on the real index, extrapolates the work to the
+paper-scale corpus, and charges it to both the SSAM module model and
+the multicore CPU model.  The paper's claim: "at a 50% accuracy target
+we observe up to two orders of magnitude throughput improvement for
+kd-tree, k-means, and HP-MPLSH over CPU baselines".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import throughput_accuracy_sweep
+from repro.baselines.cpu import XeonE5_2620
+from repro.core.accelerator import SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.datasets import get_workload
+from repro.experiments.common import (
+    CHECKS_SCHEDULES,
+    build_all_indexes,
+    exact_ground_truth,
+    load_workload,
+)
+from repro.experiments.fig6 import ssam_linear_calibration
+
+__all__ = ["run_fig7"]
+
+
+def run_fig7(
+    workloads: Tuple[str, ...] = ("glove", "gist", "alexnet"),
+    vector_length: int = 4,
+    n: Optional[int] = None,
+    n_queries: int = 30,
+) -> Tuple[List[dict], str]:
+    """Returns (rows, table).  Row keys: dataset, algorithm, checks,
+    recall, ssam_qps_mm2, cpu_qps_mm2, speedup."""
+    cpu = XeonE5_2620()
+    model = SSAMPerformanceModel(SSAMConfig.design(vector_length))
+    rows: List[dict] = []
+    for wname in workloads:
+        ds = load_workload(wname, n=n, n_queries=n_queries)
+        spec = get_workload(wname)
+        scale = spec.paper_n / ds.n
+        calib = ssam_linear_calibration(spec.dims, vector_length)
+        exact_ids, _ = exact_ground_truth(ds.train, ds.test, ds.k)
+        for alg, index in build_all_indexes(ds.train).items():
+            points = throughput_accuracy_sweep(
+                index, ds.test, exact_ids, ds.k, CHECKS_SCHEDULES[alg], algorithm=alg
+            )
+            for pt in points:
+                sc = pt.scaled_to(scale)
+                ssam_qps = model.approx_throughput(
+                    calib,
+                    candidates_per_query=sc.candidates_per_query,
+                    nodes_per_query=sc.nodes_per_query,
+                    hashes_per_query=sc.hashes_per_query,
+                    dims=spec.dims,
+                )
+                cpu_qps = cpu.approx_qps(
+                    sc.candidates_per_query,
+                    spec.dims,
+                    nodes_per_query=sc.nodes_per_query,
+                    hashes_per_query=sc.hashes_per_query,
+                )
+                ssam_anorm = ssam_qps / model.total_area_mm2
+                cpu_anorm = cpu_qps / cpu.die_area_mm2
+                rows.append(
+                    {
+                        "dataset": wname, "algorithm": alg, "checks": pt.checks,
+                        "recall": round(pt.recall, 3),
+                        "ssam_qps_mm2": ssam_anorm,
+                        "cpu_qps_mm2": cpu_anorm,
+                        "speedup": ssam_anorm / cpu_anorm,
+                    }
+                )
+    text = format_table(
+        rows,
+        columns=[
+            "dataset", "algorithm", "checks", "recall",
+            "ssam_qps_mm2", "cpu_qps_mm2", "speedup",
+        ],
+        title=f"Fig. 7: SSAM-{vector_length} vs CPU, indexed search (area-normalized)",
+    )
+    return rows, text

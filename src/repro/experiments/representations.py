@@ -1,0 +1,89 @@
+"""Section II-D — numerical representations.
+
+Two characterizations:
+
+- **Fixed point**: convert datasets to 32-bit fixed point and repeat
+  the accuracy measurement; the paper finds "negligible accuracy loss"
+  vs 32-bit float, which justifies SSAM's integer datapath.
+- **Binarization**: sign-random-projection Hamming codes trade recall
+  for the Table V throughput gains; the sweep measures recall at
+  several code lengths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.ann import LinearScan, mean_recall
+from repro.distances import (
+    FixedPointFormat,
+    SignRandomProjection,
+    from_fixed_point,
+    to_fixed_point,
+)
+from repro.experiments.common import load_workload
+
+__all__ = ["run_fixed_point", "run_binarization"]
+
+
+def run_fixed_point(
+    workloads: Tuple[str, ...] = ("glove", "gist", "alexnet"),
+    n: Optional[int] = None,
+    n_queries: int = 30,
+) -> Tuple[List[dict], str]:
+    """Recall of fixed-point linear search vs float linear search."""
+    fmt = FixedPointFormat(total_bits=32, frac_bits=16)
+    rows: List[dict] = []
+    for wname in workloads:
+        ds = load_workload(wname, n=n, n_queries=n_queries)
+        float_ids = LinearScan().build(ds.train).search(ds.test, ds.k).ids
+        train_fx = from_fixed_point(to_fixed_point(ds.train, fmt), fmt)
+        test_fx = from_fixed_point(to_fixed_point(ds.test, fmt), fmt)
+        fx_ids = LinearScan().build(train_fx).search(test_fx, ds.k).ids
+        rows.append(
+            {
+                "dataset": wname,
+                "format": f"Q{fmt.total_bits - fmt.frac_bits}.{fmt.frac_bits}",
+                "recall_vs_float": round(mean_recall(fx_ids, float_ids), 4),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=["dataset", "format", "recall_vs_float"],
+        title="Section II-D: 32-bit fixed point vs 32-bit float (linear search)",
+    )
+    return rows, text
+
+
+def run_binarization(
+    workload: str = "glove",
+    code_bits: Tuple[int, ...] = (32, 64, 128, 256, 512),
+    n: Optional[int] = None,
+    n_queries: int = 30,
+) -> Tuple[List[dict], str]:
+    """Recall and data-volume reduction of Hamming-space binarization."""
+    ds = load_workload(workload, n=n, n_queries=n_queries)
+    float_ids = LinearScan().build(ds.train).search(ds.test, ds.k).ids
+    rows: List[dict] = []
+    for bits in code_bits:
+        srp = SignRandomProjection(ds.dims, n_bits=bits, seed=7).fit(ds.train)
+        codes = srp.transform(ds.train)
+        qcodes = srp.transform(ds.test)
+        ham_ids = LinearScan(metric="hamming").build(codes).search(qcodes, ds.k).ids
+        rows.append(
+            {
+                "dataset": workload,
+                "code_bits": bits,
+                "recall_vs_float": round(mean_recall(ham_ids, float_ids), 4),
+                "data_reduction_x": round(32.0 * ds.dims / bits, 1),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=["dataset", "code_bits", "recall_vs_float", "data_reduction_x"],
+        title="Section II-D: Hamming binarization recall/volume tradeoff",
+    )
+    return rows, text

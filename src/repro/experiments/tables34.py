@@ -1,0 +1,49 @@
+"""Tables III & IV — accelerator power and area by module.
+
+The published post-layout numbers are the calibrated reference (see
+:mod:`repro.core.power` / :mod:`repro.core.area`); the experiment also
+reports the structural fixed+per-lane fit so the benches can verify the
+model's scaling behaviour against the table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.area import AcceleratorAreaModel
+from repro.core.power import COMPONENTS, AcceleratorPowerModel
+
+__all__ = ["run_table3", "run_table4"]
+
+
+def run_table3() -> Tuple[List[dict], str]:
+    """Table III: SSAM accelerator power (W) by module."""
+    model = AcceleratorPowerModel()
+    rows = model.table_rows()
+    for row in rows:
+        vlen = int(row["Module"].split("-")[1])
+        row["structural_total"] = round(sum(model.structural_power(vlen).values()), 2)
+    text = format_table(
+        rows,
+        columns=["Module", *COMPONENTS, "component_sum", "total", "structural_total"],
+        title="Table III: SSAM accelerator power (W) by module, 28 nm "
+        "(published totals exclude the priority queue; see repro.core.power)",
+    )
+    return rows, text
+
+
+def run_table4() -> Tuple[List[dict], str]:
+    """Table IV: SSAM accelerator area (mm^2) by module."""
+    model = AcceleratorAreaModel()
+    rows = model.table_rows()
+    for row in rows:
+        vlen = int(row["Module"].split("-")[1])
+        row["structural_total"] = round(sum(model.structural_area(vlen).values()), 2)
+        row["fits_hmc_die"] = model.fits_hmc_logic_die(vlen)
+    text = format_table(
+        rows,
+        columns=["Module", *COMPONENTS, "total", "structural_total", "fits_hmc_die"],
+        title="Table IV: SSAM accelerator area (mm^2) by module, 28 nm",
+    )
+    return rows, text

@@ -1,0 +1,34 @@
+"""Hybrid Memory Cube substrate model (paper Section III-B).
+
+HMC 2.0 organization: a stack of DRAM dies vertically partitioned into
+32 *vaults*, each with its own vault controller on the logic die
+(10 GB/s each, 320 GB/s aggregate), a crossbar switch connecting vaults
+to four external SerDes links (240 GB/s aggregate), and — in SSAM — the
+accelerator PUs sitting next to the vault controllers.
+
+The model is transaction-level, not cycle-by-cycle: each component
+computes service time and occupancy for request streams analytically
+(bank/row-buffer behaviour in :mod:`repro.hmc.dram`, packetization
+overhead in :mod:`repro.hmc.links`), which is the right fidelity for
+the paper's bandwidth-roofline evaluation and keeps the full benchmark
+suite fast.
+"""
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.dram import DRAMTimings, VaultDRAM
+from repro.hmc.vault import Vault, VaultController
+from repro.hmc.links import ExternalLink, LinkSet
+from repro.hmc.switch import CrossbarSwitch
+from repro.hmc.module import HMCModule
+
+__all__ = [
+    "HMCConfig",
+    "DRAMTimings",
+    "VaultDRAM",
+    "Vault",
+    "VaultController",
+    "ExternalLink",
+    "LinkSet",
+    "CrossbarSwitch",
+    "HMCModule",
+]

@@ -1,0 +1,48 @@
+"""HMC organization parameters (HMC 2.0 / 2.1 specification values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HMCConfig"]
+
+
+@dataclass(frozen=True)
+class HMCConfig:
+    """Static organization of one Hybrid Memory Cube.
+
+    Defaults follow HMC 2.0 as used by the paper: 32 vaults at 10 GB/s
+    each (320 GB/s aggregate internal), four full-width external links
+    at 60 GB/s each (240 GB/s aggregate), 8 GB capacity.
+    """
+
+    n_vaults: int = 32
+    vault_bandwidth: float = 10e9           # bytes/s per vault controller
+    n_links: int = 4
+    link_bandwidth: float = 60e9            # bytes/s per external link
+    capacity_bytes: int = 8 << 30
+    banks_per_vault: int = 16
+    row_bytes: int = 256                    # DRAM row (page) per bank partition
+    block_bytes: int = 32                   # vault interleaving granularity
+
+    def __post_init__(self) -> None:
+        if self.n_vaults <= 0 or self.n_links <= 0 or self.banks_per_vault <= 0:
+            raise ValueError("counts must be positive")
+        if self.vault_bandwidth <= 0 or self.link_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.row_bytes <= 0 or self.block_bytes <= 0:
+            raise ValueError("row_bytes and block_bytes must be positive")
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate internal bandwidth (bytes/s)."""
+        return self.n_vaults * self.vault_bandwidth
+
+    @property
+    def external_bandwidth(self) -> float:
+        """Aggregate external link bandwidth (bytes/s)."""
+        return self.n_links * self.link_bandwidth
+
+    @property
+    def vault_capacity(self) -> int:
+        return self.capacity_bytes // self.n_vaults

@@ -1,0 +1,143 @@
+"""Vault DRAM timing model: banks and row buffers.
+
+A vault's DRAM partition behaves like a small multi-bank DRAM channel:
+an access that hits the open row of its bank streams at full pin rate;
+a miss pays precharge + activate before data transfer.  Streaming reads
+therefore approach peak bandwidth (one miss per row), while random
+accesses are dominated by row cycles — this captures why the paper's
+kernels (and indexes) organize data for contiguous bucket scans.
+
+The model is deliberately analytic: :meth:`VaultDRAM.access` updates
+per-bank open-row state and returns the service time of one request,
+and :meth:`VaultDRAM.stream_efficiency` gives the closed form the
+module-level roofline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["DRAMTimings", "VaultDRAM"]
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Core DRAM timing parameters, in nanoseconds.
+
+    Defaults approximate the DRAM layers of a die-stacked cube (shorter
+    wires than DDR; values in the range reported for HMC-class DRAM).
+
+    Refresh: every ``t_refi`` the bank group is unavailable for
+    ``t_rfc``; the steady-state throughput tax is ``t_rfc / t_refi``
+    (~2% at the defaults), applied by :meth:`refresh_overhead`.
+    """
+
+    t_rcd: float = 13.0      # activate-to-read
+    t_rp: float = 13.0       # precharge
+    t_cas: float = 13.0      # read latency after column command
+    t_burst_per_32b: float = 3.2  # data transfer time per 32-byte block at 10 GB/s
+    t_refi: float = 7800.0   # refresh interval
+    t_rfc: float = 160.0     # refresh cycle time
+
+    @property
+    def row_miss_penalty(self) -> float:
+        """Extra nanoseconds a row-buffer miss adds over a hit."""
+        return self.t_rp + self.t_rcd
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time lost to refresh (0 disables refresh)."""
+        if self.t_refi <= 0:
+            return 0.0
+        return min(1.0, self.t_rfc / self.t_refi)
+
+
+@dataclass
+class VaultDRAM:
+    """Bank/row state for one vault's DRAM partition.
+
+    Addresses are byte addresses local to the vault.  Row interleaving:
+    consecutive rows map to consecutive banks, so a sequential stream
+    overlaps row activations across banks.
+
+    ``page_policy`` selects the row-buffer policy: ``"open"`` (default)
+    leaves the accessed row open, rewarding locality; ``"closed"``
+    precharges after every access, making every access a miss-cost
+    activation but removing the precharge from the critical path (the
+    model charges only ``t_rcd`` for closed-page misses).
+    """
+
+    capacity_bytes: int
+    n_banks: int = 16
+    row_bytes: int = 256
+    timings: DRAMTimings = field(default_factory=DRAMTimings)
+    page_policy: str = "open"
+    open_rows: Dict[int, int] = field(default_factory=dict)
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+
+    def _locate(self, addr: int) -> tuple:
+        row = addr // self.row_bytes
+        bank = row % self.n_banks
+        return bank, row
+
+    def access(self, addr: int, size: int) -> float:
+        """Service one read/write of ``size`` bytes; returns nanoseconds.
+
+        Splits the request at row boundaries; each row touched is a hit
+        or miss against its bank's open row.
+        """
+        if addr < 0 or size <= 0:
+            raise ValueError("addr must be non-negative and size positive")
+        if addr + size > self.capacity_bytes:
+            raise ValueError("access exceeds vault capacity")
+        total_ns = 0.0
+        offset = addr
+        remaining = size
+        while remaining > 0:
+            bank, row = self._locate(offset)
+            in_row = min(remaining, self.row_bytes - (offset % self.row_bytes))
+            self.accesses += 1
+            if self.page_policy == "closed":
+                # Every access activates a precharged bank.
+                self.row_misses += 1
+                total_ns += self.timings.t_rcd
+            elif self.open_rows.get(bank) == row:
+                self.row_hits += 1
+            else:
+                self.row_misses += 1
+                total_ns += self.timings.row_miss_penalty
+                self.open_rows[bank] = row
+            total_ns += self.timings.t_cas + self.timings.t_burst_per_32b * (
+                -(-in_row // 32)
+            )
+            offset += in_row
+            remaining -= in_row
+        # Steady-state refresh tax stretches every access proportionally.
+        return total_ns / (1.0 - self.timings.refresh_overhead)
+
+    def stream_efficiency(self) -> float:
+        """Fraction of peak bandwidth a long sequential stream achieves.
+
+        One row miss per ``row_bytes`` of data; with bank interleaving
+        the activate overlaps transfer, so the closed form charges the
+        miss penalty once per row against the row's transfer time.
+        """
+        t = self.timings
+        transfer = t.t_burst_per_32b * (self.row_bytes / 32)
+        # Bank-level parallelism hides all but a residual fraction of the
+        # row cycle on a sequential stream.
+        hidden = min(t.row_miss_penalty, transfer * (self.n_banks - 1))
+        exposed = t.row_miss_penalty - hidden
+        eff = transfer / (transfer + exposed + t.t_cas / self.n_banks)
+        return eff * (1.0 - t.refresh_overhead)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0

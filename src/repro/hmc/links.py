@@ -1,0 +1,80 @@
+"""External SerDes links (host <-> cube, cube <-> cube).
+
+HMC links carry FLIT-packetized requests/responses; payload efficiency
+is below the raw lane rate because every packet carries header and tail
+FLITs.  The paper argues the external links are never the bottleneck
+for SSAM ("a vast majority of the data movement occurs within SSAM
+modules themselves ... the communication network ... consists of kNN
+results which are a fraction of the original dataset size"); the
+:meth:`LinkSet.result_traffic_fits` helper makes that check explicit
+and the Fig. 6 experiments assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["ExternalLink", "LinkSet"]
+
+_FLIT_BYTES = 16
+
+
+@dataclass
+class ExternalLink:
+    """One full-width HMC link."""
+
+    peak_bandwidth: float = 60e9        # bytes/s raw
+    header_flits: int = 1
+    tail_flits: int = 1
+    bytes_sent: int = 0
+
+    def packet_bytes(self, payload: int) -> int:
+        """Wire bytes for a payload, including header/tail FLITs."""
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        data_flits = -(-payload // _FLIT_BYTES)
+        return (data_flits + self.header_flits + self.tail_flits) * _FLIT_BYTES
+
+    def efficiency(self, payload: int) -> float:
+        """Payload fraction of wire traffic for packets of this size."""
+        return payload / self.packet_bytes(payload) if payload else 0.0
+
+    def send(self, payload: int) -> float:
+        """Transmit one packet; returns wire time in nanoseconds."""
+        wire = self.packet_bytes(payload)
+        self.bytes_sent += wire
+        return wire / self.peak_bandwidth * 1e9
+
+
+@dataclass
+class LinkSet:
+    """The cube's set of external links, load-balanced round-robin."""
+
+    links: List[ExternalLink] = field(default_factory=lambda: [ExternalLink() for _ in range(4)])
+    _next: int = 0
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return sum(l.peak_bandwidth for l in self.links)
+
+    def send(self, payload: int) -> float:
+        link = self.links[self._next]
+        self._next = (self._next + 1) % len(self.links)
+        return link.send(payload)
+
+    def result_traffic_fits(
+        self, queries_per_s: float, k: int, result_entry_bytes: int = 8,
+        query_bytes: int = 0,
+    ) -> bool:
+        """Check kNN result (+ query upload) traffic fits the links.
+
+        Each query returns ``k`` (id, distance) tuples; with payload
+        efficiency for small packets, the demand must stay under the
+        aggregate link bandwidth.
+        """
+        payload = k * result_entry_bytes
+        per_query = self.links[0].packet_bytes(payload) + (
+            self.links[0].packet_bytes(query_bytes) if query_bytes else 0
+        )
+        return queries_per_s * per_query <= self.aggregate_bandwidth

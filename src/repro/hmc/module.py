@@ -1,0 +1,134 @@
+"""One assembled HMC module and chains of modules.
+
+:class:`HMCModule` wires the pieces together: vault-interleaved address
+mapping, per-vault DRAM + controller, the crossbar, and the external
+links.  It answers the questions the SSAM evaluation needs:
+
+- what effective bandwidth does a full-module sequential scan achieve
+  (drives the exact-search roofline);
+- how is a dataset laid out across vaults (drives partitioning in
+  :class:`repro.core.module.SSAMModule`);
+- do multiple cubes chain to hold a bigger corpus (the paper: "these
+  additional links and SSAM modules allow us to scale up the capacity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.dram import VaultDRAM
+from repro.hmc.links import ExternalLink, LinkSet
+from repro.hmc.switch import CrossbarSwitch
+from repro.hmc.vault import Vault, VaultController
+
+__all__ = ["HMCModule", "ModuleChain"]
+
+
+class HMCModule:
+    """A Hybrid Memory Cube with vault-interleaved global addressing."""
+
+    def __init__(self, config: HMCConfig = HMCConfig()):
+        self.config = config
+        self.vaults: List[Vault] = [
+            Vault(
+                index=i,
+                controller=VaultController(peak_bandwidth=config.vault_bandwidth),
+                dram=VaultDRAM(
+                    capacity_bytes=config.vault_capacity,
+                    n_banks=config.banks_per_vault,
+                    row_bytes=config.row_bytes,
+                ),
+            )
+            for i in range(config.n_vaults)
+        ]
+        self.switch = CrossbarSwitch(
+            n_vault_ports=config.n_vaults,
+            n_link_ports=config.n_links,
+            port_bandwidth=config.vault_bandwidth,
+            aggregate_bandwidth=config.internal_bandwidth + config.external_bandwidth,
+        )
+        self.links = LinkSet(
+            links=[ExternalLink(peak_bandwidth=config.link_bandwidth) for _ in range(config.n_links)]
+        )
+
+    # ------------------------------------------------------------------ mapping
+    def map_address(self, global_addr: int) -> Tuple[int, int]:
+        """Global byte address -> (vault, vault-local address).
+
+        Low-order interleaving at ``block_bytes`` granularity spreads
+        sequential traffic across all vaults, the standard HMC mapping.
+        """
+        if not 0 <= global_addr < self.config.capacity_bytes:
+            raise ValueError(f"address {global_addr:#x} outside module capacity")
+        block = global_addr // self.config.block_bytes
+        vault = block % self.config.n_vaults
+        local_block = block // self.config.n_vaults
+        offset = global_addr % self.config.block_bytes
+        return vault, local_block * self.config.block_bytes + offset
+
+    def read(self, global_addr: int, size: int) -> float:
+        """Read a (possibly vault-spanning) range; returns latency ns.
+
+        Splits at interleave-block boundaries; blocks on different
+        vaults proceed in parallel, so latency is the slowest vault's
+        share while every vault's occupancy is charged.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        per_vault_ns: dict = {}
+        offset = global_addr
+        remaining = size
+        while remaining > 0:
+            vault, local = self.map_address(offset)
+            chunk = min(
+                remaining,
+                self.config.block_bytes - (offset % self.config.block_bytes),
+            )
+            ns = self.vaults[vault].read(local, chunk)
+            per_vault_ns[vault] = per_vault_ns.get(vault, 0.0) + ns
+            offset += chunk
+            remaining -= chunk
+        return max(per_vault_ns.values())
+
+    # ------------------------------------------------------------------ roofline
+    def streaming_bandwidth(self) -> float:
+        """Effective bytes/s of a module-wide sequential scan."""
+        return sum(v.effective_stream_bandwidth() for v in self.vaults)
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.config.capacity_bytes
+
+
+@dataclass
+class ModuleChain:
+    """Several cubes chained over their external links.
+
+    Capacity scales with the number of cubes; internal bandwidth scales
+    too (each cube scans its own resident partition), while the chain's
+    host-facing result traffic shares one cube's links — the topology
+    the paper sketches in Fig. 3.
+    """
+
+    modules: List[HMCModule] = field(default_factory=lambda: [HMCModule()])
+
+    @classmethod
+    def for_capacity(cls, nbytes: int, config: HMCConfig = HMCConfig()) -> "ModuleChain":
+        """Smallest chain of identical cubes holding ``nbytes``."""
+        n = max(1, -(-nbytes // config.capacity_bytes))
+        return cls(modules=[HMCModule(config) for _ in range(n)])
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(m.config.capacity_bytes for m in self.modules)
+
+    @property
+    def internal_bandwidth(self) -> float:
+        return sum(m.config.internal_bandwidth for m in self.modules)
+
+    def streaming_bandwidth(self) -> float:
+        return sum(m.streaming_bandwidth() for m in self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -1,0 +1,61 @@
+"""Logic-die crossbar connecting vaults to links and accelerators.
+
+The switch is modeled as a non-blocking crossbar with a finite
+aggregate capacity (in real HMCs the switch is overprovisioned relative
+to the links); it tracks routed traffic and reports whether a given
+vault-to-link demand pattern is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["CrossbarSwitch"]
+
+
+@dataclass
+class CrossbarSwitch:
+    """Non-blocking crossbar with per-port and aggregate capacity."""
+
+    n_vault_ports: int = 32
+    n_link_ports: int = 4
+    port_bandwidth: float = 10e9
+    aggregate_bandwidth: float = 480e9
+    routed: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def route(self, vault_port: int, link_port: int, size: int) -> None:
+        """Record ``size`` bytes routed between a vault and a link port."""
+        if not 0 <= vault_port < self.n_vault_ports:
+            raise ValueError(f"vault port {vault_port} out of range")
+        if not 0 <= link_port < self.n_link_ports:
+            raise ValueError(f"link port {link_port} out of range")
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        key = (vault_port, link_port)
+        self.routed[key] = self.routed.get(key, 0) + size
+
+    def feasible(self, demands: Dict[Tuple[int, int], float]) -> bool:
+        """Whether a bytes/s demand matrix fits all capacity constraints.
+
+        Checks per-vault-port, per-link-port, and aggregate limits — a
+        sufficient feasibility test for a non-blocking fabric.
+        """
+        per_vault: Dict[int, float] = {}
+        per_link: Dict[int, float] = {}
+        total = 0.0
+        for (vp, lp), rate in demands.items():
+            per_vault[vp] = per_vault.get(vp, 0.0) + rate
+            per_link[lp] = per_link.get(lp, 0.0) + rate
+            total += rate
+        if any(r > self.port_bandwidth * (1 + 1e-9) for r in per_vault.values()):
+            return False
+        # Link ports run at the external link rate (60 GB/s in HMC 2.0).
+        link_cap = self.aggregate_bandwidth / self.n_link_ports
+        if any(r > link_cap * (1 + 1e-9) for r in per_link.values()):
+            return False
+        return total <= self.aggregate_bandwidth * (1 + 1e-9)
+
+    @property
+    def total_routed(self) -> int:
+        return sum(self.routed.values())

@@ -1,0 +1,72 @@
+"""Vaults and vault controllers.
+
+A :class:`Vault` is one vertical DRAM partition plus its controller on
+the logic die.  The controller enforces the 10 GB/s vault bandwidth and
+tracks occupancy; requests flow through :meth:`VaultController.read` /
+``write`` and accumulate busy time, from which utilization and achieved
+bandwidth fall out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hmc.dram import VaultDRAM
+
+__all__ = ["VaultController", "Vault"]
+
+
+@dataclass
+class VaultController:
+    """Bandwidth-enforcing front end of one vault."""
+
+    peak_bandwidth: float              # bytes/s
+    busy_ns: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def transfer_time_ns(self, size: int) -> float:
+        """Wire time for ``size`` bytes at the controller's peak rate."""
+        return size / self.peak_bandwidth * 1e9
+
+    def achieved_bandwidth(self, window_ns: float) -> float:
+        """Bytes/s moved during a window of ``window_ns`` nanoseconds."""
+        if window_ns <= 0:
+            return 0.0
+        return (self.bytes_read + self.bytes_written) / (window_ns * 1e-9)
+
+    def utilization(self, window_ns: float) -> float:
+        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+
+
+@dataclass
+class Vault:
+    """One vault: controller + DRAM partition."""
+
+    index: int
+    controller: VaultController
+    dram: VaultDRAM
+
+    def read(self, addr: int, size: int) -> float:
+        """Read ``size`` bytes at vault-local ``addr``; returns latency ns.
+
+        Latency is DRAM service time plus controller wire time; the
+        controller's busy time accumulates the larger of the two (the
+        pipeline overlaps them, the bottleneck stage defines occupancy).
+        """
+        dram_ns = self.dram.access(addr, size)
+        wire_ns = self.controller.transfer_time_ns(size)
+        self.controller.bytes_read += size
+        self.controller.busy_ns += max(dram_ns, wire_ns)
+        return dram_ns + wire_ns
+
+    def write(self, addr: int, size: int) -> float:
+        dram_ns = self.dram.access(addr, size)
+        wire_ns = self.controller.transfer_time_ns(size)
+        self.controller.bytes_written += size
+        self.controller.busy_ns += max(dram_ns, wire_ns)
+        return dram_ns + wire_ns
+
+    def effective_stream_bandwidth(self) -> float:
+        """Bytes/s a long sequential scan achieves through this vault."""
+        return self.controller.peak_bandwidth * self.dram.stream_efficiency()

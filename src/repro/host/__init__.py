@@ -1,0 +1,35 @@
+"""Host-side SSAM programming interface (paper Section III-A, Fig. 4).
+
+The paper abstracts SSAM behind a driver exposing a memory-allocation
+API: ``nmalloc`` a SSAM-enabled region, ``nmode`` to pick the indexing
+mode, ``nmemcpy`` the dataset in, ``nbuild_index``, then per query
+``nwrite_query`` / ``nexec`` / ``nread_result``, and ``nfree``.  This
+package implements that interface:
+
+- :mod:`repro.host.allocator` — the free-list allocator tracking
+  SSAM-enabled regions ("tracked and stored in a free list similar to
+  how standard memory allocation is implemented");
+- :mod:`repro.host.driver` — the driver and region objects with the
+  Fig. 4 call surface, including both a functional backend and a
+  cycle-accurate backend that routes linear queries through the ISA
+  simulator;
+- :mod:`repro.host.runtime` — multi-module scale-out: capacity-driven
+  module allocation and the host-side global top-k reduction across
+  modules.
+"""
+
+from repro.host.allocator import AllocationError, FreeListAllocator
+from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
+from repro.host.runtime import MultiModuleRuntime
+from repro.host.scheduler import QueryScheduler, ScheduleResult
+
+__all__ = [
+    "AllocationError",
+    "FreeListAllocator",
+    "IndexMode",
+    "SSAMDriver",
+    "SSAMRegion",
+    "MultiModuleRuntime",
+    "QueryScheduler",
+    "ScheduleResult",
+]

@@ -1,0 +1,105 @@
+"""Free-list allocator for SSAM-enabled memory regions.
+
+First-fit over a sorted free list with coalescing on free — the classic
+design the paper gestures at ("SSAM-enabled memory regions would be
+tracked and stored in a free list similar to how standard memory
+allocation is implemented in modern systems").  Allocations are pinned
+by construction (the paper pins pages subject to SSAM queries), so
+there is no swapping or compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["AllocationError", "FreeListAllocator"]
+
+
+class AllocationError(MemoryError):
+    """No free region large enough for the request."""
+
+
+@dataclass(frozen=True)
+class _Block:
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class FreeListAllocator:
+    """First-fit allocator over a fixed physical span."""
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        self._free: List[_Block] = [_Block(0, capacity)]
+        self._allocated: Dict[int, int] = {}   # start -> size
+
+    def _align(self, size: int) -> int:
+        mask = self.alignment - 1
+        return (size + mask) & ~mask
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the region's start address."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        need = self._align(size)
+        for i, block in enumerate(self._free):
+            if block.size >= need:
+                self._allocated[block.start] = need
+                rest = block.size - need
+                if rest:
+                    self._free[i] = _Block(block.start + need, rest)
+                else:
+                    del self._free[i]
+                return block.start
+        raise AllocationError(
+            f"no free region of {need} bytes (capacity {self.capacity}, "
+            f"largest free {max((b.size for b in self._free), default=0)})"
+        )
+
+    def free(self, start: int) -> None:
+        """Release a region; coalesces with free neighbours."""
+        try:
+            size = self._allocated.pop(start)
+        except KeyError:
+            raise AllocationError(f"free of unallocated address {start:#x}") from None
+        block = _Block(start, size)
+        merged: List[_Block] = []
+        for fb in self._free:
+            if fb.end == block.start:
+                block = _Block(fb.start, fb.size + block.size)
+            elif block.end == fb.start:
+                block = _Block(block.start, block.size + fb.size)
+            else:
+                merged.append(fb)
+        merged.append(block)
+        merged.sort(key=lambda b: b.start)
+        self._free = merged
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(b.size for b in self._free)
+
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free); 0 when unfragmented."""
+        total = self.free_bytes
+        if total == 0:
+            return 0.0
+        return 1.0 - max(b.size for b in self._free) / total
+
+    def regions(self) -> List[Tuple[int, int]]:
+        """Allocated (start, size) pairs, sorted by address."""
+        return sorted(self._allocated.items())

@@ -1,0 +1,250 @@
+"""The SSAM driver: the paper's Fig. 4 programming interface.
+
+Example (mirroring the paper's C listing)::
+
+    driver = SSAMDriver()
+    buf = driver.nmalloc(dataset.nbytes)
+    driver.nmode(buf, IndexMode.LINEAR)
+    driver.nmemcpy(buf, dataset)
+    driver.nbuild_index(buf, params=None)
+    driver.nwrite_query(buf, query)
+    driver.nexec(buf, k=10)
+    ids = driver.nread_result(buf)
+    driver.nfree(buf)
+
+Two backends:
+
+- ``backend="functional"`` (default): queries run on the NumPy
+  reference algorithms in :mod:`repro.ann` — fast, exact semantics,
+  usable at any scale;
+- ``backend="cycle"``: LINEAR/HAMMING queries run through the real
+  assembly kernels on the per-vault ISA simulators
+  (:class:`repro.core.module.SSAMModule`), returning the same answers
+  plus cycle-accurate cost; practical for reduced-scale datasets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ann import (
+    HierarchicalKMeansTree,
+    IVFADC,
+    LinearScan,
+    MultiProbeLSH,
+    RandomizedKDForest,
+    SearchResult,
+)
+from repro.core.config import SSAMConfig
+from repro.core.module import SSAMModule
+from repro.host.allocator import FreeListAllocator
+
+__all__ = ["IndexMode", "SSAMRegion", "SSAMDriver"]
+
+
+class IndexMode(enum.Enum):
+    """Indexing modes a SSAM region can be configured for.
+
+    ``LINEAR`` is exact search (the default mode in the paper's
+    listing); the index modes correspond to the three approximate
+    algorithms; ``HAMMING`` is exact search over packed binary codes
+    using the FXP datapath.
+    """
+
+    LINEAR = "linear"
+    KDTREE = "kdtree"
+    KMEANS = "kmeans"
+    MPLSH = "mplsh"
+    IVFADC = "ivfadc"
+    HAMMING = "hamming"
+
+
+@dataclass
+class SSAMRegion:
+    """One nmalloc'd SSAM-enabled region (an opaque handle to users)."""
+
+    address: int
+    size: int
+    mode: IndexMode = IndexMode.LINEAR
+    data: Optional[np.ndarray] = None
+    index: Optional[object] = None
+    query: Optional[np.ndarray] = None
+    result: Optional[SearchResult] = None
+    module: Optional[SSAMModule] = None
+    pinned: bool = True                    # SSAM pages are never swapped
+    build_params: Dict = field(default_factory=dict)
+
+
+class SSAMDriver:
+    """Driver managing SSAM-enabled regions on one module.
+
+    Parameters
+    ----------
+    config:
+        SSAM design point backing this driver's regions.
+    backend:
+        "functional" or "cycle" (see module docstring).
+    """
+
+    def __init__(self, config: Optional[SSAMConfig] = None, backend: str = "functional"):
+        if backend not in ("functional", "cycle"):
+            raise ValueError("backend must be 'functional' or 'cycle'")
+        self.config = config or SSAMConfig.design(4)
+        self.backend = backend
+        self.allocator = FreeListAllocator(self.config.capacity_bytes)
+        self._regions: Dict[int, SSAMRegion] = {}
+
+    # ------------------------------------------------------------- allocation
+    def nmalloc(self, size: int) -> SSAMRegion:
+        """Allocate a SSAM-enabled region of ``size`` bytes."""
+        addr = self.allocator.alloc(size)
+        region = SSAMRegion(address=addr, size=size)
+        self._regions[addr] = region
+        return region
+
+    def nfree(self, region: SSAMRegion) -> None:
+        """Release a region and everything loaded into it."""
+        self._check(region)
+        self.allocator.free(region.address)
+        del self._regions[region.address]
+        region.data = region.index = region.query = region.result = None
+
+    # ------------------------------------------------------------- configuration
+    def nmode(self, region: SSAMRegion, mode: IndexMode) -> None:
+        """Select the indexing mode; invalidates any built index."""
+        self._check(region)
+        region.mode = IndexMode(mode)
+        region.index = None
+        region.result = None
+
+    def nmemcpy(self, region: SSAMRegion, data: np.ndarray) -> None:
+        """Copy the dataset into the region (host -> SSAM)."""
+        self._check(region)
+        arr = np.asarray(data)
+        if arr.ndim != 2:
+            raise ValueError("dataset must be a 2-D array")
+        if arr.nbytes > region.size:
+            raise ValueError(
+                f"dataset ({arr.nbytes} B) exceeds region ({region.size} B)"
+            )
+        region.data = arr
+        region.index = None
+        if self.backend == "cycle":
+            module = SSAMModule(self.config)
+            if region.mode is IndexMode.HAMMING:
+                module.load_codes(arr)
+            else:
+                module.load_dataset(arr)
+            region.module = module
+
+    def nbuild_index(self, region: SSAMRegion, params: Optional[dict] = None) -> None:
+        """Build the index for the region's mode.
+
+        ``params`` are forwarded to the index constructor (e.g.
+        ``{"n_trees": 4}`` for KDTREE, ``{"n_tables": 8, "n_bits": 20}``
+        for MPLSH).  LINEAR/HAMMING need no index; the call records the
+        (empty) parameters for symmetry with the paper's listing.
+        """
+        self._check(region)
+        if region.data is None:
+            raise RuntimeError("nmemcpy() a dataset before nbuild_index()")
+        params = dict(params or {})
+        region.build_params = params
+        mode = region.mode
+        if mode is IndexMode.LINEAR:
+            region.index = LinearScan(**params).build(region.data)
+        elif mode is IndexMode.HAMMING:
+            region.index = LinearScan(metric="hamming", **params).build(region.data)
+        elif mode is IndexMode.KDTREE:
+            region.index = RandomizedKDForest(**params).build(np.asarray(region.data, dtype=np.float64))
+        elif mode is IndexMode.KMEANS:
+            region.index = HierarchicalKMeansTree(**params).build(np.asarray(region.data, dtype=np.float64))
+        elif mode is IndexMode.MPLSH:
+            region.index = MultiProbeLSH(**params).build(np.asarray(region.data, dtype=np.float64))
+        elif mode is IndexMode.IVFADC:
+            region.index = IVFADC(**params).build(np.asarray(region.data, dtype=np.float64))
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown mode {mode}")
+
+    # ------------------------------------------------------------- execution
+    def nwrite_query(self, region: SSAMRegion, query: np.ndarray) -> None:
+        """Write the query vector into the region's scratchpad slot."""
+        self._check(region)
+        region.query = np.asarray(query)
+
+    def nexec(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
+        """Execute the kNN search for the staged query."""
+        self._check(region)
+        if region.query is None:
+            raise RuntimeError("nwrite_query() before nexec()")
+        if region.index is None:
+            raise RuntimeError("nbuild_index() before nexec()")
+        if (
+            self.backend == "cycle"
+            and region.mode in (IndexMode.LINEAR, IndexMode.HAMMING)
+            and region.module is not None
+        ):
+            metric = "hamming" if region.mode is IndexMode.HAMMING else "euclidean"
+            mres = region.module.query(region.query, k, metric=metric)
+            region.result = SearchResult(
+                ids=mres.ids[None, :], distances=mres.values[None, :].astype(np.float64)
+            )
+            region.result.stats.candidates_scanned = region.data.shape[0]
+            return
+        if self.backend == "cycle" and region.mode in (IndexMode.KDTREE, IndexMode.KMEANS):
+            self._nexec_cycle_traversal(region, k, checks)
+            return
+        region.result = region.index.search(region.query, k, checks=checks)
+
+    def _nexec_cycle_traversal(self, region: SSAMRegion, k: int,
+                               checks: Optional[int]) -> None:
+        """Cycle-accurate index traversal on one processing unit.
+
+        Runs the hand-written kd-tree / k-means-tree kernel on the ISA
+        simulator (single PU; the functional backend remains the
+        multi-vault path).  Cycle cost lands in
+        ``region.result.stats.distance_ops`` per the kernel run; ids and
+        distances come straight from the hardware priority queue.
+        """
+        from dataclasses import replace
+
+        from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
+
+        budget = int(checks) if checks else 256
+        machine = replace(self.config.machine, stack_depth=4096,
+                          pq_chained=max(1, -(-k // self.config.machine.pq_depth)))
+        if region.mode is IndexMode.KDTREE:
+            kern = kdtree_kernel(region.index, region.query, k, budget, machine)
+        else:
+            kern = kmeans_tree_kernel(region.index, region.query, k, budget, machine)
+        res = kern.run()
+        pad = k - res.ids.size
+        ids = np.concatenate([res.ids, np.full(pad, -1, dtype=np.int64)]) if pad else res.ids
+        vals = (
+            np.concatenate([res.values.astype(np.float64), np.full(pad, np.inf)])
+            if pad else res.values.astype(np.float64)
+        )
+        region.result = SearchResult(ids=ids[None, :], distances=vals[None, :])
+        region.result.stats.candidates_scanned = res.stats.pq_inserts
+        region.result.stats.nodes_visited = res.stats.stack_pushes
+        region.result.stats.distance_ops = res.stats.cycles
+
+    def nread_result(self, region: SSAMRegion) -> np.ndarray:
+        """Read back the neighbor ids of the last nexec()."""
+        self._check(region)
+        if region.result is None:
+            raise RuntimeError("nexec() before nread_result()")
+        return region.result.ids[0]
+
+    # ------------------------------------------------------------- internals
+    def _check(self, region: SSAMRegion) -> None:
+        if region.address not in self._regions:
+            raise ValueError("region is not owned by this driver (double free?)")
+
+    @property
+    def n_regions(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,99 @@
+"""Multi-module scale-out runtime.
+
+When the corpus exceeds one cube's capacity, the paper composes modules
+over the external links ("these additional links and SSAM modules allow
+us to scale up the capacity of the system") and the host "broadcasts
+the search across SSAM processing units and performs the final set of
+global top-k reductions".  :class:`MultiModuleRuntime` implements that:
+shard the dataset across as many modules as capacity demands, broadcast
+each query, and k-way-merge the partial results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ann import LinearScan, SearchResult, SearchStats
+from repro.core.config import SSAMConfig
+
+__all__ = ["MultiModuleRuntime"]
+
+
+@dataclass
+class _Shard:
+    """One module's slice of the corpus."""
+
+    module_index: int
+    row_offset: int
+    index: LinearScan
+
+
+class MultiModuleRuntime:
+    """Shards a corpus across SSAM modules and merges query results.
+
+    Uses the functional (NumPy) per-module search path; the point of
+    this class is the *distribution* logic — capacity-driven sharding,
+    broadcast, and the host-side global top-k reduction — which is
+    identical for both backends.
+    """
+
+    def __init__(self, config: Optional[SSAMConfig] = None, metric: str = "euclidean"):
+        self.config = config or SSAMConfig.design(4)
+        self.metric = metric
+        self.shards: List[_Shard] = []
+        self._n_rows = 0
+
+    def modules_needed(self, nbytes: int) -> int:
+        """Modules required for ``nbytes`` of pinned dataset."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        return max(1, -(-nbytes // self.config.capacity_bytes))
+
+    def load(self, data: np.ndarray) -> int:
+        """Shard ``data`` across modules; returns the module count."""
+        arr = np.asarray(data)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        n_modules = self.modules_needed(arr.nbytes)
+        bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
+        self.shards = []
+        for m in range(n_modules):
+            lo, hi = int(bounds[m]), int(bounds[m + 1])
+            if hi > lo:
+                self.shards.append(
+                    _Shard(
+                        module_index=m,
+                        row_offset=lo,
+                        index=LinearScan(metric=self.metric).build(arr[lo:hi]),
+                    )
+                )
+        self._n_rows = arr.shape[0]
+        return n_modules
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        """Broadcast queries to every module; merge per-module top-k."""
+        if not self.shards:
+            raise RuntimeError("load() a dataset before search()")
+        partials = []
+        stats = SearchStats()
+        for shard in self.shards:
+            res = shard.index.search(queries, k)
+            ids = np.where(res.ids >= 0, res.ids + shard.row_offset, res.ids)
+            partials.append((ids, res.distances))
+            stats += res.stats
+        all_ids = np.concatenate([p[0] for p in partials], axis=1)
+        all_d = np.concatenate([p[1] for p in partials], axis=1)
+        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+        rows = np.arange(all_d.shape[0])[:, None]
+        return SearchResult(ids=all_ids[rows, order], distances=all_d[rows, order], stats=stats)
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows

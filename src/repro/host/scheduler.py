@@ -1,0 +1,138 @@
+"""Query scheduling and latency distribution across SSAM modules.
+
+The serving substrate above the driver: a stream of kNN queries arrives
+at the host, which dispatches them to a pool of SSAM modules.  Each
+module serves one query at a time (one broadcast scan occupies all its
+vaults), so the pool behaves like a multi-server queue with
+deterministic service times.  :class:`QueryScheduler` runs a discrete
+event simulation of that queue and reports the latency distribution —
+the quantity the paper's "stringent latency budgets" argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["QueryScheduler", "ScheduleResult"]
+
+
+@dataclass
+class ScheduleResult:
+    """Latency statistics of a simulated query stream (seconds)."""
+
+    latencies: np.ndarray
+    service_seconds: float
+    n_modules: int
+
+    @property
+    def mean(self) -> float:
+        return float(self.latencies.mean())
+
+    def percentile(self, p: float) -> float:
+        return float(np.percentile(self.latencies, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def max_queue_wait(self) -> float:
+        return float((self.latencies - self.service_seconds).max())
+
+
+class QueryScheduler:
+    """FIFO dispatch of a query stream over ``n_modules`` identical modules.
+
+    Parameters
+    ----------
+    n_modules:
+        Pool size (each an independent SSAM module or chain).
+    service_seconds:
+        Deterministic per-query service time (one corpus scan); obtain
+        it as ``1 / SSAMPerformanceModel.linear_throughput(...)``.
+    """
+
+    def __init__(self, n_modules: int, service_seconds: float):
+        if n_modules <= 0:
+            raise ValueError("n_modules must be positive")
+        if service_seconds <= 0:
+            raise ValueError("service_seconds must be positive")
+        self.n_modules = int(n_modules)
+        self.service_seconds = float(service_seconds)
+
+    @property
+    def capacity_qps(self) -> float:
+        """Saturation throughput of the pool."""
+        return self.n_modules / self.service_seconds
+
+    def simulate(
+        self,
+        arrival_qps: float,
+        n_queries: int = 10_000,
+        poisson: bool = True,
+        seed: int = 0,
+    ) -> ScheduleResult:
+        """Simulate ``n_queries`` arrivals at ``arrival_qps``.
+
+        ``poisson=False`` uses a deterministic arrival spacing (the
+        best case); Poisson arrivals expose queueing waits as the load
+        approaches capacity.
+        """
+        if arrival_qps <= 0 or n_queries <= 0:
+            raise ValueError("arrival_qps and n_queries must be positive")
+        rng = np.random.default_rng(seed)
+        if poisson:
+            gaps = rng.exponential(1.0 / arrival_qps, size=n_queries)
+        else:
+            gaps = np.full(n_queries, 1.0 / arrival_qps)
+        arrivals = np.cumsum(gaps)
+
+        # Multi-server FIFO: a min-heap of module-free times.
+        free_at: List[float] = [0.0] * self.n_modules
+        import heapq
+
+        heapq.heapify(free_at)
+        latencies = np.empty(n_queries)
+        for i, t in enumerate(arrivals):
+            earliest = heappop(free_at)
+            start = max(t, earliest)
+            done = start + self.service_seconds
+            heappush(free_at, done)
+            latencies[i] = done - t
+        return ScheduleResult(
+            latencies=latencies,
+            service_seconds=self.service_seconds,
+            n_modules=self.n_modules,
+        )
+
+    def max_load_within_budget(
+        self,
+        latency_budget: float,
+        percentile: float = 99.0,
+        n_queries: int = 5_000,
+        seed: int = 0,
+    ) -> float:
+        """Highest Poisson arrival rate whose pXX latency fits the budget.
+
+        Binary-searches the load between 1% and 99.9% of capacity.
+        Returns 0.0 if even the bare service time exceeds the budget.
+        """
+        if latency_budget <= self.service_seconds:
+            return 0.0
+        lo, hi = 0.01 * self.capacity_qps, 0.999 * self.capacity_qps
+        for _ in range(20):
+            mid = 0.5 * (lo + hi)
+            res = self.simulate(mid, n_queries=n_queries, seed=seed)
+            if res.percentile(percentile) <= latency_budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo

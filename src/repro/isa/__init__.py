@@ -1,0 +1,54 @@
+"""The SSAM processing-unit instruction set (paper Table II).
+
+This package defines the accelerator's ISA and the toolchain the paper
+describes building for its evaluation ("we also built an assembler and
+simulator to generate program binaries, benchmark assembly programs, and
+validate the correctness of our design"):
+
+- :mod:`repro.isa.instructions` — the instruction specifications:
+  scalar/vector arithmetic, bitwise/shift, control, stack-unit ops,
+  register moves, memory ops, and the three SSAM extensions
+  (``PQUEUE_*``, ``FXP``, ``MEM_FETCH``);
+- :mod:`repro.isa.assembler` — a two-pass assembler for a readable
+  textual assembly with labels, comments, and pseudo-instructions;
+- :mod:`repro.isa.program` — assembled program representation;
+- :mod:`repro.isa.simulator` — a functional + cycle-approximate
+  simulator of one processing unit, with full accounting of
+  instruction mix, cycles, and memory traffic;
+- :mod:`repro.isa.trace` — instruction-mix summaries (paper Table I).
+"""
+
+from repro.isa.instructions import (
+    Category,
+    InstrSpec,
+    SPEC_BY_NAME,
+    all_instructions,
+)
+from repro.isa.program import Instruction, Program
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode_program,
+    encode_program,
+)
+from repro.isa.simulator import MachineConfig, RunStats, Simulator, SimulatorError
+from repro.isa.trace import InstructionMix
+
+__all__ = [
+    "Category",
+    "InstrSpec",
+    "SPEC_BY_NAME",
+    "all_instructions",
+    "Instruction",
+    "Program",
+    "AssemblerError",
+    "assemble",
+    "EncodingError",
+    "encode_program",
+    "decode_program",
+    "MachineConfig",
+    "RunStats",
+    "Simulator",
+    "SimulatorError",
+    "InstructionMix",
+]

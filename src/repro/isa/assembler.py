@@ -1,0 +1,196 @@
+"""Two-pass assembler for the SSAM ISA.
+
+Syntax
+------
+One instruction per line.  ``#`` starts a comment.  Labels are
+identifiers followed by ``:`` on their own line or preceding an
+instruction.  Operands are comma-separated:
+
+- scalar registers ``s0`` .. ``s31`` (``s0`` is hardwired to zero);
+- vector registers ``v0`` .. ``v7``;
+- immediates: decimal (possibly negative) or hex (``0x..``);
+- memory operands ``offset(sreg)``, offset in 32-bit *words*;
+- branch targets: label names.
+
+Pseudo-instructions expanded by the assembler:
+
+- ``li sd, imm``   -> ``addi sd, s0, imm``
+- ``mv sd, sa``    -> ``add sd, sa, s0``
+- ``bge ra, rb, l``-> ``blt`` with swapped operands is *not* equivalent;
+  instead expands to ``bgt ra, rb, l`` + ``be ra, rb, l`` (two
+  instructions), provided for kernel convenience.
+
+Example
+-------
+::
+
+    # sum the first s2 words at address s1 into s3
+        li   s3, 0
+        li   s4, 0
+    loop:
+        load s5, 0(s1)
+        add  s3, s3, s5
+        addi s1, s1, 1
+        addi s4, s4, 1
+        blt  s4, s2, loop
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import SPEC_BY_NAME
+from repro.isa.program import Instruction, Program
+
+__all__ = ["AssemblerError", "assemble", "N_SCALAR_REGS", "N_VECTOR_REGS"]
+
+N_SCALAR_REGS = 32
+N_VECTOR_REGS = 8
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(\s*(s\d+)\s*\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with the line number."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(line_no, f"invalid immediate {text!r}") from None
+
+
+def _parse_sreg(text: str, line_no: int) -> int:
+    if not text.startswith("s"):
+        raise AssemblerError(line_no, f"expected scalar register, got {text!r}")
+    try:
+        idx = int(text[1:])
+    except ValueError:
+        raise AssemblerError(line_no, f"invalid scalar register {text!r}") from None
+    if not 0 <= idx < N_SCALAR_REGS:
+        raise AssemblerError(line_no, f"scalar register out of range: {text}")
+    return idx
+
+
+def _parse_vreg(text: str, line_no: int) -> int:
+    if not text.startswith("v"):
+        raise AssemblerError(line_no, f"expected vector register, got {text!r}")
+    try:
+        idx = int(text[1:])
+    except ValueError:
+        raise AssemblerError(line_no, f"invalid vector register {text!r}") from None
+    if not 0 <= idx < N_VECTOR_REGS:
+        raise AssemblerError(line_no, f"vector register out of range: {text}")
+    return idx
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()] if rest.strip() else []
+
+
+def _expand_pseudo(name: str, ops: List[str], line_no: int) -> List[Tuple[str, List[str]]]:
+    """Expand pseudo-instructions into real ones."""
+    if name == "li":
+        if len(ops) != 2:
+            raise AssemblerError(line_no, "li takes 2 operands: rd, imm")
+        return [("addi", [ops[0], "s0", ops[1]])]
+    if name == "mv":
+        if len(ops) != 2:
+            raise AssemblerError(line_no, "mv takes 2 operands: rd, ra")
+        return [("add", [ops[0], ops[1], "s0"])]
+    if name == "bge":
+        if len(ops) != 3:
+            raise AssemblerError(line_no, "bge takes 3 operands: ra, rb, label")
+        return [("bgt", ops), ("be", ops)]
+    return [(name, ops)]
+
+
+def assemble(source: str) -> Program:
+    """Assemble textual SSAM assembly into a :class:`Program`."""
+    # ---- pass 1: strip comments, collect labels and raw instruction lines ----
+    raw: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, operand tokens)
+    labels: Dict[str, int] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        while ":" in text:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(line_no, f"invalid label {label!r}")
+            if label in labels:
+                raise AssemblerError(line_no, f"duplicate label {label!r}")
+            labels[label] = len(raw)
+            text = rest.strip()
+            if not text:
+                break
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        ops = _split_operands(parts[1]) if len(parts) > 1 else []
+        for real_name, real_ops in _expand_pseudo(name, ops, line_no):
+            if real_name not in SPEC_BY_NAME:
+                raise AssemblerError(line_no, f"unknown instruction {real_name!r}")
+            raw.append((line_no, real_name, real_ops))
+
+    # Remap labels pointing past the end (trailing labels) to a final halt.
+    n = len(raw)
+    for label, idx in labels.items():
+        if idx > n:
+            raise AssemblerError(0, f"label {label!r} out of range")
+
+    # ---- pass 2: resolve operands against signatures --------------------------
+    instructions: List[Instruction] = []
+    for pc, (line_no, name, ops) in enumerate(raw):
+        spec = SPEC_BY_NAME[name]
+        if len(ops) != len(spec.signature):
+            raise AssemblerError(
+                line_no,
+                f"{name} expects {len(spec.signature)} operands "
+                f"({spec.doc or ','.join(spec.signature)}), got {len(ops)}",
+            )
+        resolved = []
+        for kind, tok in zip(spec.signature, ops):
+            if kind == "s":
+                resolved.append(_parse_sreg(tok, line_no))
+            elif kind == "v":
+                resolved.append(_parse_vreg(tok, line_no))
+            elif kind == "i":
+                resolved.append(_parse_int(tok, line_no))
+            elif kind == "si":
+                if re.match(r"^s\d+$", tok):
+                    resolved.append(("r", _parse_sreg(tok, line_no)))
+                else:
+                    resolved.append(("i", _parse_int(tok, line_no)))
+            elif kind == "l":
+                if tok not in labels:
+                    raise AssemblerError(line_no, f"undefined label {tok!r}")
+                target = labels[tok]
+                if target >= len(raw):
+                    raise AssemblerError(line_no, f"label {tok!r} points past program end")
+                resolved.append(target)
+            elif kind == "m":
+                match = _MEM_RE.match(tok.replace(" ", ""))
+                if not match:
+                    raise AssemblerError(line_no, f"invalid memory operand {tok!r}; use off(sN)")
+                offset = _parse_int(match.group(1), line_no)
+                base = _parse_sreg(match.group(2), line_no)
+                resolved.append((offset, base))
+            else:  # pragma: no cover - spec table is static
+                raise AssemblerError(line_no, f"bad signature kind {kind!r}")
+        instructions.append(
+            Instruction(name=name, operands=tuple(resolved), source_line=line_no,
+                        source_text=f"{name} " + ", ".join(ops))
+        )
+
+    return Program(instructions=instructions, labels=labels, source=source)

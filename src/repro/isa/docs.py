@@ -1,0 +1,73 @@
+"""Auto-generated ISA reference (rendered to docs/ISA.md).
+
+Keeping the reference generated from :data:`repro.isa.instructions.
+SPEC_BY_NAME` guarantees it never drifts from the implementation; the
+test suite regenerates it and diffs against the committed file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instructions import SPEC_BY_NAME, Category
+
+__all__ = ["render_isa_reference"]
+
+_CATEGORY_TITLES = {
+    Category.SCALAR_ALU: "Scalar arithmetic / bitwise",
+    Category.VECTOR_ALU: "Vector arithmetic / bitwise",
+    Category.CONTROL: "Control flow",
+    Category.STACK: "Stack unit",
+    Category.MOVE: "Register moves",
+    Category.MEM_READ: "Memory reads",
+    Category.MEM_WRITE: "Memory writes",
+    Category.VMEM_READ: "Vector memory reads",
+    Category.VMEM_WRITE: "Vector memory writes",
+    Category.PREFETCH: "Prefetch",
+    Category.PQUEUE: "Priority-queue unit (SSAM extension)",
+    Category.SYSTEM: "System",
+}
+
+_SIG_RENDER = {
+    "s": "sreg", "v": "vreg", "i": "imm", "si": "sreg|imm",
+    "l": "label", "m": "off(sreg)",
+}
+
+
+def render_isa_reference() -> str:
+    """The full instruction-set reference as Markdown."""
+    by_category: Dict[Category, List] = {}
+    for spec in SPEC_BY_NAME.values():
+        by_category.setdefault(spec.category, []).append(spec)
+
+    lines = [
+        "# SSAM processing-unit ISA reference",
+        "",
+        "Generated from `repro.isa.instructions` "
+        "(`python -c \"from repro.isa.docs import render_isa_reference; "
+        "print(render_isa_reference())\"`). "
+        "The instruction groups mirror the paper's Table II; `HALT`/`NOP` "
+        "are simulation conveniences.",
+        "",
+        "Conventions: 32 scalar registers `s0`..`s31` (`s0` is hardwired "
+        "zero), 8 vector registers `v0`..`v7` of VLEN 32-bit lanes, "
+        "word-granular addresses, one 64-bit instruction word each "
+        "(see `repro.isa.encoding`).",
+        "",
+    ]
+    for category in _CATEGORY_TITLES:
+        specs = by_category.get(category)
+        if not specs:
+            continue
+        lines.append(f"## {_CATEGORY_TITLES[category]}")
+        lines.append("")
+        lines.append("| Mnemonic | Operands | Cycles | Description |")
+        lines.append("|---|---|---|---|")
+        for spec in specs:
+            operands = ", ".join(_SIG_RENDER[k] for k in spec.signature) or "—"
+            doc = spec.doc or ""
+            lines.append(
+                f"| `{spec.name}` | {operands} | {spec.issue_cycles} | {doc} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

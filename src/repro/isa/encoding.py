@@ -1,0 +1,176 @@
+"""Binary encoding of SSAM programs ("program binaries", paper §IV).
+
+Each instruction encodes into one 64-bit word:
+
+======  =====  ==========================================================
+Bits    Width  Field
+======  =====  ==========================================================
+63..56  8      opcode (index into the instruction table)
+55..51  5      operand slot 0 (register number) / low bits of wide fields
+50..46  5      operand slot 1
+45..41  5      operand slot 2
+40      1      reg-vs-imm selector for ``si`` slots
+39..8   32     immediate / branch target / memory offset (signed)
+7..0    8      short immediate (second immediate field, unsigned;
+               e.g. PQUEUE_LOAD's id/value selector, VSMOVE's lane)
+======  =====  ==========================================================
+
+The format is deliberately simple — a fixed 64-bit word matches the
+instruction-memory budget used by the area model (4 K instructions in
+the 32 KB instruction SRAM of Table IV).  ``encode_program`` /
+``decode_program`` round-trip exactly, and the decoder validates
+opcodes and register ranges so corrupted binaries fail loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from repro.isa.assembler import N_SCALAR_REGS, N_VECTOR_REGS
+from repro.isa.instructions import SPEC_BY_NAME
+from repro.isa.program import Instruction, Program
+
+__all__ = ["EncodingError", "encode_instruction", "decode_instruction",
+           "encode_program", "decode_program"]
+
+_OPCODES = {name: i for i, name in enumerate(SPEC_BY_NAME)}
+_NAMES = {i: name for name, i in _OPCODES.items()}
+
+_IMM_MIN = -(1 << 31)
+_IMM_MAX = (1 << 31) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when a value does not fit the binary format."""
+
+
+def _check_imm(value: int) -> int:
+    if not _IMM_MIN <= value <= _IMM_MAX:
+        raise EncodingError(f"immediate {value} does not fit 32 bits")
+    return value & 0xFFFFFFFF
+
+
+def encode_instruction(ins: Instruction) -> int:
+    """Encode one instruction into a 64-bit word."""
+    spec = ins.spec
+    word = _OPCODES[ins.name] << 56
+    slot = 0
+    sel = 0
+    imm = 0
+    imm_used = False
+    short_imm = 0
+    short_used = False
+
+    def put_reg(idx: int) -> None:
+        nonlocal word, slot
+        if slot > 2:
+            raise EncodingError(f"{ins.name}: too many register slots")
+        word |= (idx & 0x1F) << (51 - 5 * slot)
+        slot += 1
+
+    def put_imm(value: int) -> None:
+        nonlocal imm, imm_used, short_imm, short_used
+        if not imm_used:
+            imm = _check_imm(value)
+            imm_used = True
+            return
+        # Second immediate goes to the 8-bit short field.
+        if short_used:
+            raise EncodingError(f"{ins.name}: more than two immediate fields")
+        if not 0 <= value <= 0xFF:
+            raise EncodingError(
+                f"{ins.name}: second immediate {value} does not fit the short field"
+            )
+        short_imm = value
+        short_used = True
+
+    for kind, op in zip(spec.signature, ins.operands):
+        if kind in ("s", "v"):
+            put_reg(op)
+        elif kind in ("i", "l"):
+            put_imm(op)
+        elif kind == "si":
+            tag, value = op
+            if tag == "r":
+                sel = 1
+                put_reg(value)
+            else:
+                put_imm(value)
+        elif kind == "m":
+            offset, base = op
+            put_reg(base)
+            put_imm(offset)
+        else:  # pragma: no cover - static table
+            raise EncodingError(f"unknown signature kind {kind}")
+    word |= sel << 40
+    word |= imm << 8
+    word |= short_imm
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 64-bit word back into an :class:`Instruction`."""
+    opcode = (word >> 56) & 0xFF
+    if opcode not in _NAMES:
+        raise EncodingError(f"invalid opcode {opcode}")
+    name = _NAMES[opcode]
+    spec = SPEC_BY_NAME[name]
+    regs = [(word >> (51 - 5 * i)) & 0x1F for i in range(3)]
+    sel = (word >> 40) & 1
+    imm = (word >> 8) & 0xFFFFFFFF
+    if imm >= (1 << 31):
+        imm -= 1 << 32
+    short_imm = word & 0xFF
+
+    operands: List = []
+    slot = 0
+    imm_used = False
+
+    def take_imm() -> int:
+        nonlocal imm_used
+        if not imm_used:
+            imm_used = True
+            return imm
+        return short_imm
+
+    for kind in spec.signature:
+        if kind in ("s", "v"):
+            limit = N_SCALAR_REGS if kind == "s" else N_VECTOR_REGS
+            if regs[slot] >= limit:
+                raise EncodingError(f"{name}: register {regs[slot]} out of range")
+            operands.append(regs[slot])
+            slot += 1
+        elif kind in ("i", "l"):
+            operands.append(take_imm())
+        elif kind == "si":
+            if sel:
+                operands.append(("r", regs[slot]))
+                slot += 1
+            else:
+                operands.append(("i", take_imm()))
+        elif kind == "m":
+            base = regs[slot]
+            slot += 1
+            operands.append((take_imm(), base))
+    return Instruction(name=name, operands=tuple(operands), source_text=name)
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to its binary image (little-endian u64 words)."""
+    return b"".join(struct.pack("<Q", encode_instruction(i)) for i in program.instructions)
+
+
+def decode_program(binary: bytes) -> Program:
+    """Deserialize a binary image back into a runnable :class:`Program`.
+
+    Labels are not recoverable (they were resolved at assembly time);
+    branch targets stay as absolute indices, which is all the simulator
+    needs.
+    """
+    if len(binary) % 8:
+        raise EncodingError("binary image length is not a multiple of 8")
+    words = np.frombuffer(binary, dtype="<u8")
+    return Program(instructions=[decode_instruction(int(w)) for w in words], labels={})

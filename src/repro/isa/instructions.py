@@ -1,0 +1,159 @@
+"""Instruction specifications for the SSAM processing unit (Table II).
+
+The paper's ISA groups instructions into:
+
+========================  =====================================================
+Type                      Instructions
+========================  =====================================================
+Arithmetic (S/V)          ADD, SUB, MULT, POPCOUNT, ADDI, SUBI, MULTI
+Bitwise/Shift (S/V)       OR, AND, NOT, XOR, ANDI, ORI, XORI, SR, SL, SRA
+Control (S)               BNE, BGT, BLT, BE, J
+Stack unit (S)            POP, PUSH
+Moves/Memory (S/V)        SVMOVE, VSMOVE, MEM_FETCH, LOAD, STORE
+New SSAM instructions     PQUEUE_INSERT, PQUEUE_LOAD, PQUEUE_RESET, (S/V)FXP
+========================  =====================================================
+
+Vector variants take a ``V`` prefix in the assembly (``vadd``, ``vload``,
+``vfxp`` ...).  A ``HALT`` instruction is added for simulation
+termination, as is conventional for ISA simulators.
+
+Each :class:`InstrSpec` records the operand signature (used by the
+assembler for validation) and the *category* used for instruction-mix
+accounting — the same buckets the paper's Table I reports (vector
+instructions, memory reads, memory writes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Category", "InstrSpec", "SPEC_BY_NAME", "all_instructions"]
+
+
+class Category(enum.Enum):
+    """Instruction-mix buckets, matching the paper's Table I columns."""
+
+    SCALAR_ALU = "scalar_alu"
+    VECTOR_ALU = "vector_alu"
+    CONTROL = "control"
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+    VMEM_READ = "vmem_read"
+    VMEM_WRITE = "vmem_write"
+    STACK = "stack"
+    PQUEUE = "pqueue"
+    MOVE = "move"
+    PREFETCH = "prefetch"
+    SYSTEM = "system"
+
+    @property
+    def is_vector(self) -> bool:
+        return self in (Category.VECTOR_ALU, Category.VMEM_READ, Category.VMEM_WRITE)
+
+    @property
+    def is_mem_read(self) -> bool:
+        return self in (Category.MEM_READ, Category.VMEM_READ)
+
+    @property
+    def is_mem_write(self) -> bool:
+        return self in (Category.MEM_WRITE, Category.VMEM_WRITE)
+
+
+# Operand kind codes used in signatures:
+#   's'  scalar register        'v'  vector register
+#   'i'  immediate              'si' scalar register or immediate
+#   'l'  label (branch target)  'm'  memory operand  off(sreg)
+Signature = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Specification of one mnemonic."""
+
+    name: str
+    signature: Signature
+    category: Category
+    issue_cycles: int = 1
+    doc: str = ""
+
+
+def _specs() -> List[InstrSpec]:
+    out: List[InstrSpec] = []
+
+    def add(name, sig, cat, cycles=1, doc=""):
+        out.append(InstrSpec(name, tuple(sig), cat, cycles, doc))
+
+    # --- scalar arithmetic ---------------------------------------------------
+    for op in ("add", "sub", "mult"):
+        add(op, "sss", Category.SCALAR_ALU, doc=f"{op} rd, ra, rb")
+    add("popcount", "ss", Category.SCALAR_ALU, doc="popcount rd, ra")
+    for op in ("addi", "subi", "multi"):
+        add(op, "ssi", Category.SCALAR_ALU, doc=f"{op} rd, ra, imm")
+
+    # --- scalar bitwise / shift ----------------------------------------------
+    for op in ("or", "and", "xor"):
+        add(op, "sss", Category.SCALAR_ALU)
+    add("not", "ss", Category.SCALAR_ALU)
+    for op in ("andi", "ori", "xori"):
+        add(op, "ssi", Category.SCALAR_ALU)
+    for op in ("sr", "sl", "sra"):
+        add(op, ("s", "s", "si"), Category.SCALAR_ALU,
+            doc=f"{op} rd, ra, rb|imm (logical right / left / arithmetic right)")
+
+    # --- vector arithmetic & bitwise ------------------------------------------
+    for op in ("vadd", "vsub", "vmult", "vor", "vand", "vxor"):
+        add(op, "vvv", Category.VECTOR_ALU)
+    add("vpopcount", "vv", Category.VECTOR_ALU)
+    add("vnot", "vv", Category.VECTOR_ALU)
+    for op in ("vaddi", "vsubi", "vmulti", "vandi", "vori", "vxori"):
+        add(op, "vvi", Category.VECTOR_ALU)
+    for op in ("vsr", "vsl", "vsra"):
+        add(op, ("v", "v", "si"), Category.VECTOR_ALU)
+
+    # --- control ---------------------------------------------------------------
+    for op in ("bne", "bgt", "blt", "be"):
+        add(op, "ssl", Category.CONTROL, doc=f"{op} ra, rb, label")
+    add("j", "l", Category.CONTROL, doc="unconditional jump")
+
+    # --- stack unit --------------------------------------------------------------
+    add("push", "s", Category.STACK, doc="push ra onto the hardware stack")
+    add("pop", "s", Category.STACK, doc="pop the hardware stack into rd")
+
+    # --- moves -----------------------------------------------------------------
+    add("svmove", "vs", Category.MOVE, doc="broadcast scalar ra into all lanes of vd")
+    add("vsmove", ("s", "v", "i"), Category.MOVE, doc="extract lane imm of va into rd")
+
+    # --- memory -----------------------------------------------------------------
+    add("load", "sm", Category.MEM_READ, doc="load rd, off(ra): one 32-bit word")
+    add("store", "sm", Category.MEM_WRITE, doc="store rs, off(ra)")
+    add("vload", "vm", Category.VMEM_READ, doc="load VLEN consecutive words into vd")
+    add("vstore", "vm", Category.VMEM_WRITE, doc="store VLEN consecutive words from vs")
+    add("mem_fetch", "m", Category.PREFETCH,
+        doc="prefetch: points the stream engine at off(ra)")
+
+    # --- SSAM extensions ----------------------------------------------------------
+    add("pqueue_insert", "ss", Category.PQUEUE,
+        doc="pqueue_insert id_reg, value_reg: insert tuple into the HW priority queue")
+    add("pqueue_load", ("s", "si", "i"), Category.PQUEUE,
+        doc="pqueue_load rd, pos, field(0=id,1=value)")
+    add("pqueue_reset", "", Category.PQUEUE, doc="clear the HW priority queue")
+    add("sfxp", "sss", Category.SCALAR_ALU,
+        doc="sfxp rd, ra, rb: rd += popcount(ra ^ rb) (fused xor-popcount)")
+    add("vfxp", "vvv", Category.VECTOR_ALU,
+        doc="vfxp vd, va, vb: per-lane vd[i] += popcount(va[i] ^ vb[i])")
+
+    # --- system ----------------------------------------------------------------
+    add("halt", "", Category.SYSTEM, doc="stop simulation")
+    add("nop", "", Category.SYSTEM)
+
+    return out
+
+
+SPEC_BY_NAME: Dict[str, InstrSpec] = {s.name: s for s in _specs()}
+
+
+def all_instructions() -> List[InstrSpec]:
+    """All instruction specs, in definition order."""
+    return list(SPEC_BY_NAME.values())

@@ -1,0 +1,79 @@
+"""Assembled-program representation.
+
+An :class:`Instruction` is a resolved mnemonic plus operand values:
+register numbers, immediates (Python ints), or absolute instruction
+indices for branch targets.  A :class:`Program` is the instruction list
+plus the label map, which the simulator and debuggers use for
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import SPEC_BY_NAME, InstrSpec
+
+__all__ = ["Instruction", "Program"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    ``operands`` holds, per signature slot:
+
+    - register operands: the register index (int);
+    - immediates: the value (int);
+    - labels: the absolute target instruction index (int);
+    - memory operands: a ``(offset, base_register)`` tuple;
+    - reg-or-imm slots: ``("r", idx)`` or ``("i", value)``.
+    """
+
+    name: str
+    operands: Tuple
+    source_line: int = -1
+    source_text: str = ""
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPEC_BY_NAME[self.name]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.source_text or f"{self.name} {self.operands}"
+
+
+@dataclass
+class Program:
+    """A fully assembled SSAM program."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    @property
+    def size_words(self) -> int:
+        """Instruction-memory footprint, assuming one 64-bit word each.
+
+        Used to check programs fit the PU's instruction memory (the
+        area/power models budget 4 K instructions).
+        """
+        return 2 * len(self.instructions)
+
+    def disassemble(self) -> str:
+        """Human-readable listing with instruction indices and labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for i, ins in enumerate(self.instructions):
+            for label in by_index.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:5d}: {ins.source_text or ins.name}")
+        return "\n".join(lines)

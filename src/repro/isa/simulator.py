@@ -1,0 +1,494 @@
+"""Functional + cycle-approximate simulator for one SSAM processing unit.
+
+Models the microarchitecture of paper Fig. 5d: a single in-order
+instruction stream driving a scalar ALU and a VLEN-lane vector ALU (with
+chaining, so ALU ops issue every cycle), a hardware priority queue, a
+hardware stack, a 32 KB scratchpad, and a streaming interface to the
+vault's DRAM.
+
+Timing model
+------------
+- Every instruction takes its ``issue_cycles`` (1 for all ALU/control
+  ops — forwarding paths make the pipeline fully bypassed).
+- ``vload``/``vstore`` additionally occupy the memory port for
+  ``ceil(VLEN*4 / port_bytes_per_cycle)`` cycles.
+- DRAM accesses are *streamed*: an access whose address falls within
+  ``stream_window_words`` past the current stream pointer is covered by
+  the stream prefetcher and costs no extra latency; a non-sequential
+  access pays ``dram_latency_cycles`` (one DRAM round trip).
+  ``MEM_FETCH`` redirects the stream pointer, which is how kernels hide
+  the jump to a new bucket (paper: "linear scans through buckets of
+  vectors exhibit predictable contiguous memory access patterns").
+- Scratchpad accesses (word addresses below the scratchpad size) are
+  single cycle and are not charged to DRAM traffic.
+
+Datapath width
+--------------
+The hardware datapath is 32-bit fixed point.  ``MachineConfig.strict32``
+(default on) wraps every result to 32-bit two's complement exactly as
+the RTL would; turning it off widens registers for experiments that
+need headroom, documented wherever used.
+
+Address space
+-------------
+Word-addressed (one address = one 32-bit word).  Words
+``[0, scratchpad_words)`` are scratchpad; everything above is vault
+DRAM.  Use :meth:`Simulator.load_dram` / :meth:`Simulator.load_scratchpad`
+to place NumPy data before running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import Category, SPEC_BY_NAME
+from repro.isa.program import Instruction, Program
+from repro.isa.units import HardwarePriorityQueue, HardwareStack, Scratchpad, UnitError
+
+__all__ = ["MachineConfig", "RunStats", "Simulator", "SimulatorError"]
+
+_MASK32 = (1 << 32) - 1
+
+
+class SimulatorError(RuntimeError):
+    """Raised on architectural errors: bad PC, runaway programs, unit misuse."""
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of one processing unit.
+
+    The paper sweeps ``vector_length`` over {2, 4, 8, 16} (SSAM-2..16);
+    everything else matches the design in Section III-C.
+    """
+
+    vector_length: int = 4
+    scratchpad_bytes: int = 32 * 1024
+    pq_depth: int = 16
+    pq_chained: int = 1
+    stack_depth: int = 64
+    strict32: bool = True
+    mem_port_bytes_per_cycle: int = 16
+    dram_latency_cycles: int = 20
+    stream_window_words: int = 4096
+    frequency_hz: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        if self.vector_length not in (1, 2, 4, 8, 16, 32):
+            raise ValueError("vector_length must be a power of two in [1, 32]")
+        if self.pq_depth <= 0 or self.pq_chained <= 0 or self.stack_depth <= 0:
+            raise ValueError("unit depths must be positive")
+
+    @property
+    def scratchpad_words(self) -> int:
+        return self.scratchpad_bytes // 4
+
+
+@dataclass
+class RunStats:
+    """Everything a run reveals about the program's behaviour.
+
+    ``counts_by_category`` and ``counts_by_name`` drive the Table I
+    instruction-mix reproduction; ``cycles`` and the DRAM byte counters
+    drive the PU-level roofline in the performance model.
+    """
+
+    instructions: int = 0
+    cycles: int = 0
+    counts_by_category: Dict[str, int] = field(default_factory=dict)
+    counts_by_name: Dict[str, int] = field(default_factory=dict)
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    scratchpad_reads: int = 0
+    scratchpad_writes: int = 0
+    stream_misses: int = 0
+    pq_inserts: int = 0
+    pq_shifts: int = 0
+    stack_pushes: int = 0
+    stack_pops: int = 0
+    halted: bool = False
+
+    def category_fraction(self, *categories: Category) -> float:
+        """Fraction of dynamic instructions in the given categories."""
+        if self.instructions == 0:
+            return 0.0
+        total = sum(self.counts_by_category.get(c.value, 0) for c in categories)
+        return total / self.instructions
+
+    @property
+    def vector_fraction(self) -> float:
+        return self.category_fraction(
+            Category.VECTOR_ALU, Category.VMEM_READ, Category.VMEM_WRITE
+        )
+
+    @property
+    def mem_read_fraction(self) -> float:
+        return self.category_fraction(Category.MEM_READ, Category.VMEM_READ)
+
+    @property
+    def mem_write_fraction(self) -> float:
+        return self.category_fraction(Category.MEM_WRITE, Category.VMEM_WRITE)
+
+    @property
+    def seconds(self) -> float:
+        """Wall time at the configured clock (filled in by run())."""
+        return getattr(self, "_seconds", 0.0)
+
+
+def _to_signed32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class Simulator:
+    """One SSAM processing unit.
+
+    Typical use::
+
+        sim = Simulator(MachineConfig(vector_length=4))
+        sim.load_scratchpad(0, query_words)
+        sim.load_dram(base_word, dataset_words)
+        stats = sim.run(program)
+        top_k = sim.pqueue.as_sorted()
+    """
+
+    def __init__(self, config: MachineConfig = MachineConfig(), dram_words: int = 1 << 22):
+        self.config = config
+        self.sregs: List[int] = [0] * 32
+        self.vregs: List[List[int]] = [[0] * config.vector_length for _ in range(8)]
+        self.scratchpad = Scratchpad(size_bytes=config.scratchpad_bytes)
+        self.pqueue = HardwarePriorityQueue(depth=config.pq_depth, chained=config.pq_chained)
+        self.stack = HardwareStack(depth=config.stack_depth)
+        self.dram = np.zeros(dram_words, dtype=np.int64)
+        self._dram_base = config.scratchpad_words  # first DRAM word address
+        self._stream_ptr = -1
+        self.stats = RunStats()
+
+    # ------------------------------------------------------------------ loading
+    def load_dram(self, word_addr: int, values: np.ndarray) -> None:
+        """Place 32-bit words into DRAM starting at ``word_addr``.
+
+        ``word_addr`` is an absolute address and must lie in the DRAM
+        region (>= scratchpad size).
+        """
+        vals = np.asarray(values).reshape(-1).astype(np.int64)
+        if word_addr < self._dram_base:
+            raise SimulatorError("load_dram address overlaps the scratchpad region")
+        offset = word_addr - self._dram_base
+        if offset + vals.size > self.dram.size:
+            raise SimulatorError("load_dram exceeds DRAM capacity; raise dram_words")
+        self.dram[offset:offset + vals.size] = vals
+        if self.config.strict32:
+            region = self.dram[offset:offset + vals.size]
+            np.bitwise_and(region, _MASK32, out=region)
+            region -= (region >= (1 << 31)).astype(np.int64) << 32
+
+    def load_scratchpad(self, word_addr: int, values: np.ndarray) -> None:
+        """Place words into the scratchpad (e.g. the query vector)."""
+        vals = np.asarray(values).reshape(-1).astype(np.int64)
+        for i, v in enumerate(vals):
+            self.scratchpad.write(word_addr + i, int(v))
+        # Loading is host-side configuration; do not charge it to the run.
+        self.scratchpad.writes -= vals.size
+
+    @property
+    def dram_base(self) -> int:
+        """First word address of the DRAM region."""
+        return self._dram_base
+
+    # ------------------------------------------------------------------ helpers
+    def _norm(self, value: int) -> int:
+        return _to_signed32(value) if self.config.strict32 else int(value)
+
+    def _write_sreg(self, idx: int, value: int) -> None:
+        if idx != 0:  # s0 is hardwired to zero
+            self.sregs[idx] = self._norm(value)
+
+    def _read_mem(self, addr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words; applies timing accounting."""
+        if addr < 0:
+            raise SimulatorError(f"negative memory address {addr}")
+        if addr + count <= self.config.scratchpad_words:
+            return [self.scratchpad.read(addr + i) for i in range(count)]
+        if addr < self.config.scratchpad_words:
+            raise SimulatorError("memory access straddles scratchpad/DRAM boundary")
+        self._account_dram(addr, count, write=False)
+        off = addr - self._dram_base
+        if off + count > self.dram.size:
+            raise SimulatorError(f"DRAM read out of range at word {addr}")
+        return [int(v) for v in self.dram[off:off + count]]
+
+    def _write_mem(self, addr: int, values: List[int]) -> None:
+        count = len(values)
+        if addr < 0:
+            raise SimulatorError(f"negative memory address {addr}")
+        if addr + count <= self.config.scratchpad_words:
+            for i, v in enumerate(values):
+                self.scratchpad.write(addr + i, self._norm(v))
+            return
+        if addr < self.config.scratchpad_words:
+            raise SimulatorError("memory access straddles scratchpad/DRAM boundary")
+        self._account_dram(addr, count, write=True)
+        off = addr - self._dram_base
+        if off + count > self.dram.size:
+            raise SimulatorError(f"DRAM write out of range at word {addr}")
+        for i, v in enumerate(values):
+            self.dram[off + i] = self._norm(v)
+
+    def _account_dram(self, addr: int, count: int, write: bool) -> None:
+        cfg = self.config
+        if write:
+            self.stats.dram_bytes_written += 4 * count
+        else:
+            self.stats.dram_bytes_read += 4 * count
+        # Stream prefetcher: sequential-ish accesses are covered; jumps pay
+        # a DRAM round trip unless MEM_FETCH re-aimed the stream.
+        if not (self._stream_ptr <= addr <= self._stream_ptr + cfg.stream_window_words):
+            self.stats.cycles += cfg.dram_latency_cycles
+            self.stats.stream_misses += 1
+        self._stream_ptr = addr + count
+
+    def _reg_or_imm(self, operand) -> int:
+        kind, value = operand
+        return self.sregs[value] if kind == "r" else value
+
+    # ------------------------------------------------------------------ run
+    def run(self, program: Program, max_instructions: int = 50_000_000,
+            reset_stats: bool = True, trace: Optional[list] = None,
+            trace_limit: int = 10_000) -> RunStats:
+        """Execute ``program`` until HALT; returns the run statistics.
+
+        Raises :class:`SimulatorError` if the PC leaves the program, the
+        instruction budget is exhausted (runaway loop), or a hardware
+        unit is misused.
+
+        Pass a list as ``trace`` to record the first ``trace_limit``
+        executed instructions as ``(pc, mnemonic, cycle)`` tuples — the
+        toolchain's debugging view ("validate the correctness of our
+        design", paper Section IV).
+        """
+        if reset_stats:
+            self.stats = RunStats()
+            self._stream_ptr = -1
+            sp = self.scratchpad
+            sp.reads = sp.writes = 0
+        stats = self.stats
+        cfg = self.config
+        vlen = cfg.vector_length
+        vload_extra = max(0, -(-4 * vlen // cfg.mem_port_bytes_per_cycle) - 1)
+        sregs = self.sregs
+        vregs = self.vregs
+        code = program.instructions
+        n_code = len(code)
+        pq0_inserts = self.pqueue.inserts
+        pq0_shifts = self.pqueue.shifts
+        st0_push, st0_pop = self.stack.pushes, self.stack.pops
+        sp0_r, sp0_w = self.scratchpad.reads, self.scratchpad.writes
+
+        pc = 0
+        executed = 0
+        norm = self._norm
+        try:
+            while True:
+                if executed >= max_instructions:
+                    raise SimulatorError(
+                        f"instruction budget exhausted ({max_instructions}); runaway loop?"
+                    )
+                if not 0 <= pc < n_code:
+                    raise SimulatorError(f"PC {pc} outside program [0, {n_code})")
+                ins = code[pc]
+                name = ins.name
+                ops = ins.operands
+                spec = ins.spec
+                executed += 1
+                stats.cycles += spec.issue_cycles
+                if trace is not None and len(trace) < trace_limit:
+                    trace.append((pc, name, stats.cycles))
+                cat = spec.category.value
+                stats.counts_by_category[cat] = stats.counts_by_category.get(cat, 0) + 1
+                stats.counts_by_name[name] = stats.counts_by_name.get(name, 0) + 1
+                next_pc = pc + 1
+
+                # --- scalar ALU ------------------------------------------------
+                if name == "add":
+                    self._write_sreg(ops[0], sregs[ops[1]] + sregs[ops[2]])
+                elif name == "sub":
+                    self._write_sreg(ops[0], sregs[ops[1]] - sregs[ops[2]])
+                elif name == "mult":
+                    self._write_sreg(ops[0], sregs[ops[1]] * sregs[ops[2]])
+                elif name == "addi":
+                    self._write_sreg(ops[0], sregs[ops[1]] + ops[2])
+                elif name == "subi":
+                    self._write_sreg(ops[0], sregs[ops[1]] - ops[2])
+                elif name == "multi":
+                    self._write_sreg(ops[0], sregs[ops[1]] * ops[2])
+                elif name == "popcount":
+                    self._write_sreg(ops[0], bin(sregs[ops[1]] & _MASK32).count("1"))
+                elif name == "and":
+                    self._write_sreg(ops[0], sregs[ops[1]] & sregs[ops[2]])
+                elif name == "or":
+                    self._write_sreg(ops[0], sregs[ops[1]] | sregs[ops[2]])
+                elif name == "xor":
+                    self._write_sreg(ops[0], sregs[ops[1]] ^ sregs[ops[2]])
+                elif name == "not":
+                    self._write_sreg(ops[0], ~sregs[ops[1]])
+                elif name == "andi":
+                    self._write_sreg(ops[0], sregs[ops[1]] & ops[2])
+                elif name == "ori":
+                    self._write_sreg(ops[0], sregs[ops[1]] | ops[2])
+                elif name == "xori":
+                    self._write_sreg(ops[0], sregs[ops[1]] ^ ops[2])
+                elif name == "sl":
+                    sh = self._reg_or_imm(ops[2]) & 31
+                    self._write_sreg(ops[0], sregs[ops[1]] << sh)
+                elif name == "sr":
+                    sh = self._reg_or_imm(ops[2]) & 31
+                    self._write_sreg(ops[0], (sregs[ops[1]] & _MASK32) >> sh)
+                elif name == "sra":
+                    sh = self._reg_or_imm(ops[2]) & 31
+                    self._write_sreg(ops[0], _to_signed32(sregs[ops[1]]) >> sh)
+                elif name == "sfxp":
+                    xorv = (sregs[ops[1]] ^ sregs[ops[2]]) & _MASK32
+                    self._write_sreg(ops[0], sregs[ops[0]] + bin(xorv).count("1"))
+
+                # --- vector ALU ------------------------------------------------
+                elif name == "vadd":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] + b[i]) for i in range(vlen)]
+                elif name == "vsub":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] - b[i]) for i in range(vlen)]
+                elif name == "vmult":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] * b[i]) for i in range(vlen)]
+                elif name == "vand":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] & b[i]) for i in range(vlen)]
+                elif name == "vor":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] | b[i]) for i in range(vlen)]
+                elif name == "vxor":
+                    a, b = vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [norm(a[i] ^ b[i]) for i in range(vlen)]
+                elif name == "vnot":
+                    a = vregs[ops[1]]
+                    vregs[ops[0]] = [norm(~a[i]) for i in range(vlen)]
+                elif name == "vpopcount":
+                    a = vregs[ops[1]]
+                    vregs[ops[0]] = [bin(a[i] & _MASK32).count("1") for i in range(vlen)]
+                elif name in ("vaddi", "vsubi", "vmulti", "vandi", "vori", "vxori"):
+                    a = vregs[ops[1]]
+                    imm = ops[2]
+                    if name == "vaddi":
+                        vregs[ops[0]] = [norm(x + imm) for x in a]
+                    elif name == "vsubi":
+                        vregs[ops[0]] = [norm(x - imm) for x in a]
+                    elif name == "vmulti":
+                        vregs[ops[0]] = [norm(x * imm) for x in a]
+                    elif name == "vandi":
+                        vregs[ops[0]] = [norm(x & imm) for x in a]
+                    elif name == "vori":
+                        vregs[ops[0]] = [norm(x | imm) for x in a]
+                    else:
+                        vregs[ops[0]] = [norm(x ^ imm) for x in a]
+                elif name in ("vsl", "vsr", "vsra"):
+                    a = vregs[ops[1]]
+                    sh = self._reg_or_imm(ops[2]) & 31
+                    if name == "vsl":
+                        vregs[ops[0]] = [norm(x << sh) for x in a]
+                    elif name == "vsr":
+                        vregs[ops[0]] = [(x & _MASK32) >> sh for x in a]
+                    else:
+                        vregs[ops[0]] = [_to_signed32(x) >> sh for x in a]
+                elif name == "vfxp":
+                    d, a, b = vregs[ops[0]], vregs[ops[1]], vregs[ops[2]]
+                    vregs[ops[0]] = [
+                        norm(d[i] + bin((a[i] ^ b[i]) & _MASK32).count("1"))
+                        for i in range(vlen)
+                    ]
+
+                # --- control -----------------------------------------------------
+                elif name == "bne":
+                    if sregs[ops[0]] != sregs[ops[1]]:
+                        next_pc = ops[2]
+                elif name == "be":
+                    if sregs[ops[0]] == sregs[ops[1]]:
+                        next_pc = ops[2]
+                elif name == "bgt":
+                    if sregs[ops[0]] > sregs[ops[1]]:
+                        next_pc = ops[2]
+                elif name == "blt":
+                    if sregs[ops[0]] < sregs[ops[1]]:
+                        next_pc = ops[2]
+                elif name == "j":
+                    next_pc = ops[0]
+
+                # --- stack -------------------------------------------------------
+                elif name == "push":
+                    self.stack.push(sregs[ops[0]])
+                elif name == "pop":
+                    self._write_sreg(ops[0], self.stack.pop())
+
+                # --- moves -------------------------------------------------------
+                elif name == "svmove":
+                    value = norm(sregs[ops[1]])
+                    vregs[ops[0]] = [value] * vlen
+                elif name == "vsmove":
+                    lane = ops[2]
+                    if not 0 <= lane < vlen:
+                        raise SimulatorError(f"vsmove lane {lane} out of range for VLEN={vlen}")
+                    self._write_sreg(ops[0], vregs[ops[1]][lane])
+
+                # --- memory -------------------------------------------------------
+                elif name == "load":
+                    off, base = ops[1]
+                    self._write_sreg(ops[0], self._read_mem(sregs[base] + off, 1)[0])
+                elif name == "store":
+                    off, base = ops[1]
+                    self._write_mem(sregs[base] + off, [sregs[ops[0]]])
+                elif name == "vload":
+                    off, base = ops[1]
+                    stats.cycles += vload_extra
+                    vregs[ops[0]] = self._read_mem(sregs[base] + off, vlen)
+                elif name == "vstore":
+                    off, base = ops[1]
+                    stats.cycles += vload_extra
+                    self._write_mem(sregs[base] + off, list(vregs[ops[0]]))
+                elif name == "mem_fetch":
+                    off, base = ops[0]
+                    self._stream_ptr = sregs[base] + off
+
+                # --- SSAM units -----------------------------------------------------
+                elif name == "pqueue_insert":
+                    self.pqueue.insert(sregs[ops[0]], sregs[ops[1]])
+                elif name == "pqueue_load":
+                    pos = self._reg_or_imm(ops[1])
+                    self._write_sreg(ops[0], self.pqueue.load(pos, ops[2]))
+                elif name == "pqueue_reset":
+                    self.pqueue.reset()
+
+                # --- system -----------------------------------------------------------
+                elif name == "halt":
+                    stats.halted = True
+                    break
+                elif name == "nop":
+                    pass
+                else:  # pragma: no cover - spec table is exhaustive
+                    raise SimulatorError(f"unimplemented instruction {name}")
+
+                pc = next_pc
+        except UnitError as exc:
+            raise SimulatorError(f"at pc={pc} ({code[pc]}): {exc}") from exc
+
+        stats.instructions = executed
+        stats.pq_inserts = self.pqueue.inserts - pq0_inserts
+        stats.pq_shifts = self.pqueue.shifts - pq0_shifts
+        stats.stack_pushes = self.stack.pushes - st0_push
+        stats.stack_pops = self.stack.pops - st0_pop
+        stats.scratchpad_reads = self.scratchpad.reads - sp0_r
+        stats.scratchpad_writes = self.scratchpad.writes - sp0_w
+        stats._seconds = stats.cycles / cfg.frequency_hz
+        return stats

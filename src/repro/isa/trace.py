@@ -1,0 +1,66 @@
+"""Instruction-mix summaries (paper Table I).
+
+The paper profiles kNN algorithm variants with Pin on a CPU and reports
+three columns: AVX/SSE instruction %, memory read %, memory write %.
+:class:`InstructionMix` computes the equivalent buckets from one or more
+:class:`~repro.isa.simulator.RunStats`, with vector instructions playing
+the role of AVX/SSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.isa.simulator import RunStats
+
+__all__ = ["InstructionMix"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Aggregate instruction-mix fractions over one or more runs."""
+
+    total_instructions: int
+    vector_pct: float
+    mem_read_pct: float
+    mem_write_pct: float
+    control_pct: float
+    pqueue_pct: float
+    stack_pct: float
+
+    @classmethod
+    def from_stats(cls, stats: Iterable[RunStats]) -> "InstructionMix":
+        stats = list(stats)
+        total = sum(s.instructions for s in stats)
+
+        def pct(getter) -> float:
+            if total == 0:
+                return 0.0
+            return 100.0 * sum(getter(s) * s.instructions for s in stats) / total
+
+        def cat_pct(*names: str) -> float:
+            if total == 0:
+                return 0.0
+            hits = sum(
+                sum(s.counts_by_category.get(n, 0) for n in names) for s in stats
+            )
+            return 100.0 * hits / total
+
+        return cls(
+            total_instructions=total,
+            vector_pct=pct(lambda s: s.vector_fraction),
+            mem_read_pct=pct(lambda s: s.mem_read_fraction),
+            mem_write_pct=pct(lambda s: s.mem_write_fraction),
+            control_pct=cat_pct("control"),
+            pqueue_pct=cat_pct("pqueue"),
+            stack_pct=cat_pct("stack"),
+        )
+
+    def as_row(self) -> dict:
+        """Columns in the shape of paper Table I."""
+        return {
+            "Vector Inst. (%)": round(self.vector_pct, 2),
+            "Mem. Reads (%)": round(self.mem_read_pct, 2),
+            "Mem. Writes (%)": round(self.mem_write_pct, 2),
+        }

@@ -1,0 +1,158 @@
+"""Hardware-unit models attached to each SSAM processing unit.
+
+Three structures from the paper's Section III-C:
+
+- :class:`HardwarePriorityQueue` — the 16-entry shift-register priority
+  queue (Moon et al.'s architecture) used for the top-k sort.  Queues
+  are *chainable* to support k > 16 and can be disabled when unused.
+- :class:`HardwareStack` — the small stack unit on the scalar datapath
+  that supports backtracking during index traversals.
+- :class:`Scratchpad` — the 32 KB software-managed memory holding the
+  query vector and the hot top of the indexing structure.
+
+These are behavioural models: they reproduce the units' architectural
+semantics (what a program observes) and surface the statistics the
+power model charges (insert counts, shift activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["HardwarePriorityQueue", "HardwareStack", "Scratchpad", "UnitError"]
+
+
+class UnitError(RuntimeError):
+    """Architectural misuse of a hardware unit (e.g. pop of empty stack)."""
+
+
+class HardwarePriorityQueue:
+    """Shift-register priority queue keeping the ``depth`` smallest values.
+
+    Semantics (matching a shift-register implementation):
+
+    - ``insert(id, value)``: every entry compares against the incoming
+      value in parallel; entries larger than it shift down one slot and
+      the new tuple drops into place.  The largest entry falls off the
+      end.  O(1) in hardware; the model counts how many slots shifted
+      for the power model's activity factor.
+    - ``load(pos, field)``: read the id (0) or value (1) at a queue
+      position, position 0 being the smallest.
+    - ``reset()``: clear all entries.
+
+    ``chain`` additional queues to extend the effective depth, as the
+    paper describes for large k ("priority queues can be chained").
+    """
+
+    DEFAULT_DEPTH = 16
+
+    def __init__(self, depth: int = DEFAULT_DEPTH, chained: int = 1):
+        if depth <= 0 or chained <= 0:
+            raise ValueError("depth and chained must be positive")
+        self.depth = depth * chained
+        self.segments = chained
+        self.entries: List[Tuple[int, int]] = []  # (value, id), sorted ascending
+        self.inserts = 0
+        self.shifts = 0
+
+    def insert(self, ident: int, value: int) -> None:
+        self.inserts += 1
+        # Find insertion slot; everything after it shifts.
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.shifts += len(self.entries) - lo
+        self.entries.insert(lo, (value, ident))
+        if len(self.entries) > self.depth:
+            self.entries.pop()
+
+    def load(self, pos: int, fld: int) -> int:
+        """Read a queue slot; empty slots read as (id=-1, value=max-int)."""
+        if not 0 <= pos < self.depth:
+            raise UnitError(f"priority queue position {pos} out of range [0, {self.depth})")
+        if pos >= len(self.entries):
+            return -1 if fld == 0 else (1 << 31) - 1
+        value, ident = self.entries[pos]
+        return ident if fld == 0 else value
+
+    def reset(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def as_sorted(self) -> List[Tuple[int, int]]:
+        """Contents as [(id, value), ...] ascending by value."""
+        return [(ident, value) for value, ident in self.entries]
+
+
+class HardwareStack:
+    """Bounded LIFO on the scalar datapath for traversal backtracking."""
+
+    DEFAULT_DEPTH = 64
+
+    def __init__(self, depth: int = DEFAULT_DEPTH):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._items: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def push(self, value: int) -> None:
+        if len(self._items) >= self.depth:
+            raise UnitError(f"hardware stack overflow (depth {self.depth})")
+        self._items.append(value)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def pop(self) -> int:
+        if not self._items:
+            raise UnitError("hardware stack underflow")
+        self.pops += 1
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+
+@dataclass
+class Scratchpad:
+    """32 KB software-managed SRAM, word-addressed.
+
+    The simulator maps scratchpad addresses to the low end of the PU
+    address space; accesses here are single-cycle and never touch the
+    vault's DRAM bandwidth — which is why kernels keep the query vector
+    and index tops here (paper Section III-D).
+    """
+
+    size_bytes: int = 32 * 1024
+    reads: int = 0
+    writes: int = 0
+    _data: dict = field(default_factory=dict)
+
+    @property
+    def size_words(self) -> int:
+        return self.size_bytes // 4
+
+    def read(self, word_addr: int) -> int:
+        if not 0 <= word_addr < self.size_words:
+            raise UnitError(f"scratchpad read out of range: word {word_addr}")
+        self.reads += 1
+        return self._data.get(word_addr, 0)
+
+    def write(self, word_addr: int, value: int) -> None:
+        if not 0 <= word_addr < self.size_words:
+            raise UnitError(f"scratchpad write out of range: word {word_addr}")
+        self.writes += 1
+        self._data[word_addr] = value

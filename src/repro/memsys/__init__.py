@@ -1,0 +1,12 @@
+"""Conventional (off-chip DDR) memory models for the baseline platforms.
+
+The paper's framing: "standard DRAM modules provide up to 25 GB/s of
+memory bandwidth whereas HMC 2.0 provides 320 GB/s.  For similarity
+search, the difference in available bandwidth directly translates to
+raw performance."  These models give the CPU/GPU/FPGA baselines their
+memory side of the roofline.
+"""
+
+from repro.memsys.ddr import DDRChannel, MemorySystem, DDR3_1333, DDR4_2400, GDDR5_TITANX
+
+__all__ = ["DDRChannel", "MemorySystem", "DDR3_1333", "DDR4_2400", "GDDR5_TITANX"]

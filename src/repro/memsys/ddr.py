@@ -1,0 +1,71 @@
+"""DDR/GDDR channel models.
+
+A :class:`DDRChannel` is a peak pin bandwidth plus a streaming
+efficiency (row-buffer and refresh overheads keep real streams below
+pin rate); a :class:`MemorySystem` aggregates channels into the
+platform's memory side.  Named presets cover the three baseline
+platforms' memories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["DDRChannel", "MemorySystem", "DDR3_1333", "DDR4_2400", "GDDR5_TITANX"]
+
+
+@dataclass(frozen=True)
+class DDRChannel:
+    """One memory channel."""
+
+    name: str
+    peak_bandwidth: float          # bytes/s at the pins
+    stream_efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ValueError("peak_bandwidth must be positive")
+        if not 0 < self.stream_efficiency <= 1:
+            raise ValueError("stream_efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.stream_efficiency
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """A platform's full memory subsystem (n identical channels)."""
+
+    channel: DDRChannel
+    n_channels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.n_channels * self.channel.peak_bandwidth
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.n_channels * self.channel.effective_bandwidth
+
+    def scan_seconds(self, nbytes: int) -> float:
+        """Time for one full streaming pass over ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.effective_bandwidth
+
+
+#: DDR3-1333, one 64-bit channel: 10.66 GB/s peak (Xeon E5-2620 has 4).
+DDR3_1333 = DDRChannel("DDR3-1333", peak_bandwidth=10.66e9, stream_efficiency=0.75)
+
+#: DDR4-2400 single channel (for what-if comparisons).
+DDR4_2400 = DDRChannel("DDR4-2400", peak_bandwidth=19.2e9, stream_efficiency=0.8)
+
+#: Titan X (Maxwell) GDDR5 aggregate treated as one wide channel:
+#: 336 GB/s peak at ~75% streaming efficiency.
+GDDR5_TITANX = DDRChannel("GDDR5-TitanX", peak_bandwidth=336e9, stream_efficiency=0.75)

@@ -1,0 +1,34 @@
+"""The content-based-search application pipeline (paper Fig. 1).
+
+The paper's case study decomposes similarity search into five stages:
+
+(a) **feature extraction** — raw media to feature vectors (offline);
+(b) **feature indexing** — vectors into index structures (offline);
+(c) **query generation** — a user upload through the same extractor;
+(d) **index traversal + (e) kNN** — the part SSAM accelerates;
+(f) **reverse lookup** — neighbor ids back to the original media.
+
+This package implements the full pipeline around the SSAM driver:
+
+- :class:`~repro.pipeline.extraction.FeatureExtractor` — a deterministic
+  stand-in for a CNN/GIST descriptor (random-projection hash of the raw
+  content bytes; same content always maps to the same vector, similar
+  content to nearby vectors);
+- :class:`~repro.pipeline.store.ContentStore` — the id→media mapping of
+  the reverse-lookup stage;
+- :class:`~repro.pipeline.search.SearchPipeline` — the assembled
+  five-stage service.
+"""
+
+from repro.pipeline.extraction import FeatureExtractor, MediaItem, synthesize_media_corpus
+from repro.pipeline.store import ContentStore
+from repro.pipeline.search import SearchPipeline, SearchResponse
+
+__all__ = [
+    "FeatureExtractor",
+    "MediaItem",
+    "synthesize_media_corpus",
+    "ContentStore",
+    "SearchPipeline",
+    "SearchResponse",
+]

@@ -1,0 +1,116 @@
+"""Feature extraction stand-in (paper Fig. 1a / 1c).
+
+We do not ship a CNN; the extractor below has the two properties the
+pipeline actually depends on:
+
+1. **determinism** — the same media content always yields the same
+   feature vector (the paper's pipeline runs the query "through the
+   same feature extractor used to create the database");
+2. **locality** — media generated as perturbations of a common source
+   land close together in feature space, so near-duplicate detection
+   and content search behave like they do with real descriptors.
+
+Both follow from extracting features as smoothed local byte statistics
+projected through a fixed random matrix — a crude but honest analogue
+of a frozen convolutional feature extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["MediaItem", "FeatureExtractor", "synthesize_media_corpus"]
+
+
+@dataclass(frozen=True)
+class MediaItem:
+    """One piece of raw content (an "image"/"video" in the case study)."""
+
+    media_id: int
+    content: bytes
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.content)
+
+
+class FeatureExtractor:
+    """Deterministic content → feature-vector map.
+
+    Pipeline: interpret the content as bytes, histogram overlapping
+    byte-pair statistics into a fixed-width signature (this is the
+    locality-preserving step — perturbing a few bytes moves few
+    histogram bins), then project through a fixed Gaussian matrix into
+    ``dims`` dimensions and L2-normalize.
+    """
+
+    SIGNATURE_BINS = 512
+
+    def __init__(self, dims: int = 128, seed: int = 0):
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        self.dims = int(dims)
+        rng = np.random.default_rng(seed)
+        self._projection = rng.standard_normal((self.SIGNATURE_BINS, self.dims))
+        self._projection /= np.sqrt(self.SIGNATURE_BINS)
+
+    def _signature(self, content: bytes) -> np.ndarray:
+        arr = np.frombuffer(content, dtype=np.uint8)
+        if arr.size == 0:
+            return np.zeros(self.SIGNATURE_BINS)
+        if arr.size == 1:
+            pairs = arr.astype(np.int64) * 2
+        else:
+            # Overlapping byte-pair hash into the signature bins.
+            pairs = (arr[:-1].astype(np.int64) * 31 + arr[1:]) % self.SIGNATURE_BINS
+        sig = np.bincount(pairs % self.SIGNATURE_BINS, minlength=self.SIGNATURE_BINS)
+        total = sig.sum()
+        return sig / total if total else sig.astype(np.float64)
+
+    def extract(self, item: MediaItem) -> np.ndarray:
+        """Feature vector for one media item (shape ``(dims,)``)."""
+        feat = self._signature(item.content) @ self._projection
+        norm = np.linalg.norm(feat)
+        return feat / norm if norm > 0 else feat
+
+    def extract_batch(self, items: List[MediaItem]) -> np.ndarray:
+        """Feature matrix ``(len(items), dims)`` — the offline Fig. 1a pass."""
+        if not items:
+            return np.empty((0, self.dims))
+        return np.stack([self.extract(item) for item in items])
+
+
+def synthesize_media_corpus(
+    n_items: int = 200,
+    n_sources: int = 20,
+    item_bytes: int = 256,
+    mutation_rate: float = 0.03,
+    seed: int = 0,
+) -> List[MediaItem]:
+    """Generate a corpus of near-duplicate media clusters.
+
+    ``n_sources`` original items are generated; the rest are mutated
+    copies (a fraction of bytes changed), modelling re-encodes, crops,
+    and edits — the content-dedup/search scenario of the paper's intro.
+    Each item's metadata records its source cluster for ground truth.
+    """
+    if n_items < n_sources:
+        raise ValueError("n_items must be >= n_sources")
+    rng = np.random.default_rng(seed)
+    sources = [rng.integers(0, 256, size=item_bytes, dtype=np.uint8) for _ in range(n_sources)]
+    items: List[MediaItem] = []
+    for i in range(n_items):
+        src = i % n_sources
+        data = sources[src].copy()
+        if i >= n_sources:
+            n_mut = max(1, int(mutation_rate * item_bytes))
+            pos = rng.choice(item_bytes, size=n_mut, replace=False)
+            data[pos] = rng.integers(0, 256, size=n_mut, dtype=np.uint8)
+        items.append(
+            MediaItem(media_id=i, content=data.tobytes(), metadata={"source": src})
+        )
+    return items

@@ -1,0 +1,109 @@
+"""The assembled five-stage search service (paper Fig. 1).
+
+``SearchPipeline.build`` runs the offline stages (extraction over the
+corpus, SSAM region setup, index construction); ``query`` runs the
+online stages (query generation through the same extractor, index
+traversal + kNN on the SSAM driver, reverse lookup through the content
+store) and returns a :class:`SearchResponse` with the matched media.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
+from repro.pipeline.extraction import FeatureExtractor, MediaItem
+from repro.pipeline.store import ContentStore
+
+__all__ = ["SearchPipeline", "SearchResponse"]
+
+
+@dataclass
+class SearchResponse:
+    """What the user gets back: ranked media plus diagnostics."""
+
+    items: List[MediaItem]
+    neighbor_ids: np.ndarray
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class SearchPipeline:
+    """Content-based search over a media corpus, served from SSAM.
+
+    Parameters
+    ----------
+    extractor:
+        Feature extractor shared by the offline corpus pass and online
+        query generation (Fig. 1a and 1c must be the same function).
+    mode / index_params:
+        SSAM indexing mode and its constructor parameters.
+    driver:
+        Optionally share a driver (and its SSAM capacity) between
+        pipelines; a private one is created by default.
+    """
+
+    def __init__(
+        self,
+        extractor: Optional[FeatureExtractor] = None,
+        mode: IndexMode = IndexMode.KDTREE,
+        index_params: Optional[dict] = None,
+        driver: Optional[SSAMDriver] = None,
+    ):
+        self.extractor = extractor or FeatureExtractor()
+        self.mode = mode
+        self.index_params = index_params or {}
+        self.driver = driver or SSAMDriver()
+        self.store = ContentStore()
+        self._region: Optional[SSAMRegion] = None
+
+    # ------------------------------------------------------------- offline
+    def build(self, corpus: List[MediaItem]) -> "SearchPipeline":
+        """Offline stages: extract features, load SSAM, build the index."""
+        if not corpus:
+            raise ValueError("corpus must be non-empty")
+        for item in corpus:
+            self.store.put(item)
+        features = self.extractor.extract_batch(corpus).astype(np.float32)
+        self._media_ids = np.array([item.media_id for item in corpus], dtype=np.int64)
+        region = self.driver.nmalloc(features.nbytes)
+        self.driver.nmode(region, self.mode)
+        self.driver.nmemcpy(region, features)
+        self.driver.nbuild_index(region, params=self.index_params)
+        self._region = region
+        return self
+
+    # ------------------------------------------------------------- online
+    def query(self, media: MediaItem, k: int = 10, checks: Optional[int] = None) -> SearchResponse:
+        """Online stages: query generation, kNN, reverse lookup."""
+        if self._region is None:
+            raise RuntimeError("build() the pipeline before querying")
+        feature = self.extractor.extract(media)
+        self.driver.nwrite_query(self._region, feature)
+        self.driver.nexec(self._region, k=k, checks=checks)
+        row_ids = self.driver.nread_result(self._region)
+        valid = row_ids >= 0
+        media_ids = self._media_ids[row_ids[valid]]
+        distances = self._region.result.distances[0][valid]
+        return SearchResponse(
+            items=self.store.lookup(media_ids),
+            neighbor_ids=media_ids,
+            distances=distances,
+        )
+
+    def close(self) -> None:
+        """Release the SSAM region."""
+        if self._region is not None:
+            self.driver.nfree(self._region)
+            self._region = None
+
+    def __enter__(self) -> "SearchPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,50 @@
+"""Reverse lookup (paper Fig. 1f): neighbor ids back to media.
+
+The kNN result is "only a small set of identifiers"; the content store
+resolves them to the original media before the response is returned to
+the user.  This is the component that makes the small-result-set
+property matter — it is the only data that crosses back over the SSAM
+module's external links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.pipeline.extraction import MediaItem
+
+__all__ = ["ContentStore"]
+
+
+class ContentStore:
+    """Id-addressed store of the raw media corpus."""
+
+    def __init__(self, items: Optional[Iterable[MediaItem]] = None):
+        self._items: Dict[int, MediaItem] = {}
+        for item in items or ():
+            self.put(item)
+
+    def put(self, item: MediaItem) -> None:
+        if item.media_id in self._items:
+            raise KeyError(f"duplicate media id {item.media_id}")
+        self._items[item.media_id] = item
+
+    def get(self, media_id: int) -> MediaItem:
+        try:
+            return self._items[media_id]
+        except KeyError:
+            raise KeyError(f"unknown media id {media_id}") from None
+
+    def lookup(self, media_ids: Iterable[int]) -> List[MediaItem]:
+        """Batch reverse lookup; skips padding ids (< 0)."""
+        return [self.get(i) for i in media_ids if i >= 0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, media_id: int) -> bool:
+        return media_id in self._items
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(item.nbytes for item in self._items.values())

@@ -1,0 +1,32 @@
+"""Shared fixtures: small deterministic datasets and built indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import LinearScan
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_data(rng):
+    """(400, 16) clustered float data — enough structure for indexes."""
+    centers = rng.standard_normal((8, 16)) * 3.0
+    assign = rng.integers(0, 8, size=400)
+    return (centers[assign] + 0.3 * rng.standard_normal((400, 16))).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def small_queries(rng, small_data):
+    idx = rng.choice(small_data.shape[0], size=12, replace=False)
+    return small_data[idx] + 0.05 * rng.standard_normal((12, 16))
+
+
+@pytest.fixture(scope="session")
+def exact_ids(small_data, small_queries):
+    return LinearScan().build(small_data).search(small_queries, 10).ids

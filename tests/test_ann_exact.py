@@ -1,0 +1,94 @@
+"""Tests for exact linear-scan kNN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ann import LinearScan
+from repro.distances import pack_bits
+
+
+class TestLinearScan:
+    def test_matches_argsort(self, small_data, small_queries):
+        res = LinearScan().build(small_data).search(small_queries, 7)
+        d = np.linalg.norm(small_queries[:, None, :] - small_data[None, :, :], axis=2)
+        for i in range(small_queries.shape[0]):
+            expected = np.sort(d[i])[:7]
+            np.testing.assert_allclose(res.distances[i], expected, atol=1e-9)
+
+    def test_distances_sorted(self, small_data, small_queries):
+        res = LinearScan().build(small_data).search(small_queries, 10)
+        assert (np.diff(res.distances, axis=1) >= -1e-12).all()
+
+    def test_blocked_equals_unblocked(self, small_data, small_queries):
+        a = LinearScan(block_rows=37).build(small_data).search(small_queries, 5)
+        b = LinearScan(block_rows=100000).build(small_data).search(small_queries, 5)
+        np.testing.assert_allclose(np.sort(a.distances, axis=1), np.sort(b.distances, axis=1))
+        np.testing.assert_array_equal(np.sort(a.ids, axis=1), np.sort(b.ids, axis=1))
+
+    def test_k_exceeds_n_pads(self):
+        data = np.random.default_rng(0).standard_normal((4, 3))
+        res = LinearScan().build(data).search(data[0], 9)
+        assert res.ids.shape == (1, 9)
+        assert (res.ids[0, 4:] == -1).all()
+        assert np.isinf(res.distances[0, 4:]).all()
+
+    def test_self_query_returns_self_first(self, small_data):
+        res = LinearScan().build(small_data).search(small_data[17], 1)
+        assert res.ids[0, 0] == 17
+
+    def test_stats_counts(self, small_data, small_queries):
+        res = LinearScan().build(small_data).search(small_queries, 3)
+        n_q = small_queries.shape[0]
+        assert res.stats.candidates_scanned == small_data.shape[0] * n_q
+        assert res.stats.distance_ops == small_data.shape[0] * n_q * small_data.shape[1]
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(RuntimeError, match="build"):
+            LinearScan().search(np.zeros(3), 1)
+
+    def test_bad_k(self, small_data):
+        with pytest.raises(ValueError):
+            LinearScan().build(small_data).search(small_data[0], 0)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            LinearScan().build(np.empty((0, 4)))
+
+    def test_bad_block_rows(self):
+        with pytest.raises(ValueError):
+            LinearScan(block_rows=0)
+
+    def test_manhattan_metric(self, small_data, small_queries):
+        res = LinearScan(metric="manhattan").build(small_data).search(small_queries, 4)
+        d = np.abs(small_queries[:, None, :] - small_data[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(res.distances, np.sort(d, axis=1)[:, :4], atol=1e-9)
+
+    def test_hamming_metric(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=(50, 64))
+        codes = pack_bits(bits)
+        qbits = rng.integers(0, 2, size=(2, 64))
+        res = LinearScan(metric="hamming").build(codes).search(pack_bits(qbits), 5)
+        d = (bits[None, :, :] != qbits[:, None, :]).sum(axis=2)
+        np.testing.assert_array_equal(res.distances, np.sort(d, axis=1)[:, :5])
+
+    @given(
+        arrays(np.float64, (30, 5), elements=st.floats(-100, 100)),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_topk_is_true_topk(self, data, k):
+        q = data[0]
+        res = LinearScan().build(data).search(q, k)
+        d = np.linalg.norm(data - q, axis=1)
+        # atol covers sqrt-of-cancellation noise of the GEMM expansion on
+        # (near-)identical large-magnitude rows
+        np.testing.assert_allclose(res.distances[0], np.sort(d)[:k], atol=1e-3, rtol=1e-6)
+
+    def test_ids_unique_per_query(self, small_data, small_queries):
+        res = LinearScan().build(small_data).search(small_queries, 10)
+        for row in res.ids:
+            assert len(set(row.tolist())) == 10

@@ -1,0 +1,119 @@
+"""Tests for the randomized kd-forest."""
+
+import numpy as np
+import pytest
+
+from repro.ann import LinearScan, RandomizedKDForest, mean_recall
+
+
+@pytest.fixture(scope="module")
+def forest(small_data):
+    return RandomizedKDForest(n_trees=4, leaf_size=16, seed=0).build(small_data)
+
+
+def _small_data():
+    rng = np.random.default_rng(12345)
+    centers = rng.standard_normal((8, 16)) * 3.0
+    assign = rng.integers(0, 8, size=400)
+    return centers[assign] + 0.3 * rng.standard_normal((400, 16))
+
+
+class TestBuild:
+    def test_leaves_partition_dataset(self, forest, small_data):
+        for tree in forest.trees:
+            leaf_rows = []
+            for i in range(tree.n_nodes):
+                if tree.split_dim[i] == -1:
+                    leaf_rows.append(tree.perm[tree.leaf_start[i]:tree.leaf_end[i]])
+            rows = np.concatenate(leaf_rows)
+            assert np.array_equal(np.sort(rows), np.arange(small_data.shape[0]))
+
+    def test_leaf_size_respected(self, forest):
+        for tree in forest.trees:
+            for i in range(tree.n_nodes):
+                if tree.split_dim[i] == -1:
+                    assert tree.leaf_end[i] - tree.leaf_start[i] <= 16
+
+    def test_trees_differ(self, forest):
+        a, b = forest.trees[0], forest.trees[1]
+        assert a.n_nodes != b.n_nodes or not np.array_equal(a.split_dim, b.split_dim)
+
+    def test_interior_children_valid(self, forest):
+        for tree in forest.trees:
+            interior = tree.split_dim != -1
+            assert (tree.left[interior] >= 0).all()
+            assert (tree.right[interior] >= 0).all()
+
+    def test_constant_dimension_data(self):
+        # All-identical rows force the degenerate-split fallback.
+        data = np.ones((100, 4))
+        forest = RandomizedKDForest(n_trees=1, leaf_size=8).build(data)
+        res = forest.search(np.ones(4), 3, checks=50)
+        assert (res.distances[0][:3] == 0).all()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomizedKDForest(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomizedKDForest(leaf_size=0)
+
+
+class TestSearch:
+    def test_full_budget_equals_exact(self, forest, small_data, small_queries, exact_ids):
+        res = forest.search(small_queries, 10, checks=10 * small_data.shape[0])
+        assert mean_recall(res.ids, exact_ids) == pytest.approx(1.0)
+
+    def test_recall_monotone_in_checks(self, forest, small_queries, exact_ids):
+        recalls = [
+            mean_recall(forest.search(small_queries, 10, checks=c).ids, exact_ids)
+            for c in (16, 128, 1024)
+        ]
+        assert recalls[0] <= recalls[1] + 0.05
+        assert recalls[1] <= recalls[2] + 0.05
+        assert recalls[2] > 0.8
+
+    def test_checks_bound_respected(self, forest, small_queries):
+        res = forest.search(small_queries[:1], 5, checks=64)
+        # Budget may overshoot by at most one leaf bucket.
+        assert res.stats.candidates_scanned <= 64 + 16
+
+    def test_stats_populated(self, forest, small_queries):
+        res = forest.search(small_queries, 5, checks=100)
+        assert res.stats.nodes_visited > 0
+        assert res.stats.candidates_scanned > 0
+        assert res.stats.distance_ops > 0
+
+    def test_results_sorted(self, forest, small_queries):
+        res = forest.search(small_queries, 8, checks=256)
+        finite = np.where(np.isfinite(res.distances), res.distances, np.inf)
+        assert (np.diff(finite, axis=1) >= -1e-12).all()
+
+    def test_search_before_build(self):
+        with pytest.raises(RuntimeError):
+            RandomizedKDForest().search(np.zeros(4), 1)
+
+    def test_bad_checks(self, forest, small_queries):
+        with pytest.raises(ValueError):
+            forest.search(small_queries, 5, checks=0)
+
+    def test_default_checks_used(self, small_data, small_queries):
+        f = RandomizedKDForest(n_trees=2, default_checks=128, seed=1).build(small_data)
+        res = f.search(small_queries[:2], 5)
+        assert res.stats.candidates_scanned <= 2 * (128 + 32)
+
+    def test_more_trees_higher_recall(self, small_data, small_queries, exact_ids):
+        r1 = RandomizedKDForest(n_trees=1, seed=2).build(small_data)
+        r4 = RandomizedKDForest(n_trees=4, seed=2).build(small_data)
+        rec1 = mean_recall(r1.search(small_queries, 10, checks=128).ids, exact_ids)
+        rec4 = mean_recall(r4.search(small_queries, 10, checks=128).ids, exact_ids)
+        assert rec4 >= rec1 - 0.05
+
+    def test_query_dim_mismatch(self, forest):
+        with pytest.raises(ValueError):
+            forest.search(np.zeros(7), 3)
+
+    def test_manhattan_forest(self, small_data, small_queries):
+        f = RandomizedKDForest(n_trees=2, metric="manhattan", seed=0).build(small_data)
+        exact = LinearScan(metric="manhattan").build(small_data).search(small_queries, 5)
+        res = f.search(small_queries, 5, checks=5 * small_data.shape[0])
+        assert mean_recall(res.ids, exact.ids) == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Tests for the hierarchical k-means tree and its k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ann import HierarchicalKMeansTree, mean_recall
+from repro.ann.kmeans_tree import kmeans
+
+
+@pytest.fixture(scope="module")
+def tree(small_data):
+    return HierarchicalKMeansTree(branching=4, leaf_size=16, seed=0).build(small_data)
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        data = np.concatenate(
+            [c + 0.1 * rng.standard_normal((50, 2)) for c in centers]
+        )
+        cents, assign = kmeans(data, 3, rng)
+        # Every true cluster maps to exactly one k-means cluster.
+        for i in range(3):
+            block = assign[i * 50:(i + 1) * 50]
+            assert len(set(block.tolist())) == 1
+        assert len(set(assign.tolist())) == 3
+
+    def test_fewer_points_than_clusters(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((3, 4))
+        cents, assign = kmeans(data, 10, rng)
+        assert cents.shape[0] == 3
+
+    def test_every_centroid_owns_a_point(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((100, 5))
+        cents, assign = kmeans(data, 8, rng)
+        assert set(assign.tolist()) == set(range(8))
+
+    def test_identical_points(self):
+        rng = np.random.default_rng(3)
+        data = np.ones((20, 3))
+        cents, assign = kmeans(data, 4, rng)
+        assert np.allclose(cents[assign[0]], 1.0)
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((200, 6))
+
+        def inertia(k):
+            cents, assign = kmeans(data, k, np.random.default_rng(4))
+            return float(((data - cents[assign]) ** 2).sum())
+
+        assert inertia(16) < inertia(2)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0, np.random.default_rng(0))
+
+
+class TestTreeBuild:
+    def test_leaves_partition(self, tree, small_data):
+        rows = np.concatenate([n.bucket for n in tree.nodes if n.is_leaf])
+        assert np.array_equal(np.sort(rows), np.arange(small_data.shape[0]))
+
+    def test_leaf_size(self, tree):
+        for n in tree.nodes:
+            if n.is_leaf:
+                assert n.bucket.size <= 16
+
+    def test_branching_respected(self, tree):
+        for n in tree.nodes:
+            if not n.is_leaf:
+                assert 2 <= len(n.children) <= 4
+                assert n.centroids.shape[0] == len(n.children)
+
+    def test_node_counts(self, tree):
+        assert tree.n_nodes == len(tree.nodes)
+        assert tree.n_leaves == sum(1 for n in tree.nodes if n.is_leaf)
+        assert tree.n_leaves >= 2
+
+    def test_identical_rows_terminate(self):
+        data = np.ones((100, 3))
+        t = HierarchicalKMeansTree(branching=4, leaf_size=8).build(data)
+        assert t.n_leaves >= 1  # build terminated
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            HierarchicalKMeansTree(branching=1)
+        with pytest.raises(ValueError):
+            HierarchicalKMeansTree(leaf_size=0)
+
+
+class TestTreeSearch:
+    def test_full_budget_exact(self, tree, small_data, small_queries, exact_ids):
+        res = tree.search(small_queries, 10, checks=10 * small_data.shape[0])
+        assert mean_recall(res.ids, exact_ids) == pytest.approx(1.0)
+
+    def test_recall_monotone(self, tree, small_queries, exact_ids):
+        r_small = mean_recall(tree.search(small_queries, 10, checks=32).ids, exact_ids)
+        r_large = mean_recall(tree.search(small_queries, 10, checks=512).ids, exact_ids)
+        assert r_large >= r_small - 0.05
+        assert r_large > 0.85
+
+    def test_first_bucket_is_promising(self, tree, small_queries, exact_ids):
+        # Even one bucket should beat random: descent follows centroids.
+        res = tree.search(small_queries, 10, checks=16)
+        assert mean_recall(res.ids, exact_ids) > 0.2
+
+    def test_stats(self, tree, small_queries):
+        res = tree.search(small_queries, 5, checks=64)
+        assert res.stats.nodes_visited >= small_queries.shape[0]
+        assert 0 < res.stats.candidates_scanned <= (64 + 16) * small_queries.shape[0]
+
+    def test_search_before_build(self):
+        with pytest.raises(RuntimeError):
+            HierarchicalKMeansTree().search(np.zeros(3), 1)
+
+    def test_bad_checks(self, tree, small_queries):
+        with pytest.raises(ValueError):
+            tree.search(small_queries, 5, checks=-1)
+
+    def test_results_sorted(self, tree, small_queries):
+        res = tree.search(small_queries, 8, checks=128)
+        finite = np.where(np.isfinite(res.distances), res.distances, np.inf)
+        assert (np.diff(finite, axis=1) >= -1e-12).all()

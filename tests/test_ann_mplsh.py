@@ -1,0 +1,113 @@
+"""Tests for hyperplane multi-probe LSH."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import MultiProbeLSH, mean_recall
+from repro.ann.mplsh import perturbation_sequence
+
+
+class TestPerturbationSequence:
+    def test_starts_with_home_bucket(self):
+        probes = perturbation_sequence(np.array([3.0, 1.0, 2.0]), 4)
+        assert probes[0] == ()
+
+    def test_cheapest_flip_first(self):
+        probes = perturbation_sequence(np.array([3.0, 1.0, 2.0]), 3)
+        assert probes[1] == (1,)       # bit with penalty 1.0
+        assert probes[2] == (2,)       # bit with penalty 2.0
+
+    def test_increasing_total_penalty(self):
+        pen = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        probes = perturbation_sequence(pen, 12)
+        scores = [sum(pen[list(p)]) for p in probes]
+        assert scores == sorted(scores)
+
+    def test_no_duplicates(self):
+        probes = perturbation_sequence(np.arange(1.0, 7.0), 20)
+        assert len(set(probes)) == len(probes)
+
+    def test_respects_max(self):
+        assert len(perturbation_sequence(np.arange(1.0, 5.0), 3)) == 3
+
+    def test_zero_probes(self):
+        assert perturbation_sequence(np.array([1.0]), 0) == []
+
+    def test_exhausts_all_subsets(self):
+        # 3 bits -> 8 subsets including empty.
+        probes = perturbation_sequence(np.array([1.0, 2.0, 4.0]), 100)
+        assert len(probes) == 8
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=6), st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorted_and_unique(self, pens, maxp):
+        pen = np.array(pens)
+        probes = perturbation_sequence(pen, maxp)
+        scores = [sum(pen[list(p)]) for p in probes]
+        assert scores == sorted(scores)
+        assert len(set(probes)) == len(probes)
+
+
+class TestMultiProbeLSH:
+    @pytest.fixture(scope="class")
+    def lsh(self, small_data):
+        return MultiProbeLSH(n_tables=8, n_bits=12, seed=0).build(small_data)
+
+    def test_tables_partition_dataset(self, lsh, small_data):
+        for table in lsh.tables:
+            rows = np.concatenate(list(table.values()))
+            assert np.array_equal(np.sort(rows), np.arange(small_data.shape[0]))
+
+    def test_recall_grows_with_probes(self, lsh, small_queries, exact_ids):
+        r1 = mean_recall(lsh.search(small_queries, 10, checks=1).ids, exact_ids)
+        r8 = mean_recall(lsh.search(small_queries, 10, checks=8).ids, exact_ids)
+        assert r8 >= r1 - 0.05
+        assert r8 > 0.5
+
+    def test_hash_evaluation_stats(self, lsh, small_queries):
+        res = lsh.search(small_queries[:3], 5, checks=2)
+        assert res.stats.hash_evaluations == 3 * 8 * 12
+
+    def test_buckets_probed_stats(self, lsh, small_queries):
+        res = lsh.search(small_queries[:2], 5, checks=4)
+        assert res.stats.nodes_visited == 2 * 8 * 4
+
+    def test_more_tables_higher_recall(self, small_data, small_queries, exact_ids):
+        l2 = MultiProbeLSH(n_tables=2, n_bits=12, seed=1).build(small_data)
+        l8 = MultiProbeLSH(n_tables=8, n_bits=12, seed=1).build(small_data)
+        r2 = mean_recall(l2.search(small_queries, 10, checks=2).ids, exact_ids)
+        r8 = mean_recall(l8.search(small_queries, 10, checks=2).ids, exact_ids)
+        assert r8 >= r2 - 0.05
+
+    def test_fewer_bits_bigger_buckets(self, small_data):
+        l8 = MultiProbeLSH(n_tables=2, n_bits=8, seed=2).build(small_data)
+        l16 = MultiProbeLSH(n_tables=2, n_bits=16, seed=2).build(small_data)
+        assert l8.mean_bucket_size > l16.mean_bucket_size
+
+    def test_padding_when_few_candidates(self, small_data):
+        lsh = MultiProbeLSH(n_tables=1, n_bits=16, seed=3).build(small_data)
+        far_query = np.full(small_data.shape[1], 100.0)
+        res = lsh.search(far_query, 10, checks=1)
+        # Whatever bucket it lands in likely has < 10 entries -> padded.
+        assert res.ids.shape == (1, 10)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            MultiProbeLSH(n_tables=0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(n_bits=0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(n_bits=63)
+
+    def test_search_before_build(self):
+        with pytest.raises(RuntimeError):
+            MultiProbeLSH().search(np.zeros(4), 1)
+
+    def test_deterministic(self, small_data, small_queries):
+        a = MultiProbeLSH(n_tables=4, n_bits=10, seed=5).build(small_data)
+        b = MultiProbeLSH(n_tables=4, n_bits=10, seed=5).build(small_data)
+        ra = a.search(small_queries, 5, checks=4)
+        rb = b.search(small_queries, 5, checks=4)
+        np.testing.assert_array_equal(ra.ids, rb.ids)

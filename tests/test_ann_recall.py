@@ -1,0 +1,85 @@
+"""Tests for the recall metric and SearchStats bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.ann import SearchStats, mean_recall, recall_at_k
+from repro.ann.base import top_k_from_candidates
+from repro.distances import euclidean
+
+
+class TestRecall:
+    def test_perfect(self):
+        ids = np.array([[1, 2, 3]])
+        assert recall_at_k(ids, ids)[0] == 1.0
+
+    def test_order_invariant(self):
+        assert recall_at_k(np.array([[3, 1, 2]]), np.array([[1, 2, 3]]))[0] == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(np.array([[1, 9, 8]]), np.array([[1, 2, 3]]))[0] == pytest.approx(1 / 3)
+
+    def test_padding_ignored(self):
+        assert recall_at_k(np.array([[1, -1, -1]]), np.array([[1, 2, 3]]))[0] == pytest.approx(1 / 3)
+
+    def test_empty_exact_is_perfect(self):
+        assert recall_at_k(np.array([[1, 2]]), np.array([[-1, -1]]))[0] == 1.0
+
+    def test_batch_mean(self):
+        approx = np.array([[1, 2], [9, 9]])
+        exact = np.array([[1, 2], [1, 2]])
+        assert mean_recall(approx, exact) == pytest.approx(0.5)
+
+    def test_mismatched_batches(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_1d_promoted(self):
+        assert recall_at_k(np.array([1, 2]), np.array([1, 2]))[0] == 1.0
+
+
+class TestSearchStats:
+    def test_iadd(self):
+        a = SearchStats(1, 2, 3, 4)
+        a += SearchStats(10, 20, 30, 40)
+        assert (a.candidates_scanned, a.nodes_visited, a.hash_evaluations, a.distance_ops) == (
+            11, 22, 33, 44,
+        )
+
+    def test_add_returns_new(self):
+        a = SearchStats(1, 1, 1, 1)
+        b = a + SearchStats(2, 2, 2, 2)
+        assert b.candidates_scanned == 3 and a.candidates_scanned == 1
+
+    def test_scaled(self):
+        s = SearchStats(100, 10, 5, 1000).scaled(2.5)
+        assert s.candidates_scanned == 250
+        assert s.nodes_visited == 25
+
+
+class TestTopKFromCandidates:
+    def test_dedup(self):
+        data = np.arange(10, dtype=float)[:, None]
+        cand = np.array([3, 3, 3, 5])
+        ids, dists = top_k_from_candidates(np.array([3.2]), cand, data, 2, euclidean)
+        assert list(ids) == [3, 5]
+
+    def test_padding(self):
+        data = np.arange(4, dtype=float)[:, None]
+        ids, dists = top_k_from_candidates(np.array([0.0]), np.array([1]), data, 3, euclidean)
+        assert ids[0] == 1 and (ids[1:] == -1).all() and np.isinf(dists[1:]).all()
+
+    def test_empty_candidates(self):
+        data = np.zeros((3, 2))
+        ids, dists = top_k_from_candidates(
+            np.zeros(2), np.empty(0, dtype=np.int64), data, 2, euclidean
+        )
+        assert (ids == -1).all() and np.isinf(dists).all()
+
+    def test_exact_topk(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((50, 4))
+        q = rng.standard_normal(4)
+        ids, dists = top_k_from_candidates(q, np.arange(50), data, 5, euclidean)
+        d = np.linalg.norm(data - q, axis=1)
+        np.testing.assert_allclose(dists, np.sort(d)[:5], atol=1e-12)

@@ -1,0 +1,165 @@
+"""Tests for the beyond-kNN applications (§VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BinaryLinearLayer,
+    KMeansOffload,
+    all_pairs_similarity,
+    binarize_activations,
+)
+from repro.ann import RandomizedKDForest
+from repro.core.accelerator import KernelCalibration
+
+
+class TestKMeansOffload:
+    @pytest.fixture(scope="class")
+    def blobs(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0], [0.0, -10.0]])
+        return np.concatenate(
+            [c + 0.4 * rng.standard_normal((60, 2)) for c in centers]
+        )
+
+    def test_recovers_clusters(self, blobs):
+        km = KMeansOffload(n_clusters=4, seed=1).fit(blobs)
+        # Each true blob maps to exactly one learned cluster.
+        for b in range(4):
+            block = km.assignments[b * 60:(b + 1) * 60]
+            assert len(set(block.tolist())) == 1
+        assert len(set(km.assignments.tolist())) == 4
+
+    def test_matches_plain_lloyd_inertia(self, blobs):
+        """Offloading changes where the scan runs, not the result."""
+        from repro.ann.kmeans_tree import kmeans
+
+        km = KMeansOffload(n_clusters=4, seed=1).fit(blobs)
+        cents, assign = kmeans(blobs, 4, np.random.default_rng(1), max_iters=25)
+        ref_inertia = float(((blobs - cents[assign]) ** 2).sum())
+        assert km.inertia(blobs) == pytest.approx(ref_inertia, rel=0.05)
+
+    def test_scan_accounting(self, blobs):
+        km = KMeansOffload(n_clusters=4, max_iters=5, seed=0).fit(blobs)
+        # assignment scans = n * k per assignment call; at least
+        # iterations + final assignment.
+        per_pass = blobs.shape[0] * 4
+        assert km.assignment_scans >= per_pass * 2
+        assert km.assignment_scans % per_pass == 0
+
+    def test_offload_speedup_positive(self, blobs):
+        km = KMeansOffload(n_clusters=4, seed=0).fit(blobs)
+        calib = KernelCalibration("e", 4, cycles_per_candidate=30.0,
+                                  fixed_cycles=100.0, bytes_per_candidate=8.0)
+        assert km.offload_speedup(calib) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeansOffload(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeansOffload(n_clusters=5).fit(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError):
+            KMeansOffload().inertia(np.zeros((4, 2)))
+
+
+class TestBinaryLinearLayer:
+    def test_xnor_path_equals_reference(self):
+        rng = np.random.default_rng(0)
+        layer = BinaryLinearLayer(in_features=100, out_features=16, seed=2)
+        acts = rng.integers(0, 2, size=(7, 100)).astype(np.uint8)
+        np.testing.assert_array_equal(layer.forward(acts), layer.forward_reference(acts))
+
+    def test_output_range(self):
+        layer = BinaryLinearLayer(64, 8, seed=0)
+        acts = np.ones((1, 64), dtype=np.uint8)
+        out = layer.forward(acts)
+        assert (np.abs(out) <= 64).all()
+        assert (out % 2 == 0).all()   # n - 2*hamming with n even
+
+    def test_two_layer_network_runs(self):
+        rng = np.random.default_rng(1)
+        l1 = BinaryLinearLayer(128, 64, seed=0)
+        l2 = BinaryLinearLayer(64, 10, seed=1)
+        x = binarize_activations(rng.standard_normal((5, 128)))
+        hidden = l1.forward_sign(x)
+        logits = l2.forward(hidden)
+        assert logits.shape == (5, 10)
+        # Reference network agrees end to end.
+        hidden_ref = (l1.forward_reference(x) >= 0).astype(np.uint8)
+        np.testing.assert_array_equal(hidden, hidden_ref)
+        np.testing.assert_array_equal(logits, l2.forward_reference(hidden_ref))
+
+    def test_binarize_activations(self):
+        out = binarize_activations(np.array([-1.5, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0, 1, 1])
+
+    def test_scale_applied(self):
+        layer = BinaryLinearLayer(32, 4, seed=0, scale=0.5)
+        acts = np.ones((1, 32), dtype=np.uint8)
+        assert (layer.forward(acts) == layer.forward_reference(acts)).all()
+
+    def test_shape_validation(self):
+        layer = BinaryLinearLayer(32, 4)
+        with pytest.raises(ValueError, match="32-bit"):
+            layer.forward(np.zeros((1, 16), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            BinaryLinearLayer(0, 4)
+
+    def test_ssam_costing(self):
+        from repro.core.accelerator import SSAMPerformanceModel
+        from repro.core.config import SSAMConfig
+
+        layer = BinaryLinearLayer(256, 100)
+        calib = KernelCalibration("h", 4, cycles_per_candidate=40.0,
+                                  fixed_cycles=50.0, bytes_per_candidate=32.0)
+        model = SSAMPerformanceModel(SSAMConfig.design(4))
+        qps = layer.ssam_layer_qps(calib, model)
+        assert qps > 0
+        assert layer.ssam_words_per_neuron() == 8
+
+
+class TestAllPairsSimilarity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        rng = np.random.default_rng(3)
+        return rng.standard_normal((80, 4))
+
+    def _brute_force(self, data, threshold):
+        d = np.linalg.norm(data[:, None, :] - data[None, :, :], axis=2)
+        out = []
+        n = data.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if d[i, j] <= threshold:
+                    out.append((i, j))
+        return out
+
+    def test_exact_join_complete(self, points):
+        threshold = 1.0
+        pairs, stats = all_pairs_similarity(points, threshold, k=80)
+        assert pairs == self._brute_force(points, threshold)
+        assert stats.candidates_scanned == points.shape[0] ** 2
+
+    def test_no_self_pairs_no_duplicates(self, points):
+        pairs, _ = all_pairs_similarity(points, 2.0, k=80)
+        assert all(i < j for i, j in pairs)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_approximate_join_subset(self, points):
+        index = RandomizedKDForest(n_trees=2, seed=0).build(points)
+        approx, _ = all_pairs_similarity(points, 1.0, index=index, k=20, checks=40)
+        exact = set(self._brute_force(points, 1.0))
+        assert set(approx) <= exact
+        assert len(approx) >= len(exact) // 3
+
+    def test_zero_threshold(self, points):
+        pairs, _ = all_pairs_similarity(points, 0.0, k=80)
+        assert pairs == []
+
+    def test_validation(self, points):
+        with pytest.raises(ValueError):
+            all_pairs_similarity(points, -1.0)
+        with pytest.raises(ValueError):
+            all_pairs_similarity(np.zeros(3), 1.0)
+        with pytest.raises(ValueError):
+            all_pairs_similarity(points, 1.0, index=RandomizedKDForest())

@@ -1,0 +1,164 @@
+"""Tests for the platform baseline models (CPU/GPU/FPGA/AP) and memsys."""
+
+import pytest
+
+from repro.baselines import AutomataProcessor, Kintex7, TitanX, XeonE5_2620
+from repro.baselines.platform import roofline_qps
+from repro.memsys import DDR3_1333, DDR4_2400, GDDR5_TITANX, DDRChannel, MemorySystem
+
+
+class TestMemsys:
+    def test_effective_below_peak(self):
+        for ch in (DDR3_1333, DDR4_2400, GDDR5_TITANX):
+            assert ch.effective_bandwidth < ch.peak_bandwidth
+
+    def test_memory_system_aggregates(self):
+        ms = MemorySystem(DDR3_1333, n_channels=4)
+        assert ms.peak_bandwidth == pytest.approx(4 * DDR3_1333.peak_bandwidth)
+        assert ms.scan_seconds(ms.effective_bandwidth) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDRChannel("x", -1)
+        with pytest.raises(ValueError):
+            DDRChannel("x", 1e9, stream_efficiency=1.5)
+        with pytest.raises(ValueError):
+            MemorySystem(DDR3_1333, n_channels=0)
+
+
+class TestRoofline:
+    def test_bandwidth_bound(self):
+        qps = roofline_qps(1e9, 10e9, 1, 1e18)
+        assert qps == pytest.approx(10.0)
+
+    def test_compute_bound(self):
+        qps = roofline_qps(1, 1e18, 1e9, 10e9)
+        assert qps == pytest.approx(10.0)
+
+    def test_fixed_cost(self):
+        assert roofline_qps(0, 1e9, 0, 1e9, fixed_seconds=0.1) == pytest.approx(10.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            roofline_qps(-1, 1, 1, 1)
+
+
+class TestCPU:
+    def test_paper_bandwidth_statement(self):
+        """Paper: "standard DRAM modules provide up to 25 GB/s"."""
+        cpu = XeonE5_2620()
+        assert cpu.memory.effective_bandwidth == pytest.approx(24e9, rel=0.05)
+
+    def test_low_dims_hurt_efficiency(self):
+        cpu = XeonE5_2620()
+        assert cpu.software_efficiency(100) < cpu.software_efficiency(4096)
+
+    def test_linear_qps_bandwidth_bound(self):
+        cpu = XeonE5_2620()
+        qps = cpu.linear_qps(1_000_000, 960)
+        manual = 1.0 / (4 * 1_000_000 * 960 / cpu.effective_bandwidth(960) + cpu.fixed_query_seconds)
+        assert qps == pytest.approx(manual, rel=0.01)
+
+    def test_single_thread_slower(self):
+        multi = XeonE5_2620().linear_qps(1_000_000, 100)
+        single = XeonE5_2620(single_thread=True).linear_qps(1_000_000, 100)
+        assert single < multi
+
+    def test_approx_beats_linear(self):
+        cpu = XeonE5_2620()
+        assert cpu.approx_qps(10_000, 960, nodes_per_query=100) > cpu.linear_qps(1_000_000, 960)
+
+    def test_node_cost_charged(self):
+        cpu = XeonE5_2620()
+        assert cpu.approx_qps(1000, 100, nodes_per_query=10_000) < cpu.approx_qps(1000, 100)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            XeonE5_2620().linear_qps(0, 10)
+
+
+class TestGPU:
+    def test_faster_than_cpu_raw(self):
+        assert TitanX().linear_qps(1_000_000, 960) > XeonE5_2620().linear_qps(1_000_000, 960)
+
+    def test_batching_amortizes_launch(self):
+        small_batch = TitanX(batch_size=1)
+        big_batch = TitanX(batch_size=1024)
+        assert big_batch.fixed_query_seconds < small_batch.fixed_query_seconds
+
+    def test_point_packaging(self):
+        p = TitanX().point(100.0)
+        assert p.area_mm2 == pytest.approx(601.0)
+        assert p.queries_per_joule == pytest.approx(100.0 / 180.0)
+
+
+class TestFPGA:
+    def test_soft_core_closed_form(self):
+        fpga = Kintex7()
+        assert fpga.cycles_per_candidate(100, 4) == pytest.approx(9 * 25 + 25)
+
+    def test_soft_core_compute_bound_at_high_dims(self):
+        # 16 soft PUs at 250 MHz cannot keep up with even two DDR3
+        # channels on long rows — the paper's "soft vector core"
+        # disadvantage versus the ASIC.
+        fpga = Kintex7()
+        qps = fpga.linear_qps(1_000_000, 4096)
+        compute_qps = fpga.clock_hz * fpga.n_soft_pus / (
+            1_000_000 * fpga.cycles_per_candidate(4096)
+        )
+        assert qps == pytest.approx(compute_qps)
+        assert qps < fpga.memory.effective_bandwidth / (4 * 1_000_000 * 4096)
+
+    def test_calibration_override(self):
+        from repro.core.accelerator import KernelCalibration
+
+        calib = KernelCalibration("e", 4, 100.0, 0.0, 400.0)
+        fpga = Kintex7(calibration=calib)
+        assert fpga.cycles_per_candidate(100) == 100.0
+
+    def test_comparable_to_gpu_area_normalized(self):
+        """Paper: GPU and FPGA 'exhibit comparable throughput and energy
+        efficiency' (area-normalized, exact search)."""
+        gpu, fpga = TitanX(), Kintex7()
+        for dims in (100, 960):
+            g = gpu.linear_qps(1_000_000, dims) / gpu.die_area_mm2
+            f = fpga.linear_qps(1_000_000, dims) / fpga.die_area_mm2
+            assert 0.03 < f / g < 30
+
+
+class TestAutomataProcessor:
+    def test_generation_validation(self):
+        with pytest.raises(ValueError):
+            AutomataProcessor(generation=3)
+
+    def test_gen2_faster(self):
+        ap1 = AutomataProcessor(generation=1)
+        ap2 = AutomataProcessor(generation=2)
+        assert ap2.linear_qps(1_000_000, 960) > ap1.linear_qps(1_000_000, 960)
+
+    def test_collapses_with_dimensionality(self):
+        """Paper: the AP 'struggles for very high dimensional descriptors'."""
+        ap = AutomataProcessor(generation=1)
+        assert ap.linear_qps(1_000_000, 100) > 10 * ap.linear_qps(1_000_000, 4096)
+
+    def test_reconfig_dominates_gen1(self):
+        ap1 = AutomataProcessor(generation=1)
+        ap2 = AutomataProcessor(generation=2)
+        # At GIST shapes, reconfiguration is most of gen-1's time.
+        assert ap2.linear_qps(1_000_000, 960) / ap1.linear_qps(1_000_000, 960) > 2
+
+    def test_resident_dataset_fast_path(self):
+        ap = AutomataProcessor(generation=1)
+        assert ap.fits_one_config(500, 100)
+        resident = ap.linear_qps(500, 100)
+        swapped = ap.linear_qps(1_000_000, 100)
+        assert resident > swapped
+
+    def test_table6_gist_alexnet_match_paper(self):
+        """The calibration lands within ~40% of 4 of 6 Table VI cells."""
+        ap1 = AutomataProcessor(generation=1)
+        ap2 = AutomataProcessor(generation=2)
+        assert ap1.linear_qps(1_000_000, 960) == pytest.approx(2.64, rel=0.4)
+        assert ap1.linear_qps(1_000_000, 4096) == pytest.approx(0.553, rel=0.4)
+        assert ap2.linear_qps(1_000_000, 960) == pytest.approx(10.55, rel=0.4)
+        assert ap2.linear_qps(1_000_000, 4096) == pytest.approx(0.951, rel=0.4)

@@ -1,0 +1,132 @@
+"""Tests for kernel calibration and the SSAM module performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
+from repro.core.config import SSAMConfig
+from repro.core.kernels import euclidean_scan_kernel
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(2)
+DATA = RNG.standard_normal((128, 16))
+QUERY = RNG.standard_normal(16)
+
+
+def make_calib(vlen=4):
+    mc = MachineConfig(vector_length=vlen)
+    return KernelCalibration.from_kernel_factory(
+        lambda n: euclidean_scan_kernel(DATA[:n], QUERY, 8, mc), 32, 128
+    )
+
+
+class TestCalibration:
+    def test_two_point_fit_is_exact_for_loops(self):
+        """The scan kernel is affine in n, so a third point must agree."""
+        calib = make_calib()
+        mc = MachineConfig(vector_length=4)
+        mid = euclidean_scan_kernel(DATA[:64], QUERY, 8, mc).run()
+        predicted = calib.fixed_cycles + 64 * calib.cycles_per_candidate
+        assert mid.stats.cycles == pytest.approx(predicted, rel=0.02)
+
+    def test_bytes_per_candidate(self):
+        calib = make_calib()
+        assert calib.bytes_per_candidate == 16 * 4
+
+    def test_wider_vectors_cheaper(self):
+        assert make_calib(8).cycles_per_candidate < make_calib(2).cycles_per_candidate
+
+    def test_rates(self):
+        calib = make_calib()
+        assert calib.pu_candidate_rate(1e9) == pytest.approx(1e9 / calib.cycles_per_candidate)
+        assert calib.pu_bandwidth_demand(1e9) == pytest.approx(
+            calib.pu_candidate_rate(1e9) * 64
+        )
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            KernelCalibration.from_kernel_factory(lambda n: None, 64, 64)
+
+
+class TestSSAMConfig:
+    def test_design_points(self):
+        for v in (2, 4, 8, 16):
+            cfg = SSAMConfig.design(v)
+            assert cfg.vector_length == v
+            assert cfg.name == f"SSAM-{v}"
+            assert cfg.n_vaults == 32
+        with pytest.raises(ValueError):
+            SSAMConfig.design(3)
+
+    def test_internal_bandwidth(self):
+        cfg = SSAMConfig.design(4)
+        assert cfg.internal_bandwidth == pytest.approx(320e9)
+        assert cfg.total_pus == 32 * cfg.pus_per_vault
+
+    def test_with_machine(self):
+        cfg = SSAMConfig.design(4).with_machine(frequency_hz=2e9)
+        assert cfg.machine.frequency_hz == 2e9
+        assert cfg.vector_length == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSAMConfig(n_vaults=0)
+
+
+class TestPerformanceModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SSAMPerformanceModel(SSAMConfig.design(4))
+
+    def test_bandwidth_roofline_binds_large_d(self):
+        """For huge rows the module must sit exactly at 320 GB/s."""
+        model = SSAMPerformanceModel(SSAMConfig.design(16))
+        calib = KernelCalibration("x", 16, cycles_per_candidate=10.0,
+                                  fixed_cycles=0.0, bytes_per_candidate=16384)
+        rate = model.candidate_rate(calib)
+        assert rate == pytest.approx(320e9 / 16384)
+
+    def test_compute_roofline_binds_small_d(self, model):
+        calib = KernelCalibration("x", 4, cycles_per_candidate=1000.0,
+                                  fixed_cycles=0.0, bytes_per_candidate=4)
+        rate = model.candidate_rate(calib)
+        expected = model.config.total_pus * 1e9 / 1000.0
+        assert rate == pytest.approx(expected)
+
+    def test_linear_throughput_inverse_in_n(self, model):
+        calib = make_calib()
+        q1 = model.linear_throughput(calib, 1_000_000)
+        q2 = model.linear_throughput(calib, 2_000_000)
+        assert q1 / q2 == pytest.approx(2.0, rel=0.01)
+
+    def test_approx_throughput_beats_linear(self, model):
+        calib = make_calib()
+        full = model.linear_throughput(calib, 1_000_000)
+        approx = model.approx_throughput(calib, candidates_per_query=10_000,
+                                         nodes_per_query=50, dims=16)
+        assert approx > full * 10
+
+    def test_approx_charges_traversal(self, model):
+        calib = make_calib()
+        no_nodes = model.approx_throughput(calib, 1000, nodes_per_query=0, dims=16)
+        many_nodes = model.approx_throughput(calib, 1000, nodes_per_query=10_000, dims=16)
+        assert many_nodes < no_nodes
+
+    def test_approx_charges_hashing(self, model):
+        calib = make_calib()
+        no_hash = model.approx_throughput(calib, 1000, dims=16)
+        hashed = model.approx_throughput(calib, 1000, hashes_per_query=1000, dims=16)
+        assert hashed < no_hash
+
+    def test_physical_numbers_from_tables(self, model):
+        assert model.total_area_mm2 == pytest.approx(38.34, abs=0.01)
+        assert model.total_power_w == pytest.approx(9.98, abs=0.01)
+
+    def test_platform_point(self, model):
+        p = model.platform_point(100.0)
+        assert p.area_normalized_qps == pytest.approx(100.0 / 38.34)
+        assert p.queries_per_joule == pytest.approx(100.0 / 9.98)
+
+    def test_bad_n(self, model):
+        with pytest.raises(ValueError):
+            model.linear_throughput(make_calib(), 0)

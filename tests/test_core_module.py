@@ -1,0 +1,98 @@
+"""Tests for the functional SSAM module (per-vault kernels + host merge)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SSAMConfig, SSAMModule
+from repro.core.kernels.common import quantize_for_kernel
+from repro.distances import pack_bits
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(5)
+DATA = RNG.standard_normal((180, 12))
+QUERY = RNG.standard_normal(12)
+CFG = SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=4)
+
+
+@pytest.fixture(scope="module")
+def module():
+    mod = SSAMModule(CFG)
+    mod.load_dataset(DATA)
+    return mod
+
+
+class TestEuclideanQueries:
+    def test_matches_exact_topk(self, module):
+        res = module.query(QUERY, 8)
+        d_int, q_int, _ = quantize_for_kernel(DATA, DATA[:1])
+        qq = np.rint(QUERY * quantize_for_kernel(DATA, DATA[:1])[2]).astype(np.int64)
+        ref = np.einsum("ij,ij->i", d_int - qq, d_int - qq)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:8])
+
+    def test_global_ids(self, module):
+        res = module.query(DATA[150], 1)
+        assert res.ids[0] == 150      # id from the last vault's partition
+
+    def test_vault_parallel_latency(self, module):
+        res = module.query(QUERY, 4)
+        assert res.cycles == max(v.stats.cycles for v in res.vault_results)
+        assert len(res.vault_results) == 4
+
+    def test_total_traffic_covers_dataset(self, module):
+        res = module.query(QUERY, 4)
+        d_int, _, _ = quantize_for_kernel(DATA, DATA[:1])
+        padded_words = -(-d_int.shape[1] // 4) * 4
+        assert res.total_dram_bytes == DATA.shape[0] * padded_words * 4
+
+    def test_results_sorted(self, module):
+        res = module.query(QUERY, 8)
+        assert (np.diff(res.values) >= 0).all()
+
+
+class TestHammingQueries:
+    def test_hamming_path(self):
+        bits = RNG.integers(0, 2, size=(100, 64))
+        codes = pack_bits(bits)
+        qbits = RNG.integers(0, 2, size=64)
+        mod = SSAMModule(CFG)
+        mod.load_codes(codes)
+        res = mod.query(pack_bits(qbits)[0], 5, metric="hamming")
+        ref = (bits != qbits).sum(axis=1)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:5])
+
+    def test_hamming_without_codes_rejected(self, module):
+        with pytest.raises(RuntimeError, match="load_codes"):
+            module.query(QUERY, 3, metric="hamming")
+
+
+class TestModuleControl:
+    def test_unloaded_module_rejects_query(self):
+        with pytest.raises(RuntimeError, match="load_dataset"):
+            SSAMModule(CFG).query(QUERY, 3)
+
+    def test_disable_enable(self, module):
+        module.disable_accelerator()
+        with pytest.raises(RuntimeError, match="disabled"):
+            module.query(QUERY, 3)
+        module.enable_accelerator()
+        assert module.query(QUERY, 3).ids.size == 3
+
+    def test_unknown_metric(self, module):
+        with pytest.raises(ValueError, match="unsupported metric"):
+            module.query(QUERY, 3, metric="minkowski")
+
+    def test_bytes_loaded(self, module):
+        d_int, _, _ = quantize_for_kernel(DATA, DATA[:1])
+        assert module.bytes_loaded() == DATA.shape[0] * DATA.shape[1] * 4
+        assert module.n_rows == DATA.shape[0]
+
+    def test_bad_dataset(self):
+        with pytest.raises(ValueError):
+            SSAMModule(CFG).load_dataset(np.zeros(5))
+
+    def test_more_vaults_lower_latency(self):
+        mod2 = SSAMModule(SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=2))
+        mod8 = SSAMModule(SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=8))
+        mod2.load_dataset(DATA)
+        mod8.load_dataset(DATA)
+        assert mod8.query(QUERY, 4).cycles < mod2.query(QUERY, 4).cycles

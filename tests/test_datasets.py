@@ -1,0 +1,93 @@
+"""Tests for synthetic dataset generators and workload presets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    WORKLOADS,
+    Dataset,
+    get_workload,
+    make_alexnet_like,
+    make_clustered_dataset,
+    make_gist_like,
+    make_glove_like,
+)
+
+
+class TestClusteredDataset:
+    def test_shapes(self):
+        ds = make_clustered_dataset("t", n=500, dims=20, n_queries=30, k=5)
+        assert ds.train.shape == (500, 20)
+        assert ds.test.shape == (30, 20)
+        assert ds.k == 5 and ds.n == 500 and ds.dims == 20 and ds.n_queries == 30
+
+    def test_deterministic(self):
+        a = make_clustered_dataset("t", 200, 8, seed=9)
+        b = make_clustered_dataset("t", 200, 8, seed=9)
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.test, b.test)
+
+    def test_seed_changes_data(self):
+        a = make_clustered_dataset("t", 200, 8, seed=1)
+        b = make_clustered_dataset("t", 200, 8, seed=2)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_float32(self):
+        ds = make_clustered_dataset("t", 100, 4)
+        assert ds.train.dtype == np.float32
+
+    def test_contiguous(self):
+        ds = make_clustered_dataset("t", 100, 4)
+        assert ds.train.flags["C_CONTIGUOUS"]
+
+    def test_cluster_structure_exists(self):
+        # Within-cluster distances must be far below cross-cluster ones,
+        # otherwise indexes cannot prune and Fig. 2 flattens.
+        ds = make_clustered_dataset("t", 1000, 16, n_clusters=10, cluster_std=0.1, seed=0)
+        data = ds.train
+        d0 = np.linalg.norm(data - data[0], axis=1)
+        near = np.sort(d0)[1:20].mean()
+        overall = d0.mean()
+        assert near < overall / 2
+
+    def test_nbytes(self):
+        ds = make_clustered_dataset("t", 10, 7)
+        assert ds.nbytes == 10 * 7 * 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_clustered_dataset("t", 0, 5)
+        with pytest.raises(ValueError):
+            make_clustered_dataset("t", 5, 5, n_clusters=0)
+
+    def test_train_test_disjoint(self):
+        ds = make_clustered_dataset("t", 300, 6, n_queries=50, seed=4)
+        # Queries are held out: no train row is bit-identical to a query.
+        for q in ds.test[:10]:
+            assert not (ds.train == q).all(axis=1).any()
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "maker,dims,k",
+        [(make_glove_like, 100, 6), (make_gist_like, 960, 10), (make_alexnet_like, 4096, 16)],
+    )
+    def test_preset_shapes(self, maker, dims, k):
+        ds = maker(n=200, n_queries=10)
+        assert ds.dims == dims and ds.k == k and ds.n == 200
+
+    def test_workload_registry(self):
+        assert set(WORKLOADS) == {"glove", "gist", "alexnet"}
+        for name, spec in WORKLOADS.items():
+            assert spec.paper_n >= 1_000_000
+            assert spec.bytes_per_vector == 4 * spec.dims
+            assert spec.paper_corpus_bytes == spec.paper_n * 4 * spec.dims
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("imagenet")
+
+    def test_spec_factory_builds_dataset(self):
+        ds = get_workload("glove").make(n=50, n_queries=5)
+        assert isinstance(ds, Dataset)
+        assert ds.dims == 100

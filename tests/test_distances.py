@@ -1,0 +1,355 @@
+"""Unit + property tests for repro.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances import (
+    METRICS,
+    FixedPointFormat,
+    MahalanobisMetric,
+    SignRandomProjection,
+    chi_squared,
+    cosine_distance,
+    euclidean,
+    from_fixed_point,
+    get_metric,
+    hamming_packed,
+    jaccard,
+    manhattan,
+    pack_bits,
+    pairwise_distance,
+    squared_euclidean,
+    to_fixed_point,
+    unpack_bits,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestEuclidean:
+    def test_matches_naive(self):
+        q = RNG.standard_normal((5, 8))
+        x = RNG.standard_normal((20, 8))
+        expected = np.linalg.norm(q[:, None, :] - x[None, :, :], axis=2)
+        np.testing.assert_allclose(euclidean(q, x), expected, atol=1e-10)
+
+    def test_squared_matches_square(self):
+        q = RNG.standard_normal((3, 4))
+        x = RNG.standard_normal((7, 4))
+        np.testing.assert_allclose(squared_euclidean(q, x), euclidean(q, x) ** 2, atol=1e-9)
+
+    def test_identical_vector_zero(self):
+        v = RNG.standard_normal(10)
+        assert euclidean(v, v[None, :])[0, 0] == pytest.approx(0.0, abs=1e-7)
+
+    def test_single_query_promoted(self):
+        x = RNG.standard_normal((6, 5))
+        out = euclidean(RNG.standard_normal(5), x)
+        assert out.shape == (1, 6)
+
+    def test_no_negative_from_cancellation(self):
+        # Nearly identical large-magnitude vectors stress the expansion.
+        base = RNG.standard_normal(32) * 1e4
+        x = np.stack([base, base + 1e-9])
+        assert (squared_euclidean(base, x) >= 0).all()
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            euclidean(RNG.standard_normal((2, 3)), RNG.standard_normal((4, 5)))
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean(RNG.standard_normal((2, 3, 4)), RNG.standard_normal((4, 4)))
+
+
+class TestManhattan:
+    def test_matches_naive(self):
+        q = RNG.standard_normal((4, 6))
+        x = RNG.standard_normal((9, 6))
+        expected = np.abs(q[:, None, :] - x[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(manhattan(q, x), expected, atol=1e-12)
+
+    def test_blocked_path_matches(self):
+        # Force multiple blocks through the chunked implementation.
+        q = RNG.standard_normal((300, 100))
+        x = RNG.standard_normal((300, 100))
+        expected = np.abs(q[:5, None, :] - x[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(manhattan(q, x)[:5], expected, atol=1e-10)
+
+    def test_upper_bounds_euclidean(self):
+        q = RNG.standard_normal((3, 12))
+        x = RNG.standard_normal((5, 12))
+        assert (manhattan(q, x) >= euclidean(q, x) - 1e-9).all()
+
+
+class TestCosine:
+    def test_orthogonal_is_one(self):
+        q = np.array([[1.0, 0.0]])
+        x = np.array([[0.0, 5.0]])
+        assert cosine_distance(q, x)[0, 0] == pytest.approx(1.0)
+
+    def test_parallel_is_zero(self):
+        v = RNG.standard_normal(6)
+        assert cosine_distance(v, (3.0 * v)[None, :])[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_antiparallel_is_two(self):
+        v = RNG.standard_normal(6)
+        assert cosine_distance(v, (-v)[None, :])[0, 0] == pytest.approx(2.0)
+
+    def test_scale_invariant(self):
+        q = RNG.standard_normal((2, 5))
+        x = RNG.standard_normal((4, 5))
+        np.testing.assert_allclose(
+            cosine_distance(q, x), cosine_distance(q * 7.0, x * 0.1), atol=1e-10
+        )
+
+    def test_zero_vector_max_distance(self):
+        out = cosine_distance(np.zeros((1, 4)), RNG.standard_normal((3, 4)))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_range(self):
+        q = RNG.standard_normal((5, 8))
+        x = RNG.standard_normal((11, 8))
+        d = cosine_distance(q, x)
+        assert (d >= -1e-12).all() and (d <= 2.0 + 1e-12).all()
+
+
+class TestChiSquared:
+    def test_identical_zero(self):
+        h = np.abs(RNG.standard_normal((1, 8)))
+        assert chi_squared(h, h)[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_naive(self):
+        q = np.abs(RNG.standard_normal((3, 5)))
+        x = np.abs(RNG.standard_normal((4, 5)))
+        tot = q[:, None, :] + x[None, :, :]
+        diff = q[:, None, :] - x[None, :, :]
+        expected = 0.5 * np.where(tot > 0, diff**2 / np.where(tot > 0, tot, 1), 0).sum(axis=2)
+        np.testing.assert_allclose(chi_squared(q, x), expected, atol=1e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chi_squared(np.array([[-1.0, 2.0]]), np.array([[1.0, 1.0]]))
+
+    def test_zero_bins_contribute_nothing(self):
+        q = np.array([[0.0, 1.0]])
+        x = np.array([[0.0, 1.0], [0.0, 3.0]])
+        out = chi_squared(q, x)
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, 1] == pytest.approx(0.5 * 4 / 4)
+
+
+class TestJaccard:
+    def test_identical_sets_zero(self):
+        v = (RNG.random(12) > 0.5).astype(int)
+        assert jaccard(v, v[None, :])[0, 0] == pytest.approx(0.0)
+
+    def test_disjoint_sets_one(self):
+        a = np.array([[1, 1, 0, 0]])
+        b = np.array([[0, 0, 1, 1]])
+        assert jaccard(a, b)[0, 0] == pytest.approx(1.0)
+
+    def test_both_empty_zero(self):
+        z = np.zeros((1, 6))
+        assert jaccard(z, z)[0, 0] == pytest.approx(0.0)
+
+    def test_half_overlap(self):
+        a = np.array([[1, 1, 0]])
+        b = np.array([[1, 0, 1]])
+        assert jaccard(a, b)[0, 0] == pytest.approx(1 - 1 / 3)
+
+
+class TestHammingPacked:
+    def test_matches_bit_count(self):
+        bits_a = RNG.integers(0, 2, size=(4, 70))
+        bits_b = RNG.integers(0, 2, size=(9, 70))
+        expected = (bits_a[:, None, :] != bits_b[None, :, :]).sum(axis=2)
+        out = hamming_packed(pack_bits(bits_a), pack_bits(bits_b))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_requires_unsigned(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            hamming_packed(np.zeros((1, 2)), np.zeros((3, 2), dtype=np.uint32))
+
+    def test_self_distance_zero(self):
+        codes = pack_bits(RNG.integers(0, 2, size=(5, 64)))
+        assert (np.diag(hamming_packed(codes, codes)) == 0).all()
+
+    def test_symmetry(self):
+        a = pack_bits(RNG.integers(0, 2, size=(3, 40)))
+        b = pack_bits(RNG.integers(0, 2, size=(6, 40)))
+        np.testing.assert_array_equal(hamming_packed(a, b), hamming_packed(b, a).T)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        bits = RNG.integers(0, 2, size=(7, 50)).astype(np.uint8)
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), 50), bits)
+
+    def test_word_count(self):
+        assert pack_bits(np.zeros((2, 33))).shape == (2, 2)
+        assert pack_bits(np.zeros((2, 32))).shape == (2, 1)
+
+    def test_single_vector_promoted(self):
+        assert pack_bits(np.ones(10)).shape == (1, 1)
+
+    def test_unpack_too_many_bits_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros((1, 1), dtype=np.uint32), 64)
+
+    @given(arrays(np.uint8, (3, 41), elements=st.integers(0, 1)))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, bits):
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), 41), bits)
+
+
+class TestRegistry:
+    def test_all_metrics_registered(self):
+        assert set(METRICS) >= {
+            "euclidean", "squared_euclidean", "manhattan", "cosine",
+            "chi_squared", "jaccard", "hamming",
+        }
+
+    def test_get_metric_unknown(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("nope")
+
+    def test_pairwise_dispatch(self):
+        q = RNG.standard_normal((2, 4))
+        x = RNG.standard_normal((3, 4))
+        np.testing.assert_array_equal(pairwise_distance(q, x, "euclidean"), euclidean(q, x))
+
+
+class TestMetricProperties:
+    """Metric-space properties checked with hypothesis."""
+
+    @given(
+        arrays(np.float64, (3, 6), elements=st.floats(-100, 100)),
+        arrays(np.float64, (4, 6), elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_euclidean_nonnegative_symmetric(self, q, x):
+        d = euclidean(q, x)
+        assert (d >= 0).all()
+        np.testing.assert_allclose(d, euclidean(x, q).T, atol=1e-6)
+
+    @given(
+        arrays(np.float64, (2, 5), elements=st.floats(-50, 50)),
+        arrays(np.float64, (2, 5), elements=st.floats(-50, 50)),
+        arrays(np.float64, (2, 5), elements=st.floats(-50, 50)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        ab = euclidean(a, b)
+        bc = euclidean(b, c)
+        ac = euclidean(a, c)
+        for i in range(2):
+            for j in range(2):
+                lhs = ac[i, j]
+                mids = ab[i, :] + bc[:, j]
+                assert lhs <= mids.min() + 1e-6
+
+
+class TestFixedPoint:
+    def test_roundtrip_within_resolution(self):
+        fmt = FixedPointFormat(32, 16)
+        vals = RNG.standard_normal(100) * 10
+        back = from_fixed_point(to_fixed_point(vals, fmt), fmt)
+        assert np.abs(back - vals).max() <= fmt.resolution / 2 + 1e-12
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 4)
+        codes = to_fixed_point(np.array([1e9, -1e9]), fmt)
+        assert codes[0] == fmt.max_code and codes[1] == fmt.min_code
+
+    def test_bad_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 16)
+        with pytest.raises(ValueError):
+            FixedPointFormat(65, 2)
+
+    def test_resolution(self):
+        assert FixedPointFormat(32, 8).resolution == pytest.approx(1 / 256)
+
+    def test_rounds_to_nearest(self):
+        fmt = FixedPointFormat(16, 0)
+        np.testing.assert_array_equal(
+            to_fixed_point(np.array([0.4, 0.6, -0.6]), fmt), [0, 1, -1]
+        )
+
+    @given(arrays(np.float64, 20, elements=st.floats(-1000, 1000)))
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_error_bounded(self, vals):
+        fmt = FixedPointFormat(32, 12)
+        back = from_fixed_point(to_fixed_point(vals, fmt), fmt)
+        mask = (vals <= fmt.max_value) & (vals >= fmt.min_value)
+        assert np.abs(back[mask] - vals[mask]).max(initial=0) <= fmt.resolution
+
+
+class TestSignRandomProjection:
+    def test_deterministic(self):
+        data = RNG.standard_normal((20, 12))
+        a = SignRandomProjection(12, 64, seed=3).fit_transform(data)
+        b = SignRandomProjection(12, 64, seed=3).fit_transform(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_code_shape(self):
+        srp = SignRandomProjection(10, n_bits=70)
+        assert srp.words_per_code == 3
+        assert srp.transform(RNG.standard_normal((5, 10))).shape == (5, 3)
+
+    def test_single_vector(self):
+        srp = SignRandomProjection(8, 32)
+        assert srp.transform(RNG.standard_normal(8)).shape == (1,)
+
+    def test_preserves_neighbor_order_roughly(self):
+        # Hamming distance between codes must correlate with angle.
+        base = RNG.standard_normal(32)
+        near = base + 0.1 * RNG.standard_normal(32)
+        far = RNG.standard_normal(32) * 3
+        srp = SignRandomProjection(32, n_bits=512, seed=1, center=False)
+        codes = srp.transform(np.stack([base, near, far]))
+        d = hamming_packed(codes[:1], codes)[0]
+        assert d[1] < d[2]
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            SignRandomProjection(8, 32).transform(RNG.standard_normal((2, 9)))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SignRandomProjection(0, 32)
+
+
+class TestMahalanobis:
+    def test_identity_is_euclidean(self):
+        m = MahalanobisMetric(np.eye(5))
+        q = RNG.standard_normal((2, 5))
+        x = RNG.standard_normal((4, 5))
+        np.testing.assert_allclose(m(q, x), euclidean(q, x), atol=1e-9)
+
+    def test_asymmetric_rejected(self):
+        mat = np.eye(3)
+        mat[0, 1] = 0.5
+        with pytest.raises(ValueError, match="symmetric"):
+            MahalanobisMetric(mat)
+
+    def test_negative_definite_rejected(self):
+        with pytest.raises(ValueError, match="positive semi-definite"):
+            MahalanobisMetric(-np.eye(3))
+
+    def test_from_covariance_whitens(self):
+        data = RNG.standard_normal((500, 3)) @ np.diag([1.0, 10.0, 0.1])
+        metric = MahalanobisMetric.from_covariance(data)
+        white = metric.transform(data)
+        cov = np.cov(white, rowvar=False)
+        np.testing.assert_allclose(cov, np.eye(3), atol=0.2)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            MahalanobisMetric(np.ones((2, 3)))

@@ -1,0 +1,73 @@
+"""Tests for CSV export, the generated ISA reference, and the CLI."""
+
+import os
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, save_rows
+from repro.isa.docs import render_isa_reference
+from repro.isa.instructions import SPEC_BY_NAME
+
+
+class TestCSVExport:
+    def test_roundtrip_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "c": 3.5}]
+        csv_text = rows_to_csv(rows)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,x,"
+        assert lines[2] == "2,,3.5"
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""
+
+    def test_save_creates_directories(self, tmp_path):
+        path = save_rows([{"x": 1}], str(tmp_path / "deep" / "out.csv"))
+        assert os.path.exists(path)
+        assert "x" in open(path).read()
+
+
+class TestISAReference:
+    def test_every_instruction_documented(self):
+        doc = render_isa_reference()
+        for name in SPEC_BY_NAME:
+            assert f"`{name}`" in doc, f"{name} missing from ISA reference"
+
+    def test_committed_doc_in_sync(self):
+        """docs/ISA.md must match the generator (regenerate on ISA change)."""
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(root, "docs", "ISA.md")
+        assert os.path.exists(path), "docs/ISA.md not generated"
+        assert open(path).read() == render_isa_reference()
+
+    def test_table_ii_groups_present(self):
+        doc = render_isa_reference()
+        for heading in ("Scalar arithmetic", "Vector arithmetic", "Control flow",
+                        "Stack unit", "Priority-queue unit"):
+            assert heading in doc
+
+
+class TestCLI:
+    def test_csv_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["table4", "--csv", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        csv_path = tmp_path / "table4.csv"
+        assert csv_path.exists()
+        assert "scratchpad" in csv_path.read_text()
+
+    def test_list_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "tco" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,134 @@
+"""Edge-case and coexistence tests across the stack.
+
+Covers the boundary shapes the main suites skip (d=1, n=1, d < VLEN),
+multi-region coexistence on one driver (the paper: "multiple different
+indexing kernels can coexist on each SSAM module"), and chained
+priority queues at the kernel level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann import LinearScan, RandomizedKDForest, mean_recall
+from repro.core.kernels import euclidean_scan_kernel, hamming_scan_kernel
+from repro.core.kernels.common import quantize_for_kernel
+from repro.distances import pack_bits
+from repro.host import IndexMode, SSAMDriver
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(23)
+
+
+class TestKernelEdgeShapes:
+    def test_single_dimension(self):
+        data = RNG.standard_normal((30, 1))
+        q = RNG.standard_normal(1)
+        res = euclidean_scan_kernel(data, q, 3, MachineConfig(vector_length=4)).run()
+        d_int, q_int, _ = quantize_for_kernel(data, q)
+        ref = (d_int - q_int)[:, 0] ** 2
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:3])
+
+    def test_single_candidate(self):
+        data = RNG.standard_normal((1, 8))
+        res = euclidean_scan_kernel(data, data[0], 1, MachineConfig(vector_length=4)).run()
+        assert res.ids.tolist() == [0]
+        assert res.values[0] == 0
+
+    def test_dims_smaller_than_vlen(self):
+        data = RNG.standard_normal((20, 3))
+        q = RNG.standard_normal(3)
+        res = euclidean_scan_kernel(data, q, 4, MachineConfig(vector_length=16)).run()
+        d_int, q_int, _ = quantize_for_kernel(data, q)
+        ref = np.einsum("ij,ij->i", d_int - q_int, d_int - q_int)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:4])
+
+    def test_k_equals_n(self):
+        data = RNG.standard_normal((10, 6))
+        q = RNG.standard_normal(6)
+        res = euclidean_scan_kernel(data, q, 10, MachineConfig(vector_length=2)).run()
+        assert sorted(res.ids.tolist()) == list(range(10))
+
+    def test_hamming_single_word(self):
+        codes = pack_bits(RNG.integers(0, 2, size=(25, 32)))
+        qc = pack_bits(RNG.integers(0, 2, size=32))[0]
+        res = hamming_scan_kernel(codes, qc, 5, MachineConfig(vector_length=2)).run()
+        assert len(res.values) == 5
+        assert (res.values <= 32).all()
+
+    def test_identical_candidates_all_tie(self):
+        data = np.tile(RNG.standard_normal(8), (12, 1))
+        res = euclidean_scan_kernel(data, data[0], 5, MachineConfig(vector_length=4)).run()
+        assert (res.values == 0).all()
+        assert len(set(res.ids.tolist())) == 5   # distinct ids despite ties
+
+    def test_chained_pq_deep_k(self):
+        data = RNG.standard_normal((100, 8))
+        q = RNG.standard_normal(8)
+        mc = MachineConfig(vector_length=4, pq_chained=4)   # depth 64
+        res = euclidean_scan_kernel(data, q, 50, mc).run()
+        d_int, q_int, _ = quantize_for_kernel(data, q)
+        ref = np.einsum("ij,ij->i", d_int - q_int, d_int - q_int)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:50])
+
+
+class TestDriverCoexistence:
+    def test_multiple_regions_different_modes(self):
+        """Two corpora with different index modes on one driver/module."""
+        images = RNG.standard_normal((300, 12)).astype(np.float32)
+        words = RNG.standard_normal((200, 20)).astype(np.float32)
+        driver = SSAMDriver()
+
+        buf_img = driver.nmalloc(images.nbytes)
+        driver.nmode(buf_img, IndexMode.KDTREE)
+        driver.nmemcpy(buf_img, images)
+        driver.nbuild_index(buf_img, params={"n_trees": 2, "seed": 0})
+
+        buf_words = driver.nmalloc(words.nbytes)
+        driver.nmode(buf_words, IndexMode.MPLSH)
+        driver.nmemcpy(buf_words, words)
+        driver.nbuild_index(buf_words, params={"n_tables": 4, "n_bits": 10, "seed": 0})
+
+        assert driver.n_regions == 2
+
+        # Interleaved queries do not interfere.
+        driver.nwrite_query(buf_img, images[7])
+        driver.nwrite_query(buf_words, words[3])
+        driver.nexec(buf_img, k=5, checks=150)
+        driver.nexec(buf_words, k=5, checks=4)
+        assert 7 in driver.nread_result(buf_img)
+        assert 3 in driver.nread_result(buf_words)
+
+        driver.nfree(buf_img)
+        # Freeing one region leaves the other queryable.
+        driver.nwrite_query(buf_words, words[9])
+        driver.nexec(buf_words, k=5, checks=4)
+        assert driver.nread_result(buf_words).shape == (5,)
+        driver.nfree(buf_words)
+
+    def test_region_capacity_accounting(self):
+        driver = SSAMDriver()
+        total = driver.allocator.free_bytes
+        a = driver.nmalloc(1 << 20)
+        b = driver.nmalloc(1 << 20)
+        assert driver.allocator.free_bytes == total - (2 << 20)
+        driver.nfree(a)
+        driver.nfree(b)
+        assert driver.allocator.free_bytes == total
+
+
+class TestIndexEdgeCases:
+    def test_kd_forest_n_smaller_than_leaf(self):
+        data = RNG.standard_normal((5, 4))
+        forest = RandomizedKDForest(n_trees=2, leaf_size=32, seed=0).build(data)
+        res = forest.search(data[0], 3, checks=10)
+        assert res.ids[0, 0] == 0
+
+    def test_linear_scan_one_dim(self):
+        data = RNG.standard_normal((40, 1))
+        res = LinearScan().build(data).search(data[:2], 4)
+        assert res.ids.shape == (2, 4)
+
+    def test_recall_on_self_queries_is_one(self):
+        data = RNG.standard_normal((100, 8))
+        exact = LinearScan().build(data).search(data[:10], 5)
+        assert mean_recall(exact.ids, exact.ids) == 1.0

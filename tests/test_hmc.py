@@ -1,0 +1,193 @@
+"""Tests for the HMC substrate: DRAM, vaults, switch, links, module."""
+
+import pytest
+
+from repro.hmc import (
+    CrossbarSwitch,
+    DRAMTimings,
+    ExternalLink,
+    HMCConfig,
+    HMCModule,
+    LinkSet,
+    Vault,
+    VaultController,
+    VaultDRAM,
+)
+from repro.hmc.module import ModuleChain
+
+
+class TestConfig:
+    def test_hmc2_defaults(self):
+        cfg = HMCConfig()
+        assert cfg.n_vaults == 32
+        assert cfg.internal_bandwidth == pytest.approx(320e9)
+        assert cfg.external_bandwidth == pytest.approx(240e9)
+        assert cfg.capacity_bytes == 8 << 30
+        assert cfg.vault_capacity == (8 << 30) // 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMCConfig(n_vaults=0)
+        with pytest.raises(ValueError):
+            HMCConfig(vault_bandwidth=-1)
+
+
+class TestVaultDRAM:
+    def test_row_hit_vs_miss(self):
+        dram = VaultDRAM(capacity_bytes=1 << 20)
+        t_miss = dram.access(0, 32)
+        t_hit = dram.access(32, 32)
+        assert t_miss > t_hit
+        assert dram.row_hits == 1 and dram.row_misses == 1
+
+    def test_row_spanning_access(self):
+        dram = VaultDRAM(capacity_bytes=1 << 20, row_bytes=256)
+        dram.access(200, 100)   # spans two rows
+        assert dram.accesses == 2
+
+    def test_stream_efficiency_bounds(self):
+        eff = VaultDRAM(capacity_bytes=1 << 20).stream_efficiency()
+        assert 0.5 < eff <= 1.0
+
+    def test_random_hit_rate_below_sequential(self):
+        seq = VaultDRAM(capacity_bytes=1 << 20)
+        for i in range(64):
+            seq.access(i * 32, 32)
+        rand = VaultDRAM(capacity_bytes=1 << 20)
+        import random
+
+        r = random.Random(0)
+        for _ in range(64):
+            rand.access(r.randrange(0, (1 << 20) - 64), 32)
+        assert seq.row_hit_rate > rand.row_hit_rate
+
+    def test_capacity_check(self):
+        dram = VaultDRAM(capacity_bytes=128)
+        with pytest.raises(ValueError):
+            dram.access(100, 64)
+
+    def test_timings(self):
+        t = DRAMTimings()
+        assert t.row_miss_penalty == pytest.approx(t.t_rp + t.t_rcd)
+
+
+class TestVault:
+    def test_read_accounting(self):
+        v = Vault(0, VaultController(10e9), VaultDRAM(1 << 20))
+        lat = v.read(0, 256)
+        assert lat > 0
+        assert v.controller.bytes_read == 256
+        assert v.controller.busy_ns > 0
+
+    def test_effective_stream_bandwidth_below_peak(self):
+        v = Vault(0, VaultController(10e9), VaultDRAM(1 << 20))
+        assert 0 < v.effective_stream_bandwidth() <= 10e9
+
+    def test_utilization(self):
+        c = VaultController(10e9)
+        c.busy_ns = 50.0
+        assert c.utilization(100.0) == pytest.approx(0.5)
+        assert c.achieved_bandwidth(0) == 0.0
+
+
+class TestSwitch:
+    def test_route_and_total(self):
+        sw = CrossbarSwitch()
+        sw.route(0, 1, 100)
+        sw.route(0, 1, 50)
+        assert sw.total_routed == 150
+
+    def test_port_bounds(self):
+        sw = CrossbarSwitch()
+        with pytest.raises(ValueError):
+            sw.route(40, 0, 1)
+        with pytest.raises(ValueError):
+            sw.route(0, 9, 1)
+
+    def test_feasibility(self):
+        sw = CrossbarSwitch(port_bandwidth=10e9, aggregate_bandwidth=480e9)
+        assert sw.feasible({(0, 0): 5e9, (1, 1): 9e9})
+        assert not sw.feasible({(0, 0): 11e9})          # vault port exceeded
+        assert not sw.feasible({(i, 0): 10e9 for i in range(32)})  # link port
+
+
+class TestLinks:
+    def test_packet_overhead(self):
+        link = ExternalLink()
+        assert link.packet_bytes(16) == 48       # 1 data + header + tail FLITs
+        assert link.efficiency(16) == pytest.approx(1 / 3)
+        assert link.efficiency(256) > link.efficiency(16)
+
+    def test_send_accounts_wire_bytes(self):
+        link = ExternalLink()
+        link.send(100)
+        assert link.bytes_sent == link.packet_bytes(100)
+
+    def test_result_traffic_check(self):
+        links = LinkSet()
+        # Millions of small results per second easily fit 240 GB/s...
+        assert links.result_traffic_fits(1e6, k=10)
+        # ...but an absurd rate does not.
+        assert not links.result_traffic_fits(1e13, k=10)
+
+    def test_round_robin(self):
+        links = LinkSet()
+        for _ in range(8):
+            links.send(64)
+        assert all(l.bytes_sent > 0 for l in links.links)
+
+
+class TestHMCModule:
+    def test_address_interleaving_spreads_vaults(self):
+        mod = HMCModule()
+        vaults = {mod.map_address(i * 32)[0] for i in range(32)}
+        assert len(vaults) == 32
+
+    def test_local_addresses_in_range(self):
+        mod = HMCModule()
+        for addr in (0, 12345, (8 << 30) - 1):
+            vault, local = mod.map_address(addr)
+            assert 0 <= vault < 32
+            assert 0 <= local < mod.config.vault_capacity
+
+    def test_address_mapping_bijective_on_blocks(self):
+        mod = HMCModule()
+        seen = set()
+        for i in range(1000):
+            key = mod.map_address(i * 32)
+            assert key not in seen
+            seen.add(key)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            HMCModule().map_address(8 << 30)
+
+    def test_read_spanning_blocks_parallel(self):
+        mod = HMCModule()
+        latency = mod.read(0, 1024)    # 32 blocks over 32 vaults
+        assert latency > 0
+        busy = [v.controller.bytes_read for v in mod.vaults]
+        assert sum(busy) == 1024
+        assert max(busy) == 32         # perfectly spread
+
+    def test_streaming_bandwidth_near_spec(self):
+        mod = HMCModule()
+        bw = mod.streaming_bandwidth()
+        assert 0.6 * 320e9 < bw <= 320e9
+
+    def test_fits(self):
+        assert HMCModule().fits(1 << 30)
+        assert not HMCModule().fits(16 << 30)
+
+
+class TestModuleChain:
+    def test_for_capacity(self):
+        chain = ModuleChain.for_capacity(20 << 30)
+        assert len(chain) == 3
+        assert chain.capacity_bytes >= 20 << 30
+
+    def test_bandwidth_scales(self):
+        one = ModuleChain.for_capacity(1 << 30)
+        three = ModuleChain.for_capacity(20 << 30)
+        assert three.internal_bandwidth == pytest.approx(3 * one.internal_bandwidth)
+        assert three.streaming_bandwidth() > one.streaming_bandwidth()

@@ -1,0 +1,61 @@
+"""Tests for DRAM refresh and page-policy modeling."""
+
+import pytest
+
+from repro.hmc.dram import DRAMTimings, VaultDRAM
+
+
+class TestRefresh:
+    def test_default_overhead_small(self):
+        t = DRAMTimings()
+        assert 0.01 < t.refresh_overhead < 0.05
+
+    def test_refresh_disabled(self):
+        t = DRAMTimings(t_refi=0.0)
+        assert t.refresh_overhead == 0.0
+
+    def test_refresh_stretches_access_time(self):
+        base = VaultDRAM(1 << 20, timings=DRAMTimings(t_refi=0.0))
+        taxed = VaultDRAM(1 << 20, timings=DRAMTimings())
+        assert taxed.access(0, 64) > base.access(0, 64)
+
+    def test_refresh_lowers_stream_efficiency(self):
+        base = VaultDRAM(1 << 20, timings=DRAMTimings(t_refi=0.0))
+        taxed = VaultDRAM(1 << 20)
+        assert taxed.stream_efficiency() < base.stream_efficiency()
+        ratio = taxed.stream_efficiency() / base.stream_efficiency()
+        assert ratio == pytest.approx(1.0 - DRAMTimings().refresh_overhead)
+
+
+class TestPagePolicy:
+    def test_closed_page_every_access_misses(self):
+        dram = VaultDRAM(1 << 20, page_policy="closed")
+        dram.access(0, 32)
+        dram.access(32, 32)       # same row: still a "miss" when closed
+        assert dram.row_hits == 0
+        assert dram.row_misses == 2
+
+    def test_open_page_wins_on_locality(self):
+        opened = VaultDRAM(1 << 20, page_policy="open")
+        closed = VaultDRAM(1 << 20, page_policy="closed")
+        # Sequential accesses within one row favor the open policy.
+        t_open = sum(opened.access(i * 32, 32) for i in range(8))
+        t_closed = sum(closed.access(i * 32, 32) for i in range(8))
+        assert t_open < t_closed
+
+    def test_closed_page_cheaper_misses(self):
+        """A closed-page activation skips the precharge on the critical
+        path, so an isolated random access is cheaper than an open-page
+        conflict miss."""
+        t = DRAMTimings(t_refi=0.0)
+        opened = VaultDRAM(1 << 20, page_policy="open", timings=t)
+        closed = VaultDRAM(1 << 20, page_policy="closed", timings=t)
+        opened.access(0, 32)
+        closed.access(0, 32)
+        # Conflict: same bank, different row (row += n_banks rows).
+        conflict_addr = 16 * 256
+        assert closed.access(conflict_addr, 32) < opened.access(conflict_addr, 32)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            VaultDRAM(1 << 20, page_policy="adaptive")

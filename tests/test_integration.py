@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the full stack working together."""
+
+import numpy as np
+import pytest
+
+from repro.ann import LinearScan, RandomizedKDForest, mean_recall
+from repro.core import SSAMConfig, SSAMModule
+from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
+from repro.core.kernels import euclidean_scan_kernel
+from repro.datasets import make_glove_like
+from repro.hmc import HMCConfig, HMCModule
+from repro.host import IndexMode, SSAMDriver
+from repro.isa.simulator import MachineConfig
+
+
+class TestFunctionalVsCycleEquivalence:
+    """The cycle-accurate path and the NumPy path must agree."""
+
+    def test_module_query_equals_linear_scan(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((200, 16))
+        queries = rng.standard_normal((5, 16))
+        cfg = SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=4)
+        module = SSAMModule(cfg)
+        module.load_dataset(data)
+        exact = LinearScan().build(data).search(queries, 6)
+        for i, q in enumerate(queries):
+            res = module.query(q, 6)
+            overlap = len(set(res.ids.tolist()) & set(exact.ids[i].tolist()))
+            assert overlap >= 5   # quantization may flip near-ties
+
+
+class TestDatasetToExperimentPipeline:
+    def test_glove_workload_end_to_end(self):
+        ds = make_glove_like(n=2000, n_queries=10)
+        forest = RandomizedKDForest(n_trees=4, seed=0).build(ds.train)
+        exact = LinearScan().build(ds.train).search(ds.test, ds.k)
+        res = forest.search(ds.test, ds.k, checks=1024)
+        assert mean_recall(res.ids, exact.ids) > 0.7
+
+    def test_driver_over_workload(self):
+        ds = make_glove_like(n=1000, n_queries=5)
+        driver = SSAMDriver()
+        buf = driver.nmalloc(ds.train.nbytes)
+        driver.nmode(buf, IndexMode.KMEANS)
+        driver.nmemcpy(buf, ds.train)
+        driver.nbuild_index(buf, params={"branching": 8, "seed": 0})
+        hits = 0
+        exact = LinearScan().build(ds.train).search(ds.test, ds.k)
+        for i in range(ds.test.shape[0]):
+            driver.nwrite_query(buf, ds.test[i])
+            driver.nexec(buf, k=ds.k, checks=512)
+            ids = driver.nread_result(buf)
+            hits += len(set(ids.tolist()) & set(exact.ids[i].tolist()))
+        assert hits / (ds.test.shape[0] * ds.k) > 0.6
+
+
+class TestRooflineConsistency:
+    def test_module_model_respects_hmc_substrate(self):
+        """The performance model's bandwidth cap must not exceed what
+        the HMC substrate can actually stream."""
+        hmc = HMCModule(HMCConfig())
+        model = SSAMPerformanceModel(SSAMConfig.design(4))
+        calib = KernelCalibration("e", 4, cycles_per_candidate=1.0,
+                                  fixed_cycles=0.0, bytes_per_candidate=4096)
+        cap_bytes_per_s = model.candidate_rate(calib) * 4096
+        assert cap_bytes_per_s <= hmc.config.internal_bandwidth * 1.001
+        # And the detailed DRAM model says streams achieve most of that.
+        assert hmc.streaming_bandwidth() > 0.6 * hmc.config.internal_bandwidth
+
+    def test_calibration_predicts_module_cycles(self):
+        """Per-vault kernel cycle counts must match the calibration's
+        affine model — the analytic layer is anchored to the simulator."""
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((160, 12))
+        query = rng.standard_normal(12)
+        mc = MachineConfig(vector_length=4)
+        calib = KernelCalibration.from_kernel_factory(
+            lambda n: euclidean_scan_kernel(data[:n], query, 8, mc), 40, 160
+        )
+        cfg = SSAMConfig(machine=mc, n_vaults=4)
+        module = SSAMModule(cfg)
+        module.load_dataset(data)
+        res = module.query(query, 8)
+        per_vault_n = 40
+        predicted = calib.fixed_cycles + per_vault_n * calib.cycles_per_candidate
+        assert res.cycles == pytest.approx(predicted, rel=0.05)
+
+
+class TestScaleOutStory:
+    def test_paper_scale_corpus_needs_multiple_cubes(self):
+        """AlexNet at paper scale (1M x 4096 x 4B = 16 GB) needs 2 cubes."""
+        from repro.datasets import get_workload
+        from repro.hmc.module import ModuleChain
+
+        spec = get_workload("alexnet")
+        chain = ModuleChain.for_capacity(spec.paper_corpus_bytes)
+        assert len(chain) == 2
+
+    def test_glove_fits_one_cube(self):
+        from repro.datasets import get_workload
+
+        spec = get_workload("glove")
+        assert HMCModule().fits(spec.paper_corpus_bytes)

@@ -1,0 +1,146 @@
+"""Tests for the SSAM assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble
+from repro.isa.instructions import SPEC_BY_NAME, Category, all_instructions
+
+
+class TestInstructionTable:
+    def test_paper_table2_present(self):
+        # Every mnemonic from the paper's Table II must exist.
+        required = [
+            "add", "sub", "mult", "popcount", "addi", "subi", "multi",
+            "or", "and", "not", "xor", "andi", "ori", "xori", "sr", "sl", "sra",
+            "bne", "bgt", "blt", "be", "j",
+            "pop", "push",
+            "svmove", "vsmove", "mem_fetch", "load", "store",
+            "pqueue_insert", "pqueue_load", "pqueue_reset", "sfxp", "vfxp",
+        ]
+        for name in required:
+            assert name in SPEC_BY_NAME, name
+
+    def test_vector_variants_present(self):
+        for name in ("vadd", "vsub", "vmult", "vpopcount", "vxor", "vload", "vstore"):
+            assert name in SPEC_BY_NAME
+
+    def test_categories(self):
+        assert SPEC_BY_NAME["vadd"].category is Category.VECTOR_ALU
+        assert SPEC_BY_NAME["load"].category is Category.MEM_READ
+        assert SPEC_BY_NAME["vstore"].category is Category.VMEM_WRITE
+        assert SPEC_BY_NAME["pqueue_insert"].category is Category.PQUEUE
+        assert SPEC_BY_NAME["push"].category is Category.STACK
+        assert Category.VMEM_READ.is_vector and Category.VMEM_READ.is_mem_read
+
+    def test_all_instructions_listed(self):
+        assert len(all_instructions()) == len(SPEC_BY_NAME)
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        prog = assemble("li s1, 5\nhalt")
+        assert len(prog) == 2
+        assert prog[0].name == "addi"          # li expands
+        assert prog[0].operands == (1, 0, 5)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("# comment\n\n  nop  # trailing\nhalt\n")
+        assert [i.name for i in prog.instructions] == ["nop", "halt"]
+
+    def test_labels(self):
+        prog = assemble("start:\n  j start\n  halt")
+        assert prog.labels["start"] == 0
+        assert prog[0].operands == (0,)
+
+    def test_label_same_line(self):
+        prog = assemble("loop: addi s1, s1, 1\nblt s1, s2, loop\nhalt")
+        assert prog.labels["loop"] == 0
+        assert prog[1].operands[2] == 0
+
+    def test_hex_immediates(self):
+        prog = assemble("li s1, 0x10\nhalt")
+        assert prog[0].operands[2] == 16
+
+    def test_negative_immediates(self):
+        prog = assemble("li s1, -3\nhalt")
+        assert prog[0].operands[2] == -3
+
+    def test_memory_operand(self):
+        prog = assemble("load s1, 4(s2)\nhalt")
+        assert prog[0].operands == (1, (4, 2))
+
+    def test_negative_offset(self):
+        prog = assemble("store s1, -2(s3)\nhalt")
+        assert prog[0].operands == (1, (-2, 3))
+
+    def test_reg_or_imm_shift(self):
+        prog = assemble("sl s1, s2, 3\nsl s1, s2, s4\nhalt")
+        assert prog[0].operands[2] == ("i", 3)
+        assert prog[1].operands[2] == ("r", 4)
+
+    def test_mv_pseudo(self):
+        prog = assemble("mv s3, s7\nhalt")
+        assert prog[0].name == "add" and prog[0].operands == (3, 7, 0)
+
+    def test_bge_pseudo_expands_to_two(self):
+        prog = assemble("loop: bge s1, s2, loop\nhalt")
+        assert [i.name for i in prog.instructions[:2]] == ["bgt", "be"]
+
+    def test_case_insensitive_mnemonics(self):
+        prog = assemble("LI s1, 1\nHALT")
+        assert prog[0].name == "addi"
+
+    def test_disassemble_roundtrip_mentions_labels(self):
+        prog = assemble("top:\n addi s1, s1, 1\n j top\n halt")
+        listing = prog.disassemble()
+        assert "top:" in listing and "addi" in listing
+
+    def test_size_words(self):
+        prog = assemble("nop\nnop\nhalt")
+        assert prog.size_words == 6
+
+
+class TestAssembleErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble("frobnicate s1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add s1, s2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble("add s1, s2, s99")
+
+    def test_bad_vector_register(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble("vadd v1, v2, v9")
+
+    def test_scalar_where_vector_expected(self):
+        with pytest.raises(AssemblerError, match="expected vector register"):
+            assemble("vadd v1, v2, s3")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("a:\na:\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="invalid memory operand"):
+            assemble("load s1, s2")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="invalid immediate"):
+            assemble("addi s1, s2, abc")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus")
+
+    def test_label_past_end(self):
+        with pytest.raises(AssemblerError, match="points past program end"):
+            assemble("j end\nend:")

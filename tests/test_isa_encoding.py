@@ -1,0 +1,97 @@
+"""Tests for binary program encoding: roundtrip, validation, execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import euclidean_scan_kernel
+from repro.isa import MachineConfig, Simulator, assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+
+SAMPLE = """
+    li s1, 8192
+    li s2, -5
+    vload v1, 0(s1)
+    vadd v2, v1, v1
+    sl s3, s2, 4
+    sl s3, s2, s4
+    push s3
+    pop s5
+    pqueue_insert s1, s2
+    pqueue_load s6, 0, 1
+    pqueue_load s6, s7, 0
+    mem_fetch 12(s1)
+    store s2, -3(s1)
+    blt s1, s2, end
+    j end
+end:
+    halt
+"""
+
+
+class TestRoundtrip:
+    def test_every_sample_instruction(self):
+        prog = assemble(SAMPLE)
+        for ins in prog.instructions:
+            back = decode_instruction(encode_instruction(ins))
+            assert back.name == ins.name
+            assert back.operands == ins.operands
+
+    def test_program_roundtrip(self):
+        prog = assemble(SAMPLE)
+        binary = encode_program(prog)
+        assert len(binary) == 8 * len(prog)
+        back = decode_program(binary)
+        assert [i.name for i in back.instructions] == [i.name for i in prog.instructions]
+        assert [i.operands for i in back.instructions] == [
+            i.operands for i in prog.instructions
+        ]
+
+    def test_decoded_program_runs_identically(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((60, 8))
+        q = rng.standard_normal(8)
+        kern = euclidean_scan_kernel(data, q, 5, MachineConfig(vector_length=4))
+        direct = kern.run()
+
+        binary = encode_program(kern.program)
+        sim = kern.make_simulator()
+        stats = sim.run(decode_program(binary))
+        ids = [p[0] for p in sim.pqueue.as_sorted()[:5]]
+        assert ids == direct.ids.tolist()
+        assert stats.cycles == direct.stats.cycles
+
+    def test_negative_offsets_and_immediates(self):
+        prog = assemble("li s1, -2147483648\nstore s1, -100(s2)\nhalt")
+        back = decode_program(encode_program(prog))
+        assert back[0].operands[2] == -(1 << 31)
+        assert back[1].operands[1] == (-100, 2)
+
+
+class TestValidation:
+    def test_bad_opcode(self):
+        with pytest.raises(EncodingError, match="invalid opcode"):
+            decode_instruction(0xFF << 56)
+
+    def test_truncated_binary(self):
+        with pytest.raises(EncodingError, match="multiple of 8"):
+            decode_program(b"\x00\x01\x02")
+
+    def test_imm_too_wide(self):
+        from repro.isa.program import Instruction
+
+        with pytest.raises(EncodingError, match="does not fit"):
+            encode_instruction(Instruction("addi", (1, 2, 1 << 40)))
+
+    def test_register_out_of_range_detected(self):
+        # Corrupt the register field of a vadd: v-regs only go to 7.
+        prog = assemble("vadd v1, v2, v3\nhalt")
+        word = encode_instruction(prog[0])
+        corrupted = word | (0x1F << 51)    # slot 0 -> 31
+        with pytest.raises(EncodingError, match="out of range"):
+            decode_instruction(corrupted)

@@ -1,0 +1,266 @@
+"""Tests for the processing-unit simulator: semantics, timing, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.isa import MachineConfig, Simulator, SimulatorError, assemble
+
+
+def run(src, vlen=4, dram=None, scratch=None, strict32=True, **cfg):
+    sim = Simulator(MachineConfig(vector_length=vlen, strict32=strict32, **cfg))
+    if dram is not None:
+        sim.load_dram(sim.dram_base, np.asarray(dram))
+    if scratch is not None:
+        sim.load_scratchpad(0, np.asarray(scratch))
+    stats = sim.run(assemble(src))
+    return sim, stats
+
+
+class TestScalarALU:
+    def test_arith(self):
+        sim, _ = run("li s1, 7\nli s2, 5\nadd s3, s1, s2\nsub s4, s1, s2\nmult s5, s1, s2\nhalt")
+        assert sim.sregs[3] == 12 and sim.sregs[4] == 2 and sim.sregs[5] == 35
+
+    def test_immediates(self):
+        sim, _ = run("li s1, 10\naddi s2, s1, -3\nsubi s3, s1, 4\nmulti s4, s1, 6\nhalt")
+        assert sim.sregs[2] == 7 and sim.sregs[3] == 6 and sim.sregs[4] == 60
+
+    def test_bitwise(self):
+        sim, _ = run(
+            "li s1, 12\nli s2, 10\nand s3, s1, s2\nor s4, s1, s2\nxor s5, s1, s2\nnot s6, s1\nhalt"
+        )
+        assert sim.sregs[3] == 8 and sim.sregs[4] == 14 and sim.sregs[5] == 6
+        assert sim.sregs[6] == ~12
+
+    def test_shifts(self):
+        sim, _ = run("li s1, -8\nsl s2, s1, 1\nsr s3, s1, 1\nsra s4, s1, 1\nhalt")
+        assert sim.sregs[2] == -16
+        assert sim.sregs[3] == ((-8) & 0xFFFFFFFF) >> 1
+        assert sim.sregs[4] == -4
+
+    def test_popcount(self):
+        sim, _ = run("li s1, 0xFF\npopcount s2, s1\nli s3, -1\npopcount s4, s3\nhalt")
+        assert sim.sregs[2] == 8 and sim.sregs[4] == 32
+
+    def test_sfxp_accumulates(self):
+        sim, _ = run("li s1, 0xF0\nli s2, 0x0F\nli s3, 100\nsfxp s3, s1, s2\nhalt")
+        assert sim.sregs[3] == 108
+
+    def test_s0_hardwired_zero(self):
+        sim, _ = run("addi s0, s0, 99\nhalt")
+        assert sim.sregs[0] == 0
+
+    def test_strict32_wraps(self):
+        sim, _ = run("li s1, 0x7fffffff\naddi s2, s1, 1\nhalt", strict32=True)
+        assert sim.sregs[2] == -(1 << 31)
+
+    def test_nonstrict_does_not_wrap(self):
+        sim, _ = run("li s1, 0x7fffffff\naddi s2, s1, 1\nhalt", strict32=False)
+        assert sim.sregs[2] == (1 << 31)
+
+
+class TestVectorALU:
+    def test_elementwise(self):
+        sim, _ = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvload v2, 4(s1)\n"
+            "vadd v3, v1, v2\nvsub v4, v2, v1\nvmult v5, v1, v2\nhalt",
+            dram=[1, 2, 3, 4, 10, 20, 30, 40],
+        )
+        assert sim.vregs[3] == [11, 22, 33, 44]
+        assert sim.vregs[4] == [9, 18, 27, 36]
+        assert sim.vregs[5] == [10, 40, 90, 160]
+
+    def test_broadcast_and_extract(self):
+        sim, _ = run("li s1, 9\nsvmove v1, s1\nvsmove s2, v1, 3\nhalt")
+        assert sim.vregs[1] == [9, 9, 9, 9] and sim.sregs[2] == 9
+
+    def test_vector_immediates(self):
+        sim, _ = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvaddi v2, v1, 5\nvmulti v3, v1, 2\nhalt",
+            dram=[1, 2, 3, 4],
+        )
+        assert sim.vregs[2] == [6, 7, 8, 9] and sim.vregs[3] == [2, 4, 6, 8]
+
+    def test_vfxp(self):
+        sim, _ = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvload v2, 4(s1)\n"
+            "li s2, 0\nsvmove v3, s2\nvfxp v3, v1, v2\nvfxp v3, v1, v2\nhalt",
+            dram=[0b1010, 0, 1, 255, 0b0101, 0, 0, 0],
+        )
+        assert sim.vregs[3] == [8, 0, 2, 16]  # accumulated twice
+
+    def test_vpopcount(self):
+        sim, _ = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvpopcount v2, v1\nhalt",
+            dram=[0, 1, 3, 255],
+        )
+        assert sim.vregs[2] == [0, 1, 2, 8]
+
+    def test_vector_shift(self):
+        sim, _ = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvsra v2, v1, 1\nvsl v3, v1, 2\nhalt",
+            dram=[-4, 4, -8, 8],
+        )
+        assert sim.vregs[2] == [-2, 2, -4, 4]
+        assert sim.vregs[3] == [-16, 16, -32, 32]
+
+    def test_vsmove_lane_out_of_range(self):
+        with pytest.raises(SimulatorError, match="lane"):
+            run("vsmove s1, v1, 7\nhalt", vlen=4)
+
+    def test_vector_length_respected(self):
+        sim, _ = run("li s1, 1\nsvmove v1, s1\nhalt", vlen=8)
+        assert len(sim.vregs[1]) == 8
+
+
+class TestControlFlow:
+    def test_loop(self):
+        sim, _ = run(
+            "li s1, 0\nli s2, 10\nloop:\naddi s1, s1, 1\nblt s1, s2, loop\nhalt"
+        )
+        assert sim.sregs[1] == 10
+
+    def test_branch_kinds(self):
+        sim, _ = run(
+            "li s1, 5\nli s2, 5\nbe s1, s2, eq\nli s3, 1\neq:\n"
+            "bne s1, s2, neq\nli s4, 1\nneq:\nbgt s1, s2, done\nli s5, 1\ndone:\nhalt"
+        )
+        assert sim.sregs[3] == 0      # skipped (be taken)
+        assert sim.sregs[4] == 1      # bne not taken
+        assert sim.sregs[5] == 1      # bgt not taken
+
+    def test_signed_compare(self):
+        sim, _ = run("li s1, -1\nli s2, 1\nblt s1, s2, ok\nli s3, 99\nok:\nhalt")
+        assert sim.sregs[3] == 0
+
+    def test_runaway_detected(self):
+        sim = Simulator(MachineConfig())
+        with pytest.raises(SimulatorError, match="budget"):
+            sim.run(assemble("loop: j loop"), max_instructions=1000)
+
+    def test_pc_off_end(self):
+        sim = Simulator(MachineConfig())
+        with pytest.raises(SimulatorError, match="PC"):
+            sim.run(assemble("nop"))   # no halt
+
+
+class TestMemory:
+    def test_scratchpad_load_store(self):
+        sim, stats = run(
+            "li s1, 100\nli s2, 77\nstore s2, 0(s1)\nload s3, 0(s1)\nhalt"
+        )
+        assert sim.sregs[3] == 77
+        assert stats.dram_bytes_read == 0 and stats.dram_bytes_written == 0
+
+    def test_dram_traffic_counted(self):
+        _, stats = run("li s1, 8192\nvload v1, 0(s1)\nload s2, 4(s1)\nhalt", dram=np.arange(8))
+        assert stats.dram_bytes_read == 4 * 4 + 4
+
+    def test_dram_store(self):
+        sim, stats = run("li s1, 8192\nli s2, 5\nstore s2, 3(s1)\nhalt", dram=np.zeros(8))
+        assert sim.dram[3] == 5
+        assert stats.dram_bytes_written == 4
+
+    def test_stream_miss_penalty(self):
+        # Two far-apart DRAM reads: second one misses the stream window.
+        src = "li s1, 8192\nload s2, 0(s1)\nli s3, 30000\nload s4, 0(s3)\nhalt"
+        _, stats = run(src, dram=np.zeros(1), stream_window_words=16)
+        assert stats.stream_misses == 2   # cold start + jump
+
+    def test_mem_fetch_hides_jump(self):
+        src = (
+            "li s1, 8192\nload s2, 0(s1)\n"
+            "li s3, 30000\nmem_fetch 0(s3)\nload s4, 0(s3)\nhalt"
+        )
+        sim = Simulator(MachineConfig(stream_window_words=16), dram_words=1 << 16)
+        sim.load_dram(sim.dram_base, np.zeros(4))
+        stats = sim.run(assemble(src))
+        assert stats.stream_misses == 1   # only the cold start
+
+    def test_straddling_boundary_rejected(self):
+        with pytest.raises(SimulatorError, match="straddles"):
+            run("li s1, 8190\nvload v1, 0(s1)\nhalt", vlen=4)
+
+    def test_dram_out_of_range(self):
+        sim = Simulator(MachineConfig(), dram_words=16)
+        with pytest.raises(SimulatorError, match="out of range"):
+            sim.run(assemble("li s1, 9000\nload s2, 0(s1)\nhalt"))
+
+    def test_load_dram_into_scratchpad_rejected(self):
+        sim = Simulator(MachineConfig())
+        with pytest.raises(SimulatorError, match="overlaps"):
+            sim.load_dram(0, np.zeros(4))
+
+
+class TestUnitsIntegration:
+    def test_pqueue_instructions(self):
+        sim, stats = run(
+            "li s1, 3\nli s2, 30\npqueue_insert s1, s2\n"
+            "li s1, 4\nli s2, 10\npqueue_insert s1, s2\n"
+            "pqueue_load s5, 0, 0\npqueue_load s6, 0, 1\n"
+            "pqueue_reset\npqueue_load s7, 0, 0\nhalt"
+        )
+        assert sim.sregs[5] == 4 and sim.sregs[6] == 10
+        assert sim.sregs[7] == -1
+        assert stats.pq_inserts == 2
+
+    def test_pqueue_load_reg_position(self):
+        sim, _ = run(
+            "li s1, 1\nli s2, 5\npqueue_insert s1, s2\n"
+            "li s3, 0\npqueue_load s4, s3, 1\nhalt"
+        )
+        assert sim.sregs[4] == 5
+
+    def test_stack_instructions(self):
+        sim, stats = run("li s1, 11\npush s1\nli s1, 22\npush s1\npop s2\npop s3\nhalt")
+        assert sim.sregs[2] == 22 and sim.sregs[3] == 11
+        assert stats.stack_pushes == 2 and stats.stack_pops == 2
+
+    def test_stack_underflow_is_simulator_error(self):
+        with pytest.raises(SimulatorError, match="underflow"):
+            run("pop s1\nhalt")
+
+
+class TestTiming:
+    def test_cycles_at_least_instructions(self):
+        _, stats = run("li s1, 1\nli s2, 2\nadd s3, s1, s2\nhalt")
+        assert stats.cycles >= stats.instructions == 4
+
+    def test_wide_vload_costs_more(self):
+        src = "li s1, 8192\nvload v1, 0(s1)\nhalt"
+        _, s4 = run(src, vlen=4, dram=np.zeros(16))
+        _, s16 = run(src, vlen=16, dram=np.zeros(16))
+        assert s16.cycles > s4.cycles   # 64 B through a 16 B/cycle port
+
+    def test_seconds_scale_with_frequency(self):
+        src = "li s1, 1\nhalt"
+        _, a = run(src, frequency_hz=1e9)
+        _, b = run(src, frequency_hz=2e9)
+        assert a.seconds == pytest.approx(2 * b.seconds)
+
+    def test_instruction_mix_fractions(self):
+        _, stats = run(
+            "li s1, 8192\nvload v1, 0(s1)\nvadd v2, v1, v1\nhalt", dram=np.zeros(4)
+        )
+        assert 0 < stats.vector_fraction < 1
+        assert stats.mem_read_fraction == pytest.approx(1 / 4)
+        assert stats.mem_write_fraction == 0
+
+
+class TestLoading:
+    def test_load_dram_capacity_check(self):
+        sim = Simulator(MachineConfig(), dram_words=8)
+        with pytest.raises(SimulatorError, match="capacity"):
+            sim.load_dram(sim.dram_base, np.zeros(16))
+
+    def test_load_scratchpad_not_charged(self):
+        sim = Simulator(MachineConfig())
+        sim.load_scratchpad(0, np.arange(10))
+        stats = sim.run(assemble("halt"))
+        assert stats.scratchpad_writes == 0
+
+    def test_strict32_normalizes_loaded_dram(self):
+        sim = Simulator(MachineConfig(strict32=True))
+        sim.load_dram(sim.dram_base, np.array([0xFFFFFFFF]))
+        stats = sim.run(assemble("li s1, 8192\nload s2, 0(s1)\nhalt"))
+        assert sim.sregs[2] == -1

@@ -1,0 +1,145 @@
+"""Tests for the hardware units: priority queue, stack, scratchpad."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.units import HardwarePriorityQueue, HardwareStack, Scratchpad, UnitError
+
+
+class TestPriorityQueue:
+    def test_keeps_smallest(self):
+        pq = HardwarePriorityQueue(depth=4)
+        for i, v in enumerate([50, 10, 40, 20, 30, 5]):
+            pq.insert(i, v)
+        assert [v for _, v in pq.as_sorted()] == [5, 10, 20, 30]
+
+    def test_ids_follow_values(self):
+        pq = HardwarePriorityQueue(depth=3)
+        pq.insert(7, 100)
+        pq.insert(8, 50)
+        pq.insert(9, 75)
+        assert pq.as_sorted() == [(8, 50), (9, 75), (7, 100)]
+
+    def test_load_fields(self):
+        pq = HardwarePriorityQueue(depth=4)
+        pq.insert(42, 13)
+        assert pq.load(0, 0) == 42
+        assert pq.load(0, 1) == 13
+
+    def test_load_empty_slot(self):
+        pq = HardwarePriorityQueue(depth=4)
+        assert pq.load(2, 0) == -1
+        assert pq.load(2, 1) == (1 << 31) - 1
+
+    def test_load_out_of_range(self):
+        pq = HardwarePriorityQueue(depth=4)
+        with pytest.raises(UnitError):
+            pq.load(4, 0)
+        with pytest.raises(UnitError):
+            pq.load(-1, 1)
+
+    def test_reset(self):
+        pq = HardwarePriorityQueue(depth=4)
+        pq.insert(1, 1)
+        pq.reset()
+        assert len(pq) == 0
+
+    def test_chaining_extends_depth(self):
+        pq = HardwarePriorityQueue(depth=16, chained=2)
+        for i in range(40):
+            pq.insert(i, 40 - i)
+        assert len(pq) == 32
+
+    def test_shift_activity_counted(self):
+        pq = HardwarePriorityQueue(depth=4)
+        pq.insert(0, 10)
+        pq.insert(1, 5)       # shifts the 10 down one slot
+        assert pq.shifts >= 1
+        assert pq.inserts == 2
+
+    def test_duplicate_values_stable(self):
+        pq = HardwarePriorityQueue(depth=4)
+        pq.insert(1, 7)
+        pq.insert(2, 7)
+        ids = [i for i, _ in pq.as_sorted()]
+        assert ids == [1, 2]   # insertion after equal values (<=)
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            HardwarePriorityQueue(depth=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(-10**6, 10**6)), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_sorted_topk(self, pairs):
+        pq = HardwarePriorityQueue(depth=16)
+        for ident, val in pairs:
+            pq.insert(ident, val)
+        got = [v for _, v in pq.as_sorted()]
+        expected = sorted(v for _, v in pairs)[:16]
+        assert got == expected
+
+
+class TestStack:
+    def test_lifo(self):
+        st_ = HardwareStack(depth=8)
+        st_.push(1)
+        st_.push(2)
+        assert st_.pop() == 2
+        assert st_.pop() == 1
+
+    def test_underflow(self):
+        with pytest.raises(UnitError, match="underflow"):
+            HardwareStack().pop()
+
+    def test_overflow(self):
+        st_ = HardwareStack(depth=2)
+        st_.push(1)
+        st_.push(2)
+        with pytest.raises(UnitError, match="overflow"):
+            st_.push(3)
+
+    def test_occupancy_tracking(self):
+        st_ = HardwareStack(depth=8)
+        for i in range(5):
+            st_.push(i)
+        st_.pop()
+        assert st_.max_occupancy == 5
+        assert st_.pushes == 5 and st_.pops == 1
+        assert len(st_) == 4 and not st_.empty
+
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_property_pop_reverses_push(self, values):
+        st_ = HardwareStack(depth=64)
+        for v in values:
+            st_.push(v)
+        assert [st_.pop() for _ in values] == list(reversed(values))
+
+
+class TestScratchpad:
+    def test_read_write(self):
+        sp = Scratchpad()
+        sp.write(100, 42)
+        assert sp.read(100) == 42
+
+    def test_uninitialized_reads_zero(self):
+        assert Scratchpad().read(0) == 0
+
+    def test_size(self):
+        sp = Scratchpad(size_bytes=32 * 1024)
+        assert sp.size_words == 8192
+
+    def test_out_of_range(self):
+        sp = Scratchpad(size_bytes=64)
+        with pytest.raises(UnitError):
+            sp.read(16)
+        with pytest.raises(UnitError):
+            sp.write(-1, 0)
+
+    def test_access_counters(self):
+        sp = Scratchpad()
+        sp.write(0, 1)
+        sp.read(0)
+        sp.read(0)
+        assert sp.writes == 1 and sp.reads == 2

@@ -1,0 +1,184 @@
+"""Tests for IVFADC and the TEXMEX file loaders."""
+
+import numpy as np
+import pytest
+
+from repro.ann import LinearScan, mean_recall
+from repro.ann.ivf import IVFADC
+from repro.datasets.loaders import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+
+RNG = np.random.default_rng(17)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    centers = RNG.standard_normal((16, 24)) * 3
+    assign = RNG.integers(0, 16, 900)
+    return centers[assign] + 0.25 * RNG.standard_normal((900, 24))
+
+
+@pytest.fixture(scope="module")
+def ivf(clustered):
+    return IVFADC(n_lists=16, nprobe=2, n_subspaces=8, n_centroids=32, seed=0).build(clustered)
+
+
+class TestIVFADC:
+    def test_lists_partition_dataset(self, ivf, clustered):
+        rows = np.concatenate(ivf.lists)
+        assert np.array_equal(np.sort(rows), np.arange(clustered.shape[0]))
+        assert ivf.list_sizes.sum() == clustered.shape[0]
+
+    def test_recall_grows_with_nprobe(self, ivf, clustered):
+        queries = clustered[:40] + 0.05 * RNG.standard_normal((40, 24))
+        exact = LinearScan().build(clustered).search(queries, 10)
+        r1 = mean_recall(ivf.search(queries, 10, checks=1).ids, exact.ids)
+        r8 = mean_recall(ivf.search(queries, 10, checks=8).ids, exact.ids)
+        r16 = mean_recall(ivf.search(queries, 10, checks=16).ids, exact.ids)
+        assert r8 >= r1 - 0.05
+        assert r16 >= r8 - 0.05
+        assert r16 > 0.5
+
+    def test_probing_all_lists_scans_everything(self, ivf, clustered):
+        res = ivf.search(clustered[:1], 5, checks=16)
+        assert res.stats.candidates_scanned == clustered.shape[0]
+
+    def test_probe_count_bounds_scan(self, ivf, clustered):
+        res = ivf.search(clustered[:5], 5, checks=2)
+        assert res.stats.candidates_scanned < 5 * clustered.shape[0]
+        assert res.stats.nodes_visited == 5 * 2
+
+    def test_compression(self, ivf, clustered):
+        raw = clustered.shape[0] * clustered.shape[1] * 4
+        assert ivf.memory_bytes() < raw
+
+    def test_self_query_found(self, ivf, clustered):
+        res = ivf.search(clustered[123], 10, checks=1)
+        assert 123 in res.ids[0]
+
+    def test_validation(self, clustered):
+        with pytest.raises(ValueError):
+            IVFADC(n_lists=0)
+        with pytest.raises(ValueError):
+            IVFADC(n_lists=100).build(clustered[:50])
+        with pytest.raises(RuntimeError):
+            IVFADC().search(np.zeros(24), 1)
+
+    def test_padding_when_lists_tiny(self, clustered):
+        # One probe into a tiny list yields fewer than k candidates.
+        ivf = IVFADC(n_lists=128, nprobe=1, n_subspaces=4, n_centroids=16, seed=1)
+        ivf.build(clustered[:200])
+        res = ivf.search(clustered[0], 10, checks=1)
+        assert res.ids.shape == (1, 10)
+
+
+class TestLoaders:
+    def test_fvecs_roundtrip(self, tmp_path):
+        data = RNG.standard_normal((20, 7)).astype(np.float32)
+        path = str(tmp_path / "x.fvecs")
+        write_fvecs(path, data)
+        np.testing.assert_array_equal(read_fvecs(path), data)
+
+    def test_bvecs_roundtrip(self, tmp_path):
+        data = RNG.integers(0, 256, size=(15, 9)).astype(np.uint8)
+        path = str(tmp_path / "x.bvecs")
+        write_bvecs(path, data)
+        np.testing.assert_array_equal(read_bvecs(path), data)
+
+    def test_ivecs_roundtrip(self, tmp_path):
+        data = RNG.integers(0, 10_000, size=(5, 100)).astype(np.int32)
+        path = str(tmp_path / "gt.ivecs")
+        write_ivecs(path, data)
+        np.testing.assert_array_equal(read_ivecs(path), data)
+
+    def test_count_and_offset(self, tmp_path):
+        data = np.arange(50, dtype=np.float32).reshape(10, 5)
+        path = str(tmp_path / "w.fvecs")
+        write_fvecs(path, data)
+        np.testing.assert_array_equal(read_fvecs(path, count=3, offset=2), data[2:5])
+        assert read_fvecs(path, offset=10).shape == (0, 5)
+
+    def test_corrupt_record_detected(self, tmp_path):
+        data = np.zeros((4, 3), dtype=np.float32)
+        path = str(tmp_path / "bad.fvecs")
+        write_fvecs(path, data)
+        blob = bytearray(open(path, "rb").read())
+        blob[16] = 99       # overwrite record 1's dimension field
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(ValueError, match="record 1"):
+            read_fvecs(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        data = np.zeros((2, 4), dtype=np.float32)
+        path = str(tmp_path / "t.fvecs")
+        write_fvecs(path, data)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-3])
+        with pytest.raises(ValueError, match="multiple"):
+            read_fvecs(path)
+
+    def test_empty_write_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fvecs(str(tmp_path / "e.fvecs"), np.empty((0, 4)))
+
+    def test_pipeline_with_loader(self, tmp_path, clustered):
+        """Real-data path: write a corpus, read it back, search it."""
+        path = str(tmp_path / "corpus.fvecs")
+        write_fvecs(path, clustered.astype(np.float32))
+        corpus = read_fvecs(path)
+        exact = LinearScan().build(corpus).search(corpus[0], 3)
+        assert exact.ids[0, 0] == 0
+
+
+class TestIVFADCRerank:
+    def test_rerank_lifts_recall(self, clustered):
+        queries = clustered[:40] + 0.05 * RNG.standard_normal((40, 24))
+        exact = LinearScan().build(clustered).search(queries, 10)
+        plain = IVFADC(n_lists=16, n_subspaces=4, n_centroids=16, seed=0).build(clustered)
+        rr = IVFADC(n_lists=16, n_subspaces=4, n_centroids=16, rerank=50, seed=0).build(clustered)
+        rec_plain = mean_recall(plain.search(queries, 10, checks=4).ids, exact.ids)
+        rec_rr = mean_recall(rr.search(queries, 10, checks=4).ids, exact.ids)
+        assert rec_rr > rec_plain
+
+    def test_rerank_distances_are_exact(self, clustered):
+        rr = IVFADC(n_lists=16, n_subspaces=4, n_centroids=16, rerank=30, seed=0).build(clustered)
+        res = rr.search(clustered[5], 3, checks=16)
+        assert res.ids[0, 0] == 5
+        assert res.distances[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rerank_charges_extra_ops(self, clustered):
+        plain = IVFADC(n_lists=16, n_subspaces=4, n_centroids=16, seed=0).build(clustered)
+        rr = IVFADC(n_lists=16, n_subspaces=4, n_centroids=16, rerank=50, seed=0).build(clustered)
+        ops_plain = plain.search(clustered[:3], 5, checks=4).stats.distance_ops
+        ops_rr = rr.search(clustered[:3], 5, checks=4).stats.distance_ops
+        assert ops_rr > ops_plain
+
+    def test_negative_rerank_rejected(self):
+        with pytest.raises(ValueError):
+            IVFADC(rerank=-1)
+
+
+class TestDriverIVFADC:
+    def test_driver_mode(self, clustered):
+        from repro.host import IndexMode, SSAMDriver
+
+        data = clustered.astype(np.float32)
+        driver = SSAMDriver()
+        buf = driver.nmalloc(data.nbytes)
+        driver.nmode(buf, IndexMode.IVFADC)
+        driver.nmemcpy(buf, data)
+        driver.nbuild_index(
+            buf,
+            params={"n_lists": 16, "n_subspaces": 4, "n_centroids": 16,
+                    "rerank": 30, "seed": 0},
+        )
+        driver.nwrite_query(buf, data[9])
+        driver.nexec(buf, k=5, checks=4)
+        assert 9 in driver.nread_result(buf)
+        driver.nfree(buf)

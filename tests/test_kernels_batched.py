@@ -1,0 +1,69 @@
+"""Tests for the batched multi-query scan kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels.batched import MAX_BATCH, batched_euclidean_scan_kernel
+from repro.core.kernels.common import quantize_for_kernel
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(13)
+N, D, K = 120, 16, 6
+DATA = RNG.standard_normal((N, D))
+QUERIES = RNG.standard_normal((4, D))
+MC = MachineConfig(vector_length=4)
+
+
+def reference_topk(batch_queries):
+    d_int, q_int, _ = quantize_for_kernel(DATA, batch_queries)
+    out = []
+    for q in q_int:
+        dist = np.einsum("ij,ij->i", d_int - q, d_int - q)
+        out.append(np.sort(dist)[:K])
+    return out
+
+
+@pytest.mark.parametrize("batch", [1, 2, 3, 4])
+class TestBatchedKernel:
+    def test_matches_reference_per_query(self, batch):
+        qs = QUERIES[:batch]
+        kern = batched_euclidean_scan_kernel(DATA, qs, K, MC)
+        res = kern.run()
+        ids, values = res.ids, res.values
+        refs = reference_topk(qs)
+        for b in range(batch):
+            np.testing.assert_array_equal(np.sort(values[b]), refs[b])
+
+    def test_single_stream_of_candidates(self, batch):
+        kern = batched_euclidean_scan_kernel(DATA, QUERIES[:batch], K, MC)
+        res = kern.run()
+        # Dataset streamed exactly once regardless of batch size.
+        assert res.stats.dram_bytes_read == N * kern.metadata["dims_padded"] * 4
+
+
+class TestBatchingTradeoffs:
+    def test_bytes_per_query_drop_with_batch(self):
+        per_query_bytes = {}
+        for b in (1, 4):
+            kern = batched_euclidean_scan_kernel(DATA, QUERIES[:b], K, MC)
+            res = kern.run()
+            per_query_bytes[b] = res.stats.dram_bytes_read / b
+        assert per_query_bytes[4] == pytest.approx(per_query_bytes[1] / 4)
+
+    def test_cycles_per_query_also_drop(self):
+        """Shared vloads and loop control amortize too (sub-linear)."""
+        cycles = {}
+        for b in (1, 4):
+            res = batched_euclidean_scan_kernel(DATA, QUERIES[:b], K, MC).run()
+            cycles[b] = res.stats.cycles / b
+        assert cycles[4] < cycles[1]
+
+    def test_batch_latency_grows(self):
+        """The other side of the tradeoff: total kernel time rises."""
+        r1 = batched_euclidean_scan_kernel(DATA, QUERIES[:1], K, MC).run()
+        r4 = batched_euclidean_scan_kernel(DATA, QUERIES[:4], K, MC).run()
+        assert r4.stats.cycles > r1.stats.cycles
+
+    def test_batch_limit(self):
+        with pytest.raises(ValueError, match="batch size"):
+            batched_euclidean_scan_kernel(DATA, RNG.standard_normal((5, D)), K, MC)

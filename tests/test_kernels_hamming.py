@@ -1,0 +1,78 @@
+"""Tests for the Hamming-scan kernels (VFXP showcase)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import hamming_scan_kernel
+from repro.distances import pack_bits
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(11)
+N, BITS, K = 120, 96, 6
+BITS_ARR = RNG.integers(0, 2, size=(N, BITS))
+QBITS = RNG.integers(0, 2, size=BITS)
+CODES = pack_bits(BITS_ARR)
+QCODE = pack_bits(QBITS)[0]
+REF = (BITS_ARR != QBITS).sum(axis=1)
+
+
+@pytest.mark.parametrize("vlen", [2, 4, 8])
+@pytest.mark.parametrize("use_fxp", [True, False])
+class TestHammingKernel:
+    def test_matches_reference(self, vlen, use_fxp):
+        kern = hamming_scan_kernel(
+            CODES, QCODE, K, MachineConfig(vector_length=vlen), use_fxp=use_fxp
+        )
+        res = kern.run()
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(REF)[:K])
+
+
+class TestFXPFusion:
+    def test_fused_is_faster(self):
+        mc = MachineConfig(vector_length=4)
+        fused = hamming_scan_kernel(CODES, QCODE, K, mc).run()
+        discrete = hamming_scan_kernel(CODES, QCODE, K, mc, use_fxp=False).run()
+        assert fused.stats.cycles < discrete.stats.cycles
+
+    def test_fused_uses_vfxp_only(self):
+        mc = MachineConfig(vector_length=4)
+        fused = hamming_scan_kernel(CODES, QCODE, K, mc).run()
+        kern_counts = fused.stats.counts_by_name
+        assert kern_counts.get("vfxp", 0) > 0
+        assert kern_counts.get("vxor", 0) == 0
+
+    def test_discrete_uses_three_ops(self):
+        mc = MachineConfig(vector_length=4)
+        res = hamming_scan_kernel(CODES, QCODE, K, mc, use_fxp=False).run()
+        counts = res.stats.counts_by_name
+        assert counts.get("vfxp", 0) == 0
+        assert counts["vxor"] == counts["vpopcount"] == counts["vadd"] > 0
+
+
+class TestHammingDetails:
+    def test_much_cheaper_than_euclidean(self):
+        """Table V's source of gain: less data, cheaper distance."""
+        from repro.core.kernels import euclidean_scan_kernel
+
+        data = RNG.standard_normal((N, BITS))  # same "dimensionality"
+        q = RNG.standard_normal(BITS)
+        mc = MachineConfig(vector_length=4)
+        eu = euclidean_scan_kernel(data, q, K, mc).run()
+        ha = hamming_scan_kernel(CODES, QCODE, K, mc).run()
+        assert ha.stats.cycles < eu.stats.cycles / 4
+        assert ha.stats.dram_bytes_read < eu.stats.dram_bytes_read / 8
+
+    def test_query_length_mismatch(self):
+        with pytest.raises(ValueError, match="query code length"):
+            hamming_scan_kernel(CODES, QCODE[:1], K, MachineConfig(vector_length=4))
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            hamming_scan_kernel(CODES, QCODE, 17, MachineConfig(vector_length=4))
+
+    def test_high_bit_words_handled(self):
+        # Codes with the sign bit set exercise the signed reinterpretation.
+        codes = np.full((4, 1), 0xFFFFFFFF, dtype=np.uint32)
+        query = np.zeros(1, dtype=np.uint32)
+        res = hamming_scan_kernel(codes, query, 2, MachineConfig(vector_length=2)).run()
+        assert (res.values == 32).all()

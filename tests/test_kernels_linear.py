@@ -1,0 +1,181 @@
+"""End-to-end tests for the linear-scan kernels vs NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    cosine_scan_kernel,
+    euclidean_scan_kernel,
+    manhattan_scan_kernel,
+    quantize_for_kernel,
+)
+from repro.core.kernels.linear import cosine_reference_values
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(7)
+N, D, K = 150, 20, 8
+DATA = RNG.standard_normal((N, D))
+QUERY = RNG.standard_normal(D)
+D_INT, Q_INT, SCALE = quantize_for_kernel(DATA, QUERY)
+
+
+class TestQuantization:
+    def test_no_overflow_possible(self):
+        d_int, q_int, scale = quantize_for_kernel(DATA, QUERY)
+        worst = ((np.abs(d_int).max() + np.abs(q_int).max()) ** 2) * D
+        assert worst < 2**31
+
+    def test_scale_power_of_two(self):
+        _, _, scale = quantize_for_kernel(DATA, QUERY)
+        assert scale == 2 ** int(np.log2(scale))
+
+    def test_high_dims_lower_scale(self):
+        _, _, s_low = quantize_for_kernel(RNG.standard_normal((10, 16)), RNG.standard_normal(16))
+        _, _, s_high = quantize_for_kernel(
+            RNG.standard_normal((10, 4096)), RNG.standard_normal(4096)
+        )
+        assert s_high <= s_low
+
+
+@pytest.mark.parametrize("vlen", [2, 4, 8, 16])
+class TestEuclideanKernel:
+    def test_matches_reference(self, vlen):
+        kern = euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=vlen))
+        res = kern.run()
+        ref = np.einsum("ij,ij->i", D_INT - Q_INT, D_INT - Q_INT)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:K])
+
+    def test_ids_point_to_true_neighbors(self, vlen):
+        kern = euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=vlen))
+        res = kern.run()
+        ref = np.einsum("ij,ij->i", D_INT - Q_INT, D_INT - Q_INT)
+        for ident, value in zip(res.ids, res.values):
+            assert ref[ident] == value
+
+
+class TestEuclideanKernelDetails:
+    def test_dram_traffic_is_padded_rows(self):
+        mc = MachineConfig(vector_length=4)
+        kern = euclidean_scan_kernel(DATA, QUERY, K, mc)
+        res = kern.run()
+        assert res.stats.dram_bytes_read == N * kern.metadata["dims_padded"] * 4
+
+    def test_wider_vectors_fewer_cycles(self):
+        c2 = euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=2)).run()
+        c8 = euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=8)).run()
+        assert c8.stats.cycles < c2.stats.cycles
+
+    def test_k_exceeds_pq_depth_raises(self):
+        with pytest.raises(ValueError, match="priority queue depth"):
+            euclidean_scan_kernel(DATA, QUERY, 20, MachineConfig(vector_length=4))
+
+    def test_chained_pq_allows_large_k(self):
+        mc = MachineConfig(vector_length=4, pq_chained=2)
+        kern = euclidean_scan_kernel(DATA, QUERY, 20, mc)
+        res = kern.run()
+        ref = np.einsum("ij,ij->i", D_INT - Q_INT, D_INT - Q_INT)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:20])
+
+    def test_prequantized_path(self):
+        kern = euclidean_scan_kernel(
+            D_INT, Q_INT[0], K, MachineConfig(vector_length=4), prequantized=True
+        )
+        res = kern.run()
+        ref = np.einsum("ij,ij->i", D_INT - Q_INT, D_INT - Q_INT)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:K])
+
+    def test_odd_dims_padded(self):
+        data = RNG.standard_normal((40, 13))
+        q = RNG.standard_normal(13)
+        kern = euclidean_scan_kernel(data, q, 5, MachineConfig(vector_length=8))
+        res = kern.run()
+        d_int, q_int, _ = quantize_for_kernel(data, q)
+        ref = np.einsum("ij,ij->i", d_int - q_int, d_int - q_int)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:5])
+
+    def test_strict32_no_overflow_on_large_values(self):
+        data = RNG.standard_normal((30, 64)) * 100
+        q = RNG.standard_normal(64) * 100
+        kern = euclidean_scan_kernel(data, q, 4, MachineConfig(vector_length=4))
+        res = kern.run()
+        assert (res.values >= 0).all()
+
+
+class TestSoftwarePQ:
+    def test_same_results_as_hardware(self):
+        mc = MachineConfig(vector_length=4)
+        hw = euclidean_scan_kernel(DATA, QUERY, K, mc).run()
+        sw = euclidean_scan_kernel(DATA, QUERY, K, mc, software_pq=True).run()
+        np.testing.assert_array_equal(np.sort(hw.values), np.sort(sw.values))
+
+    def test_software_is_slower(self):
+        mc = MachineConfig(vector_length=8)
+        hw = euclidean_scan_kernel(DATA, QUERY, K, mc).run()
+        sw = euclidean_scan_kernel(DATA, QUERY, K, mc, software_pq=True).run()
+        assert sw.stats.cycles > hw.stats.cycles
+
+    def test_overhead_grows_with_vector_width(self):
+        """Paper Section V-B: HW queue matters more for wider vectors."""
+        overheads = []
+        for vlen in (2, 16):
+            mc = MachineConfig(vector_length=vlen)
+            hw = euclidean_scan_kernel(DATA, QUERY, K, mc).run()
+            sw = euclidean_scan_kernel(DATA, QUERY, K, mc, software_pq=True).run()
+            overheads.append(sw.stats.cycles / hw.stats.cycles - 1)
+        assert overheads[1] > overheads[0]
+
+    def test_no_pqueue_instructions_used(self):
+        mc = MachineConfig(vector_length=4)
+        sw = euclidean_scan_kernel(DATA, QUERY, K, mc, software_pq=True).run()
+        assert sw.stats.counts_by_category.get("pqueue", 0) == 0
+        assert sw.stats.counts_by_category.get("mem_write", 0) > 0
+
+
+class TestManhattanKernel:
+    def test_matches_reference(self):
+        kern = manhattan_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=4))
+        res = kern.run()
+        ref = np.abs(D_INT - Q_INT).sum(axis=1)
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:K])
+
+    def test_costs_similar_to_euclidean(self):
+        """Paper Table V: Manhattan ~1x Euclidean."""
+        mc = MachineConfig(vector_length=4)
+        eu = euclidean_scan_kernel(DATA, QUERY, K, mc).run()
+        ma = manhattan_scan_kernel(DATA, QUERY, K, mc).run()
+        assert 0.7 < eu.stats.cycles / ma.stats.cycles < 1.3
+
+
+class TestCosineKernel:
+    def test_bit_exact_vs_reference_model(self):
+        mc = MachineConfig(vector_length=4)
+        kern = cosine_scan_kernel(DATA, QUERY, K, mc)
+        res = kern.run()
+        ref = cosine_reference_values(
+            D_INT, Q_INT[0], kern.metadata["pre_shift"], kern.metadata["den_shift"]
+        )
+        np.testing.assert_array_equal(np.sort(res.values), np.sort(ref)[:K])
+
+    def test_surrogate_ranking_tracks_cosine(self):
+        # The integer surrogate is a monotone transform of cosine up to
+        # quantization; top-1 must agree on well-separated data.
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((100, 32))
+        q = data[3] + 0.01 * rng.standard_normal(32)
+        kern = cosine_scan_kernel(data, q, 5, MachineConfig(vector_length=4))
+        res = kern.run()
+        assert res.ids[0] == 3
+
+    def test_roughly_twice_euclidean_cost(self):
+        """Paper Table V: cosine ~0.47x the throughput of Euclidean."""
+        mc = MachineConfig(vector_length=4)
+        eu = euclidean_scan_kernel(DATA, QUERY, K, mc).run()
+        co = cosine_scan_kernel(DATA, QUERY, K, mc).run()
+        ratio = co.stats.cycles / eu.stats.cycles
+        assert ratio > 1.5   # division makes it clearly more expensive
+
+    def test_negative_dot_products_rank_last(self):
+        data = np.stack([QUERY, -QUERY]).astype(np.float64)
+        kern = cosine_scan_kernel(data, QUERY, 2, MachineConfig(vector_length=4))
+        res = kern.run()
+        assert res.ids[0] == 0 and res.ids[1] == 1

@@ -1,0 +1,61 @@
+"""Tests for the MPLSH kernel vs its Python mirror."""
+
+import numpy as np
+import pytest
+
+from repro.ann import MultiProbeLSH
+from repro.core.kernels.mplsh import mplsh_kernel, mplsh_reference_search
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(31)
+N, D, K = 300, 10, 6
+DATA = RNG.standard_normal((N, D))
+QUERIES = RNG.standard_normal((3, D))
+MC = MachineConfig(vector_length=2, stack_depth=256)
+
+
+@pytest.fixture(scope="module")
+def lsh():
+    return MultiProbeLSH(n_tables=2, n_bits=8, seed=9).build(DATA)
+
+
+class TestMPLSHKernel:
+    @pytest.mark.parametrize("probes", [1, 2, 4])
+    def test_matches_reference(self, lsh, probes):
+        for q in QUERIES:
+            res = mplsh_kernel(lsh, q, K, probes, budget=2000, machine=MC).run()
+            _, ref_vals = mplsh_reference_search(lsh, q, K, probes, 2000)
+            np.testing.assert_array_equal(np.sort(res.values), ref_vals[: len(res.values)])
+
+    def test_more_probes_more_candidates(self, lsh):
+        r1 = mplsh_kernel(lsh, QUERIES[0], K, 1, budget=5000, machine=MC).run()
+        r4 = mplsh_kernel(lsh, QUERIES[0], K, 4, budget=5000, machine=MC).run()
+        assert r4.stats.pq_inserts >= r1.stats.pq_inserts
+
+    def test_budget_stops_early(self, lsh):
+        res = mplsh_kernel(lsh, QUERIES[0], K, 4, budget=10, machine=MC).run()
+        assert res.stats.pq_inserts <= 10
+
+    def test_hashing_is_vector_work(self, lsh):
+        res = mplsh_kernel(lsh, QUERIES[0], K, 1, budget=5000, machine=MC).run()
+        assert res.stats.vector_fraction > 0.1
+
+    def test_too_many_bits_rejected(self):
+        big = MultiProbeLSH(n_tables=1, n_bits=24, seed=0)
+        big.data = DATA  # pretend built
+        with pytest.raises(ValueError, match="n_bits <= 22"):
+            mplsh_kernel(big, QUERIES[0], K, 1, budget=10, machine=MC)
+
+    def test_too_many_probes_rejected(self, lsh):
+        with pytest.raises(ValueError, match="n_probes"):
+            mplsh_kernel(lsh, QUERIES[0], K, 10, budget=10, machine=MC)
+
+    def test_unbuilt_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            mplsh_kernel(MultiProbeLSH(), QUERIES[0], K, 1, budget=10, machine=MC)
+
+    def test_reference_self_query_found(self, lsh):
+        # A database point probed with itself must find itself (its home
+        # bucket always contains it).
+        res = mplsh_kernel(lsh, DATA[7], 1, 1, budget=5000, machine=MC).run()
+        assert 7 in res.ids

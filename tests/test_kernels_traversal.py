@@ -1,0 +1,98 @@
+"""Tests for the kd-tree / k-means traversal kernels vs Python mirrors."""
+
+import numpy as np
+import pytest
+
+from repro.ann import HierarchicalKMeansTree, RandomizedKDForest
+from repro.core.kernels.traversal import (
+    kdtree_kernel,
+    kdtree_reference_search,
+    kmeans_reference_search,
+    kmeans_tree_kernel,
+)
+from repro.isa.simulator import MachineConfig
+
+RNG = np.random.default_rng(21)
+N, D, K = 400, 12, 6
+DATA = RNG.standard_normal((N, D)) * 2.0
+QUERIES = RNG.standard_normal((3, D))
+MC = MachineConfig(vector_length=4, stack_depth=512)
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return RandomizedKDForest(n_trees=2, leaf_size=16, seed=5).build(DATA)
+
+
+@pytest.fixture(scope="module")
+def kmtree():
+    return HierarchicalKMeansTree(branching=4, leaf_size=16, seed=5).build(DATA)
+
+
+class TestKDTreeKernel:
+    @pytest.mark.parametrize("budget", [40, 150, 400])
+    def test_matches_reference_order(self, forest, budget):
+        for q in QUERIES:
+            res = kdtree_kernel(forest, q, K, budget, MC).run()
+            _, ref_vals = kdtree_reference_search(forest, q, K, budget)
+            np.testing.assert_array_equal(np.sort(res.values), ref_vals[: len(res.values)])
+
+    def test_budget_bounds_candidates(self, forest):
+        res = kdtree_kernel(forest, QUERIES[0], K, 50, MC).run()
+        assert res.stats.pq_inserts <= 50
+
+    def test_full_budget_visits_everything(self, forest):
+        res = kdtree_kernel(forest, QUERIES[0], K, 10 * N, MC).run()
+        assert res.stats.pq_inserts == N
+
+    def test_uses_hardware_stack(self, forest):
+        res = kdtree_kernel(forest, QUERIES[0], K, 200, MC).run()
+        assert res.stats.stack_pushes > 0
+
+    def test_second_tree_differs(self, forest):
+        r0 = kdtree_kernel(forest, QUERIES[0], K, 60, MC, tree_index=0).run()
+        r1 = kdtree_kernel(forest, QUERIES[0], K, 60, MC, tree_index=1).run()
+        assert r0.stats.cycles != r1.stats.cycles or not np.array_equal(r0.ids, r1.ids)
+
+    def test_unbuilt_forest_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            kdtree_kernel(RandomizedKDForest(), QUERIES[0], K, 10, MC)
+
+    def test_mixed_instruction_profile(self, forest):
+        res = kdtree_kernel(forest, QUERIES[0], K, 200, MC).run()
+        # Traversal adds scalar/control work on top of vector scans.
+        assert 0.1 < res.stats.vector_fraction < 0.7
+        assert res.stats.counts_by_category.get("stack", 0) > 0
+
+
+class TestKMeansKernel:
+    @pytest.mark.parametrize("budget", [40, 150, 400])
+    def test_matches_reference_order(self, kmtree, budget):
+        for q in QUERIES:
+            res = kmeans_tree_kernel(kmtree, q, K, budget, MC).run()
+            _, ref_vals = kmeans_reference_search(kmtree, q, K, budget)
+            np.testing.assert_array_equal(np.sort(res.values), ref_vals[: len(res.values)])
+
+    def test_centroid_scans_cost_dram_traffic(self, kmtree):
+        res = kmeans_tree_kernel(kmtree, QUERIES[0], K, 60, MC).run()
+        # Must stream at least the root's centroids plus one bucket.
+        assert res.stats.dram_bytes_read > 0
+
+    def test_budget_bounds_candidates(self, kmtree):
+        res = kmeans_tree_kernel(kmtree, QUERIES[0], K, 50, MC).run()
+        assert res.stats.pq_inserts <= 50
+
+    def test_full_budget_visits_everything(self, kmtree):
+        res = kmeans_tree_kernel(kmtree, QUERIES[0], K, 10 * N, MC).run()
+        assert res.stats.pq_inserts == N
+
+    def test_unbuilt_tree_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            kmeans_tree_kernel(HierarchicalKMeansTree(), QUERIES[0], K, 10, MC)
+
+    def test_descends_to_good_bucket(self, kmtree):
+        # Nearest-centroid descent must find the query's own cluster: a
+        # dataset point queried against itself should appear in the
+        # first visited bucket.
+        res = kmeans_tree_kernel(kmtree, DATA[42], 1, 20, MC).run()
+        assert 42 in res.ids

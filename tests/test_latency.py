@@ -1,0 +1,67 @@
+"""Tests for the latency/batching analysis."""
+
+import pytest
+
+from repro.analysis.latency import QueryLatencyModel, batch_for_utilization
+
+
+class TestQueryLatencyModel:
+    def test_batch_latency_components(self):
+        m = QueryLatencyModel("x", scan_seconds=0.01, batch_fixed_seconds=0.05,
+                              concurrent_scans=4)
+        assert m.batch_latency(1) == pytest.approx(0.06)
+        assert m.batch_latency(4) == pytest.approx(0.06)   # one shared pass
+        assert m.batch_latency(5) == pytest.approx(0.07)   # two passes
+
+    def test_throughput_grows_with_batch(self):
+        m = QueryLatencyModel("x", 0.01, batch_fixed_seconds=0.1, concurrent_scans=64)
+        assert m.throughput(64) > m.throughput(1)
+        assert m.utilization(1) < 0.2
+
+    def test_peak_throughput(self):
+        m = QueryLatencyModel("x", 0.02, concurrent_scans=8)
+        assert m.peak_throughput == pytest.approx(400.0)
+
+    def test_no_fixed_cost_means_batch1_is_peak(self):
+        """The SSAM case: nothing to amortize, batch 1 hits peak."""
+        m = QueryLatencyModel("ssam", 0.001, batch_fixed_seconds=0.0)
+        assert m.utilization(1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryLatencyModel("x", 0.0)
+        with pytest.raises(ValueError):
+            QueryLatencyModel("x", 1.0, batch_fixed_seconds=-1)
+        with pytest.raises(ValueError):
+            QueryLatencyModel("x", 1.0).batch_latency(0)
+
+
+class TestBatchForUtilization:
+    def test_finds_sufficient_batch(self):
+        m = QueryLatencyModel("gpu", 0.001, batch_fixed_seconds=0.01,
+                              concurrent_scans=256)
+        b = batch_for_utilization(m, 0.9)
+        assert m.utilization(b) >= 0.9
+        assert b > 256  # needs many passes to amortize the fixed cost
+
+    def test_batch1_when_trivial(self):
+        m = QueryLatencyModel("ssam", 0.001)
+        assert batch_for_utilization(m, 0.99) == 1
+
+    def test_paper_latency_argument(self):
+        """The Section I argument, quantified: a batched-throughput
+        platform needs large batches (hence high latency) to approach
+        peak; SSAM reaches peak at batch 1 with far lower latency."""
+        # GPU-style: shares one corpus stream across the batch, pays a
+        # launch+transfer cost per batch.
+        gpu = QueryLatencyModel("gpu", scan_seconds=0.016,
+                                batch_fixed_seconds=0.008, concurrent_scans=4096)
+        ssam = QueryLatencyModel("ssam", scan_seconds=0.0018)
+        b = batch_for_utilization(gpu, 0.9)
+        assert b > 1000                       # needs heavy batching
+        assert gpu.batch_latency(b) > 10 * ssam.batch_latency(1)
+
+    def test_bad_target(self):
+        m = QueryLatencyModel("x", 1.0)
+        with pytest.raises(ValueError):
+            batch_for_utilization(m, 1.5)

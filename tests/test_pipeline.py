@@ -1,0 +1,144 @@
+"""Tests for the Fig. 1 application pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.host.driver import IndexMode
+from repro.pipeline import (
+    ContentStore,
+    FeatureExtractor,
+    MediaItem,
+    SearchPipeline,
+    synthesize_media_corpus,
+)
+
+
+class TestFeatureExtractor:
+    def test_deterministic(self):
+        fx = FeatureExtractor(dims=32, seed=1)
+        item = MediaItem(0, b"hello world" * 10)
+        np.testing.assert_array_equal(fx.extract(item), fx.extract(item))
+
+    def test_locality(self):
+        """Perturbed content stays closer than unrelated content."""
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 256, 512, dtype=np.uint8)
+        near = base.copy()
+        near[:8] = 0
+        far = rng.integers(0, 256, 512, dtype=np.uint8)
+        fx = FeatureExtractor(dims=64, seed=0)
+        f0 = fx.extract(MediaItem(0, base.tobytes()))
+        f1 = fx.extract(MediaItem(1, near.tobytes()))
+        f2 = fx.extract(MediaItem(2, far.tobytes()))
+        assert np.linalg.norm(f0 - f1) < np.linalg.norm(f0 - f2)
+
+    def test_normalized(self):
+        fx = FeatureExtractor(dims=16)
+        f = fx.extract(MediaItem(0, b"content"))
+        assert np.linalg.norm(f) == pytest.approx(1.0)
+
+    def test_empty_content(self):
+        fx = FeatureExtractor(dims=8)
+        f = fx.extract(MediaItem(0, b""))
+        assert f.shape == (8,)
+
+    def test_batch_matches_single(self):
+        fx = FeatureExtractor(dims=16)
+        items = [MediaItem(i, bytes([i] * 50)) for i in range(5)]
+        batch = fx.extract_batch(items)
+        for i, item in enumerate(items):
+            np.testing.assert_array_equal(batch[i], fx.extract(item))
+
+    def test_empty_batch(self):
+        assert FeatureExtractor(dims=4).extract_batch([]).shape == (0, 4)
+
+
+class TestSynthesizedCorpus:
+    def test_cluster_metadata(self):
+        corpus = synthesize_media_corpus(n_items=50, n_sources=5)
+        assert len(corpus) == 50
+        assert len({item.metadata["source"] for item in corpus}) == 5
+
+    def test_mutants_differ_from_source(self):
+        corpus = synthesize_media_corpus(n_items=20, n_sources=5, seed=1)
+        assert corpus[0].content != corpus[5].content     # same source, mutated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_media_corpus(n_items=3, n_sources=5)
+
+
+class TestContentStore:
+    def test_roundtrip(self):
+        store = ContentStore([MediaItem(1, b"a"), MediaItem(2, b"bb")])
+        assert store.get(1).content == b"a"
+        assert len(store) == 2
+        assert store.total_bytes == 3
+        assert 2 in store and 7 not in store
+
+    def test_duplicate_id(self):
+        store = ContentStore([MediaItem(1, b"a")])
+        with pytest.raises(KeyError, match="duplicate"):
+            store.put(MediaItem(1, b"b"))
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown"):
+            ContentStore().get(9)
+
+    def test_lookup_skips_padding(self):
+        store = ContentStore([MediaItem(0, b"x")])
+        assert [m.media_id for m in store.lookup([0, -1, -1])] == [0]
+
+
+class TestSearchPipeline:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return synthesize_media_corpus(n_items=120, n_sources=12, seed=3)
+
+    def test_end_to_end_finds_duplicates(self, corpus):
+        """Querying with a corpus item must retrieve its near-duplicate
+        cluster — the dedup use case of the paper's introduction."""
+        with SearchPipeline(mode=IndexMode.LINEAR).build(corpus) as pipe:
+            probe = corpus[30]
+            response = pipe.query(probe, k=8)
+            assert response.items[0].media_id == probe.media_id
+            same_source = [
+                m for m in response.items
+                if m.metadata["source"] == probe.metadata["source"]
+            ]
+            assert len(same_source) >= len(response) // 2
+
+    def test_approximate_mode(self, corpus):
+        with SearchPipeline(
+            mode=IndexMode.KDTREE, index_params={"n_trees": 2, "seed": 0}
+        ).build(corpus) as pipe:
+            response = pipe.query(corpus[7], k=5, checks=120)
+            assert corpus[7].media_id in [m.media_id for m in response.items]
+
+    def test_distances_sorted(self, corpus):
+        with SearchPipeline(mode=IndexMode.LINEAR).build(corpus) as pipe:
+            response = pipe.query(corpus[0], k=6)
+            assert (np.diff(response.distances) >= -1e-12).all()
+
+    def test_unbuilt_query_rejected(self):
+        with pytest.raises(RuntimeError, match="build"):
+            SearchPipeline().query(MediaItem(0, b"x"))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            SearchPipeline().build([])
+
+    def test_close_releases_region(self, corpus):
+        pipe = SearchPipeline(mode=IndexMode.LINEAR).build(corpus)
+        driver = pipe.driver
+        assert driver.n_regions == 1
+        pipe.close()
+        assert driver.n_regions == 0
+
+    def test_novel_query_media(self, corpus):
+        # A brand-new item (not in the corpus) still gets sensible matches.
+        rng = np.random.default_rng(9)
+        novel = MediaItem(10_000, rng.integers(0, 256, 256, dtype=np.uint8).tobytes())
+        with SearchPipeline(mode=IndexMode.LINEAR).build(corpus) as pipe:
+            response = pipe.query(novel, k=3)
+            assert len(response) == 3

@@ -1,0 +1,59 @@
+"""Tests for the roofline characterization."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    KernelPoint,
+    RooflinePlatform,
+    attainable,
+    bandwidth_bound,
+    knee_intensity,
+    speedup_decomposition,
+)
+
+CPU = RooflinePlatform("cpu", peak_compute=192e9, peak_bandwidth=24e9)
+SSAM = RooflinePlatform("ssam", peak_compute=480e9, peak_bandwidth=320e9)
+
+
+class TestRoofline:
+    def test_knee(self):
+        assert knee_intensity(CPU) == pytest.approx(8.0)
+
+    def test_low_intensity_bandwidth_bound(self):
+        k = KernelPoint.euclidean_scan(dims=100)
+        assert k.intensity == pytest.approx(0.75)
+        assert bandwidth_bound(CPU, k)
+        assert attainable(CPU, k) == pytest.approx(0.75 * 24e9)
+
+    def test_high_intensity_compute_bound(self):
+        k = KernelPoint("gemm", ops=1e6, bytes_streamed=1e3)
+        assert not bandwidth_bound(CPU, k)
+        assert attainable(CPU, k) == CPU.peak_compute
+
+    def test_intensity_independent_of_dims(self):
+        """The architectural point: kNN's intensity never escapes the
+        bandwidth slope, no matter the dimensionality."""
+        for d in (100, 960, 4096):
+            k = KernelPoint.euclidean_scan(dims=d)
+            assert k.intensity == pytest.approx(0.75)
+            assert bandwidth_bound(CPU, k) and bandwidth_bound(SSAM, k)
+
+    def test_hamming_intensity_even_lower(self):
+        k = KernelPoint.hamming_scan(bits=256)
+        assert k.intensity == pytest.approx(0.25)
+
+    def test_speedup_decomposition_matches_paper(self):
+        """Bandwidth-bound on both machines: attainable ratio == the
+        bandwidth ratio (the paper's "one order of magnitude from
+        bandwidth")."""
+        k = KernelPoint.euclidean_scan(dims=960)
+        dec = speedup_decomposition(CPU, SSAM, k)
+        assert dec["both_bandwidth_bound"]
+        assert dec["attainable_ratio"] == pytest.approx(dec["bandwidth_ratio"])
+        assert dec["bandwidth_ratio"] == pytest.approx(320 / 24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RooflinePlatform("x", 0, 1)
+        with pytest.raises(ValueError):
+            KernelPoint("x", ops=1, bytes_streamed=0)

@@ -1,0 +1,69 @@
+"""Tests for the query scheduler (multi-module serving queue)."""
+
+import numpy as np
+import pytest
+
+from repro.host.scheduler import QueryScheduler
+
+
+class TestQueryScheduler:
+    def test_capacity(self):
+        s = QueryScheduler(n_modules=4, service_seconds=0.01)
+        assert s.capacity_qps == pytest.approx(400.0)
+
+    def test_light_load_latency_is_service_time(self):
+        s = QueryScheduler(n_modules=2, service_seconds=0.01)
+        res = s.simulate(arrival_qps=10.0, n_queries=500, poisson=False)
+        np.testing.assert_allclose(res.latencies, 0.01)
+        assert res.max_queue_wait == pytest.approx(0.0, abs=1e-12)
+
+    def test_latency_grows_with_load(self):
+        s = QueryScheduler(n_modules=2, service_seconds=0.01)
+        light = s.simulate(arrival_qps=0.2 * s.capacity_qps, n_queries=3000)
+        heavy = s.simulate(arrival_qps=0.95 * s.capacity_qps, n_queries=3000)
+        assert heavy.p99 > light.p99
+        assert heavy.mean > light.mean
+
+    def test_overload_queues_unboundedly(self):
+        s = QueryScheduler(n_modules=1, service_seconds=0.01)
+        res = s.simulate(arrival_qps=2 * s.capacity_qps, n_queries=2000, poisson=False)
+        # Half the arrivals pile up: last query waits ~ n/2 services.
+        assert res.latencies[-1] > 500 * 0.01
+
+    def test_more_modules_cut_queueing(self):
+        rate = 150.0
+        one = QueryScheduler(1, 0.01).simulate(rate / 2, n_queries=3000, seed=1)
+        four = QueryScheduler(4, 0.01).simulate(2 * rate, n_queries=3000, seed=1)
+        # Same per-module utilization, but pooling smooths bursts.
+        assert four.p99 <= one.p99 + 1e-9
+
+    def test_percentiles_ordered(self):
+        s = QueryScheduler(2, 0.005)
+        res = s.simulate(0.8 * s.capacity_qps, n_queries=4000)
+        assert res.p50 <= res.p99 <= res.latencies.max() + 1e-12
+        assert res.p50 >= res.service_seconds - 1e-12
+
+    def test_max_load_within_budget(self):
+        s = QueryScheduler(n_modules=4, service_seconds=0.002)
+        load = s.max_load_within_budget(latency_budget=0.01, n_queries=2000)
+        assert 0 < load < s.capacity_qps
+        res = s.simulate(load, n_queries=2000)
+        assert res.p99 <= 0.012   # small slack for binary-search granularity
+
+    def test_impossible_budget(self):
+        s = QueryScheduler(1, service_seconds=0.1)
+        assert s.max_load_within_budget(latency_budget=0.05) == 0.0
+
+    def test_deterministic_given_seed(self):
+        s = QueryScheduler(2, 0.01)
+        a = s.simulate(100.0, n_queries=100, seed=7)
+        b = s.simulate(100.0, n_queries=100, seed=7)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryScheduler(0, 1.0)
+        with pytest.raises(ValueError):
+            QueryScheduler(1, 0.0)
+        with pytest.raises(ValueError):
+            QueryScheduler(1, 1.0).simulate(0.0)

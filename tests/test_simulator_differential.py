@@ -1,0 +1,227 @@
+"""Differential testing: the simulator vs an independent oracle.
+
+Hypothesis generates random straight-line programs over the scalar and
+vector ALU subset; an independently-written Python oracle evaluates the
+same semantics; final register state must match exactly.  This catches
+whole classes of semantics bugs (wraparound, sign handling, operand
+ordering) that example-based tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import MachineConfig, Simulator, assemble
+
+_MASK32 = (1 << 32) - 1
+
+
+def _wrap32(x: int) -> int:
+    x &= _MASK32
+    return x - (1 << 32) if x >= (1 << 31) else x
+
+
+# ---------------------------------------------------------------- oracle
+def oracle_scalar(ops, init):
+    """Independent interpreter for the scalar ALU subset."""
+    regs = [0] + list(init) + [0] * (32 - 1 - len(init))
+    for name, d, a, b in ops:
+        va = regs[a]
+        if name == "add":
+            res = va + regs[b]
+        elif name == "sub":
+            res = va - regs[b]
+        elif name == "mult":
+            res = va * regs[b]
+        elif name == "and":
+            res = va & regs[b]
+        elif name == "or":
+            res = va | regs[b]
+        elif name == "xor":
+            res = va ^ regs[b]
+        elif name == "addi":
+            res = va + b
+        elif name == "multi":
+            res = va * b
+        elif name == "xori":
+            res = va ^ b
+        elif name == "sl":
+            res = va << (b & 31)
+        elif name == "sr":
+            res = (va & _MASK32) >> (b & 31)
+        elif name == "sra":
+            res = _wrap32(va) >> (b & 31)
+        elif name == "popcount":
+            res = bin(va & _MASK32).count("1")
+        elif name == "not":
+            res = ~va
+        else:
+            raise AssertionError(name)
+        if d != 0:
+            regs[d] = _wrap32(res)
+    return regs
+
+
+_REG_OPS = ["add", "sub", "mult", "and", "or", "xor"]
+_IMM_OPS = ["addi", "multi", "xori"]
+_SHIFT_OPS = ["sl", "sr", "sra"]
+_UNARY_OPS = ["popcount", "not"]
+
+reg = st.integers(1, 7)            # work in s1..s7
+imm = st.integers(-(1 << 20), (1 << 20) - 1)
+shift = st.integers(0, 31)
+
+op_strategy = st.one_of(
+    st.tuples(st.sampled_from(_REG_OPS), reg, reg, reg),
+    st.tuples(st.sampled_from(_IMM_OPS), reg, reg, imm),
+    st.tuples(st.sampled_from(_SHIFT_OPS), reg, reg, shift),
+    st.tuples(st.sampled_from(_UNARY_OPS), reg, reg, st.just(0)),
+)
+
+
+class TestScalarDifferential:
+    @given(
+        st.lists(op_strategy, min_size=1, max_size=40),
+        st.lists(st.integers(-(1 << 31), (1 << 31) - 1), min_size=7, max_size=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_programs_match_oracle(self, ops, init):
+        lines = [f"li s{i + 1}, {v}" for i, v in enumerate(init)]
+        for name, d, a, b in ops:
+            if name in _REG_OPS:
+                lines.append(f"{name} s{d}, s{a}, s{b}")
+            elif name in _IMM_OPS:
+                lines.append(f"{name} s{d}, s{a}, {b}")
+            elif name in _SHIFT_OPS:
+                lines.append(f"{name} s{d}, s{a}, {b}")
+            else:
+                lines.append(f"{name} s{d}, s{a}")
+        lines.append("halt")
+
+        sim = Simulator(MachineConfig(strict32=True))
+        sim.run(assemble("\n".join(lines)))
+        expected = oracle_scalar(ops, init)
+        assert sim.sregs[:8] == expected[:8]
+
+
+class TestVectorScalarConsistency:
+    """Vector lanes must behave exactly like VLEN independent scalars."""
+
+    @given(
+        st.sampled_from(["vadd", "vsub", "vmult", "vand", "vor", "vxor"]),
+        st.lists(st.integers(-(1 << 30), (1 << 30) - 1), min_size=4, max_size=4),
+        st.lists(st.integers(-(1 << 30), (1 << 30) - 1), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lanewise_equals_scalar(self, vop, lane_a, lane_b):
+        sop = vop[1:]
+        sim = Simulator(MachineConfig(vector_length=4, strict32=True))
+        sim.load_dram(sim.dram_base, np.array(lane_a + lane_b))
+        src = (
+            "li s1, 8192\n"
+            "vload v1, 0(s1)\n"
+            "vload v2, 4(s1)\n"
+            f"{vop} v3, v1, v2\n"
+            "halt"
+        )
+        sim.run(assemble(src))
+        for i in range(4):
+            ssim = Simulator(MachineConfig(strict32=True))
+            ssim.run(assemble(
+                f"li s1, {lane_a[i]}\nli s2, {lane_b[i]}\n{sop} s3, s1, s2\nhalt"
+            ))
+            assert sim.vregs[3][i] == ssim.sregs[3], (vop, i)
+
+    @given(st.lists(st.integers(-(1 << 31), (1 << 31) - 1), min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_vfxp_equals_sfxp_per_lane(self, lanes):
+        sim = Simulator(MachineConfig(vector_length=4, strict32=True))
+        sim.load_dram(sim.dram_base, np.array(lanes + [0x5A5A5A5A] * 4))
+        sim.run(assemble(
+            "li s1, 8192\nvload v1, 0(s1)\nvload v2, 4(s1)\n"
+            "li s2, 0\nsvmove v3, s2\nvfxp v3, v1, v2\nhalt"
+        ))
+        for i in range(4):
+            ssim = Simulator(MachineConfig(strict32=True))
+            ssim.run(assemble(
+                f"li s1, {lanes[i]}\nli s2, {0x5A5A5A5A}\nli s3, 0\n"
+                "sfxp s3, s1, s2\nhalt"
+            ))
+            assert sim.vregs[3][i] == ssim.sregs[3]
+
+
+class TestEncodingDifferential:
+    """Random programs must survive the binary encode/decode roundtrip."""
+
+    @given(
+        st.lists(op_strategy, min_size=1, max_size=20),
+        st.lists(st.integers(-(1 << 31), (1 << 31) - 1), min_size=7, max_size=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decoded_binary_produces_same_state(self, ops, init):
+        from repro.isa import decode_program, encode_program
+
+        lines = [f"li s{i + 1}, {v}" for i, v in enumerate(init)]
+        for name, d, a, b in ops:
+            if name in _UNARY_OPS:
+                lines.append(f"{name} s{d}, s{a}")
+            elif name in _REG_OPS:
+                lines.append(f"{name} s{d}, s{a}, s{b}")
+            else:
+                lines.append(f"{name} s{d}, s{a}, {b}")
+        lines.append("halt")
+        prog = assemble("\n".join(lines))
+
+        sim_a = Simulator(MachineConfig(strict32=True))
+        sim_a.run(prog)
+        sim_b = Simulator(MachineConfig(strict32=True))
+        sim_b.run(decode_program(encode_program(prog)))
+        assert sim_a.sregs == sim_b.sregs
+
+
+class TestMemoryDifferential:
+    """Random load/store sequences vs a dict-based memory oracle."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["store", "load"]),
+                st.integers(0, 63),                      # scratchpad word
+                st.integers(-(1 << 31), (1 << 31) - 1),  # value for stores
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scratchpad_ops_match_oracle(self, ops):
+        lines = []
+        oracle_mem = {}
+        oracle_acc = 0
+        for op, addr, value in ops:
+            if op == "store":
+                lines.append(f"li s1, {value}")
+                lines.append(f"store s1, {addr}(s0)")
+                oracle_mem[addr] = _wrap32(value)
+            else:
+                lines.append(f"load s2, {addr}(s0)")
+                lines.append("add s3, s3, s2")
+                oracle_acc = _wrap32(oracle_acc + oracle_mem.get(addr, 0))
+        lines.append("halt")
+        sim = Simulator(MachineConfig(strict32=True))
+        sim.run(assemble("\n".join(lines)))
+        assert sim.sregs[3] == oracle_acc
+        for addr, value in oracle_mem.items():
+            assert sim.scratchpad.read(addr) == value
+
+    @given(st.lists(st.integers(-(1 << 31), (1 << 31) - 1), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_vstore_vload_roundtrip(self, lanes):
+        sim = Simulator(MachineConfig(vector_length=4, strict32=True))
+        sim.load_dram(sim.dram_base, np.array(lanes))
+        sim.run(assemble(
+            "li s1, 8192\nvload v1, 0(s1)\n"
+            "li s2, 100\nvstore v1, 0(s2)\nvload v2, 0(s2)\nhalt"
+        ))
+        assert sim.vregs[2] == [_wrap32(x) for x in lanes]

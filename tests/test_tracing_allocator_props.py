@@ -1,0 +1,87 @@
+"""Execution tracing + allocator property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.allocator import AllocationError, FreeListAllocator
+from repro.isa import MachineConfig, Simulator, assemble
+
+
+class TestTracing:
+    def test_trace_records_execution_order(self):
+        sim = Simulator(MachineConfig())
+        trace = []
+        sim.run(assemble("li s1, 1\nli s2, 2\nadd s3, s1, s2\nhalt"), trace=trace)
+        assert [t[1] for t in trace] == ["addi", "addi", "add", "halt"]
+        assert [t[0] for t in trace] == [0, 1, 2, 3]
+        cycles = [t[2] for t in trace]
+        assert cycles == sorted(cycles)
+
+    def test_trace_follows_branches(self):
+        sim = Simulator(MachineConfig())
+        trace = []
+        sim.run(assemble("li s1, 2\nloop: subi s1, s1, 1\nbne s1, s0, loop\nhalt"),
+                trace=trace)
+        pcs = [t[0] for t in trace]
+        assert pcs == [0, 1, 2, 1, 2, 3]
+
+    def test_trace_limit_respected(self):
+        sim = Simulator(MachineConfig())
+        trace = []
+        src = "li s1, 100\nloop: subi s1, s1, 1\nbne s1, s0, loop\nhalt"
+        sim.run(assemble(src), trace=trace, trace_limit=10)
+        assert len(trace) == 10
+
+    def test_no_trace_by_default(self):
+        sim = Simulator(MachineConfig())
+        stats = sim.run(assemble("halt"))
+        assert stats.halted
+
+
+class TestAllocatorProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 4096)),
+                st.tuples(st.just("free"), st.integers(0, 20)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_workload(self, ops):
+        """Allocated + free bytes always equal capacity; regions never
+        overlap; frees of live regions always succeed."""
+        alloc = FreeListAllocator(64 * 1024)
+        live = []
+        for op, arg in ops:
+            if op == "alloc":
+                try:
+                    live.append(alloc.alloc(arg))
+                except AllocationError:
+                    pass
+            elif live:
+                alloc.free(live.pop(arg % len(live)))
+            # Invariant 1: conservation of bytes.
+            assert alloc.allocated_bytes + alloc.free_bytes == 64 * 1024
+            # Invariant 2: no overlapping allocations.
+            regions = alloc.regions()
+            for (s1, z1), (s2, _) in zip(regions, regions[1:]):
+                assert s1 + z1 <= s2
+        # Drain: everything can be freed, and the arena coalesces fully.
+        for addr in live:
+            alloc.free(addr)
+        assert alloc.free_bytes == 64 * 1024
+        assert alloc.fragmentation() == 0.0
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_free_alloc_reuses_space(self, sizes):
+        alloc = FreeListAllocator(1 << 20)
+        addrs = [alloc.alloc(s) for s in sizes]
+        for a in addrs:
+            alloc.free(a)
+        # The arena is whole again: a max-size allocation must succeed.
+        assert alloc.alloc(1 << 20) == 0
