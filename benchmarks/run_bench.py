@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Standalone entry point for the perf-trajectory benchmark.
+
+Equivalent to ``python -m repro.experiments bench``: times the
+simulator execution engines (interp / predecode / trace), one
+representative experiment per family cold and warm, and writes
+``BENCH_1.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.bench import run_bench  # noqa: E402
+
+
+def main() -> int:
+    _, text = run_bench()
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

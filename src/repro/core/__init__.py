@@ -14,6 +14,9 @@ models it at three levels:
   processing units behind each vault controller and applies the
   bandwidth/compute roofline; :mod:`repro.core.module` assembles a full
   SSAM memory module on the HMC substrate;
+- **Simulation cache** — :mod:`repro.core.simcache` memoises assembled
+  programs and whole deterministic kernel runs, so experiment sweeps
+  stop paying for duplicate cycle simulations;
 - **Physical design** — calibrated per-module power
   (:mod:`repro.core.power`, paper Table III) and area
   (:mod:`repro.core.area`, paper Table IV) models.
@@ -25,9 +28,13 @@ from repro.core.power import AcceleratorPowerModel, PAPER_POWER_TABLE
 from repro.core.area import AcceleratorAreaModel, PAPER_AREA_TABLE
 from repro.core.accelerator import KernelCalibration, SSAMPerformanceModel
 from repro.core.module import SSAMModule
+from repro.core.simcache import SimulationCache, clear_caches, get_cache
 from repro.core.thermal import StackThermalModel
 
 __all__ = [
+    "SimulationCache",
+    "clear_caches",
+    "get_cache",
     "HardwarePriorityQueue",
     "HardwareStack",
     "Scratchpad",

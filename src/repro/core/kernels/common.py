@@ -33,7 +33,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.isa.simulator import MachineConfig, RunStats, Simulator
 
@@ -191,7 +190,12 @@ class Kernel:
     @property
     def program(self) -> Program:
         if self._program is None:
-            self._program = assemble(self.source)
+            # Shared across Kernel objects with identical source, so the
+            # predecode tables and vectorizer state are built only once
+            # even when a sweep regenerates the same kernel per point.
+            from repro.core.simcache import cached_assemble
+
+            self._program = cached_assemble(self.source)
         return self._program
 
     def make_simulator(self, dram_words: int = 1 << 22) -> Simulator:
@@ -201,9 +205,22 @@ class Kernel:
 
     def run(self, sim: Optional[Simulator] = None,
             max_instructions: int = 50_000_000) -> KernelResult:
-        """Assemble (cached), load, execute, and read back top-k."""
+        """Assemble (cached), load, execute, and read back top-k.
+
+        With ``sim=None`` the run is deterministic (fresh machine, this
+        kernel's loader), so the result is served from the process-wide
+        :mod:`repro.core.simcache` when an identical run has already
+        happened.  Pass an explicit simulator to bypass memoisation and
+        observe the post-run machine state.
+        """
         if sim is None:
-            sim = self.make_simulator(dram_words=self.metadata.get("dram_words", 1 << 22))
+            from repro.core.simcache import run_cached
+
+            return run_cached(self, max_instructions)
+        return self._execute(sim, max_instructions)
+
+    def _execute(self, sim: Simulator,
+                 max_instructions: int) -> KernelResult:
         stats = sim.run(self.program, max_instructions=max_instructions)
         if self.reader is not None:
             ids, values = self.reader(sim)

@@ -1,0 +1,178 @@
+"""Kernel-simulation memo cache (the third tier of the fast engine).
+
+Experiment sweeps re-simulate the same work over and over: a calibration
+runs each kernel at two sizes, ``SSAMModule.query`` rebuilds an identical
+kernel per query per vault, and fig6/fig7/table5/ablation sweeps share
+design points.  Since the simulator is fully deterministic — the result
+of a run is a pure function of (program, machine configuration, initial
+memory image) — those repeats can be memoised.
+
+Two caches live here:
+
+- an **assembly cache** (:func:`cached_assemble`): one ``Program`` per
+  distinct source text.  Besides skipping the two-pass assembler, this
+  shares the predecode tables and the trace-vectorizer's per-config
+  state (``program._decoded``) across every ``Kernel`` object built
+  from the same generator arguments;
+- a **simulation cache** (:class:`SimulationCache`): content-keyed
+  results of whole kernel runs.  The key is a BLAKE2b digest of the
+  kernel source, the machine configuration, and the *loaded simulator
+  state* (scratchpad + DRAM image) — hashing the actual initial state
+  rather than generator arguments means the key can never go stale
+  against a loader change.
+
+Only ``Kernel.run(sim=None, ...)`` consults the cache: a caller that
+passes its own simulator wants that machine mutated, which a cache hit
+could not honour.  Hits return fresh copies of ids/values/stats so
+callers may mutate results freely.
+
+Set ``REPRO_SIMCACHE=0`` in the environment to disable memoisation
+(assembly caching stays on; it is semantically invisible).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import fields
+from typing import Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.kernels.common import Kernel, KernelResult
+    from repro.isa.simulator import Simulator
+
+__all__ = [
+    "SimulationCache",
+    "cached_assemble",
+    "clear_caches",
+    "get_cache",
+    "run_cached",
+    "simcache_enabled",
+    "simulation_key",
+]
+
+_ASSEMBLY_CACHE: Dict[str, Program] = {}
+
+
+def cached_assemble(source: str) -> Program:
+    """Assemble ``source``, memoised on the exact source text."""
+    prog = _ASSEMBLY_CACHE.get(source)
+    if prog is None:
+        prog = assemble(source)
+        _ASSEMBLY_CACHE[source] = prog
+    return prog
+
+
+def simcache_enabled() -> bool:
+    """Simulation memoisation is on unless ``REPRO_SIMCACHE=0``."""
+    return os.environ.get("REPRO_SIMCACHE", "1") != "0"
+
+
+def simulation_key(kernel: "Kernel", sim: "Simulator",
+                   max_instructions: int) -> bytes:
+    """Content digest of everything a deterministic run depends on.
+
+    ``sim`` must be freshly built by ``kernel.make_simulator()`` (loader
+    applied, never run): the digest covers its initial memory image, so
+    any change to the data layout — even one the kernel's metadata does
+    not mention — changes the key.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(kernel.name.encode())
+    h.update(kernel.source.encode())
+    h.update(str((kernel.k, max_instructions, kernel.reader is not None)).encode())
+    h.update(repr(sorted((k, repr(v)) for k, v in kernel.metadata.items())).encode())
+    machine = kernel.machine
+    h.update(repr([(f.name, getattr(machine, f.name)) for f in fields(machine)]).encode())
+    # Initial memory image: scratchpad words (sparse dict) + DRAM array.
+    sp = sorted(sim.scratchpad._data.items())
+    h.update(np.asarray(sp, dtype=np.int64).tobytes())
+    h.update(str((sim.dram_base, sim.dram.size)).encode())
+    h.update(np.ascontiguousarray(sim.dram).tobytes())
+    return h.digest()
+
+
+class SimulationCache:
+    """Bounded LRU map from simulation keys to :class:`KernelResult`.
+
+    Stored results are private copies; :meth:`lookup` hands back fresh
+    copies again, so no caller ever aliases cache-owned state.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[bytes, KernelResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _copy(result: "KernelResult") -> "KernelResult":
+        cls = type(result)
+        return cls(
+            ids=result.ids.copy(),
+            values=result.values.copy(),
+            stats=copy.deepcopy(result.stats),
+        )
+
+    def lookup(self, key: bytes) -> Optional["KernelResult"]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return self._copy(entry)
+
+    def store(self, key: bytes, result: "KernelResult") -> None:
+        self._entries[key] = self._copy(result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "maxsize": self.maxsize}
+
+
+_GLOBAL_CACHE = SimulationCache()
+
+
+def get_cache() -> SimulationCache:
+    """The process-wide simulation cache."""
+    return _GLOBAL_CACHE
+
+
+def clear_caches() -> None:
+    """Drop all memoised simulations and assembled programs."""
+    _GLOBAL_CACHE.clear()
+    _ASSEMBLY_CACHE.clear()
+
+
+def run_cached(kernel: "Kernel", max_instructions: int) -> "KernelResult":
+    """Execute ``kernel`` on a fresh simulator, memoising the result."""
+    dram_words = kernel.metadata.get("dram_words", 1 << 22)
+    sim = kernel.make_simulator(dram_words=dram_words)
+    if not simcache_enabled():
+        return kernel._execute(sim, max_instructions)
+    key = simulation_key(kernel, sim, max_instructions)
+    hit = _GLOBAL_CACHE.lookup(key)
+    if hit is not None:
+        return hit
+    result = kernel._execute(sim, max_instructions)
+    _GLOBAL_CACHE.store(key, result)
+    return result

@@ -23,6 +23,7 @@ Runner         Paper artifact
 =============  =====================================================
 """
 
+from repro.experiments.bench import run_bench
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.table1 import run_table1
 from repro.experiments.tables34 import run_table3, run_table4
@@ -43,6 +44,7 @@ from repro.experiments.tco import run_tco
 from repro.experiments.representations import run_fixed_point, run_binarization
 
 __all__ = [
+    "run_bench",
     "run_fig2",
     "run_table1",
     "run_table3",

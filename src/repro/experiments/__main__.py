@@ -17,6 +17,7 @@ import sys
 import time
 
 from repro.experiments import (
+    run_bench,
     run_binarization,
     run_energy_breakdown,
     run_fig2,
@@ -60,7 +61,12 @@ RUNNERS = {
     "thermal": (run_thermal_check, "Section V-A thermal check"),
     "fixedpoint": (run_fixed_point, "Section II-D: fixed point"),
     "binarization": (run_binarization, "Section II-D: binarization"),
+    "bench": (run_bench, "Perf trajectory: engines + simcache (writes BENCH_1.json)"),
 }
+
+#: Excluded from the default "run everything" sweep: bench re-runs other
+#: experiments under a timer, so it must be requested explicitly.
+_NOT_IN_DEFAULT = {"bench"}
 
 
 def main(argv=None) -> int:
@@ -80,7 +86,7 @@ def main(argv=None) -> int:
             print(f"{name:14s} {desc}")
         return 0
 
-    names = args.experiments or list(RUNNERS)
+    names = args.experiments or [n for n in RUNNERS if n not in _NOT_IN_DEFAULT]
     unknown = [n for n in names if n not in RUNNERS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}; use --list")

@@ -1,0 +1,164 @@
+"""Performance-trajectory benchmark (``python -m repro.experiments bench``).
+
+Times the simulator's execution engines against each other on the
+paper's headline workload (the linear Euclidean scan), times one
+representative experiment per family cold and warm (the warm pass shows
+the kernel-simulation cache), and writes the numbers to ``BENCH_1.json``
+at the repo root so future PRs can track the performance trajectory.
+
+This runner is excluded from ``python -m repro.experiments`` (run all):
+it re-executes other experiments under a timer, so including it in the
+default sweep would double-count them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.kernels import euclidean_scan_kernel
+from repro.core.simcache import clear_caches, get_cache
+from repro.isa.simulator import MachineConfig
+
+__all__ = ["run_bench", "BENCH_FILENAME"]
+
+BENCH_FILENAME = "BENCH_1.json"
+
+#: One representative experiment per family, timed cold then warm.
+_FAMILY_RUNNERS: List[Tuple[str, str, str]] = [
+    ("figures", "fig6", "repro.experiments.fig6:run_fig6"),
+    ("tables", "table5", "repro.experiments.table5:run_table5"),
+    ("ablations", "pq", "repro.experiments.ablations:run_priority_queue_ablation"),
+    ("extensions", "pqcodes", "repro.experiments.extensions:run_pq_extension"),
+]
+
+
+def _repo_root() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "ROADMAP.md").exists() or (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def _resolve(spec: str):
+    module_name, func_name = spec.split(":")
+    module = __import__(module_name, fromlist=[func_name])
+    return getattr(module, func_name)
+
+
+def _bench_engines(n: int = 10_000, dims: int = 16, vlen: int = 4,
+                   k: int = 10) -> Dict[str, Dict[str, float]]:
+    """Instructions/sec of each engine on the linear Euclidean scan.
+
+    Every engine must retire the same instruction count and charge the
+    same cycles — the fast paths are execution strategies, not new
+    timing models — so the comparison asserts that before reporting.
+    """
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((n, dims))
+    query = rng.standard_normal(dims)
+    kernel = euclidean_scan_kernel(data, query, k, MachineConfig(vector_length=vlen))
+    program = kernel.program
+    dram_words = kernel.metadata["dram_words"]
+
+    out: Dict[str, Dict[str, float]] = {}
+    reference = None
+    for engine in ("interp", "predecode", "trace"):
+        sim = kernel.make_simulator(dram_words=dram_words)
+        t0 = time.perf_counter()
+        stats = sim.run(program, engine=engine)
+        dt = time.perf_counter() - t0
+        if reference is None:
+            reference = stats
+        else:
+            assert stats.instructions == reference.instructions
+            assert stats.cycles == reference.cycles
+        out[engine] = {
+            "seconds": dt,
+            "instructions": stats.instructions,
+            "instructions_per_sec": stats.instructions / dt,
+            "simulated_cycles": stats.cycles,
+        }
+    out["workload"] = {"n": n, "dims": dims, "vlen": vlen, "k": k}
+    return out
+
+
+def _bench_experiments() -> Dict[str, Dict[str, float]]:
+    """Cold/warm wall-clock of one representative experiment per family."""
+    out: Dict[str, Dict[str, float]] = {}
+    for family, name, spec in _FAMILY_RUNNERS:
+        runner = _resolve(spec)
+        clear_caches()
+        t0 = time.perf_counter()
+        runner()
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        runner()
+        warm = time.perf_counter() - t0
+        out[name] = {"family": family, "cold_seconds": cold, "warm_seconds": warm}
+    return out
+
+
+def run_bench():
+    engines = _bench_engines()
+    interp_ips = engines["interp"]["instructions_per_sec"]
+    speedups = {
+        e: engines[e]["instructions_per_sec"] / interp_ips
+        for e in ("interp", "predecode", "trace")
+    }
+    experiments = _bench_experiments()
+    cache = get_cache().info()
+
+    payload = {
+        "bench_version": 1,
+        "engines": engines,
+        "engine_speedup_vs_interp": speedups,
+        "experiments": experiments,
+        "simcache": cache,
+    }
+    path = _repo_root() / BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    rows = []
+    for engine in ("interp", "predecode", "trace"):
+        rows.append({
+            "benchmark": f"engine/{engine}",
+            "instructions_per_sec": engines[engine]["instructions_per_sec"],
+            "seconds": engines[engine]["seconds"],
+            "speedup_vs_interp": speedups[engine],
+        })
+    for name, r in experiments.items():
+        rows.append({
+            "benchmark": f"experiment/{name}",
+            "cold_seconds": r["cold_seconds"],
+            "warm_seconds": r["warm_seconds"],
+            "family": r["family"],
+        })
+
+    lines = [
+        f"Linear Euclidean scan, VLEN={engines['workload']['vlen']}, "
+        f"n={engines['workload']['n']}, dims={engines['workload']['dims']}:",
+    ]
+    for engine in ("interp", "predecode", "trace"):
+        e = engines[engine]
+        lines.append(
+            f"  {engine:10s} {e['instructions_per_sec']:>12,.0f} instr/s "
+            f"({e['seconds']:.3f}s, {speedups[engine]:.1f}x vs interp)"
+        )
+    lines.append("Representative experiments (cold -> warm, warm hits the simcache):")
+    for name, r in experiments.items():
+        lines.append(
+            f"  {name:10s} {r['cold_seconds']:.2f}s -> {r['warm_seconds']:.2f}s "
+            f"[{r['family']}]"
+        )
+    lines.append(
+        f"simcache: {cache['entries']} entries, "
+        f"{cache['hits']} hits / {cache['misses']} misses"
+    )
+    lines.append(f"[written to {path}]")
+    return rows, "\n".join(lines)

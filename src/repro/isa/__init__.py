@@ -15,6 +15,10 @@ validate the correctness of our design"):
 - :mod:`repro.isa.simulator` — a functional + cycle-approximate
   simulator of one processing unit, with full accounting of
   instruction mix, cycles, and memory traffic;
+- :mod:`repro.isa.predecode` — lowers programs once into basic blocks
+  of integer-opcode micro-ops for the fast execution engines;
+- :mod:`repro.isa.fastpath` — the block-dispatch interpreter and the
+  hot-loop trace vectorizer behind ``Simulator.run(engine="auto")``;
 - :mod:`repro.isa.trace` — instruction-mix summaries (paper Table I).
 """
 
@@ -31,6 +35,7 @@ from repro.isa.encoding import (
     decode_program,
     encode_program,
 )
+from repro.isa.predecode import DecodedProgram, predecode
 from repro.isa.simulator import MachineConfig, RunStats, Simulator, SimulatorError
 from repro.isa.trace import InstructionMix
 
@@ -46,6 +51,8 @@ __all__ = [
     "EncodingError",
     "encode_program",
     "decode_program",
+    "DecodedProgram",
+    "predecode",
     "MachineConfig",
     "RunStats",
     "Simulator",

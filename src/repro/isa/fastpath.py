@@ -1,0 +1,1519 @@
+"""Fast execution engines for the SSAM PU simulator.
+
+Two tiers on top of the reference interpreter, both **bit-exact** with it
+(architectural state and every :class:`~repro.isa.simulator.RunStats`
+field; the differential tests in ``tests/test_engine_differential.py``
+enforce this):
+
+1. **Predecoded block interpreter** (:func:`run_fast` with
+   ``vectorize=False``): dispatches over the int-opcode micro-ops from
+   :mod:`repro.isa.predecode` and accounts statistics once per basic
+   block instead of once per instruction.
+
+2. **Hot-loop trace vectorizer** (``vectorize=True``): when a backward
+   branch target gets hot, one loop iteration is traced concretely
+   (walk 1), re-walked symbolically with values affine in the iteration
+   index (walk 2), and — if every branch outcome, memory address, and
+   register update is provably uniform — N iterations are replayed at
+   once with NumPy.  The paper's observation that "linear scans through
+   buckets exhibit predictable contiguous access patterns" (Section III)
+   is exactly the property that makes the steady state of scan kernels
+   traceable.  Anything the analysis cannot prove falls back to the
+   block interpreter, so unsupported programs are merely slower, never
+   wrong.
+
+The vectorizer requires ``strict32`` (values live in int64 NumPy arrays;
+unbounded Python-int semantics cannot be replayed there safely).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.predecode import (
+    COND_BRANCHES,
+    OP_ADD, OP_SUB, OP_MULT, OP_ADDI, OP_SUBI, OP_MULTI,
+    OP_POPCOUNT, OP_AND, OP_OR, OP_XOR, OP_NOT,
+    OP_ANDI, OP_ORI, OP_XORI,
+    OP_SL_I, OP_SL_R, OP_SR_I, OP_SR_R, OP_SRA_I, OP_SRA_R, OP_SFXP,
+    OP_VADD, OP_VSUB, OP_VMULT, OP_VAND, OP_VOR, OP_VXOR, OP_VNOT,
+    OP_VPOPCOUNT, OP_VADDI, OP_VSUBI, OP_VMULTI, OP_VANDI, OP_VORI,
+    OP_VXORI, OP_VSL_I, OP_VSL_R, OP_VSR_I, OP_VSR_R, OP_VSRA_I,
+    OP_VSRA_R, OP_VFXP,
+    OP_BNE, OP_BE, OP_BGT, OP_BLT, OP_J,
+    OP_PUSH, OP_POP, OP_SVMOVE, OP_VSMOVE,
+    OP_LOAD, OP_STORE, OP_VLOAD, OP_VSTORE, OP_MEM_FETCH,
+    OP_PQ_INSERT, OP_PQ_LOAD_I, OP_PQ_LOAD_R, OP_PQ_RESET,
+    OP_HALT, OP_NOP,
+    predecode,
+)
+from repro.isa.units import UnitError
+
+__all__ = ["run_fast"]
+
+_MASK32 = 0xFFFFFFFF
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+_INF = 1 << 62  # effectively unbounded iteration cap
+
+#: Backward-branch activations before a trace attempt.
+HOT_THRESHOLD = 3
+#: Minimum vectorized iteration count worth the analysis overhead.
+MIN_VEC = 8
+#: Micro-op ceiling for one traced iteration (inner loops unroll into it).
+MAX_PATH = 16384
+#: Replay chunk ceiling keeps (N, vlen) temporaries bounded (~tens of MB).
+CHUNK_UOPS = 1 << 21
+#: Backoff (in further activations) after a transient trace abort.
+TRANSIENT_BACKOFF = 8
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _to_signed32(value: int) -> int:
+    return ((value + (1 << 31)) & _MASK32) - (1 << 31)
+
+
+def _wrap32(arr: np.ndarray) -> np.ndarray:
+    """Vectorized two's-complement wrap to signed 32-bit (int64 arrays)."""
+    return ((arr + (1 << 31)) & _MASK32) - (1 << 31)
+
+
+def _popcount32(arr: np.ndarray) -> np.ndarray:
+    """Per-element popcount of the low 32 bits (matches ``bin(x).count``)."""
+    x = arr & _MASK32
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(x).astype(np.int64)
+    x = x - ((x >> 1) & 0x55555555)
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333)
+    x = (x + (x >> 4)) & 0x0F0F0F0F
+    return (x * 0x01010101) >> 24
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Ceiling division for positive ``b``."""
+    return -((-a) // b)
+
+
+class _Reject(Exception):
+    """Internal: abort a trace attempt.
+
+    ``structural`` rejections depend only on the program text reachable
+    from the loop head (unsupported opcode, data-dependent branch) and
+    are cached so the head is never analyzed again; transient ones (trip
+    count too small, values near the wrap boundary) are retried later.
+    """
+
+    def __init__(self, reason: str, structural: bool):
+        super().__init__(reason)
+        self.structural = structural
+
+
+# --------------------------------------------------------------------------
+# Engine entry point
+# --------------------------------------------------------------------------
+
+def run_fast(sim, program, max_instructions: int, vectorize: bool = True) -> None:
+    """Execute ``program`` on ``sim`` via the predecoded block engine.
+
+    Mirrors the reference interpreter exactly: same architectural state,
+    same statistics (including on error paths), same exception types,
+    messages, and raise points.  Statistics are accounted per basic
+    block and folded into ``sim.stats`` on exit (also on error, with the
+    partially executed block corrected to per-µop counts).
+    """
+    from repro.isa.simulator import SimulatorError
+
+    stats = sim.stats
+    cfg = sim.config
+    vlen = cfg.vector_length
+    vload_extra = max(0, -(-4 * vlen // cfg.mem_port_bytes_per_cycle) - 1)
+    sregs = sim.sregs
+    vregs = sim.vregs
+    norm = sim._norm
+    read_mem = sim._read_mem
+    write_mem = sim._write_mem
+    stack = sim.stack
+    pqueue = sim.pqueue
+    code = program.instructions
+
+    decoded = predecode(program)
+    n = decoded.n
+    ops_l = decoded.ops
+    args_l = decoded.args
+    blocks = decoded.blocks
+    block_of = decoded.block_of
+
+    block_counts = [0] * len(blocks)
+    pc_extra: Dict[int, int] = {}
+    executed = 0
+    pc = 0
+    halted = False
+
+    vectorize = vectorize and cfg.strict32
+    if vectorize:
+        cfg_key = (vlen, cfg.strict32, cfg.mem_port_bytes_per_cycle,
+                   cfg.dram_latency_cycles, cfg.stream_window_words,
+                   cfg.scratchpad_bytes)
+        tstate = decoded.trace_state.setdefault(cfg_key, {"reject": set()})
+        rejected_heads = tstate["reject"]
+    hot: Dict[int, int] = {}
+
+    try:
+        while True:
+            if executed >= max_instructions:
+                raise SimulatorError(
+                    f"instruction budget exhausted ({max_instructions}); runaway loop?"
+                )
+            if not 0 <= pc < n:
+                raise SimulatorError(f"PC {pc} outside program [0, {n})")
+            bi = block_of[pc]
+            blk = blocks[bi]
+            end = blk.end
+            fast_block = pc == blk.start and executed + blk.length <= max_instructions
+            if fast_block:
+                block_counts[bi] += 1
+                executed += blk.length
+            p = pc
+            op = OP_NOP
+            try:
+                while True:
+                    if not fast_block:
+                        if executed >= max_instructions:
+                            raise SimulatorError(
+                                f"instruction budget exhausted ({max_instructions});"
+                                " runaway loop?"
+                            )
+                        executed += 1
+                        pc_extra[p] = pc_extra.get(p, 0) + 1
+                    op = ops_l[p]
+                    a = args_l[p]
+                    # --- scalar ALU ------------------------------------------
+                    if op == OP_VADD:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] + y[i]) for i in range(vlen)]
+                    elif op == OP_VMULT:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] * y[i]) for i in range(vlen)]
+                    elif op == OP_VSUB:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] - y[i]) for i in range(vlen)]
+                    elif op == OP_ADD:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] + sregs[a[2]])
+                    elif op == OP_ADDI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] + a[2])
+                    elif op == OP_VLOAD:
+                        # vload_extra port cycles are charged statically via
+                        # cycle_weights at flush time, not live.
+                        vregs[a[0]] = read_mem(sregs[a[2]] + a[1], vlen)
+                    elif op == OP_SUB:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] - sregs[a[2]])
+                    elif op == OP_MULT:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] * sregs[a[2]])
+                    elif op == OP_SUBI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] - a[2])
+                    elif op == OP_MULTI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] * a[2])
+                    elif op == OP_POPCOUNT:
+                        if a[0]:
+                            sregs[a[0]] = norm(bin(sregs[a[1]] & _MASK32).count("1"))
+                    elif op == OP_AND:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] & sregs[a[2]])
+                    elif op == OP_OR:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] | sregs[a[2]])
+                    elif op == OP_XOR:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] ^ sregs[a[2]])
+                    elif op == OP_NOT:
+                        if a[0]:
+                            sregs[a[0]] = norm(~sregs[a[1]])
+                    elif op == OP_ANDI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] & a[2])
+                    elif op == OP_ORI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] | a[2])
+                    elif op == OP_XORI:
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] ^ a[2])
+                    elif op == OP_SL_I or op == OP_SL_R:
+                        sh = (sregs[a[2]] if op == OP_SL_R else a[2]) & 31
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[1]] << sh)
+                    elif op == OP_SR_I or op == OP_SR_R:
+                        sh = (sregs[a[2]] if op == OP_SR_R else a[2]) & 31
+                        if a[0]:
+                            sregs[a[0]] = norm((sregs[a[1]] & _MASK32) >> sh)
+                    elif op == OP_SRA_I or op == OP_SRA_R:
+                        sh = (sregs[a[2]] if op == OP_SRA_R else a[2]) & 31
+                        if a[0]:
+                            sregs[a[0]] = norm(_to_signed32(sregs[a[1]]) >> sh)
+                    elif op == OP_SFXP:
+                        xorv = (sregs[a[1]] ^ sregs[a[2]]) & _MASK32
+                        if a[0]:
+                            sregs[a[0]] = norm(sregs[a[0]] + bin(xorv).count("1"))
+                    # --- vector ALU ------------------------------------------
+                    elif op == OP_VAND:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] & y[i]) for i in range(vlen)]
+                    elif op == OP_VOR:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] | y[i]) for i in range(vlen)]
+                    elif op == OP_VXOR:
+                        x, y = vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [norm(x[i] ^ y[i]) for i in range(vlen)]
+                    elif op == OP_VNOT:
+                        x = vregs[a[1]]
+                        vregs[a[0]] = [norm(~v) for v in x]
+                    elif op == OP_VPOPCOUNT:
+                        x = vregs[a[1]]
+                        vregs[a[0]] = [bin(v & _MASK32).count("1") for v in x]
+                    elif op == OP_VADDI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v + imm) for v in vregs[a[1]]]
+                    elif op == OP_VSUBI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v - imm) for v in vregs[a[1]]]
+                    elif op == OP_VMULTI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v * imm) for v in vregs[a[1]]]
+                    elif op == OP_VANDI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v & imm) for v in vregs[a[1]]]
+                    elif op == OP_VORI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v | imm) for v in vregs[a[1]]]
+                    elif op == OP_VXORI:
+                        imm = a[2]
+                        vregs[a[0]] = [norm(v ^ imm) for v in vregs[a[1]]]
+                    elif op == OP_VSL_I or op == OP_VSL_R:
+                        sh = (sregs[a[2]] if op == OP_VSL_R else a[2]) & 31
+                        vregs[a[0]] = [norm(v << sh) for v in vregs[a[1]]]
+                    elif op == OP_VSR_I or op == OP_VSR_R:
+                        sh = (sregs[a[2]] if op == OP_VSR_R else a[2]) & 31
+                        vregs[a[0]] = [(v & _MASK32) >> sh for v in vregs[a[1]]]
+                    elif op == OP_VSRA_I or op == OP_VSRA_R:
+                        sh = (sregs[a[2]] if op == OP_VSRA_R else a[2]) & 31
+                        vregs[a[0]] = [_to_signed32(v) >> sh for v in vregs[a[1]]]
+                    elif op == OP_VFXP:
+                        d, x, y = vregs[a[0]], vregs[a[1]], vregs[a[2]]
+                        vregs[a[0]] = [
+                            norm(d[i] + bin((x[i] ^ y[i]) & _MASK32).count("1"))
+                            for i in range(vlen)
+                        ]
+                    # --- control ---------------------------------------------
+                    elif op == OP_BNE:
+                        next_pc = a[2] if sregs[a[0]] != sregs[a[1]] else p + 1
+                        break
+                    elif op == OP_BE:
+                        next_pc = a[2] if sregs[a[0]] == sregs[a[1]] else p + 1
+                        break
+                    elif op == OP_BGT:
+                        next_pc = a[2] if sregs[a[0]] > sregs[a[1]] else p + 1
+                        break
+                    elif op == OP_BLT:
+                        next_pc = a[2] if sregs[a[0]] < sregs[a[1]] else p + 1
+                        break
+                    elif op == OP_J:
+                        next_pc = a[0]
+                        break
+                    # --- stack / moves ---------------------------------------
+                    elif op == OP_PUSH:
+                        stack.push(sregs[a[0]])
+                    elif op == OP_POP:
+                        v = stack.pop()
+                        if a[0]:
+                            sregs[a[0]] = norm(v)
+                    elif op == OP_SVMOVE:
+                        vregs[a[0]] = [norm(sregs[a[1]])] * vlen
+                    elif op == OP_VSMOVE:
+                        lane = a[2]
+                        if not 0 <= lane < vlen:
+                            raise SimulatorError(
+                                f"vsmove lane {lane} out of range for VLEN={vlen}"
+                            )
+                        if a[0]:
+                            sregs[a[0]] = norm(vregs[a[1]][lane])
+                    # --- memory ----------------------------------------------
+                    elif op == OP_LOAD:
+                        v = read_mem(sregs[a[2]] + a[1], 1)[0]
+                        if a[0]:
+                            sregs[a[0]] = norm(v)
+                    elif op == OP_STORE:
+                        write_mem(sregs[a[2]] + a[1], [sregs[a[0]]])
+                    elif op == OP_VSTORE:
+                        write_mem(sregs[a[2]] + a[1], list(vregs[a[0]]))
+                    elif op == OP_MEM_FETCH:
+                        sim._stream_ptr = sregs[a[1]] + a[0]
+                    # --- SSAM units ------------------------------------------
+                    elif op == OP_PQ_INSERT:
+                        pqueue.insert(sregs[a[0]], sregs[a[1]])
+                    elif op == OP_PQ_LOAD_I or op == OP_PQ_LOAD_R:
+                        pos = sregs[a[1]] if op == OP_PQ_LOAD_R else a[1]
+                        v = pqueue.load(pos, a[2])
+                        if a[0]:
+                            sregs[a[0]] = norm(v)
+                    elif op == OP_PQ_RESET:
+                        pqueue.reset()
+                    # --- system ----------------------------------------------
+                    elif op == OP_HALT:
+                        stats.halted = True
+                        halted = True
+                        next_pc = p + 1
+                        break
+                    # OP_NOP: nothing.
+                    if p == end:
+                        next_pc = p + 1
+                        break
+                    p += 1
+            except (SimulatorError, UnitError) as exc:
+                if fast_block:
+                    # Correct the optimistic whole-block accounting down to
+                    # the µops that actually retired (including the faulting
+                    # one), exactly as the reference interpreter counts them.
+                    block_counts[bi] -= 1
+                    executed += (p - blk.start + 1) - blk.length
+                    for q in range(blk.start, p + 1):
+                        pc_extra[q] = pc_extra.get(q, 0) + 1
+                if isinstance(exc, UnitError):
+                    raise SimulatorError(
+                        f"at pc={p} ({code[p]}): {exc}") from exc
+                raise
+
+            if halted:
+                break
+            if vectorize and next_pc <= p and next_pc not in rejected_heads and (
+                    op in COND_BRANCHES or op == OP_J):
+                h = next_pc
+                c = hot.get(h, 0) + 1
+                hot[h] = c
+                if c >= HOT_THRESHOLD:
+                    try:
+                        replayed = _try_vectorize(
+                            sim, decoded, h, max_instructions, executed,
+                            pc_extra)
+                    except _Reject as rej:
+                        if rej.structural:
+                            rejected_heads.add(h)
+                        else:
+                            hot[h] = HOT_THRESHOLD - TRANSIENT_BACKOFF
+                        replayed = 0
+                    executed += replayed
+            pc = next_pc
+    finally:
+        stats.instructions = executed
+        _flush_counts(stats, decoded, block_counts, pc_extra, vload_extra)
+
+
+def _flush_counts(stats, decoded, block_counts, pc_extra, vload_extra) -> None:
+    """Fold per-block and per-µop retirement counts into ``RunStats``."""
+    n = decoded.n
+    counts = np.zeros(n, dtype=np.int64)
+    blocks = decoded.blocks
+    for bi, c in enumerate(block_counts):
+        if c:
+            blk = blocks[bi]
+            counts[blk.start:blk.end + 1] += c
+    for p, c in pc_extra.items():
+        counts[p] += c
+    if not counts.any():
+        return
+    stats.cycles += int(counts @ decoded.cycle_weights(vload_extra))
+    cbn = stats.counts_by_name
+    cbc = stats.counts_by_category
+    names = decoded.names
+    cats = decoded.cats
+    for p in np.nonzero(counts)[0]:
+        c = int(counts[p])
+        nm = names[p]
+        cbn[nm] = cbn.get(nm, 0) + c
+        cat = cats[p]
+        cbc[cat] = cbc.get(cat, 0) + c
+
+
+# --------------------------------------------------------------------------
+# Linear-analysis helpers
+# --------------------------------------------------------------------------
+
+def _range_cap(c0: int, c1: int, lo: int, hi: int) -> int:
+    """Largest m with ``lo <= c0 + c1*i <= hi`` for all ``0 <= i < m``."""
+    if not lo <= c0 <= hi:
+        return 0
+    if c1 == 0:
+        return _INF
+    if c1 > 0:
+        return (hi - c0) // c1 + 1
+    return (c0 - lo) // (-c1) + 1
+
+
+def _first_flip(op: int, x, y, taken: bool) -> int:
+    """First iteration ``i >= 1`` where a branch on affine operands changes
+    outcome relative to iteration 0 (``_INF`` if it never does)."""
+    c = x[1] - y[1]
+    s = x[2] - y[2]
+    if s == 0:
+        return _INF
+    if op == OP_BLT:
+        if taken:  # c < 0; flips when c + s*i >= 0
+            return _ceil_div(-c, s) if s > 0 else _INF
+        return _ceil_div(c + 1, -s) if s < 0 else _INF
+    if op == OP_BGT:
+        if taken:  # c > 0; flips when c + s*i <= 0
+            return _ceil_div(c, -s) if s < 0 else _INF
+        return _ceil_div(1 - c, s) if s > 0 else _INF
+    if op == OP_BE:
+        if taken:  # c == 0; any nonzero slope flips immediately
+            return 1
+        if c % s == 0 and -c // s >= 1:
+            return -c // s
+        return _INF
+    # OP_BNE
+    if taken:
+        if c % s == 0 and -c // s >= 1:
+            return -c // s
+        return _INF
+    return 1
+
+
+# --------------------------------------------------------------------------
+# Walk 1: concrete, side-effect-free trace of one loop iteration
+# --------------------------------------------------------------------------
+
+class _Walk1:
+    __slots__ = ("path", "outcomes", "rbw_s", "rbw_v", "delta_s", "delta_v")
+
+
+def _walk1(sim, decoded, head: int) -> _Walk1:
+    """Execute one iteration from ``head`` against shadow state.
+
+    Records the exact µop path, every conditional-branch outcome, which
+    registers are read before written, and the net per-register deltas of
+    the iteration.  No simulator state (registers, memory, units, stats)
+    is modified.  Raises :class:`_Reject` for unsupported µops
+    (structural) or paths that do not return to ``head`` (transient).
+    """
+    cfg = sim.config
+    vlen = cfg.vector_length
+    spw = cfg.scratchpad_words
+    sp_data = sim.scratchpad._data
+    dram = sim.dram
+    dram_base = sim.dram_base
+    dram_size = dram.size
+    sregs = sim.sregs
+    vregs = sim.vregs
+    ops_l = decoded.ops
+    args_l = decoded.args
+    n = decoded.n
+
+    sh_s: Dict[int, int] = {}
+    sh_v: Dict[int, List[int]] = {}
+    sh_m: Dict[int, int] = {}
+    rbw_s = set()
+    rbw_v = set()
+    path: List[int] = []
+    outcomes: Dict[int, bool] = {}
+
+    def rs(r):
+        if r in sh_s:
+            return sh_s[r]
+        rbw_s.add(r)
+        return sregs[r]
+
+    def ws(r, v):
+        if r:
+            sh_s[r] = _to_signed32(v)
+
+    def rv(r):
+        if r in sh_v:
+            return sh_v[r]
+        rbw_v.add(r)
+        return vregs[r]
+
+    def peek(addr, count):
+        if addr < 0:
+            raise _Reject("negative address", False)
+        out = []
+        if addr + count <= spw:
+            for k in range(count):
+                aa = addr + k
+                out.append(sh_m[aa] if aa in sh_m else sp_data.get(aa, 0))
+            return out
+        if addr < spw:
+            raise _Reject("boundary straddle", False)
+        if addr - dram_base + count > dram_size:
+            raise _Reject("DRAM out of range", False)
+        for k in range(count):
+            aa = addr + k
+            out.append(sh_m[aa] if aa in sh_m else int(dram[aa - dram_base]))
+        return out
+
+    def poke(addr, values):
+        count = len(values)
+        if addr < 0:
+            raise _Reject("negative address", False)
+        if addr + count > spw and addr < spw:
+            raise _Reject("boundary straddle", False)
+        if addr >= spw and addr - dram_base + count > dram_size:
+            raise _Reject("DRAM out of range", False)
+        for k, v in enumerate(values):
+            sh_m[addr + k] = _to_signed32(v)
+
+    p = head
+    while True:
+        if len(path) >= MAX_PATH:
+            raise _Reject("trace path too long", True)
+        if not 0 <= p < n:
+            raise _Reject("walk left program", False)
+        op = ops_l[p]
+        a = args_l[p]
+        path.append(p)
+        np_ = p + 1
+        if op == OP_ADD:
+            ws(a[0], rs(a[1]) + rs(a[2]))
+        elif op == OP_SUB:
+            ws(a[0], rs(a[1]) - rs(a[2]))
+        elif op == OP_MULT:
+            ws(a[0], rs(a[1]) * rs(a[2]))
+        elif op == OP_ADDI:
+            ws(a[0], rs(a[1]) + a[2])
+        elif op == OP_SUBI:
+            ws(a[0], rs(a[1]) - a[2])
+        elif op == OP_MULTI:
+            ws(a[0], rs(a[1]) * a[2])
+        elif op == OP_POPCOUNT:
+            ws(a[0], bin(rs(a[1]) & _MASK32).count("1"))
+        elif op == OP_AND:
+            ws(a[0], rs(a[1]) & rs(a[2]))
+        elif op == OP_OR:
+            ws(a[0], rs(a[1]) | rs(a[2]))
+        elif op == OP_XOR:
+            ws(a[0], rs(a[1]) ^ rs(a[2]))
+        elif op == OP_NOT:
+            ws(a[0], ~rs(a[1]))
+        elif op == OP_ANDI:
+            ws(a[0], rs(a[1]) & a[2])
+        elif op == OP_ORI:
+            ws(a[0], rs(a[1]) | a[2])
+        elif op == OP_XORI:
+            ws(a[0], rs(a[1]) ^ a[2])
+        elif op == OP_SL_I or op == OP_SL_R:
+            sh = (rs(a[2]) if op == OP_SL_R else a[2]) & 31
+            ws(a[0], rs(a[1]) << sh)
+        elif op == OP_SR_I or op == OP_SR_R:
+            sh = (rs(a[2]) if op == OP_SR_R else a[2]) & 31
+            ws(a[0], (rs(a[1]) & _MASK32) >> sh)
+        elif op == OP_SRA_I or op == OP_SRA_R:
+            sh = (rs(a[2]) if op == OP_SRA_R else a[2]) & 31
+            ws(a[0], _to_signed32(rs(a[1])) >> sh)
+        elif op == OP_SFXP:
+            xorv = (rs(a[1]) ^ rs(a[2])) & _MASK32
+            ws(a[0], rs(a[0]) + bin(xorv).count("1"))
+        elif op == OP_VADD:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] + y[i]) for i in range(vlen)]
+        elif op == OP_VSUB:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] - y[i]) for i in range(vlen)]
+        elif op == OP_VMULT:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] * y[i]) for i in range(vlen)]
+        elif op == OP_VAND:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] & y[i]) for i in range(vlen)]
+        elif op == OP_VOR:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] | y[i]) for i in range(vlen)]
+        elif op == OP_VXOR:
+            x, y = rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [_to_signed32(x[i] ^ y[i]) for i in range(vlen)]
+        elif op == OP_VNOT:
+            sh_v[a[0]] = [_to_signed32(~v) for v in rv(a[1])]
+        elif op == OP_VPOPCOUNT:
+            sh_v[a[0]] = [bin(v & _MASK32).count("1") for v in rv(a[1])]
+        elif op == OP_VADDI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v + imm) for v in rv(a[1])]
+        elif op == OP_VSUBI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v - imm) for v in rv(a[1])]
+        elif op == OP_VMULTI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v * imm) for v in rv(a[1])]
+        elif op == OP_VANDI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v & imm) for v in rv(a[1])]
+        elif op == OP_VORI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v | imm) for v in rv(a[1])]
+        elif op == OP_VXORI:
+            imm = a[2]
+            sh_v[a[0]] = [_to_signed32(v ^ imm) for v in rv(a[1])]
+        elif op == OP_VSL_I or op == OP_VSL_R:
+            sh = (rs(a[2]) if op == OP_VSL_R else a[2]) & 31
+            sh_v[a[0]] = [_to_signed32(v << sh) for v in rv(a[1])]
+        elif op == OP_VSR_I or op == OP_VSR_R:
+            sh = (rs(a[2]) if op == OP_VSR_R else a[2]) & 31
+            sh_v[a[0]] = [(v & _MASK32) >> sh for v in rv(a[1])]
+        elif op == OP_VSRA_I or op == OP_VSRA_R:
+            sh = (rs(a[2]) if op == OP_VSRA_R else a[2]) & 31
+            sh_v[a[0]] = [_to_signed32(v) >> sh for v in rv(a[1])]
+        elif op == OP_VFXP:
+            d, x, y = rv(a[0]), rv(a[1]), rv(a[2])
+            sh_v[a[0]] = [
+                _to_signed32(d[i] + bin((x[i] ^ y[i]) & _MASK32).count("1"))
+                for i in range(vlen)
+            ]
+        elif op == OP_BNE:
+            taken = rs(a[0]) != rs(a[1])
+            outcomes[len(path) - 1] = taken
+            np_ = a[2] if taken else p + 1
+        elif op == OP_BE:
+            taken = rs(a[0]) == rs(a[1])
+            outcomes[len(path) - 1] = taken
+            np_ = a[2] if taken else p + 1
+        elif op == OP_BGT:
+            taken = rs(a[0]) > rs(a[1])
+            outcomes[len(path) - 1] = taken
+            np_ = a[2] if taken else p + 1
+        elif op == OP_BLT:
+            taken = rs(a[0]) < rs(a[1])
+            outcomes[len(path) - 1] = taken
+            np_ = a[2] if taken else p + 1
+        elif op == OP_J:
+            np_ = a[0]
+        elif op == OP_SVMOVE:
+            sh_v[a[0]] = [_to_signed32(rs(a[1]))] * vlen
+        elif op == OP_VSMOVE:
+            lane = a[2]
+            if not 0 <= lane < vlen:
+                raise _Reject("vsmove lane out of range", False)
+            ws(a[0], rv(a[1])[lane])
+        elif op == OP_LOAD:
+            ws(a[0], peek(rs(a[2]) + a[1], 1)[0])
+        elif op == OP_STORE:
+            poke(rs(a[2]) + a[1], [rs(a[0])])
+        elif op == OP_VLOAD:
+            sh_v[a[0]] = peek(rs(a[2]) + a[1], vlen)
+        elif op == OP_VSTORE:
+            poke(rs(a[2]) + a[1], list(rv(a[0])))
+        elif op == OP_MEM_FETCH:
+            rs(a[1])  # address register is read (rbw tracking)
+        elif op == OP_PQ_INSERT:
+            rs(a[0])
+            rs(a[1])
+        elif op == OP_NOP:
+            pass
+        elif op == OP_HALT:
+            raise _Reject("halt inside candidate loop", False)
+        else:
+            # push/pop/pqueue_load/pqueue_reset: stateful units the
+            # vectorizer does not model.
+            raise _Reject("unsupported µop in loop body", True)
+        p = np_
+        if p == head:
+            break
+
+    w = _Walk1()
+    w.path = path
+    w.outcomes = outcomes
+    w.rbw_s = rbw_s
+    w.rbw_v = rbw_v
+    w.delta_s = {r: v - sregs[r] for r, v in sh_s.items()}
+    w.delta_v = {
+        r: [v[j] - vregs[r][j] for j in range(vlen)] for r, v in sh_v.items()
+    }
+    return w
+
+
+# --------------------------------------------------------------------------
+# Walk 2: symbolic re-walk — affine classification + IR extraction
+# --------------------------------------------------------------------------
+#
+# Symbolic scalar values:  ("a", c0, c1)   = c0 + c1*i  (exact Python ints)
+#                          ("n", idx)      = IR node producing an (N,) array
+#                          ("c", reg)      = carried accumulator placeholder
+# Symbolic vector values:  ("va", c0s, c1s) per-lane affine tuples
+#                          ("n", idx)      = IR node producing (N, vlen)
+#                          ("c", reg)
+#
+# Affine values are kept UNWRAPPED; every register write of a sloped
+# affine records a cap on N such that the value stays inside signed-32
+# range for all replayed iterations (making the reference's wrap a
+# no-op).  Slope-0 results are computed with the reference's exact
+# concrete semantics (including the write-time wrap), so raw >=2^31
+# values from ``vsr`` survive bit-for-bit.
+
+class _InductionFail(Exception):
+    def __init__(self, failed_s, failed_v):
+        super().__init__("induction check failed")
+        self.failed_s = failed_s
+        self.failed_v = failed_v
+
+
+class _Trace:
+    __slots__ = ("path", "nodes", "sites", "sym_s", "sym_v", "written_s",
+                 "written_v", "carried_s", "carried_v", "cdelta_s",
+                 "cdelta_v", "n_cap")
+
+
+def _walk2(sim, decoded, w1: _Walk1) -> _Trace:
+    try:
+        return _symwalk(sim, decoded, w1, frozenset(), frozenset())
+    except _InductionFail as fail:
+        return _symwalk(sim, decoded, w1,
+                        frozenset(fail.failed_s), frozenset(fail.failed_v))
+
+
+def _symwalk(sim, decoded, w1: _Walk1, carried_s, carried_v) -> _Trace:
+    cfg = sim.config
+    vlen = cfg.vector_length
+    spw = cfg.scratchpad_words
+    sp_data = sim.scratchpad._data
+    dram = sim.dram
+    dram_base = sim.dram_base
+    dram_size = dram.size
+    sregs = sim.sregs
+    vregs = sim.vregs
+    ops_l = decoded.ops
+    args_l = decoded.args
+    ds = w1.delta_s
+    dv = w1.delta_v
+    zeros = (0,) * vlen
+
+    nodes: List[Tuple] = []
+    sites: List[dict] = []
+    caps: List[int] = [_INF]
+    sym_s: Dict[int, Tuple] = {}
+    sym_v: Dict[int, Tuple] = {}
+    written_s = set()
+    written_v = set()
+    cdelta_s: Dict[int, List] = {r: [] for r in carried_s}
+    cdelta_v: Dict[int, List] = {r: [] for r in carried_v}
+    have_pq = False
+
+    def chk(*syms):
+        for s in syms:
+            if s[0] == "c":
+                raise _Reject("carried accumulator escapes", True)
+
+    def rsym(r):
+        if r in carried_s:
+            return ("c", r)
+        s = sym_s.get(r)
+        if s is None:
+            return ("a", sregs[r], ds.get(r, 0))
+        return s
+
+    def rvsym(r):
+        if r in carried_v:
+            return ("c", r)
+        s = sym_v.get(r)
+        if s is None:
+            # Entry hypothesis: affine in the iteration index with walk1's
+            # observed per-lane delta (verified by the induction check, as
+            # for scalars; a zero slope here would silently freeze reads
+            # that happen before the register's write in the body).
+            return ("va", tuple(vregs[r]), tuple(dv.get(r, zeros)))
+        return s
+
+    def w_s(r, v):
+        if r == 0:
+            return
+        if r in carried_s:
+            raise _Reject("non-accumulate write to carried reg", True)
+        if v[0] == "a" and v[2] != 0:
+            cap = _range_cap(v[1], v[2], _INT32_MIN, _INT32_MAX)
+            if cap <= 0:
+                raise _Reject("value wraps during replay", False)
+            caps.append(cap)
+        sym_s[r] = v
+        written_s.add(r)
+
+    def w_v(r, v):
+        if r in carried_v:
+            raise _Reject("non-accumulate write to carried vreg", True)
+        if v[0] == "va":
+            for l0, l1 in zip(v[1], v[2]):
+                if l1 != 0:
+                    cap = _range_cap(l0, l1, _INT32_MIN, _INT32_MAX)
+                    if cap <= 0:
+                        raise _Reject("lane wraps during replay", False)
+                    caps.append(cap)
+        sym_v[r] = v
+        written_v.add(r)
+
+    def mk(node):
+        nodes.append(node)
+        return ("n", len(nodes) - 1)
+
+    def _saff(c0, c1):
+        return ("a", _to_signed32(c0), 0) if c1 == 0 else ("a", c0, c1)
+
+    def sbin(op, x, y):
+        chk(x, y)
+        if x[0] == "a" and y[0] == "a":
+            x0, x1, y0, y1 = x[1], x[2], y[1], y[2]
+            if op == OP_ADD:
+                return _saff(x0 + y0, x1 + y1)
+            if op == OP_SUB:
+                return _saff(x0 - y0, x1 - y1)
+            if op == OP_MULT and (x1 == 0 or y1 == 0):
+                return _saff(x0 * y0, x1 * y0 + x0 * y1)
+            if x1 == 0 and y1 == 0:
+                if op == OP_AND:
+                    return _saff(x0 & y0, 0)
+                if op == OP_OR:
+                    return _saff(x0 | y0, 0)
+                if op == OP_XOR:
+                    return _saff(x0 ^ y0, 0)
+        return mk(("sbin", op, x, y))
+
+    def sshift(op, x, sh):
+        chk(x)
+        if x[0] == "a" and x[2] == 0:
+            x0 = x[1]
+            if op == OP_SL_I:
+                return _saff(x0 << sh, 0)
+            if op == OP_SR_I:
+                return _saff((x0 & _MASK32) >> sh, 0)
+            return _saff(_to_signed32(x0) >> sh, 0)
+        return mk(("sun", op, x, sh))
+
+    def shift_amount(operand_is_reg, val):
+        if operand_is_reg:
+            s = rsym(val)
+            if s[0] != "a" or s[2] != 0:
+                raise _Reject("variable shift amount", True)
+            return s[1] & 31
+        return val & 31
+
+    def _vaff_norm(c0s, c1s):
+        return ("va",
+                tuple(_to_signed32(c0) if c1 == 0 else c0
+                      for c0, c1 in zip(c0s, c1s)),
+                tuple(c1s))
+
+    def vbin(op, x, y):
+        chk(x, y)
+        if x[0] == "va" and y[0] == "va":
+            x0, x1, y0, y1 = x[1], x[2], y[1], y[2]
+            if op == OP_VADD:
+                return _vaff_norm([a + b for a, b in zip(x0, y0)],
+                                  [a + b for a, b in zip(x1, y1)])
+            if op == OP_VSUB:
+                return _vaff_norm([a - b for a, b in zip(x0, y0)],
+                                  [a - b for a, b in zip(x1, y1)])
+            if op == OP_VMULT and (not any(x1) or not any(y1)):
+                return _vaff_norm(
+                    [a * b for a, b in zip(x0, y0)],
+                    [a * d + c * b for a, c, b, d in zip(x0, x1, y0, y1)])
+            if not any(x1) and not any(y1):
+                if op == OP_VAND:
+                    return _vaff_norm([a & b for a, b in zip(x0, y0)], zeros)
+                if op == OP_VOR:
+                    return _vaff_norm([a | b for a, b in zip(x0, y0)], zeros)
+                if op == OP_VXOR:
+                    return _vaff_norm([a ^ b for a, b in zip(x0, y0)], zeros)
+        return mk(("vbin", op, x, y))
+
+    def vun(op, x, sh):
+        chk(x)
+        if x[0] == "va" and not any(x[2]):
+            x0 = x[1]
+            if op == OP_VNOT:
+                return _vaff_norm([~v for v in x0], zeros)
+            if op == OP_VPOPCOUNT:
+                return ("va", tuple(bin(v & _MASK32).count("1") for v in x0),
+                        zeros)
+            if op == OP_VSL_I:
+                return _vaff_norm([v << sh for v in x0], zeros)
+            if op == OP_VSR_I:
+                return ("va", tuple((v & _MASK32) >> sh for v in x0), zeros)
+            if op == OP_VSRA_I:
+                return ("va", tuple(_to_signed32(v) >> sh for v in x0), zeros)
+        return mk(("vun", op, x, sh))
+
+    def addr_aff(base_reg, off):
+        b = rsym(base_reg)
+        if b[0] != "a":
+            raise _Reject("data-dependent address", True)
+        return b[1] + off, b[2]
+
+    def do_load(c0, c1, count):
+        """Returns concrete word list (invariant site) or an IR ref."""
+        if c0 < 0:
+            raise _Reject("negative address", False)
+        if c0 + count <= spw:
+            if c1 != 0:
+                raise _Reject("strided scratchpad load", True)
+            sites.append({"t": "load", "region": "sp", "c0": c0, "c1": 0,
+                          "count": count})
+            return [sp_data.get(c0 + k, 0) for k in range(count)]
+        if c0 < spw:
+            raise _Reject("boundary straddle", False)
+        cap = _range_cap(c0, c1, spw, spw + dram_size - count)
+        if cap <= 0:
+            raise _Reject("DRAM out of range", False)
+        caps.append(cap)
+        site = {"t": "load", "region": "dram", "c0": c0, "c1": c1,
+                "count": count}
+        sites.append(site)
+        if c1 == 0:
+            return [int(dram[c0 - dram_base + k]) for k in range(count)]
+        kind = "loadS" if count == 1 else "loadV"
+        return mk((kind, len(sites) - 1))
+
+    def do_store(c0, c1, count, val):
+        chk(val)
+        if c0 < 0:
+            raise _Reject("negative address", False)
+        if c0 + count <= spw:
+            if c1 != 0:
+                raise _Reject("strided scratchpad store", True)
+        elif c0 < spw:
+            raise _Reject("boundary straddle", False)
+        else:
+            cap = _range_cap(c0, c1, spw, spw + dram_size - count)
+            if cap <= 0:
+                raise _Reject("DRAM out of range", False)
+            caps.append(cap)
+            if c1 != 0 and abs(c1) < count:
+                raise _Reject("overlapping store stride", False)
+        region = "sp" if c0 + count <= spw else "dram"
+        sites.append({"t": "store", "region": region, "c0": c0, "c1": c1,
+                      "count": count, "val": val})
+
+    for idx, p in enumerate(w1.path):
+        op = ops_l[p]
+        a = args_l[p]
+        if op == OP_ADD:
+            if a[0] in carried_s and (a[1] == a[0] or a[2] == a[0]) \
+                    and not (a[1] == a[0] and a[2] == a[0]):
+                other = rsym(a[2] if a[1] == a[0] else a[1])
+                chk(other)
+                cdelta_s[a[0]].append(other)
+            else:
+                w_s(a[0], sbin(OP_ADD, rsym(a[1]), rsym(a[2])))
+        elif op == OP_ADDI:
+            if a[0] in carried_s and a[1] == a[0]:
+                cdelta_s[a[0]].append(("a", a[2], 0))
+            else:
+                w_s(a[0], sbin(OP_ADD, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_SUB:
+            if a[0] in carried_s and a[1] == a[0] and a[2] != a[0]:
+                other = rsym(a[2])
+                chk(other)
+                if other[0] != "a":
+                    raise _Reject("sub-accumulate of computed value", True)
+                cdelta_s[a[0]].append(("a", -other[1], -other[2]))
+            else:
+                w_s(a[0], sbin(OP_SUB, rsym(a[1]), rsym(a[2])))
+        elif op == OP_SUBI:
+            if a[0] in carried_s and a[1] == a[0]:
+                cdelta_s[a[0]].append(("a", -a[2], 0))
+            else:
+                w_s(a[0], sbin(OP_SUB, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_MULT:
+            w_s(a[0], sbin(OP_MULT, rsym(a[1]), rsym(a[2])))
+        elif op == OP_MULTI:
+            w_s(a[0], sbin(OP_MULT, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_AND:
+            w_s(a[0], sbin(OP_AND, rsym(a[1]), rsym(a[2])))
+        elif op == OP_OR:
+            w_s(a[0], sbin(OP_OR, rsym(a[1]), rsym(a[2])))
+        elif op == OP_XOR:
+            w_s(a[0], sbin(OP_XOR, rsym(a[1]), rsym(a[2])))
+        elif op == OP_ANDI:
+            w_s(a[0], sbin(OP_AND, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_ORI:
+            w_s(a[0], sbin(OP_OR, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_XORI:
+            w_s(a[0], sbin(OP_XOR, rsym(a[1]), ("a", a[2], 0)))
+        elif op == OP_NOT:
+            x = rsym(a[1])
+            chk(x)
+            if x[0] == "a" and x[2] == 0:
+                w_s(a[0], _saff(~x[1], 0))
+            else:
+                w_s(a[0], mk(("sun", OP_NOT, x, 0)))
+        elif op == OP_POPCOUNT:
+            x = rsym(a[1])
+            chk(x)
+            if x[0] == "a" and x[2] == 0:
+                w_s(a[0], _saff(bin(x[1] & _MASK32).count("1"), 0))
+            else:
+                w_s(a[0], mk(("sun", OP_POPCOUNT, x, 0)))
+        elif op == OP_SL_I or op == OP_SL_R:
+            sh = shift_amount(op == OP_SL_R, a[2])
+            w_s(a[0], sshift(OP_SL_I, rsym(a[1]), sh))
+        elif op == OP_SR_I or op == OP_SR_R:
+            sh = shift_amount(op == OP_SR_R, a[2])
+            w_s(a[0], sshift(OP_SR_I, rsym(a[1]), sh))
+        elif op == OP_SRA_I or op == OP_SRA_R:
+            sh = shift_amount(op == OP_SRA_R, a[2])
+            w_s(a[0], sshift(OP_SRA_I, rsym(a[1]), sh))
+        elif op == OP_SFXP:
+            x, y = rsym(a[1]), rsym(a[2])
+            chk(x, y)
+            if x[0] == "a" and y[0] == "a" and x[2] == 0 and y[2] == 0:
+                delta = ("a", bin((x[1] ^ y[1]) & _MASK32).count("1"), 0)
+            else:
+                delta = mk(("spcx", x, y))
+            if a[0] in carried_s:
+                cdelta_s[a[0]].append(delta)
+            else:
+                w_s(a[0], sbin(OP_ADD, rsym(a[0]), delta))
+        elif op == OP_VADD:
+            if a[0] in carried_v and (a[1] == a[0] or a[2] == a[0]) \
+                    and not (a[1] == a[0] and a[2] == a[0]):
+                other = rvsym(a[2] if a[1] == a[0] else a[1])
+                chk(other)
+                cdelta_v[a[0]].append(other)
+            else:
+                w_v(a[0], vbin(OP_VADD, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VSUB:
+            if a[0] in carried_v and a[1] == a[0] and a[2] != a[0]:
+                other = rvsym(a[2])
+                chk(other)
+                if other[0] != "va":
+                    raise _Reject("sub-accumulate of computed value", True)
+                cdelta_v[a[0]].append(
+                    ("va", tuple(-c for c in other[1]),
+                     tuple(-c for c in other[2])))
+            else:
+                w_v(a[0], vbin(OP_VSUB, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VMULT:
+            w_v(a[0], vbin(OP_VMULT, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VAND:
+            w_v(a[0], vbin(OP_VAND, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VOR:
+            w_v(a[0], vbin(OP_VOR, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VXOR:
+            w_v(a[0], vbin(OP_VXOR, rvsym(a[1]), rvsym(a[2])))
+        elif op == OP_VADDI:
+            imm = a[2]
+            if a[0] in carried_v and a[1] == a[0]:
+                cdelta_v[a[0]].append(("va", (imm,) * vlen, zeros))
+            else:
+                w_v(a[0], vbin(OP_VADD, rvsym(a[1]),
+                               ("va", (imm,) * vlen, zeros)))
+        elif op == OP_VSUBI:
+            imm = a[2]
+            if a[0] in carried_v and a[1] == a[0]:
+                cdelta_v[a[0]].append(("va", (-imm,) * vlen, zeros))
+            else:
+                w_v(a[0], vbin(OP_VSUB, rvsym(a[1]),
+                               ("va", (imm,) * vlen, zeros)))
+        elif op == OP_VMULTI:
+            w_v(a[0], vbin(OP_VMULT, rvsym(a[1]),
+                           ("va", (a[2],) * vlen, zeros)))
+        elif op == OP_VANDI:
+            w_v(a[0], vbin(OP_VAND, rvsym(a[1]),
+                           ("va", (a[2],) * vlen, zeros)))
+        elif op == OP_VORI:
+            w_v(a[0], vbin(OP_VOR, rvsym(a[1]),
+                           ("va", (a[2],) * vlen, zeros)))
+        elif op == OP_VXORI:
+            w_v(a[0], vbin(OP_VXOR, rvsym(a[1]),
+                           ("va", (a[2],) * vlen, zeros)))
+        elif op == OP_VNOT:
+            w_v(a[0], vun(OP_VNOT, rvsym(a[1]), 0))
+        elif op == OP_VPOPCOUNT:
+            w_v(a[0], vun(OP_VPOPCOUNT, rvsym(a[1]), 0))
+        elif op == OP_VSL_I or op == OP_VSL_R:
+            sh = shift_amount(op == OP_VSL_R, a[2])
+            w_v(a[0], vun(OP_VSL_I, rvsym(a[1]), sh))
+        elif op == OP_VSR_I or op == OP_VSR_R:
+            sh = shift_amount(op == OP_VSR_R, a[2])
+            w_v(a[0], vun(OP_VSR_I, rvsym(a[1]), sh))
+        elif op == OP_VSRA_I or op == OP_VSRA_R:
+            sh = shift_amount(op == OP_VSRA_R, a[2])
+            w_v(a[0], vun(OP_VSRA_I, rvsym(a[1]), sh))
+        elif op == OP_VFXP:
+            x, y = rvsym(a[1]), rvsym(a[2])
+            chk(x, y)
+            if x[0] == "va" and y[0] == "va" and not any(x[2]) \
+                    and not any(y[2]):
+                delta = ("va",
+                         tuple(bin((u ^ v) & _MASK32).count("1")
+                               for u, v in zip(x[1], y[1])), zeros)
+            else:
+                delta = mk(("vpcx", x, y))
+            if a[0] in carried_v:
+                cdelta_v[a[0]].append(delta)
+            else:
+                w_v(a[0], vbin(OP_VADD, rvsym(a[0]), delta))
+        elif op in COND_BRANCHES:
+            x, y = rsym(a[0]), rsym(a[1])
+            if x[0] != "a" or y[0] != "a":
+                raise _Reject("data-dependent branch", True)
+            caps.append(_first_flip(op, x, y, w1.outcomes[idx]))
+        elif op == OP_J or op == OP_NOP:
+            pass
+        elif op == OP_SVMOVE:
+            s = rsym(a[1])
+            chk(s)
+            if s[0] == "a":
+                c0 = _to_signed32(s[1]) if s[2] == 0 else s[1]
+                w_v(a[0], ("va", (c0,) * vlen, (s[2],) * vlen))
+            else:
+                w_v(a[0], mk(("bcast", s)))
+        elif op == OP_VSMOVE:
+            x = rvsym(a[1])
+            chk(x)
+            lane = a[2]
+            if x[0] == "va":
+                w_s(a[0], _saff(x[1][lane], 0) if x[2][lane] == 0
+                    else ("a", x[1][lane], x[2][lane]))
+            else:
+                w_s(a[0], mk(("lane", x, lane)))
+        elif op == OP_LOAD:
+            c0, c1 = addr_aff(a[2], a[1])
+            got = do_load(c0, c1, 1)
+            if isinstance(got, list):
+                w_s(a[0], _saff(got[0], 0))
+            else:
+                w_s(a[0], got)
+        elif op == OP_VLOAD:
+            c0, c1 = addr_aff(a[2], a[1])
+            got = do_load(c0, c1, vlen)
+            if isinstance(got, list):
+                w_v(a[0], ("va", tuple(got), zeros))
+            else:
+                w_v(a[0], got)
+        elif op == OP_STORE:
+            c0, c1 = addr_aff(a[2], a[1])
+            do_store(c0, c1, 1, rsym(a[0]))
+        elif op == OP_VSTORE:
+            c0, c1 = addr_aff(a[2], a[1])
+            do_store(c0, c1, vlen, rvsym(a[0]))
+        elif op == OP_MEM_FETCH:
+            c0, c1 = addr_aff(a[1], a[0])
+            sites.append({"t": "fetch", "c0": c0, "c1": c1})
+        elif op == OP_PQ_INSERT:
+            ident, val = rsym(a[0]), rsym(a[1])
+            chk(ident, val)
+            if have_pq:
+                raise _Reject("multiple priority-queue sites", True)
+            have_pq = True
+            sites.append({"t": "pq", "ident": ident, "val": val})
+        else:  # pragma: no cover - walk1 already rejected these
+            raise _Reject("unsupported µop", True)
+
+    # Induction check: every reg read before written must come back to
+    # exactly its affine hypothesis after one iteration.
+    failed_s = [r for r in w1.rbw_s
+                if r not in carried_s and sym_s.get(
+                    r, ("a", sregs[r], ds.get(r, 0)))
+                != ("a", sregs[r] + ds.get(r, 0), ds.get(r, 0))]
+    failed_v = []
+    for r in w1.rbw_v:
+        if r in carried_v:
+            continue
+        d = dv.get(r, [0] * vlen)
+        exp = ("va", tuple(vregs[r][j] + d[j] for j in range(vlen)), tuple(d))
+        got = sym_v.get(r, ("va", tuple(vregs[r]), tuple(d)))
+        if got != exp:
+            failed_v.append(r)
+    if failed_s or failed_v:
+        if carried_s or carried_v:
+            raise _Reject("non-affine loop induction", True)
+        raise _InductionFail(failed_s, failed_v)
+
+    tr = _Trace()
+    tr.path = w1.path
+    tr.nodes = nodes
+    tr.sites = sites
+    tr.sym_s = sym_s
+    tr.sym_v = sym_v
+    tr.written_s = written_s
+    tr.written_v = written_v
+    tr.carried_s = carried_s
+    tr.carried_v = carried_v
+    tr.cdelta_s = cdelta_s
+    tr.cdelta_v = cdelta_v
+    tr.n_cap = min(caps)
+    return tr
+
+
+# --------------------------------------------------------------------------
+# Replay: evaluate the trace IR over N iterations and commit in bulk
+# --------------------------------------------------------------------------
+
+def _try_vectorize(sim, decoded, head, max_instructions, executed,
+                   pc_extra) -> int:
+    """Trace the loop at ``head`` and replay N iterations vectorized.
+
+    Returns the number of instructions replayed; raises :class:`_Reject`
+    if the loop cannot (currently) be vectorized.  On success the
+    simulator state advances exactly as if the interpreter had executed
+    the iterations one by one.
+    """
+    w1 = _walk1(sim, decoded, head)
+    path_len = len(w1.path)
+    budget = (max_instructions - executed) // path_len
+    if budget < MIN_VEC:
+        raise _Reject("instruction budget nearly exhausted", False)
+    tr = _walk2(sim, decoded, w1)
+    chunk = max(MIN_VEC, CHUNK_UOPS // path_len)
+    n = min(tr.n_cap, budget, chunk)
+    if n < MIN_VEC:
+        raise _Reject("too few uniform iterations", False)
+    _replay(sim, tr, n)
+    for p, m in Counter(w1.path).items():
+        pc_extra[p] = pc_extra.get(p, 0) + m * n
+    return n * path_len
+
+
+def _replay(sim, tr: _Trace, N: int) -> None:
+    cfg = sim.config
+    vlen = cfg.vector_length
+    dram = sim.dram
+    dram_base = sim.dram_base
+    sp = sim.scratchpad
+    stats = sim.stats
+    sregs = sim.sregs
+    vregs = sim.vregs
+    i_arr = np.arange(N, dtype=np.int64)
+
+    # -- validate memory disjointness before touching any state ----------
+    def site_range(s):
+        last = s["c0"] + s["c1"] * (N - 1)
+        return min(s["c0"], last), max(s["c0"], last) + s["count"] - 1
+
+    loads = [s for s in tr.sites if s["t"] == "load"]
+    stores = [s for s in tr.sites if s["t"] == "store"]
+    for st in stores:
+        lo, hi = site_range(st)
+        for other in loads + stores:
+            if other is st:
+                continue
+            lo2, hi2 = site_range(other)
+            if lo <= hi2 and lo2 <= hi:
+                raise _Reject("aliasing memory sites", False)
+
+    # -- evaluate the IR (read-only) -------------------------------------
+    vals: List[np.ndarray] = []
+
+    def mat_s(sym):
+        if sym[0] == "a":
+            if sym[2] == 0:
+                return np.full(N, sym[1], dtype=np.int64)
+            return sym[1] + sym[2] * i_arr
+        return vals[sym[1]]
+
+    def mat_v(sym):
+        if sym[0] == "va":
+            c0 = np.asarray(sym[1], dtype=np.int64)
+            c1 = np.asarray(sym[2], dtype=np.int64)
+            return c0[None, :] + i_arr[:, None] * c1[None, :]
+        return vals[sym[1]]
+
+    for node in tr.nodes:
+        k = node[0]
+        if k == "sbin":
+            _, op, x, y = node
+            A, B = mat_s(x), mat_s(y)
+            if op == OP_ADD:
+                r = _wrap32(A + B)
+            elif op == OP_SUB:
+                r = _wrap32(A - B)
+            elif op == OP_MULT:
+                r = _wrap32(A * B)
+            elif op == OP_AND:
+                r = _wrap32(A & B)
+            elif op == OP_OR:
+                r = _wrap32(A | B)
+            else:
+                r = _wrap32(A ^ B)
+        elif k == "sun":
+            _, op, x, sh = node
+            A = mat_s(x)
+            if op == OP_NOT:
+                r = _wrap32(~A)
+            elif op == OP_POPCOUNT:
+                r = _popcount32(A)
+            elif op == OP_SL_I:
+                r = _wrap32(A << sh)
+            elif op == OP_SR_I:
+                r = _wrap32((A & _MASK32) >> sh)
+            else:  # OP_SRA_I
+                r = _wrap32(A) >> sh
+        elif k == "spcx":
+            r = _popcount32(mat_s(node[1]) ^ mat_s(node[2]))
+        elif k == "vbin":
+            _, op, x, y = node
+            A, B = mat_v(x), mat_v(y)
+            if op == OP_VADD:
+                r = _wrap32(A + B)
+            elif op == OP_VSUB:
+                r = _wrap32(A - B)
+            elif op == OP_VMULT:
+                r = _wrap32(A * B)
+            elif op == OP_VAND:
+                r = _wrap32(A & B)
+            elif op == OP_VOR:
+                r = _wrap32(A | B)
+            else:
+                r = _wrap32(A ^ B)
+        elif k == "vun":
+            _, op, x, sh = node
+            A = mat_v(x)
+            if op == OP_VNOT:
+                r = _wrap32(~A)
+            elif op == OP_VPOPCOUNT:
+                r = _popcount32(A)
+            elif op == OP_VSL_I:
+                r = _wrap32(A << sh)
+            elif op == OP_VSR_I:
+                r = (A & _MASK32) >> sh  # raw, matching the interpreter
+            else:  # OP_VSRA_I
+                r = _wrap32(A) >> sh
+        elif k == "vpcx":
+            r = _popcount32(mat_v(node[1]) ^ mat_v(node[2]))
+        elif k == "bcast":
+            r = np.repeat(_wrap32(mat_s(node[1]))[:, None], vlen, axis=1)
+        elif k == "lane":
+            r = _wrap32(mat_v(node[1])[:, node[2]])
+        elif k == "loadS":
+            s = tr.sites[node[1]]
+            r = dram[(s["c0"] - dram_base) + s["c1"] * i_arr]
+        else:  # loadV
+            s = tr.sites[node[1]]
+            idx = (s["c0"] - dram_base) + s["c1"] * i_arr
+            r = dram[idx[:, None] + np.arange(s["count"], dtype=np.int64)]
+        vals.append(r)
+
+    # -- commit: memory stores -------------------------------------------
+    for s in stores:
+        count = s["count"]
+        c0, c1 = s["c0"], s["c1"]
+        if count == 1:
+            arr = _wrap32(mat_s(s["val"]))
+            if s["region"] == "sp":
+                sp._data[c0] = int(arr[-1])
+                sp.writes += N
+            elif c1 == 0:
+                dram[c0 - dram_base] = arr[-1]
+                stats.dram_bytes_written += 4 * N
+            else:
+                dram[(c0 - dram_base) + c1 * i_arr] = arr
+                stats.dram_bytes_written += 4 * N
+        else:
+            arr = _wrap32(mat_v(s["val"]))
+            if s["region"] == "sp":
+                last = arr[-1]
+                for k2 in range(count):
+                    sp._data[c0 + k2] = int(last[k2])
+                sp.writes += count * N
+            elif c1 == 0:
+                off = c0 - dram_base
+                dram[off:off + count] = arr[-1]
+                stats.dram_bytes_written += 4 * count * N
+            else:
+                idx = (c0 - dram_base) + c1 * i_arr
+                dram[idx[:, None] + np.arange(count, dtype=np.int64)] = arr
+                stats.dram_bytes_written += 4 * count * N
+
+    # -- commit: load counters -------------------------------------------
+    for s in loads:
+        if s["region"] == "sp":
+            sp.reads += s["count"] * N
+        else:
+            stats.dram_bytes_read += 4 * s["count"] * N
+
+    # -- commit: stream-prefetch accounting ------------------------------
+    chain = [s for s in tr.sites
+             if s["t"] == "fetch"
+             or (s["t"] in ("load", "store") and s["region"] == "dram")]
+    if chain:
+        afters = []
+        for s in chain:
+            addr = s["c0"] + s["c1"] * i_arr
+            afters.append(addr + s["count"] if s["t"] != "fetch" else addr)
+        window = cfg.stream_window_words
+        misses = 0
+        prev = np.empty(N, dtype=np.int64)
+        prev[0] = sim._stream_ptr
+        prev[1:] = afters[-1][:-1]
+        for j, s in enumerate(chain):
+            if j > 0:
+                prev = afters[j - 1]
+            if s["t"] == "fetch":
+                continue
+            addr = s["c0"] + s["c1"] * i_arr
+            miss = (addr < prev) | (addr > prev + window)
+            misses += int(miss.sum())
+        stats.stream_misses += misses
+        stats.cycles += misses * cfg.dram_latency_cycles
+        sim._stream_ptr = int(afters[-1][-1])
+
+    # -- commit: priority-queue site -------------------------------------
+    for s in tr.sites:
+        if s["t"] != "pq":
+            continue
+        ids = [int(x) for x in mat_s(s["ident"])]
+        vs = [int(x) for x in mat_s(s["val"])]
+        q = sim.pqueue
+        ins0 = q.inserts
+        j = 0
+        # Fill serially until the queue is full; then only values beating
+        # the current k-th survive (a losing insert is a no-op with zero
+        # shifts, so skipping it is exact for both state and counters).
+        while j < N and len(q.entries) < q.depth:
+            q.insert(ids[j], vs[j])
+            j += 1
+        if j < N:
+            rest = np.asarray(vs[j:], dtype=np.int64)
+            for t in np.nonzero(rest < q.entries[-1][0])[0]:
+                t = int(t) + j
+                if vs[t] < q.entries[-1][0]:
+                    q.insert(ids[t], vs[t])
+        q.inserts = ins0 + N
+
+    # -- commit: registers -------------------------------------------------
+    for r in tr.written_s:
+        sym = tr.sym_s[r]
+        if sym[0] == "a":
+            sregs[r] = int(sym[1] + sym[2] * (N - 1))
+        else:
+            sregs[r] = int(vals[sym[1]][N - 1])
+    for r in tr.carried_s:
+        total = 0
+        for d in tr.cdelta_s[r]:
+            if d[0] == "a":
+                total += N * d[1] + d[2] * (N * (N - 1) // 2)
+            else:
+                total += int(vals[d[1]].sum())
+        sregs[r] = _to_signed32(sregs[r] + total)
+    for r in tr.written_v:
+        sym = tr.sym_v[r]
+        if sym[0] == "va":
+            vregs[r] = [int(c0 + c1 * (N - 1))
+                        for c0, c1 in zip(sym[1], sym[2])]
+        else:
+            vregs[r] = [int(x) for x in vals[sym[1]][N - 1]]
+    for r in tr.carried_v:
+        totals = [0] * vlen
+        for d in tr.cdelta_v[r]:
+            if d[0] == "va":
+                for lane in range(vlen):
+                    totals[lane] += N * d[1][lane] \
+                        + d[2][lane] * (N * (N - 1) // 2)
+            else:
+                ssum = vals[d[1]].sum(axis=0)
+                for lane in range(vlen):
+                    totals[lane] += int(ssum[lane])
+        vregs[r] = [_to_signed32(vregs[r][lane] + totals[lane])
+                    for lane in range(vlen)]

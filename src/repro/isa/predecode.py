@@ -1,0 +1,286 @@
+"""Predecode layer: lower a :class:`Program` into basic blocks of micro-ops.
+
+The reference interpreter (:meth:`repro.isa.simulator.Simulator.run` with
+``engine="interp"``) dispatches on mnemonic strings and chases
+``Instruction.spec`` attributes on every dynamic instruction.  This module
+lowers a program **once** into a flat micro-op form designed for fast
+execution:
+
+- integer opcodes (``OP_*`` constants) instead of string compares;
+- operand tuples flattened to plain ints — reg-or-imm slots (``sl``,
+  ``pqueue_load``, ...) are split into distinct ``_R``/``_I`` opcodes so
+  the hot loop never inspects operand kind tags;
+- memory operands pre-split into ``(reg, offset, base)``;
+- basic blocks (single entry, single exit) with per-block instruction
+  counts and static cycle/category/name deltas, so the executor can
+  account statistics once per block instead of once per instruction.
+
+The decoded form is cached on the ``Program`` object (``_decoded``), so
+repeated ``run()`` calls — the common case in experiment sweeps — pay for
+decoding once.  Decoding is machine-independent: anything that depends on
+:class:`~repro.isa.simulator.MachineConfig` (vector memory port cycles,
+vector length) is resolved by the execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import SPEC_BY_NAME
+from repro.isa.program import Program
+
+__all__ = ["DecodedProgram", "BasicBlock", "predecode"]
+
+# --------------------------------------------------------------------- opcodes
+# Scalar ALU
+OP_ADD = 0
+OP_SUB = 1
+OP_MULT = 2
+OP_ADDI = 3
+OP_SUBI = 4
+OP_MULTI = 5
+OP_POPCOUNT = 6
+OP_AND = 7
+OP_OR = 8
+OP_XOR = 9
+OP_NOT = 10
+OP_ANDI = 11
+OP_ORI = 12
+OP_XORI = 13
+OP_SL_I = 14
+OP_SL_R = 15
+OP_SR_I = 16
+OP_SR_R = 17
+OP_SRA_I = 18
+OP_SRA_R = 19
+OP_SFXP = 20
+# Vector ALU
+OP_VADD = 21
+OP_VSUB = 22
+OP_VMULT = 23
+OP_VAND = 24
+OP_VOR = 25
+OP_VXOR = 26
+OP_VNOT = 27
+OP_VPOPCOUNT = 28
+OP_VADDI = 29
+OP_VSUBI = 30
+OP_VMULTI = 31
+OP_VANDI = 32
+OP_VORI = 33
+OP_VXORI = 34
+OP_VSL_I = 35
+OP_VSL_R = 36
+OP_VSR_I = 37
+OP_VSR_R = 38
+OP_VSRA_I = 39
+OP_VSRA_R = 40
+OP_VFXP = 41
+# Control
+OP_BNE = 42
+OP_BE = 43
+OP_BGT = 44
+OP_BLT = 45
+OP_J = 46
+# Stack
+OP_PUSH = 47
+OP_POP = 48
+# Moves
+OP_SVMOVE = 49
+OP_VSMOVE = 50
+# Memory
+OP_LOAD = 51
+OP_STORE = 52
+OP_VLOAD = 53
+OP_VSTORE = 54
+OP_MEM_FETCH = 55
+# SSAM units
+OP_PQ_INSERT = 56
+OP_PQ_LOAD_I = 57
+OP_PQ_LOAD_R = 58
+OP_PQ_RESET = 59
+# System
+OP_HALT = 60
+OP_NOP = 61
+
+N_OPCODES = 62
+
+#: Opcodes that terminate a basic block (may redirect or stop control flow).
+TERMINATORS = frozenset({OP_BNE, OP_BE, OP_BGT, OP_BLT, OP_J, OP_HALT})
+
+#: Conditional branches (two compare registers + target).
+COND_BRANCHES = frozenset({OP_BNE, OP_BE, OP_BGT, OP_BLT})
+
+_SIMPLE = {
+    "add": OP_ADD, "sub": OP_SUB, "mult": OP_MULT,
+    "addi": OP_ADDI, "subi": OP_SUBI, "multi": OP_MULTI,
+    "popcount": OP_POPCOUNT, "and": OP_AND, "or": OP_OR, "xor": OP_XOR,
+    "not": OP_NOT, "andi": OP_ANDI, "ori": OP_ORI, "xori": OP_XORI,
+    "sfxp": OP_SFXP,
+    "vadd": OP_VADD, "vsub": OP_VSUB, "vmult": OP_VMULT,
+    "vand": OP_VAND, "vor": OP_VOR, "vxor": OP_VXOR,
+    "vnot": OP_VNOT, "vpopcount": OP_VPOPCOUNT,
+    "vaddi": OP_VADDI, "vsubi": OP_VSUBI, "vmulti": OP_VMULTI,
+    "vandi": OP_VANDI, "vori": OP_VORI, "vxori": OP_VXORI,
+    "vfxp": OP_VFXP,
+    "bne": OP_BNE, "be": OP_BE, "bgt": OP_BGT, "blt": OP_BLT, "j": OP_J,
+    "push": OP_PUSH, "pop": OP_POP,
+    "svmove": OP_SVMOVE, "vsmove": OP_VSMOVE,
+    "pqueue_insert": OP_PQ_INSERT, "pqueue_reset": OP_PQ_RESET,
+    "halt": OP_HALT, "nop": OP_NOP,
+}
+
+_SHIFTS = {
+    "sl": (OP_SL_R, OP_SL_I), "sr": (OP_SR_R, OP_SR_I), "sra": (OP_SRA_R, OP_SRA_I),
+    "vsl": (OP_VSL_R, OP_VSL_I), "vsr": (OP_VSR_R, OP_VSR_I),
+    "vsra": (OP_VSRA_R, OP_VSRA_I),
+}
+
+_MEM = {"load": OP_LOAD, "store": OP_STORE, "vload": OP_VLOAD, "vstore": OP_VSTORE}
+
+_VMEM_OPS = frozenset({OP_VLOAD, OP_VSTORE})
+
+
+def _lower(name: str, ops: Tuple) -> Tuple[int, Tuple]:
+    """Lower one assembled instruction to ``(opcode, flat_args)``."""
+    if name in _SIMPLE:
+        return _SIMPLE[name], tuple(ops)
+    if name in _SHIFTS:
+        op_r, op_i = _SHIFTS[name]
+        kind, value = ops[2]
+        return (op_r if kind == "r" else op_i), (ops[0], ops[1], value)
+    if name in _MEM:
+        off, base = ops[1]
+        return _MEM[name], (ops[0], off, base)
+    if name == "mem_fetch":
+        off, base = ops[0]
+        return OP_MEM_FETCH, (off, base)
+    if name == "pqueue_load":
+        kind, value = ops[1]
+        return (OP_PQ_LOAD_R if kind == "r" else OP_PQ_LOAD_I), (ops[0], value, ops[2])
+    raise ValueError(f"cannot predecode unknown instruction {name!r}")
+
+
+@dataclass
+class BasicBlock:
+    """One single-entry single-exit span of micro-ops.
+
+    ``start``/``end`` are inclusive pc bounds.  The deltas are what one
+    full execution of the block adds to the run statistics (excluding
+    machine-dependent vector-memory port cycles and dynamic DRAM latency,
+    which the engines account separately).
+    """
+
+    index: int
+    start: int
+    end: int
+    length: int
+    issue_cycles: int
+    n_vmem: int
+    category_delta: Dict[str, int]
+    name_delta: Dict[str, int]
+
+
+@dataclass
+class DecodedProgram:
+    """Flat micro-op arrays plus the basic-block structure of a program."""
+
+    program: Program
+    n: int
+    ops: List[int]
+    args: List[Tuple]
+    issue: List[int]
+    names: List[str]
+    cats: List[str]
+    vmem: List[bool]
+    blocks: List[BasicBlock] = field(default_factory=list)
+    block_of: List[int] = field(default_factory=list)
+    issue_arr: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    vmem_arr: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: Per-config vectorizer state (rejected loop heads etc.), keyed by the
+    #: engine's config signature.  Populated lazily by repro.isa.fastpath.
+    trace_state: Dict = field(default_factory=dict)
+
+    def cycle_weights(self, vload_extra: int) -> np.ndarray:
+        """Static cycles charged per retirement of each pc."""
+        return self.issue_arr + vload_extra * self.vmem_arr
+
+
+def _find_leaders(ops: List[int], args: List[Tuple], n: int) -> List[int]:
+    leaders = {0} if n else set()
+    for pc in range(n):
+        op = ops[pc]
+        if op in COND_BRANCHES:
+            leaders.add(args[pc][2])
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op == OP_J:
+            leaders.add(args[pc][0])
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op == OP_HALT:
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def predecode(program: Program) -> DecodedProgram:
+    """Lower ``program`` to micro-ops; cached on the program object."""
+    cached = getattr(program, "_decoded", None)
+    if cached is not None and cached.program is program:
+        return cached
+
+    n = len(program.instructions)
+    ops: List[int] = []
+    args: List[Tuple] = []
+    issue: List[int] = []
+    names: List[str] = []
+    cats: List[str] = []
+    vmem: List[bool] = []
+    for ins in program.instructions:
+        opcode, flat = _lower(ins.name, ins.operands)
+        spec = SPEC_BY_NAME[ins.name]
+        ops.append(opcode)
+        args.append(flat)
+        issue.append(spec.issue_cycles)
+        names.append(ins.name)
+        cats.append(spec.category.value)
+        vmem.append(opcode in _VMEM_OPS)
+
+    decoded = DecodedProgram(
+        program=program, n=n, ops=ops, args=args, issue=issue,
+        names=names, cats=cats, vmem=vmem,
+    )
+
+    leaders = _find_leaders(ops, args, n)
+    block_of = [0] * n
+    blocks: List[BasicBlock] = []
+    for bi, start in enumerate(leaders):
+        end = (leaders[bi + 1] - 1) if bi + 1 < len(leaders) else n - 1
+        # A block also ends at its first terminator (defensive; terminators
+        # always create a leader right after them, so end is already correct).
+        cat_delta: Dict[str, int] = {}
+        name_delta: Dict[str, int] = {}
+        cyc = 0
+        nv = 0
+        for pc in range(start, end + 1):
+            block_of[pc] = bi
+            cyc += issue[pc]
+            nv += 1 if vmem[pc] else 0
+            cat_delta[cats[pc]] = cat_delta.get(cats[pc], 0) + 1
+            name_delta[names[pc]] = name_delta.get(names[pc], 0) + 1
+        blocks.append(BasicBlock(
+            index=bi, start=start, end=end, length=end - start + 1,
+            issue_cycles=cyc, n_vmem=nv,
+            category_delta=cat_delta, name_delta=name_delta,
+        ))
+
+    decoded.blocks = blocks
+    decoded.block_of = block_of
+    decoded.issue_arr = np.asarray(issue, dtype=np.int64)
+    decoded.vmem_arr = np.asarray(vmem, dtype=np.int64)
+    program._decoded = decoded
+    return decoded

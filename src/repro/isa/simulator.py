@@ -258,7 +258,7 @@ class Simulator:
     # ------------------------------------------------------------------ run
     def run(self, program: Program, max_instructions: int = 50_000_000,
             reset_stats: bool = True, trace: Optional[list] = None,
-            trace_limit: int = 10_000) -> RunStats:
+            trace_limit: int = 10_000, engine: str = "auto") -> RunStats:
         """Execute ``program`` until HALT; returns the run statistics.
 
         Raises :class:`SimulatorError` if the PC leaves the program, the
@@ -268,13 +268,76 @@ class Simulator:
         Pass a list as ``trace`` to record the first ``trace_limit``
         executed instructions as ``(pc, mnemonic, cycle)`` tuples — the
         toolchain's debugging view ("validate the correctness of our
-        design", paper Section IV).
+        design", paper Section IV).  Tracing always uses the reference
+        interpreter.
+
+        ``engine`` selects the execution strategy (never the semantics or
+        the timing model — all engines produce bit-identical architectural
+        state and :class:`RunStats`, enforced by the differential tests):
+
+        - ``"interp"``: the reference interpreter, one instruction per
+          Python loop iteration.  The oracle everything else is tested
+          against.
+        - ``"predecode"``: interpreter over the predecoded micro-op /
+          basic-block form (:mod:`repro.isa.predecode`), with per-block
+          statistics accounting.
+        - ``"trace"``: ``predecode`` plus the hot-loop trace vectorizer
+          (:mod:`repro.isa.fastpath`), which replays steady-state loop
+          iterations as NumPy array operations.  Vectorization requires
+          ``strict32``; otherwise it transparently degrades to
+          ``predecode``.
+        - ``"auto"`` (default): ``trace``, or ``interp`` when a debug
+          ``trace`` list is supplied.
         """
+        if engine not in ("auto", "interp", "predecode", "trace"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected auto|interp|predecode|trace"
+            )
         if reset_stats:
             self.stats = RunStats()
             self._stream_ptr = -1
             sp = self.scratchpad
             sp.reads = sp.writes = 0
+        stats = self.stats
+        cfg = self.config
+        pq0_inserts = self.pqueue.inserts
+        pq0_shifts = self.pqueue.shifts
+        st0_push, st0_pop = self.stack.pushes, self.stack.pops
+        sp0_r, sp0_w = self.scratchpad.reads, self.scratchpad.writes
+
+        use_fast = engine in ("predecode", "trace") or (
+            engine == "auto" and trace is None
+        )
+        try:
+            if use_fast:
+                from repro.isa.fastpath import run_fast
+
+                vectorize = engine != "predecode" and cfg.strict32
+                run_fast(self, program, max_instructions, vectorize=vectorize)
+            else:
+                self._run_reference(program, max_instructions, trace, trace_limit)
+        finally:
+            stats.pq_inserts = self.pqueue.inserts - pq0_inserts
+            stats.pq_shifts = self.pqueue.shifts - pq0_shifts
+            stats.stack_pushes = self.stack.pushes - st0_push
+            stats.stack_pops = self.stack.pops - st0_pop
+            stats.scratchpad_reads = self.scratchpad.reads - sp0_r
+            stats.scratchpad_writes = self.scratchpad.writes - sp0_w
+            stats._seconds = stats.cycles / cfg.frequency_hz
+        return stats
+
+    def _run_reference(self, program: Program, max_instructions: int,
+                       trace: Optional[list], trace_limit: int) -> None:
+        """The reference interpreter: one instruction per loop iteration.
+
+        Per-instruction work is kept minimal: mnemonics/operands/issue
+        cycles are hoisted into flat lists once per run (no ``spec``
+        attribute chasing), dynamic instruction counts go to a per-pc
+        array folded into the ``counts_by_*`` dicts on exit (no dict
+        get/set churn in the loop), and the debug-trace branch collapses
+        to a single local boolean that switches off once the trace list
+        is full.
+        """
         stats = self.stats
         cfg = self.config
         vlen = cfg.vector_length
@@ -283,13 +346,17 @@ class Simulator:
         vregs = self.vregs
         code = program.instructions
         n_code = len(code)
-        pq0_inserts = self.pqueue.inserts
-        pq0_shifts = self.pqueue.shifts
-        st0_push, st0_pop = self.stack.pushes, self.stack.pops
-        sp0_r, sp0_w = self.scratchpad.reads, self.scratchpad.writes
+
+        # Hoisted per-pc decode: one pass, then the loop touches lists only.
+        names = [ins.name for ins in code]
+        operands = [ins.operands for ins in code]
+        issue = [SPEC_BY_NAME[n].issue_cycles for n in names]
+        pcc = [0] * n_code  # dynamic retirement counts per pc
 
         pc = 0
         executed = 0
+        cyc = 0  # locally accumulated issue cycles (stats.cycles += at exit)
+        do_trace = trace is not None and trace_limit > 0
         norm = self._norm
         try:
             while True:
@@ -299,17 +366,15 @@ class Simulator:
                     )
                 if not 0 <= pc < n_code:
                     raise SimulatorError(f"PC {pc} outside program [0, {n_code})")
-                ins = code[pc]
-                name = ins.name
-                ops = ins.operands
-                spec = ins.spec
+                name = names[pc]
+                ops = operands[pc]
                 executed += 1
-                stats.cycles += spec.issue_cycles
-                if trace is not None and len(trace) < trace_limit:
-                    trace.append((pc, name, stats.cycles))
-                cat = spec.category.value
-                stats.counts_by_category[cat] = stats.counts_by_category.get(cat, 0) + 1
-                stats.counts_by_name[name] = stats.counts_by_name.get(name, 0) + 1
+                cyc += issue[pc]
+                pcc[pc] += 1
+                if do_trace:
+                    trace.append((pc, name, cyc + stats.cycles))
+                    if len(trace) >= trace_limit:
+                        do_trace = False
                 next_pc = pc + 1
 
                 # --- scalar ALU ------------------------------------------------
@@ -482,13 +547,15 @@ class Simulator:
                 pc = next_pc
         except UnitError as exc:
             raise SimulatorError(f"at pc={pc} ({code[pc]}): {exc}") from exc
-
-        stats.instructions = executed
-        stats.pq_inserts = self.pqueue.inserts - pq0_inserts
-        stats.pq_shifts = self.pqueue.shifts - pq0_shifts
-        stats.stack_pushes = self.stack.pushes - st0_push
-        stats.stack_pops = self.stack.pops - st0_pop
-        stats.scratchpad_reads = self.scratchpad.reads - sp0_r
-        stats.scratchpad_writes = self.scratchpad.writes - sp0_w
-        stats._seconds = stats.cycles / cfg.frequency_hz
-        return stats
+        finally:
+            stats.instructions = executed
+            stats.cycles += cyc
+            cbn = stats.counts_by_name
+            cbc = stats.counts_by_category
+            for i in range(n_code):
+                c = pcc[i]
+                if c:
+                    nm = names[i]
+                    cbn[nm] = cbn.get(nm, 0) + c
+                    cat = SPEC_BY_NAME[nm].category.value
+                    cbc[cat] = cbc.get(cat, 0) + c

@@ -1,0 +1,457 @@
+"""Differential tests for the tiered execution engine.
+
+The fast paths (``engine="predecode"`` block dispatch, ``engine="trace"``
+hot-loop vectorization) are execution strategies, not new timing models:
+for any program they must leave the machine in exactly the state the
+reference interpreter (``engine="interp"``) leaves it in, and report
+exactly the same ``RunStats``.  These tests enforce that bit-for-bit
+
+- on every kernel generator in :mod:`repro.core.kernels` at
+  VLEN ∈ {2, 4, 8, 16}, and
+- on hypothesis-generated random loop programs (which exercise the
+  vectorizer's induction/affine analysis on shapes no kernel has).
+
+Also covered here: the predecode layer's block structure, and the
+kernel-simulation cache (:mod:`repro.core.simcache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import HierarchicalKMeansTree, MultiProbeLSH, RandomizedKDForest
+from repro.ann.pq import ProductQuantizer
+from repro.core.kernels import (
+    batched_euclidean_scan_kernel,
+    cosine_scan_kernel,
+    euclidean_scan_kernel,
+    hamming_scan_kernel,
+    kdtree_kernel,
+    kmeans_tree_kernel,
+    manhattan_scan_kernel,
+    mplsh_kernel,
+    pq_adc_scan_kernel,
+)
+from repro.core.simcache import clear_caches, get_cache
+from repro.isa import MachineConfig, Simulator, assemble, predecode
+from repro.isa.predecode import COND_BRANCHES, TERMINATORS
+
+RNG = np.random.default_rng(42)
+N, D, K = 48, 12, 5
+DATA = RNG.standard_normal((N, D)) * 2.0
+QUERY = RNG.standard_normal(D)
+CODES = RNG.integers(0, 1 << 32, size=(N, 6), dtype=np.uint64).astype(np.uint32)
+QCODE = RNG.integers(0, 1 << 32, size=6, dtype=np.uint64).astype(np.uint32)
+
+VLENS = [2, 4, 8, 16]
+
+
+# ------------------------------------------------------------------ helpers
+def _machine_state(sim: Simulator) -> dict:
+    """Every piece of architectural state an engine could corrupt."""
+    return {
+        "sregs": list(sim.sregs),
+        "vregs": [list(v) for v in sim.vregs],
+        "scratchpad": dict(sim.scratchpad._data),
+        "dram": sim.dram.copy(),
+        "pq_entries": list(sim.pqueue.entries),
+        "stack": list(sim.stack._items),
+        "stream_ptr": sim._stream_ptr,
+    }
+
+
+def _assert_same_state(a: Simulator, b: Simulator) -> None:
+    sa, sb = _machine_state(a), _machine_state(b)
+    assert sa["sregs"] == sb["sregs"]
+    assert sa["vregs"] == sb["vregs"]
+    assert sa["scratchpad"] == sb["scratchpad"]
+    np.testing.assert_array_equal(sa["dram"], sb["dram"])
+    assert sa["pq_entries"] == sb["pq_entries"]
+    assert sa["stack"] == sb["stack"]
+    assert sa["stream_ptr"] == sb["stream_ptr"]
+
+
+def _assert_same_stats(a, b) -> None:
+    """Every RunStats field — counters, dicts, and derived time."""
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    assert da == db, {k: (da[k], db[k]) for k in da if da[k] != db[k]}
+
+
+def _run_engines(program, make_sim, engines=("interp", "trace"), **kwargs):
+    results = []
+    for engine in engines:
+        sim = make_sim()
+        stats = sim.run(program, engine=engine, **kwargs)
+        results.append((sim, stats))
+    (ref_sim, ref_stats) = results[0]
+    for sim, stats in results[1:]:
+        _assert_same_state(ref_sim, sim)
+        _assert_same_stats(ref_stats, stats)
+    return results[0]
+
+
+def _assert_kernel_engines_match(kernel) -> None:
+    dram_words = kernel.metadata.get("dram_words", 1 << 22)
+    program = kernel.program
+    _run_engines(
+        program,
+        lambda: kernel.make_simulator(dram_words=dram_words),
+        engines=("interp", "predecode", "trace"),
+    )
+
+
+# ------------------------------------------------------- kernel equivalence
+class TestKernelGeneratorEquivalence:
+    """interp == predecode == trace on every generator, every VLEN."""
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_euclidean(self, vlen):
+        _assert_kernel_engines_match(
+            euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=vlen)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_euclidean_software_pq(self, vlen):
+        _assert_kernel_engines_match(euclidean_scan_kernel(
+            DATA, QUERY, K, MachineConfig(vector_length=vlen), software_pq=True))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_manhattan(self, vlen):
+        _assert_kernel_engines_match(
+            manhattan_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=vlen)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_cosine(self, vlen):
+        _assert_kernel_engines_match(
+            cosine_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=vlen)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    @pytest.mark.parametrize("use_fxp", [True, False])
+    def test_hamming(self, vlen, use_fxp):
+        _assert_kernel_engines_match(hamming_scan_kernel(
+            CODES, QCODE, K, MachineConfig(vector_length=vlen), use_fxp=use_fxp))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_batched(self, vlen):
+        queries = np.stack([QUERY, DATA[3]])
+        _assert_kernel_engines_match(batched_euclidean_scan_kernel(
+            DATA, queries, K, MachineConfig(vector_length=vlen)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_pq_adc(self, vlen):
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=16, seed=0).fit(DATA)
+        codes = pq.encode(DATA)
+        _assert_kernel_engines_match(pq_adc_scan_kernel(
+            pq, codes, QUERY, K, MachineConfig(vector_length=vlen)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_kdtree(self, vlen):
+        forest = RandomizedKDForest(n_trees=1, leaf_size=8, seed=5).build(DATA)
+        _assert_kernel_engines_match(kdtree_kernel(
+            forest, QUERY, K, 30,
+            MachineConfig(vector_length=vlen, stack_depth=512)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_kmeans_tree(self, vlen):
+        tree = HierarchicalKMeansTree(branching=4, leaf_size=8, seed=5).build(DATA)
+        _assert_kernel_engines_match(kmeans_tree_kernel(
+            tree, QUERY, K, 30,
+            MachineConfig(vector_length=vlen, stack_depth=512)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_mplsh(self, vlen):
+        lsh = MultiProbeLSH(n_tables=2, n_bits=8, seed=9).build(DATA)
+        _assert_kernel_engines_match(mplsh_kernel(
+            lsh, QUERY, K, 2, budget=200,
+            machine=MachineConfig(vector_length=vlen)))
+
+
+# ------------------------------------------------------------ random loops
+_WORK = [1, 2, 3, 4, 5]             # destination registers s1..s5
+_SRC = [1, 2, 3, 4, 5, 7]           # sources may read the loop counter s7
+
+_scalar_op = st.one_of(
+    st.tuples(st.sampled_from(["add", "sub", "mult", "and", "or", "xor"]),
+              st.sampled_from(_WORK), st.sampled_from(_SRC), st.sampled_from(_SRC)),
+    st.tuples(st.sampled_from(["addi", "subi", "multi", "xori", "andi", "ori"]),
+              st.sampled_from(_WORK), st.sampled_from(_SRC),
+              st.integers(-(1 << 15), (1 << 15) - 1)),
+    st.tuples(st.sampled_from(["sl", "sr", "sra"]),
+              st.sampled_from(_WORK), st.sampled_from(_SRC), st.integers(0, 31)),
+    st.tuples(st.sampled_from(["popcount", "not", "sfxp"]),
+              st.sampled_from(_WORK), st.sampled_from(_SRC), st.just(0)),
+)
+
+_vector_op = st.one_of(
+    st.tuples(st.just("svmove"), st.integers(1, 3), st.sampled_from(_SRC), st.just(0)),
+    st.tuples(st.sampled_from(["vadd", "vsub", "vmult", "vxor", "vfxp"]),
+              st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+    st.tuples(st.just("vsmove"), st.sampled_from(_WORK), st.integers(1, 3), st.just(0)),
+)
+
+_body_op = st.one_of(_scalar_op, _vector_op, st.just(("pqueue_insert", 5, 1, 0)))
+
+
+def _emit(op) -> str:
+    name, d, a, b = op
+    if name in ("add", "sub", "mult", "and", "or", "xor", "sfxp"):
+        return f"{name} s{d}, s{a}, s{b}" if name != "sfxp" else f"sfxp s{d}, s{a}, s{a}"
+    if name in ("addi", "subi", "multi", "xori", "andi", "ori", "sl", "sr", "sra"):
+        return f"{name} s{d}, s{a}, {b}"
+    if name in ("popcount", "not"):
+        return f"{name} s{d}, s{a}"
+    if name == "svmove":
+        return f"svmove v{d}, s{a}"
+    if name in ("vadd", "vsub", "vmult", "vxor", "vfxp"):
+        return f"{name} v{d}, v{a}, v{b}"
+    if name == "vsmove":
+        return f"vsmove s{d}, v{a}, 0"
+    if name == "pqueue_insert":
+        return f"pqueue_insert s{d}, s{a}"
+    raise AssertionError(name)
+
+
+class TestRandomLoopEquivalence:
+    """Hypothesis loops: the vectorizer's analysis vs the interpreter.
+
+    Loop bodies mix scalar/vector ALU work, reads of the induction
+    variable (affine value tracking), accumulator updates (carried-
+    register classification), and priority-queue inserts; trip counts
+    straddle the hot-loop threshold and the minimum vector width.
+    """
+
+    @given(
+        body=st.lists(_body_op, min_size=1, max_size=12),
+        init=st.lists(st.integers(-(1 << 31), (1 << 31) - 1),
+                      min_size=5, max_size=5),
+        trips=st.integers(0, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loop_program_engines_agree(self, body, init, trips):
+        lines = [f"li s{i + 1}, {v}" for i, v in enumerate(init)]
+        lines += ["li s7, 0", "loop:"]
+        lines += [_emit(op) for op in body]
+        lines += ["addi s7, s7, 1", f"li s8, {trips}", "blt s7, s8, loop", "halt"]
+        program = assemble("\n".join(lines))
+        _run_engines(
+            program,
+            lambda: Simulator(MachineConfig(vector_length=4, strict32=True)),
+            engines=("interp", "predecode", "trace"),
+        )
+
+    @given(trips=st.integers(0, 40), bound=st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_memory_loop_engines_agree(self, trips, bound):
+        """Strided DRAM reads + scratchpad accumulator writes in a loop."""
+        src = "\n".join([
+            "li s1, 8192",            # dram base
+            "li s7, 0",
+            f"li s8, {trips}",
+            "loop:",
+            "vload v1, 0(s1)",
+            "vadd v3, v3, v1",
+            "vsmove s4, v3, 1",
+            f"store s4, {bound}(s0)",
+            "load s5, 0(s0)",
+            "addi s1, s1, 4",
+            "addi s7, s7, 1",
+            "blt s7, s8, loop",
+            "halt",
+        ])
+        program = assemble(src)
+        payload = np.asarray(
+            RNG.integers(-(1 << 20), 1 << 20, size=256), dtype=np.int64)
+
+        def make():
+            sim = Simulator(MachineConfig(vector_length=4, strict32=True))
+            sim.load_dram(sim.dram_base, payload)
+            return sim
+
+        _run_engines(program, make, engines=("interp", "predecode", "trace"))
+
+    def test_error_paths_agree(self):
+        """A faulting run must report identical stats and message."""
+        src = "li s1, 8192\nli s7, 0\nloop:\nvload v1, 0(s1)\n" \
+              "addi s1, s1, 1000000\naddi s7, s7, 1\n" \
+              "li s8, 50\nblt s7, s8, loop\nhalt"
+        program = assemble(src)
+        outcomes = []
+        for engine in ("interp", "predecode", "trace"):
+            sim = Simulator(MachineConfig(vector_length=4))
+            try:
+                sim.run(program, engine=engine)
+                outcomes.append(("ok", None))
+            except Exception as exc:
+                outcomes.append(("err", str(exc)))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+        assert outcomes[0][0] == "err"
+
+    def test_budget_exhaustion_agrees(self):
+        src = "loop:\naddi s1, s1, 1\nj loop"
+        program = assemble(src)
+        msgs = []
+        for engine in ("interp", "predecode", "trace"):
+            sim = Simulator(MachineConfig())
+            with pytest.raises(Exception) as ei:
+                sim.run(program, max_instructions=10_001, engine=engine)
+            msgs.append(str(ei.value))
+            assert sim.stats.instructions == 10_001
+        assert msgs[0] == msgs[1] == msgs[2]
+
+
+# -------------------------------------------------------------- engine API
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self):
+        sim = Simulator(MachineConfig())
+        with pytest.raises(ValueError, match="engine"):
+            sim.run(assemble("halt"), engine="warp")
+
+    def test_auto_matches_interp_cycles(self):
+        kernel = euclidean_scan_kernel(DATA, QUERY, K, MachineConfig(vector_length=4))
+        sim_auto = kernel.make_simulator(dram_words=kernel.metadata["dram_words"])
+        auto = sim_auto.run(kernel.program)          # default engine="auto"
+        sim_ref = kernel.make_simulator(dram_words=kernel.metadata["dram_words"])
+        ref = sim_ref.run(kernel.program, engine="interp")
+        _assert_same_stats(auto, ref)
+        _assert_same_state(sim_auto, sim_ref)
+
+    def test_trace_arg_still_traces(self):
+        """Debug tracing forces the reference path and fills the list."""
+        sim = Simulator(MachineConfig())
+        trace = []
+        sim.run(assemble("li s1, 3\naddi s1, s1, 1\nhalt"), trace=trace)
+        # li is a pseudo-instruction: it assembles to addi rd, s0, imm.
+        assert [t[1] for t in trace] == ["addi", "addi", "halt"]
+
+
+# --------------------------------------------------------------- predecode
+class TestPredecode:
+    def test_blocks_partition_program(self):
+        src = "li s1, 0\nloop:\naddi s1, s1, 1\nli s2, 10\n" \
+              "blt s1, s2, loop\nhalt"
+        decoded = predecode(assemble(src))
+        # Blocks tile [0, n) without gaps or overlap.
+        spans = [(b.start, b.end) for b in decoded.blocks]
+        assert spans[0][0] == 0 and spans[-1][1] == decoded.n - 1
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert s1 == e0 + 1
+        # Terminators end their block; block_of is consistent.
+        for b in decoded.blocks:
+            for pc in range(b.start, b.end + 1):
+                assert decoded.block_of[pc] == b.index
+                if decoded.ops[pc] in TERMINATORS:
+                    assert pc == b.end
+        assert any(decoded.ops[b.end] in COND_BRANCHES for b in decoded.blocks)
+
+    def test_decode_is_cached_per_program(self):
+        program = assemble("li s1, 1\nhalt")
+        assert predecode(program) is predecode(program)
+
+    def test_block_deltas_sum_to_program(self):
+        program = assemble("li s1, 4\nloop:\nsubi s1, s1, 1\n"
+                           "bgt s1, s0, loop\nhalt")
+        decoded = predecode(program)
+        total = sum(b.length for b in decoded.blocks)
+        assert total == decoded.n
+        names = {}
+        for b in decoded.blocks:
+            for k, v in b.name_delta.items():
+                names[k] = names.get(k, 0) + v
+        # li assembles to addi rd, s0, imm.
+        assert names == {"addi": 1, "subi": 1, "bgt": 1, "halt": 1}
+
+
+# ----------------------------------------------------------------- simcache
+class TestSimulationCache:
+    def setup_method(self):
+        clear_caches()
+
+    def teardown_method(self):
+        clear_caches()
+
+    def _kernel(self, shift: float = 0.0):
+        return euclidean_scan_kernel(
+            DATA + shift, QUERY, K, MachineConfig(vector_length=4))
+
+    def test_identical_runs_hit(self):
+        r1 = self._kernel().run()
+        r2 = self._kernel().run()
+        cache = get_cache()
+        assert cache.hits == 1 and cache.misses == 1
+        np.testing.assert_array_equal(r1.ids, r2.ids)
+        np.testing.assert_array_equal(r1.values, r2.values)
+        _assert_same_stats(r1.stats, r2.stats)
+
+    def test_data_change_misses(self):
+        self._kernel().run()
+        self._kernel(shift=0.25).run()
+        assert get_cache().misses == 2
+
+    def test_config_change_misses(self):
+        self._kernel().run()
+        euclidean_scan_kernel(
+            DATA, QUERY, K, MachineConfig(vector_length=8)).run()
+        assert get_cache().misses == 2
+
+    def test_hit_results_are_isolated_copies(self):
+        self._kernel().run()
+        r2 = self._kernel().run()
+        r2.ids[:] = -1
+        r2.stats.counts_by_name.clear()
+        r3 = self._kernel().run()
+        assert r3.ids[0] != -1 and r3.stats.counts_by_name
+
+    def test_explicit_simulator_bypasses_cache(self):
+        kernel = self._kernel()
+        kernel.run()
+        sim = kernel.make_simulator(dram_words=kernel.metadata["dram_words"])
+        kernel.run(sim=sim)
+        cache = get_cache()
+        assert cache.hits == 0 and cache.misses == 1
+        assert sim.stats.halted      # the caller's machine really ran
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")
+        self._kernel().run()
+        self._kernel().run()
+        cache = get_cache()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_assembly_cache_shares_programs(self):
+        assert self._kernel().program is self._kernel().program
+
+    def test_eviction_bound(self):
+        cache = get_cache()
+        cache.maxsize = 2
+        for shift in (0.0, 0.5, 1.0):
+            self._kernel(shift).run()
+        assert len(cache) == 2
+        self._kernel(0.0).run()      # evicted -> runs again
+        assert cache.misses == 4
+
+
+# ------------------------------------------------------------- performance
+@pytest.mark.slow
+class TestTracePerformance:
+    def test_trace_beats_interp_on_linear_scan(self):
+        """Sanity floor for the fast engine (full numbers: BENCH_1.json)."""
+        import time
+
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((4000, 16))
+        query = rng.standard_normal(16)
+        kernel = euclidean_scan_kernel(data, query, 10, MachineConfig(vector_length=4))
+        dram_words = kernel.metadata["dram_words"]
+        timings = {}
+        for engine in ("interp", "trace"):
+            sim = kernel.make_simulator(dram_words=dram_words)
+            t0 = time.perf_counter()
+            stats = sim.run(kernel.program, engine=engine)
+            timings[engine] = (time.perf_counter() - t0, stats.instructions)
+        assert timings["interp"][1] == timings["trace"][1]
+        speedup = timings["interp"][0] / timings["trace"][0]
+        assert speedup > 4.0, f"trace engine only {speedup:.1f}x faster"
