@@ -39,6 +39,7 @@ from repro.experiments.ablations import (
 from repro.experiments.extensions import run_batching_ablation, run_pq_extension
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
 from repro.experiments.ivfadc import run_ivfadc
+from repro.experiments.resilience import run_resilience
 from repro.experiments.scaleout import run_scaleout
 from repro.experiments.tco import run_tco
 from repro.experiments.representations import run_fixed_point, run_binarization
@@ -61,6 +62,7 @@ __all__ = [
     "run_ivfadc",
     "run_energy_breakdown",
     "run_thermal_check",
+    "run_resilience",
     "run_scaleout",
     "run_tco",
     "run_fixed_point",

@@ -30,6 +30,7 @@ from repro.experiments import (
     run_thermal_check,
     run_pq_extension,
     run_priority_queue_ablation,
+    run_resilience,
     run_scaleout,
     run_table1,
     run_table3,
@@ -56,6 +57,7 @@ RUNNERS = {
     "batching": (run_batching_ablation, "Extension: multi-query batching"),
     "ivfadc": (run_ivfadc, "Extension: IVFADC compressed index"),
     "scaleout": (run_scaleout, "Multi-module capacity scale-out"),
+    "resilience": (run_resilience, "Degraded-mode serving under vault/module loss"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),
     "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
     "thermal": (run_thermal_check, "Section V-A thermal check"),

@@ -1,0 +1,48 @@
+"""Deterministic fault injection across the HMC/SSAM stack.
+
+Real HMC deployments see SerDes CRC errors (retried at the link
+layer), vault/DRAM faults (filtered through SECDED ECC), wedged or
+crashed processing units, and whole-module loss.  This package models
+all of them behind one seeded plan so every failure scenario is exactly
+reproducible:
+
+- :mod:`repro.faults.errors` — the typed error hierarchy
+  (``LinkError``, ``VaultFault``, ``ModuleLost``, ...) raised by the
+  HMC layer instead of silently succeeding;
+- :mod:`repro.faults.ecc` — the SECDED outcome model
+  (corrected / detected-uncorrectable / silent);
+- :mod:`repro.faults.plan` — :class:`FaultPlan` (what can fail) and
+  :class:`FaultInjector` (when it fails), driven by a single seeded
+  :class:`numpy.random.Generator`.
+
+See ``docs/RELIABILITY.md`` for the full fault model and recipes.
+"""
+
+from repro.faults.ecc import EccOutcome, SECDEDModel
+from repro.faults.errors import (
+    FaultError,
+    LinkError,
+    ModuleLost,
+    PUFault,
+    RequestTimeout,
+    UncorrectableMemoryError,
+    VaultFault,
+)
+from repro.faults.plan import FAULT_KINDS, FaultInjector, FaultPlan, FaultRecord, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultRecord",
+    "SECDEDModel",
+    "EccOutcome",
+    "FaultError",
+    "LinkError",
+    "VaultFault",
+    "UncorrectableMemoryError",
+    "PUFault",
+    "RequestTimeout",
+    "ModuleLost",
+]

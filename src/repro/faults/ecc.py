@@ -1,0 +1,77 @@
+"""SECDED ECC outcome model for DRAM bit flips.
+
+HMC-class stacks protect DRAM with a single-error-correct /
+double-error-detect (SECDED) code per data word.  Raw bit flips
+injected by the :class:`~repro.faults.plan.FaultInjector` are filtered
+through this model before the vault decides what the software observes:
+
+- 0 flips in a word  → clean read;
+- 1 flip in a word   → **corrected** transparently (counted, invisible
+  to the caller);
+- 2 flips in a word  → **detected uncorrectable**: the controller
+  poisons the response and the vault raises
+  :class:`~repro.faults.errors.UncorrectableMemoryError`;
+- ≥3 flips in a word → **silent**: SECDED's syndrome aliases a
+  triple-bit error onto a valid single-bit correction, so the
+  "corrected" word is wrong and nobody notices.  Counted so
+  experiments can report the silent-data-corruption exposure.
+
+The per-word flip multiplicity is what matters, so :meth:`classify`
+takes the total flip count of an access and the word count, scatters
+flips uniformly over words with the injector's generator, and returns
+the worst outcome plus per-category counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["EccOutcome", "SECDEDModel"]
+
+
+@dataclass(frozen=True)
+class EccOutcome:
+    """Per-access ECC accounting: words in each outcome class."""
+
+    corrected: int = 0
+    detected: int = 0
+    silent: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.corrected == 0 and self.detected == 0 and self.silent == 0
+
+    @property
+    def must_raise(self) -> bool:
+        """True when the controller must poison the response."""
+        return self.detected > 0
+
+
+@dataclass(frozen=True)
+class SECDEDModel:
+    """SECDED over ``word_bits``-bit data words (72,64 Hamming default)."""
+
+    word_bits: int = 64
+
+    def words_in(self, nbytes: int) -> int:
+        return max(1, -(-(nbytes * 8) // self.word_bits))
+
+    def classify(self, n_flips: int, n_words: int, rng: np.random.Generator) -> EccOutcome:
+        """Scatter ``n_flips`` raw flips over ``n_words`` words; classify.
+
+        Returns the per-category word counts.  Draws exactly one
+        ``rng.integers`` vector when ``n_flips > 0`` (and nothing when
+        the access is clean), keeping the draw sequence deterministic.
+        """
+        if n_flips <= 0:
+            return EccOutcome()
+        if n_words <= 0:
+            raise ValueError("n_words must be positive")
+        per_word = np.bincount(rng.integers(0, n_words, size=n_flips), minlength=n_words)
+        corrected = int(np.count_nonzero(per_word == 1))
+        detected = int(np.count_nonzero(per_word == 2))
+        silent = int(np.count_nonzero(per_word >= 3))
+        return EccOutcome(corrected=corrected, detected=detected, silent=silent)

@@ -1,0 +1,85 @@
+"""Typed error hierarchy for hardware faults.
+
+Every failure the fault-injection framework can surface maps to one
+exception type, so callers (the driver's retry loop, the multi-module
+runtime's degraded-mode merge) can react per failure domain instead of
+pattern-matching strings.  The hierarchy mirrors the HMC stack:
+
+- :class:`LinkError` — an external SerDes link exhausted its CRC retry
+  budget (HMC links retry corrupted packets in hardware; only a
+  persistently bad lane escalates to software);
+- :class:`VaultFault` — a vault controller stopped answering, taking
+  its DRAM partition offline;
+- :class:`UncorrectableMemoryError` — SECDED ECC *detected* a
+  multi-bit error it could not correct (a ``VaultFault`` subtype: the
+  data in that vault cannot be trusted for this request);
+- :class:`PUFault` — a processing unit crashed or stalled past the
+  host watchdog;
+- :class:`RequestTimeout` — the host-side per-request deadline fired;
+- :class:`ModuleLost` — a whole cube (or every shard of a runtime)
+  became unreachable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "LinkError",
+    "VaultFault",
+    "UncorrectableMemoryError",
+    "PUFault",
+    "RequestTimeout",
+    "ModuleLost",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault escalation."""
+
+
+class LinkError(FaultError):
+    """External link gave up after exhausting its CRC retry budget."""
+
+    def __init__(self, link: int, retries: int):
+        super().__init__(f"link {link}: CRC retry budget exhausted after {retries} retries")
+        self.link = link
+        self.retries = retries
+
+
+class VaultFault(FaultError):
+    """A vault controller (and its DRAM partition) is offline."""
+
+    def __init__(self, vault: int, reason: str = "controller failure"):
+        super().__init__(f"vault {vault}: {reason}")
+        self.vault = vault
+
+
+class UncorrectableMemoryError(VaultFault):
+    """SECDED detected a multi-bit DRAM error it cannot correct."""
+
+    def __init__(self, vault: int):
+        super().__init__(vault, "detected uncorrectable ECC error")
+
+
+class PUFault(FaultError):
+    """A processing unit crashed (or stalled past the watchdog)."""
+
+    def __init__(self, detail: str = "processing unit crash"):
+        super().__init__(detail)
+
+
+class RequestTimeout(FaultError):
+    """Host-side per-request deadline elapsed before a response."""
+
+    def __init__(self, timeout_s: float):
+        super().__init__(f"request exceeded {timeout_s:g}s deadline")
+        self.timeout_s = timeout_s
+
+
+class ModuleLost(FaultError):
+    """An entire module (or the whole pool) is unreachable."""
+
+    def __init__(self, module: int = -1, detail: str = ""):
+        where = f"module {module}" if module >= 0 else "all modules"
+        super().__init__(f"{where} lost{': ' + detail if detail else ''}")
+        self.module = module

@@ -1,0 +1,227 @@
+"""Deterministic fault plans and the injector that fires them.
+
+A :class:`FaultPlan` declares *which* faults can occur; its
+:class:`FaultInjector` decides *when* they occur, using a single seeded
+:class:`numpy.random.Generator` for every stochastic draw in the run —
+probability gates, DRAM flip counts, ECC word scatter.  Because the
+components consult the injector in a deterministic order, two runs of
+the same plan over the same workload produce byte-identical fault
+sequences (compare :meth:`FaultInjector.signature`).
+
+Three ways to arm a fault:
+
+- **probability** — every matching operation fires with chance ``p``
+  (``plan.inject("link_crc", probability=1e-3)``);
+- **schedule** — fire at an explicit simulated time against an
+  explicit target (``plan.inject("vault_fail", target=7,
+  at_time_ns=5_000.0)``); permanent unless ``duration_ns`` bounds the
+  outage window;
+- **scoping** — force a fault inside a ``with`` block regardless of
+  the plan (``with injector.forcing("module_loss", target=0): ...``),
+  the unit-test hammer.
+
+Components that accept an injector treat ``None`` as "fault-free" and
+skip every check, so a disabled stack is bit-exact with (and as fast
+as) one built before this framework existed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultRecord", "FaultPlan", "FaultInjector"]
+
+#: The fault types the stack knows how to inject.
+FAULT_KINDS = (
+    "link_crc",        # SerDes packet corruption -> link-level retry
+    "vault_fail",      # vault controller failure (partition offline)
+    "dram_bit_flip",   # raw DRAM flips, filtered through SECDED
+    "pu_crash",        # processing unit dies mid-request
+    "pu_stall",        # processing unit wedges; host watchdog fires
+    "module_loss",     # whole cube unreachable
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: what, where, and how it triggers.
+
+    ``target=None`` matches every instance of the component class.
+    Exactly one trigger should be meaningful: ``probability > 0`` for
+    stochastic faults, ``at_time_ns`` for scheduled ones.  ``ber`` is
+    the raw bit-error rate used only by ``dram_bit_flip``.
+    """
+
+    kind: str
+    target: Optional[int] = None
+    probability: float = 0.0
+    at_time_ns: Optional[float] = None
+    duration_ns: Optional[float] = None
+    ber: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.ber < 0.0:
+            raise ValueError("ber must be non-negative")
+        if self.probability == 0.0 and self.at_time_ns is None and self.ber == 0.0:
+            raise ValueError("spec needs a trigger: probability, at_time_ns, or ber")
+
+    def matches(self, kind: str, target: Optional[int]) -> bool:
+        if self.kind != kind:
+            return False
+        return self.target is None or target is None or self.target == target
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired (the reproducibility ledger)."""
+
+    time_ns: float
+    kind: str
+    target: Optional[int]
+    detail: str = ""
+
+
+class FaultPlan:
+    """A declarative, seeded collection of :class:`FaultSpec`.
+
+    Builder-style: ``FaultPlan(seed=7).inject("link_crc",
+    probability=0.01).inject("vault_fail", target=3, at_time_ns=0.0)``.
+    Plans are cheap, immutable-after-``injector()`` in spirit — build
+    one per scenario and mint a fresh injector per run so runs never
+    share generator state.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.specs: List[FaultSpec] = []
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that never fires (still mints a working injector)."""
+        return cls(seed=seed)
+
+    def inject(
+        self,
+        kind: str,
+        *,
+        target: Optional[int] = None,
+        probability: float = 0.0,
+        at_time_ns: Optional[float] = None,
+        duration_ns: Optional[float] = None,
+        ber: float = 0.0,
+    ) -> "FaultPlan":
+        self.specs.append(
+            FaultSpec(
+                kind=kind,
+                target=target,
+                probability=probability,
+                at_time_ns=at_time_ns,
+                duration_ns=duration_ns,
+                ber=ber,
+            )
+        )
+        return self
+
+    def injector(self) -> "FaultInjector":
+        """Mint a fresh injector (fresh generator state) for one run."""
+        return FaultInjector(self)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class FaultInjector:
+    """Runtime that answers "does this operation fault?".
+
+    One injector is threaded through every layer of one run; its
+    simulated clock (`now_ns`) advances as components account time, so
+    scheduled faults fire at reproducible points.  Every fault that
+    fires is appended to :attr:`fired`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.now_ns = 0.0
+        self.fired: List[FaultRecord] = []
+        self._forced: List[Tuple[str, Optional[int]]] = []
+
+    # ------------------------------------------------------------------ clock
+    def advance(self, ns: float) -> None:
+        """Advance the simulated clock (components call this as they bill time)."""
+        if ns > 0:
+            self.now_ns += ns
+
+    # ------------------------------------------------------------------ checks
+    def check(self, kind: str, target: Optional[int] = None) -> bool:
+        """True when a ``kind`` fault hits ``target`` for this operation.
+
+        Scheduled specs are consulted first (no draw), then probability
+        specs (one uniform draw per armed matching spec).  Forced scopes
+        short-circuit everything.
+        """
+        if self._forced:
+            for fk, ft in self._forced:
+                if fk == kind and (ft is None or target is None or ft == target):
+                    self.record(kind, target, "forced")
+                    return True
+        hit = False
+        for spec in self.plan.specs:
+            if not spec.matches(kind, target):
+                continue
+            if spec.at_time_ns is not None:
+                active = self.now_ns >= spec.at_time_ns and (
+                    spec.duration_ns is None
+                    or self.now_ns < spec.at_time_ns + spec.duration_ns
+                )
+                if active:
+                    self.record(kind, target, f"scheduled@{spec.at_time_ns:g}ns")
+                    return True
+            elif spec.probability > 0.0:
+                # Draw even after a hit so the draw sequence depends only
+                # on the plan and call order, never on earlier outcomes.
+                if self.rng.random() < spec.probability:
+                    hit = True
+        if hit:
+            self.record(kind, target, "probability")
+        return hit
+
+    def draw_bit_flips(self, nbits: int, target: Optional[int] = None) -> int:
+        """Raw DRAM flips for an access of ``nbits`` (0 when not armed)."""
+        total = 0
+        for spec in self.plan.specs:
+            if spec.kind == "dram_bit_flip" and spec.matches("dram_bit_flip", target) and spec.ber > 0.0:
+                total += int(self.rng.binomial(nbits, min(1.0, spec.ber)))
+        return total
+
+    # ------------------------------------------------------------------ scoping
+    @contextmanager
+    def forcing(self, kind: str, target: Optional[int] = None) -> Iterator["FaultInjector"]:
+        """Force ``kind`` faults (optionally on one target) inside the block."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._forced.append((kind, target))
+        try:
+            yield self
+        finally:
+            self._forced.pop()
+
+    # ------------------------------------------------------------------ ledger
+    def record(self, kind: str, target: Optional[int], detail: str = "") -> None:
+        self.fired.append(FaultRecord(time_ns=self.now_ns, kind=kind, target=target, detail=detail))
+
+    def signature(self) -> List[Tuple[float, str, Optional[int], str]]:
+        """Hashable fault sequence for byte-identical-run assertions."""
+        return [(r.time_ns, r.kind, r.target, r.detail) for r in self.fired]
+
+    @property
+    def n_fired(self) -> int:
+        return len(self.fired)

@@ -8,16 +8,31 @@ modules themselves ... the communication network ... consists of kNN
 results which are a fraction of the original dataset size"); the
 :meth:`LinkSet.result_traffic_fits` helper makes that check explicit
 and the Fig. 6 experiments assert it.
+
+Reliability: HMC links protect every packet with a CRC and retry
+corrupted packets in hardware.  When a :class:`repro.faults.FaultInjector`
+is attached, ``link_crc`` faults trigger that retry path — each
+retransmission re-sends the full packet (billed to ``retry_bytes``) and
+backs off exponentially; a packet that stays corrupted past
+``crc_retry_limit`` escalates to :class:`repro.faults.LinkError`, the
+only way a link error ever reaches software.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
+
+from repro.faults.errors import LinkError
 
 __all__ = ["ExternalLink", "LinkSet"]
 
 _FLIT_BYTES = 16
+
+
+def _validate_payload(payload: int) -> None:
+    if payload < 0:
+        raise ValueError("payload must be non-negative")
 
 
 @dataclass
@@ -28,23 +43,60 @@ class ExternalLink:
     header_flits: int = 1
     tail_flits: int = 1
     bytes_sent: int = 0
+    payload_bytes_sent: int = 0
+    #: CRC retry state (populated only when an injector is attached).
+    crc_retry_limit: int = 8
+    retry_backoff_ns: float = 8.0       # first-retry backoff; doubles per attempt
+    retries: int = 0
+    retry_bytes: int = 0
+    link_id: int = 0
+    injector: Optional[object] = None   # repro.faults.FaultInjector
 
     def packet_bytes(self, payload: int) -> int:
-        """Wire bytes for a payload, including header/tail FLITs."""
-        if payload < 0:
-            raise ValueError("payload must be non-negative")
+        """Wire bytes for a payload, including header/tail FLITs.
+
+        A zero-byte payload still costs the header and tail FLITs (the
+        smallest packet on the wire).
+        """
+        _validate_payload(payload)
         data_flits = -(-payload // _FLIT_BYTES)
         return (data_flits + self.header_flits + self.tail_flits) * _FLIT_BYTES
 
     def efficiency(self, payload: int) -> float:
         """Payload fraction of wire traffic for packets of this size."""
+        _validate_payload(payload)
         return payload / self.packet_bytes(payload) if payload else 0.0
 
+    def observed_efficiency(self) -> float:
+        """Payload fraction of everything actually sent, retries included."""
+        return self.payload_bytes_sent / self.bytes_sent if self.bytes_sent else 0.0
+
     def send(self, payload: int) -> float:
-        """Transmit one packet; returns wire time in nanoseconds."""
+        """Transmit one packet; returns wire time in nanoseconds.
+
+        With an injector attached, each (re)transmission may be hit by
+        a ``link_crc`` fault; corrupted packets retransmit with
+        exponential backoff until clean or ``crc_retry_limit`` is
+        exhausted (then :class:`LinkError`).
+        """
         wire = self.packet_bytes(payload)
+        wire_ns = wire / self.peak_bandwidth * 1e9
         self.bytes_sent += wire
-        return wire / self.peak_bandwidth * 1e9
+        self.payload_bytes_sent += payload
+        total_ns = wire_ns
+        if self.injector is not None:
+            attempt = 0
+            while self.injector.check("link_crc", self.link_id):
+                if attempt >= self.crc_retry_limit:
+                    raise LinkError(self.link_id, attempt)
+                backoff_ns = self.retry_backoff_ns * (2 ** attempt)
+                attempt += 1
+                self.retries += 1
+                self.retry_bytes += wire
+                self.bytes_sent += wire
+                total_ns += wire_ns + backoff_ns
+            self.injector.advance(total_ns)
+        return total_ns
 
 
 @dataclass
@@ -54,11 +106,61 @@ class LinkSet:
     links: List[ExternalLink] = field(default_factory=lambda: [ExternalLink() for _ in range(4)])
     _next: int = 0
 
+    def __post_init__(self) -> None:
+        for i, link in enumerate(self.links):
+            link.link_id = i
+
     @property
     def aggregate_bandwidth(self) -> float:
         return sum(l.peak_bandwidth for l in self.links)
 
+    # ------------------------------------------------------------ accounting
+    @property
+    def bytes_sent(self) -> int:
+        return sum(l.bytes_sent for l in self.links)
+
+    @property
+    def payload_bytes_sent(self) -> int:
+        return sum(l.payload_bytes_sent for l in self.links)
+
+    @property
+    def retry_bytes(self) -> int:
+        return sum(l.retry_bytes for l in self.links)
+
+    @property
+    def retries(self) -> int:
+        return sum(l.retries for l in self.links)
+
+    def retry_overhead(self) -> float:
+        """Fraction of wire traffic that was CRC retransmission."""
+        total = self.bytes_sent
+        return self.retry_bytes / total if total else 0.0
+
+    def efficiency(self, payload: int) -> float:
+        """Payload fraction of wire traffic for this packet size,
+        discounted by the retry overhead observed so far.
+
+        Validates ``payload`` exactly like :meth:`ExternalLink.packet_bytes`
+        (negative raises ``ValueError``; zero is 0.0 — a header/tail-only
+        packet carries no payload).
+        """
+        _validate_payload(payload)
+        per_packet = self.links[0].efficiency(payload)
+        return per_packet * (1.0 - self.retry_overhead())
+
+    def observed_efficiency(self) -> float:
+        """Payload fraction of everything sent across the set."""
+        total = self.bytes_sent
+        return self.payload_bytes_sent / total if total else 0.0
+
+    # ------------------------------------------------------------ transfer
+    def attach_injector(self, injector) -> None:
+        """Route every link's CRC fault checks through ``injector``."""
+        for link in self.links:
+            link.injector = injector
+
     def send(self, payload: int) -> float:
+        _validate_payload(payload)
         link = self.links[self._next]
         self._next = (self._next + 1) % len(self.links)
         return link.send(payload)

@@ -15,8 +15,9 @@ links.  It answers the questions the SSAM evaluation needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.faults.errors import ModuleLost
 from repro.hmc.config import HMCConfig
 from repro.hmc.dram import VaultDRAM
 from repro.hmc.links import ExternalLink, LinkSet
@@ -31,6 +32,9 @@ class HMCModule:
 
     def __init__(self, config: HMCConfig = HMCConfig()):
         self.config = config
+        self.module_index = 0
+        self.lost = False
+        self.injector = None               # repro.faults.FaultInjector
         self.vaults: List[Vault] = [
             Vault(
                 index=i,
@@ -52,6 +56,46 @@ class HMCModule:
         self.links = LinkSet(
             links=[ExternalLink(peak_bandwidth=config.link_bandwidth) for _ in range(config.n_links)]
         )
+
+    # ------------------------------------------------------------------ faults
+    def attach_injector(self, injector, module_index: int = 0) -> None:
+        """Thread one :class:`repro.faults.FaultInjector` through the cube.
+
+        Wires the injector into every vault (controller failure, ECC)
+        and every external link (CRC retry); module-level ``module_loss``
+        faults are checked on each access against ``module_index``.
+        """
+        self.injector = injector
+        self.module_index = module_index
+        for vault in self.vaults:
+            vault.injector = injector
+        self.links.attach_injector(injector)
+
+    def fail(self) -> None:
+        """Mark the whole cube unreachable."""
+        self.lost = True
+
+    def repair(self) -> None:
+        self.lost = False
+        for vault in self.vaults:
+            vault.repair()
+
+    def _guard(self) -> None:
+        if self.lost:
+            raise ModuleLost(self.module_index)
+        if self.injector is not None and self.injector.check("module_loss", self.module_index):
+            self.lost = True
+            raise ModuleLost(self.module_index)
+
+    @property
+    def n_failed_vaults(self) -> int:
+        return sum(1 for v in self.vaults if v.failed)
+
+    def available_fraction(self) -> float:
+        """Fraction of the cube's capacity still reachable."""
+        if self.lost:
+            return 0.0
+        return 1.0 - self.n_failed_vaults / len(self.vaults)
 
     # ------------------------------------------------------------------ mapping
     def map_address(self, global_addr: int) -> Tuple[int, int]:
@@ -77,6 +121,8 @@ class HMCModule:
         """
         if size <= 0:
             raise ValueError("size must be positive")
+        if self.lost or self.injector is not None:
+            self._guard()
         per_vault_ns: dict = {}
         offset = global_addr
         remaining = size
@@ -94,7 +140,12 @@ class HMCModule:
 
     # ------------------------------------------------------------------ roofline
     def streaming_bandwidth(self) -> float:
-        """Effective bytes/s of a module-wide sequential scan."""
+        """Effective bytes/s of a module-wide sequential scan.
+
+        Failed vaults contribute nothing; a lost module scans nothing.
+        """
+        if self.lost:
+            return 0.0
         return sum(v.effective_stream_bandwidth() for v in self.vaults)
 
     def fits(self, nbytes: int) -> bool:

@@ -5,12 +5,24 @@ the logic die.  The controller enforces the 10 GB/s vault bandwidth and
 tracks occupancy; requests flow through :meth:`VaultController.read` /
 ``write`` and accumulate busy time, from which utilization and achieved
 bandwidth fall out.
+
+Reliability: with a :class:`repro.faults.FaultInjector` attached, a
+``vault_fail`` fault latches the vault offline (every subsequent access
+raises :class:`repro.faults.VaultFault` until :meth:`Vault.repair`),
+and ``dram_bit_flip`` faults inject raw flips that are filtered through
+the SECDED model — single-bit flips are corrected and counted,
+double-bit flips poison the access
+(:class:`repro.faults.UncorrectableMemoryError`), and ≥3-bit flips are
+counted as silent corruption.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.faults.ecc import SECDEDModel
+from repro.faults.errors import UncorrectableMemoryError, VaultFault
 from repro.hmc.dram import VaultDRAM
 
 __all__ = ["VaultController", "Vault"]
@@ -46,7 +58,42 @@ class Vault:
     index: int
     controller: VaultController
     dram: VaultDRAM
+    failed: bool = False
+    injector: Optional[object] = None        # repro.faults.FaultInjector
+    ecc: SECDEDModel = field(default_factory=SECDEDModel)
+    ecc_corrected: int = 0
+    ecc_detected: int = 0
+    silent_corruptions: int = 0
 
+    # ------------------------------------------------------------ fault state
+    def fail(self) -> None:
+        """Take the vault offline (controller failure)."""
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
+
+    def _guard(self) -> None:
+        if self.failed:
+            raise VaultFault(self.index)
+        if self.injector is not None and self.injector.check("vault_fail", self.index):
+            self.failed = True
+            raise VaultFault(self.index)
+
+    def _ecc_filter(self, size: int) -> None:
+        """Inject raw DRAM flips for one access and apply SECDED."""
+        flips = self.injector.draw_bit_flips(size * 8, self.index)
+        if not flips:
+            return
+        outcome = self.ecc.classify(flips, self.ecc.words_in(size), self.injector.rng)
+        self.ecc_corrected += outcome.corrected
+        self.ecc_detected += outcome.detected
+        self.silent_corruptions += outcome.silent
+        if outcome.must_raise:
+            self.injector.record("dram_bit_flip", self.index, "detected-uncorrectable")
+            raise UncorrectableMemoryError(self.index)
+
+    # ------------------------------------------------------------ accesses
     def read(self, addr: int, size: int) -> float:
         """Read ``size`` bytes at vault-local ``addr``; returns latency ns.
 
@@ -54,19 +101,34 @@ class Vault:
         controller's busy time accumulates the larger of the two (the
         pipeline overlaps them, the bottleneck stage defines occupancy).
         """
+        if self.failed or self.injector is not None:
+            self._guard()
+            if self.injector is not None:
+                self._ecc_filter(size)
         dram_ns = self.dram.access(addr, size)
         wire_ns = self.controller.transfer_time_ns(size)
         self.controller.bytes_read += size
         self.controller.busy_ns += max(dram_ns, wire_ns)
+        if self.injector is not None:
+            self.injector.advance(dram_ns + wire_ns)
         return dram_ns + wire_ns
 
     def write(self, addr: int, size: int) -> float:
+        if self.failed or self.injector is not None:
+            self._guard()
         dram_ns = self.dram.access(addr, size)
         wire_ns = self.controller.transfer_time_ns(size)
         self.controller.bytes_written += size
         self.controller.busy_ns += max(dram_ns, wire_ns)
+        if self.injector is not None:
+            self.injector.advance(dram_ns + wire_ns)
         return dram_ns + wire_ns
 
     def effective_stream_bandwidth(self) -> float:
-        """Bytes/s a long sequential scan achieves through this vault."""
+        """Bytes/s a long sequential scan achieves through this vault.
+
+        A failed vault contributes nothing (its partition is offline).
+        """
+        if self.failed:
+            return 0.0
         return self.controller.peak_bandwidth * self.dram.stream_efficiency()

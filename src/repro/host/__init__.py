@@ -15,12 +15,13 @@ package implements that interface:
   simulator;
 - :mod:`repro.host.runtime` — multi-module scale-out: capacity-driven
   module allocation and the host-side global top-k reduction across
-  modules.
+  modules, with degraded-mode merging over surviving shards when
+  modules fail (see ``docs/RELIABILITY.md``).
 """
 
 from repro.host.allocator import AllocationError, FreeListAllocator
 from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
-from repro.host.runtime import MultiModuleRuntime
+from repro.host.runtime import DegradedSearchResult, MultiModuleRuntime
 from repro.host.scheduler import QueryScheduler, ScheduleResult
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "IndexMode",
     "SSAMDriver",
     "SSAMRegion",
+    "DegradedSearchResult",
     "MultiModuleRuntime",
     "QueryScheduler",
     "ScheduleResult",

@@ -41,6 +41,7 @@ from repro.ann import (
 )
 from repro.core.config import SSAMConfig
 from repro.core.module import SSAMModule
+from repro.faults.errors import FaultError, PUFault, RequestTimeout
 from repro.host.allocator import FreeListAllocator
 
 __all__ = ["IndexMode", "SSAMRegion", "SSAMDriver"]
@@ -88,13 +89,40 @@ class SSAMDriver:
         SSAM design point backing this driver's regions.
     backend:
         "functional" or "cycle" (see module docstring).
+    injector:
+        Optional :class:`repro.faults.FaultInjector`; ``pu_crash`` /
+        ``pu_stall`` faults checked per ``nexec`` attempt trigger the
+        retry path below.
+    request_timeout_s:
+        Host watchdog deadline per request attempt; a stalled PU
+        surfaces as :class:`repro.faults.RequestTimeout` when it fires.
+    max_retries:
+        ``nexec`` re-issues a faulted request up to this many times with
+        exponential backoff (``backoff_base_s * 2**attempt``) before
+        letting the typed error escape.
     """
 
-    def __init__(self, config: Optional[SSAMConfig] = None, backend: str = "functional"):
+    def __init__(
+        self,
+        config: Optional[SSAMConfig] = None,
+        backend: str = "functional",
+        injector: Optional[object] = None,
+        request_timeout_s: float = 0.1,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.001,
+    ):
         if backend not in ("functional", "cycle"):
             raise ValueError("backend must be 'functional' or 'cycle'")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.config = config or SSAMConfig.design(4)
         self.backend = backend
+        self.injector = injector
+        self.request_timeout_s = float(request_timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.total_retries = 0
+        self.total_backoff_s = 0.0
         self.allocator = FreeListAllocator(self.config.capacity_bytes)
         self._regions: Dict[int, SSAMRegion] = {}
 
@@ -177,12 +205,45 @@ class SSAMDriver:
         region.query = np.asarray(query)
 
     def nexec(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
-        """Execute the kNN search for the staged query."""
+        """Execute the kNN search for the staged query.
+
+        With a fault injector attached, each attempt may be hit by a
+        ``pu_crash`` (the unit dies, :class:`PUFault`) or a ``pu_stall``
+        (the unit wedges until the ``request_timeout_s`` watchdog fires,
+        :class:`RequestTimeout`).  Either way the driver re-issues the
+        request with exponential backoff up to ``max_retries`` times,
+        then lets the typed error escape to the caller.
+        """
         self._check(region)
         if region.query is None:
             raise RuntimeError("nwrite_query() before nexec()")
         if region.index is None:
             raise RuntimeError("nbuild_index() before nexec()")
+        if self.injector is None:
+            self._nexec_once(region, k, checks)
+            return
+        attempt = 0
+        while True:
+            try:
+                if self.injector.check("pu_crash"):
+                    raise PUFault()
+                if self.injector.check("pu_stall"):
+                    raise RequestTimeout(self.request_timeout_s)
+                self._nexec_once(region, k, checks)
+                return
+            except FaultError:
+                if attempt >= self.max_retries:
+                    raise
+                backoff_s = self.backoff_base_s * (2 ** attempt)
+                self.total_backoff_s += backoff_s
+                # Bill the backoff to the injector clock so scheduled
+                # transient faults can clear while the driver waits.
+                self.injector.advance(backoff_s * 1e9)
+                attempt += 1
+                self.total_retries += 1
+
+    def _nexec_once(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
+        """One attempt of the staged query (no retry policy)."""
         if (
             self.backend == "cycle"
             and region.mode in (IndexMode.LINEAR, IndexMode.HAMMING)

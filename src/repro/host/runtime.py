@@ -7,19 +7,30 @@ the search across SSAM processing units and performs the final set of
 global top-k reductions".  :class:`MultiModuleRuntime` implements that:
 shard the dataset across as many modules as capacity demands, broadcast
 each query, and k-way-merge the partial results.
+
+Degraded-mode serving: a kNN service has an unusual graceful-degradation
+story — losing a shard does not fail the query, it measurably lowers
+*recall* (the lost rows simply can't be returned).  ``search`` therefore
+merges over the surviving shards when modules are down (explicitly via
+:meth:`fail_module` or through an attached
+:class:`repro.faults.FaultInjector` firing ``module_loss``), marks the
+response ``degraded=True``, and reports the expected recall loss as the
+fraction of corpus rows unreachable.  Only when *every* shard is down
+does the query fail (:class:`repro.faults.ModuleLost`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.ann import LinearScan, SearchResult, SearchStats
 from repro.core.config import SSAMConfig
+from repro.faults.errors import FaultError, ModuleLost
 
-__all__ = ["MultiModuleRuntime"]
+__all__ = ["MultiModuleRuntime", "DegradedSearchResult"]
 
 
 @dataclass
@@ -31,6 +42,23 @@ class _Shard:
     index: LinearScan
 
 
+@dataclass
+class DegradedSearchResult(SearchResult):
+    """A :class:`SearchResult` annotated with failure-domain metadata.
+
+    ``degraded=False`` means every shard answered and ids/distances are
+    bit-exact with the fault-free merge.  When shards were down,
+    ``failed_modules`` lists them and ``expected_recall_loss`` is the
+    fraction of corpus rows that were unreachable — an upper bound on
+    the average recall@k lost, and exact when neighbors are uniform
+    across shards.
+    """
+
+    degraded: bool = False
+    failed_modules: List[int] = field(default_factory=list)
+    expected_recall_loss: float = 0.0
+
+
 class MultiModuleRuntime:
     """Shards a corpus across SSAM modules and merges query results.
 
@@ -38,12 +66,27 @@ class MultiModuleRuntime:
     this class is the *distribution* logic — capacity-driven sharding,
     broadcast, and the host-side global top-k reduction — which is
     identical for both backends.
+
+    Parameters
+    ----------
+    config, metric:
+        Design point (capacity drives the shard count) and distance.
+    injector:
+        Optional :class:`repro.faults.FaultInjector`; ``module_loss``
+        faults checked per shard per request latch the module failed.
     """
 
-    def __init__(self, config: Optional[SSAMConfig] = None, metric: str = "euclidean"):
+    def __init__(
+        self,
+        config: Optional[SSAMConfig] = None,
+        metric: str = "euclidean",
+        injector: Optional[object] = None,
+    ):
         self.config = config or SSAMConfig.design(4)
         self.metric = metric
+        self.injector = injector
         self.shards: List[_Shard] = []
+        self._failed: set = set()
         self._n_rows = 0
 
     def modules_needed(self, nbytes: int) -> int:
@@ -60,6 +103,7 @@ class MultiModuleRuntime:
         n_modules = self.modules_needed(arr.nbytes)
         bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
         self.shards = []
+        self._failed = set()
         for m in range(n_modules):
             lo, hi = int(bounds[m]), int(bounds[m + 1])
             if hi > lo:
@@ -73,22 +117,81 @@ class MultiModuleRuntime:
         self._n_rows = arr.shape[0]
         return n_modules
 
-    def search(self, queries: np.ndarray, k: int) -> SearchResult:
-        """Broadcast queries to every module; merge per-module top-k."""
+    # ------------------------------------------------------------ fault state
+    def fail_module(self, module_index: int) -> None:
+        """Mark one module's shard unreachable (until repaired)."""
+        self._failed.add(module_index)
+
+    def repair_module(self, module_index: int) -> None:
+        self._failed.discard(module_index)
+
+    def repair_all(self) -> None:
+        self._failed = set()
+
+    @property
+    def failed_modules(self) -> List[int]:
+        return sorted(self._failed)
+
+    def surviving_rows(self) -> np.ndarray:
+        """Global row ids still reachable (for recall accounting)."""
+        alive = [
+            np.arange(s.row_offset, s.row_offset + s.index.n, dtype=np.int64)
+            for s in self.shards
+            if s.module_index not in self._failed
+        ]
+        if not alive:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(alive)
+
+    def _shard_alive(self, shard: _Shard) -> bool:
+        if shard.module_index in self._failed:
+            return False
+        if self.injector is not None and self.injector.check("module_loss", shard.module_index):
+            self._failed.add(shard.module_index)
+            return False
+        return True
+
+    # ------------------------------------------------------------ search
+    def search(self, queries: np.ndarray, k: int) -> DegradedSearchResult:
+        """Broadcast queries to every live module; merge per-module top-k.
+
+        Shards that are down (or that fault mid-request) are dropped
+        from the merge; the response is then ``degraded=True`` with the
+        unreachable corpus fraction in ``expected_recall_loss``.
+        """
         if not self.shards:
             raise RuntimeError("load() a dataset before search()")
         partials = []
         stats = SearchStats()
+        lost_rows = 0
         for shard in self.shards:
-            res = shard.index.search(queries, k)
+            if not self._shard_alive(shard):
+                lost_rows += shard.index.n
+                continue
+            try:
+                res = shard.index.search(queries, k)
+            except FaultError:
+                self._failed.add(shard.module_index)
+                lost_rows += shard.index.n
+                continue
             ids = np.where(res.ids >= 0, res.ids + shard.row_offset, res.ids)
             partials.append((ids, res.distances))
             stats += res.stats
+        if not partials:
+            raise ModuleLost(detail="no surviving shards to serve the query")
         all_ids = np.concatenate([p[0] for p in partials], axis=1)
         all_d = np.concatenate([p[1] for p in partials], axis=1)
         order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
         rows = np.arange(all_d.shape[0])[:, None]
-        return SearchResult(ids=all_ids[rows, order], distances=all_d[rows, order], stats=stats)
+        failed = sorted(self._failed)
+        return DegradedSearchResult(
+            ids=all_ids[rows, order],
+            distances=all_d[rows, order],
+            stats=stats,
+            degraded=bool(failed),
+            failed_modules=failed,
+            expected_recall_loss=lost_rows / self._n_rows if self._n_rows else 0.0,
+        )
 
     @property
     def n_modules(self) -> int:

@@ -7,12 +7,20 @@ vaults), so the pool behaves like a multi-server queue with
 deterministic service times.  :class:`QueryScheduler` runs a discrete
 event simulation of that queue and reports the latency distribution —
 the quantity the paper's "stringent latency budgets" argument is about.
+
+Failure/repair modeling: passing ``mtbf_seconds``/``mttr_seconds`` to
+:meth:`QueryScheduler.simulate` gives each module an exponential
+time-between-failures and a deterministic repair time.  A module that
+fails mid-service aborts and re-runs the in-flight query after repair
+(counted in ``ScheduleResult.retries``), and a module that is down at
+dispatch delays the query until it is back — so the latency
+distribution reflects both retry latency and the pool's capacity loss.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import List, Optional
 
 import numpy as np
@@ -27,6 +35,14 @@ class ScheduleResult:
     latencies: np.ndarray
     service_seconds: float
     n_modules: int
+    retries: int = 0
+    downtime_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if np.asarray(self.latencies).size == 0:
+            raise ValueError(
+                "empty query stream: latency statistics need at least one query"
+            )
 
     @property
     def mean(self) -> float:
@@ -79,15 +95,26 @@ class QueryScheduler:
         n_queries: int = 10_000,
         poisson: bool = True,
         seed: int = 0,
+        mtbf_seconds: Optional[float] = None,
+        mttr_seconds: Optional[float] = None,
     ) -> ScheduleResult:
         """Simulate ``n_queries`` arrivals at ``arrival_qps``.
 
         ``poisson=False`` uses a deterministic arrival spacing (the
         best case); Poisson arrivals expose queueing waits as the load
         approaches capacity.
+
+        ``mtbf_seconds`` arms per-module failures (exponential
+        inter-failure times) repaired after ``mttr_seconds``
+        (deterministic; defaults to ``10 * service_seconds``).  All
+        draws come from the one generator seeded with ``seed`` —
+        arrivals first, then failure times — so runs are reproducible
+        and the fault-free path is bit-exact with ``mtbf_seconds=None``.
         """
         if arrival_qps <= 0 or n_queries <= 0:
             raise ValueError("arrival_qps and n_queries must be positive")
+        if mtbf_seconds is not None and mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
         rng = np.random.default_rng(seed)
         if poisson:
             gaps = rng.exponential(1.0 / arrival_qps, size=n_queries)
@@ -95,22 +122,44 @@ class QueryScheduler:
             gaps = np.full(n_queries, 1.0 / arrival_qps)
         arrivals = np.cumsum(gaps)
 
-        # Multi-server FIFO: a min-heap of module-free times.
-        free_at: List[float] = [0.0] * self.n_modules
-        import heapq
+        faulty = mtbf_seconds is not None
+        mttr = float(mttr_seconds) if mttr_seconds is not None else 10.0 * self.service_seconds
+        next_fail: List[float] = (
+            [float(rng.exponential(mtbf_seconds)) for _ in range(self.n_modules)]
+            if faulty
+            else []
+        )
 
-        heapq.heapify(free_at)
+        # Multi-server FIFO: a min-heap of (module-free time, module id).
+        free_at = [(0.0, m) for m in range(self.n_modules)]
+        heapify(free_at)
         latencies = np.empty(n_queries)
+        retries = 0
+        downtime = 0.0
         for i, t in enumerate(arrivals):
-            earliest = heappop(free_at)
+            earliest, m = heappop(free_at)
             start = max(t, earliest)
+            if faulty:
+                # Outages that elapsed while the module sat idle just
+                # push the start; an outage inside the service window
+                # aborts and re-runs the query after repair.
+                while next_fail[m] < start + self.service_seconds:
+                    fail_t = next_fail[m]
+                    repair_t = fail_t + mttr
+                    downtime += mttr
+                    if fail_t > start:
+                        retries += 1        # query was in flight; re-run
+                    start = max(start, repair_t)
+                    next_fail[m] = repair_t + float(rng.exponential(mtbf_seconds))
             done = start + self.service_seconds
-            heappush(free_at, done)
+            heappush(free_at, (done, m))
             latencies[i] = done - t
         return ScheduleResult(
             latencies=latencies,
             service_seconds=self.service_seconds,
             n_modules=self.n_modules,
+            retries=retries,
+            downtime_seconds=downtime,
         )
 
     def max_load_within_budget(

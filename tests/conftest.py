@@ -1,11 +1,25 @@
-"""Shared fixtures: small deterministic datasets and built indexes."""
+"""Shared fixtures: small deterministic datasets and built indexes.
+
+Hypothesis profiles are seed-pinned here so property tests (notably the
+fault-injection/degraded-merge ones) are reproducible across the
+py3.9/3.12 CI matrix: the ``ci`` profile derandomizes example
+generation entirely; the default ``dev`` profile keeps local runs
+exploratory but prints replay blobs on failure.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.ann import LinearScan
+
+settings.register_profile("dev", deadline=None, print_blob=True)
+settings.register_profile("ci", deadline=None, print_blob=True, derandomize=True)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,289 @@
+"""Fault-injection framework: plans, HMC failure states, driver retry."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    LinkError,
+    ModuleLost,
+    PUFault,
+    SECDEDModel,
+    UncorrectableMemoryError,
+    VaultFault,
+)
+from repro.hmc import ExternalLink, HMCModule, LinkSet
+from repro.hmc.config import HMCConfig
+from repro.host import IndexMode, SSAMDriver
+
+RNG = np.random.default_rng(99)
+DATA = RNG.standard_normal((120, 8)).astype(np.float32)
+QUERY = DATA[3] + 0.01
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan().inject("cosmic_ray", probability=0.5)
+
+    def test_spec_needs_trigger(self):
+        with pytest.raises(ValueError, match="needs a trigger"):
+            FaultSpec(kind="link_crc")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan().inject("link_crc", probability=1.5)
+
+    def test_empty_plan_never_fires(self):
+        inj = FaultPlan.empty(seed=5).injector()
+        assert not any(inj.check("link_crc", t) for t in range(100))
+        assert inj.n_fired == 0
+
+    def test_scheduled_fault_respects_clock_and_duration(self):
+        plan = FaultPlan().inject("vault_fail", target=3, at_time_ns=100.0, duration_ns=50.0)
+        inj = plan.injector()
+        assert not inj.check("vault_fail", 3)
+        inj.advance(120.0)
+        assert inj.check("vault_fail", 3)
+        assert not inj.check("vault_fail", 4)     # wrong target
+        inj.advance(100.0)                        # past the window
+        assert not inj.check("vault_fail", 3)
+
+    def test_forcing_scope(self):
+        inj = FaultPlan.empty().injector()
+        with inj.forcing("module_loss", target=1):
+            assert inj.check("module_loss", 1)
+            assert not inj.check("module_loss", 2)
+        assert not inj.check("module_loss", 1)
+
+    def test_probability_draws_are_seed_deterministic(self):
+        plan = FaultPlan(seed=11).inject("link_crc", probability=0.3)
+        a = [plan.injector().check("link_crc", 0) for _ in range(1)]
+        seq1 = [x for inj in [plan.injector()] for x in [inj.check("link_crc", 0) for _ in range(64)]]
+        seq2 = [x for inj in [plan.injector()] for x in [inj.check("link_crc", 0) for _ in range(64)]]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+        assert a  # silence lint; first draw exists
+
+
+class TestSECDED:
+    def test_classification_counts(self):
+        model = SECDEDModel(word_bits=64)
+        rng = np.random.default_rng(0)
+        assert model.classify(0, 4, rng).clean
+        one = model.classify(1, 1, rng)
+        assert (one.corrected, one.detected, one.silent) == (1, 0, 0)
+        two = model.classify(2, 1, rng)
+        assert two.detected == 1 and two.must_raise
+        many = model.classify(5, 1, rng)
+        assert many.silent == 1 and not many.must_raise
+
+    def test_words_in(self):
+        model = SECDEDModel(word_bits=64)
+        assert model.words_in(8) == 1
+        assert model.words_in(9) == 2
+        assert model.words_in(0) == 1
+
+
+class TestLinkFaults:
+    def test_forced_crc_exhausts_retry_budget(self):
+        link = ExternalLink(crc_retry_limit=4)
+        link.injector = FaultPlan.empty().injector()
+        with link.injector.forcing("link_crc"):
+            with pytest.raises(LinkError, match="retry budget"):
+                link.send(256)
+        assert link.retries == 4
+        assert link.retry_bytes == 4 * link.packet_bytes(256)
+
+    def test_crc_retry_accounting_and_time(self):
+        # p=0.5, seed=1: some packets retry, none exhaust an 8-deep budget.
+        plan = FaultPlan(seed=1).inject("link_crc", probability=0.5)
+        link = ExternalLink()
+        link.injector = plan.injector()
+        clean_ns = ExternalLink().send(256)
+        total = sum(link.send(256) for _ in range(50))
+        assert link.retries > 0
+        assert link.retry_bytes == link.retries * link.packet_bytes(256)
+        assert total > 50 * clean_ns                    # retries cost time
+        assert 0.0 < link.observed_efficiency() < link.efficiency(256)
+
+    def test_linkset_surfaces_retry_overhead_in_efficiency(self):
+        plan = FaultPlan(seed=2).inject("link_crc", probability=0.4)
+        ls = LinkSet()
+        ls.attach_injector(plan.injector())
+        ideal = ls.efficiency(512)
+        for _ in range(40):
+            ls.send(512)
+        assert ls.retries > 0
+        assert ls.retry_overhead() > 0.0
+        assert ls.efficiency(512) == pytest.approx(ideal * (1 - ls.retry_overhead()))
+        assert ls.observed_efficiency() < ideal
+
+    def test_payload_validation_consistent_across_classes(self):
+        link, ls = ExternalLink(), LinkSet()
+        for bad_call in (
+            lambda: link.packet_bytes(-1),
+            lambda: link.efficiency(-1),
+            lambda: link.send(-1),
+            lambda: ls.efficiency(-1),
+            lambda: ls.send(-1),
+        ):
+            with pytest.raises(ValueError, match="non-negative"):
+                bad_call()
+        # Zero payload: header/tail-only packet, zero payload efficiency.
+        assert link.packet_bytes(0) == 32
+        assert link.efficiency(0) == 0.0
+        assert ls.efficiency(0) == 0.0
+
+
+class TestVaultAndModuleFaults:
+    def _module(self, plan=None):
+        cfg = HMCConfig()
+        m = HMCModule(cfg)
+        if plan is not None:
+            m.attach_injector(plan.injector(), module_index=0)
+        return m
+
+    def test_vault_fail_latches_and_repairs(self):
+        m = self._module(FaultPlan())
+        vault = m.vaults[5]
+        with m.injector.forcing("vault_fail", target=5):
+            with pytest.raises(VaultFault, match="vault 5"):
+                vault.read(0, 64)
+        assert vault.failed
+        with pytest.raises(VaultFault):                 # latched without forcing
+            vault.read(0, 64)
+        assert vault.effective_stream_bandwidth() == 0.0
+        vault.repair()
+        assert vault.read(0, 64) > 0.0
+
+    def test_failed_vault_degrades_module_bandwidth(self):
+        m = self._module()
+        full = m.streaming_bandwidth()
+        m.vaults[0].fail()
+        m.vaults[1].fail()
+        degraded = m.streaming_bandwidth()
+        assert degraded == pytest.approx(full * 30 / 32)
+        assert m.n_failed_vaults == 2
+        assert m.available_fraction() == pytest.approx(30 / 32)
+
+    def test_ecc_silent_corruption_counted(self):
+        # ber=1 flips every bit: one 4-byte read = 32 flips in one word
+        # -> silent (aliased) corruption, no exception.
+        plan = FaultPlan(seed=0).inject("dram_bit_flip", ber=1.0)
+        m = self._module(plan)
+        m.vaults[0].read(0, 4)
+        assert m.vaults[0].silent_corruptions >= 1
+        assert m.vaults[0].ecc_detected == 0
+
+    def test_ecc_detected_uncorrectable_raises(self):
+        class TwoFlips:
+            rng = np.random.default_rng(0)
+            def check(self, kind, target=None):
+                return False
+            def draw_bit_flips(self, nbits, target=None):
+                return 2
+            def advance(self, ns):
+                pass
+            def record(self, *a, **k):
+                pass
+
+        m = self._module()
+        m.vaults[2].injector = TwoFlips()
+        with pytest.raises(UncorrectableMemoryError, match="uncorrectable"):
+            m.vaults[2].read(0, 8)                      # 2 flips in 1 word
+        assert m.vaults[2].ecc_detected == 1
+
+    def test_module_loss_latches(self):
+        m = self._module(FaultPlan())
+        with m.injector.forcing("module_loss"):
+            with pytest.raises(ModuleLost, match="module 0"):
+                m.read(0, 256)
+        assert m.lost
+        with pytest.raises(ModuleLost):
+            m.read(0, 256)
+        assert m.streaming_bandwidth() == 0.0
+        assert m.available_fraction() == 0.0
+        m.repair()
+        assert m.read(0, 256) > 0.0
+
+    def test_fault_free_module_unchanged(self):
+        plain, armed = self._module(), self._module(FaultPlan.empty())
+        assert plain.read(0, 4096) == armed.read(0, 4096)
+        assert plain.streaming_bandwidth() == armed.streaming_bandwidth()
+
+
+class TestDeterminism:
+    def _run(self, plan):
+        inj = plan.injector()
+        m = HMCModule(HMCConfig())
+        m.attach_injector(inj)
+        sent, latency = 0, 0.0
+        for i in range(200):
+            try:
+                latency += m.read((i * 8192) % (1 << 20), 4096)
+            except (VaultFault, ModuleLost):
+                pass
+            try:
+                latency += m.links.send(64)
+                sent += 1
+            except LinkError:
+                pass
+        return inj.signature(), sent, latency, m.n_failed_vaults
+
+    def test_identical_runs_are_byte_identical(self):
+        plan = (
+            FaultPlan(seed=42)
+            .inject("link_crc", probability=0.2)
+            .inject("vault_fail", probability=0.002)
+            .inject("dram_bit_flip", ber=1e-6)
+        )
+        assert self._run(plan) == self._run(plan)
+
+    def test_different_seeds_diverge(self):
+        mk = lambda s: (
+            FaultPlan(seed=s)
+            .inject("link_crc", probability=0.2)
+            .inject("vault_fail", probability=0.01)
+        )
+        assert self._run(mk(1))[0] != self._run(mk(2))[0]
+
+
+class TestDriverRetry:
+    def _driver(self, plan, **kw):
+        driver = SSAMDriver(injector=plan.injector(), **kw)
+        buf = driver.nmalloc(DATA.nbytes)
+        driver.nmode(buf, IndexMode.LINEAR)
+        driver.nmemcpy(buf, DATA)
+        driver.nbuild_index(buf)
+        driver.nwrite_query(buf, QUERY)
+        return driver, buf
+
+    def test_pu_crash_exhausts_retries(self):
+        driver, buf = self._driver(FaultPlan(), max_retries=2)
+        with driver.injector.forcing("pu_crash"):
+            with pytest.raises(PUFault):
+                driver.nexec(buf, k=5)
+        assert driver.total_retries == 2
+        assert driver.total_backoff_s == pytest.approx(0.001 * (1 + 2))
+
+    def test_transient_stall_retried_to_success(self):
+        # Stall window [0, 0.5ms); the first backoff (1ms) clears it.
+        plan = FaultPlan().inject("pu_stall", at_time_ns=0.0, duration_ns=0.5e6)
+        driver, buf = self._driver(plan, max_retries=3, backoff_base_s=0.001)
+        driver.nexec(buf, k=5)
+        assert driver.total_retries == 1
+        ids = driver.nread_result(buf)
+        assert ids[0] == 3                               # query = DATA[3] + eps
+
+    def test_no_injector_zero_overhead_path(self):
+        driver = SSAMDriver()
+        assert driver.injector is None
+        buf = driver.nmalloc(DATA.nbytes)
+        driver.nmemcpy(buf, DATA)
+        driver.nbuild_index(buf)
+        driver.nwrite_query(buf, QUERY)
+        driver.nexec(buf, k=5)
+        assert driver.total_retries == 0 and driver.total_backoff_s == 0.0

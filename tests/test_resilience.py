@@ -1,0 +1,173 @@
+"""Degraded-mode serving: merge correctness, scheduler faults, experiment."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import LinearScan
+from repro.core.config import SSAMConfig
+from repro.faults import FaultPlan, ModuleLost
+from repro.host import DegradedSearchResult, MultiModuleRuntime, QueryScheduler
+from repro.host.scheduler import ScheduleResult
+
+RNG = np.random.default_rng(4)
+DATA = RNG.standard_normal((240, 12)).astype(np.float64)
+QUERIES = DATA[:5] + 0.01
+
+
+def _runtime(n_modules: int, data=DATA) -> MultiModuleRuntime:
+    rt = MultiModuleRuntime(SSAMConfig(capacity_bytes=data.nbytes // n_modules + 1))
+    rt.load(data)
+    return rt
+
+
+class TestDegradedMerge:
+    def test_fault_free_response_is_not_degraded(self):
+        rt = _runtime(4)
+        res = rt.search(QUERIES, 5)
+        assert isinstance(res, DegradedSearchResult)
+        assert not res.degraded
+        assert res.failed_modules == []
+        assert res.expected_recall_loss == 0.0
+        exact = LinearScan().build(DATA).search(QUERIES, 5)
+        np.testing.assert_array_equal(res.ids, exact.ids)
+
+    def test_one_failed_shard_serves_survivors(self):
+        rt = _runtime(4)
+        rt.fail_module(1)
+        res = rt.search(QUERIES, 5)
+        assert res.degraded and res.failed_modules == [1]
+        surviving = rt.surviving_rows()
+        assert res.expected_recall_loss == pytest.approx(1 - surviving.size / DATA.shape[0])
+        assert not np.isin(res.ids, np.setdiff1d(np.arange(DATA.shape[0]), surviving)).any()
+
+    def test_repair_restores_exact_serving(self):
+        rt = _runtime(3)
+        rt.fail_module(0)
+        assert rt.search(QUERIES, 4).degraded
+        rt.repair_module(0)
+        res = rt.search(QUERIES, 4)
+        assert not res.degraded
+        exact = LinearScan().build(DATA).search(QUERIES, 4)
+        np.testing.assert_array_equal(res.ids, exact.ids)
+
+    def test_all_shards_lost_raises(self):
+        rt = _runtime(2)
+        rt.fail_module(0)
+        rt.fail_module(1)
+        with pytest.raises(ModuleLost, match="no surviving shards"):
+            rt.search(QUERIES, 3)
+
+    def test_injector_module_loss_latches_shard(self):
+        plan = FaultPlan().inject("module_loss", target=0, at_time_ns=0.0)
+        rt = MultiModuleRuntime(
+            SSAMConfig(capacity_bytes=DATA.nbytes // 3 + 1), injector=plan.injector()
+        )
+        rt.load(DATA)
+        res = rt.search(QUERIES, 5)
+        assert res.degraded and res.failed_modules == [0]
+        assert rt.failed_modules == [0]
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(20, 220),
+        k=st.integers(1, 12),
+        n_modules=st.integers(2, 6),
+    )
+    @settings(max_examples=40)
+    def test_degraded_topk_equals_linear_scan_over_survivors(self, seed, n, k, n_modules):
+        """With f failed shards the merge is bit-identical to a LinearScan
+        over the surviving rows — for random f, k, n (ISSUE 2 property)."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, 6))
+        queries = rng.standard_normal((3, 6))
+        rt = _runtime(n_modules, data=data)
+        f = int(rng.integers(1, rt.n_modules))
+        for m in rng.choice(rt.n_modules, size=f, replace=False):
+            rt.fail_module(int(m))
+        res = rt.search(queries, k)
+        surviving = rt.surviving_rows()
+        ref = LinearScan().build(data[surviving]).search(queries, k)
+        mapped = np.where(ref.ids >= 0, surviving[ref.ids], np.int64(-1))
+        np.testing.assert_array_equal(res.ids, mapped)
+        np.testing.assert_array_equal(res.distances, ref.distances)
+        assert res.degraded
+        assert res.expected_recall_loss == pytest.approx(1 - surviving.size / n)
+
+
+class TestSchedulerFaults:
+    def test_empty_stream_raises_clear_error(self):
+        with pytest.raises(ValueError, match="empty query stream"):
+            ScheduleResult(latencies=np.empty(0), service_seconds=0.01, n_modules=1)
+
+    def test_mtbf_disabled_is_bit_exact_with_seed(self):
+        s = QueryScheduler(n_modules=3, service_seconds=0.01)
+        a = s.simulate(100.0, n_queries=500, seed=5)
+        b = s.simulate(100.0, n_queries=500, seed=5, mtbf_seconds=None)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+        assert a.retries == b.retries == 0
+
+    def test_failures_inflate_tail_and_count_retries(self):
+        s = QueryScheduler(n_modules=2, service_seconds=0.01)
+        clean = s.simulate(100.0, n_queries=2000, seed=3)
+        faulty = s.simulate(100.0, n_queries=2000, seed=3,
+                            mtbf_seconds=1.0, mttr_seconds=0.2)
+        assert faulty.retries > 0
+        assert faulty.downtime_seconds > 0.0
+        assert faulty.p99 > clean.p99
+        assert faulty.mean > clean.mean
+
+    def test_faulty_runs_reproducible(self):
+        s = QueryScheduler(n_modules=4, service_seconds=0.005)
+        kw = dict(n_queries=1500, seed=9, mtbf_seconds=0.5, mttr_seconds=0.05)
+        a, b = s.simulate(300.0, **kw), s.simulate(300.0, **kw)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+        assert a.retries == b.retries
+        assert a.downtime_seconds == b.downtime_seconds
+
+
+class TestResilienceExperiment:
+    _small = dict(
+        n=300, n_queries=6, n_modules=4,
+        fail_fractions=(0.0, 0.25, 0.5),
+        vault_fractions=(0.0, 0.25),
+        sched_queries=200,
+    )
+
+    def test_smoke_monotone_and_artifact(self, tmp_path):
+        from repro.experiments.resilience import run_resilience
+
+        out = tmp_path / "resilience.json"
+        rows, text = run_resilience(out=str(out), **self._small)
+        module_rows = [r for r in rows if r["sweep"] == "module_loss"]
+        recalls = [r["recall_at_k"] for r in module_rows]
+        assert recalls == sorted(recalls, reverse=True)          # monotone
+        assert recalls[0] == 1.0
+        assert module_rows[-1]["degraded"]
+        p99s = [r["p99_ms"] for r in module_rows]
+        assert p99s == sorted(p99s)                              # capacity loss
+        artifact = json.loads(out.read_text())
+        assert artifact["module_loss"] and artifact["vault_loss"]
+        assert artifact["mtbf_demo"]["retries"] >= 0
+        assert "recall" in text
+
+    def test_runs_byte_identical(self, tmp_path):
+        from repro.experiments.resilience import run_resilience
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        rows_a, _ = run_resilience(out=str(a), **self._small)
+        rows_b, _ = run_resilience(out=str(b), **self._small)
+        assert rows_a == rows_b
+        assert a.read_bytes() == b.read_bytes()
+
+    @pytest.mark.slow
+    def test_full_sweep_monotone(self, tmp_path):
+        from repro.experiments.resilience import run_resilience
+
+        rows, _ = run_resilience(out=str(tmp_path / "resilience.json"))
+        for sweep in ("module_loss", "vault_loss"):
+            recalls = [r["recall_at_k"] for r in rows if r["sweep"] == sweep]
+            assert recalls == sorted(recalls, reverse=True)
