@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.isa.program import Program
 from repro.isa.simulator import MachineConfig, RunStats, Simulator
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "Kernel",
@@ -213,11 +214,24 @@ class Kernel:
         happened.  Pass an explicit simulator to bypass memoisation and
         observe the post-run machine state.
         """
-        if sim is None:
-            from repro.core.simcache import run_cached
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "kernel.run", "kernel", kernel=self.name, k=self.k,
+            vlen=self.machine.vector_length, cached_path=sim is None,
+        ) as span:
+            if sim is None:
+                from repro.core.simcache import run_cached
 
-            return run_cached(self, max_instructions)
-        return self._execute(sim, max_instructions)
+                result = run_cached(self, max_instructions)
+            else:
+                result = self._execute(sim, max_instructions)
+            if tel.enabled:
+                span.set(cycles=result.stats.cycles,
+                         instructions=result.stats.instructions)
+                tel.metrics.inc("ssam_kernel_runs_total", 1,
+                                help="kernel executions by kernel name",
+                                kernel=self.name)
+            return result
 
     def _execute(self, sim: Simulator,
                  max_instructions: int) -> KernelResult:

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
+from repro.telemetry import get_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.kernels.common import Kernel, KernelResult
@@ -126,11 +127,20 @@ class SimulationCache:
 
     def lookup(self, key: bytes) -> Optional["KernelResult"]:
         entry = self._entries.get(key)
+        tel = get_telemetry()
         if entry is None:
             self.misses += 1
+            if tel.enabled:
+                tel.metrics.inc("ssam_simcache_misses_total", 1,
+                                help="kernel-simulation cache misses")
+                tel.tracer.event("simcache.miss")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if tel.enabled:
+            tel.metrics.inc("ssam_simcache_hits_total", 1,
+                            help="kernel-simulation cache hits")
+            tel.tracer.event("simcache.hit")
         return self._copy(entry)
 
     def store(self, key: bytes, result: "KernelResult") -> None:
@@ -147,6 +157,14 @@ class SimulationCache:
     def info(self) -> Dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "maxsize": self.maxsize}
+
+    def stats(self) -> Dict[str, float]:
+        """:meth:`info` plus the hit rate — the reporting-friendly view
+        surfaced by experiment summaries and the bench runner."""
+        out: Dict[str, float] = dict(self.info())
+        total = self.hits + self.misses
+        out["hit_rate"] = self.hits / total if total else 0.0
+        return out
 
 
 _GLOBAL_CACHE = SimulationCache()

@@ -5,9 +5,16 @@ Usage::
     python -m repro.experiments            # run everything
     python -m repro.experiments fig6 tco   # run a subset
     python -m repro.experiments --list     # show available experiments
+    python -m repro.experiments fig6 --telemetry results/run.json
 
 Each experiment prints the table its paper artifact reports; the same
 runners back the benchmark suite (``pytest benchmarks/``).
+
+``--telemetry PATH`` records the whole invocation into one telemetry
+session — every experiment gets a wall span, and all the layer-level
+spans/counters (engines, simcache, links, scheduler, faults) land in
+the run JSON at PATH.  Render it with
+``python -m repro.telemetry.report PATH`` (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import argparse
 import sys
 import time
 
+from repro.core.simcache import get_cache
 from repro.experiments import (
     run_bench,
     run_binarization,
@@ -81,6 +89,9 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each experiment's rows to DIR/<name>.csv")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record spans/counters for the run and write the "
+                             "telemetry JSON to PATH")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -93,21 +104,57 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}; use --list")
 
-    for name in names:
-        runner, desc = RUNNERS[name]
-        t0 = time.perf_counter()
-        rows, text = runner()
-        dt = time.perf_counter() - t0
-        print(f"\n{'=' * 72}\n{desc}   [{dt:.1f}s]\n{'=' * 72}")
-        print(text)
-        if args.csv:
-            import os
+    session = prev = None
+    if args.telemetry:
+        from repro import telemetry
 
-            from repro.analysis.export import save_rows
+        session = telemetry.Telemetry(meta={"experiments": " ".join(names)})
+        prev = telemetry.install(session)
+    try:
+        for name in names:
+            runner, desc = RUNNERS[name]
+            cache_before = get_cache().stats()
+            t0 = time.perf_counter()
+            if session is not None:
+                with session.tracer.span(f"experiment.{name}", "experiment"):
+                    rows, text = runner()
+            else:
+                rows, text = runner()
+            dt = time.perf_counter() - t0
+            cache_after = get_cache().stats()
+            print(f"\n{'=' * 72}\n{desc}   [{dt:.1f}s]\n{'=' * 72}")
+            print(text)
+            print(_simcache_summary(cache_before, cache_after))
+            if args.csv:
+                import os
 
-            path = save_rows(rows, os.path.join(args.csv, f"{name}.csv"))
-            print(f"[rows written to {path}]")
+                from repro.analysis.export import save_rows
+
+                path = save_rows(rows, os.path.join(args.csv, f"{name}.csv"))
+                print(f"[rows written to {path}]")
+    finally:
+        if session is not None:
+            from repro import telemetry
+
+            telemetry.uninstall(prev)
+            path = session.save(args.telemetry)
+            print(f"\n[telemetry run written to {path}; render with "
+                  f"`python -m repro.telemetry.report {path}`]")
     return 0
+
+
+def _simcache_summary(before: dict, after: dict) -> str:
+    """One-line kernel-simulation-cache delta for an experiment's summary."""
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    return (
+        f"[simcache: +{hits} hits / +{misses} misses this experiment "
+        f"(hit rate {rate:.0%}); process totals: {after['entries']} entries, "
+        f"{after['hits']} hits / {after['misses']} misses "
+        f"({after['hit_rate']:.0%})]"
+    )
 
 
 if __name__ == "__main__":

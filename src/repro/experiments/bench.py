@@ -112,7 +112,7 @@ def run_bench():
         for e in ("interp", "predecode", "trace")
     }
     experiments = _bench_experiments()
-    cache = get_cache().info()
+    cache = get_cache().stats()
 
     payload = {
         "bench_version": 1,
@@ -158,7 +158,8 @@ def run_bench():
         )
     lines.append(
         f"simcache: {cache['entries']} entries, "
-        f"{cache['hits']} hits / {cache['misses']} misses"
+        f"{cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%})"
     )
     lines.append(f"[written to {path}]")
     return rows, "\n".join(lines)

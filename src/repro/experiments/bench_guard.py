@@ -1,0 +1,77 @@
+"""Bench regression guard: compare a fresh bench run against a baseline.
+
+CI records the repo's committed ``BENCH_1.json`` before re-running the
+bench, then calls this guard::
+
+    cp BENCH_1.json /tmp/bench_baseline.json
+    python -m repro.experiments bench --telemetry results/bench_telemetry.json
+    python -m repro.experiments.bench_guard \
+        --baseline /tmp/bench_baseline.json --new BENCH_1.json --min-ratio 0.8
+
+The guard fails (exit 1) when the trace engine's speedup over the
+interpreter drops below ``min_ratio`` of the recorded value — the
+signal that an instrumentation or engine change ate the fast path.
+The ratio-of-speedups form is deliberately insensitive to absolute
+machine speed: both engines run on the same host, so their quotient
+cancels the hardware out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["check_speedup", "main"]
+
+GUARDED_ENGINE = "trace"
+
+
+def _speedup(payload: dict, engine: str) -> float:
+    try:
+        return float(payload["engine_speedup_vs_interp"][engine])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"bench payload has no engine_speedup_vs_interp[{engine!r}]"
+        ) from exc
+
+
+def check_speedup(baseline: dict, new: dict, min_ratio: float = 0.8,
+                  engine: str = GUARDED_ENGINE) -> Tuple[bool, str]:
+    """Returns (ok, message) for the trace-engine speedup guard."""
+    base = _speedup(baseline, engine)
+    cur = _speedup(new, engine)
+    ratio = cur / base if base > 0 else float("inf")
+    verdict = "OK" if ratio >= min_ratio else "REGRESSION"
+    message = (
+        f"{verdict}: {engine} engine speedup {cur:.1f}x vs recorded "
+        f"{base:.1f}x (ratio {ratio:.2f}, floor {min_ratio:.2f})"
+    )
+    return ratio >= min_ratio, message
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench_guard",
+        description="Fail when the fresh bench regresses vs the baseline.",
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="recorded BENCH_1.json (the committed numbers)")
+    parser.add_argument("--new", required=True, dest="new_path",
+                        help="freshly written BENCH_1.json")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="minimum new/recorded speedup ratio (default 0.8)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.new_path) as fh:
+        new = json.load(fh)
+    ok, message = check_speedup(baseline, new, min_ratio=args.min_ratio)
+    print(message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

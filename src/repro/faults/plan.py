@@ -33,6 +33,8 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
+
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultRecord", "FaultPlan", "FaultInjector"]
 
 #: The fault types the stack knows how to inject.
@@ -217,6 +219,18 @@ class FaultInjector:
     # ------------------------------------------------------------------ ledger
     def record(self, kind: str, target: Optional[int], detail: str = "") -> None:
         self.fired.append(FaultRecord(time_ns=self.now_ns, kind=kind, target=target, detail=detail))
+        tel = get_telemetry()
+        if tel.enabled:
+            # One instant per injected fault on the injector's simulated
+            # clock, so a Perfetto timeline shows exactly which fault
+            # caused which retry storm.
+            tel.tracer.instant(
+                f"fault.{kind}", "fault", clock="fault", sim_ns=self.now_ns,
+                target=target, detail=detail,
+            )
+            tel.metrics.inc("ssam_faults_injected_total", 1,
+                            help="faults fired by the injector, by kind",
+                            kind=kind)
 
     def signature(self) -> List[Tuple[float, str, Optional[int], str]]:
         """Hashable fault sequence for byte-identical-run assertions."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.faults.errors import LinkError
+from repro.telemetry import get_telemetry
 
 __all__ = ["ExternalLink", "LinkSet"]
 
@@ -84,6 +85,14 @@ class ExternalLink:
         self.bytes_sent += wire
         self.payload_bytes_sent += payload
         total_ns = wire_ns
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            lid = str(self.link_id)
+            m.inc("ssam_link_bytes_total", wire,
+                  help="wire bytes sent (header/tail FLITs included)", link=lid)
+            m.inc("ssam_link_payload_bytes_total", payload,
+                  help="payload bytes sent", link=lid)
         if self.injector is not None:
             attempt = 0
             while self.injector.check("link_crc", self.link_id):
@@ -95,8 +104,30 @@ class ExternalLink:
                 self.retry_bytes += wire
                 self.bytes_sent += wire
                 total_ns += wire_ns + backoff_ns
+                if tel.enabled:
+                    m = tel.metrics
+                    lid = str(self.link_id)
+                    m.inc("ssam_link_retries_total", 1,
+                          help="CRC retransmissions", link=lid)
+                    m.inc("ssam_link_retry_bytes_total", wire,
+                          help="wire bytes spent on CRC retransmissions",
+                          link=lid)
+                    m.inc("ssam_link_bytes_total", wire, link=lid)
             self.injector.advance(total_ns)
         return total_ns
+
+    def reset_counters(self) -> None:
+        """Zero the link's traffic and CRC-retry accounting.
+
+        Back-to-back runs on one module otherwise accumulate stale
+        totals into :meth:`observed_efficiency`; call this between runs
+        to start the accounting fresh.  Configuration (``peak_bandwidth``,
+        ``crc_retry_limit``, the attached injector) is untouched.
+        """
+        self.bytes_sent = 0
+        self.payload_bytes_sent = 0
+        self.retries = 0
+        self.retry_bytes = 0
 
 
 @dataclass
@@ -152,6 +183,11 @@ class LinkSet:
         """Payload fraction of everything sent across the set."""
         total = self.bytes_sent
         return self.payload_bytes_sent / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero traffic/retry accounting on every link in the set."""
+        for link in self.links:
+            link.reset_counters()
 
     # ------------------------------------------------------------ transfer
     def attach_injector(self, injector) -> None:

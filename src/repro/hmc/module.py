@@ -75,6 +75,20 @@ class HMCModule:
         """Mark the whole cube unreachable."""
         self.lost = True
 
+    def reset_counters(self) -> None:
+        """Zero per-run accounting on every link and vault.
+
+        Back-to-back runs on one module otherwise fold the previous
+        run's traffic (notably CRC ``retry_bytes``) into
+        ``links.observed_efficiency()`` and the controller utilization
+        numbers.  Failure state (``lost``, failed vaults) and attached
+        injectors are deliberately untouched — this resets *statistics*,
+        not the machine.
+        """
+        self.links.reset_counters()
+        for vault in self.vaults:
+            vault.reset_counters()
+
     def repair(self) -> None:
         self.lost = False
         for vault in self.vaults:

@@ -24,6 +24,7 @@ from typing import Optional
 from repro.faults.ecc import SECDEDModel
 from repro.faults.errors import UncorrectableMemoryError, VaultFault
 from repro.hmc.dram import VaultDRAM
+from repro.telemetry import get_telemetry
 
 __all__ = ["VaultController", "Vault"]
 
@@ -89,6 +90,22 @@ class Vault:
         self.ecc_corrected += outcome.corrected
         self.ecc_detected += outcome.detected
         self.silent_corruptions += outcome.silent
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            vid = str(self.index)
+            if outcome.corrected:
+                m.inc("ssam_ecc_corrected_total", outcome.corrected,
+                      help="single-bit DRAM errors corrected by SECDED",
+                      vault=vid)
+            if outcome.detected:
+                m.inc("ssam_ecc_detected_total", outcome.detected,
+                      help="double-bit DRAM errors detected (uncorrectable)",
+                      vault=vid)
+            if outcome.silent:
+                m.inc("ssam_ecc_silent_total", outcome.silent,
+                      help="multi-bit DRAM corruptions SECDED cannot see",
+                      vault=vid)
         if outcome.must_raise:
             self.injector.record("dram_bit_flip", self.index, "detected-uncorrectable")
             raise UncorrectableMemoryError(self.index)
@@ -109,6 +126,11 @@ class Vault:
         wire_ns = self.controller.transfer_time_ns(size)
         self.controller.bytes_read += size
         self.controller.busy_ns += max(dram_ns, wire_ns)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc("ssam_vault_read_bytes_total", size,
+                            help="bytes read through vault controllers",
+                            vault=str(self.index))
         if self.injector is not None:
             self.injector.advance(dram_ns + wire_ns)
         return dram_ns + wire_ns
@@ -120,9 +142,23 @@ class Vault:
         wire_ns = self.controller.transfer_time_ns(size)
         self.controller.bytes_written += size
         self.controller.busy_ns += max(dram_ns, wire_ns)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc("ssam_vault_written_bytes_total", size,
+                            help="bytes written through vault controllers",
+                            vault=str(self.index))
         if self.injector is not None:
             self.injector.advance(dram_ns + wire_ns)
         return dram_ns + wire_ns
+
+    def reset_counters(self) -> None:
+        """Zero controller traffic/occupancy and ECC accounting."""
+        self.controller.busy_ns = 0.0
+        self.controller.bytes_read = 0
+        self.controller.bytes_written = 0
+        self.ecc_corrected = 0
+        self.ecc_detected = 0
+        self.silent_corruptions = 0
 
     def effective_stream_bandwidth(self) -> float:
         """Bytes/s a long sequential scan achieves through this vault.

@@ -43,6 +43,7 @@ from repro.core.config import SSAMConfig
 from repro.core.module import SSAMModule
 from repro.faults.errors import FaultError, PUFault, RequestTimeout
 from repro.host.allocator import FreeListAllocator
+from repro.telemetry import get_telemetry
 
 __all__ = ["IndexMode", "SSAMRegion", "SSAMDriver"]
 
@@ -219,28 +220,51 @@ class SSAMDriver:
             raise RuntimeError("nwrite_query() before nexec()")
         if region.index is None:
             raise RuntimeError("nbuild_index() before nexec()")
-        if self.injector is None:
-            self._nexec_once(region, k, checks)
-            return
-        attempt = 0
-        while True:
-            try:
-                if self.injector.check("pu_crash"):
-                    raise PUFault()
-                if self.injector.check("pu_stall"):
-                    raise RequestTimeout(self.request_timeout_s)
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "driver.nexec", "driver", mode=region.mode.value, k=k,
+            backend=self.backend,
+        ) as span:
+            if tel.enabled:
+                tel.metrics.inc("ssam_driver_requests_total", 1,
+                                help="nexec requests by index mode",
+                                mode=region.mode.value)
+            if self.injector is None:
                 self._nexec_once(region, k, checks)
                 return
-            except FaultError:
-                if attempt >= self.max_retries:
-                    raise
-                backoff_s = self.backoff_base_s * (2 ** attempt)
-                self.total_backoff_s += backoff_s
-                # Bill the backoff to the injector clock so scheduled
-                # transient faults can clear while the driver waits.
-                self.injector.advance(backoff_s * 1e9)
-                attempt += 1
-                self.total_retries += 1
+            attempt = 0
+            while True:
+                try:
+                    if self.injector.check("pu_crash"):
+                        raise PUFault()
+                    if self.injector.check("pu_stall"):
+                        raise RequestTimeout(self.request_timeout_s)
+                    self._nexec_once(region, k, checks)
+                    if tel.enabled:
+                        span.set(attempts=attempt + 1)
+                    return
+                except FaultError as exc:
+                    if attempt >= self.max_retries:
+                        if tel.enabled:
+                            span.set(attempts=attempt + 1, failed=True)
+                            tel.metrics.inc(
+                                "ssam_driver_request_failures_total", 1,
+                                help="nexec requests that exhausted retries",
+                                error=type(exc).__name__)
+                        raise
+                    backoff_s = self.backoff_base_s * (2 ** attempt)
+                    self.total_backoff_s += backoff_s
+                    # Bill the backoff to the injector clock so scheduled
+                    # transient faults can clear while the driver waits.
+                    self.injector.advance(backoff_s * 1e9)
+                    attempt += 1
+                    self.total_retries += 1
+                    if tel.enabled:
+                        span.event("driver.retry", attempt=attempt,
+                                   backoff_s=backoff_s,
+                                   error=type(exc).__name__)
+                        tel.metrics.inc("ssam_driver_retries_total", 1,
+                                        help="nexec retries after PU faults")
 
     def _nexec_once(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
         """One attempt of the staged query (no retry policy)."""

@@ -29,6 +29,7 @@ import numpy as np
 from repro.ann import LinearScan, SearchResult, SearchStats
 from repro.core.config import SSAMConfig
 from repro.faults.errors import FaultError, ModuleLost
+from repro.telemetry import get_telemetry
 
 __all__ = ["MultiModuleRuntime", "DegradedSearchResult"]
 
@@ -161,37 +162,62 @@ class MultiModuleRuntime:
         """
         if not self.shards:
             raise RuntimeError("load() a dataset before search()")
-        partials = []
-        stats = SearchStats()
-        lost_rows = 0
-        for shard in self.shards:
-            if not self._shard_alive(shard):
-                lost_rows += shard.index.n
-                continue
-            try:
-                res = shard.index.search(queries, k)
-            except FaultError:
-                self._failed.add(shard.module_index)
-                lost_rows += shard.index.n
-                continue
-            ids = np.where(res.ids >= 0, res.ids + shard.row_offset, res.ids)
-            partials.append((ids, res.distances))
-            stats += res.stats
-        if not partials:
-            raise ModuleLost(detail="no surviving shards to serve the query")
-        all_ids = np.concatenate([p[0] for p in partials], axis=1)
-        all_d = np.concatenate([p[1] for p in partials], axis=1)
-        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
-        rows = np.arange(all_d.shape[0])[:, None]
-        failed = sorted(self._failed)
-        return DegradedSearchResult(
-            ids=all_ids[rows, order],
-            distances=all_d[rows, order],
-            stats=stats,
-            degraded=bool(failed),
-            failed_modules=failed,
-            expected_recall_loss=lost_rows / self._n_rows if self._n_rows else 0.0,
-        )
+        tel = get_telemetry()
+        n_queries = int(np.atleast_2d(np.asarray(queries)).shape[0])
+        with tel.tracer.span(
+            "runtime.search", "runtime", queries=n_queries, k=k,
+            shards=len(self.shards),
+        ) as span:
+            partials = []
+            stats = SearchStats()
+            lost_rows = 0
+            for shard in self.shards:
+                with tel.tracer.span(
+                    "shard.search", "runtime", module=shard.module_index,
+                    rows=shard.index.n,
+                ) as shard_span:
+                    if not self._shard_alive(shard):
+                        lost_rows += shard.index.n
+                        shard_span.set(skipped="down")
+                        continue
+                    try:
+                        res = shard.index.search(queries, k)
+                    except FaultError as exc:
+                        self._failed.add(shard.module_index)
+                        lost_rows += shard.index.n
+                        shard_span.set(skipped=type(exc).__name__)
+                        if tel.enabled:
+                            tel.metrics.inc(
+                                "ssam_shard_faults_total", 1,
+                                help="shards dropped from a merge mid-request")
+                        continue
+                ids = np.where(res.ids >= 0, res.ids + shard.row_offset, res.ids)
+                partials.append((ids, res.distances))
+                stats += res.stats
+            if not partials:
+                raise ModuleLost(detail="no surviving shards to serve the query")
+            all_ids = np.concatenate([p[0] for p in partials], axis=1)
+            all_d = np.concatenate([p[1] for p in partials], axis=1)
+            order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+            rows = np.arange(all_d.shape[0])[:, None]
+            failed = sorted(self._failed)
+            recall_loss = lost_rows / self._n_rows if self._n_rows else 0.0
+            if tel.enabled:
+                span.set(degraded=bool(failed), failed_modules=len(failed),
+                         expected_recall_loss=recall_loss)
+                tel.metrics.inc("ssam_runtime_queries_total", n_queries,
+                                help="queries served by the multi-module merge")
+                if failed:
+                    tel.metrics.inc("ssam_degraded_responses_total", 1,
+                                    help="merges served from surviving shards")
+            return DegradedSearchResult(
+                ids=all_ids[rows, order],
+                distances=all_d[rows, order],
+                stats=stats,
+                degraded=bool(failed),
+                failed_modules=failed,
+                expected_recall_loss=recall_loss,
+            )
 
     @property
     def n_modules(self) -> int:

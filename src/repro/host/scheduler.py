@@ -25,6 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
+
 __all__ = ["QueryScheduler", "ScheduleResult"]
 
 
@@ -130,6 +132,22 @@ class QueryScheduler:
             else []
         )
 
+        tel = get_telemetry()
+        rec = tel.enabled
+        with tel.tracer.span(
+            "scheduler.simulate", "scheduler", arrival_qps=arrival_qps,
+            n_queries=n_queries, n_modules=self.n_modules,
+            service_seconds=self.service_seconds, poisson=poisson,
+            faulty=faulty,
+        ) as sched_span:
+            return self._simulate_stream(
+                tel, rec, sched_span, arrivals, n_queries, faulty, mttr,
+                next_fail, mtbf_seconds, rng)
+
+    def _simulate_stream(self, tel, rec, sched_span, arrivals, n_queries,
+                         faulty, mttr, next_fail, mtbf_seconds,
+                         rng) -> ScheduleResult:
+        """The event loop of :meth:`simulate` (span-wrapped by the caller)."""
         # Multi-server FIFO: a min-heap of (module-free time, module id).
         free_at = [(0.0, m) for m in range(self.n_modules)]
         heapify(free_at)
@@ -149,18 +167,50 @@ class QueryScheduler:
                     downtime += mttr
                     if fail_t > start:
                         retries += 1        # query was in flight; re-run
+                    if rec:
+                        tel.tracer.sim_span(
+                            "module.down", "scheduler", clock="sched",
+                            start_ns=fail_t * 1e9, dur_ns=mttr * 1e9,
+                            tid=f"module{m}",
+                            aborted_query=i if fail_t > start else None)
                     start = max(start, repair_t)
                     next_fail[m] = repair_t + float(rng.exponential(mtbf_seconds))
             done = start + self.service_seconds
             heappush(free_at, (done, m))
             latencies[i] = done - t
-        return ScheduleResult(
+            if rec:
+                # Per-query breakdown on the simulated event clock:
+                # queue/outage wait (arrival -> start), then service.
+                wait = start - t
+                if wait > 0:
+                    tel.tracer.sim_span(
+                        "query.wait", "scheduler", clock="sched",
+                        start_ns=t * 1e9, dur_ns=wait * 1e9,
+                        tid=f"module{m}", query=i)
+                tel.tracer.sim_span(
+                    "query.service", "scheduler", clock="sched",
+                    start_ns=start * 1e9,
+                    dur_ns=self.service_seconds * 1e9,
+                    tid=f"module{m}", query=i)
+        result = ScheduleResult(
             latencies=latencies,
             service_seconds=self.service_seconds,
             n_modules=self.n_modules,
             retries=retries,
             downtime_seconds=downtime,
         )
+        if rec:
+            sched_span.set(p50=result.p50, p99=result.p99, mean=result.mean,
+                           retries=retries, downtime_seconds=downtime)
+            m_ = tel.metrics
+            m_.inc("ssam_sched_queries_total", n_queries,
+                   help="queries pushed through the discrete-event scheduler")
+            m_.inc("ssam_sched_retries_total", retries,
+                   help="in-flight queries re-run after module failures")
+            for lat in latencies:
+                m_.observe("ssam_sched_latency_seconds", float(lat),
+                           help="end-to-end simulated query latency")
+        return result
 
     def max_load_within_budget(
         self,

@@ -126,7 +126,9 @@ def run_fast(sim, program, max_instructions: int, vectorize: bool = True) -> Non
     partially executed block corrected to per-µop counts).
     """
     from repro.isa.simulator import SimulatorError
+    from repro.telemetry import get_telemetry
 
+    tel = get_telemetry()
     stats = sim.stats
     cfg = sim.config
     vlen = cfg.vector_length
@@ -409,6 +411,20 @@ def run_fast(sim, program, max_instructions: int, vectorize: bool = True) -> Non
                         else:
                             hot[h] = HOT_THRESHOLD - TRANSIENT_BACKOFF
                         replayed = 0
+                        if tel.enabled:
+                            tel.tracer.event(
+                                "fastpath.fallback", head=h, reason=str(rej),
+                                structural=rej.structural)
+                            tel.metrics.inc(
+                                "ssam_fastpath_fallbacks_total", 1,
+                                help="trace-vectorizer aborts by reason",
+                                reason=str(rej))
+                    else:
+                        if replayed and tel.enabled:
+                            tel.metrics.inc(
+                                "ssam_fastpath_replayed_instructions_total",
+                                replayed,
+                                help="instructions replayed as NumPy traces")
                     executed += replayed
             pc = next_pc
     finally:

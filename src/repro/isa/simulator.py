@@ -47,6 +47,7 @@ import numpy as np
 from repro.isa.instructions import Category, SPEC_BY_NAME
 from repro.isa.program import Instruction, Program
 from repro.isa.units import HardwarePriorityQueue, HardwareStack, Scratchpad, UnitError
+from repro.telemetry import get_telemetry
 
 __all__ = ["MachineConfig", "RunStats", "Simulator", "SimulatorError"]
 
@@ -308,11 +309,21 @@ class Simulator:
         use_fast = engine in ("predecode", "trace") or (
             engine == "auto" and trace is None
         )
+        vectorize = use_fast and engine != "predecode" and cfg.strict32
+        resolved = "interp" if not use_fast else ("trace" if vectorize else "predecode")
+        tel = get_telemetry()
+        span = None
+        if tel.enabled:
+            span = tel.tracer.span(
+                "sim.run", "engine",
+                engine=engine, resolved_engine=resolved,
+                vlen=cfg.vector_length,
+            )
+            span.__enter__()
         try:
             if use_fast:
                 from repro.isa.fastpath import run_fast
 
-                vectorize = engine != "predecode" and cfg.strict32
                 run_fast(self, program, max_instructions, vectorize=vectorize)
             else:
                 self._run_reference(program, max_instructions, trace, trace_limit)
@@ -324,7 +335,48 @@ class Simulator:
             stats.scratchpad_reads = self.scratchpad.reads - sp0_r
             stats.scratchpad_writes = self.scratchpad.writes - sp0_w
             stats._seconds = stats.cycles / cfg.frequency_hz
+            if span is not None:
+                self._record_run_telemetry(tel, span, resolved)
         return stats
+
+    def _record_run_telemetry(self, tel, span, resolved: str) -> None:
+        """Close the ``sim.run`` span and publish engine counters.
+
+        Also lays the run onto the ``pu`` simulated clock (cycles mapped
+        to nanoseconds at the configured frequency), end-to-end after any
+        earlier runs, so a Chrome trace shows simulated and wall time
+        side by side.
+        """
+        stats = self.stats
+        span.set(
+            instructions=stats.instructions,
+            cycles=stats.cycles,
+            stream_misses=stats.stream_misses,
+            dram_bytes_read=stats.dram_bytes_read,
+            dram_bytes_written=stats.dram_bytes_written,
+            halted=stats.halted,
+        )
+        span.__exit__(None, None, None)
+        sim_ns = stats.cycles / self.config.frequency_hz * 1e9
+        start = tel.tracer.next_sim_start("pu", sim_ns)
+        tel.tracer.sim_span(
+            "sim.run", "engine", clock="pu", start_ns=start, dur_ns=sim_ns,
+            tid="pu", engine=resolved, instructions=stats.instructions,
+            cycles=stats.cycles,
+        )
+        m = tel.metrics
+        m.inc("ssam_sim_runs_total", 1,
+              help="simulator runs by resolved engine", engine=resolved)
+        m.inc("ssam_sim_instructions_total", stats.instructions,
+              help="dynamic instructions retired")
+        m.inc("ssam_sim_cycles_total", stats.cycles,
+              help="simulated PU cycles charged")
+        m.inc("ssam_sim_dram_read_bytes_total", stats.dram_bytes_read,
+              help="vault DRAM bytes read by kernels")
+        m.inc("ssam_sim_dram_written_bytes_total", stats.dram_bytes_written,
+              help="vault DRAM bytes written by kernels")
+        m.inc("ssam_sim_stream_misses_total", stats.stream_misses,
+              help="stream-prefetcher misses (non-sequential DRAM accesses)")
 
     def _run_reference(self, program: Program, max_instructions: int,
                        trace: Optional[list], trace_limit: int) -> None:

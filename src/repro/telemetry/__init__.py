@@ -1,0 +1,153 @@
+"""Unified telemetry for the SSAM stack: spans, counters, exporters.
+
+One :class:`Telemetry` session bundles a :class:`~.spans.Tracer` and a
+:class:`~.metrics.MetricsRegistry`.  Every instrumented layer —
+simulator engines, kernels, the simulation cache, HMC links/vaults,
+the host driver/runtime/scheduler, the fault injector — reports into
+whichever session is *installed*; the default is a null session whose
+``enabled`` attribute is ``False``, so an uninstrumented process pays a
+single attribute check per probe site and nothing else.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session(path="results/run.json") as tel:
+        driver.nexec(region, k=10)
+    # run.json now holds spans + instants + metric snapshot
+
+    # or explicitly:
+    tel = telemetry.Telemetry(meta={"experiment": "fig6"})
+    prev = telemetry.install(tel)
+    try:
+        ...
+    finally:
+        telemetry.uninstall(prev)
+    tel.save("results/run.json")
+
+Exports: ``tel.chrome_trace()`` (Perfetto / ``chrome://tracing``),
+``tel.prometheus()`` (text exposition format), ``tel.tree()`` (human
+summary).  Render a saved run with
+``python -m repro.telemetry.report results/run.json``.
+
+Instrumented code uses :func:`get_telemetry`::
+
+    tel = get_telemetry()
+    if tel.enabled:                 # the only cost when disabled
+        tel.metrics.inc("ssam_link_retry_bytes_total", wire, link="0")
+    with tel.tracer.span("driver.nexec", "driver", k=k):
+        ...                         # no-op span when disabled
+
+See docs/OBSERVABILITY.md for the span model, the metric inventory,
+and the Perfetto how-to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.telemetry.export import chrome_trace, prometheus_text, tree_summary
+from repro.telemetry.metrics import MetricsRegistry, NullMetrics
+from repro.telemetry.spans import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "install",
+    "uninstall",
+    "session",
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "Span",
+]
+
+RUN_VERSION = 1
+
+
+class Telemetry:
+    """One recording session: a tracer plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None):
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    # ------------------------------------------------------------------ export
+    def to_dict(self) -> Dict[str, Any]:
+        """The serialized "run" form every exporter consumes."""
+        run = {"version": RUN_VERSION, "meta": dict(self.meta)}
+        run.update(self.tracer.to_dict())
+        run["metrics"] = self.metrics.snapshot()
+        return run
+
+    def save(self, path: str) -> str:
+        """Write the run JSON to ``path`` (directories created)."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace(self.to_dict())
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.to_dict())
+
+    def tree(self, max_depth: Optional[int] = None) -> str:
+        return tree_summary(self.to_dict(), max_depth=max_depth)
+
+
+class _NullTelemetry:
+    """The default session: disabled tracer + disabled metrics."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NullMetrics()
+    meta: Dict[str, Any] = {}
+
+
+_NULL = _NullTelemetry()
+_ACTIVE = _NULL
+
+
+def get_telemetry():
+    """The currently installed session (the null session by default)."""
+    return _ACTIVE
+
+
+def install(telemetry: Telemetry):
+    """Make ``telemetry`` the process-wide session; returns the previous
+    one so callers can restore it (see :func:`uninstall`)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    return previous
+
+
+def uninstall(previous=None) -> None:
+    """Restore ``previous`` (or the null session) as the active session."""
+    global _ACTIVE
+    _ACTIVE = previous if previous is not None else _NULL
+
+
+@contextmanager
+def session(meta: Optional[Dict[str, Any]] = None,
+            path: Optional[str] = None) -> Iterator[Telemetry]:
+    """Install a fresh session for the block; optionally save on exit."""
+    tel = Telemetry(meta=meta)
+    previous = install(tel)
+    try:
+        yield tel
+    finally:
+        uninstall(previous)
+        if path:
+            tel.save(path)

@@ -1,0 +1,244 @@
+"""Exporters over a serialized telemetry run.
+
+All three exporters operate on the plain-dict "run" form produced by
+:meth:`repro.telemetry.Telemetry.to_dict` (and written to disk by
+``save``), so the ``repro.telemetry.report`` CLI can re-render a run
+recorded by any process:
+
+- :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
+  array format), loadable in Perfetto or ``chrome://tracing``.  Wall
+  spans become complete ``"X"`` events under the ``wall`` process; each
+  simulated clock (PU cycles, the fault injector's nanosecond clock,
+  the scheduler's event clock) becomes its own process so timelines
+  with incomparable time bases never overlap.  Fault instants become
+  ``"i"`` events on their clock's row.
+- :func:`prometheus_text` — re-exported from :mod:`.metrics`; renders
+  the run's metric snapshot in the Prometheus text exposition format.
+- :func:`tree_summary` — a human-readable nested view of wall spans
+  with durations and attributes, followed by the counter table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import prometheus_text as _prom_from_snapshot
+
+__all__ = ["chrome_trace", "prometheus_text", "tree_summary", "load_run"]
+
+_WALL_PID = 1
+
+
+def load_run(path: str) -> Dict[str, Any]:
+    """Load a run JSON written by ``Telemetry.save``."""
+    with open(path) as fh:
+        run = json.load(fh)
+    if not isinstance(run, dict) or "spans" not in run:
+        raise ValueError(f"{path} is not a telemetry run (no 'spans' key)")
+    return run
+
+
+def prometheus_text(run: Dict[str, Any]) -> str:
+    """Prometheus text exposition of the run's metric snapshot."""
+    return _prom_from_snapshot(run.get("metrics", []))
+
+
+# ---------------------------------------------------------------- chrome trace
+def _args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in attrs.items()} if attrs else {}
+
+
+def chrome_trace(run: Dict[str, Any]) -> Dict[str, Any]:
+    """Chrome trace-event JSON for ``run`` (Perfetto-loadable).
+
+    Every span becomes one complete ``"X"`` event (begin/end folded
+    into ``ts``/``dur``); span events and standalone instants become
+    ``"i"`` events.  Timestamps are microseconds, per the format.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {"wall": _WALL_PID}
+    tids: Dict[Tuple[int, str], int] = {}
+
+    def pid_of(clock: Optional[str]) -> int:
+        key = "wall" if clock is None else f"sim:{clock}"
+        if key not in pids:
+            pids[key] = max(pids.values()) + 1
+        return pids[key]
+
+    def tid_of(pid: int, name: str) -> int:
+        key = (pid, name)
+        if key not in tids:
+            tids[key] = sum(1 for (p, _) in tids if p == pid) + 1
+        return tids[key]
+
+    for span in run.get("spans", []):
+        clock = span.get("clock")
+        pid = pid_of(clock)
+        if clock is None:
+            ts = span["t0"] * 1e6
+            dur = max(0.0, (span["t1"] - span["t0"]) * 1e6)
+            tid = tid_of(pid, span.get("thread") or "main")
+        else:
+            ts = span["sim_t0_ns"] / 1e3
+            dur = max(0.0, span["sim_dur_ns"] / 1e3)
+            tid = tid_of(pid, span.get("tid") or clock)
+        events.append({
+            "name": span["name"],
+            "cat": span.get("cat") or "span",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": tid,
+            "args": _args(span.get("attrs", {})),
+        })
+        for ev in span.get("events", []):
+            events.append({
+                "name": ev["name"],
+                "cat": span.get("cat") or "span",
+                "ph": "i",
+                "ts": ev["t"] * 1e6 if clock is None else ts,
+                "pid": pid,
+                "tid": tid,
+                "s": "t",
+                "args": _args(ev.get("attrs", {})),
+            })
+
+    for inst in run.get("instants", []):
+        clock = inst.get("clock")
+        pid = pid_of(clock)
+        if clock is None:
+            ts = inst.get("t", 0.0) * 1e6
+            tid = tid_of(pid, "main")
+        else:
+            ts = inst.get("sim_ns", 0.0) / 1e3
+            tid = tid_of(pid, clock)
+        events.append({
+            "name": inst["name"],
+            "cat": inst.get("cat") or "instant",
+            "ph": "i",
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+            "s": "p",
+            "args": _args(inst.get("attrs", {})),
+        })
+
+    meta_events: List[Dict[str, Any]] = []
+    for key, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        meta_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": key},
+        })
+    for (pid, name), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(run.get("meta", {})),
+    }
+
+
+# ---------------------------------------------------------------- tree summary
+def _fmt_dur(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: Dict[str, Any], limit: int = 6) -> str:
+    if not attrs:
+        return ""
+    items = list(attrs.items())[:limit]
+    body = " ".join(f"{k}={v}" for k, v in items)
+    more = "" if len(attrs) <= limit else f" (+{len(attrs) - limit})"
+    return f"  [{body}{more}]"
+
+
+def tree_summary(run: Dict[str, Any], max_depth: Optional[int] = None,
+                 max_children: int = 40) -> str:
+    """Nested wall-span view plus the counter/gauge table."""
+    wall = [s for s in run.get("spans", []) if s.get("clock") is None]
+    children: Dict[Optional[int], List[dict]] = {}
+    ids = {s["id"] for s in wall}
+    for span in wall:
+        parent = span.get("parent")
+        children.setdefault(parent if parent in ids else None, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: s.get("t0", 0.0))
+
+    lines: List[str] = []
+
+    def emit(span: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        dur = (span.get("t1") or 0.0) - (span.get("t0") or 0.0)
+        pad = "  " * depth
+        lines.append(
+            f"{pad}{span['name']} ({span.get('cat') or '-'}) "
+            f"{_fmt_dur(dur)}{_fmt_attrs(span.get('attrs', {}))}"
+        )
+        for ev in span.get("events", [])[:max_children]:
+            lines.append(f"{pad}  · {ev['name']}{_fmt_attrs(ev.get('attrs', {}))}")
+        kids = children.get(span["id"], [])
+        for kid in kids[:max_children]:
+            emit(kid, depth + 1)
+        if len(kids) > max_children:
+            lines.append(f"{pad}  … {len(kids) - max_children} more spans")
+
+    roots = children.get(None, [])
+    if roots:
+        lines.append("spans:")
+        for root in roots[:max_children]:
+            emit(root, 1)
+        if len(roots) > max_children:
+            lines.append(f"  … {len(roots) - max_children} more root spans")
+
+    sim = [s for s in run.get("spans", []) if s.get("clock") is not None]
+    if sim:
+        per_clock: Dict[str, int] = {}
+        for s in sim:
+            per_clock[s["clock"]] = per_clock.get(s["clock"], 0) + 1
+        lines.append("simulated clocks: " + ", ".join(
+            f"{clock} ({count} spans)" for clock, count in sorted(per_clock.items())
+        ))
+
+    instants = run.get("instants", [])
+    if instants:
+        per_name: Dict[str, int] = {}
+        for inst in instants:
+            per_name[inst["name"]] = per_name.get(inst["name"], 0) + 1
+        lines.append("instants: " + ", ".join(
+            f"{name} x{count}" for name, count in sorted(per_name.items())
+        ))
+
+    metrics = run.get("metrics", [])
+    scalar = [m for m in metrics if m["type"] in ("counter", "gauge")]
+    if scalar:
+        lines.append("counters:")
+        for metric in scalar:
+            for sample in metric["samples"]:
+                labels = sample["labels"]
+                tag = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels else ""
+                )
+                value = sample["value"]
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {metric['name']}{tag} = {shown}")
+    hists = [m for m in metrics if m["type"] == "histogram"]
+    for metric in hists:
+        for sample in metric["samples"]:
+            count = sample["count"]
+            mean = sample["sum"] / count if count else 0.0
+            lines.append(
+                f"  {metric['name']} (histogram): count={count} mean={mean:.4g}"
+            )
+    return "\n".join(lines) if lines else "(empty run)"

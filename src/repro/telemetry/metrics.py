@@ -1,0 +1,251 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat, label-aware store in the
+Prometheus data model: each metric has a name, a type, optional help
+text, and one sample per distinct label set.  Counters only go up,
+gauges hold the last value, histograms bucket observations against a
+fixed upper-bound list (no dynamic resizing — the bucket layout is part
+of the metric's identity, as in Prometheus client libraries).
+
+Naming follows the Prometheus conventions used across the SSAM stack:
+``ssam_<component>_<what>_<unit>[_total]`` — see docs/OBSERVABILITY.md
+for the full metric inventory.
+
+The registry is thread-safe (one lock; increments are short) and
+zero-dependency.  :class:`NullMetrics` is the disabled twin: all
+mutators are no-ops, so code that neglects an ``enabled`` guard is
+still correct, just marginally slower.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricsRegistry", "NullMetrics", "DEFAULT_BUCKETS"]
+
+#: Default histogram layout: log-spaced, wide enough for ns..s latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 4)
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(key) + ([extra] if extra else [])
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    f = float(v)
+    return repr(int(f)) if f.is_integer() else repr(f)
+
+
+class _Metric:
+    __slots__ = ("name", "mtype", "help", "samples", "buckets")
+
+    def __init__(self, name: str, mtype: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]] = None):
+        self.name = name
+        self.mtype = mtype
+        self.help = help_text
+        self.buckets = buckets
+        # counter/gauge: label key -> float
+        # histogram:     label key -> [counts per bucket + inf, sum, count]
+        self.samples: "OrderedDict[_LabelKey, Any]" = OrderedDict()
+
+
+class MetricsRegistry:
+    """Thread-safe store of counters, gauges, and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "OrderedDict[str, _Metric]" = OrderedDict()
+
+    # ------------------------------------------------------------------ write
+    def _get(self, name: str, mtype: str, help_text: str,
+             buckets: Optional[Tuple[float, ...]] = None) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = _Metric(name, mtype, help_text, buckets)
+            self._metrics[name] = metric
+        elif metric.mtype != mtype:
+            raise ValueError(
+                f"metric {name!r} is a {metric.mtype}, not a {mtype}"
+            )
+        if help_text and not metric.help:
+            metric.help = help_text
+        return metric
+
+    def inc(self, name: str, value: float = 1, help: str = "",
+            **labels: Any) -> None:
+        """Increment counter ``name`` (created on first use)."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            metric = self._get(name, "counter", help)
+            metric.samples[key] = metric.samples.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, help: str = "",
+                  **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            metric = self._get(name, "gauge", help)
+            metric.samples[key] = value
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS, help: str = "",
+                **labels: Any) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The bucket layout is fixed at first observation; later calls
+        may omit ``buckets`` (it is ignored once the metric exists).
+        """
+        key = _label_key(labels)
+        with self._lock:
+            metric = self._get(name, "histogram", help, tuple(buckets))
+            state = metric.samples.get(key)
+            if state is None:
+                state = [[0] * (len(metric.buckets) + 1), 0.0, 0]
+                metric.samples[key] = state
+            counts, _, _ = state
+            for i, ub in enumerate(metric.buckets):
+                if value <= ub:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            state[1] += value
+            state[2] += 1
+
+    # ------------------------------------------------------------------ read
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter/gauge sample (0 if never set)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if metric.mtype == "histogram":
+            raise ValueError("use snapshot() for histograms")
+        return float(metric.samples.get(_label_key(labels), 0))
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if metric.mtype == "histogram":
+            raise ValueError("use snapshot() for histograms")
+        return float(sum(metric.samples.values()))
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-ready dump of every metric and sample."""
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            for metric in self._metrics.values():
+                entry: Dict[str, Any] = {
+                    "name": metric.name,
+                    "type": metric.mtype,
+                    "help": metric.help,
+                    "samples": [],
+                }
+                if metric.mtype == "histogram":
+                    entry["buckets"] = list(metric.buckets)
+                    for key, (counts, total, count) in metric.samples.items():
+                        entry["samples"].append({
+                            "labels": dict(key),
+                            "bucket_counts": list(counts),
+                            "sum": total,
+                            "count": count,
+                        })
+                else:
+                    for key, value in metric.samples.items():
+                        entry["samples"].append(
+                            {"labels": dict(key), "value": value}
+                        )
+                out.append(entry)
+        return out
+
+    def to_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        return prometheus_text(self.snapshot())
+
+
+def prometheus_text(snapshot: List[Dict[str, Any]]) -> str:
+    """Prometheus text format from a :meth:`MetricsRegistry.snapshot`."""
+    lines: List[str] = []
+    for metric in snapshot:
+        name = metric["name"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        if metric["type"] == "histogram":
+            bounds = list(metric["buckets"]) + [math.inf]
+            for sample in metric["samples"]:
+                key = _label_key(sample["labels"])
+                cumulative = 0
+                for ub, c in zip(bounds, sample["bucket_counts"]):
+                    cumulative += c
+                    le = _fmt_value(ub)
+                    labels = _fmt_labels(key, ("le", le))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_fmt_labels(key)} {_fmt_value(sample['sum'])}"
+                )
+                lines.append(f"{name}_count{_fmt_labels(key)} {sample['count']}")
+        else:
+            for sample in metric["samples"]:
+                key = _label_key(sample["labels"])
+                lines.append(
+                    f"{name}{_fmt_labels(key)} {_fmt_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullMetrics:
+    """Disabled registry: mutators are no-ops, readers are empty."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1, help: str = "",
+            **labels: Any) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, help: str = "",
+                  **labels: Any) -> None:
+        return None
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS, help: str = "",
+                **labels: Any) -> None:
+        return None
+
+    def value(self, name: str, **labels: Any) -> float:
+        return 0.0
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+    def to_prometheus(self) -> str:
+        return ""

@@ -1,0 +1,71 @@
+"""Render a saved telemetry run: ``python -m repro.telemetry.report``.
+
+Usage::
+
+    python -m repro.telemetry.report results/run.json
+    python -m repro.telemetry.report results/run.json --chrome trace.json
+    python -m repro.telemetry.report results/run.json --prom metrics.prom
+    python -m repro.telemetry.report results/run.json --max-depth 2
+
+Prints the human-readable span tree and counter table; ``--chrome``
+additionally writes Chrome trace-event JSON (open in Perfetto or
+``chrome://tracing``) and ``--prom`` the Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.telemetry.export import (
+    chrome_trace,
+    load_run,
+    prometheus_text,
+    tree_summary,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render a telemetry run JSON (spans, counters, exports).",
+    )
+    parser.add_argument("run", help="run JSON written by Telemetry.save / --telemetry")
+    parser.add_argument("--chrome", metavar="PATH", default=None,
+                        help="also write Chrome trace-event JSON to PATH")
+    parser.add_argument("--prom", metavar="PATH", default=None,
+                        help="also write the Prometheus text dump to PATH")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="limit the span tree depth in the summary")
+    args = parser.parse_args(argv)
+
+    run = load_run(args.run)
+
+    # Write the exports before printing: the tree can be long, and a
+    # closed stdout pipe (`... | head`) must not eat the artifacts.
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(chrome_trace(run), fh)
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(run))
+
+    meta = run.get("meta", {})
+    header = f"telemetry run v{run.get('version', '?')}"
+    if meta:
+        header += "  " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    print(header)
+    print(tree_summary(run, max_depth=args.max_depth))
+    if args.chrome:
+        print(f"[chrome trace written to {args.chrome}]")
+    if args.prom:
+        print(f"[prometheus dump written to {args.prom}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""Spans: the tracing half of the telemetry substrate.
+
+A :class:`Span` is one named, timed region of work with a category, a
+bag of attributes, and zero or more point-in-time events attached to it.
+Spans nest: the :class:`Tracer` keeps a per-thread stack, so a span
+opened while another is active records the parent/child edge, and the
+Chrome-trace exporter reconstructs the flame graph from start/end
+timestamps alone.
+
+Two time domains coexist:
+
+- **wall time** — every ``tracer.span(...)`` context manager measures
+  host wall clock (``time.perf_counter`` relative to the tracer epoch).
+  This is what "how long did the Python simulation take" questions read.
+- **simulated time** — components that model hardware time (the PU
+  cycle counter, the fault injector's nanosecond clock, the query
+  scheduler's event clock) emit *completed* spans and instants onto a
+  named simulated clock via :meth:`Tracer.sim_span` /
+  :meth:`Tracer.instant`.  Each clock becomes its own process row in
+  the Chrome trace, so Perfetto shows, e.g., which injected fault
+  landed inside which query's service window.
+
+Thread safety: the span stack is thread-local; the finished-span and
+instant ledgers are guarded by one lock.  The disabled path is
+:class:`NullTracer`, whose ``enabled`` attribute is ``False`` and whose
+``span()`` hands back a shared no-op — hot code guards with a single
+``if tracer.enabled`` check and pays nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One traced region.  Use as a context manager via ``Tracer.span``."""
+
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "name", "category", "attrs",
+        "events", "t0", "t1", "thread", "clock", "sim_t0_ns", "sim_dur_ns",
+        "tid",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+        self.t0: Optional[float] = None
+        self.t1: Optional[float] = None
+        self.thread = threading.current_thread().name
+        self.clock: Optional[str] = None      # None -> wall time
+        self.sim_t0_ns: Optional[float] = None
+        self.sim_dur_ns: Optional[float] = None
+        self.tid: Optional[str] = None        # display row for sim spans
+
+    # ------------------------------------------------------------------ API
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event inside this span (wall clock)."""
+        self.events.append(
+            {"name": name, "t": self.tracer.now(), "attrs": attrs}
+        )
+
+    # ------------------------------------------------------------ context mgr
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        self.t0 = self.tracer.now()
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.t1 = self.tracer.now()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop without corrupting
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self.tracer._finish(self)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "thread": self.thread,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+        if self.clock is None:
+            d["t0"] = self.t0
+            d["t1"] = self.t1
+        else:
+            d["clock"] = self.clock
+            d["sim_t0_ns"] = self.sim_t0_ns
+            d["sim_dur_ns"] = self.sim_dur_ns
+            d["tid"] = self.tid
+        return d
+
+
+class Tracer:
+    """Collects spans and instants for one telemetry session."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []            # finished spans, any clock
+        self.instants: List[Dict[str, Any]] = []
+        self._sim_cursor: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        """Seconds of wall time since the tracer epoch."""
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------ spans
+    def span(self, name: str, category: str = "", **attrs: Any) -> Span:
+        """Open a nested wall-clock span: ``with tracer.span("x"): ...``."""
+        return Span(self, name, category, attrs)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Point event on the current span (or a tracer-level instant)."""
+        cur = self.current()
+        if cur is not None:
+            cur.event(name, **attrs)
+        else:
+            self.instant(name)
+
+    # ------------------------------------------------------------ simulated time
+    def sim_span(self, name: str, category: str = "", *, clock: str,
+                 start_ns: float, dur_ns: float, tid: Optional[str] = None,
+                 **attrs: Any) -> Span:
+        """Record a completed span on the simulated clock ``clock``.
+
+        ``start_ns``/``dur_ns`` are positions on that clock (the
+        exporter never mixes clocks onto one timeline); ``tid`` names
+        the display row (e.g. ``"module3"``).
+        """
+        span = Span(self, name, category, attrs)
+        span.clock = clock
+        span.sim_t0_ns = float(start_ns)
+        span.sim_dur_ns = float(dur_ns)
+        span.tid = tid
+        self._finish(span)
+        return span
+
+    def next_sim_start(self, clock: str, dur_ns: float) -> float:
+        """Allocate a contiguous slot on ``clock`` (for serial emitters).
+
+        Successive simulator runs each cover their own cycle count but
+        all start at cycle zero; laying them end-to-end on one clock
+        keeps the trace readable.  Returns the slot's start offset.
+        """
+        with self._lock:
+            start = self._sim_cursor.get(clock, 0.0)
+            self._sim_cursor[clock] = start + max(0.0, dur_ns)
+        return start
+
+    def instant(self, name: str, category: str = "", *,
+                clock: Optional[str] = None, sim_ns: Optional[float] = None,
+                **attrs: Any) -> None:
+        """A standalone point event, on wall time or a simulated clock."""
+        rec: Dict[str, Any] = {"name": name, "cat": category, "attrs": attrs}
+        if clock is not None:
+            rec["clock"] = clock
+            rec["sim_ns"] = float(sim_ns if sim_ns is not None else 0.0)
+        else:
+            rec["t"] = self.now()
+        with self._lock:
+            self.instants.append(rec)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+            instants = list(self.instants)
+        return {"spans": spans, "instants": instants}
+
+
+class _NullSpan:
+    """Shared do-nothing span so ``with null.span(...)`` costs ~nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is a plain class attribute, so the hot-path guard
+    ``if tracer.enabled:`` is a single attribute check.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def sim_span(self, *args: Any, **kwargs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def next_sim_start(self, clock: str, dur_ns: float) -> float:
+        return 0.0
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [], "instants": []}
+
+
+NULL_TRACER = NullTracer()

@@ -137,6 +137,66 @@ class TestLinks:
         assert all(l.bytes_sent > 0 for l in links.links)
 
 
+class TestLinkCounterReset:
+    """Back-to-back runs on one module must not inherit stale retry totals."""
+
+    def _noisy_linkset(self, seed: int = 11) -> LinkSet:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=seed).inject("link_crc", probability=0.5)
+        links = LinkSet()
+        links.attach_injector(plan.injector())
+        for _ in range(64):
+            links.send(256)
+        return links
+
+    def test_reset_zeroes_traffic_and_retry_counters(self):
+        links = self._noisy_linkset()
+        assert links.retry_bytes > 0
+        links.reset_counters()
+        assert links.bytes_sent == 0
+        assert links.payload_bytes_sent == 0
+        assert links.retries == 0
+        assert links.retry_bytes == 0
+        for link in links.links:
+            assert link.bytes_sent == 0 and link.retry_bytes == 0
+
+    def test_observed_efficiency_not_polluted_by_previous_run(self):
+        links = self._noisy_linkset()
+        degraded = links.observed_efficiency()
+        links.reset_counters()
+        # Clean second run: efficiency must match a fresh LinkSet, not
+        # carry the first run's retransmissions.
+        for link in links.links:
+            link.injector = None
+        for _ in range(64):
+            links.send(256)
+        clean = LinkSet()
+        for _ in range(64):
+            clean.send(256)
+        assert links.observed_efficiency() == pytest.approx(clean.observed_efficiency())
+        assert links.observed_efficiency() > degraded
+
+    def test_reset_keeps_injector_armed(self):
+        links = self._noisy_linkset()
+        links.reset_counters()
+        for _ in range(64):
+            links.send(256)
+        assert links.retry_bytes > 0    # faults still fire after reset
+
+    def test_module_reset_covers_links_and_vaults(self):
+        mod = HMCModule()
+        mod.links.send(256)
+        mod.read(0, 1024)
+        mod.vaults[0].write(0, 256)
+        mod.reset_counters()
+        assert mod.links.bytes_sent == 0
+        for v in mod.vaults:
+            assert v.controller.bytes_read == 0
+            assert v.controller.bytes_written == 0
+            assert v.controller.busy_ns == 0.0
+
+
 class TestHMCModule:
     def test_address_interleaving_spreads_vaults(self):
         mod = HMCModule()

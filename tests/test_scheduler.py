@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.host.scheduler import QueryScheduler
+from repro.host.scheduler import QueryScheduler, ScheduleResult
 
 
 class TestQueryScheduler:
@@ -67,3 +67,46 @@ class TestQueryScheduler:
             QueryScheduler(1, 0.0)
         with pytest.raises(ValueError):
             QueryScheduler(1, 1.0).simulate(0.0)
+
+
+class TestScheduleResultEdgeCases:
+    def test_single_query(self):
+        res = QueryScheduler(1, 0.01).simulate(arrival_qps=10.0, n_queries=1)
+        assert res.latencies.shape == (1,)
+        # One query never queues: latency is exactly the service time,
+        # and every percentile collapses onto it.
+        assert res.mean == pytest.approx(0.01)
+        assert res.p50 == pytest.approx(res.p99)
+        assert res.p99 == pytest.approx(res.latencies.max())
+        assert res.max_queue_wait == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty query stream"):
+            ScheduleResult(
+                latencies=np.array([]), service_seconds=0.01, n_modules=1
+            )
+
+    def test_percentile_monotonicity_under_heavy_load(self):
+        s = QueryScheduler(2, 0.01)
+        res = s.simulate(0.97 * s.capacity_qps, n_queries=4000, seed=3)
+        assert res.p50 <= res.p99 <= float(res.latencies.max()) + 1e-12
+        assert res.percentile(0) <= res.p50
+        assert res.percentile(100) == pytest.approx(float(res.latencies.max()))
+
+    def test_max_queue_wait_zero_when_nothing_queues(self):
+        # Deterministic arrivals far below capacity: every query finds a
+        # free module, so the worst queue wait is exactly zero.
+        s = QueryScheduler(n_modules=4, service_seconds=0.01)
+        res = s.simulate(
+            arrival_qps=0.1 * s.capacity_qps, n_queries=500, poisson=False
+        )
+        assert res.max_queue_wait == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(res.latencies, s.service_seconds)
+
+    def test_max_queue_wait_positive_when_saturated(self):
+        s = QueryScheduler(1, 0.01)
+        res = s.simulate(2 * s.capacity_qps, n_queries=500, poisson=False)
+        assert res.max_queue_wait > 0
+        assert res.max_queue_wait == pytest.approx(
+            float(res.latencies.max()) - s.service_seconds
+        )

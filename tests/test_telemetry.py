@@ -1,0 +1,471 @@
+"""Tests for the unified telemetry layer (:mod:`repro.telemetry`).
+
+Covers the tracer (nesting, exceptions, threads, simulated clocks), the
+metrics registry and its Prometheus rendering, the Chrome-trace export
+of a fault-injection run (the acceptance scenario), the differential
+guard (instrumented layers stay bit-exact with telemetry on and off,
+and counters agree with component-level accounting), and the report /
+bench-guard CLIs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry, Telemetry, get_telemetry
+from repro.telemetry.export import chrome_trace, load_run, tree_summary
+from repro.telemetry.spans import NULL_TRACER
+
+RNG = np.random.default_rng(19)
+
+
+@pytest.fixture
+def tel():
+    """A fresh installed session, always uninstalled afterwards."""
+    t = Telemetry(meta={"suite": "test_telemetry"})
+    prev = telemetry.install(t)
+    yield t
+    telemetry.uninstall(prev)
+
+
+# ------------------------------------------------------------------ tracer
+class TestTracer:
+    def test_nesting_records_parent_edges(self, tel):
+        with tel.tracer.span("outer", "t") as outer:
+            with tel.tracer.span("inner", "t") as inner:
+                assert tel.tracer.current() is inner
+            assert tel.tracer.current() is outer
+        assert tel.tracer.current() is None
+        spans = {s.name: s for s in tel.tracer.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].t1 >= spans["inner"].t0
+
+    def test_exception_tags_span_and_unwinds(self, tel):
+        with pytest.raises(RuntimeError):
+            with tel.tracer.span("boom", "t"):
+                raise RuntimeError("nope")
+        assert tel.tracer.current() is None
+        (span,) = tel.tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_event_attaches_to_current_span(self, tel):
+        with tel.tracer.span("work", "t") as span:
+            tel.tracer.event("milestone", step=3)
+        assert span.events[0]["name"] == "milestone"
+        assert span.events[0]["attrs"] == {"step": 3}
+
+    def test_event_without_span_becomes_instant(self, tel):
+        tel.tracer.event("orphan")
+        assert tel.tracer.instants[0]["name"] == "orphan"
+
+    def test_sim_cursor_lays_runs_end_to_end(self, tel):
+        t = tel.tracer
+        assert t.next_sim_start("pu", 100.0) == 0.0
+        assert t.next_sim_start("pu", 50.0) == 100.0
+        assert t.next_sim_start("pu", 0.0) == 150.0
+        assert t.next_sim_start("other", 10.0) == 0.0    # clocks independent
+
+    def test_sim_span_serialization(self, tel):
+        tel.tracer.sim_span("run", "sim", clock="pu", start_ns=10.0,
+                            dur_ns=5.0, tid="engine", cycles=5)
+        d = tel.tracer.spans[0].to_dict()
+        assert d["clock"] == "pu"
+        assert d["sim_t0_ns"] == 10.0 and d["sim_dur_ns"] == 5.0
+        assert "t0" not in d
+
+    def test_threads_get_independent_stacks(self, tel):
+        errors = []
+
+        def worker(name):
+            try:
+                with tel.tracer.span(f"outer-{name}", "t"):
+                    with tel.tracer.span(f"inner-{name}", "t"):
+                        pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,), name=f"w{i}")
+                   for i in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert len(tel.tracer.spans) == 16
+        by_name = {s.name: s for s in tel.tracer.spans}
+        for i in range(8):
+            inner, outer = by_name[f"inner-{i}"], by_name[f"outer-{i}"]
+            assert inner.parent_id == outer.span_id   # never cross-thread
+
+
+class TestNullSession:
+    def test_default_session_is_disabled(self):
+        tel = get_telemetry()
+        assert tel.enabled is False
+        assert tel.tracer is NULL_TRACER
+        # All probes are safe no-ops with nothing installed.
+        with tel.tracer.span("x", "t") as span:
+            span.set(a=1).event("e")
+        tel.tracer.sim_span("x", clock="pu", start_ns=0, dur_ns=1)
+        tel.metrics.inc("anything_total", 5)
+        assert tel.metrics.total("anything_total") == 0.0
+        assert tel.metrics.snapshot() == []
+
+    def test_install_uninstall_restores_previous(self):
+        a, b = Telemetry(), Telemetry()
+        prev = telemetry.install(a)
+        inner_prev = telemetry.install(b)
+        assert get_telemetry() is b
+        telemetry.uninstall(inner_prev)
+        assert get_telemetry() is a
+        telemetry.uninstall(prev)
+        assert get_telemetry().enabled is False
+
+    def test_session_contextmanager_saves_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        with telemetry.session(meta={"x": 1}, path=str(path)) as tel:
+            with tel.tracer.span("s", "t"):
+                pass
+        assert get_telemetry().enabled is False
+        run = load_run(str(path))
+        assert run["meta"] == {"x": 1}
+        assert [s["name"] for s in run["spans"]] == ["s"]
+
+
+# ------------------------------------------------------------------ metrics
+class TestMetrics:
+    def test_counter_labels_value_total(self):
+        m = MetricsRegistry()
+        m.inc("ssam_x_total", 2, link="0")
+        m.inc("ssam_x_total", 3, link="1")
+        m.inc("ssam_x_total", 1, link="0")
+        assert m.value("ssam_x_total", link="0") == 3
+        assert m.total("ssam_x_total") == 6
+        assert m.value("ssam_x_total", link="9") == 0.0
+
+    def test_counters_only_go_up(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            m.inc("ssam_x_total", -1)
+
+    def test_type_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.inc("ssam_x_total")
+        with pytest.raises(ValueError, match="is a counter"):
+            m.set_gauge("ssam_x_total", 2.0)
+
+    def test_gauge_holds_last_value(self):
+        m = MetricsRegistry()
+        m.set_gauge("ssam_temp", 40.0)
+        m.set_gauge("ssam_temp", 35.0)
+        assert m.value("ssam_temp") == 35.0
+
+    def test_histogram_buckets(self):
+        m = MetricsRegistry()
+        for v in (0.5, 1.5, 99.0):
+            m.observe("lat", v, buckets=(1.0, 10.0))
+        (metric,) = [e for e in m.snapshot() if e["name"] == "lat"]
+        (sample,) = metric["samples"]
+        assert sample["bucket_counts"] == [1, 1, 1]   # <=1, <=10, +Inf
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(101.0)
+
+    def test_prometheus_text_format(self):
+        m = MetricsRegistry()
+        m.inc("ssam_x_total", 7, help="an x", link="a\"b")
+        m.observe("lat_seconds", 0.5, buckets=(1.0,), help="latency")
+        text = m.to_prometheus()
+        assert "# HELP ssam_x_total an x" in text
+        assert "# TYPE ssam_x_total counter" in text
+        assert 'ssam_x_total{link="a\\"b"} 7' in text        # label escaping
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text      # cumulative
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+
+# --------------------------------------------------- acceptance: fault run
+def _fault_run(tmp_path=None):
+    """A fault-injection run over one HMC module; returns (tel, module)."""
+    from repro.faults import FaultPlan
+    from repro.hmc.module import HMCModule
+
+    with telemetry.session(meta={"scenario": "faults"}) as tel:
+        plan = FaultPlan(seed=3).inject("link_crc", probability=0.4)
+        module = HMCModule()
+        module.attach_injector(plan.injector())
+        for _ in range(40):
+            module.links.send(256)
+        module.read(0, 4096)
+        module.vaults[0].write(0, 2048)
+    return tel, module
+
+
+class TestChromeTraceExport:
+    def test_fault_run_trace_is_structurally_valid(self):
+        tel, module = _fault_run()
+        trace = tel.chrome_trace()
+
+        # Perfetto's minimum contract: a JSON object with traceEvents.
+        json.loads(json.dumps(trace))                 # serializable
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        for ev in events:
+            assert ev["ph"] in ("X", "i", "M")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            if ev["ph"] == "X":                       # complete events
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+            if ev["ph"] == "i":
+                assert ev["s"] in ("t", "p")
+
+        # The injected faults appear as instants on the fault clock.
+        faults = [e for e in events if e["ph"] == "i" and e["cat"] == "fault"]
+        assert faults
+        procs = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert "sim:fault" in procs
+        fault_pids = {e["pid"] for e in faults}
+        named_pids = {e["pid"] for e in events if e["ph"] == "M"}
+        assert fault_pids <= named_pids               # every pid is named
+
+    def test_distinct_clocks_get_distinct_processes(self, tel):
+        tel.tracer.sim_span("a", clock="pu", start_ns=0, dur_ns=1)
+        tel.tracer.sim_span("b", clock="sched", start_ns=0, dur_ns=1)
+        with tel.tracer.span("w", "t"):
+            pass
+        trace = chrome_trace(tel.to_dict())
+        xs = {e["name"]: e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert len({xs["a"], xs["b"], xs["w"]}) == 3
+
+    def test_prometheus_retry_bytes_matches_link_accounting(self):
+        tel, module = _fault_run()
+        assert module.links.retry_bytes > 0
+        assert tel.metrics.total("ssam_link_retry_bytes_total") == (
+            module.links.retry_bytes
+        )
+        # And the text rendering carries the same total.
+        rendered = 0.0
+        for line in tel.prometheus().splitlines():
+            if line.startswith("ssam_link_retry_bytes_total{"):
+                rendered += float(line.rsplit(" ", 1)[1])
+        assert rendered == module.links.retry_bytes
+
+    def test_ecc_and_vault_counters_match_module(self):
+        tel, module = _fault_run()
+        read = sum(v.controller.bytes_read for v in module.vaults)
+        written = sum(v.controller.bytes_written for v in module.vaults)
+        assert tel.metrics.total("ssam_vault_read_bytes_total") == read
+        assert tel.metrics.total("ssam_vault_written_bytes_total") == written
+
+    def test_fault_counter_matches_injector(self):
+        tel, module = _fault_run()
+        n_instants = sum(
+            1 for i in tel.tracer.instants if i["name"].startswith("fault.")
+        )
+        assert n_instants == tel.metrics.total("ssam_faults_injected_total")
+        assert n_instants == module.links.retries
+
+
+# ------------------------------------------------------- differential guard
+class TestDifferentialGuard:
+    """Telemetry must observe, never perturb."""
+
+    def _engine_outcome(self, engine):
+        from repro.core.kernels import euclidean_scan_kernel
+        from repro.isa.simulator import MachineConfig
+
+        data = np.asarray(np.random.default_rng(23).standard_normal((64, 8)))
+        kernel = euclidean_scan_kernel(data, data[3], 5,
+                                       MachineConfig(vector_length=4))
+        sim = kernel.make_simulator(dram_words=kernel.metadata["dram_words"])
+        stats = sim.run(kernel.program, engine=engine)
+        return stats, list(sim.sregs), [list(v) for v in sim.vregs]
+
+    @pytest.mark.parametrize("engine", ["interp", "predecode", "trace"])
+    def test_engines_bit_exact_with_telemetry_on_and_off(self, engine):
+        bare = self._engine_outcome(engine)
+        with telemetry.session():
+            traced = self._engine_outcome(engine)
+        assert bare == traced
+
+    def test_scheduler_bit_exact_with_telemetry(self):
+        from repro.host.scheduler import QueryScheduler
+
+        s = QueryScheduler(2, 0.01)
+        bare = s.simulate(150.0, n_queries=400, seed=5,
+                          mtbf_seconds=2.0, mttr_seconds=0.05)
+        with telemetry.session():
+            traced = s.simulate(150.0, n_queries=400, seed=5,
+                                mtbf_seconds=2.0, mttr_seconds=0.05)
+        np.testing.assert_array_equal(bare.latencies, traced.latencies)
+        assert bare.retries == traced.retries
+
+    def test_sim_counters_match_run_stats(self):
+        from repro.core.kernels import euclidean_scan_kernel
+        from repro.isa.simulator import MachineConfig
+
+        data = np.asarray(RNG.standard_normal((64, 8)))
+        kernel = euclidean_scan_kernel(data, data[0], 5,
+                                       MachineConfig(vector_length=4))
+        with telemetry.session() as tel:
+            sim = kernel.make_simulator(dram_words=kernel.metadata["dram_words"])
+            stats = sim.run(kernel.program, engine="trace")
+        assert tel.metrics.total("ssam_sim_instructions_total") == stats.instructions
+        assert tel.metrics.total("ssam_sim_cycles_total") == stats.cycles
+        assert tel.metrics.value("ssam_sim_runs_total", engine="trace") == 1
+
+    def test_simcache_counters_match_cache_stats(self):
+        from repro.core.kernels import euclidean_scan_kernel
+        from repro.core.simcache import get_cache
+        from repro.isa.simulator import MachineConfig
+
+        data = np.asarray(RNG.standard_normal((48, 6)))
+        kernel = euclidean_scan_kernel(data, data[1], 4,
+                                       MachineConfig(vector_length=4))
+        before = get_cache().stats()
+        with telemetry.session() as tel:
+            a = kernel.run()     # miss (fresh content key) or hit — either way
+            b = kernel.run()     # the second identical run must hit
+        after = get_cache().stats()
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert tel.metrics.total("ssam_simcache_hits_total") == (
+            after["hits"] - before["hits"]
+        )
+        assert tel.metrics.total("ssam_simcache_misses_total") == (
+            after["misses"] - before["misses"]
+        )
+        assert tel.metrics.total("ssam_simcache_hits_total") >= 1
+
+
+# ------------------------------------------------------- layer span checks
+class TestLayerSpans:
+    def test_scheduler_emits_wait_and_service_spans(self, tel):
+        from repro.host.scheduler import QueryScheduler
+
+        s = QueryScheduler(1, 0.01)
+        n = 50
+        res = s.simulate(2 * s.capacity_qps, n_queries=n, poisson=False)
+        service = [sp for sp in tel.tracer.spans if sp.name == "query.service"]
+        waits = [sp for sp in tel.tracer.spans if sp.name == "query.wait"]
+        assert len(service) == n
+        assert waits                                  # overload => queueing
+        assert all(sp.clock == "sched" for sp in service)
+        assert tel.metrics.total("ssam_sched_queries_total") == n
+        # The latency histogram saw every query.
+        (hist,) = [m for m in tel.metrics.snapshot()
+                   if m["name"] == "ssam_sched_latency_seconds"]
+        assert hist["samples"][0]["count"] == n
+        assert hist["samples"][0]["sum"] == pytest.approx(res.latencies.sum())
+
+    def test_scheduler_outages_emit_module_down_spans(self, tel):
+        from repro.host.scheduler import QueryScheduler
+
+        s = QueryScheduler(2, 0.01)
+        res = s.simulate(100.0, n_queries=400, seed=5,
+                         mtbf_seconds=1.0, mttr_seconds=0.05)
+        downs = [sp for sp in tel.tracer.spans if sp.name == "module.down"]
+        assert downs
+        assert res.downtime_seconds == pytest.approx(
+            sum(sp.sim_dur_ns for sp in downs) / 1e9
+        )
+
+    def test_driver_flow_produces_nested_spans(self, tel):
+        from repro.host import IndexMode, SSAMDriver
+
+        data = np.asarray(RNG.standard_normal((120, 8)), dtype=np.float32)
+        driver = SSAMDriver()
+        buf = driver.nmalloc(data.nbytes)
+        driver.nmode(buf, IndexMode.LINEAR)
+        driver.nmemcpy(buf, data)
+        driver.nbuild_index(buf)
+        driver.nwrite_query(buf, data[7])
+        driver.nexec(buf, k=5)
+        names = [sp.name for sp in tel.tracer.spans]
+        assert "driver.nexec" in names
+        assert tel.metrics.total("ssam_driver_requests_total") == 1
+
+    def test_tree_summary_renders(self, tel):
+        with tel.tracer.span("outer", "t", k=5):
+            with tel.tracer.span("inner", "t"):
+                pass
+        tel.metrics.inc("ssam_x_total", 3)
+        text = tel.tree()
+        assert "outer" in text and "inner" in text
+        assert "ssam_x_total = 3" in text
+
+
+# ------------------------------------------------------------------- CLIs
+class TestReportCLI:
+    def test_report_renders_and_exports(self, tmp_path, capsys):
+        from repro.telemetry.report import main
+
+        tel, _ = _fault_run()
+        run_path = tmp_path / "run.json"
+        tel.save(str(run_path))
+
+        chrome_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        rc = main([str(run_path), "--chrome", str(chrome_path),
+                   "--prom", str(prom_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ssam_link_retry_bytes_total" in out or "counters" in out
+        trace = json.loads(chrome_path.read_text())
+        assert trace["traceEvents"]
+        assert "ssam_link_retry_bytes_total" in prom_path.read_text()
+
+    def test_report_rejects_non_run_json(self, tmp_path):
+        from repro.telemetry.report import main
+
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"not": "a run"}))
+        with pytest.raises(ValueError, match="not a telemetry run"):
+            main([str(bogus)])
+
+
+class TestBenchGuard:
+    BASE = {"engine_speedup_vs_interp": {"trace": 10.0, "predecode": 2.0}}
+
+    def test_ok_within_floor(self):
+        from repro.experiments.bench_guard import check_speedup
+
+        ok, msg = check_speedup(
+            self.BASE, {"engine_speedup_vs_interp": {"trace": 9.0}})
+        assert ok and msg.startswith("OK")
+
+    def test_regression_below_floor(self):
+        from repro.experiments.bench_guard import check_speedup
+
+        ok, msg = check_speedup(
+            self.BASE, {"engine_speedup_vs_interp": {"trace": 7.0}})
+        assert not ok and msg.startswith("REGRESSION")
+
+    def test_missing_key_is_loud(self):
+        from repro.experiments.bench_guard import check_speedup
+
+        with pytest.raises(ValueError, match="engine_speedup_vs_interp"):
+            check_speedup({}, self.BASE)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.experiments.bench_guard import main
+
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self.BASE))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(
+            {"engine_speedup_vs_interp": {"trace": 11.0}}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"engine_speedup_vs_interp": {"trace": 1.0}}))
+        assert main(["--baseline", str(base), "--new", str(good)]) == 0
+        assert main(["--baseline", str(base), "--new", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OK" in out and "REGRESSION" in out
