@@ -4,7 +4,7 @@
 Equivalent to ``python -m repro.experiments bench``: times the
 simulator execution engines (interp / predecode / trace), one
 representative experiment per family cold and warm, and writes
-``BENCH_1.json`` at the repo root.
+``BENCH_2.json`` at the repo root.
 
 Usage::
 

@@ -1,19 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: the SSAM driver API from the paper's Fig. 4.
+"""Quickstart: the repro.api facade.
 
-Allocates a SSAM-enabled region, loads a dataset, and answers k-nearest-
+Builds a query-ready SSAM system in one call and answers k-nearest-
 neighbor queries three ways: exact linear scan, a kd-tree index, and
 hyperplane multi-probe LSH — printing recall against exact search for
-the approximate modes.
+the approximate modes.  Every path returns the same ``SearchResult``.
+
+(The paper's Fig. 4 driver API — nmalloc/nmode/nmemcpy/... — remains
+available underneath; see ``examples/cycle_accurate_demo.py`` and
+``repro.host``.)
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.ann import mean_recall
+from repro.api import SSAMSystem
 from repro.datasets import make_glove_like
-from repro.host import IndexMode, SSAMDriver
 
 
 def main() -> None:
@@ -21,38 +23,21 @@ def main() -> None:
     ds = make_glove_like(n=10_000, n_queries=50)
     print(f"dataset: {ds}")
 
-    driver = SSAMDriver()
-
-    # --- exact search (the default LINEAR mode) --------------------------
-    buf = driver.nmalloc(ds.train.nbytes)
-    driver.nmode(buf, IndexMode.LINEAR)
-    driver.nmemcpy(buf, ds.train)
-    driver.nbuild_index(buf)
-
-    exact_ids = np.empty((ds.n_queries, ds.k), dtype=np.int64)
-    for i in range(ds.n_queries):
-        driver.nwrite_query(buf, ds.test[i])
-        driver.nexec(buf, k=ds.k)
-        exact_ids[i] = driver.nread_result(buf)
+    # --- exact search ----------------------------------------------------
+    with SSAMSystem.build(ds.train, algo="exact") as system:
+        exact = system.search(ds.test, k=ds.k)
     print(f"exact search done: {ds.n_queries} queries over {ds.n} vectors")
 
-    # --- approximate modes ------------------------------------------------
-    for mode, params, checks in (
-        (IndexMode.KDTREE, {"n_trees": 4, "seed": 0}, 512),
-        (IndexMode.MPLSH, {"n_tables": 8, "n_bits": 14, "seed": 0}, 8),
+    # --- approximate modes -----------------------------------------------
+    for algo, params, checks in (
+        ("kdtree", {"n_trees": 4, "seed": 0}, 512),
+        ("mplsh", {"n_tables": 8, "n_bits": 14, "seed": 0}, 8),
     ):
-        driver.nmode(buf, mode)
-        driver.nbuild_index(buf, params=params)
-        approx_ids = np.empty_like(exact_ids)
-        for i in range(ds.n_queries):
-            driver.nwrite_query(buf, ds.test[i])
-            driver.nexec(buf, k=ds.k, checks=checks)
-            approx_ids[i] = driver.nread_result(buf)
-        recall = mean_recall(approx_ids, exact_ids)
-        print(f"{mode.value:8s} (checks={checks}): recall {recall:.3f}")
-
-    driver.nfree(buf)
-    print("region freed; driver holds", driver.n_regions, "regions")
+        with SSAMSystem.build(ds.train, algo=algo,
+                              index_params=params) as system:
+            approx = system.search(ds.test, k=ds.k, checks=checks)
+        recall = mean_recall(approx.ids, exact.ids)
+        print(f"{algo:8s} (checks={checks}): recall {recall:.3f}")
 
 
 if __name__ == "__main__":

@@ -20,21 +20,19 @@ The package rebuilds the paper's whole stack in Python:
 - :mod:`repro.host` — the Fig. 4 driver API (nmalloc/nexec/...);
 - :mod:`repro.experiments` — one runner per paper table and figure.
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro.host import SSAMDriver, IndexMode
+    from repro.api import SSAMSystem
     from repro.datasets import make_glove_like
 
     ds = make_glove_like(n=10_000)
-    driver = SSAMDriver()
-    buf = driver.nmalloc(ds.train.nbytes)
-    driver.nmode(buf, IndexMode.KDTREE)
-    driver.nmemcpy(buf, ds.train)
-    driver.nbuild_index(buf, params={"n_trees": 4})
-    driver.nwrite_query(buf, ds.test[0])
-    driver.nexec(buf, k=ds.k, checks=512)
-    neighbors = driver.nread_result(buf)
-    driver.nfree(buf)
+    with SSAMSystem.build(ds.train, algo="kdtree",
+                          index_params={"n_trees": 4}) as system:
+        result = system.search(ds.test, k=ds.k, checks=512)
+        print(result.ids[0])
+
+The layers underneath (:mod:`repro.host`'s Fig. 4 driver, the runtime,
+the scheduler/serving engine) remain public for fine-grained control.
 """
 
 __version__ = "1.0.0"
@@ -42,6 +40,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ann",
     "analysis",
+    "api",
     "baselines",
     "core",
     "datasets",

@@ -1,0 +1,55 @@
+"""Deprecation plumbing shared across the package.
+
+The PR-4 API redesign renamed a handful of constructor kwargs (one
+spelling for vault count and link bandwidth across
+:class:`repro.core.config.SSAMConfig` and
+:class:`repro.hmc.config.HMCConfig`) and unified the search return
+shapes into one :class:`repro.ann.base.SearchResult`.  Old spellings
+keep working through the helpers here, but they warn — and the test
+suite runs with ``DeprecationWarning`` promoted to an error for frames
+inside ``repro.*`` (see ``pyproject.toml``), so the repo itself can
+never call a deprecated spelling.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["warn_deprecated", "resolve_renamed_kwargs"]
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the caller's caller.
+
+    ``stacklevel=3`` skips this helper *and* the shim that invoked it,
+    so the warning (and the ``-W error`` filter in the test suite)
+    lands on the frame that used the deprecated spelling.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def resolve_renamed_kwargs(
+    owner: str,
+    kwargs: Dict[str, Any],
+    renames: Dict[str, Tuple[str, Callable[[Dict[str, Any], Any], Any]]],
+) -> Dict[str, Any]:
+    """Translate deprecated kwarg spellings into their canonical names.
+
+    ``renames`` maps ``old_name -> (new_name, convert)`` where
+    ``convert(kwargs, value)`` may rescale the value (e.g. an aggregate
+    bandwidth into a per-link one).  Passing both spellings at once is
+    an error; unknown keys are left for the constructor to reject.
+    """
+    out = dict(kwargs)
+    for old, (new, convert) in renames.items():
+        if old not in out:
+            continue
+        if new in out:
+            raise TypeError(f"{owner}() got both {old!r} and its replacement {new!r}")
+        value = out.pop(old)
+        warn_deprecated(
+            f"{owner}({old}=...) is deprecated; use {new}= instead",
+        )
+        out[new] = convert(out, value)
+    return out

@@ -70,17 +70,30 @@ class SearchStats:
 
 @dataclass
 class SearchResult:
-    """Result of a batch of queries.
+    """The one search return shape of the whole stack.
 
     ``ids`` and ``distances`` have shape ``(q, k)``, sorted ascending by
     distance.  Queries that found fewer than ``k`` candidates pad with
     id ``-1`` and distance ``inf`` (only possible for approximate
     indexes with tiny check budgets).
+
+    Every search path — the :mod:`repro.ann` indexes, the driver, the
+    multi-module runtime, the batched serving engine, and the Fig. 1
+    pipeline — returns this dataclass.  The failure-domain fields
+    default to the fault-free values: ``degraded=False`` means every
+    shard answered and ids/distances are bit-exact with the fault-free
+    merge; when shards were down, ``failed_modules`` lists them and
+    ``expected_recall_loss`` is the fraction of corpus rows that were
+    unreachable — an upper bound on the average recall@k lost, and
+    exact when neighbors are uniform across shards.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     stats: SearchStats = field(default_factory=SearchStats)
+    degraded: bool = False
+    failed_modules: List[int] = field(default_factory=list)
+    expected_recall_loss: float = 0.0
 
     @property
     def k(self) -> int:
@@ -89,6 +102,21 @@ class SearchResult:
     @property
     def n_queries(self) -> int:
         return self.ids.shape[0]
+
+    def __iter__(self):
+        """Deprecated tuple-unpacking shim: ``ids, distances = result``.
+
+        Pre-unification call sites unpacked the per-path return shapes
+        positionally; that spelling keeps working but warns.  New code
+        should use the named fields.
+        """
+        from repro._compat import warn_deprecated
+
+        warn_deprecated(
+            "unpacking SearchResult as a tuple is deprecated; use the "
+            ".ids / .distances fields",
+        )
+        return iter((self.ids, self.distances))
 
 
 def top_k_from_candidates(

@@ -26,7 +26,11 @@ from repro.ann.base import (
     top_k_from_candidates,
     validate_queries,
 )
-from repro.distances.metrics import get_metric, squared_euclidean
+from repro.distances.metrics import (
+    get_metric,
+    squared_euclidean,
+    squared_euclidean_bulk,
+)
 
 __all__ = ["HierarchicalKMeansTree", "kmeans"]
 
@@ -54,7 +58,7 @@ def kmeans(
     centroids = np.empty((k, data.shape[1]), dtype=np.float64)
     first = int(rng.integers(n))
     centroids[0] = data[first]
-    closest_d2 = squared_euclidean(data, centroids[0:1])[:, 0]
+    closest_d2 = squared_euclidean_bulk(data, centroids[0:1])[:, 0]
     for c in range(1, k):
         total = closest_d2.sum()
         if total <= 0.0:
@@ -65,13 +69,13 @@ def kmeans(
         probs = closest_d2 / total
         idx = int(rng.choice(n, p=probs))
         centroids[c] = data[idx]
-        d2_new = squared_euclidean(data, centroids[c:c + 1])[:, 0]
+        d2_new = squared_euclidean_bulk(data, centroids[c:c + 1])[:, 0]
         np.minimum(closest_d2, d2_new, out=closest_d2)
 
     # --- Lloyd iterations ---------------------------------------------------
     assignments = np.zeros(n, dtype=np.int64)
     for _ in range(max_iters):
-        d2 = squared_euclidean(data, centroids)
+        d2 = squared_euclidean_bulk(data, centroids)
         assignments = d2.argmin(axis=1)
         new_centroids = np.zeros_like(centroids)
         counts = np.bincount(assignments, minlength=k).astype(np.float64)
@@ -88,7 +92,7 @@ def kmeans(
         centroids = new_centroids
         if shift < tol:
             break
-    d2 = squared_euclidean(data, centroids)
+    d2 = squared_euclidean_bulk(data, centroids)
     assignments = d2.argmin(axis=1)
     return centroids, assignments
 

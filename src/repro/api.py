@@ -1,0 +1,348 @@
+"""repro.api — the one-stop facade over the SSAM stack.
+
+Everything the rest of the package builds — the Fig. 4 driver, the
+multi-module runtime, the query scheduler, the dynamic batcher, fault
+plans, telemetry — is assembled here behind two calls::
+
+    from repro.api import SSAMSystem
+
+    system = SSAMSystem.build(dataset, algo="kdtree",
+                              index_params={"n_trees": 4})
+    result = system.search(queries, k=10)       # SearchResult
+    system.close()
+
+No ``repro.host`` imports, no region bookkeeping, no injector plumbing:
+``build`` wires the driver (and, for scale-out exact search, the
+:class:`~repro.host.runtime.MultiModuleRuntime`), mints the fault
+injector from an optional :class:`~repro.faults.FaultPlan`, installs an
+optional telemetry session, and derives a serving-time model for
+:meth:`SSAMSystem.serve`.  Results always come back as the unified
+:class:`~repro.ann.SearchResult` — ids, distances, stats, and the
+degraded-mode fields — for every algorithm and backend.
+
+The underlying layers remain public and stable; the facade is sugar,
+not a wall.  See ``docs/API.md`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.ann import SearchResult
+from repro.core.config import SSAMConfig
+from repro.faults import FaultPlan
+from repro.host.driver import IndexMode, SSAMDriver
+from repro.host.runtime import MultiModuleRuntime
+from repro.host.scheduler import QueryScheduler
+from repro.host.serving import (
+    BatchingConfig,
+    BatchServiceModel,
+    ServingEngine,
+    ServingReport,
+)
+from repro import telemetry as _telemetry
+
+__all__ = [
+    "SSAMSystem",
+    "SearchResult",
+    "BatchingConfig",
+    "ServingReport",
+    "FaultPlan",
+    "SSAMConfig",
+    "IndexMode",
+    "ALGORITHMS",
+]
+
+#: Public algorithm names -> driver index modes.
+ALGORITHMS: Dict[str, IndexMode] = {
+    "exact": IndexMode.LINEAR,
+    "linear": IndexMode.LINEAR,
+    "kdtree": IndexMode.KDTREE,
+    "kmeans": IndexMode.KMEANS,
+    "mplsh": IndexMode.MPLSH,
+    "ivfadc": IndexMode.IVFADC,
+    "hamming": IndexMode.HAMMING,
+}
+
+
+class SSAMSystem:
+    """A built, query-ready SSAM deployment.
+
+    Construct with :meth:`build`; do not call ``__init__`` directly.
+    The system owns a driver region (always) and, when
+    ``scale_out=True``, a sharded multi-module runtime for exact
+    search.  It is a context manager: ``with SSAMSystem.build(...) as
+    system: ...`` releases the region (and any telemetry session it
+    installed) on exit.
+    """
+
+    def __init__(self, *, driver, region, algo, runtime=None, scheduler=None,
+                 batching=None, telemetry=None, _owns_telemetry=False,
+                 _telemetry_prev=None):
+        self.driver = driver
+        self.region = region
+        self.algo = algo
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.batching = batching or BatchingConfig()
+        self.telemetry = telemetry
+        self._owns_telemetry = _owns_telemetry
+        self._telemetry_prev = _telemetry_prev
+        self._closed = False
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        dataset: np.ndarray,
+        algo: str = "exact",
+        config: Optional[SSAMConfig] = None,
+        *,
+        metric: str = "euclidean",
+        index_params: Optional[dict] = None,
+        backend: str = "functional",
+        fault_plan: Optional[FaultPlan] = None,
+        telemetry: Union[None, bool, "_telemetry.Telemetry"] = None,
+        scale_out: bool = False,
+        n_modules: Optional[int] = None,
+        service_seconds: Optional[float] = None,
+        batching: Optional[BatchingConfig] = None,
+    ) -> "SSAMSystem":
+        """Assemble a query-ready system around ``dataset``.
+
+        Parameters
+        ----------
+        dataset:
+            The ``(n, d)`` corpus to pin into SSAM memory.
+        algo:
+            One of :data:`ALGORITHMS` — ``"exact"`` (alias
+            ``"linear"``), ``"kdtree"``, ``"kmeans"``, ``"mplsh"``,
+            ``"ivfadc"``, or ``"hamming"``.
+        config:
+            SSAM design point (default: the 4-link design).
+        metric:
+            Distance for exact search (``"euclidean"``, ``"cosine"``,
+            ...); the approximate indexes are Euclidean-only.
+        index_params:
+            Forwarded to the index constructor (e.g. ``{"n_trees": 4}``).
+        backend:
+            ``"functional"`` (NumPy reference) or ``"cycle"`` (ISA
+            simulators; reduced-scale datasets only).
+        fault_plan:
+            Optional :class:`~repro.faults.FaultPlan`; a fresh injector
+            is minted and threaded through the driver (and the runtime
+            when ``scale_out``), enabling retries / degraded serving.
+        telemetry:
+            ``True`` installs a fresh process-wide
+            :class:`~repro.telemetry.Telemetry` session (uninstalled by
+            :meth:`close`); an existing session is installed likewise;
+            ``None`` leaves telemetry as-is.
+        scale_out:
+            Route exact search through the sharded
+            :class:`~repro.host.runtime.MultiModuleRuntime` (capacity
+            drives the shard count) instead of the single-module
+            driver.  Exact/linear only.
+        n_modules, service_seconds:
+            Serving-pool shape for :meth:`serve`: pool size (default:
+            the capacity-driven module count) and per-query scan time
+            (default: dataset bytes over the cube's aggregate internal
+            bandwidth).
+        batching:
+            Default :class:`BatchingConfig` for :meth:`serve`.
+        """
+        if algo not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algo {algo!r}; expected one of {sorted(ALGORITHMS)}")
+        mode = ALGORITHMS[algo]
+        if metric != "euclidean" and mode not in (IndexMode.LINEAR, IndexMode.HAMMING):
+            raise ValueError(f"algo {algo!r} supports only the euclidean metric")
+        if scale_out and mode is not IndexMode.LINEAR:
+            raise ValueError("scale_out requires exact (linear) search")
+        dataset = np.asarray(dataset)
+        if dataset.ndim != 2 or dataset.shape[0] == 0:
+            raise ValueError("dataset must be a non-empty (n, d) array")
+        config = config or SSAMConfig.design(4)
+        params = dict(index_params or {})
+        if mode is IndexMode.LINEAR and metric != "euclidean":
+            params.setdefault("metric", metric)
+
+        injector = fault_plan.injector() if fault_plan is not None else None
+
+        tel = None
+        owns_tel = False
+        tel_prev = None
+        if telemetry is True:
+            tel = _telemetry.Telemetry()
+            tel_prev = _telemetry.install(tel)
+            owns_tel = True
+        elif telemetry:
+            tel = telemetry
+            tel_prev = _telemetry.install(tel)
+            owns_tel = True
+
+        driver = region = runtime = None
+        if scale_out:
+            # Sharded exact search: the runtime is the backend (the
+            # corpus may exceed one module's capacity, so no single
+            # driver region is built).
+            runtime = MultiModuleRuntime(
+                config=config, metric=metric, injector=injector)
+            runtime.load(dataset)
+        else:
+            driver = SSAMDriver(config=config, backend=backend,
+                                injector=injector)
+            region = driver.nmalloc(max(dataset.nbytes, 1))
+            driver.nmode(region, mode)
+            driver.nmemcpy(region, dataset)
+            driver.nbuild_index(region, params=params)
+
+        if service_seconds is None:
+            # Streaming-bound full scan: corpus bytes over the cube's
+            # aggregate internal bandwidth (per-query reference time).
+            service_seconds = max(dataset.nbytes / config.internal_bandwidth,
+                                  1e-9)
+        if n_modules is None:
+            n_modules = runtime.n_modules if runtime is not None else 1
+        scheduler = QueryScheduler(n_modules=max(1, n_modules),
+                                   service_seconds=service_seconds)
+
+        return cls(driver=driver, region=region, algo=algo, runtime=runtime,
+                   scheduler=scheduler, batching=batching, telemetry=tel,
+                   _owns_telemetry=owns_tel, _telemetry_prev=tel_prev)
+
+    # ------------------------------------------------------------------ search
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        batch: Optional[int] = None,
+        checks: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer ``queries`` with the ``k`` nearest neighbors each.
+
+        Returns the unified :class:`~repro.ann.SearchResult` —
+        ``ids``/``distances`` of shape ``(n_queries, k)``, stats, and
+        the degraded-mode fields (meaningful with ``scale_out`` + a
+        fault plan).  ``batch=B`` dispatches the block through the
+        batched execution path ``B`` queries at a time — bit-exact with
+        ``batch=None``, which issues one dispatch for the whole block.
+        ``checks`` bounds the approximate indexes' candidate budget.
+        """
+        self._assert_open()
+        queries = np.atleast_2d(np.asarray(queries))
+        if batch is not None and batch <= 0:
+            raise ValueError("batch must be positive")
+        if self.runtime is not None:
+            return self._sharded_search(queries, k, batch)
+        if batch is None:
+            return self.driver.nexec_batch(self.region, queries, k,
+                                           checks=checks)
+        parts = [
+            self.driver.nexec_batch(self.region, queries[lo:lo + batch], k,
+                                    checks=checks)
+            for lo in range(0, queries.shape[0], batch)
+        ]
+        return _concat_results(parts)
+
+    def _sharded_search(self, queries, k, batch) -> SearchResult:
+        if batch is None:
+            return self.runtime.search(queries, k)
+        parts = [
+            self.runtime.search(queries[lo:lo + batch], k)
+            for lo in range(0, queries.shape[0], batch)
+        ]
+        return _concat_results(parts)
+
+    # ------------------------------------------------------------------ serve
+    def serve(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        arrival_qps: float = 1000.0,
+        batching: Optional[BatchingConfig] = None,
+        poisson: bool = True,
+        seed: int = 0,
+        compare_per_query: bool = False,
+    ) -> ServingReport:
+        """Serve ``queries`` as an arrival stream with dynamic batching.
+
+        Runs the admission-queue/batching simulation on the system's
+        scheduler and replays every dispatched batch as a real search,
+        so the report carries both the timing (throughput, p50/p99,
+        backpressure) and the actual — bit-exact — results.  See
+        :class:`~repro.host.serving.ServingEngine`.
+        """
+        self._assert_open()
+        batching = batching or self.batching
+        engine = ServingEngine(
+            backend=lambda q, kk: self.search(q, kk),
+            scheduler=self.scheduler,
+            batching=batching,
+            service_model=BatchServiceModel(
+                service_seconds=self.scheduler.service_seconds),
+        )
+        return engine.serve(queries, k, arrival_qps, poisson=poisson,
+                            seed=seed, compare_per_query=compare_per_query)
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release the region; restore the previous telemetry session."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.driver is not None:
+            self.driver.nfree(self.region)
+        if self._owns_telemetry:
+            _telemetry.uninstall(self._telemetry_prev)
+
+    def __enter__(self) -> "SSAMSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SSAMSystem is closed")
+
+    # ------------------------------------------------------------------ info
+    @property
+    def index(self):
+        """The underlying index object (None when scale_out shards it)."""
+        return self.region.index if self.region is not None else None
+
+    @property
+    def n_rows(self) -> int:
+        if self.runtime is not None:
+            return self.runtime.n_rows
+        return int(self.region.data.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (f"SSAMSystem(algo={self.algo!r}, rows={self.n_rows}, "
+                f"modules={self.scheduler.n_modules}, {state})")
+
+
+def _concat_results(parts) -> SearchResult:
+    """Stack per-chunk results back into one (n, k) SearchResult."""
+    from repro.ann import SearchStats
+
+    stats = SearchStats()
+    degraded = False
+    failed: set = set()
+    loss = 0.0
+    for p in parts:
+        stats += p.stats
+        degraded = degraded or p.degraded
+        failed.update(p.failed_modules)
+        loss = max(loss, p.expected_recall_loss)
+    return SearchResult(
+        ids=np.concatenate([p.ids for p in parts], axis=0),
+        distances=np.concatenate([p.distances for p in parts], axis=0),
+        stats=stats,
+        degraded=degraded,
+        failed_modules=sorted(failed),
+        expected_recall_loss=loss,
+    )

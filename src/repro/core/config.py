@@ -8,12 +8,20 @@ many processing units sit behind each vault controller).
 
 The paper's four evaluated design points are ``SSAMConfig.design(v)``
 for v in {2, 4, 8, 16} (called SSAM-2 .. SSAM-16 throughout).
+
+Kwarg spellings are normalized with :class:`repro.hmc.config.HMCConfig`:
+both describe the link fabric as ``n_links`` full-width links of
+``link_bandwidth`` bytes/s each.  The pre-PR-4 aggregate spelling
+``external_link_bandwidth=`` is still accepted (converted to a per-link
+rate) with a :class:`DeprecationWarning`; the aggregate remains
+readable as the :attr:`external_link_bandwidth` property.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
+from repro._compat import resolve_renamed_kwargs
 from repro.isa.simulator import MachineConfig
 
 __all__ = ["SSAMConfig"]
@@ -25,8 +33,16 @@ __all__ = ["SSAMConfig"]
 #: growth in paper Table IV.
 _PUS_PER_VAULT = {2: 4, 4: 5, 8: 9, 16: 15}
 
+#: Deprecated constructor spellings -> (canonical name, converter).
+_RENAMED_KWARGS = {
+    "external_link_bandwidth": (
+        "link_bandwidth",
+        lambda kwargs, v: v / kwargs.get("n_links", 4),
+    ),
+}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class SSAMConfig:
     """A complete SSAM module design point.
 
@@ -38,25 +54,53 @@ class SSAMConfig:
         HMC vaults (HMC 2.0 has 32).
     vault_bandwidth:
         Per-vault-controller bandwidth in bytes/s (10 GB/s in HMC 2.0).
-    external_link_bandwidth:
-        Aggregate external SerDes bandwidth in bytes/s (240 GB/s).
+    n_links:
+        Full-width external SerDes links (HMC 2.0 has 4).
+    link_bandwidth:
+        Per-link bandwidth in bytes/s (60 GB/s; 240 GB/s aggregate).
     pus_per_vault:
         Processing units instantiated next to each vault controller.
     capacity_bytes:
         DRAM capacity of the module (HMC 2.0: 8 GB).
     """
 
-    machine: MachineConfig = MachineConfig()
+    machine: MachineConfig = field(default_factory=MachineConfig)
     n_vaults: int = 32
     vault_bandwidth: float = 10e9
-    external_link_bandwidth: float = 240e9
+    n_links: int = 4
+    link_bandwidth: float = 60e9
     pus_per_vault: int = 5
     capacity_bytes: int = 8 << 30
+
+    def __init__(self, **kwargs) -> None:
+        kwargs = resolve_renamed_kwargs("SSAMConfig", kwargs, _RENAMED_KWARGS)
+        defaults = {
+            "machine": None,
+            "n_vaults": 32,
+            "vault_bandwidth": 10e9,
+            "n_links": 4,
+            "link_bandwidth": 60e9,
+            "pus_per_vault": 5,
+            "capacity_bytes": 8 << 30,
+        }
+        unknown = set(kwargs) - set(defaults)
+        if unknown:
+            raise TypeError(
+                f"SSAMConfig() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        defaults.update(kwargs)
+        if defaults["machine"] is None:
+            defaults["machine"] = MachineConfig()
+        for name, value in defaults.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         if self.n_vaults <= 0 or self.pus_per_vault <= 0:
             raise ValueError("n_vaults and pus_per_vault must be positive")
-        if self.vault_bandwidth <= 0 or self.external_link_bandwidth <= 0:
+        if self.n_links <= 0:
+            raise ValueError("n_links must be positive")
+        if self.vault_bandwidth <= 0 or self.link_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
 
     @classmethod
@@ -81,6 +125,11 @@ class SSAMConfig:
     def internal_bandwidth(self) -> float:
         """Aggregate internal bandwidth across all vaults (bytes/s)."""
         return self.n_vaults * self.vault_bandwidth
+
+    @property
+    def external_link_bandwidth(self) -> float:
+        """Aggregate external SerDes bandwidth (bytes/s)."""
+        return self.n_links * self.link_bandwidth
 
     @property
     def total_pus(self) -> int:

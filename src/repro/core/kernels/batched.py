@@ -30,11 +30,61 @@ from repro.core.kernels.common import (
 )
 from repro.isa.simulator import MachineConfig, Simulator
 
-__all__ = ["batched_euclidean_scan_kernel", "MAX_BATCH"]
+__all__ = [
+    "batched_euclidean_scan_kernel",
+    "batch_groups",
+    "run_batched_scan",
+    "streams_for_batch",
+    "MAX_BATCH",
+]
 
 MAX_BATCH = 4
 _INT_MAX = (1 << 31) - 1
 _ACC_REGS = ["v3", "v4", "v5", "v6"]
+
+
+def batch_groups(n_batch: int, resident: int = MAX_BATCH) -> List[Tuple[int, int]]:
+    """Split ``n_batch`` queries into register-resident groups.
+
+    The PU keeps at most ``resident`` per-query accumulators live (the
+    8-vector-register constraint behind :data:`MAX_BATCH`), so a larger
+    serving batch runs as ``ceil(n_batch / resident)`` dataset streams.
+    Returns ``[lo, hi)`` index pairs, in dispatch order.
+    """
+    if n_batch <= 0:
+        raise ValueError("n_batch must be positive")
+    if not 1 <= resident <= MAX_BATCH:
+        raise ValueError(f"resident must be in [1, {MAX_BATCH}]")
+    return [(lo, min(lo + resident, n_batch)) for lo in range(0, n_batch, resident)]
+
+
+def streams_for_batch(n_batch: int, resident: int = MAX_BATCH) -> int:
+    """Dataset streams needed to score an ``n_batch``-query batch."""
+    return len(batch_groups(n_batch, resident))
+
+
+def run_batched_scan(
+    dataset: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Score an arbitrary-size batch through the batched scan kernel.
+
+    Splits the batch into :func:`batch_groups` and runs one kernel per
+    group, stacking the results into ``(B, k)`` ids/values arrays —
+    the cycle-backend dispatch path of the serving engine.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    ids = np.empty((queries.shape[0], k), dtype=np.int64)
+    values = np.empty((queries.shape[0], k), dtype=np.int64)
+    for lo, hi in batch_groups(queries.shape[0]):
+        kern = batched_euclidean_scan_kernel(dataset, queries[lo:hi], k, machine)
+        res = kern.run()
+        gids, gvals = res.ids, res.values
+        ids[lo:hi] = gids.reshape(hi - lo, -1)[:, :k]
+        values[lo:hi] = gvals.reshape(hi - lo, -1)[:, :k]
+    return ids, values
 
 
 def batched_euclidean_scan_kernel(

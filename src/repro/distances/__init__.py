@@ -31,6 +31,7 @@ from repro.distances.metrics import (
     manhattan,
     pairwise_distance,
     squared_euclidean,
+    squared_euclidean_bulk,
 )
 from repro.distances.fixed_point import (
     FixedPointFormat,
@@ -52,6 +53,7 @@ __all__ = [
     "manhattan",
     "pairwise_distance",
     "squared_euclidean",
+    "squared_euclidean_bulk",
     "FixedPointFormat",
     "from_fixed_point",
     "to_fixed_point",

@@ -27,6 +27,7 @@ ArrayLike = Union[np.ndarray, list, tuple]
 __all__ = [
     "euclidean",
     "squared_euclidean",
+    "squared_euclidean_bulk",
     "manhattan",
     "cosine_distance",
     "chi_squared",
@@ -59,11 +60,40 @@ def _check_dims(queries: np.ndarray, dataset: np.ndarray) -> None:
 def squared_euclidean(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
     """Squared L2 distance, ``||q - x||^2``.
 
-    Computed via the expansion ``||q||^2 - 2 q.x + ||x||^2`` so the
-    dominant cost is a single GEMM, which is how both the paper's CPU
-    baseline (AVX) and the SSAM vector units evaluate it.  Clamped at
-    zero to guard against negative values from floating-point
-    cancellation.
+    Computed via the expansion ``||q||^2 - 2 q.x + ||x||^2``, which is
+    how both the paper's CPU baseline (AVX) and the SSAM vector units
+    evaluate it.  Clamped at zero to guard against negative values from
+    floating-point cancellation.
+
+    The dot products run one query row at a time (a fixed-shape GEMV
+    per query) rather than as one GEMM over the whole block: BLAS picks
+    shape-dependent kernels whose rounding differs, so a single GEMM
+    would make a query's distances depend on how many *other* queries
+    share the call.  Row-at-a-time keeps every query's distances
+    bit-identical under any batching — the invariant the dynamic
+    batched serving engine (:mod:`repro.host.serving`) is built on.
+    """
+    q = _as_2d(queries).astype(np.float64, copy=False)
+    x = _as_2d(dataset).astype(np.float64, copy=False)
+    _check_dims(q, x)
+    qq = np.einsum("ij,ij->i", q, q)[:, None]
+    xx = np.einsum("ij,ij->i", x, x)[None, :]
+    dots = np.empty((q.shape[0], x.shape[0]))
+    for i in range(q.shape[0]):
+        dots[i] = x @ q[i]
+    d2 = qq + xx - 2.0 * dots
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def squared_euclidean_bulk(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
+    """Squared L2 as one GEMM — fast, but *not* batch-invariant.
+
+    BLAS may round differently depending on the block shapes, so a
+    row's distances can differ in the last ulp between calls with
+    different row counts.  Use this for bulk training-side math
+    (k-means assignment, codebook builds) where only relative order
+    matters; query-serving paths must use :func:`squared_euclidean`.
     """
     q = _as_2d(queries).astype(np.float64, copy=False)
     x = _as_2d(dataset).astype(np.float64, copy=False)
@@ -114,7 +144,10 @@ def cosine_distance(queries: ArrayLike, dataset: ArrayLike) -> np.ndarray:
     qn = np.linalg.norm(q, axis=1)
     xn = np.linalg.norm(x, axis=1)
     denom = qn[:, None] * xn[None, :]
-    dots = q @ x.T
+    # Row-at-a-time for batch-invariance (see squared_euclidean).
+    dots = np.empty((q.shape[0], x.shape[0]))
+    for i in range(q.shape[0]):
+        dots[i] = x @ q[i]
     with np.errstate(divide="ignore", invalid="ignore"):
         cos = np.where(denom > 0.0, dots / denom, 0.0)
     np.clip(cos, -1.0, 1.0, out=cos)

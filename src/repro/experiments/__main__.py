@@ -71,7 +71,7 @@ RUNNERS = {
     "thermal": (run_thermal_check, "Section V-A thermal check"),
     "fixedpoint": (run_fixed_point, "Section II-D: fixed point"),
     "binarization": (run_binarization, "Section II-D: binarization"),
-    "bench": (run_bench, "Perf trajectory: engines + simcache (writes BENCH_1.json)"),
+    "bench": (run_bench, "Perf trajectory: engines + simcache (writes BENCH_2.json)"),
 }
 
 #: Excluded from the default "run everything" sweep: bench re-runs other

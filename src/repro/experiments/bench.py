@@ -3,8 +3,10 @@
 Times the simulator's execution engines against each other on the
 paper's headline workload (the linear Euclidean scan), times one
 representative experiment per family cold and warm (the warm pass shows
-the kernel-simulation cache), and writes the numbers to ``BENCH_1.json``
-at the repo root so future PRs can track the performance trajectory.
+the kernel-simulation cache), compares per-query vs dynamically batched
+serving on a linear-scan workload (the ``serving`` section), and writes
+the numbers to ``BENCH_2.json`` at the repo root so future PRs can
+track the performance trajectory.
 
 This runner is excluded from ``python -m repro.experiments`` (run all):
 it re-executes other experiments under a timer, so including it in the
@@ -26,7 +28,7 @@ from repro.isa.simulator import MachineConfig
 
 __all__ = ["run_bench", "BENCH_FILENAME"]
 
-BENCH_FILENAME = "BENCH_1.json"
+BENCH_FILENAME = "BENCH_2.json"
 
 #: One representative experiment per family, timed cold then warm.
 _FAMILY_RUNNERS: List[Tuple[str, str, str]] = [
@@ -104,6 +106,69 @@ def _bench_experiments() -> Dict[str, Dict[str, float]]:
     return out
 
 
+def _bench_serving(n: int = 4_000, dims: int = 16, n_queries: int = 2_000,
+                   k: int = 10, max_batch: int = 16,
+                   n_modules: int = 4,
+                   service_seconds: float = 1e-3) -> Dict[str, object]:
+    """Per-query vs dynamically batched serving on the linear-scan workload.
+
+    Offers the *same* Poisson arrival stream (same seed) at a
+    saturating load to the per-query scheduler and to the dynamic
+    batcher, replays the batcher's dispatch ledger against a real
+    linear scan, and checks the batched answers are bit-exact with
+    issuing every query alone.  Throughputs are sim-clock sustained
+    rates over each run's makespan, so the ratio is deterministic
+    (no wall-clock noise).
+    """
+    from repro.ann import LinearScan
+    from repro.host.scheduler import QueryScheduler
+    from repro.host.serving import BatchingConfig, ServingEngine
+
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((n, dims))
+    queries = rng.standard_normal((n_queries, dims))
+    index = LinearScan().build(data)
+
+    scheduler = QueryScheduler(n_modules=n_modules,
+                               service_seconds=service_seconds)
+    # Offer 4x the per-query capacity: the regime where batching's
+    # stream amortization matters (and backpressure engages).
+    arrival_qps = 4.0 * scheduler.capacity_qps
+    engine = ServingEngine(index, scheduler,
+                           BatchingConfig(max_batch=max_batch))
+    report = engine.serve(queries, k, arrival_qps, seed=11,
+                          compare_per_query=True)
+    reference = index.search(queries, k)
+    bit_exact = bool(
+        np.array_equal(report.result.ids, reference.ids)
+        and np.array_equal(report.result.distances, reference.distances)
+    )
+    baseline = report.baseline
+    return {
+        "workload": {
+            "n": n, "dims": dims, "n_queries": n_queries, "k": k,
+            "n_modules": n_modules, "service_seconds": service_seconds,
+            "arrival_qps": arrival_qps, "max_batch": max_batch,
+        },
+        "per_query": {
+            "throughput_qps": report.baseline_throughput_qps,
+            "p50_seconds": baseline.p50,
+            "p99_seconds": baseline.p99,
+        },
+        "batched": {
+            "throughput_qps": report.throughput_qps,
+            "p50_seconds": report.p50,
+            "p99_seconds": report.p99,
+            "mean_batch_size": report.schedule.mean_batch_size,
+            "n_batches": report.schedule.n_batches,
+            "throttled": report.schedule.throttled,
+            "queue_peak": report.schedule.queue_peak,
+        },
+        "throughput_gain": report.throughput_gain,
+        "bit_exact": bit_exact,
+    }
+
+
 def run_bench():
     engines = _bench_engines()
     interp_ips = engines["interp"]["instructions_per_sec"]
@@ -112,13 +177,15 @@ def run_bench():
         for e in ("interp", "predecode", "trace")
     }
     experiments = _bench_experiments()
+    serving = _bench_serving()
     cache = get_cache().stats()
 
     payload = {
-        "bench_version": 1,
+        "bench_version": 2,
         "engines": engines,
         "engine_speedup_vs_interp": speedups,
         "experiments": experiments,
+        "serving": serving,
         "simcache": cache,
     }
     path = _repo_root() / BENCH_FILENAME
@@ -139,6 +206,13 @@ def run_bench():
             "warm_seconds": r["warm_seconds"],
             "family": r["family"],
         })
+    rows.append({
+        "benchmark": "serving/batched_vs_per_query",
+        "per_query_qps": serving["per_query"]["throughput_qps"],
+        "batched_qps": serving["batched"]["throughput_qps"],
+        "throughput_gain": serving["throughput_gain"],
+        "bit_exact": serving["bit_exact"],
+    })
 
     lines = [
         f"Linear Euclidean scan, VLEN={engines['workload']['vlen']}, "
@@ -156,6 +230,21 @@ def run_bench():
             f"  {name:10s} {r['cold_seconds']:.2f}s -> {r['warm_seconds']:.2f}s "
             f"[{r['family']}]"
         )
+    sv_pq, sv_b = serving["per_query"], serving["batched"]
+    lines.append(
+        "Serving (linear scan, %d modules, max_batch=%d, load 4x capacity):"
+        % (serving["workload"]["n_modules"], serving["workload"]["max_batch"])
+    )
+    lines.append(
+        f"  per-query  {sv_pq['throughput_qps']:>9,.0f} qps  "
+        f"p50={sv_pq['p50_seconds']*1e3:.1f}ms p99={sv_pq['p99_seconds']*1e3:.1f}ms"
+    )
+    lines.append(
+        f"  batched    {sv_b['throughput_qps']:>9,.0f} qps  "
+        f"p50={sv_b['p50_seconds']*1e3:.1f}ms p99={sv_b['p99_seconds']*1e3:.1f}ms  "
+        f"({serving['throughput_gain']:.1f}x, mean batch "
+        f"{sv_b['mean_batch_size']:.1f}, bit_exact={serving['bit_exact']})"
+    )
     lines.append(
         f"simcache: {cache['entries']} entries, "
         f"{cache['hits']} hits / {cache['misses']} misses "

@@ -1,12 +1,12 @@
 """Bench regression guard: compare a fresh bench run against a baseline.
 
-CI records the repo's committed ``BENCH_1.json`` before re-running the
+CI records the repo's committed ``BENCH_2.json`` before re-running the
 bench, then calls this guard::
 
-    cp BENCH_1.json /tmp/bench_baseline.json
+    cp BENCH_2.json /tmp/bench_baseline.json
     python -m repro.experiments bench --telemetry results/bench_telemetry.json
     python -m repro.experiments.bench_guard \
-        --baseline /tmp/bench_baseline.json --new BENCH_1.json --min-ratio 0.8
+        --baseline /tmp/bench_baseline.json --new BENCH_2.json --min-ratio 0.8
 
 The guard fails (exit 1) when the trace engine's speedup over the
 interpreter drops below ``min_ratio`` of the recorded value — the
@@ -57,9 +57,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Fail when the fresh bench regresses vs the baseline.",
     )
     parser.add_argument("--baseline", required=True,
-                        help="recorded BENCH_1.json (the committed numbers)")
+                        help="recorded BENCH_2.json (the committed numbers)")
     parser.add_argument("--new", required=True, dest="new_path",
-                        help="freshly written BENCH_1.json")
+                        help="freshly written BENCH_2.json")
     parser.add_argument("--min-ratio", type=float, default=0.8,
                         help="minimum new/recorded speedup ratio (default 0.8)")
     args = parser.parse_args(argv)

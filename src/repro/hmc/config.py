@@ -1,13 +1,30 @@
-"""HMC organization parameters (HMC 2.0 / 2.1 specification values)."""
+"""HMC organization parameters (HMC 2.0 / 2.1 specification values).
+
+Kwarg spellings are normalized with :class:`repro.core.config.SSAMConfig`:
+both spell the vault count ``n_vaults`` and the link fabric as
+``n_links`` links of ``link_bandwidth`` bytes/s each.  The deprecated
+aggregate spelling ``external_link_bandwidth=`` is accepted (converted
+to a per-link rate) with a :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import resolve_renamed_kwargs
+
 __all__ = ["HMCConfig"]
 
+#: Deprecated constructor spellings -> (canonical name, converter).
+_RENAMED_KWARGS = {
+    "external_link_bandwidth": (
+        "link_bandwidth",
+        lambda kwargs, v: v / kwargs.get("n_links", 4),
+    ),
+}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class HMCConfig:
     """Static organization of one Hybrid Memory Cube.
 
@@ -24,6 +41,28 @@ class HMCConfig:
     banks_per_vault: int = 16
     row_bytes: int = 256                    # DRAM row (page) per bank partition
     block_bytes: int = 32                   # vault interleaving granularity
+
+    def __init__(self, **kwargs) -> None:
+        kwargs = resolve_renamed_kwargs("HMCConfig", kwargs, _RENAMED_KWARGS)
+        defaults = {
+            "n_vaults": 32,
+            "vault_bandwidth": 10e9,
+            "n_links": 4,
+            "link_bandwidth": 60e9,
+            "capacity_bytes": 8 << 30,
+            "banks_per_vault": 16,
+            "row_bytes": 256,
+            "block_bytes": 32,
+        }
+        unknown = set(kwargs) - set(defaults)
+        if unknown:
+            raise TypeError(
+                f"HMCConfig() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        defaults.update(kwargs)
+        for name, value in defaults.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         if self.n_vaults <= 0 or self.n_links <= 0 or self.banks_per_vault <= 0:

@@ -16,13 +16,27 @@ package implements that interface:
 - :mod:`repro.host.runtime` — multi-module scale-out: capacity-driven
   module allocation and the host-side global top-k reduction across
   modules, with degraded-mode merging over surviving shards when
-  modules fail (see ``docs/RELIABILITY.md``).
+  modules fail (see ``docs/RELIABILITY.md``);
+- :mod:`repro.host.scheduler` / :mod:`repro.host.serving` — the serving
+  substrate: the discrete-event module-pool queue model, and the
+  dynamic batcher that coalesces in-flight queries into batched
+  dispatches with backpressure (see ``docs/API.md``).
 """
 
 from repro.host.allocator import AllocationError, FreeListAllocator
 from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
 from repro.host.runtime import DegradedSearchResult, MultiModuleRuntime
-from repro.host.scheduler import QueryScheduler, ScheduleResult
+from repro.host.scheduler import (
+    BatchedScheduleResult,
+    QueryScheduler,
+    ScheduleResult,
+)
+from repro.host.serving import (
+    BatchingConfig,
+    BatchServiceModel,
+    ServingEngine,
+    ServingReport,
+)
 
 __all__ = [
     "AllocationError",
@@ -34,4 +48,9 @@ __all__ = [
     "MultiModuleRuntime",
     "QueryScheduler",
     "ScheduleResult",
+    "BatchedScheduleResult",
+    "BatchingConfig",
+    "BatchServiceModel",
+    "ServingEngine",
+    "ServingReport",
 ]

@@ -38,6 +38,7 @@ from repro.ann import (
     MultiProbeLSH,
     RandomizedKDForest,
     SearchResult,
+    SearchStats,
 )
 from repro.core.config import SSAMConfig
 from repro.core.module import SSAMModule
@@ -229,42 +230,89 @@ class SSAMDriver:
                 tel.metrics.inc("ssam_driver_requests_total", 1,
                                 help="nexec requests by index mode",
                                 mode=region.mode.value)
-            if self.injector is None:
-                self._nexec_once(region, k, checks)
+            self._execute_with_retries(
+                span, tel, lambda: self._nexec_once(region, k, checks))
+
+    def nexec_batch(
+        self,
+        region: SSAMRegion,
+        queries: np.ndarray,
+        k: int,
+        checks: Optional[int] = None,
+    ) -> SearchResult:
+        """Execute one coalesced batch of queries as a single request.
+
+        The batch is the serving engine's unit of work: one request
+        covers all ``B`` queries, so the fault/retry policy of
+        :meth:`nexec` applies per *batch* (a PU fault re-issues the
+        whole batch), and on the cycle backend LINEAR batches run
+        through the multi-query scan kernel
+        (:func:`repro.core.kernels.batched.run_batched_scan`) —
+        register-resident groups sharing one candidate stream each.
+        Results land in ``region.result`` with shape ``(B, k)`` and are
+        bit-exact with issuing the queries one at a time on the
+        functional backend.
+        """
+        self._check(region)
+        if region.index is None:
+            raise RuntimeError("nbuild_index() before nexec_batch()")
+        queries = np.atleast_2d(np.asarray(queries))
+        region.query = queries
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "driver.nexec_batch", "driver", mode=region.mode.value, k=k,
+            backend=self.backend, batch=queries.shape[0],
+        ) as span:
+            if tel.enabled:
+                tel.metrics.inc("ssam_driver_requests_total", 1,
+                                help="nexec requests by index mode",
+                                mode=region.mode.value)
+                tel.metrics.inc("ssam_driver_batched_queries_total",
+                                queries.shape[0],
+                                help="queries executed through nexec_batch")
+            self._execute_with_retries(
+                span, tel,
+                lambda: self._nexec_batch_once(region, queries, k, checks))
+        return region.result
+
+    def _execute_with_retries(self, span, tel, attempt_fn) -> None:
+        """Run one request attempt under the driver's fault/retry policy."""
+        if self.injector is None:
+            attempt_fn()
+            return
+        attempt = 0
+        while True:
+            try:
+                if self.injector.check("pu_crash"):
+                    raise PUFault()
+                if self.injector.check("pu_stall"):
+                    raise RequestTimeout(self.request_timeout_s)
+                attempt_fn()
+                if tel.enabled:
+                    span.set(attempts=attempt + 1)
                 return
-            attempt = 0
-            while True:
-                try:
-                    if self.injector.check("pu_crash"):
-                        raise PUFault()
-                    if self.injector.check("pu_stall"):
-                        raise RequestTimeout(self.request_timeout_s)
-                    self._nexec_once(region, k, checks)
+            except FaultError as exc:
+                if attempt >= self.max_retries:
                     if tel.enabled:
-                        span.set(attempts=attempt + 1)
-                    return
-                except FaultError as exc:
-                    if attempt >= self.max_retries:
-                        if tel.enabled:
-                            span.set(attempts=attempt + 1, failed=True)
-                            tel.metrics.inc(
-                                "ssam_driver_request_failures_total", 1,
-                                help="nexec requests that exhausted retries",
-                                error=type(exc).__name__)
-                        raise
-                    backoff_s = self.backoff_base_s * (2 ** attempt)
-                    self.total_backoff_s += backoff_s
-                    # Bill the backoff to the injector clock so scheduled
-                    # transient faults can clear while the driver waits.
-                    self.injector.advance(backoff_s * 1e9)
-                    attempt += 1
-                    self.total_retries += 1
-                    if tel.enabled:
-                        span.event("driver.retry", attempt=attempt,
-                                   backoff_s=backoff_s,
-                                   error=type(exc).__name__)
-                        tel.metrics.inc("ssam_driver_retries_total", 1,
-                                        help="nexec retries after PU faults")
+                        span.set(attempts=attempt + 1, failed=True)
+                        tel.metrics.inc(
+                            "ssam_driver_request_failures_total", 1,
+                            help="nexec requests that exhausted retries",
+                            error=type(exc).__name__)
+                    raise
+                backoff_s = self.backoff_base_s * (2 ** attempt)
+                self.total_backoff_s += backoff_s
+                # Bill the backoff to the injector clock so scheduled
+                # transient faults can clear while the driver waits.
+                self.injector.advance(backoff_s * 1e9)
+                attempt += 1
+                self.total_retries += 1
+                if tel.enabled:
+                    span.event("driver.retry", attempt=attempt,
+                               backoff_s=backoff_s,
+                               error=type(exc).__name__)
+                    tel.metrics.inc("ssam_driver_retries_total", 1,
+                                    help="nexec retries after PU faults")
 
     def _nexec_once(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
         """One attempt of the staged query (no retry policy)."""
@@ -317,6 +365,43 @@ class SSAMDriver:
         region.result.stats.candidates_scanned = res.stats.pq_inserts
         region.result.stats.nodes_visited = res.stats.stack_pushes
         region.result.stats.distance_ops = res.stats.cycles
+
+    def _nexec_batch_once(self, region: SSAMRegion, queries: np.ndarray,
+                          k: int, checks: Optional[int] = None) -> None:
+        """One attempt of a coalesced batch (no retry policy)."""
+        if (
+            self.backend == "cycle"
+            and region.mode is IndexMode.LINEAR
+            and region.module is not None
+        ):
+            from repro.core.kernels.batched import run_batched_scan, streams_for_batch
+
+            ids, values = run_batched_scan(
+                region.data, queries, k, machine=self.config.machine)
+            region.result = SearchResult(
+                ids=ids, distances=values.astype(np.float64))
+            region.result.stats.candidates_scanned = (
+                region.data.shape[0] * streams_for_batch(queries.shape[0]))
+            return
+        if self.backend == "cycle":
+            # No batched kernel for the traversal / Hamming modes: the
+            # batch dispatches as sequential single-query executions
+            # (identical answers, no candidate-stream amortization).
+            partials = []
+            stats = SearchStats()
+            for q in queries:
+                region.query = q
+                self._nexec_once(region, k, checks)
+                partials.append(region.result)
+                stats += region.result.stats
+            region.query = queries
+            region.result = SearchResult(
+                ids=np.concatenate([p.ids for p in partials], axis=0),
+                distances=np.concatenate([p.distances for p in partials], axis=0),
+                stats=stats,
+            )
+            return
+        region.result = region.index.search(queries, k, checks=checks)
 
     def nread_result(self, region: SSAMRegion) -> np.ndarray:
         """Read back the neighbor ids of the last nexec()."""

@@ -21,7 +21,7 @@ does the query fail (:class:`repro.faults.ModuleLost`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -43,21 +43,12 @@ class _Shard:
     index: LinearScan
 
 
-@dataclass
-class DegradedSearchResult(SearchResult):
-    """A :class:`SearchResult` annotated with failure-domain metadata.
-
-    ``degraded=False`` means every shard answered and ids/distances are
-    bit-exact with the fault-free merge.  When shards were down,
-    ``failed_modules`` lists them and ``expected_recall_loss`` is the
-    fraction of corpus rows that were unreachable — an upper bound on
-    the average recall@k lost, and exact when neighbors are uniform
-    across shards.
-    """
-
-    degraded: bool = False
-    failed_modules: List[int] = field(default_factory=list)
-    expected_recall_loss: float = 0.0
+#: Deprecated alias: the failure-domain fields (``degraded``,
+#: ``failed_modules``, ``expected_recall_loss``) moved into the unified
+#: :class:`repro.ann.SearchResult`, so the runtime now returns that
+#: class directly and ``DegradedSearchResult`` is just another name
+#: for it (kept so pre-unification imports and isinstance checks work).
+DegradedSearchResult = SearchResult
 
 
 class MultiModuleRuntime:
@@ -153,7 +144,7 @@ class MultiModuleRuntime:
         return True
 
     # ------------------------------------------------------------ search
-    def search(self, queries: np.ndarray, k: int) -> DegradedSearchResult:
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
         """Broadcast queries to every live module; merge per-module top-k.
 
         Shards that are down (or that fault mid-request) are dropped
@@ -210,7 +201,7 @@ class MultiModuleRuntime:
                 if failed:
                     tel.metrics.inc("ssam_degraded_responses_total", 1,
                                     help="merges served from surviving shards")
-            return DegradedSearchResult(
+            return SearchResult(
                 ids=all_ids[rows, order],
                 distances=all_d[rows, order],
                 stats=stats,

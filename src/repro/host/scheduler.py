@@ -15,19 +15,32 @@ fails mid-service aborts and re-runs the in-flight query after repair
 (counted in ``ScheduleResult.retries``), and a module that is down at
 dispatch delays the query until it is back — so the latency
 distribution reflects both retry latency and the pool's capacity loss.
+
+Dynamic batching: :meth:`QueryScheduler.simulate_batched` puts an
+admission queue in front of the module pool and dispatches *batches*
+instead of single queries — the amortization the serving engine
+(:mod:`repro.host.serving`) is built on.  A batch closes when it
+reaches ``max_batch`` queries or when its oldest query has waited
+``max_wait_s`` on the event clock; when the queue exceeds the
+``high_water`` mark, admission blocks (backpressure) and the blocked
+time is charged to the affected queries' latencies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.telemetry import get_telemetry
 
-__all__ = ["QueryScheduler", "ScheduleResult"]
+__all__ = ["QueryScheduler", "ScheduleResult", "BatchedScheduleResult"]
+
+#: Batch-size histogram layout (powers of two up to the plausible max).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass
@@ -64,6 +77,43 @@ class ScheduleResult:
     @property
     def max_queue_wait(self) -> float:
         return float((self.latencies - self.service_seconds).max())
+
+
+@dataclass
+class BatchedScheduleResult(ScheduleResult):
+    """Latency statistics of a *batched* query stream.
+
+    Extends :class:`ScheduleResult` with the batch ledger: which
+    queries were coalesced into which dispatch (``batches``, in
+    dispatch order), the batch-size distribution, and the backpressure
+    accounting (queries whose admission was blocked at the high-water
+    mark, and the total time they spent blocked).  ``service_seconds``
+    holds the *per-query* reference service time so the latency
+    breakdown stays comparable with the unbatched result.
+    """
+
+    batches: List[List[int]] = field(default_factory=list)
+    batch_sizes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    throttled: int = 0
+    throttle_seconds: float = 0.0
+    queue_peak: int = 0
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(self.batch_sizes.mean()) if self.batch_sizes.size else 0.0
+
+    #: Set by ``simulate_batched``: first arrival -> last completion.
+    makespan_seconds: float = 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Sustained queries/s over the stream's makespan."""
+        span = self.makespan_seconds
+        return self.latencies.size / span if span > 0 else 0.0
 
 
 class QueryScheduler:
@@ -210,6 +260,220 @@ class QueryScheduler:
             for lat in latencies:
                 m_.observe("ssam_sched_latency_seconds", float(lat),
                            help="end-to-end simulated query latency")
+        return result
+
+    def simulate_batched(
+        self,
+        arrival_qps: float,
+        n_queries: int = 10_000,
+        poisson: bool = True,
+        seed: int = 0,
+        max_batch: int = 16,
+        max_wait_s: Optional[float] = None,
+        high_water: Optional[int] = None,
+        batch_service: Optional[Callable[[int], float]] = None,
+    ) -> BatchedScheduleResult:
+        """Simulate the stream with dynamic batching in front of the pool.
+
+        One admission queue feeds all modules.  A batch closes when it
+        holds ``max_batch`` queries or its oldest query has waited
+        ``max_wait_s`` (default: one per-query service time) on the
+        event clock; a module dispatching a closed batch of ``B``
+        queries is busy for ``batch_service(B)`` seconds (default: the
+        register-resident amortization of the batched scan kernel —
+        one corpus stream per :data:`repro.core.kernels.batched.MAX_BATCH`
+        resident queries).  When the queue holds ``high_water`` queries
+        (default ``4 * max_batch``) admission blocks and the blocked
+        time is charged to the affected queries' latencies.
+
+        Arrivals are drawn exactly like :meth:`simulate` (same seed ->
+        same arrival instants), so batched and per-query runs see the
+        same offered stream.  The returned
+        :class:`BatchedScheduleResult` carries the dispatch ledger
+        (``batches``) so callers can replay the exact coalescing
+        against a real search backend.
+        """
+        if arrival_qps <= 0 or n_queries <= 0:
+            raise ValueError("arrival_qps and n_queries must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_s is None:
+            max_wait_s = self.service_seconds
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if high_water is None:
+            high_water = 4 * max_batch
+        if high_water < max_batch:
+            raise ValueError("high_water must be at least max_batch")
+        if batch_service is None:
+            from repro.core.kernels.batched import streams_for_batch
+
+            batch_service = lambda b: self.service_seconds * streams_for_batch(b)  # noqa: E731
+
+        rng = np.random.default_rng(seed)
+        if poisson:
+            gaps = rng.exponential(1.0 / arrival_qps, size=n_queries)
+        else:
+            gaps = np.full(n_queries, 1.0 / arrival_qps)
+        arrivals = np.cumsum(gaps)
+
+        tel = get_telemetry()
+        rec = tel.enabled
+        with tel.tracer.span(
+            "scheduler.simulate_batched", "scheduler", arrival_qps=arrival_qps,
+            n_queries=n_queries, n_modules=self.n_modules,
+            service_seconds=self.service_seconds, poisson=poisson,
+            max_batch=max_batch, max_wait_s=max_wait_s, high_water=high_water,
+        ) as sched_span:
+            result = self._simulate_batched_stream(
+                tel, rec, arrivals, max_batch, max_wait_s, high_water,
+                batch_service)
+            if rec:
+                sched_span.set(
+                    p50=result.p50, p99=result.p99, mean=result.mean,
+                    batches=result.n_batches,
+                    mean_batch_size=result.mean_batch_size,
+                    throttled=result.throttled,
+                    queue_peak=result.queue_peak,
+                    throughput_qps=result.throughput_qps,
+                )
+            return result
+
+    def _simulate_batched_stream(
+        self, tel, rec, arrivals, max_batch, max_wait_s, high_water,
+        batch_service,
+    ) -> BatchedScheduleResult:
+        """The batch-granularity event loop (span-wrapped by the caller)."""
+        n_queries = arrivals.size
+        free_at = [(0.0, m) for m in range(self.n_modules)]
+        heapify(free_at)
+        # Admission queue entries: (effective admission time, query index).
+        queue: deque = deque()
+        latencies = np.empty(n_queries)
+        batches: List[List[int]] = []
+        batch_sizes: List[int] = []
+        throttled = 0
+        throttle_s = 0.0
+        queue_peak = 0
+        next_arrival = 0  # index of the first not-yet-admitted query
+
+        def admit_up_to(t_now: float) -> None:
+            """Admit arrivals up to ``t_now`` while below the high-water mark."""
+            nonlocal next_arrival, queue_peak
+            while (
+                next_arrival < n_queries
+                and arrivals[next_arrival] <= t_now
+                and len(queue) < high_water
+            ):
+                queue.append((arrivals[next_arrival], next_arrival))
+                next_arrival += 1
+                queue_peak = max(queue_peak, len(queue))
+
+        def admit_blocked(t_now: float) -> None:
+            """Admit arrivals that were blocked at the high-water mark.
+
+            Runs right after a dispatch frees queue space at ``t_now``;
+            anything that arrived earlier but is still outside the
+            queue was backpressured, so its effective admission (and
+            batching deadline) starts now.
+            """
+            nonlocal next_arrival, queue_peak, throttled, throttle_s
+            while (
+                next_arrival < n_queries
+                and arrivals[next_arrival] <= t_now
+                and len(queue) < high_water
+            ):
+                blocked_for = t_now - arrivals[next_arrival]
+                throttled += 1
+                throttle_s += blocked_for
+                if rec:
+                    tel.metrics.inc(
+                        "ssam_serving_throttled_total", 1,
+                        help="queries whose admission was backpressure-blocked")
+                queue.append((t_now, next_arrival))
+                next_arrival += 1
+                queue_peak = max(queue_peak, len(queue))
+
+        while next_arrival < n_queries or queue:
+            t_free, m = heappop(free_at)
+            admit_up_to(t_free)
+            if not queue:
+                # Pool idle: jump the clock to the next arrival.
+                t_free = max(t_free, float(arrivals[next_arrival]))
+                admit_up_to(t_free)
+            # ------------------------------------------------ batch close rule
+            if len(queue) >= max_batch:
+                start = t_free
+            else:
+                deadline = queue[0][0] + max_wait_s
+                if deadline <= t_free:
+                    start = t_free            # oldest waiter already overdue
+                else:
+                    # Wait for the batch to fill or the deadline to pass.
+                    while (
+                        len(queue) < max_batch
+                        and next_arrival < n_queries
+                        and arrivals[next_arrival] <= deadline
+                        and len(queue) < high_water
+                    ):
+                        admit_up_to(float(arrivals[next_arrival]))
+                    if len(queue) >= max_batch:
+                        start = max(t_free, queue[max_batch - 1][0])
+                    else:
+                        start = max(t_free, deadline)
+                    admit_up_to(start)        # stragglers in (deadline, start]
+            formed_at = queue[0][0]
+            batch = [queue.popleft() for _ in range(min(len(queue), max_batch))]
+            size = len(batch)
+            # A dispatch can never precede the admission of its newest
+            # member (relevant when one module idles while a blocked
+            # admission lands on another module's dispatch instant).
+            start = max(start, batch[-1][0])
+            service = float(batch_service(size))
+            done = start + service
+            heappush(free_at, (done, m))
+            for _, qi in batch:
+                latencies[qi] = done - arrivals[qi]
+            batches.append([qi for _, qi in batch])
+            batch_sizes.append(size)
+            if rec:
+                tel.tracer.sim_span(
+                    "batch.form", "serving", clock="sched",
+                    start_ns=formed_at * 1e9,
+                    dur_ns=max(0.0, start - formed_at) * 1e9,
+                    tid="batcher", batch=len(batches) - 1, size=size)
+                tel.tracer.sim_span(
+                    "batch.dispatch", "serving", clock="sched",
+                    start_ns=start * 1e9, dur_ns=service * 1e9,
+                    tid=f"module{m}", batch=len(batches) - 1, size=size)
+                m_ = tel.metrics
+                m_.observe("ssam_serving_batch_size", size,
+                           buckets=BATCH_SIZE_BUCKETS,
+                           help="queries coalesced per dispatched batch")
+                m_.inc("ssam_serving_batches_total", 1,
+                       help="batches dispatched by the serving engine")
+                m_.set_gauge("ssam_serving_queue_depth", len(queue),
+                             help="admission-queue depth after the last dispatch")
+            # Space freed: let backpressured arrivals in.
+            admit_blocked(start)
+
+        result = BatchedScheduleResult(
+            latencies=latencies,
+            service_seconds=self.service_seconds,
+            n_modules=self.n_modules,
+            batches=batches,
+            batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+            throttled=throttled,
+            throttle_seconds=throttle_s,
+            queue_peak=queue_peak,
+            makespan_seconds=float((arrivals + latencies).max() - arrivals[0]),
+        )
+        if rec:
+            m_ = tel.metrics
+            m_.set_gauge("ssam_serving_queue_depth_peak", queue_peak,
+                         help="peak admission-queue depth over the stream")
+            m_.inc("ssam_sched_queries_total", n_queries,
+                   help="queries pushed through the discrete-event scheduler")
         return result
 
     def max_load_within_budget(

@@ -1,0 +1,338 @@
+"""Dynamic batched serving engine.
+
+The paper's introduction dismisses batching because "time-sensitive
+applications have stringent latency budgets" — but a near-data module
+pool still has to decide how to spend its candidate streams when the
+offered load exceeds one-query-at-a-time capacity.  This module is the
+serving substrate that makes that tradeoff explicit: an admission queue
+in front of the :class:`~repro.host.scheduler.QueryScheduler` pool
+coalesces in-flight queries into batches, dispatches them vault-parallel
+through the batched scan kernel path
+(:mod:`repro.core.kernels.batched`), and applies backpressure when the
+queue crosses a high-water mark.
+
+Two halves, deliberately separated:
+
+- *timing* — :meth:`QueryScheduler.simulate_batched` runs the
+  discrete-event simulation on the sim clock and returns a
+  :class:`~repro.host.scheduler.BatchedScheduleResult` whose ``batches``
+  ledger records exactly which queries were coalesced into which
+  dispatch;
+- *answers* — :class:`ServingEngine` replays that ledger against a real
+  search backend (a :class:`~repro.host.runtime.MultiModuleRuntime`, an
+  index, or ``driver.nexec_batch``), so the batched results are the
+  *actual* results: bit-exact with issuing every query alone, with the
+  runtime's degraded-mode semantics merged across batches.
+
+Batching changes *when* answers arrive, never *what* they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.ann import SearchResult, SearchStats
+from repro.core.kernels.batched import MAX_BATCH, streams_for_batch
+from repro.host.scheduler import (
+    BatchedScheduleResult,
+    QueryScheduler,
+    ScheduleResult,
+)
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "BatchingConfig",
+    "BatchServiceModel",
+    "ServingEngine",
+    "ServingReport",
+]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs of the dynamic batcher.
+
+    Parameters
+    ----------
+    max_batch:
+        A batch closes as soon as it holds this many queries.
+    max_wait_s:
+        A batch also closes when its oldest query has waited this long
+        on the sim event clock (``None``: one per-query service time) —
+        the latency-budget guard against waiting forever for a full
+        batch under light load.
+    high_water:
+        Admission-queue depth at which backpressure kicks in and new
+        arrivals block (``None``: ``4 * max_batch``).
+    """
+
+    max_batch: int = 16
+    max_wait_s: Optional[float] = None
+    high_water: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_s is not None and self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if self.high_water is not None and self.high_water < self.max_batch:
+            raise ValueError("high_water must be at least max_batch")
+
+
+@dataclass(frozen=True)
+class BatchServiceModel:
+    """Service time of a ``B``-query batch on one module.
+
+    The PU keeps at most ``resident`` per-query accumulators live (the
+    8-vector-register budget behind
+    :data:`repro.core.kernels.batched.MAX_BATCH`), so a batch costs one
+    corpus stream per resident group: ``ceil(B / resident)`` streams of
+    ``service_seconds`` each.  ``speedup(B)`` is therefore the
+    throughput gain over dispatching the same queries one at a time.
+    """
+
+    service_seconds: float
+    resident: int = MAX_BATCH
+
+    def __post_init__(self) -> None:
+        if self.service_seconds <= 0:
+            raise ValueError("service_seconds must be positive")
+        if not 1 <= self.resident <= MAX_BATCH:
+            raise ValueError(f"resident must be in [1, {MAX_BATCH}]")
+
+    def seconds(self, n_batch: int) -> float:
+        """Seconds one module is busy serving an ``n_batch`` batch."""
+        return self.service_seconds * streams_for_batch(n_batch, self.resident)
+
+    def speedup(self, n_batch: int) -> float:
+        """Throughput gain of batching ``n_batch`` queries vs one-at-a-time."""
+        return n_batch * self.service_seconds / self.seconds(n_batch)
+
+    def __call__(self, n_batch: int) -> float:
+        return self.seconds(n_batch)
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced.
+
+    ``result`` is the real search output, rows in the original query
+    order (the batch ledger is replayed, then scattered back), carrying
+    the merged degraded-mode fields.  ``schedule`` is the timing side;
+    ``baseline`` (when requested) is the same stream served one query
+    per dispatch, for the amortization comparison.
+    """
+
+    result: SearchResult
+    schedule: BatchedScheduleResult
+    baseline: Optional[ScheduleResult] = None
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.schedule.throughput_qps
+
+    @property
+    def p50(self) -> float:
+        return self.schedule.p50
+
+    @property
+    def p99(self) -> float:
+        return self.schedule.p99
+
+    @property
+    def baseline_throughput_qps(self) -> Optional[float]:
+        """Sustained qps of the unbatched baseline (same makespan rule)."""
+        if self.baseline is None:
+            return None
+        arrivals = self._baseline_arrivals
+        span = float((arrivals + self.baseline.latencies).max() - arrivals[0])
+        return self.baseline.latencies.size / span if span > 0 else 0.0
+
+    @property
+    def throughput_gain(self) -> Optional[float]:
+        """Batched / per-query sustained throughput (None without baseline)."""
+        base = self.baseline_throughput_qps
+        if not base:
+            return None
+        return self.throughput_qps / base
+
+    # Arrival instants shared by both runs (set by ServingEngine.serve).
+    _baseline_arrivals: np.ndarray = field(
+        default_factory=lambda: np.zeros(0), repr=False)
+
+
+#: A search backend: anything with ``.search(queries, k)`` returning a
+#: :class:`SearchResult` (an index, a MultiModuleRuntime), or a bare
+#: callable with the same signature.
+Backend = Union[Callable[[np.ndarray, int], SearchResult], object]
+
+
+class ServingEngine:
+    """Replays the dynamic batcher's dispatch ledger on a real backend.
+
+    Parameters
+    ----------
+    backend:
+        Where the answers come from — an object with
+        ``search(queries, k) -> SearchResult`` or an equivalent
+        callable.  Each dispatched batch becomes exactly one backend
+        call, so a :class:`~repro.host.runtime.MultiModuleRuntime`
+        backend carries its degraded-mode semantics through batching
+        unchanged.
+    scheduler:
+        The module pool's timing model.
+    batching:
+        The batcher knobs (:class:`BatchingConfig`).
+    service_model:
+        Batch service-time model (``None``: the register-resident
+        amortization of the batched scan kernel at the scheduler's
+        per-query service time).
+    links:
+        Optional :class:`repro.hmc.links.LinkSet`; when given, every
+        dispatch bills the query upload (``B*d`` elements) and result
+        return (``B*k`` id+distance pairs) to the external link fabric,
+        so link counters reflect the batched traffic shape.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        scheduler: QueryScheduler,
+        batching: BatchingConfig = BatchingConfig(),
+        service_model: Optional[BatchServiceModel] = None,
+        links: Optional[object] = None,
+    ):
+        self.backend = backend
+        self.scheduler = scheduler
+        self.batching = batching
+        self.service_model = service_model or BatchServiceModel(
+            service_seconds=scheduler.service_seconds)
+        self.links = links
+
+    # ------------------------------------------------------------ backend call
+    def _search(self, queries: np.ndarray, k: int) -> SearchResult:
+        search = getattr(self.backend, "search", None)
+        if callable(search):
+            return search(queries, k)
+        return self.backend(queries, k)
+
+    # ------------------------------------------------------------ serving
+    def serve(
+        self,
+        queries: np.ndarray,
+        k: int,
+        arrival_qps: float,
+        poisson: bool = True,
+        seed: int = 0,
+        compare_per_query: bool = False,
+    ) -> ServingReport:
+        """Serve ``queries`` as an arrival stream through the batcher.
+
+        Simulates the admission/batching timing for ``len(queries)``
+        arrivals at ``arrival_qps``, then replays each dispatched batch
+        as one real backend search and scatters the rows back into
+        query order.  ``compare_per_query=True`` additionally runs the
+        unbatched scheduler on the *same* arrival stream (same seed)
+        and attaches it as the report's baseline.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        n = queries.shape[0]
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "serving.serve", "serving", queries=n, k=k,
+            arrival_qps=arrival_qps, max_batch=self.batching.max_batch,
+        ) as span:
+            schedule = self.scheduler.simulate_batched(
+                arrival_qps,
+                n_queries=n,
+                poisson=poisson,
+                seed=seed,
+                max_batch=self.batching.max_batch,
+                max_wait_s=self.batching.max_wait_s,
+                high_water=self.batching.high_water,
+                batch_service=self.service_model,
+            )
+            result = self.replay(queries, k, schedule)
+            baseline = None
+            if compare_per_query:
+                baseline = self.scheduler.simulate(
+                    arrival_qps, n_queries=n, poisson=poisson, seed=seed)
+            if tel.enabled:
+                span.set(batches=schedule.n_batches,
+                         mean_batch_size=schedule.mean_batch_size,
+                         throughput_qps=schedule.throughput_qps,
+                         degraded=result.degraded)
+                tel.metrics.inc(
+                    "ssam_serving_queries_total", n,
+                    help="queries answered through the serving engine")
+        report = ServingReport(result=result, schedule=schedule,
+                               baseline=baseline)
+        if compare_per_query:
+            # Recover the shared arrival instants for the throughput
+            # comparison (identical draw in both simulations).
+            rng = np.random.default_rng(seed)
+            gaps = (rng.exponential(1.0 / arrival_qps, size=n)
+                    if poisson else np.full(n, 1.0 / arrival_qps))
+            report._baseline_arrivals = np.cumsum(gaps)
+        return report
+
+    def replay(
+        self,
+        queries: np.ndarray,
+        k: int,
+        schedule: BatchedScheduleResult,
+    ) -> SearchResult:
+        """Run the schedule's batch ledger against the backend.
+
+        Every ledger entry becomes one backend search over its member
+        queries; rows scatter back to the original query positions, so
+        the output is independent of how the batcher happened to
+        coalesce the stream.  Degraded-mode fields merge across
+        batches: the response is degraded if *any* batch was, the
+        failed-module set is the union, and the expected recall loss is
+        the worst batch's (failures latch, so that is the end-state
+        loss).
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        n = queries.shape[0]
+        covered = sorted(qi for batch in schedule.batches for qi in batch)
+        if covered != list(range(n)):
+            raise ValueError(
+                "schedule ledger does not cover the query set exactly once "
+                f"({len(covered)} entries for {n} queries)")
+        ids = np.empty((n, k), dtype=np.int64)
+        distances = np.empty((n, k), dtype=np.float64)
+        stats = SearchStats()
+        degraded = False
+        failed: set = set()
+        recall_loss = 0.0
+        for batch in schedule.batches:
+            idx = np.asarray(batch, dtype=np.int64)
+            res = self._search(queries[idx], k)
+            ids[idx] = res.ids
+            distances[idx] = res.distances
+            stats += res.stats
+            degraded = degraded or res.degraded
+            failed.update(res.failed_modules)
+            recall_loss = max(recall_loss, res.expected_recall_loss)
+            self._bill_links(queries[idx], res)
+        return SearchResult(
+            ids=ids,
+            distances=distances,
+            stats=stats,
+            degraded=degraded,
+            failed_modules=sorted(failed),
+            expected_recall_loss=recall_loss,
+        )
+
+    def _bill_links(self, batch_queries: np.ndarray, res: SearchResult) -> None:
+        """Charge one dispatch's traffic to the external link fabric."""
+        if self.links is None:
+            return
+        # Host -> module: the coalesced query block.
+        self.links.send(int(batch_queries.nbytes))
+        # Module -> host: merged top-k ids + distances for the batch.
+        self.links.send(int(res.ids.nbytes + res.distances.nbytes))

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ann import SearchResult
 from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
 from repro.pipeline.extraction import FeatureExtractor, MediaItem
 from repro.pipeline.store import ContentStore
@@ -23,11 +24,29 @@ __all__ = ["SearchPipeline", "SearchResponse"]
 
 @dataclass
 class SearchResponse:
-    """What the user gets back: ranked media plus diagnostics."""
+    """What the user gets back: ranked media plus the search result.
+
+    ``result`` is the unified :class:`~repro.ann.SearchResult` of the
+    underlying kNN call with rows remapped to media ids (invalid
+    padding rows dropped), so diagnostics — stats, degraded-mode
+    fields — ride along with the matched items.  ``neighbor_ids`` /
+    ``distances`` remain as views into it.
+    """
 
     items: List[MediaItem]
-    neighbor_ids: np.ndarray
-    distances: np.ndarray
+    result: SearchResult
+
+    @property
+    def neighbor_ids(self) -> np.ndarray:
+        return self.result.ids[0]
+
+    @property
+    def distances(self) -> np.ndarray:
+        return self.result.distances[0]
+
+    @property
+    def degraded(self) -> bool:
+        return self.result.degraded
 
     def __len__(self) -> int:
         return len(self.items)
@@ -86,15 +105,19 @@ class SearchPipeline:
         feature = self.extractor.extract(media)
         self.driver.nwrite_query(self._region, feature)
         self.driver.nexec(self._region, k=k, checks=checks)
-        row_ids = self.driver.nread_result(self._region)
+        raw = self._region.result
+        row_ids = raw.ids[0]
         valid = row_ids >= 0
         media_ids = self._media_ids[row_ids[valid]]
-        distances = self._region.result.distances[0][valid]
-        return SearchResponse(
-            items=self.store.lookup(media_ids),
-            neighbor_ids=media_ids,
-            distances=distances,
+        result = SearchResult(
+            ids=media_ids[None, :],
+            distances=raw.distances[0][valid][None, :],
+            stats=raw.stats,
+            degraded=raw.degraded,
+            failed_modules=raw.failed_modules,
+            expected_recall_loss=raw.expected_recall_loss,
         )
+        return SearchResponse(items=self.store.lookup(media_ids), result=result)
 
     def close(self) -> None:
         """Release the SSAM region."""

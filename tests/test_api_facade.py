@@ -1,0 +1,182 @@
+"""The repro.api facade: build/search round-trips, aliases, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.ann import (
+    HierarchicalKMeansTree,
+    LinearScan,
+    MultiProbeLSH,
+    RandomizedKDForest,
+    SearchResult,
+)
+from repro.api import ALGORITHMS, BatchingConfig, FaultPlan, SSAMSystem
+from repro.core.config import SSAMConfig
+from repro.hmc.config import HMCConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(1200, 12)), rng.normal(size=(30, 12))
+
+
+_LEGACY = {
+    "exact": (LinearScan, {}),
+    "kdtree": (RandomizedKDForest, {"seed": 0}),
+    "kmeans": (HierarchicalKMeansTree, {"seed": 0}),
+    "mplsh": (MultiProbeLSH, {"seed": 0}),
+}
+
+
+def _assert_results_equal(a: SearchResult, b: SearchResult):
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.distances, b.distances)
+    assert a.degraded == b.degraded
+    assert a.failed_modules == b.failed_modules
+    assert a.expected_recall_loss == b.expected_recall_loss
+
+
+class TestFacadeRoundTrip:
+    @pytest.mark.parametrize("algo", ["exact", "kdtree", "kmeans", "mplsh"])
+    def test_matches_legacy_path(self, corpus, algo):
+        data, queries = corpus
+        cls, params = _LEGACY[algo]
+        legacy = cls(**params).build(np.asarray(data, dtype=np.float64))
+        with SSAMSystem.build(data, algo=algo,
+                              index_params=params or None) as system:
+            got = system.search(queries, k=5, checks=200)
+        ref = legacy.search(queries, 5, checks=200)
+        assert isinstance(got, SearchResult)
+        _assert_results_equal(got, ref)
+
+    @pytest.mark.parametrize("algo", ["exact", "kdtree", "kmeans", "mplsh"])
+    def test_batched_dispatch_is_bit_exact(self, corpus, algo):
+        data, queries = corpus
+        _, params = _LEGACY[algo]
+        with SSAMSystem.build(data, algo=algo,
+                              index_params=params or None) as system:
+            whole = system.search(queries, k=5, checks=200)
+            chunked = system.search(queries, k=5, batch=7, checks=200)
+        _assert_results_equal(whole, chunked)
+
+    def test_linear_alias_and_metric(self, corpus):
+        data, queries = corpus
+        with SSAMSystem.build(data, algo="linear", metric="cosine") as system:
+            got = system.search(queries, k=5)
+        ref = LinearScan(metric="cosine").build(data).search(queries, 5)
+        assert np.array_equal(got.ids, ref.ids)
+
+    def test_unknown_algo_rejected(self, corpus):
+        data, _ = corpus
+        with pytest.raises(ValueError, match="unknown algo"):
+            SSAMSystem.build(data, algo="annoy")
+        assert set(ALGORITHMS) == {
+            "exact", "linear", "kdtree", "kmeans", "mplsh", "ivfadc", "hamming"}
+
+    def test_metric_guard_for_approximate(self, corpus):
+        data, _ = corpus
+        with pytest.raises(ValueError, match="euclidean"):
+            SSAMSystem.build(data, algo="kdtree", metric="cosine")
+
+
+class TestFacadeScaleOutAndFaults:
+    def _sharded_config(self, data):
+        # Capacity sized to a third of the corpus forces >= 3 shards.
+        return SSAMConfig(capacity_bytes=data.nbytes // 3 + 1)
+
+    def test_scale_out_matches_single_module(self, corpus):
+        data, queries = corpus
+        with SSAMSystem.build(data, algo="exact", scale_out=True,
+                              config=self._sharded_config(data)) as system:
+            assert system.runtime.n_modules >= 3
+            got = system.search(queries, k=5)
+        ref = LinearScan().build(data).search(queries, 5)
+        assert np.array_equal(got.ids, ref.ids)
+        assert not got.degraded
+
+    def test_degraded_serving_surfaces_in_result(self, corpus):
+        data, queries = corpus
+        with SSAMSystem.build(data, algo="exact", scale_out=True,
+                              config=self._sharded_config(data)) as system:
+            system.runtime.fail_module(0)
+            got = system.search(queries, k=5)
+            assert got.degraded
+            assert got.failed_modules == [0]
+            assert 0.0 < got.expected_recall_loss < 1.0
+
+    def test_fault_plan_module_loss_through_facade(self, corpus):
+        data, queries = corpus
+        plan = FaultPlan(seed=3).inject("module_loss", target=1,
+                                        probability=1.0)
+        with SSAMSystem.build(data, algo="exact", scale_out=True,
+                              config=self._sharded_config(data),
+                              fault_plan=plan) as system:
+            got = system.search(queries, k=5)
+        assert got.degraded
+        assert 1 in got.failed_modules
+
+    def test_serve_through_facade_is_bit_exact(self, corpus):
+        data, queries = corpus
+        with SSAMSystem.build(data, algo="exact", n_modules=4,
+                              service_seconds=1e-3) as system:
+            report = system.serve(queries, k=5, arrival_qps=16_000.0,
+                                  batching=BatchingConfig(max_batch=8),
+                                  compare_per_query=True)
+        ref = LinearScan().build(data).search(queries, 5)
+        assert np.array_equal(report.result.ids, ref.ids)
+        assert report.schedule.n_batches <= len(queries)
+        assert report.baseline is not None
+
+
+class TestFacadeLifecycleAndTelemetry:
+    def test_telemetry_session_installed_and_restored(self, corpus):
+        data, queries = corpus
+        assert not telemetry.get_telemetry().enabled
+        with SSAMSystem.build(data, algo="exact", telemetry=True) as system:
+            assert telemetry.get_telemetry() is system.telemetry
+            system.search(queries, k=3)
+            assert system.telemetry.metrics.total(
+                "ssam_driver_requests_total") >= 1
+        assert not telemetry.get_telemetry().enabled
+
+    def test_closed_system_rejects_search(self, corpus):
+        data, queries = corpus
+        system = SSAMSystem.build(data, algo="exact")
+        system.close()
+        system.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            system.search(queries, k=3)
+
+
+class TestDeprecatedSpellings:
+    def test_ssam_config_aggregate_bandwidth_warns(self):
+        with pytest.warns(DeprecationWarning, match="external_link_bandwidth"):
+            cfg = SSAMConfig(external_link_bandwidth=240e9)
+        assert cfg.link_bandwidth == pytest.approx(60e9)
+        assert cfg.external_link_bandwidth == pytest.approx(240e9)
+
+    def test_hmc_config_aggregate_bandwidth_warns(self):
+        with pytest.warns(DeprecationWarning, match="external_link_bandwidth"):
+            cfg = HMCConfig(external_link_bandwidth=120e9, n_links=2)
+        assert cfg.link_bandwidth == pytest.approx(60e9)
+        assert cfg.external_bandwidth == pytest.approx(120e9)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            SSAMConfig(external_link_bandwidth=240e9, link_bandwidth=60e9)
+
+    def test_canonical_spelling_is_silent(self, recwarn):
+        SSAMConfig(link_bandwidth=60e9, n_links=4)
+        HMCConfig(link_bandwidth=60e9)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_tuple_unpacking_shim_warns(self, corpus):
+        data, queries = corpus
+        res = LinearScan().build(data).search(queries, 3)
+        with pytest.warns(DeprecationWarning, match="unpacking SearchResult"):
+            ids, distances = res
+        assert np.array_equal(ids, res.ids)
+        assert np.array_equal(distances, res.distances)

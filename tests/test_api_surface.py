@@ -1,0 +1,33 @@
+"""Pin the public surface of repro.api to the checked-in snapshot.
+
+``tests/api_surface.txt`` is the contract: adding, removing, or
+renaming a ``repro.api`` export must update that file in the same
+change, making API-surface churn visible in review.
+"""
+
+from pathlib import Path
+
+import repro.api as api
+
+SNAPSHOT = Path(__file__).parent / "api_surface.txt"
+
+
+def test_all_matches_snapshot():
+    recorded = SNAPSHOT.read_text().split()
+    assert sorted(api.__all__) == recorded, (
+        "repro.api public surface drifted from tests/api_surface.txt; "
+        "update the snapshot deliberately if the change is intended"
+    )
+
+
+def test_every_export_resolves():
+    for name in api.__all__:
+        assert hasattr(api, name), f"repro.api.__all__ lists missing {name!r}"
+
+
+def test_facade_needs_no_host_imports():
+    """The documented entry points are reachable from repro.api alone."""
+    system_cls = api.SSAMSystem
+    for method in ("build", "search", "serve", "close"):
+        assert hasattr(system_cls, method)
+    assert set(api.ALGORITHMS) >= {"exact", "kdtree", "kmeans", "mplsh"}

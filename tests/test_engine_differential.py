@@ -438,7 +438,7 @@ class TestSimulationCache:
 @pytest.mark.slow
 class TestTracePerformance:
     def test_trace_beats_interp_on_linear_scan(self):
-        """Sanity floor for the fast engine (full numbers: BENCH_1.json)."""
+        """Sanity floor for the fast engine (full numbers: BENCH_2.json)."""
         import time
 
         rng = np.random.default_rng(3)

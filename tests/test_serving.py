@@ -1,0 +1,172 @@
+"""Dynamic batched serving: timing semantics and bit-exact replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import LinearScan
+from repro.core.kernels.batched import MAX_BATCH, streams_for_batch
+from repro.core.config import SSAMConfig
+from repro.host.runtime import MultiModuleRuntime
+from repro.host.scheduler import BatchedScheduleResult, QueryScheduler
+from repro.host.serving import (
+    BatchingConfig,
+    BatchServiceModel,
+    ServingEngine,
+    ServingReport,
+)
+
+
+@pytest.fixture(scope="module")
+def backend():
+    rng = np.random.default_rng(9)
+    data = rng.normal(size=(1500, 10))
+    queries = rng.normal(size=(400, 10))
+    return LinearScan().build(data), data, queries
+
+
+def _scheduler():
+    return QueryScheduler(n_modules=4, service_seconds=1e-3)
+
+
+class TestBatchedSchedule:
+    def test_ledger_covers_every_query_once(self):
+        res = _scheduler().simulate_batched(10_000.0, n_queries=500, seed=1)
+        flat = sorted(q for b in res.batches for q in b)
+        assert flat == list(range(500))
+        assert res.batch_sizes.sum() == 500
+        assert all(len(b) <= 16 for b in res.batches)
+
+    def test_deterministic_for_seed(self):
+        a = _scheduler().simulate_batched(20_000.0, n_queries=300, seed=7)
+        b = _scheduler().simulate_batched(20_000.0, n_queries=300, seed=7)
+        assert np.array_equal(a.latencies, b.latencies)
+        assert a.batches == b.batches
+
+    def test_light_load_dispatches_singletons(self):
+        # Deterministic arrivals far apart: every batch times out alone.
+        sched = _scheduler()
+        res = sched.simulate_batched(
+            10.0, n_queries=50, poisson=False, seed=0, max_batch=16)
+        assert res.mean_batch_size == 1.0
+        # Each query waits out max_wait (one service time) then runs.
+        assert res.latencies.max() <= 2 * sched.service_seconds + 1e-12
+
+    def test_backpressure_engages_at_high_water(self):
+        res = _scheduler().simulate_batched(
+            100_000.0, n_queries=2_000, seed=2, max_batch=16, high_water=64)
+        assert res.queue_peak == 64
+        assert res.throttled > 0
+        assert res.throttle_seconds > 0
+
+    def test_throughput_gain_at_saturation(self):
+        sched = _scheduler()
+        n = 2_000
+        qps = 4.0 * sched.capacity_qps
+        batched = sched.simulate_batched(qps, n_queries=n, seed=3,
+                                         max_batch=16)
+        per_query = sched.simulate(qps, n_queries=n, seed=3)
+        # Same seed -> same arrival instants; compare sustained rates.
+        rng = np.random.default_rng(3)
+        arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
+        pq_qps = n / float((arrivals + per_query.latencies).max() - arrivals[0])
+        assert batched.throughput_qps >= 3.0 * pq_qps
+        assert batched.p99 < per_query.p99
+
+    def test_service_model_amortization(self):
+        model = BatchServiceModel(service_seconds=1e-3)
+        assert model.seconds(1) == pytest.approx(1e-3)
+        assert model.seconds(MAX_BATCH) == pytest.approx(1e-3)
+        assert model.seconds(16) == pytest.approx(
+            1e-3 * streams_for_batch(16))
+        assert model.speedup(16) == pytest.approx(16 / streams_for_batch(16))
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch=8, high_water=4)
+        with pytest.raises(ValueError):
+            BatchServiceModel(service_seconds=0.0)
+        with pytest.raises(ValueError):
+            _scheduler().simulate_batched(1000.0, n_queries=10, max_batch=0)
+
+
+class TestServingEngineReplay:
+    def test_bit_exact_with_direct_search(self, backend):
+        index, _, queries = backend
+        engine = ServingEngine(index, _scheduler(),
+                               BatchingConfig(max_batch=16))
+        report = engine.serve(queries, 5, 50_000.0, seed=4,
+                              compare_per_query=True)
+        ref = index.search(queries, 5)
+        assert np.array_equal(report.result.ids, ref.ids)
+        assert np.array_equal(report.result.distances, ref.distances)
+        assert isinstance(report, ServingReport)
+        assert report.throughput_gain >= 3.0
+
+    def test_replay_rejects_partial_ledger(self, backend):
+        index, _, queries = backend
+        engine = ServingEngine(index, _scheduler())
+        sched = _scheduler().simulate_batched(
+            10_000.0, n_queries=queries.shape[0], seed=0)
+        sched.batches = sched.batches[:-1]
+        with pytest.raises(ValueError, match="ledger"):
+            engine.replay(queries, 5, sched)
+
+    def test_degraded_mode_preserved_through_batching(self, backend):
+        _, data, queries = backend
+        config = SSAMConfig(capacity_bytes=data.nbytes // 3 + 1)
+        runtime = MultiModuleRuntime(config=config)
+        runtime.load(data)
+        assert runtime.n_modules >= 3
+        runtime.fail_module(0)
+        engine = ServingEngine(runtime, _scheduler())
+        report = engine.serve(queries, 5, 20_000.0, seed=5)
+        direct = runtime.search(queries, 5)
+        assert report.result.degraded
+        assert report.result.failed_modules == direct.failed_modules
+        assert report.result.expected_recall_loss == pytest.approx(
+            direct.expected_recall_loss)
+        assert np.array_equal(report.result.ids, direct.ids)
+
+    def test_link_traffic_billed_per_dispatch(self, backend):
+        from repro.hmc.links import LinkSet
+
+        index, _, queries = backend
+        links = LinkSet()
+        engine = ServingEngine(index, _scheduler(), links=links)
+        report = engine.serve(queries, 5, 50_000.0, seed=6)
+        expected = queries.nbytes + report.result.ids.nbytes \
+            + report.result.distances.nbytes
+        assert links.payload_bytes_sent == expected
+        # Wire bytes add packet framing on top of the payload.
+        assert links.bytes_sent > expected
+
+
+class TestBatchingBitExactProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        load=st.floats(0.2, 8.0),
+        max_batch=st.integers(1, 32),
+        n_queries=st.integers(1, 64),
+        k=st.integers(1, 8),
+    )
+    def test_any_interleaving_is_bit_exact(self, seed, load, max_batch,
+                                           n_queries, k):
+        """Batched serving returns per-query answers under ANY coalescing."""
+        rng = np.random.default_rng(1234)
+        data = rng.normal(size=(300, 6))
+        queries = rng.normal(size=(64, 6))[:n_queries]
+        index = LinearScan().build(data)
+        sched = QueryScheduler(n_modules=3, service_seconds=1e-3)
+        engine = ServingEngine(index, sched,
+                               BatchingConfig(max_batch=max_batch))
+        report = engine.serve(queries, k, load * sched.capacity_qps,
+                              seed=seed)
+        ref = index.search(queries, k)
+        assert np.array_equal(report.result.ids, ref.ids)
+        assert np.array_equal(report.result.distances, ref.distances)
+        assert isinstance(report.schedule, BatchedScheduleResult)
