@@ -10,7 +10,10 @@ This package reimplements every algorithm the paper characterizes
 - :class:`~repro.ann.kmeans_tree.HierarchicalKMeansTree` — FLANN-style
   hierarchical k-means tree (k-means++ + Lloyd, built from scratch);
 - :class:`~repro.ann.mplsh.MultiProbeLSH` — FALCONN-style hyperplane
-  multi-probe LSH (20 hash bits by default, as in the paper).
+  multi-probe LSH (20 hash bits by default, as in the paper);
+- :class:`~repro.ann.graph.GraphANN` — NSW/HNSW-style neighbor graph
+  with best-first beam search (the modern traversal workload the SSAM
+  ISA's priority queue and stack unit were codesigned for).
 
 All indexes share the :class:`~repro.ann.base.Index` interface and
 report :class:`~repro.ann.base.SearchStats` (candidates scanned, nodes
@@ -20,18 +23,20 @@ bytes-touched and cycles for each hardware platform.
 
 from repro.ann.base import Index, SearchResult, SearchStats
 from repro.ann.exact import LinearScan
+from repro.ann.graph import GraphANN
 from repro.ann.kdtree import RandomizedKDForest
 from repro.ann.kmeans_tree import HierarchicalKMeansTree
 from repro.ann.mplsh import MultiProbeLSH
 from repro.ann.ivf import IVFADC
 from repro.ann.pq import PQLinearScan, ProductQuantizer
-from repro.ann.recall import recall_at_k, mean_recall
+from repro.ann.recall import mean_recall, recall_at_k, recall_curve, tie_aware_recall_at_k
 
 __all__ = [
     "Index",
     "SearchResult",
     "SearchStats",
     "LinearScan",
+    "GraphANN",
     "RandomizedKDForest",
     "HierarchicalKMeansTree",
     "MultiProbeLSH",
@@ -40,4 +45,6 @@ __all__ = [
     "IVFADC",
     "recall_at_k",
     "mean_recall",
+    "recall_curve",
+    "tie_aware_recall_at_k",
 ]

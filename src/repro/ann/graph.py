@@ -1,0 +1,167 @@
+"""Graph-based ANN index over the :mod:`repro.graph` substrate.
+
+``GraphANN`` wraps NSW construction + best-first beam search behind the
+common :class:`~repro.ann.base.Index` interface so the driver, runtime,
+facade, and experiments treat it like every other algorithm.  The
+``checks`` budget maps onto the traversal the obvious way: it bounds
+*distance evaluations* per query (the quantity that dominates bytes
+moved, same as bucket scans for the tree indexes), and the beam width
+``ef_search`` is clamped to it so a tiny budget cannot be spent on a
+beam it can never fill.
+
+Stats mapping: ``candidates_scanned`` = distance evaluations (full
+vector reads), ``nodes_visited`` = hops (adjacency-list reads) — the
+two memory streams the SSAM performance model charges separately.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ann.base import Index, SearchResult, SearchStats, validate_queries
+from repro.graph.build import NeighborGraph, build_nsw_graph
+from repro.graph.search import beam_search
+from repro.telemetry import get_telemetry
+
+__all__ = ["GraphANN"]
+
+
+class GraphANN(Index):
+    """NSW/HNSW-style graph index with best-first beam search.
+
+    Parameters
+    ----------
+    max_degree:
+        Out-degree bound M; also the per-expansion stack occupancy in
+        the SSAM traversal kernel.
+    ef_construction:
+        Beam width during index construction.
+    ef_search:
+        Default query-time beam width (the recall/throughput knob);
+        overridable per call via ``ef`` or effectively lowered by a
+        small ``checks`` budget.
+    layered:
+        Pin the traversal entry to the first inserted node ("express"
+        hub) instead of the corpus medoid.
+    seed:
+        Seeds the randomized insertion order.
+    metric:
+        ``"euclidean"`` (default) or ``"squared_euclidean"`` — the
+        space reported distances live in.  Traversal always compares
+        squared distances internally (the monotone transform preserves
+        every ordering decision); the final conversion keeps
+        :class:`~repro.ann.base.SearchResult` distances comparable with
+        every other index's.
+    """
+
+    def __init__(
+        self,
+        max_degree: int = 16,
+        ef_construction: int = 64,
+        ef_search: int = 64,
+        layered: bool = False,
+        seed: int = 0,
+        metric: str = "euclidean",
+    ):
+        if ef_search <= 0:
+            raise ValueError("ef_search must be positive")
+        if metric not in ("euclidean", "squared_euclidean"):
+            raise ValueError(
+                "GraphANN supports euclidean/squared_euclidean metrics; "
+                f"got {metric!r}"
+            )
+        self.max_degree = int(max_degree)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self.layered = bool(layered)
+        self.seed = int(seed)
+        self.metric_name = metric
+        self.graph: Optional[NeighborGraph] = None
+        self.data: Optional[np.ndarray] = None
+
+    def build(self, data: np.ndarray) -> "GraphANN":
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        tel = get_telemetry()
+        with tel.tracer.span("graph.build", "ann",
+                             n=arr.shape[0], max_degree=self.max_degree,
+                             ef_construction=self.ef_construction):
+            self.graph = build_nsw_graph(
+                arr,
+                max_degree=self.max_degree,
+                ef_construction=self.ef_construction,
+                seed=self.seed,
+                layered=self.layered,
+            )
+        self.data = arr
+        return self
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        checks: Optional[int] = None,
+        ef: Optional[int] = None,
+    ) -> SearchResult:
+        data = self._require_built()
+        if self.graph is None:
+            raise RuntimeError("GraphANN.build() must be called before search()")
+        q = validate_queries(queries, data.shape[1])
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ef_eff = self.ef_search if ef is None else int(ef)
+        if ef_eff <= 0:
+            raise ValueError("ef must be positive")
+        ef_eff = max(ef_eff, k)
+        max_evals = None
+        if checks is not None:
+            if checks <= 0:
+                raise ValueError("checks must be positive")
+            max_evals = int(checks)
+            # A beam wider than the eval budget can never fill; shrink it
+            # so tiny budgets terminate early instead of thrashing.
+            ef_eff = max(k, min(ef_eff, max_evals))
+
+        graph = self.graph
+        nq = q.shape[0]
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf)
+        total = SearchStats()
+        tel = get_telemetry()
+        peak_beam = 0
+        with tel.tracer.span("graph.search", "ann",
+                             queries=nq, k=k, ef=ef_eff):
+            for i in range(nq):
+                res = beam_search(
+                    data, q[i], graph.neighbors, graph.entry_point,
+                    ef=ef_eff, max_evals=max_evals,
+                )
+                found = min(k, res.ids.size)
+                ids[i, :found] = res.ids[:found]
+                d = res.distances[:found]
+                if self.metric_name == "euclidean":
+                    d = np.sqrt(d)
+                dists[i, :found] = d
+                total += SearchStats(
+                    candidates_scanned=res.distance_evals,
+                    nodes_visited=res.hops,
+                    distance_ops=res.distance_evals * data.shape[1],
+                )
+                peak_beam = max(peak_beam, res.peak_beam)
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_graph_hops_total", total.nodes_visited,
+                help="Graph traversal node expansions",
+            )
+            tel.metrics.inc(
+                "ssam_graph_distance_evals_total", total.candidates_scanned,
+                help="Graph traversal distance evaluations",
+            )
+            tel.metrics.inc(
+                "ssam_graph_peak_beam", peak_beam,
+                help="Max beam occupancy observed (pqueue depth needed)",
+            )
+        return SearchResult(ids=ids, distances=dists, stats=total)

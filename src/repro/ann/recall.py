@@ -4,13 +4,34 @@ The paper defines accuracy as ``|S_E ∩ S_A| / |S_E|`` where ``S_E`` is
 the exact neighbor set from floating-point linear search and ``S_A`` the
 approximate set (Section II-C).  These helpers compute that per query
 and averaged over a batch.
+
+Two refinements matter once graph indexes enter the picture:
+
+- **Curves**: graph search returns one ranked list whose prefix quality
+  varies with the beam, so experiments want recall@{1,10,100} from a
+  single search rather than one number — :func:`recall_curve`.
+- **Ties**: when the k-th and (k+1)-th exact neighbors are equidistant
+  from the query, which one the exact scan reports is an artifact of
+  sort order, and plain id-set recall punishes the approximate index
+  for returning the *equally correct* other one.
+  :func:`tie_aware_recall_at_k` counts an approximate id as a hit if
+  its distance is within the exact k-th distance (plus a relative
+  tolerance for float noise) — the deterministic tie handling the
+  benchmark gates rely on.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Sequence
+
 import numpy as np
 
-__all__ = ["recall_at_k", "mean_recall"]
+__all__ = [
+    "recall_at_k",
+    "mean_recall",
+    "recall_curve",
+    "tie_aware_recall_at_k",
+]
 
 
 def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
@@ -41,3 +62,113 @@ def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
 def mean_recall(approx_ids: np.ndarray, exact_ids: np.ndarray) -> float:
     """Batch-mean recall; the y-axis of the paper's Fig. 2 / Fig. 7."""
     return float(recall_at_k(approx_ids, exact_ids).mean())
+
+
+def tie_aware_recall_at_k(
+    approx_ids: np.ndarray,
+    exact_ids: np.ndarray,
+    exact_distances: np.ndarray,
+    approx_distances: Optional[np.ndarray] = None,
+    rel_tol: float = 1e-9,
+) -> np.ndarray:
+    """Per-query recall@k that treats equidistant neighbors as hits.
+
+    An approximate id counts toward recall if it is in the exact top-k
+    id set, **or** if its true distance does not exceed the exact k-th
+    distance by more than ``rel_tol`` (relative) — i.e. it is tied with
+    the decision boundary and only lost the exact scan's sort-order
+    coin flip.  The rule is deterministic: it depends only on distance
+    values, never on which of several tied ids a sort happened to emit.
+
+    Parameters
+    ----------
+    approx_ids, exact_ids:
+        ``(q, k)`` id batches (``-1`` padding ignored).
+    exact_distances:
+        ``(q, k)`` distances aligned with ``exact_ids`` — row ``i``'s
+        last finite entry defines the tie boundary for query ``i``.
+    approx_distances:
+        ``(q, k)`` true distances aligned with ``approx_ids``.  When
+        omitted, falls back to plain id-set recall (no boundary to
+        compare against).
+    """
+    a = np.asarray(approx_ids)
+    e = np.asarray(exact_ids)
+    ed = np.asarray(exact_distances, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[None, :]
+    if e.ndim == 1:
+        e = e[None, :]
+    if ed.ndim == 1:
+        ed = ed[None, :]
+    if approx_distances is None:
+        return recall_at_k(a, e)
+    ad = np.asarray(approx_distances, dtype=np.float64)
+    if ad.ndim == 1:
+        ad = ad[None, :]
+    if not (a.shape[0] == e.shape[0] == ed.shape[0] == ad.shape[0]):
+        raise ValueError("all batches must have the same number of queries")
+    out = np.empty(a.shape[0], dtype=np.float64)
+    for i in range(a.shape[0]):
+        valid_e = e[i] >= 0
+        exact_set = e[i][valid_e]
+        if exact_set.size == 0:
+            out[i] = 1.0
+            continue
+        finite = ed[i][valid_e]
+        finite = finite[np.isfinite(finite)]
+        boundary = finite.max() if finite.size else np.inf
+        cutoff = boundary + rel_tol * max(abs(boundary), 1.0)
+        valid_a = a[i] >= 0
+        ids_a = a[i][valid_a]
+        d_a = ad[i][valid_a]
+        in_set = np.isin(ids_a, exact_set)
+        tied = d_a <= cutoff
+        hits = int(np.unique(ids_a[in_set | tied]).size)
+        out[i] = min(hits, exact_set.size) / exact_set.size
+    return out
+
+
+def recall_curve(
+    approx_ids: np.ndarray,
+    exact_ids: np.ndarray,
+    ks: Sequence[int] = (1, 10, 100),
+    exact_distances: Optional[np.ndarray] = None,
+    approx_distances: Optional[np.ndarray] = None,
+) -> Dict[int, float]:
+    """Mean recall@k for each ``k`` in ``ks`` from one ranked result.
+
+    Both id batches must be distance-sorted (as every
+    :class:`~repro.ann.base.SearchResult` is), so recall@k is computed
+    on the length-``k`` prefixes.  ``k`` values larger than the result
+    width use the full width (recall@100 of a k=50 search is recall@50
+    against the 50 exact neighbors provided).  When both distance
+    batches are given, each point is tie-aware via
+    :func:`tie_aware_recall_at_k`.
+    """
+    a = np.asarray(approx_ids)
+    e = np.asarray(exact_ids)
+    if a.ndim == 1:
+        a = a[None, :]
+    if e.ndim == 1:
+        e = e[None, :]
+    curve: Dict[int, float] = {}
+    for k in ks:
+        if k <= 0:
+            raise ValueError("recall_curve ks must be positive")
+        ka = min(k, a.shape[1])
+        ke = min(k, e.shape[1])
+        if exact_distances is not None and approx_distances is not None:
+            ed = np.asarray(exact_distances, dtype=np.float64)
+            ad = np.asarray(approx_distances, dtype=np.float64)
+            if ed.ndim == 1:
+                ed = ed[None, :]
+            if ad.ndim == 1:
+                ad = ad[None, :]
+            per_query = tie_aware_recall_at_k(
+                a[:, :ka], e[:, :ke], ed[:, :ke], ad[:, :ka],
+            )
+        else:
+            per_query = recall_at_k(a[:, :ka], e[:, :ke])
+        curve[int(k)] = float(per_query.mean())
+    return curve

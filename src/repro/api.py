@@ -64,6 +64,7 @@ ALGORITHMS: Dict[str, IndexMode] = {
     "mplsh": IndexMode.MPLSH,
     "ivfadc": IndexMode.IVFADC,
     "hamming": IndexMode.HAMMING,
+    "graph": IndexMode.GRAPH,
 }
 
 
@@ -109,6 +110,8 @@ class SSAMSystem:
         n_modules: Optional[int] = None,
         service_seconds: Optional[float] = None,
         batching: Optional[BatchingConfig] = None,
+        shard_overlap: Optional[float] = None,
+        algorithm: Optional[str] = None,
     ) -> "SSAMSystem":
         """Assemble a query-ready system around ``dataset``.
 
@@ -119,7 +122,8 @@ class SSAMSystem:
         algo:
             One of :data:`ALGORITHMS` — ``"exact"`` (alias
             ``"linear"``), ``"kdtree"``, ``"kmeans"``, ``"mplsh"``,
-            ``"ivfadc"``, or ``"hamming"``.
+            ``"ivfadc"``, ``"hamming"``, or ``"graph"``.
+            ``algorithm=`` is accepted as a first-class keyword alias.
         config:
             SSAM design point (default: the 4-link design).
         metric:
@@ -140,26 +144,42 @@ class SSAMSystem:
             :meth:`close`); an existing session is installed likewise;
             ``None`` leaves telemetry as-is.
         scale_out:
-            Route exact search through the sharded
+            Route search through the sharded
             :class:`~repro.host.runtime.MultiModuleRuntime` (capacity
-            drives the shard count) instead of the single-module
-            driver.  Exact/linear only.
+            drives the shard count, overridable via ``n_modules``)
+            instead of the single-module driver.  Supported for exact
+            (``"exact"``/``"linear"``) and ``"graph"`` search; graph
+            shards each build an independent subgraph over their corpus
+            slice and the host merge dedupes overlapping candidates.
         n_modules, service_seconds:
             Serving-pool shape for :meth:`serve`: pool size (default:
             the capacity-driven module count) and per-query scan time
             (default: dataset bytes over the cube's aggregate internal
-            bandwidth).
+            bandwidth).  With ``scale_out``, ``n_modules`` also
+            overrides the capacity-driven shard count.
         batching:
             Default :class:`BatchingConfig` for :meth:`serve`.
+        shard_overlap:
+            Fraction of each shard's rows replicated into a neighbor
+            shard under ``scale_out`` (default 0 for exact search,
+            0.1 for graph — boundary neighborhoods stay navigable and
+            degraded-mode recall loss drops).
+        algorithm:
+            First-class alias for ``algo`` (takes precedence when both
+            are given).
         """
+        if algorithm is not None:
+            algo = algorithm
         if algo not in ALGORITHMS:
             raise ValueError(
                 f"unknown algo {algo!r}; expected one of {sorted(ALGORITHMS)}")
         mode = ALGORITHMS[algo]
         if metric != "euclidean" and mode not in (IndexMode.LINEAR, IndexMode.HAMMING):
             raise ValueError(f"algo {algo!r} supports only the euclidean metric")
-        if scale_out and mode is not IndexMode.LINEAR:
-            raise ValueError("scale_out requires exact (linear) search")
+        if scale_out and mode not in (IndexMode.LINEAR, IndexMode.GRAPH):
+            raise ValueError("scale_out requires exact (linear) or graph search")
+        if shard_overlap is None:
+            shard_overlap = 0.1 if (scale_out and mode is IndexMode.GRAPH) else 0.0
         dataset = np.asarray(dataset)
         if dataset.ndim != 2 or dataset.shape[0] == 0:
             raise ValueError("dataset must be a non-empty (n, d) array")
@@ -184,12 +204,22 @@ class SSAMSystem:
 
         driver = region = runtime = None
         if scale_out:
-            # Sharded exact search: the runtime is the backend (the
-            # corpus may exceed one module's capacity, so no single
-            # driver region is built).
+            # Sharded search: the runtime is the backend (the corpus
+            # may exceed one module's capacity, so no single driver
+            # region is built).  Graph shards each build an NSW
+            # subgraph over their slice.
+            index_factory = None
+            if mode is IndexMode.GRAPH:
+                from repro.ann import GraphANN
+
+                def index_factory(shard_data, _params=dict(params)):
+                    return GraphANN(**_params).build(
+                        np.asarray(shard_data, dtype=np.float64))
+
             runtime = MultiModuleRuntime(
-                config=config, metric=metric, injector=injector)
-            runtime.load(dataset)
+                config=config, metric=metric, injector=injector,
+                index_factory=index_factory, shard_overlap=shard_overlap)
+            runtime.load(dataset, n_modules=n_modules)
         else:
             driver = SSAMDriver(config=config, backend=backend,
                                 injector=injector)
@@ -235,7 +265,7 @@ class SSAMSystem:
         if batch is not None and batch <= 0:
             raise ValueError("batch must be positive")
         if self.runtime is not None:
-            return self._sharded_search(queries, k, batch)
+            return self._sharded_search(queries, k, batch, checks)
         if batch is None:
             return self.driver.nexec_batch(self.region, queries, k,
                                            checks=checks)
@@ -246,11 +276,11 @@ class SSAMSystem:
         ]
         return _concat_results(parts)
 
-    def _sharded_search(self, queries, k, batch) -> SearchResult:
+    def _sharded_search(self, queries, k, batch, checks=None) -> SearchResult:
         if batch is None:
-            return self.runtime.search(queries, k)
+            return self.runtime.search(queries, k, checks=checks)
         parts = [
-            self.runtime.search(queries[lo:lo + batch], k)
+            self.runtime.search(queries[lo:lo + batch], k, checks=checks)
             for lo in range(0, queries.shape[0], batch)
         ]
         return _concat_results(parts)

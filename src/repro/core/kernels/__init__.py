@@ -19,7 +19,10 @@ Kernels:
 - :mod:`~repro.core.kernels.traversal` — kd-tree and hierarchical
   k-means tree traversals using the hardware stack for backtracking;
 - :mod:`~repro.core.kernels.mplsh` — hyperplane hashing and bucket
-  probing.
+  probing;
+- :mod:`~repro.core.kernels.graph` — best-first graph beam search with
+  the chained priority queue as the beam and the stack as the per-hop
+  neighbor work list.
 """
 
 from repro.core.kernels.common import Kernel, KernelResult, quantize_for_kernel
@@ -33,6 +36,7 @@ from repro.core.kernels.batched import batched_euclidean_scan_kernel
 from repro.core.kernels.pq import pq_adc_scan_kernel
 from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
 from repro.core.kernels.mplsh import mplsh_kernel
+from repro.core.kernels.graph import graph_search_kernel
 
 __all__ = [
     "Kernel",
@@ -47,4 +51,5 @@ __all__ = [
     "kdtree_kernel",
     "kmeans_tree_kernel",
     "mplsh_kernel",
+    "graph_search_kernel",
 ]

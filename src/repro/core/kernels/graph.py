@@ -1,0 +1,303 @@
+"""Graph-traversal kernel: best-first beam search on the SSAM ISA.
+
+This is the workload the paper's units compose for most directly — and
+the one no earlier kernel exercised all at once:
+
+- the **chained hardware priority queue is the beam**: every scored
+  node is ``PQUEUE_INSERT``-ed, so the queue's keep-smallest semantics
+  maintain the ``ef`` best candidates with zero software sorting, and
+  the final top-k readback is the same queue drain every other kernel
+  uses;
+- selection is a ``PQUEUE_LOAD`` position scan: walk queue slots
+  ``0..ef-1`` and expand the first node whose scratchpad visited-state
+  is "scored" (1) but not yet "expanded" (2) — any scored node still
+  inside the first ``ef`` slots is inside the beam by construction;
+- the **stack unit holds the per-expansion work list**: unvisited
+  neighbors of the expanded node are pushed (occupancy bounded by the
+  graph degree M), then popped and scored through the standard vector
+  distance loop;
+- ``MEM_FETCH`` re-aims the stream prefetcher at each node's record —
+  adjacency list first, vector second — modelling the vault-local
+  pointer-chase layout from :mod:`repro.graph.layout`.
+
+DRAM layout: node ``i``'s record is ``[adj[0..M-1], vec[0..dp-1]]`` at
+``dram_base + i * (M + dp)``; adjacency padding is ``-1``.  Scratchpad:
+query at word 0, visited array (one word per node) after it.
+
+Termination needs no explicit comparison against the worst beam entry:
+each select pass either expands exactly one node (monotone progress, at
+most ``n`` expansions) or finds every in-beam entry expanded / hits an
+empty slot and halts.  A distance-eval budget register additionally
+bounds the work, the same ``checks`` semantics as the tree kernels.
+
+:func:`graph_reference_search` mirrors the kernel decision-for-decision
+— same quantization, same stable shift-register queue semantics
+(including overflow drops at the *chained machine depth*, not at
+``ef``), same LIFO scoring order, same budget decrements — so the tests
+can require bit-exact agreement across all three engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ann.graph import GraphANN
+from repro.core.kernels.common import (
+    Kernel,
+    pad_to_multiple,
+    quantize_for_kernel,
+    reduce_vector_asm,
+)
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = ["graph_search_kernel", "graph_reference_search"]
+
+
+class _QueueMirror:
+    """Software model of the chained shift-register priority queue.
+
+    Same insert semantics as
+    :class:`repro.isa.units.HardwarePriorityQueue`: stable among equal
+    values (a new equal entry lands *after* existing ones) and the
+    largest entry falls off when occupancy exceeds ``depth``.
+    """
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self.entries: List[Tuple[int, int]] = []  # (value, id) ascending
+
+    def insert(self, ident: int, value: int) -> None:
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.entries.insert(lo, (value, ident))
+        if len(self.entries) > self.depth:
+            self.entries.pop()
+
+
+def _machine_for(index: GraphANN, ef: int, machine: MachineConfig) -> MachineConfig:
+    """Size the machine for this graph: chained queue ≥ ef, visited fits."""
+    n = index.n
+    chained = max(machine.pq_chained, -(-ef // machine.pq_depth))
+    vlen = machine.vector_length
+    dp = -(-index.dims // vlen) * vlen
+    words_needed = dp + n
+    spad = machine.scratchpad_bytes
+    while spad // 4 < words_needed:
+        spad *= 2
+    stack = max(machine.stack_depth, index.max_degree + 1)
+    if (chained, spad, stack) == (
+        machine.pq_chained, machine.scratchpad_bytes, machine.stack_depth
+    ):
+        return machine
+    return replace(machine, pq_chained=chained, scratchpad_bytes=spad,
+                   stack_depth=stack)
+
+
+def graph_search_kernel(
+    index: GraphANN,
+    query: np.ndarray,
+    k: int,
+    ef: int,
+    budget: int,
+    machine: MachineConfig = MachineConfig(),
+) -> Kernel:
+    """Best-first graph traversal; queue-resident beam of width ``ef``.
+
+    ``budget`` bounds distance evaluations (the paper's check budget);
+    ``ef`` bounds the live beam.  The machine config is widened as
+    needed: queue chaining to cover ``ef``, scratchpad to hold the
+    visited array, stack depth to hold one expansion's neighbors.
+    """
+    if index.data is None or index.graph is None:
+        raise ValueError("index must be built before generating a kernel")
+    if ef <= 0 or budget <= 0:
+        raise ValueError("ef and budget must be positive")
+    graph = index.graph
+    machine = _machine_for(index, ef, machine)
+    vlen = machine.vector_length
+    data_int, q_int, scale = quantize_for_kernel(index.data, query)
+    data_int = pad_to_multiple(data_int, vlen, axis=1)
+    q_pad = pad_to_multiple(q_int[0], vlen)
+    dp = data_int.shape[1]
+    n = data_int.shape[0]
+    m = graph.max_degree
+    rec = m + dp
+    dram_base = machine.scratchpad_bytes // 4
+    vis_base = dp
+    entry = graph.entry_point
+
+    # Node records: [adjacency | vector], one contiguous row per node.
+    image = np.empty((n, rec), dtype=np.int64)
+    image[:, :m] = graph.adjacency
+    image[:, m:] = data_int
+
+    lines = [
+        f"# graph beam search: n={n}, dp={dp}, M={m}, ef={ef}, budget={budget}",
+        f"li s3, {dp}",
+        f"li s15, {m}",
+        f"li s17, {dram_base}",
+        f"li s18, {vis_base}",
+        f"li s19, {ef}",
+        f"li s21, {budget}",
+        "li s13, 1",
+        "li s14, 2",
+        # Seed the traversal: mark the entry point scored and score it
+        # through the shared stack-drain loop (occupancy 1).
+        f"li s5, {entry}",
+        "add s11, s18, s5",
+        "store s13, 0(s11)",
+        "push s5",
+        "li s22, 1",
+        "j gscore",
+        # --- select: first scored-not-expanded node in beam positions 0..ef-1
+        "gselect:",
+        "li s24, 0",
+        "gsel_loop:",
+        "pqueue_load s5, s24, 0",
+        "blt s5, s0, gdone",          # empty slot: frontier exhausted
+        "add s11, s18, s5",
+        "load s12, 0(s11)",
+        "be s12, s13, gexpand",       # visited == 1: expand this one
+        "addi s24, s24, 1",
+        "blt s24, s19, gsel_loop",
+        "j gdone",                    # whole beam already expanded
+        # --- expand: push unseen neighbors (stack = per-hop work list)
+        "gexpand:",
+        "store s14, 0(s11)",          # visited = 2 (expanded)
+        f"multi s1, s5, {rec}",
+        "add s1, s1, s17",
+        "mem_fetch 0(s1)",            # prefetch the adjacency record
+        "li s6, 0",
+        "gadj_loop:",
+        "load s10, 0(s1)",
+        "addi s1, s1, 1",
+        "blt s10, s0, gadj_next",     # -1 padding
+        "add s11, s18, s10",
+        "load s12, 0(s11)",
+        "bne s12, s0, gadj_next",     # already scored/expanded
+        "store s13, 0(s11)",          # mark scored (scored just below)
+        "push s10",
+        "addi s22, s22, 1",
+        "gadj_next:",
+        "addi s6, s6, 1",
+        "blt s6, s15, gadj_loop",
+        # --- score: drain the stack through the vector distance loop
+        "gscore:",
+        "be s22, s0, gselect",
+        "pop s5",
+        "subi s22, s22, 1",
+        f"multi s1, s5, {rec}",
+        "add s1, s1, s17",
+        f"addi s1, s1, {m}",          # vector part of the record
+        "mem_fetch 0(s1)",
+        "li s10, 0",
+        "svmove v3, s10",
+        "li s7, 0",
+        "li s6, 0",
+        "ginner:",
+        "vload v1, 0(s1)",
+        "vload v2, 0(s7)",
+        "vsub v4, v1, v2",
+        "vmult v4, v4, v4",
+        "vadd v3, v3, v4",
+        f"addi s1, s1, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        f"blt s6, s3, ginner",
+        *reduce_vector_asm("v3", "s9", "s10", vlen),
+        "pqueue_insert s5, s9",
+        "subi s21, s21, 1",
+        "be s21, s0, gdone",          # distance-eval budget spent
+        "j gscore",
+        "gdone:",
+        "halt",
+    ]
+
+    image_flat = image.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, q_pad)
+        sim.load_dram(dram_base, image_flat)
+
+    return Kernel(
+        name="graph_traversal",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata={
+            "scale": scale, "dims_padded": dp, "budget": budget, "ef": ef,
+            "max_degree": m,
+            "bytes_per_candidate": rec * 4,
+            "dram_words": max(1 << 16, int(image_flat.size) + 1024),
+        },
+    )
+
+
+def graph_reference_search(
+    index: GraphANN,
+    query: np.ndarray,
+    k: int,
+    ef: int,
+    budget: int,
+    machine: MachineConfig = MachineConfig(),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Python mirror of :func:`graph_search_kernel`, decision for decision.
+
+    Returns ``(ids, int_distances)`` — the top-k drain of the mirrored
+    queue — for bit-exact kernel validation.  Must be given the same
+    ``machine`` the kernel was generated with so the chained queue depth
+    (and therefore overflow-drop behavior) matches.
+    """
+    if index.data is None or index.graph is None:
+        raise ValueError("index must be built before searching")
+    graph = index.graph
+    machine = _machine_for(index, ef, machine)
+    data_int, q_int, _scale = quantize_for_kernel(index.data, query)
+    q = q_int[0]
+    queue = _QueueMirror(machine.pq_depth * machine.pq_chained)
+    visited = np.zeros(index.n, dtype=np.int64)
+    m = graph.max_degree
+
+    def score(node: int, remaining: int) -> int:
+        diff = data_int[node] - q
+        queue.insert(node, int(np.dot(diff, diff)))
+        return remaining - 1
+
+    entry = graph.entry_point
+    visited[entry] = 1
+    remaining = score(entry, budget)
+    while remaining > 0:
+        target = -1
+        for pos in range(min(ef, len(queue.entries))):
+            node = queue.entries[pos][1]
+            if visited[node] == 1:
+                target = node
+                break
+        if target < 0:
+            break
+        visited[target] = 2
+        stack: List[int] = []
+        for nb in graph.adjacency[target]:
+            nb = int(nb)
+            if nb < 0 or visited[nb] != 0:
+                continue
+            visited[nb] = 1
+            stack.append(nb)
+        while stack:
+            remaining = score(stack.pop(), remaining)
+            if remaining == 0:
+                break
+    top = queue.entries[:k]
+    return (
+        np.array([ident for _, ident in top], dtype=np.int64),
+        np.array([value for value, _ in top], dtype=np.int64),
+    )

@@ -17,6 +17,7 @@ Runner         Paper artifact
 ``fig7``       Fig. 7 — SSAM vs CPU with indexing
 ``table5``     Table V — alternative distance metrics on SSAM
 ``table6``     Table VI — SSAM vs Automata Processor (Hamming)
+``graph``      Graph-ANN frontier vs the paper's four algorithms
 ``ablation_priority_queue``  Section V-B hardware/software PQ
 ``tco``        Section VI-A datacenter cost model
 ``fixed_point``  Section II-D representations
@@ -38,6 +39,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.extensions import run_batching_ablation, run_pq_extension
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
+from repro.experiments.graph_ann import run_graph_ann
 from repro.experiments.ivfadc import run_ivfadc
 from repro.experiments.resilience import run_resilience
 from repro.experiments.scaleout import run_scaleout
@@ -59,6 +61,7 @@ __all__ = [
     "run_vector_length_sweep",
     "run_pq_extension",
     "run_batching_ablation",
+    "run_graph_ann",
     "run_ivfadc",
     "run_energy_breakdown",
     "run_thermal_check",

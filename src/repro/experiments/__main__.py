@@ -34,6 +34,7 @@ from repro.experiments import (
     run_fixed_point,
     run_fxp_ablation,
     run_batching_ablation,
+    run_graph_ann,
     run_ivfadc,
     run_thermal_check,
     run_pq_extension,
@@ -64,6 +65,7 @@ RUNNERS = {
     "pqcodes": (run_pq_extension, "Extension: product-quantization scan"),
     "batching": (run_batching_ablation, "Extension: multi-query batching"),
     "ivfadc": (run_ivfadc, "Extension: IVFADC compressed index"),
+    "graph": (run_graph_ann, "Graph-ANN recall/throughput frontier (writes BENCH_3.json)"),
     "scaleout": (run_scaleout, "Multi-module capacity scale-out"),
     "resilience": (run_resilience, "Degraded-mode serving under vault/module loss"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),

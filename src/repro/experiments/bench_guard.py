@@ -14,6 +14,19 @@ signal that an instrumentation or engine change ate the fast path.
 The ratio-of-speedups form is deliberately insensitive to absolute
 machine speed: both engines run on the same host, so their quotient
 cancels the hardware out.
+
+The guard also gates the graph-ANN frontier (``BENCH_3.json``, written
+by ``python -m repro.experiments graph``)::
+
+    python -m repro.experiments.bench_guard --graph BENCH_3.json
+
+which fails when graph recall@10 drops below the acceptance floor, when
+graph search no longer beats the exact scan at that floor by
+``--min-traversal-speedup``, when the traversal kernel stops being
+bit-exact across engines, or when the trace engine falls behind the
+interpreter on the traversal kernel.  The recall and speedup-at-floor
+figures come from the deterministic analytic throughput model, so these
+are absolute gates, not baseline ratios.
 """
 
 from __future__ import annotations
@@ -21,9 +34,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["check_speedup", "main"]
+__all__ = ["check_speedup", "check_graph_frontier", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -51,25 +64,99 @@ def check_speedup(baseline: dict, new: dict, min_ratio: float = 0.8,
     return ratio >= min_ratio, message
 
 
+def check_graph_frontier(
+    payload: dict,
+    min_recall: Optional[float] = None,
+    min_speedup: float = 2.0,
+    min_engine_ratio: float = 1.0,
+    engine: str = GUARDED_ENGINE,
+) -> Tuple[bool, str]:
+    """Absolute gates over a ``BENCH_3.json`` graph-frontier payload.
+
+    ``min_recall`` defaults to the payload's own recorded
+    ``recall_floor`` (the acceptance floor the experiment was run
+    against).  Returns (ok, message); the message carries one line per
+    gate so a CI failure names the exact regression.
+    """
+    if min_recall is None:
+        min_recall = float(payload.get("recall_floor", 0.9))
+    problems: List[str] = []
+
+    recall = float(payload["graph_recall_at_10"])
+    if recall < min_recall:
+        problems.append(
+            f"graph recall@10 {recall:.3f} below floor {min_recall:.2f}")
+    speedup = float(payload["graph_speedup_vs_exact_at_floor"])
+    if speedup < min_speedup:
+        problems.append(
+            f"graph speedup vs exact at the recall floor {speedup:.1f}x "
+            f"below {min_speedup:.1f}x")
+    if not payload.get("kernel_matches_reference", False):
+        problems.append("traversal kernel no longer matches its reference")
+    engine_speedup = float(payload["traversal_speedup_vs_interp"][engine])
+    if engine_speedup < min_engine_ratio:
+        problems.append(
+            f"{engine} engine {engine_speedup:.2f}x vs interp on the "
+            f"traversal kernel, below {min_engine_ratio:.2f}x")
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    return True, (
+        f"OK: graph recall@10 {recall:.3f} (floor {min_recall:.2f}), "
+        f"{speedup:.1f}x vs exact at the floor, {engine} engine "
+        f"{engine_speedup:.2f}x vs interp, kernel bit-exact"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
         description="Fail when the fresh bench regresses vs the baseline.",
     )
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline", default=None,
                         help="recorded BENCH_2.json (the committed numbers)")
-    parser.add_argument("--new", required=True, dest="new_path",
+    parser.add_argument("--new", default=None, dest="new_path",
                         help="freshly written BENCH_2.json")
     parser.add_argument("--min-ratio", type=float, default=0.8,
                         help="minimum new/recorded speedup ratio (default 0.8)")
+    parser.add_argument("--graph", default=None, metavar="BENCH_3",
+                        help="BENCH_3.json to gate on the graph-ANN frontier")
+    parser.add_argument("--min-recall", type=float, default=None,
+                        help="graph recall@10 floor (default: the payload's "
+                             "recorded recall_floor)")
+    parser.add_argument("--min-traversal-speedup", type=float, default=2.0,
+                        help="minimum graph-vs-exact speedup at the recall "
+                             "floor (default 2.0)")
+    parser.add_argument("--min-engine-ratio", type=float, default=1.0,
+                        help="minimum trace-vs-interp speedup on the "
+                             "traversal kernel (default 1.0)")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.new_path) as fh:
-        new = json.load(fh)
-    ok, message = check_speedup(baseline, new, min_ratio=args.min_ratio)
-    print(message)
+    if bool(args.baseline) != bool(args.new_path):
+        parser.error("--baseline and --new must be given together")
+    if not args.baseline and not args.graph:
+        parser.error("nothing to check: give --baseline/--new and/or --graph")
+
+    ok = True
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        with open(args.new_path) as fh:
+            new = json.load(fh)
+        passed, message = check_speedup(baseline, new, min_ratio=args.min_ratio)
+        print(message)
+        ok = ok and passed
+    if args.graph:
+        with open(args.graph) as fh:
+            graph_payload = json.load(fh)
+        passed, message = check_graph_frontier(
+            graph_payload,
+            min_recall=args.min_recall,
+            min_speedup=args.min_traversal_speedup,
+            min_engine_ratio=args.min_engine_ratio,
+        )
+        print(message)
+        ok = ok and passed
     return 0 if ok else 1
 
 

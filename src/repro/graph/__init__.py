@@ -1,0 +1,38 @@
+"""Graph-based ANN substrate: proximity-graph construction and traversal.
+
+The paper's ISA was codesigned for *traversal*: the hardware priority
+queue, the stack unit, and ``MEM_FETCH`` exist to make walking an index
+cheap next to the data.  The tree and hash indexes in :mod:`repro.ann`
+exercise those units lightly; the workload that leans on them hardest —
+and the one modern billion-scale deployments actually run (NDSEARCH and
+the PIM graph-ANN codesigns in PAPERS.md) — is best-first search over a
+navigable-small-world neighbor graph.  This package provides that
+substrate:
+
+- :mod:`repro.graph.build` — NSW-style incremental graph construction
+  (randomized insertion order, beam-search candidate discovery,
+  diversity-pruned neighbor selection, bounded degree);
+- :mod:`repro.graph.search` — the NumPy/heapq reference best-first beam
+  search with a visited set and the ``ef_search`` accuracy knob;
+- :mod:`repro.graph.layout` — vault-local placement of each node's
+  vector *and* adjacency list through the host allocator, so one hop
+  reads one vault.
+
+The :class:`repro.ann.graph.GraphANN` index wraps this package behind
+the common :class:`repro.ann.base.Index` interface, and
+:func:`repro.core.kernels.graph.graph_search_kernel` lowers the same
+traversal onto the SSAM ISA.
+"""
+
+from repro.graph.build import NeighborGraph, build_nsw_graph
+from repro.graph.layout import VaultLayout, plan_vault_layout
+from repro.graph.search import BeamSearchResult, beam_search
+
+__all__ = [
+    "NeighborGraph",
+    "build_nsw_graph",
+    "BeamSearchResult",
+    "beam_search",
+    "VaultLayout",
+    "plan_vault_layout",
+]

@@ -1,0 +1,240 @@
+"""NSW-style neighbor-graph construction.
+
+Flat (single-layer) navigable-small-world builder in the HNSW family:
+nodes are inserted in a seeded random order; each insertion runs the
+same best-first beam search queries use (``ef_construction`` beam) over
+the graph built so far, then selects up to ``max_degree`` links with the
+HNSW diversity heuristic (a candidate is kept only if it is closer to
+the new node than to every already-selected link, so links spread over
+directions instead of clustering); edges are bidirectional with the
+reverse side re-pruned when it exceeds the degree cap.
+
+The randomized insertion order is what makes the flat variant
+navigable: early inserts see a sparse graph, so their links are long
+"express" edges, while late inserts produce short local edges — the
+NSW construction's substitute for HNSW's explicit layers.  A
+``layered=True`` toggle keeps longest-edge shortcuts from the earliest
+inserts reachable by pinning the entry point to the first inserted node.
+
+Everything is deterministic for a fixed ``seed``: insertion order,
+beam-search tie handling (``(distance, id)`` ordering), and pruning are
+all seeded or value-ordered, so two builds over the same data are
+bit-identical — which the kernel differential tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.search import beam_search
+
+__all__ = ["NeighborGraph", "build_nsw_graph"]
+
+
+@dataclass
+class NeighborGraph:
+    """A bounded-degree directed neighbor graph over a corpus.
+
+    ``adjacency`` has shape ``(n, max_degree)`` int64, each row the
+    out-neighbors of that node padded with ``-1``.  ``entry_point`` is
+    where traversals start.  The fixed-width layout is deliberate: it is
+    exactly the adjacency-record shape the SSAM kernel streams from
+    DRAM, so the host-side array doubles as the memory image.
+    """
+
+    adjacency: np.ndarray
+    entry_point: int
+    max_degree: int
+    ef_construction: int
+    seed: int
+    layered: bool = False
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.shape[0]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbors of ``node`` (may include ``-1`` padding)."""
+        return self.adjacency[node]
+
+    def degree(self, node: int) -> int:
+        return int((self.adjacency[node] >= 0).sum())
+
+    def avg_degree(self) -> float:
+        return float((self.adjacency >= 0).sum() / max(1, self.n))
+
+    def subgraph(self, rows: np.ndarray) -> "NeighborGraph":
+        """Induced subgraph on ``rows`` with ids renumbered 0..len-1.
+
+        Used by sharded scale-out: each module holds the subgraph over
+        its corpus slice, and edges leaving the slice are dropped (the
+        shard cannot dereference them locally).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        remap = -np.ones(self.n, dtype=np.int64)
+        remap[rows] = np.arange(rows.size, dtype=np.int64)
+        sub = self.adjacency[rows]
+        sub = np.where(sub >= 0, remap[np.clip(sub, 0, None)], -1)
+        # Compact each row: surviving neighbors first, -1 padding after.
+        packed = np.full_like(sub, -1)
+        for i in range(sub.shape[0]):
+            keep = sub[i][sub[i] >= 0]
+            packed[i, : keep.size] = keep
+        entry = int(remap[self.entry_point]) if remap[self.entry_point] >= 0 else 0
+        return NeighborGraph(
+            adjacency=packed,
+            entry_point=entry,
+            max_degree=self.max_degree,
+            ef_construction=self.ef_construction,
+            seed=self.seed,
+            layered=self.layered,
+        )
+
+
+def _select_diverse(
+    data: np.ndarray,
+    node: int,
+    candidate_ids: np.ndarray,
+    candidate_dists: np.ndarray,
+    max_degree: int,
+) -> List[int]:
+    """HNSW ``SELECT-NEIGHBORS-HEURISTIC``: diversity-pruned links.
+
+    Scan candidates in ascending ``(distance, id)`` order; keep one only
+    if it is closer to ``node`` than to every neighbor already kept.
+    """
+    order = np.lexsort((candidate_ids, candidate_dists))
+    selected: List[int] = []
+    for idx in order:
+        cand = int(candidate_ids[idx])
+        if cand == node:
+            continue
+        d_node = float(candidate_dists[idx])
+        diverse = True
+        for kept in selected:
+            diff = data[cand] - data[kept]
+            if float(diff @ diff) < d_node:
+                diverse = False
+                break
+        if diverse:
+            selected.append(cand)
+            if len(selected) >= max_degree:
+                break
+    if len(selected) < max_degree:
+        # Backfill with the nearest rejected candidates so low-degree
+        # nodes (common in clustered data) stay well connected.
+        chosen = set(selected)
+        for idx in order:
+            cand = int(candidate_ids[idx])
+            if cand == node or cand in chosen:
+                continue
+            selected.append(cand)
+            chosen.add(cand)
+            if len(selected) >= max_degree:
+                break
+    return selected
+
+
+def _prune_row(
+    data: np.ndarray, node: int, neighbors: List[int], max_degree: int
+) -> List[int]:
+    """Re-select a node's links after a reverse edge pushed it over cap."""
+    ids = np.array(neighbors, dtype=np.int64)
+    diffs = data[ids] - data[node]
+    dists = np.einsum("ij,ij->i", diffs, diffs)
+    return _select_diverse(data, node, ids, dists, max_degree)
+
+
+def build_nsw_graph(
+    data: np.ndarray,
+    max_degree: int = 16,
+    ef_construction: int = 64,
+    seed: int = 0,
+    layered: bool = False,
+    insertion_order: Optional[np.ndarray] = None,
+) -> NeighborGraph:
+    """Build a flat NSW graph over ``data`` by incremental insertion.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` corpus.
+    max_degree:
+        Degree bound M — out-edges per node (and the stack-unit
+        occupancy bound in the SSAM kernel).
+    ef_construction:
+        Beam width used for candidate discovery during insertion;
+        larger values find better links at higher build cost.
+    seed:
+        Seeds the randomized insertion order.
+    layered:
+        Controls the final entry point.  ``True`` pins it to the first
+        inserted node, whose links are the longest "express" edges —
+        the flat stand-in for an HNSW top layer.  ``False`` (default)
+        uses the corpus medoid (row nearest the mean), the standard
+        flat-NSW entry that minimizes expected hop count.
+    insertion_order:
+        Optional explicit permutation of ``range(n)`` (overrides the
+        seeded shuffle; used by tests to make tiny graphs by hand).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot build a graph over an empty corpus")
+    if max_degree <= 0:
+        raise ValueError("max_degree must be positive")
+    if ef_construction <= 0:
+        raise ValueError("ef_construction must be positive")
+
+    if insertion_order is None:
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n)
+    else:
+        order = np.asarray(insertion_order, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(n)):
+            raise ValueError("insertion_order must be a permutation of range(n)")
+
+    adj: List[List[int]] = [[] for _ in range(n)]
+    entry = int(order[0])
+
+    def neighbors_fn(node: int) -> np.ndarray:
+        return np.array(adj[node], dtype=np.int64)
+
+    for pos in range(1, n):
+        node = int(order[pos])
+        found = beam_search(
+            data,
+            data[node],
+            neighbors_fn,
+            entry_point=entry,
+            ef=ef_construction,
+        )
+        links = _select_diverse(data, node, found.ids, found.distances, max_degree)
+        adj[node] = links
+        for nb in links:
+            if node not in adj[nb]:
+                adj[nb].append(node)
+                if len(adj[nb]) > max_degree:
+                    adj[nb] = _prune_row(data, nb, adj[nb], max_degree)
+
+    if layered:
+        final_entry = int(order[0])
+    else:
+        centered = data - data.mean(axis=0)
+        final_entry = int(np.argmin(np.einsum("ij,ij->i", centered, centered)))
+
+    adjacency = np.full((n, max_degree), -1, dtype=np.int64)
+    for node, links in enumerate(adj):
+        row = links[:max_degree]
+        adjacency[node, : len(row)] = row
+    return NeighborGraph(
+        adjacency=adjacency,
+        entry_point=final_entry,
+        max_degree=max_degree,
+        ef_construction=ef_construction,
+        seed=seed,
+        layered=layered,
+    )

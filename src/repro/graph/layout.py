@@ -1,0 +1,110 @@
+"""Vault-local placement of graph nodes through the host allocator.
+
+One traversal hop needs two reads: the node's adjacency record and the
+candidate vectors it names.  SSAM's bandwidth win comes from serving
+both from the vault the PU sits on, so the layout rule is simple and
+strict: a node's vector and its adjacency list are co-allocated in the
+*same* vault (picked round-robin by node id for balance), through a
+per-vault :class:`repro.host.allocator.FreeListAllocator` so graph
+memory coexists with whatever else the host pinned there.
+
+Cross-vault edges are unavoidable in any partition of a small-world
+graph; :func:`plan_vault_layout` reports the fraction so experiments
+can charge remote hops to the coarser HMC-link bandwidth instead of the
+vault-local TSV bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # repro.host imports repro.ann, which imports this package
+    from repro.host.allocator import FreeListAllocator
+
+__all__ = ["VaultLayout", "plan_vault_layout"]
+
+
+@dataclass
+class VaultLayout:
+    """Where every graph node landed, and what the placement costs.
+
+    ``vault_of[node]`` is the vault index; ``vector_addr``/``adj_addr``
+    are vault-relative byte addresses from the per-vault allocators.
+    ``cross_vault_edge_fraction`` is the share of graph edges whose
+    endpoints live in different vaults — each such edge turns a hop's
+    vector read into cross-vault traffic.
+    """
+
+    vaults: int
+    vault_of: np.ndarray
+    vector_addr: np.ndarray
+    adj_addr: np.ndarray
+    bytes_per_vector: int
+    bytes_per_adjacency: int
+    cross_vault_edge_fraction: float
+    allocators: List["FreeListAllocator"] = field(default_factory=list, repr=False)
+
+    def vault_rows(self, vault: int) -> np.ndarray:
+        """Node ids resident in ``vault``."""
+        return np.nonzero(self.vault_of == vault)[0].astype(np.int64)
+
+    def occupancy(self) -> Dict[int, int]:
+        """Allocated bytes per vault (vectors + adjacency records)."""
+        return {v: a.allocated_bytes for v, a in enumerate(self.allocators)}
+
+
+def plan_vault_layout(
+    adjacency: np.ndarray,
+    dims: int,
+    vaults: int = 16,
+    vault_capacity: int = 1 << 27,
+    element_bytes: int = 4,
+) -> VaultLayout:
+    """Co-allocate each node's vector + adjacency list in one vault.
+
+    Nodes are striped round-robin over ``vaults`` (node ``i`` → vault
+    ``i % vaults``), which balances both storage and — because query
+    traversals touch essentially random nodes — PU load.  Raises
+    :class:`repro.host.allocator.AllocationError` if a vault overflows.
+    """
+    # Imported here, not at module top: repro.host's package init pulls in
+    # repro.ann, which imports repro.graph — a top-level import would cycle.
+    from repro.host.allocator import FreeListAllocator
+
+    n, max_degree = adjacency.shape
+    if vaults <= 0:
+        raise ValueError("vaults must be positive")
+    bytes_per_vector = dims * element_bytes
+    bytes_per_adjacency = max_degree * 4  # int32 neighbor ids
+    allocators = [FreeListAllocator(vault_capacity) for _ in range(vaults)]
+    vault_of = (np.arange(n, dtype=np.int64) % vaults).astype(np.int64)
+    vector_addr = np.zeros(n, dtype=np.int64)
+    adj_addr = np.zeros(n, dtype=np.int64)
+    for node in range(n):
+        alloc = allocators[int(vault_of[node])]
+        vector_addr[node] = alloc.alloc(bytes_per_vector)
+        adj_addr[node] = alloc.alloc(bytes_per_adjacency)
+
+    valid = adjacency >= 0
+    total_edges = int(valid.sum())
+    if total_edges:
+        src_vault = np.repeat(vault_of[:, None], max_degree, axis=1)
+        dst = np.where(valid, adjacency, 0)
+        cross = int((valid & (vault_of[dst] != src_vault)).sum())
+        cross_fraction = cross / total_edges
+    else:
+        cross_fraction = 0.0
+
+    return VaultLayout(
+        vaults=vaults,
+        vault_of=vault_of,
+        vector_addr=vector_addr,
+        adj_addr=adj_addr,
+        bytes_per_vector=bytes_per_vector,
+        bytes_per_adjacency=bytes_per_adjacency,
+        cross_vault_edge_fraction=cross_fraction,
+        allocators=allocators,
+    )

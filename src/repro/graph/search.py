@@ -1,0 +1,132 @@
+"""Best-first beam search over a neighbor graph (NumPy reference).
+
+This is the reference traversal the whole graph subsystem agrees on:
+the :class:`repro.ann.graph.GraphANN` index runs it per query, the
+builder runs it to find insertion candidates, and the SSAM kernel
+(:mod:`repro.core.kernels.graph`) implements the same loop on the ISA
+(with the chained hardware priority queue *as* the beam).
+
+Algorithm (the standard NSW/HNSW ``SEARCH-LAYER``): keep a min-heap of
+unexpanded candidates and a bounded set of the ``ef`` best nodes seen so
+far; repeatedly expand the nearest candidate, scoring its unvisited
+neighbors; stop when the nearest candidate is farther than the worst of
+the ``ef`` best.  ``ef`` is the accuracy/throughput knob — larger beams
+visit more of the graph and recover more true neighbors.
+
+Determinism: all heap entries are ``(distance, node_id)`` tuples, so
+distance ties break by ascending node id; the returned ids are sorted by
+``(distance, id)``.  Two runs over the same graph are bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["BeamSearchResult", "beam_search"]
+
+
+@dataclass
+class BeamSearchResult:
+    """One query's traversal outcome plus the work it cost.
+
+    ``ids``/``distances`` are the beam's best entries sorted ascending
+    by ``(distance, id)`` — at most ``ef`` of them.  ``hops`` counts
+    node expansions (frontier pops that scanned an adjacency list),
+    ``distance_evals`` counts full distance computations (each visits
+    one vector in memory), and ``peak_beam`` is the beam's maximum
+    occupancy — the hardware priority-queue depth the traversal
+    actually needed.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_evals: int
+    peak_beam: int
+
+
+def beam_search(
+    data: np.ndarray,
+    query: np.ndarray,
+    neighbors_fn: Callable[[int], np.ndarray],
+    entry_point: int,
+    ef: int,
+    max_evals: Optional[int] = None,
+) -> BeamSearchResult:
+    """Best-first search from ``entry_point``; returns the ``ef`` best nodes.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` corpus the graph indexes (distances are squared
+        Euclidean, computed against rows of this array).
+    query:
+        ``(d,)`` query vector.
+    neighbors_fn:
+        ``neighbors_fn(node) -> int array`` of out-neighbors (may
+        contain ``-1`` padding, which is skipped) — an adjacency-list
+        accessor so the builder can search a half-built graph.
+    entry_point:
+        Node the traversal starts from.
+    ef:
+        Beam width: the number of best-so-far nodes retained (and the
+        bound on returned results).
+    max_evals:
+        Optional cap on distance evaluations (the paper's per-query
+        work bound); the traversal stops scoring once it is reached.
+    """
+    if ef <= 0:
+        raise ValueError("ef must be positive")
+    query = np.asarray(query, dtype=np.float64)
+    diff0 = data[entry_point] - query
+    d0 = float(diff0 @ diff0)
+    visited = {entry_point}
+    evals = 1
+    hops = 0
+    # candidates: min-heap of unexpanded nodes; results: max-heap (negated
+    # distances) holding the ef best seen so far.
+    candidates = [(d0, entry_point)]
+    results = [(-d0, entry_point)]
+    peak_beam = 1
+    budget_left = None if max_evals is None else max(0, max_evals - evals)
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        if len(results) >= ef and dist > -results[0][0]:
+            break
+        if budget_left is not None and budget_left == 0:
+            break
+        hops += 1
+        nbrs = [
+            int(nb) for nb in neighbors_fn(node)
+            if nb >= 0 and nb not in visited
+        ]
+        if not nbrs:
+            continue
+        if budget_left is not None and len(nbrs) > budget_left:
+            nbrs = nbrs[:budget_left]
+        visited.update(nbrs)
+        diffs = data[nbrs] - query
+        dists = np.einsum("ij,ij->i", diffs, diffs)
+        evals += len(nbrs)
+        if budget_left is not None:
+            budget_left -= len(nbrs)
+        for nb, dn in zip(nbrs, dists):
+            dn = float(dn)
+            if len(results) < ef or dn < -results[0][0]:
+                heapq.heappush(candidates, (dn, nb))
+                heapq.heappush(results, (-dn, nb))
+                if len(results) > ef:
+                    heapq.heappop(results)
+                peak_beam = max(peak_beam, len(results))
+    pairs = sorted((-nd, node) for nd, node in results)
+    return BeamSearchResult(
+        ids=np.array([node for _, node in pairs], dtype=np.int64),
+        distances=np.array([d for d, _ in pairs], dtype=np.float64),
+        hops=hops,
+        distance_evals=evals,
+        peak_beam=peak_beam,
+    )

@@ -32,6 +32,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.ann import (
+    GraphANN,
     HierarchicalKMeansTree,
     IVFADC,
     LinearScan,
@@ -64,6 +65,7 @@ class IndexMode(enum.Enum):
     MPLSH = "mplsh"
     IVFADC = "ivfadc"
     HAMMING = "hamming"
+    GRAPH = "graph"
 
 
 @dataclass
@@ -197,6 +199,8 @@ class SSAMDriver:
             region.index = MultiProbeLSH(**params).build(np.asarray(region.data, dtype=np.float64))
         elif mode is IndexMode.IVFADC:
             region.index = IVFADC(**params).build(np.asarray(region.data, dtype=np.float64))
+        elif mode is IndexMode.GRAPH:
+            region.index = GraphANN(**params).build(np.asarray(region.data, dtype=np.float64))
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown mode {mode}")
 
@@ -328,7 +332,9 @@ class SSAMDriver:
             )
             region.result.stats.candidates_scanned = region.data.shape[0]
             return
-        if self.backend == "cycle" and region.mode in (IndexMode.KDTREE, IndexMode.KMEANS):
+        if self.backend == "cycle" and region.mode in (
+            IndexMode.KDTREE, IndexMode.KMEANS, IndexMode.GRAPH
+        ):
             self._nexec_cycle_traversal(region, k, checks)
             return
         region.result = region.index.search(region.query, k, checks=checks)
@@ -337,14 +343,15 @@ class SSAMDriver:
                                checks: Optional[int]) -> None:
         """Cycle-accurate index traversal on one processing unit.
 
-        Runs the hand-written kd-tree / k-means-tree kernel on the ISA
-        simulator (single PU; the functional backend remains the
+        Runs the hand-written kd-tree / k-means-tree / graph kernel on
+        the ISA simulator (single PU; the functional backend remains the
         multi-vault path).  Cycle cost lands in
         ``region.result.stats.distance_ops`` per the kernel run; ids and
         distances come straight from the hardware priority queue.
         """
         from dataclasses import replace
 
+        from repro.core.kernels.graph import graph_search_kernel
         from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
 
         budget = int(checks) if checks else 256
@@ -352,6 +359,10 @@ class SSAMDriver:
                           pq_chained=max(1, -(-k // self.config.machine.pq_depth)))
         if region.mode is IndexMode.KDTREE:
             kern = kdtree_kernel(region.index, region.query, k, budget, machine)
+        elif region.mode is IndexMode.GRAPH:
+            ef = max(k, min(region.index.ef_search, budget))
+            kern = graph_search_kernel(region.index, region.query, k, ef,
+                                       budget, machine)
         else:
             kern = kmeans_tree_kernel(region.index, region.query, k, budget, machine)
         res = kern.run()

@@ -8,6 +8,17 @@ global top-k reductions".  :class:`MultiModuleRuntime` implements that:
 shard the dataset across as many modules as capacity demands, broadcast
 each query, and k-way-merge the partial results.
 
+The runtime is index-agnostic: the default shard backend is exact
+:class:`~repro.ann.LinearScan`, but any :class:`~repro.ann.base.Index`
+can back the shards via ``index_factory`` (graph-ANN scale-out builds a
+:class:`~repro.ann.GraphANN` subgraph per module).  Shards may
+*overlap* (``shard_overlap``): boundary rows are replicated into the
+neighboring shard, which keeps boundary neighborhoods navigable in
+per-shard graphs and softens the recall cliff when a module dies.
+Overlap means the same global row can come back from two shards, so the
+merge dedupes candidate ids per query before the final top-k — without
+that, a duplicated row would occupy two of the k result slots.
+
 Degraded-mode serving: a kNN service has an unusual graceful-degradation
 story — losing a shard does not fail the query, it measurably lowers
 *recall* (the lost rows simply can't be returned).  ``search`` therefore
@@ -15,32 +26,43 @@ merges over the surviving shards when modules are down (explicitly via
 :meth:`fail_module` or through an attached
 :class:`repro.faults.FaultInjector` firing ``module_loss``), marks the
 response ``degraded=True``, and reports the expected recall loss as the
-fraction of corpus rows unreachable.  Only when *every* shard is down
-does the query fail (:class:`repro.faults.ModuleLost`).
+fraction of *unique* corpus rows unreachable (a row replicated into a
+surviving shard is not lost).  Only when *every* shard is down does the
+query fail (:class:`repro.faults.ModuleLost`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.ann import LinearScan, SearchResult, SearchStats
+from repro.ann.base import Index
 from repro.core.config import SSAMConfig
 from repro.faults.errors import FaultError, ModuleLost
 from repro.telemetry import get_telemetry
 
-__all__ = ["MultiModuleRuntime", "DegradedSearchResult"]
+__all__ = ["MultiModuleRuntime", "DegradedSearchResult", "merge_shard_results"]
 
 
 @dataclass
 class _Shard:
-    """One module's slice of the corpus."""
+    """One module's slice of the corpus.
+
+    ``rows`` maps the shard's local row ids to global corpus ids; with
+    contiguous non-overlapping sharding it is ``arange(lo, hi)``, with
+    overlap it also carries the replicated boundary rows.
+    """
 
     module_index: int
-    row_offset: int
-    index: LinearScan
+    rows: np.ndarray
+    index: Index
+
+    @property
+    def row_offset(self) -> int:
+        return int(self.rows[0]) if self.rows.size else 0
 
 
 #: Deprecated alias: the failure-domain fields (``degraded``,
@@ -49,6 +71,42 @@ class _Shard:
 #: class directly and ``DegradedSearchResult`` is just another name
 #: for it (kept so pre-unification imports and isinstance checks work).
 DegradedSearchResult = SearchResult
+
+
+def merge_shard_results(
+    partials: List, k: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Global top-k over per-shard ``(global_ids, distances)`` pairs.
+
+    Candidate ids are deduplicated per query before the cut — required
+    for overlapping shards, where one corpus row answers from several
+    modules and must not occupy several of the ``k`` slots.  Among
+    duplicates the smallest distance wins; ordering is deterministic
+    (``(distance, id)``).  Queries with fewer than ``k`` distinct
+    candidates pad with ``-1``/``inf``.
+    """
+    all_ids = np.concatenate([p[0] for p in partials], axis=1)
+    all_d = np.concatenate([p[1] for p in partials], axis=1)
+    nq = all_ids.shape[0]
+    out_ids = np.full((nq, k), -1, dtype=np.int64)
+    out_d = np.full((nq, k), np.inf)
+    for i in range(nq):
+        valid = all_ids[i] >= 0
+        ids_row = all_ids[i][valid]
+        d_row = all_d[i][valid]
+        if ids_row.size == 0:
+            continue
+        order = np.lexsort((ids_row, d_row))
+        sid = ids_row[order]
+        sd = d_row[order]
+        _, first = np.unique(sid, return_index=True)
+        mask = np.zeros(sid.size, dtype=bool)
+        mask[first] = True
+        ded_ids = sid[mask][:k]
+        ded_d = sd[mask][:k]
+        out_ids[i, : ded_ids.size] = ded_ids
+        out_d[i, : ded_d.size] = ded_d
+    return out_ids, out_d
 
 
 class MultiModuleRuntime:
@@ -66,6 +124,16 @@ class MultiModuleRuntime:
     injector:
         Optional :class:`repro.faults.FaultInjector`; ``module_loss``
         faults checked per shard per request latch the module failed.
+    index_factory:
+        ``index_factory(shard_data) -> built Index`` backing each
+        shard; default is exact ``LinearScan(metric)``.  Local result
+        ids are mapped to global ids through the shard's row map, so
+        any :class:`~repro.ann.base.Index` works.
+    shard_overlap:
+        Fraction of each shard's span replicated from the *next*
+        shard's leading rows (0 ≤ overlap < 1).  Overlap keeps
+        boundary neighborhoods intact for per-shard graph indexes and
+        lowers degraded-mode recall loss.
     """
 
     def __init__(
@@ -73,10 +141,16 @@ class MultiModuleRuntime:
         config: Optional[SSAMConfig] = None,
         metric: str = "euclidean",
         injector: Optional[object] = None,
+        index_factory: Optional[Callable[[np.ndarray], Index]] = None,
+        shard_overlap: float = 0.0,
     ):
+        if not 0.0 <= shard_overlap < 1.0:
+            raise ValueError("shard_overlap must be in [0, 1)")
         self.config = config or SSAMConfig.design(4)
         self.metric = metric
         self.injector = injector
+        self.index_factory = index_factory
+        self.shard_overlap = float(shard_overlap)
         self.shards: List[_Shard] = []
         self._failed: set = set()
         self._n_rows = 0
@@ -87,25 +161,49 @@ class MultiModuleRuntime:
             raise ValueError("nbytes must be positive")
         return max(1, -(-nbytes // self.config.capacity_bytes))
 
-    def load(self, data: np.ndarray) -> int:
-        """Shard ``data`` across modules; returns the module count."""
+    def _build_shard_index(self, shard_data: np.ndarray) -> Index:
+        if self.index_factory is not None:
+            return self.index_factory(shard_data)
+        return LinearScan(metric=self.metric).build(shard_data)
+
+    def load(self, data: np.ndarray, n_modules: Optional[int] = None) -> int:
+        """Shard ``data`` across modules; returns the module count.
+
+        ``n_modules`` overrides the capacity-driven count (graph
+        scale-out experiments want a fixed shard fan-out regardless of
+        corpus bytes).
+        """
         arr = np.asarray(data)
         if arr.ndim != 2 or arr.shape[0] == 0:
             raise ValueError("data must be a non-empty (n, d) array")
-        n_modules = self.modules_needed(arr.nbytes)
+        if n_modules is None:
+            n_modules = self.modules_needed(arr.nbytes)
+        if n_modules <= 0:
+            raise ValueError("n_modules must be positive")
         bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
         self.shards = []
         self._failed = set()
         for m in range(n_modules):
             lo, hi = int(bounds[m]), int(bounds[m + 1])
-            if hi > lo:
-                self.shards.append(
-                    _Shard(
-                        module_index=m,
-                        row_offset=lo,
-                        index=LinearScan(metric=self.metric).build(arr[lo:hi]),
-                    )
+            if hi <= lo:
+                continue
+            rows = np.arange(lo, hi, dtype=np.int64)
+            if self.shard_overlap > 0.0:
+                # Replicate the next shard's leading rows (wrapping at
+                # the end) so every boundary neighborhood exists whole
+                # in at least one shard.
+                extra = int(round((hi - lo) * self.shard_overlap))
+                if extra > 0:
+                    borrowed = (np.arange(hi, hi + extra) % arr.shape[0]).astype(np.int64)
+                    borrowed = borrowed[~np.isin(borrowed, rows)]
+                    rows = np.concatenate([rows, borrowed])
+            self.shards.append(
+                _Shard(
+                    module_index=m,
+                    rows=rows,
+                    index=self._build_shard_index(arr[rows]),
                 )
+            )
         self._n_rows = arr.shape[0]
         return n_modules
 
@@ -125,15 +223,13 @@ class MultiModuleRuntime:
         return sorted(self._failed)
 
     def surviving_rows(self) -> np.ndarray:
-        """Global row ids still reachable (for recall accounting)."""
+        """Unique global row ids still reachable (for recall accounting)."""
         alive = [
-            np.arange(s.row_offset, s.row_offset + s.index.n, dtype=np.int64)
-            for s in self.shards
-            if s.module_index not in self._failed
+            s.rows for s in self.shards if s.module_index not in self._failed
         ]
         if not alive:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(alive)
+        return np.unique(np.concatenate(alive))
 
     def _shard_alive(self, shard: _Shard) -> bool:
         if shard.module_index in self._failed:
@@ -144,12 +240,15 @@ class MultiModuleRuntime:
         return True
 
     # ------------------------------------------------------------ search
-    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+    def search(self, queries: np.ndarray, k: int,
+               checks: Optional[int] = None) -> SearchResult:
         """Broadcast queries to every live module; merge per-module top-k.
 
         Shards that are down (or that fault mid-request) are dropped
         from the merge; the response is then ``degraded=True`` with the
-        unreachable corpus fraction in ``expected_recall_loss``.
+        unreachable *unique* corpus fraction in
+        ``expected_recall_loss``.  ``checks`` is forwarded to
+        approximate shard indexes.
         """
         if not self.shards:
             raise RuntimeError("load() a dataset before search()")
@@ -161,38 +260,39 @@ class MultiModuleRuntime:
         ) as span:
             partials = []
             stats = SearchStats()
-            lost_rows = 0
             for shard in self.shards:
                 with tel.tracer.span(
                     "shard.search", "runtime", module=shard.module_index,
                     rows=shard.index.n,
                 ) as shard_span:
                     if not self._shard_alive(shard):
-                        lost_rows += shard.index.n
                         shard_span.set(skipped="down")
                         continue
                     try:
-                        res = shard.index.search(queries, k)
+                        if checks is None:
+                            res = shard.index.search(queries, k)
+                        else:
+                            res = shard.index.search(queries, k, checks=checks)
                     except FaultError as exc:
                         self._failed.add(shard.module_index)
-                        lost_rows += shard.index.n
                         shard_span.set(skipped=type(exc).__name__)
                         if tel.enabled:
                             tel.metrics.inc(
                                 "ssam_shard_faults_total", 1,
                                 help="shards dropped from a merge mid-request")
                         continue
-                ids = np.where(res.ids >= 0, res.ids + shard.row_offset, res.ids)
+                # Map shard-local row ids to global corpus ids.
+                ids = np.where(res.ids >= 0, shard.rows[np.clip(res.ids, 0, None)], -1)
                 partials.append((ids, res.distances))
                 stats += res.stats
             if not partials:
                 raise ModuleLost(detail="no surviving shards to serve the query")
-            all_ids = np.concatenate([p[0] for p in partials], axis=1)
-            all_d = np.concatenate([p[1] for p in partials], axis=1)
-            order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
-            rows = np.arange(all_d.shape[0])[:, None]
+            merged_ids, merged_d = merge_shard_results(partials, k)
             failed = sorted(self._failed)
-            recall_loss = lost_rows / self._n_rows if self._n_rows else 0.0
+            if failed and self._n_rows:
+                recall_loss = 1.0 - self.surviving_rows().size / self._n_rows
+            else:
+                recall_loss = 0.0
             if tel.enabled:
                 span.set(degraded=bool(failed), failed_modules=len(failed),
                          expected_recall_loss=recall_loss)
@@ -202,8 +302,8 @@ class MultiModuleRuntime:
                     tel.metrics.inc("ssam_degraded_responses_total", 1,
                                     help="merges served from surviving shards")
             return SearchResult(
-                ids=all_ids[rows, order],
-                distances=all_d[rows, order],
+                ids=merged_ids,
+                distances=merged_d,
                 stats=stats,
                 degraded=bool(failed),
                 failed_modules=failed,

@@ -73,7 +73,8 @@ class TestFacadeRoundTrip:
         with pytest.raises(ValueError, match="unknown algo"):
             SSAMSystem.build(data, algo="annoy")
         assert set(ALGORITHMS) == {
-            "exact", "linear", "kdtree", "kmeans", "mplsh", "ivfadc", "hamming"}
+            "exact", "linear", "kdtree", "kmeans", "mplsh", "graph",
+            "ivfadc", "hamming"}
 
     def test_metric_guard_for_approximate(self, corpus):
         data, _ = corpus

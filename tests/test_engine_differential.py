@@ -24,12 +24,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ann import HierarchicalKMeansTree, MultiProbeLSH, RandomizedKDForest
+from repro.ann import (
+    GraphANN,
+    HierarchicalKMeansTree,
+    MultiProbeLSH,
+    RandomizedKDForest,
+)
 from repro.ann.pq import ProductQuantizer
 from repro.core.kernels import (
     batched_euclidean_scan_kernel,
     cosine_scan_kernel,
     euclidean_scan_kernel,
+    graph_search_kernel,
     hamming_scan_kernel,
     kdtree_kernel,
     kmeans_tree_kernel,
@@ -161,6 +167,12 @@ class TestKernelGeneratorEquivalence:
         _assert_kernel_engines_match(kmeans_tree_kernel(
             tree, QUERY, K, 30,
             MachineConfig(vector_length=vlen, stack_depth=512)))
+
+    @pytest.mark.parametrize("vlen", VLENS)
+    def test_graph(self, vlen):
+        graph = GraphANN(max_degree=6, ef_construction=16, seed=5).build(DATA)
+        _assert_kernel_engines_match(graph_search_kernel(
+            graph, QUERY, K, 12, 100, MachineConfig(vector_length=vlen)))
 
     @pytest.mark.parametrize("vlen", VLENS)
     def test_mplsh(self, vlen):

@@ -1,0 +1,117 @@
+"""Tests for the graph beam-search kernel vs its Python mirror."""
+
+import numpy as np
+import pytest
+
+from repro.ann import GraphANN
+from repro.core.kernels.graph import (
+    _QueueMirror,
+    graph_reference_search,
+    graph_search_kernel,
+)
+from repro.isa.simulator import MachineConfig
+from repro.isa.units import HardwarePriorityQueue
+
+RNG = np.random.default_rng(33)
+N, D, K = 200, 12, 6
+DATA = RNG.standard_normal((N, D)) * 2.0
+QUERIES = RNG.standard_normal((3, D))
+MC = MachineConfig(vector_length=4)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return GraphANN(max_degree=8, ef_construction=24, seed=3).build(DATA)
+
+
+class TestGraphKernel:
+    @pytest.mark.parametrize("budget", [30, 120, 600])
+    def test_matches_mirror_bit_exact(self, index, budget):
+        # The mirror replicates the kernel decision-for-decision, so the
+        # comparison is exact ids AND exact integer distances, in order.
+        for q in QUERIES:
+            res = graph_search_kernel(index, q, K, 16, budget, MC).run()
+            ref_ids, ref_vals = graph_reference_search(index, q, K, 16, budget, MC)
+            np.testing.assert_array_equal(res.ids, ref_ids)
+            np.testing.assert_array_equal(res.values, ref_vals)
+
+    @pytest.mark.parametrize("vlen", [2, 4, 8, 16])
+    def test_matches_mirror_across_vlens(self, index, vlen):
+        mc = MachineConfig(vector_length=vlen)
+        res = graph_search_kernel(index, QUERIES[0], K, 16, 150, mc).run()
+        ref_ids, ref_vals = graph_reference_search(index, QUERIES[0], K, 16, 150, mc)
+        np.testing.assert_array_equal(res.ids, ref_ids)
+        np.testing.assert_array_equal(res.values, ref_vals)
+
+    def test_budget_bounds_distance_evals(self, index):
+        res = graph_search_kernel(index, QUERIES[0], K, 16, 50, MC).run()
+        assert res.stats.pq_inserts <= 50
+
+    def test_uses_stack_and_queue(self, index):
+        res = graph_search_kernel(index, QUERIES[0], K, 16, 200, MC).run()
+        assert res.stats.stack_pushes > 0
+        assert res.stats.pq_inserts > 0
+        assert res.stats.counts_by_category.get("stack", 0) > 0
+
+    def test_wide_beam_widens_queue_chaining(self, index):
+        # ef beyond one shift-register's depth must chain more queues.
+        kern = graph_search_kernel(index, QUERIES[0], K, 48, 200, MC)
+        assert kern.machine.pq_chained * kern.machine.pq_depth >= 48
+
+    def test_stack_depth_covers_degree(self, index):
+        kern = graph_search_kernel(
+            index, QUERIES[0], K, 16, 200,
+            MachineConfig(vector_length=4, stack_depth=4))
+        assert kern.machine.stack_depth >= index.max_degree + 1
+
+    def test_visited_array_fits_scratchpad(self, index):
+        small = MachineConfig(vector_length=4, scratchpad_bytes=256)
+        kern = graph_search_kernel(index, QUERIES[0], K, 16, 100, small)
+        assert kern.machine.scratchpad_bytes // 4 >= N + 12
+
+    def test_finds_own_point(self, index):
+        # Querying a corpus point should navigate to that point.
+        res = graph_search_kernel(index, DATA[17], K, 32, 400, MC).run()
+        assert 17 in res.ids
+        assert res.values[list(res.ids).index(17)] == 0
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            graph_search_kernel(GraphANN(), QUERIES[0], K, 16, 100, MC)
+
+    def test_bad_budget_rejected(self, index):
+        with pytest.raises(ValueError):
+            graph_search_kernel(index, QUERIES[0], K, 0, 100, MC)
+        with pytest.raises(ValueError):
+            graph_search_kernel(index, QUERIES[0], K, 16, 0, MC)
+
+    def test_prefetch_issued_per_expansion(self, index):
+        # One MEM_FETCH per expanded node's adjacency record plus one
+        # per scored vector: the stream prefetcher is re-aimed at every
+        # pointer chase.
+        res = graph_search_kernel(index, QUERIES[0], K, 16, 200, MC).run()
+        assert res.stats.counts_by_name.get("mem_fetch", 0) > 0
+
+
+class TestQueueMirror:
+    def test_matches_hardware_queue(self):
+        hw = HardwarePriorityQueue(depth=16, chained=2)
+        sw = _QueueMirror(depth=32)
+        rng = np.random.default_rng(5)
+        for i, v in enumerate(rng.integers(0, 50, size=200)):
+            hw.insert(i, int(v))
+            sw.insert(i, int(v))
+        assert hw.as_sorted() == [(i, v) for v, i in sw.entries]
+
+    def test_stable_on_equal_values(self):
+        sw = _QueueMirror(depth=4)
+        for ident in (7, 8, 9):
+            sw.insert(ident, 5)
+        assert [i for _, i in sw.entries] == [7, 8, 9]
+
+    def test_overflow_drops_largest(self):
+        sw = _QueueMirror(depth=2)
+        sw.insert(1, 10)
+        sw.insert(2, 5)
+        sw.insert(3, 7)
+        assert [i for _, i in sw.entries] == [2, 3]
