@@ -112,6 +112,8 @@ class SSAMSystem:
         batching: Optional[BatchingConfig] = None,
         shard_overlap: Optional[float] = None,
         algorithm: Optional[str] = None,
+        workers: Optional[int] = None,
+        parallel: Optional[str] = None,
     ) -> "SSAMSystem":
         """Assemble a query-ready system around ``dataset``.
 
@@ -167,6 +169,13 @@ class SSAMSystem:
         algorithm:
             First-class alias for ``algo`` (takes precedence when both
             are given).
+        workers, parallel:
+            Parallel simulation backend (see :mod:`repro.core.parallel`):
+            independent vault kernels, traversal queries, and shard
+            searches fan out across ``workers`` real cores using the
+            ``"thread"`` or ``"process"`` backend.  ``None`` consults
+            the ``REPRO_WORKERS`` / ``REPRO_PARALLEL`` environment
+            variables; results are bit-exact at any worker count.
         """
         if algorithm is not None:
             algo = algorithm
@@ -218,11 +227,13 @@ class SSAMSystem:
 
             runtime = MultiModuleRuntime(
                 config=config, metric=metric, injector=injector,
-                index_factory=index_factory, shard_overlap=shard_overlap)
+                index_factory=index_factory, shard_overlap=shard_overlap,
+                workers=workers, parallel=parallel)
             runtime.load(dataset, n_modules=n_modules)
         else:
             driver = SSAMDriver(config=config, backend=backend,
-                                injector=injector)
+                                injector=injector, workers=workers,
+                                parallel=parallel)
             region = driver.nmalloc(max(dataset.nbytes, 1))
             driver.nmode(region, mode)
             driver.nmemcpy(region, dataset)
@@ -318,12 +329,15 @@ class SSAMSystem:
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Release the region; restore the previous telemetry session."""
+        """Release the region and worker pools; restore telemetry."""
         if self._closed:
             return
         self._closed = True
         if self.driver is not None:
             self.driver.nfree(self.region)
+            self.driver.close()
+        if self.runtime is not None:
+            self.runtime.close()
         if self._owns_telemetry:
             _telemetry.uninstall(self._telemetry_prev)
 

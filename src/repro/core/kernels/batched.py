@@ -18,7 +18,7 @@ B=1 too keeps the ablation apples-to-apples).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.core.kernels.common import (
     quantize_for_kernel,
     reduce_vector_asm,
 )
+from repro.core.parallel import SimExecutor, parallel_map
 from repro.isa.simulator import MachineConfig, Simulator
 
 __all__ = [
@@ -63,25 +64,42 @@ def streams_for_batch(n_batch: int, resident: int = MAX_BATCH) -> int:
     return len(batch_groups(n_batch, resident))
 
 
+def _group_scan_task(dataset: np.ndarray, group: np.ndarray, k: int,
+                     machine: MachineConfig, engine: str
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """One register-resident group's kernel run (picklable for pools)."""
+    kern = batched_euclidean_scan_kernel(dataset, group, k, machine)
+    res = kern.run(engine=engine)
+    return res.ids, res.values
+
+
 def run_batched_scan(
     dataset: np.ndarray,
     queries: np.ndarray,
     k: int,
     machine: MachineConfig = MachineConfig(),
+    executor: Optional["SimExecutor"] = None,
+    engine: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Score an arbitrary-size batch through the batched scan kernel.
 
     Splits the batch into :func:`batch_groups` and runs one kernel per
-    group, stacking the results into ``(B, k)`` ids/values arrays —
-    the cycle-backend dispatch path of the serving engine.
+    group — concurrently over ``executor`` when one is supplied (groups
+    are independent dataset streams) — stacking the results into
+    ``(B, k)`` ids/values arrays, the cycle-backend dispatch path of
+    the serving engine.  Group results land at fixed ``[lo, hi)``
+    slices, so parallel execution is bit-identical to serial.
     """
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     ids = np.empty((queries.shape[0], k), dtype=np.int64)
     values = np.empty((queries.shape[0], k), dtype=np.int64)
-    for lo, hi in batch_groups(queries.shape[0]):
-        kern = batched_euclidean_scan_kernel(dataset, queries[lo:hi], k, machine)
-        res = kern.run()
-        gids, gvals = res.ids, res.values
+    groups = batch_groups(queries.shape[0])
+    outputs = parallel_map(
+        _group_scan_task,
+        [(dataset, queries[lo:hi], k, machine, engine) for lo, hi in groups],
+        executor,
+    )
+    for (lo, hi), (gids, gvals) in zip(groups, outputs):
         ids[lo:hi] = gids.reshape(hi - lo, -1)[:, :k]
         values[lo:hi] = gvals.reshape(hi - lo, -1)[:, :k]
     return ids, values

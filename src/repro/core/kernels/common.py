@@ -205,14 +205,17 @@ class Kernel:
         return sim
 
     def run(self, sim: Optional[Simulator] = None,
-            max_instructions: int = 50_000_000) -> KernelResult:
+            max_instructions: int = 50_000_000,
+            engine: str = "auto") -> KernelResult:
         """Assemble (cached), load, execute, and read back top-k.
 
         With ``sim=None`` the run is deterministic (fresh machine, this
         kernel's loader), so the result is served from the process-wide
         :mod:`repro.core.simcache` when an identical run has already
         happened.  Pass an explicit simulator to bypass memoisation and
-        observe the post-run machine state.
+        observe the post-run machine state.  ``engine`` selects the
+        execution strategy (see :meth:`repro.isa.simulator.Simulator.run`);
+        all engines are bit-identical, so it never changes the answer.
         """
         tel = get_telemetry()
         with tel.tracer.span(
@@ -222,9 +225,9 @@ class Kernel:
             if sim is None:
                 from repro.core.simcache import run_cached
 
-                result = run_cached(self, max_instructions)
+                result = run_cached(self, max_instructions, engine=engine)
             else:
-                result = self._execute(sim, max_instructions)
+                result = self._execute(sim, max_instructions, engine=engine)
             if tel.enabled:
                 span.set(cycles=result.stats.cycles,
                          instructions=result.stats.instructions)
@@ -233,9 +236,10 @@ class Kernel:
                                 kernel=self.name)
             return result
 
-    def _execute(self, sim: Simulator,
-                 max_instructions: int) -> KernelResult:
-        stats = sim.run(self.program, max_instructions=max_instructions)
+    def _execute(self, sim: Simulator, max_instructions: int,
+                 engine: str = "auto") -> KernelResult:
+        stats = sim.run(self.program, max_instructions=max_instructions,
+                        engine=engine)
         if self.reader is not None:
             ids, values = self.reader(sim)
         else:

@@ -29,6 +29,7 @@ from repro.core.kernels.linear import (
     euclidean_scan_kernel,
     manhattan_scan_kernel,
 )
+from repro.core.parallel import SimExecutor, parallel_map
 from repro.isa.simulator import RunStats
 
 __all__ = ["SSAMModule", "VaultQueryResult", "ModuleQueryResult"]
@@ -69,6 +70,25 @@ _KERNELS: Dict[str, Callable] = {
 }
 
 
+def _vault_scan_task(metric: str, rows: np.ndarray, query: np.ndarray,
+                     k: int, machine, engine: str) -> Tuple[np.ndarray, np.ndarray, RunStats]:
+    """One vault's kernel run — module-level so process pools can pickle it.
+
+    ``rows``/``query`` arrive exactly as the serial loop would build
+    them (prequantized ints for euclidean/hamming, rescaled floats for
+    manhattan/cosine), so the generated kernel — and therefore the
+    simulation-cache key — is bit-identical to serial execution.
+    """
+    if metric == "hamming":
+        kern = hamming_scan_kernel(rows, query, k, machine)
+    elif metric == "euclidean":
+        kern = _KERNELS[metric](rows, query, k, machine, prequantized=True)
+    else:
+        kern = _KERNELS[metric](rows, query, k, machine)
+    res = kern.run(engine=engine)
+    return res.ids, res.values, res.stats
+
+
 class SSAMModule:
     """A functional SSAM module over ``config.n_vaults`` vault partitions.
 
@@ -80,13 +100,17 @@ class SSAMModule:
         cycle simulations stay fast.
     """
 
-    def __init__(self, config: Optional[SSAMConfig] = None):
+    def __init__(self, config: Optional[SSAMConfig] = None,
+                 executor: Optional["SimExecutor"] = None):
         self.config = config or SSAMConfig.design(4)
         self._partitions: List[np.ndarray] = []     # global ids per vault
         self._data_int: Optional[np.ndarray] = None
         self._codes: Optional[np.ndarray] = None
         self._scale: float = 1.0
         self.accelerator_enabled = True
+        # Vault kernel runs are independent, so query() fans them out
+        # over this executor (None -> inline serial execution).
+        self.executor = executor
 
     # ------------------------------------------------------------------ loading
     def load_dataset(self, data: np.ndarray) -> None:
@@ -141,11 +165,16 @@ class SSAMModule:
         return 0
 
     # ------------------------------------------------------------------ querying
-    def query(self, query: np.ndarray, k: int, metric: str = "euclidean") -> ModuleQueryResult:
+    def query(self, query: np.ndarray, k: int, metric: str = "euclidean",
+              engine: str = "auto") -> ModuleQueryResult:
         """Broadcast one query to every vault and merge the partial top-k.
 
-        Runs the real assembly kernel per vault on the ISA simulator;
-        the merge mirrors what the host does over the external links.
+        Runs the real assembly kernel per vault on the ISA simulator —
+        concurrently when the module has a parallel executor, matching
+        the hardware (vault PU groups run independently).  The merge
+        mirrors what the host does over the external links and folds
+        vault results in vault order, so the answer is bit-identical at
+        any worker count.
         """
         if not self.accelerator_enabled:
             raise RuntimeError(
@@ -153,41 +182,35 @@ class SSAMModule:
             )
         if not self._partitions:
             raise RuntimeError("load_dataset()/load_codes() before query()")
-        vault_results: List[VaultQueryResult] = []
         if metric == "hamming":
             if self._codes is None:
                 raise RuntimeError("hamming queries require load_codes()")
             q_code = np.asarray(query).reshape(-1)
-            for vault, part in enumerate(self._partitions):
-                if part.size == 0:
-                    continue
-                kern = hamming_scan_kernel(
-                    self._codes[part], q_code, min(k, part.size), self.config.machine
-                )
-                res = kern.run()
-                vault_results.append(
-                    VaultQueryResult(vault, part[res.ids], res.values, res.stats)
-                )
+            data, q = self._codes, q_code
         else:
             if self._data_int is None:
                 raise RuntimeError(f"{metric} queries require load_dataset()")
             if metric not in _KERNELS:
                 raise ValueError(f"unsupported metric {metric!r}; valid: {sorted(_KERNELS)} + ['hamming']")
             q_int = np.rint(np.asarray(query, dtype=np.float64) * self._scale).astype(np.int64)
-            for vault, part in enumerate(self._partitions):
-                if part.size == 0:
-                    continue
-                kern = _KERNELS[metric](
-                    self._data_int[part], q_int, min(k, part.size),
-                    self.config.machine, prequantized=True,
-                ) if metric == "euclidean" else _KERNELS[metric](
-                    self._data_int[part] / self._scale, q_int / self._scale,
-                    min(k, part.size), self.config.machine,
-                )
-                res = kern.run()
-                vault_results.append(
-                    VaultQueryResult(vault, part[res.ids], res.values, res.stats)
-                )
+            if metric == "euclidean":
+                data, q = self._data_int, q_int
+            else:
+                data, q = None, q_int / self._scale
+
+        live = [(vault, part) for vault, part in enumerate(self._partitions)
+                if part.size > 0]
+        tasks = []
+        for _, part in live:
+            rows = (data[part] if data is not None
+                    else self._data_int[part] / self._scale)
+            tasks.append((metric, rows, q, min(k, part.size),
+                          self.config.machine, engine))
+        outputs = parallel_map(_vault_scan_task, tasks, self.executor)
+        vault_results = [
+            VaultQueryResult(vault, part[ids], values, stats)
+            for (vault, part), (ids, values, stats) in zip(live, outputs)
+        ]
 
         # Host-side global top-k reduction over the vault partials.
         all_ids = np.concatenate([v.ids for v in vault_results])

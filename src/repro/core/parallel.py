@@ -1,0 +1,361 @@
+"""Pluggable parallel execution backend for the simulator.
+
+The SSAM design derives its throughput from 32 vaults executing
+near-data kernels *concurrently*, but the simulator historically walked
+vaults and shards one at a time in a single Python thread.  This module
+supplies the missing piece: a small executor abstraction that fans
+independent kernel simulations out across real host cores while keeping
+results **bit-exact** with serial execution.
+
+Three backends, one interface:
+
+- ``serial`` — the degenerate executor; runs tasks inline in submission
+  order.  Always safe, zero overhead, and the reference the others are
+  differentially tested against.
+- ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`.  The
+  trace engine spends its steady-state iterations inside NumPy (which
+  drops the GIL for array ops), the simulation cache takes a lock, and
+  telemetry is already thread-safe, so worker threads share everything
+  in place: one process-wide :class:`~repro.core.simcache.SimulationCache`,
+  one tracer, one metrics registry.
+- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` using
+  the ``fork`` start method where available.  Workers inherit the
+  parent's assembled programs and simulation-cache contents at fork
+  time; everything produced *after* the fork is shipped back per task:
+  the task result, new simulation-cache entries (keys are
+  content-addressed, so merging is trivially sound), cache hit/miss
+  deltas, and — when the parent has a telemetry session installed — the
+  worker's spans and counters, which the parent absorbs without
+  double-billing (workers run a private session per task; the parent
+  merges exactly once).
+
+Determinism: :meth:`SimExecutor.map` always returns results in task
+submission order regardless of completion order, so callers that merge
+``map`` output with a plain loop get byte-identical answers at any
+worker count.  No backend ever reorders, drops, or retries a task.
+
+Selection: ``make_executor(workers=, backend=)`` resolves explicit
+arguments first, then the ``REPRO_WORKERS`` / ``REPRO_PARALLEL``
+environment variables, then the serial default — so benches and CI can
+flip the whole stack to ``REPRO_WORKERS=4`` without code changes.
+
+Pools are created lazily on first use (a serial run never pays for
+one) and are safe to ``close()`` repeatedly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "WORKERS_ENV",
+    "WORKER_THREAD_PREFIX",
+    "SimExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "parallel_map",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+#: Environment override for the worker count (used when ``workers=None``).
+WORKERS_ENV = "REPRO_WORKERS"
+#: Environment override for the backend (used when ``backend=None``).
+BACKEND_ENV = "REPRO_PARALLEL"
+#: Worker threads are named with this prefix; the Chrome-trace exporter
+#: promotes spans recorded on such threads to their own process row.
+WORKER_THREAD_PREFIX = "repro-worker"
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_WORKERS`` > 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}") from None
+        else:
+            workers = 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return int(workers)
+
+
+def resolve_backend(backend: Optional[str] = None, workers: int = 1) -> str:
+    """Effective backend: explicit arg > ``REPRO_PARALLEL`` > default.
+
+    The default is ``"thread"`` once more than one worker is requested
+    (shared cache and telemetry for free) and ``"serial"`` otherwise.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or None
+    if backend is None:
+        backend = "thread" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+class SimExecutor:
+    """Abstract ordered-map executor for independent kernel simulations.
+
+    Subclasses implement :meth:`map`; everything else (context manager,
+    idempotent close) is shared.  ``workers`` is the concurrency the
+    executor was built for; ``kind`` names the backend.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, workers: int = 1):
+        self.workers = int(workers)
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Any]:
+        """Run ``fn(*args)`` for every args-tuple; results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (no-op for serial; idempotent)."""
+
+    def __enter__(self) -> "SimExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(SimExecutor):
+    """Inline execution in submission order — the bit-exactness oracle."""
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(1)
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Any]:
+        return [fn(*args) for args in tasks]
+
+
+#: Shared serial singleton so hot paths need no allocation.
+SERIAL = SerialExecutor()
+
+
+class ThreadExecutor(SimExecutor):
+    """Worker threads over the shared interpreter state.
+
+    The simulation cache, the assembly cache, and the installed
+    telemetry session are all thread-safe and shared in place, so a
+    cache entry produced by one worker is immediately visible to every
+    other — and to the parent after the pool drains.  Worker threads
+    are named ``repro-worker_<i>`` so their spans land on per-worker
+    rows in the Chrome trace.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: int):
+        super().__init__(max(1, workers))
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=WORKER_THREAD_PREFIX,
+                )
+            return self._pool
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.workers == 1:
+            return [fn(*args) for args in tasks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *args) for args in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+# ---------------------------------------------------------------- process pool
+def _process_worker_init() -> None:
+    """Fork-safe worker initialization.
+
+    The forked worker inherits a copy of the parent's telemetry
+    session; recording into that copy would be silently lost (and, with
+    shipping enabled, double-billed), so the worker always starts on
+    the null session.  Shipping installs a private session per task.
+    """
+    from repro import telemetry
+
+    telemetry.uninstall(None)
+
+
+def _ship_error(exc: BaseException) -> BaseException:
+    """Make an exception safe to send through the result pipe."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _run_shipped(fn: Callable, args: Tuple, ship_telemetry: bool) -> Tuple:
+    """Worker-side task wrapper: run ``fn`` and ship side state back.
+
+    Returns ``(result, error, cache_entries, hits, misses, evictions,
+    telemetry_run, metrics_snapshot)``.  ``cache_entries`` holds the
+    simulation-cache entries this task *added* in the worker (keys are
+    content-addressed digests, so the parent can merge them blindly);
+    the hit/miss/eviction deltas keep the parent's accounting truthful
+    across the pool.
+    """
+    from repro import telemetry
+    from repro.core.simcache import get_cache
+
+    cache = get_cache()
+    keys_before = cache.snapshot_keys()
+    h0, m0, e0 = cache.hits, cache.misses, cache.evictions
+
+    tel = prev = None
+    if ship_telemetry:
+        tel = telemetry.Telemetry()
+        prev = telemetry.install(tel)
+    result = error = None
+    try:
+        result = fn(*args)
+    except BaseException as exc:  # shipped; the parent re-raises in order
+        error = _ship_error(exc)
+    finally:
+        if ship_telemetry:
+            telemetry.uninstall(prev)
+
+    entries = cache.export_since(keys_before)
+    run = tel.tracer.to_dict() if tel is not None else None
+    snap = tel.metrics.snapshot() if tel is not None else None
+    return (result, error, entries, cache.hits - h0, cache.misses - m0,
+            cache.evictions - e0, run, snap)
+
+
+class ProcessExecutor(SimExecutor):
+    """Worker processes with result/cache/telemetry shipping.
+
+    Uses the ``fork`` start method when the platform offers it, so
+    workers inherit assembled programs and warm caches; on platforms
+    without ``fork`` the default (spawn) context is used and workers
+    start cold.  Task functions and their arguments must be picklable
+    (module-level functions with array/dataclass arguments — which all
+    the kernel dispatch sites use).
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int):
+        super().__init__(max(1, workers))
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-fork platforms
+                    ctx = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_process_worker_init,
+                )
+            return self._pool
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.workers == 1:
+            return [fn(*args) for args in tasks]
+        from repro import telemetry
+        from repro.core.simcache import get_cache
+
+        tel = telemetry.get_telemetry()
+        ship_tel = bool(tel.enabled)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_shipped, fn, args, ship_tel)
+                   for args in tasks]
+        shipments = [f.result() for f in futures]
+
+        # Merge shipped state in task order, *then* surface any error:
+        # cache entries and telemetry from successful siblings survive a
+        # failing task, exactly as they would under serial execution.
+        cache = get_cache()
+        results: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for i, (result, error, entries, hits, misses, evictions, run,
+                snap) in enumerate(shipments):
+            cache.merge_entries(entries)
+            cache.account(hits=hits, misses=misses, evictions=evictions)
+            if run is not None and tel.enabled:
+                tel.tracer.absorb_run(
+                    run, worker=f"{WORKER_THREAD_PREFIX}/p{i % self.workers}")
+            if snap is not None and tel.enabled:
+                tel.metrics.merge_snapshot(snap)
+            if error is not None and first_error is None:
+                first_error = error
+            results.append(result)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+def make_executor(workers: Optional[int] = None,
+                  backend: Optional[str] = None) -> SimExecutor:
+    """Build the executor for ``workers`` / ``backend`` (env-aware).
+
+    ``workers=None`` consults ``REPRO_WORKERS``; ``backend=None``
+    consults ``REPRO_PARALLEL``.  One worker (the default) always
+    yields the shared :data:`SERIAL` executor, whatever the backend
+    spelling, so serial construction allocates nothing.
+    """
+    workers = resolve_workers(workers)
+    backend = resolve_backend(backend, workers)
+    if workers == 1 or backend == "serial":
+        return SERIAL
+    if backend == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)
+
+
+def parallel_map(fn: Callable, tasks: Iterable[Tuple],
+                 executor: Optional[SimExecutor] = None) -> List[Any]:
+    """``executor.map`` with a serial fallback when ``executor`` is None."""
+    return (executor or SERIAL).map(fn, list(tasks))

@@ -26,8 +26,20 @@ passes its own simulator wants that machine mutated, which a cache hit
 could not honour.  Hits return fresh copies of ids/values/stats so
 callers may mutate results freely.
 
+Both caches are **bounded LRU** maps (long serving runs churn through
+kernels as corpora and queries evolve, so unbounded memoisation would
+be a slow leak) and **thread-safe** (one re-entrant lock each), so the
+parallel backend's worker threads share them in place.  Process workers
+inherit the cache at fork and ship the entries they add back to the
+parent per task (keys are content-addressed digests, so merging is
+order-independent); :meth:`SimulationCache.merge_entries` and
+:meth:`SimulationCache.account` are that return channel.  Evictions are
+counted and surfaced by :meth:`SimulationCache.stats`.
+
 Set ``REPRO_SIMCACHE=0`` in the environment to disable memoisation
 (assembly caching stays on; it is semantically invisible).
+``REPRO_SIMCACHE_MAX`` overrides the default 256-entry bound of the
+process-wide simulation cache.
 """
 
 from __future__ import annotations
@@ -35,9 +47,10 @@ from __future__ import annotations
 import copy
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import fields
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, FrozenSet, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -59,16 +72,31 @@ __all__ = [
     "simulation_key",
 ]
 
-_ASSEMBLY_CACHE: Dict[str, Program] = {}
+#: Assembled programs by exact source text, LRU-bounded.  1024 distinct
+#: kernel sources is far beyond any sweep; the bound only matters for
+#: long-lived serving processes whose corpora (and hence generated
+#: sources) churn.
+_ASSEMBLY_CACHE_MAX = 1024
+_ASSEMBLY_CACHE: "OrderedDict[str, Program]" = OrderedDict()
+_ASSEMBLY_LOCK = threading.RLock()
 
 
 def cached_assemble(source: str) -> Program:
     """Assemble ``source``, memoised on the exact source text."""
-    prog = _ASSEMBLY_CACHE.get(source)
-    if prog is None:
-        prog = assemble(source)
-        _ASSEMBLY_CACHE[source] = prog
-    return prog
+    with _ASSEMBLY_LOCK:
+        prog = _ASSEMBLY_CACHE.get(source)
+        if prog is not None:
+            _ASSEMBLY_CACHE.move_to_end(source)
+            return prog
+    # Assemble outside the lock (pure function of the source); a racing
+    # duplicate assembly is wasted work, never a wrong answer.
+    prog = assemble(source)
+    with _ASSEMBLY_LOCK:
+        _ASSEMBLY_CACHE.setdefault(source, prog)
+        _ASSEMBLY_CACHE.move_to_end(source)
+        while len(_ASSEMBLY_CACHE) > _ASSEMBLY_CACHE_MAX:
+            _ASSEMBLY_CACHE.popitem(last=False)
+        return _ASSEMBLY_CACHE[source]
 
 
 def simcache_enabled() -> bool:
@@ -100,21 +128,46 @@ def simulation_key(kernel: "Kernel", sim: "Simulator",
     return h.digest()
 
 
+def _default_maxsize() -> int:
+    """Max entries for the process-wide cache (``REPRO_SIMCACHE_MAX``)."""
+    env = os.environ.get("REPRO_SIMCACHE_MAX", "").strip()
+    if env:
+        try:
+            size = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SIMCACHE_MAX must be an integer, got {env!r}"
+            ) from None
+        if size < 1:
+            raise ValueError("REPRO_SIMCACHE_MAX must be >= 1")
+        return size
+    return 256
+
+
 class SimulationCache:
     """Bounded LRU map from simulation keys to :class:`KernelResult`.
 
     Stored results are private copies; :meth:`lookup` hands back fresh
-    copies again, so no caller ever aliases cache-owned state.
+    copies again, so no caller ever aliases cache-owned state.  All
+    operations take the cache's re-entrant lock, so the parallel
+    backend's worker threads share one instance safely; process workers
+    use :meth:`snapshot_keys`/:meth:`export_since` on their side and
+    :meth:`merge_entries`/:meth:`account` on the parent's to ship
+    results across the pool without double-billing hits or misses.
+    Evictions from the LRU bound are counted in :attr:`evictions`.
     """
 
-    def __init__(self, maxsize: int = 256):
-        self.maxsize = maxsize
+    def __init__(self, maxsize: Optional[int] = None):
+        self.maxsize = _default_maxsize() if maxsize is None else maxsize
         self._entries: "OrderedDict[bytes, KernelResult]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def _copy(result: "KernelResult") -> "KernelResult":
@@ -126,44 +179,94 @@ class SimulationCache:
         )
 
     def lookup(self, key: bytes) -> Optional["KernelResult"]:
-        entry = self._entries.get(key)
         tel = get_telemetry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                entry = self._copy(entry)
         if entry is None:
-            self.misses += 1
             if tel.enabled:
                 tel.metrics.inc("ssam_simcache_misses_total", 1,
                                 help="kernel-simulation cache misses")
                 tel.tracer.event("simcache.miss")
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
         if tel.enabled:
             tel.metrics.inc("ssam_simcache_hits_total", 1,
                             help="kernel-simulation cache hits")
             tel.tracer.event("simcache.hit")
-        return self._copy(entry)
+        return entry
 
     def store(self, key: bytes, result: "KernelResult") -> None:
-        self._entries[key] = self._copy(result)
-        self._entries.move_to_end(key)
+        with self._lock:
+            self._entries[key] = self._copy(result)
+            self._entries.move_to_end(key)
+            self._evict()
+
+    def _evict(self) -> None:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
+    # ------------------------------------------------------- worker shipping
+    def snapshot_keys(self) -> FrozenSet[bytes]:
+        """The current key set (a worker's 'before' mark for a task)."""
+        with self._lock:
+            return frozenset(self._entries)
+
+    def export_since(self, keys_before: FrozenSet[bytes]
+                     ) -> Dict[bytes, "KernelResult"]:
+        """Entries added after ``keys_before`` was taken (copies)."""
+        with self._lock:
+            return {
+                key: self._copy(entry)
+                for key, entry in self._entries.items()
+                if key not in keys_before
+            }
+
+    def merge_entries(self, entries: Dict[bytes, "KernelResult"]) -> None:
+        """Adopt worker-produced entries (content-addressed, so blind
+        merge is sound; the LRU bound still applies)."""
+        if not entries:
+            return
+        with self._lock:
+            for key, result in entries.items():
+                self._entries[key] = self._copy(result)
+                self._entries.move_to_end(key)
+            self._evict()
+
+    def account(self, hits: int = 0, misses: int = 0,
+                evictions: int = 0) -> None:
+        """Fold a worker's hit/miss/eviction deltas into this cache's
+        totals (the worker's own counters die with the task)."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.evictions += evictions
+
+    # ------------------------------------------------------------- reporting
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def info(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses, "maxsize": self.maxsize}
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "evictions": self.evictions,
+                    "maxsize": self.maxsize}
 
     def stats(self) -> Dict[str, float]:
         """:meth:`info` plus the hit rate — the reporting-friendly view
         surfaced by experiment summaries and the bench runner."""
         out: Dict[str, float] = dict(self.info())
-        total = self.hits + self.misses
-        out["hit_rate"] = self.hits / total if total else 0.0
+        total = out["hits"] + out["misses"]
+        out["hit_rate"] = out["hits"] / total if total else 0.0
         return out
 
 
@@ -178,19 +281,28 @@ def get_cache() -> SimulationCache:
 def clear_caches() -> None:
     """Drop all memoised simulations and assembled programs."""
     _GLOBAL_CACHE.clear()
-    _ASSEMBLY_CACHE.clear()
+    with _ASSEMBLY_LOCK:
+        _ASSEMBLY_CACHE.clear()
 
 
-def run_cached(kernel: "Kernel", max_instructions: int) -> "KernelResult":
-    """Execute ``kernel`` on a fresh simulator, memoising the result."""
+def run_cached(kernel: "Kernel", max_instructions: int,
+               engine: str = "auto") -> "KernelResult":
+    """Execute ``kernel`` on a fresh simulator, memoising the result.
+
+    ``engine`` is deliberately *not* part of the cache key: every
+    engine produces bit-identical architectural state and
+    :class:`~repro.isa.simulator.RunStats` (enforced by the engine
+    differential tests), so a result computed by one engine is the
+    result for all of them.
+    """
     dram_words = kernel.metadata.get("dram_words", 1 << 22)
     sim = kernel.make_simulator(dram_words=dram_words)
     if not simcache_enabled():
-        return kernel._execute(sim, max_instructions)
+        return kernel._execute(sim, max_instructions, engine=engine)
     key = simulation_key(kernel, sim, max_instructions)
     hit = _GLOBAL_CACHE.lookup(key)
     if hit is not None:
         return hit
-    result = kernel._execute(sim, max_instructions)
+    result = kernel._execute(sim, max_instructions, engine=engine)
     _GLOBAL_CACHE.store(key, result)
     return result

@@ -41,6 +41,7 @@ from repro.experiments.extensions import run_batching_ablation, run_pq_extension
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
 from repro.experiments.graph_ann import run_graph_ann
 from repro.experiments.ivfadc import run_ivfadc
+from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.resilience import run_resilience
 from repro.experiments.scaleout import run_scaleout
 from repro.experiments.tco import run_tco
@@ -63,6 +64,7 @@ __all__ = [
     "run_batching_ablation",
     "run_graph_ann",
     "run_ivfadc",
+    "run_parallel_scaling",
     "run_energy_breakdown",
     "run_thermal_check",
     "run_resilience",

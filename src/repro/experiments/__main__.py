@@ -20,9 +20,11 @@ the run JSON at PATH.  Render it with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.core.parallel import BACKENDS, BACKEND_ENV, WORKERS_ENV
 from repro.core.simcache import get_cache
 from repro.experiments import (
     run_bench,
@@ -36,6 +38,7 @@ from repro.experiments import (
     run_batching_ablation,
     run_graph_ann,
     run_ivfadc,
+    run_parallel_scaling,
     run_thermal_check,
     run_pq_extension,
     run_priority_queue_ablation,
@@ -74,11 +77,15 @@ RUNNERS = {
     "fixedpoint": (run_fixed_point, "Section II-D: fixed point"),
     "binarization": (run_binarization, "Section II-D: binarization"),
     "bench": (run_bench, "Perf trajectory: engines + simcache (writes BENCH_2.json)"),
+    "parallel": (run_parallel_scaling,
+                 "Parallel-backend worker scaling (writes BENCH_4.json)"),
 }
 
 #: Excluded from the default "run everything" sweep: bench re-runs other
-#: experiments under a timer, so it must be requested explicitly.
-_NOT_IN_DEFAULT = {"bench"}
+#: experiments under a timer, and parallel is a wall-clock scaling curve
+#: whose numbers are only meaningful on an otherwise idle host — both
+#: must be requested explicitly.
+_NOT_IN_DEFAULT = {"bench", "parallel"}
 
 
 def main(argv=None) -> int:
@@ -94,7 +101,21 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record spans/counters for the run and write the "
                              "telemetry JSON to PATH")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan independent kernel simulations out over N "
+                             "worker cores (sets REPRO_WORKERS for the run)")
+    parser.add_argument("--parallel", default=None, metavar="BACKEND",
+                        choices=sorted(BACKENDS),
+                        help="parallel backend: serial, thread, or process "
+                             "(sets REPRO_PARALLEL for the run)")
     args = parser.parse_args(argv)
+
+    # Env-var plumbing (rather than threading kwargs through 20 runners):
+    # every layer resolves REPRO_WORKERS / REPRO_PARALLEL at construction.
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if args.parallel is not None:
+        os.environ[BACKEND_ENV] = args.parallel
 
     if args.list:
         for name, (_, desc) in RUNNERS.items():
@@ -128,8 +149,6 @@ def main(argv=None) -> int:
             print(text)
             print(_simcache_summary(cache_before, cache_after))
             if args.csv:
-                import os
-
                 from repro.analysis.export import save_rows
 
                 path = save_rows(rows, os.path.join(args.csv, f"{name}.csv"))

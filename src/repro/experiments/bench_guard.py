@@ -27,6 +27,19 @@ bit-exact across engines, or when the trace engine falls behind the
 interpreter on the traversal kernel.  The recall and speedup-at-floor
 figures come from the deterministic analytic throughput model, so these
 are absolute gates, not baseline ratios.
+
+A third gate covers the parallel backend (``BENCH_4.json``, written by
+``python -m repro.experiments parallel``)::
+
+    python -m repro.experiments.bench_guard --parallel BENCH_4.json
+
+Bit-exactness (parallel results identical to serial) is gated
+absolutely.  The throughput gate — ≥1.8x end-to-end speedup at 4
+workers on the 32-vault scan — is held in full only when the recording
+host had at least 4 cores; on under-provisioned runners the floor
+scales down with the recorded ``cpu_count`` (a 1-core container cannot
+exhibit parallel speedup; what it must not exhibit is pathological
+slowdown).
 """
 
 from __future__ import annotations
@@ -36,7 +49,8 @@ import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["check_speedup", "check_graph_frontier", "main"]
+__all__ = ["check_speedup", "check_graph_frontier",
+           "check_parallel_scaling", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -108,6 +122,48 @@ def check_graph_frontier(
     )
 
 
+def check_parallel_scaling(
+    payload: dict,
+    min_speedup: float = 1.8,
+    min_cores: int = 4,
+) -> Tuple[bool, str]:
+    """Gates over a ``BENCH_4.json`` parallel-scaling payload.
+
+    Bit-exactness is absolute: every (backend, workers) point must have
+    produced results identical to serial execution.  The speedup floor
+    is ``min_speedup`` when the recording host had ``min_cores`` or
+    more cores; below that the floor scales linearly with the core
+    count (``min_speedup * cpu_count / min_cores``, never above
+    ``min_speedup``) — a 1-core runner is only required not to collapse
+    under dispatch overhead.
+    """
+    problems: List[str] = []
+
+    if not payload.get("bit_exact", False):
+        broken = [f"{r['backend']}x{r['workers']}"
+                  for r in payload.get("rows", [])
+                  if not r.get("bit_exact", False)]
+        problems.append(
+            "parallel execution no longer bit-exact with serial"
+            + (f" ({', '.join(broken)})" if broken else ""))
+
+    cores = int(payload.get("cpu_count", 1))
+    floor = min(min_speedup, min_speedup * cores / float(min_cores))
+    speedup = float(payload.get("speedup_at_4_workers", 0.0))
+    if speedup < floor:
+        problems.append(
+            f"speedup at 4 workers {speedup:.2f}x below floor {floor:.2f}x "
+            f"(host had {cores} cores; full floor {min_speedup:.1f}x "
+            f"at >= {min_cores} cores)")
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    return True, (
+        f"OK: parallel backend bit-exact, {speedup:.2f}x at 4 workers "
+        f"(floor {floor:.2f}x on a {cores}-core host)"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
@@ -130,12 +186,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-engine-ratio", type=float, default=1.0,
                         help="minimum trace-vs-interp speedup on the "
                              "traversal kernel (default 1.0)")
+    parser.add_argument("--parallel", default=None, metavar="BENCH_4",
+                        help="BENCH_4.json to gate on parallel-backend "
+                             "scaling and bit-exactness")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.8,
+                        help="minimum end-to-end speedup at 4 workers on a "
+                             ">=4-core host (default 1.8; scaled down on "
+                             "smaller hosts)")
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.new_path):
         parser.error("--baseline and --new must be given together")
-    if not args.baseline and not args.graph:
-        parser.error("nothing to check: give --baseline/--new and/or --graph")
+    if not args.baseline and not args.graph and not args.parallel:
+        parser.error("nothing to check: give --baseline/--new, --graph, "
+                     "and/or --parallel")
 
     ok = True
     if args.baseline:
@@ -155,6 +219,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             min_speedup=args.min_traversal_speedup,
             min_engine_ratio=args.min_engine_ratio,
         )
+        print(message)
+        ok = ok and passed
+    if args.parallel:
+        with open(args.parallel) as fh:
+            parallel_payload = json.load(fh)
+        passed, message = check_parallel_scaling(
+            parallel_payload, min_speedup=args.min_parallel_speedup)
         print(message)
         ok = ok and passed
     return 0 if ok else 1

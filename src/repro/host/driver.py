@@ -43,6 +43,7 @@ from repro.ann import (
 )
 from repro.core.config import SSAMConfig
 from repro.core.module import SSAMModule
+from repro.core.parallel import SimExecutor, make_executor, parallel_map
 from repro.faults.errors import FaultError, PUFault, RequestTimeout
 from repro.host.allocator import FreeListAllocator
 from repro.telemetry import get_telemetry
@@ -84,6 +85,41 @@ class SSAMRegion:
     build_params: Dict = field(default_factory=dict)
 
 
+def _run_traversal_query(mode: IndexMode, index: object, query: np.ndarray,
+                         k: int, checks: Optional[int],
+                         config: SSAMConfig) -> SearchResult:
+    """One cycle-accurate traversal query — module-level so the parallel
+    backend's process pools can pickle it (indexes and configs are plain
+    array/dataclass state)."""
+    from dataclasses import replace
+
+    from repro.core.kernels.graph import graph_search_kernel
+    from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
+
+    budget = int(checks) if checks else 256
+    machine = replace(config.machine, stack_depth=4096,
+                      pq_chained=max(1, -(-k // config.machine.pq_depth)))
+    if mode is IndexMode.KDTREE:
+        kern = kdtree_kernel(index, query, k, budget, machine)
+    elif mode is IndexMode.GRAPH:
+        ef = max(k, min(index.ef_search, budget))
+        kern = graph_search_kernel(index, query, k, ef, budget, machine)
+    else:
+        kern = kmeans_tree_kernel(index, query, k, budget, machine)
+    res = kern.run()
+    pad = k - res.ids.size
+    ids = np.concatenate([res.ids, np.full(pad, -1, dtype=np.int64)]) if pad else res.ids
+    vals = (
+        np.concatenate([res.values.astype(np.float64), np.full(pad, np.inf)])
+        if pad else res.values.astype(np.float64)
+    )
+    result = SearchResult(ids=ids[None, :], distances=vals[None, :])
+    result.stats.candidates_scanned = res.stats.pq_inserts
+    result.stats.nodes_visited = res.stats.stack_pushes
+    result.stats.distance_ops = res.stats.cycles
+    return result
+
+
 class SSAMDriver:
     """Driver managing SSAM-enabled regions on one module.
 
@@ -104,6 +140,12 @@ class SSAMDriver:
         ``nexec`` re-issues a faulted request up to this many times with
         exponential backoff (``backoff_base_s * 2**attempt``) before
         letting the typed error escape.
+    workers / parallel:
+        Parallel simulation backend for the cycle paths (see
+        :mod:`repro.core.parallel`): vault kernels inside a module query
+        and per-query traversals inside ``nexec_batch`` fan out across
+        ``workers`` real cores.  ``None`` consults ``REPRO_WORKERS`` /
+        ``REPRO_PARALLEL``; results are bit-exact at any worker count.
     """
 
     def __init__(
@@ -114,6 +156,8 @@ class SSAMDriver:
         request_timeout_s: float = 0.1,
         max_retries: int = 3,
         backoff_base_s: float = 0.001,
+        workers: Optional[int] = None,
+        parallel: Optional[str] = None,
     ):
         if backend not in ("functional", "cycle"):
             raise ValueError("backend must be 'functional' or 'cycle'")
@@ -127,8 +171,13 @@ class SSAMDriver:
         self.backoff_base_s = float(backoff_base_s)
         self.total_retries = 0
         self.total_backoff_s = 0.0
+        self.executor: SimExecutor = make_executor(workers, parallel)
         self.allocator = FreeListAllocator(self.config.capacity_bytes)
         self._regions: Dict[int, SSAMRegion] = {}
+
+    def close(self) -> None:
+        """Release the parallel executor's worker pool (idempotent)."""
+        self.executor.close()
 
     # ------------------------------------------------------------- allocation
     def nmalloc(self, size: int) -> SSAMRegion:
@@ -166,7 +215,7 @@ class SSAMDriver:
         region.data = arr
         region.index = None
         if self.backend == "cycle":
-            module = SSAMModule(self.config)
+            module = SSAMModule(self.config, executor=self.executor)
             if region.mode is IndexMode.HAMMING:
                 module.load_codes(arr)
             else:
@@ -349,33 +398,8 @@ class SSAMDriver:
         ``region.result.stats.distance_ops`` per the kernel run; ids and
         distances come straight from the hardware priority queue.
         """
-        from dataclasses import replace
-
-        from repro.core.kernels.graph import graph_search_kernel
-        from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
-
-        budget = int(checks) if checks else 256
-        machine = replace(self.config.machine, stack_depth=4096,
-                          pq_chained=max(1, -(-k // self.config.machine.pq_depth)))
-        if region.mode is IndexMode.KDTREE:
-            kern = kdtree_kernel(region.index, region.query, k, budget, machine)
-        elif region.mode is IndexMode.GRAPH:
-            ef = max(k, min(region.index.ef_search, budget))
-            kern = graph_search_kernel(region.index, region.query, k, ef,
-                                       budget, machine)
-        else:
-            kern = kmeans_tree_kernel(region.index, region.query, k, budget, machine)
-        res = kern.run()
-        pad = k - res.ids.size
-        ids = np.concatenate([res.ids, np.full(pad, -1, dtype=np.int64)]) if pad else res.ids
-        vals = (
-            np.concatenate([res.values.astype(np.float64), np.full(pad, np.inf)])
-            if pad else res.values.astype(np.float64)
-        )
-        region.result = SearchResult(ids=ids[None, :], distances=vals[None, :])
-        region.result.stats.candidates_scanned = res.stats.pq_inserts
-        region.result.stats.nodes_visited = res.stats.stack_pushes
-        region.result.stats.distance_ops = res.stats.cycles
+        region.result = _run_traversal_query(
+            region.mode, region.index, region.query, k, checks, self.config)
 
     def _nexec_batch_once(self, region: SSAMRegion, queries: np.ndarray,
                           k: int, checks: Optional[int] = None) -> None:
@@ -388,16 +412,39 @@ class SSAMDriver:
             from repro.core.kernels.batched import run_batched_scan, streams_for_batch
 
             ids, values = run_batched_scan(
-                region.data, queries, k, machine=self.config.machine)
+                region.data, queries, k, machine=self.config.machine,
+                executor=self.executor)
             region.result = SearchResult(
                 ids=ids, distances=values.astype(np.float64))
             region.result.stats.candidates_scanned = (
                 region.data.shape[0] * streams_for_batch(queries.shape[0]))
             return
+        if self.backend == "cycle" and region.mode in (
+            IndexMode.KDTREE, IndexMode.KMEANS, IndexMode.GRAPH
+        ):
+            # No batched traversal kernel; the per-query executions are
+            # independent PU runs, so the batch fans out across the
+            # parallel backend (identical answers, no candidate-stream
+            # amortization) and folds stats in query order.
+            partials = parallel_map(
+                _run_traversal_query,
+                [(region.mode, region.index, q, k, checks, self.config)
+                 for q in queries],
+                self.executor,
+            )
+            stats = SearchStats()
+            for p in partials:
+                stats += p.stats
+            region.result = SearchResult(
+                ids=np.concatenate([p.ids for p in partials], axis=0),
+                distances=np.concatenate([p.distances for p in partials], axis=0),
+                stats=stats,
+            )
+            return
         if self.backend == "cycle":
-            # No batched kernel for the traversal / Hamming modes: the
-            # batch dispatches as sequential single-query executions
-            # (identical answers, no candidate-stream amortization).
+            # Hamming / module scans: the batch dispatches as sequential
+            # single-query executions — each of which already fans its
+            # vault kernels out over the executor inside module.query().
             partials = []
             stats = SearchStats()
             for q in queries:

@@ -41,6 +41,7 @@ import numpy as np
 from repro.ann import LinearScan, SearchResult, SearchStats
 from repro.ann.base import Index
 from repro.core.config import SSAMConfig
+from repro.core.parallel import SimExecutor, make_executor
 from repro.faults.errors import FaultError, ModuleLost
 from repro.telemetry import get_telemetry
 
@@ -71,6 +72,29 @@ class _Shard:
 #: class directly and ``DegradedSearchResult`` is just another name
 #: for it (kept so pre-unification imports and isinstance checks work).
 DegradedSearchResult = SearchResult
+
+
+def _shard_search_task(index: Index, module_index: int, queries: np.ndarray,
+                       k: int, checks: Optional[int]) -> "tuple[str, object]":
+    """One shard's search, run inside the parallel backend.
+
+    Module-level (picklable) for process pools.  A shard that faults
+    mid-request returns ``("fault", error_name)`` instead of raising,
+    so the parent folds it into degraded-mode accounting exactly as the
+    serial loop does — one dead shard never kills the batch.
+    """
+    tel = get_telemetry()
+    with tel.tracer.span("shard.search", "runtime", module=module_index,
+                         rows=index.n) as span:
+        try:
+            if checks is None:
+                res = index.search(queries, k)
+            else:
+                res = index.search(queries, k, checks=checks)
+        except FaultError as exc:
+            span.set(skipped=type(exc).__name__)
+            return ("fault", type(exc).__name__)
+    return ("ok", res)
 
 
 def merge_shard_results(
@@ -134,6 +158,12 @@ class MultiModuleRuntime:
         shard's leading rows (0 ≤ overlap < 1).  Overlap keeps
         boundary neighborhoods intact for per-shard graph indexes and
         lowers degraded-mode recall loss.
+    workers / parallel:
+        Parallel backend for the shard broadcast (see
+        :mod:`repro.core.parallel`): live shards search concurrently
+        across ``workers`` real cores; the merge folds partials in
+        shard order, so results are bit-exact at any worker count.
+        ``None`` consults ``REPRO_WORKERS`` / ``REPRO_PARALLEL``.
     """
 
     def __init__(
@@ -143,6 +173,8 @@ class MultiModuleRuntime:
         injector: Optional[object] = None,
         index_factory: Optional[Callable[[np.ndarray], Index]] = None,
         shard_overlap: float = 0.0,
+        workers: Optional[int] = None,
+        parallel: Optional[str] = None,
     ):
         if not 0.0 <= shard_overlap < 1.0:
             raise ValueError("shard_overlap must be in [0, 1)")
@@ -151,9 +183,14 @@ class MultiModuleRuntime:
         self.injector = injector
         self.index_factory = index_factory
         self.shard_overlap = float(shard_overlap)
+        self.executor: SimExecutor = make_executor(workers, parallel)
         self.shards: List[_Shard] = []
         self._failed: set = set()
         self._n_rows = 0
+
+    def close(self) -> None:
+        """Release the parallel executor's worker pool (idempotent)."""
+        self.executor.close()
 
     def modules_needed(self, nbytes: int) -> int:
         """Modules required for ``nbytes`` of pinned dataset."""
@@ -260,27 +297,37 @@ class MultiModuleRuntime:
         ) as span:
             partials = []
             stats = SearchStats()
+            # Liveness — and the injector's module_loss RNG draws — is
+            # checked on the main thread in shard order before the
+            # broadcast, so fault schedules fire identically at any
+            # worker count.
+            live: List[_Shard] = []
             for shard in self.shards:
+                if self._shard_alive(shard):
+                    live.append(shard)
+                    continue
                 with tel.tracer.span(
                     "shard.search", "runtime", module=shard.module_index,
                     rows=shard.index.n,
                 ) as shard_span:
-                    if not self._shard_alive(shard):
-                        shard_span.set(skipped="down")
-                        continue
-                    try:
-                        if checks is None:
-                            res = shard.index.search(queries, k)
-                        else:
-                            res = shard.index.search(queries, k, checks=checks)
-                    except FaultError as exc:
-                        self._failed.add(shard.module_index)
-                        shard_span.set(skipped=type(exc).__name__)
-                        if tel.enabled:
-                            tel.metrics.inc(
-                                "ssam_shard_faults_total", 1,
-                                help="shards dropped from a merge mid-request")
-                        continue
+                    shard_span.set(skipped="down")
+            outputs = self.executor.map(
+                _shard_search_task,
+                [(shard.index, shard.module_index, queries, k, checks)
+                 for shard in live],
+            )
+            # Fold in shard order: a shard that faulted mid-request is
+            # latched failed and dropped from the merge (degraded-mode
+            # semantics), never fatal while any sibling survives.
+            for shard, (status, payload) in zip(live, outputs):
+                if status == "fault":
+                    self._failed.add(shard.module_index)
+                    if tel.enabled:
+                        tel.metrics.inc(
+                            "ssam_shard_faults_total", 1,
+                            help="shards dropped from a merge mid-request")
+                    continue
+                res = payload
                 # Map shard-local row ids to global corpus ids.
                 ids = np.where(res.ids >= 0, shard.rows[np.clip(res.ids, 0, None)], -1)
                 partials.append((ids, res.distances))

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.ann import SearchResult, SearchStats
 from repro.core.kernels.batched import MAX_BATCH, streams_for_batch
+from repro.core.parallel import SimExecutor, parallel_map
 from repro.host.scheduler import (
     BatchedScheduleResult,
     QueryScheduler,
@@ -195,6 +196,15 @@ class ServingEngine:
         dispatch bills the query upload (``B*d`` elements) and result
         return (``B*k`` id+distance pairs) to the external link fabric,
         so link counters reflect the batched traffic shape.
+    executor:
+        Optional :class:`repro.core.parallel.SimExecutor`; dispatched
+        batches then replay concurrently instead of one at a time.
+        Opt-in and best with the ``thread`` backend and a thread-safe,
+        effectively stateless search backend: with a fault-latching
+        runtime backend, concurrent batches may observe pre-latch
+        state, so degraded-mode flags can differ from serial replay
+        (answers for surviving shards are unchanged).  Results always
+        scatter to fixed query slots and stats fold in ledger order.
     """
 
     def __init__(
@@ -204,6 +214,7 @@ class ServingEngine:
         batching: BatchingConfig = BatchingConfig(),
         service_model: Optional[BatchServiceModel] = None,
         links: Optional[object] = None,
+        executor: Optional[SimExecutor] = None,
     ):
         self.backend = backend
         self.scheduler = scheduler
@@ -211,6 +222,7 @@ class ServingEngine:
         self.service_model = service_model or BatchServiceModel(
             service_seconds=scheduler.service_seconds)
         self.links = links
+        self.executor = executor
 
     # ------------------------------------------------------------ backend call
     def _search(self, queries: np.ndarray, k: int) -> SearchResult:
@@ -309,9 +321,12 @@ class ServingEngine:
         degraded = False
         failed: set = set()
         recall_loss = 0.0
-        for batch in schedule.batches:
-            idx = np.asarray(batch, dtype=np.int64)
-            res = self._search(queries[idx], k)
+        batch_idx = [np.asarray(batch, dtype=np.int64)
+                     for batch in schedule.batches]
+        batch_results = parallel_map(
+            self._search, [(queries[idx], k) for idx in batch_idx],
+            self.executor)
+        for idx, res in zip(batch_idx, batch_results):
             ids[idx] = res.ids
             distances[idx] = res.distances
             stats += res.stats

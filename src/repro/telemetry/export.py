@@ -72,14 +72,27 @@ def chrome_trace(run: Dict[str, Any]) -> Dict[str, Any]:
             tids[key] = sum(1 for (p, _) in tids if p == pid) + 1
         return tids[key]
 
+    def wall_pid(thread: str) -> int:
+        # Parallel-backend workers get their own process row
+        # ("repro-worker_3" pool threads, "repro-worker/p2" shipped
+        # process rows), so the trace shows per-worker occupancy
+        # instead of one interleaved wall timeline.
+        if thread.startswith("repro-worker"):
+            if thread not in pids:
+                pids[thread] = max(pids.values()) + 1
+            return pids[thread]
+        return _WALL_PID
+
     for span in run.get("spans", []):
         clock = span.get("clock")
-        pid = pid_of(clock)
         if clock is None:
+            thread = span.get("thread") or "main"
+            pid = wall_pid(thread)
             ts = span["t0"] * 1e6
             dur = max(0.0, (span["t1"] - span["t0"]) * 1e6)
-            tid = tid_of(pid, span.get("thread") or "main")
+            tid = tid_of(pid, thread)
         else:
+            pid = pid_of(clock)
             ts = span["sim_t0_ns"] / 1e3
             dur = max(0.0, span["sim_dur_ns"] / 1e3)
             tid = tid_of(pid, span.get("tid") or clock)

@@ -184,6 +184,39 @@ class MetricsRegistry:
                 out.append(entry)
         return out
 
+    def merge_snapshot(self, snapshot: List[Dict[str, Any]]) -> None:
+        """Fold a worker-shipped :meth:`snapshot` into this registry.
+
+        The parallel backend's return channel: counters add, gauges
+        take the shipped value (last write wins, as with a local set),
+        histograms add bucket counts and sums.  Each worker snapshot is
+        merged exactly once, so nothing is double-billed.
+        """
+        with self._lock:
+            for entry in snapshot:
+                name, mtype = entry["name"], entry["type"]
+                buckets = tuple(entry["buckets"]) if mtype == "histogram" else None
+                metric = self._get(name, mtype, entry.get("help", ""), buckets)
+                for sample in entry["samples"]:
+                    key = _label_key(sample["labels"])
+                    if mtype == "counter":
+                        metric.samples[key] = metric.samples.get(key, 0) + sample["value"]
+                    elif mtype == "gauge":
+                        metric.samples[key] = sample["value"]
+                    else:
+                        state = metric.samples.get(key)
+                        if state is None:
+                            state = [[0] * (len(metric.buckets) + 1), 0.0, 0]
+                            metric.samples[key] = state
+                        shipped = sample["bucket_counts"]
+                        if len(shipped) != len(state[0]):
+                            raise ValueError(
+                                f"histogram {name!r} bucket layout mismatch "
+                                "between worker and parent")
+                        state[0] = [a + b for a, b in zip(state[0], shipped)]
+                        state[1] += sample["sum"]
+                        state[2] += sample["count"]
+
     def to_prometheus(self) -> str:
         """Render the registry in the Prometheus text exposition format."""
         return prometheus_text(self.snapshot())
@@ -243,6 +276,9 @@ class NullMetrics:
 
     def total(self, name: str) -> float:
         return 0.0
+
+    def merge_snapshot(self, snapshot: List[Dict[str, Any]]) -> None:
+        return None
 
     def snapshot(self) -> List[Dict[str, Any]]:
         return []

@@ -133,6 +133,9 @@ class Tracer:
         self.spans: List[Span] = []            # finished spans, any clock
         self.instants: List[Dict[str, Any]] = []
         self._sim_cursor: Dict[str, float] = {}
+        # Serialized spans absorbed from worker processes (the parallel
+        # backend's telemetry return channel); merged into to_dict().
+        self._foreign_spans: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------ time
     def now(self) -> float:
@@ -209,10 +212,63 @@ class Tracer:
         with self._lock:
             self.instants.append(rec)
 
+    # ------------------------------------------------------------ worker merge
+    def absorb_run(self, run: Dict[str, Any], worker: str) -> None:
+        """Merge a worker-shipped serialized run into this tracer.
+
+        ``run`` is the worker session's :meth:`to_dict` output; it is
+        absorbed exactly once, so counters and spans are never
+        double-billed.  Span ids are remapped onto this tracer's id
+        space (parent/child edges inside the shipment survive; dangling
+        parents are cut).  Wall spans are rehomed onto the ``worker``
+        row — the Chrome-trace exporter gives each worker its own
+        process — and sim-clock spans are rebased past this tracer's
+        cursor so per-worker cycle timelines never overlap.
+        """
+        spans = run.get("spans", [])
+        id_map: Dict[Any, int] = {}
+        for span in spans:
+            id_map[span.get("id")] = next(self._ids)
+        # Rebase each simulated clock once per shipment, keeping the
+        # worker's internal layout intact.
+        clock_span: Dict[str, float] = {}
+        for span in spans:
+            clock = span.get("clock")
+            if clock is not None:
+                end = float(span.get("sim_t0_ns") or 0.0) + \
+                    float(span.get("sim_dur_ns") or 0.0)
+                clock_span[clock] = max(clock_span.get(clock, 0.0), end)
+        bases = {clock: self.next_sim_start(clock, extent)
+                 for clock, extent in clock_span.items()}
+        absorbed: List[Dict[str, Any]] = []
+        for span in spans:
+            rec = dict(span)
+            rec["id"] = id_map[span.get("id")]
+            rec["parent"] = id_map.get(span.get("parent"))
+            clock = rec.get("clock")
+            if clock is None:
+                rec["thread"] = worker
+            else:
+                rec["sim_t0_ns"] = float(rec.get("sim_t0_ns") or 0.0) + bases[clock]
+                rec["tid"] = f"{worker}:{rec.get('tid') or clock}"
+            absorbed.append(rec)
+        instants = []
+        for inst in run.get("instants", []):
+            rec = dict(inst)
+            clock = rec.get("clock")
+            if clock is not None and clock in bases:
+                rec["sim_ns"] = float(rec.get("sim_ns") or 0.0) + bases[clock]
+            rec.setdefault("attrs", {})
+            rec["attrs"] = dict(rec["attrs"], worker=worker)
+            instants.append(rec)
+        with self._lock:
+            self._foreign_spans.extend(absorbed)
+            self.instants.extend(instants)
+
     # ------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
-            spans = [s.to_dict() for s in self.spans]
+            spans = [s.to_dict() for s in self.spans] + list(self._foreign_spans)
             instants = list(self.instants)
         return {"spans": spans, "instants": instants}
 
@@ -263,6 +319,9 @@ class NullTracer:
         return 0.0
 
     def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def absorb_run(self, run: Dict[str, Any], worker: str) -> None:
         return None
 
     def now(self) -> float:

@@ -446,6 +446,44 @@ class TestSimulationCache:
         assert cache.misses == 4
 
 
+# ------------------------------------------- serial vs parallel dispatch
+class TestSerialVsParallelDispatch:
+    """The parallel backend is one more execution strategy that must be
+    invisible: fanning the per-vault kernels of a module query out over
+    worker threads or processes must reproduce the serial answer
+    bit-for-bit — ids, distances, and per-vault ``RunStats`` — for
+    every engine at every worker count."""
+
+    def setup_method(self):
+        clear_caches()
+
+    def teardown_method(self):
+        clear_caches()
+
+    @staticmethod
+    def _signature(res):
+        return (res.ids.tolist(), res.values.tolist(),
+                [dataclasses.astuple(v.stats) for v in res.vault_results])
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("engine", ["interp", "predecode", "trace"])
+    def test_module_scan_matches_serial(self, engine, workers, monkeypatch):
+        from repro.core.config import SSAMConfig
+        from repro.core.module import SSAMModule
+        from repro.core.parallel import make_executor
+
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")   # really simulate
+        cfg = SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=4)
+        serial = SSAMModule(cfg)
+        serial.load_dataset(DATA)
+        ref = self._signature(serial.query(QUERY, K, engine=engine))
+        with make_executor(workers, "thread" if workers > 1 else "serial") as ex:
+            par = SSAMModule(cfg, executor=ex)
+            par.load_dataset(DATA)
+            got = self._signature(par.query(QUERY, K, engine=engine))
+        assert got == ref
+
+
 # ------------------------------------------------------------- performance
 @pytest.mark.slow
 class TestTracePerformance:

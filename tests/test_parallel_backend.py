@@ -1,0 +1,507 @@
+"""Parallel simulation backend: executors, bit-exactness, degraded folds.
+
+The backend (:mod:`repro.core.parallel`) fans independent vault/shard
+kernel simulations out across real cores.  The contract under test is
+that it is *invisible* in the results: at any worker count, on the
+thread or the process backend, every query answers bit-identically to
+serial execution — ids, distances/values, and cycle counts — including
+when a :class:`~repro.faults.FaultPlan` is active.  The hypothesis
+properties enforce that across all five index algorithms and all three
+execution engines; the rest covers executor selection/ordering, the
+bounded simulation cache and its cross-worker accounting, degraded
+folds of worker faults, env-var plumbing, telemetry aggregation, and
+the ``bench_guard --parallel`` gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import (
+    GraphANN,
+    HierarchicalKMeansTree,
+    LinearScan,
+    MultiProbeLSH,
+    RandomizedKDForest,
+)
+from repro.core.config import SSAMConfig
+from repro.core.kernels.common import KernelResult
+from repro.core.module import SSAMModule
+from repro.core.parallel import (
+    BACKEND_ENV,
+    BACKENDS,
+    SERIAL,
+    WORKERS_ENV,
+    ProcessExecutor,
+    SerialExecutor,
+    SimExecutor,
+    ThreadExecutor,
+    make_executor,
+    parallel_map,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.core.simcache import SimulationCache, clear_caches
+from repro.experiments.bench_guard import check_parallel_scaling
+from repro.faults import FaultPlan, ModuleLost, VaultFault
+from repro.host import MultiModuleRuntime
+from repro.host.driver import IndexMode, SSAMDriver
+from repro.isa.simulator import MachineConfig, RunStats
+from repro.telemetry.export import chrome_trace
+
+RNG = np.random.default_rng(17)
+DATA = RNG.standard_normal((160, 8))
+QUERIES = DATA[:3] + 0.01
+CFG = SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=4)
+
+ENGINES = ["interp", "predecode", "trace"]
+WORKER_COUNTS = [1, 2, 4]
+
+#: The five index algorithms, as shard factories for the runtime.
+ALGO_FACTORIES = {
+    "exact": lambda rows: LinearScan().build(rows),
+    "kdtree": lambda rows: RandomizedKDForest(n_trees=2, seed=7).build(rows),
+    "kmeans": lambda rows: HierarchicalKMeansTree(branching=4, seed=7).build(rows),
+    "mplsh": lambda rows: MultiProbeLSH(n_tables=4, n_bits=8, seed=7).build(rows),
+    "graph": lambda rows: GraphANN(max_degree=8, ef_construction=16,
+                                   ef_search=32, seed=7).build(rows),
+}
+
+
+# ----------------------------------------------------------- picklable tasks
+def _double(x):
+    return 2 * x
+
+
+def _fail_on(x, bad):
+    if x == bad:
+        raise ValueError(f"task {x} failed")
+    return x
+
+
+class TestExecutorSelection:
+    def test_resolve_workers_precedence(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2        # explicit arg beats env
+
+    def test_resolve_workers_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers(None)
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+
+    def test_resolve_backend_precedence(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None, workers=1) == "serial"
+        assert resolve_backend(None, workers=4) == "thread"
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend(None, workers=4) == "process"
+        assert resolve_backend("thread", workers=4) == "thread"
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            resolve_backend("quantum", workers=2)
+
+    def test_single_worker_collapses_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert make_executor() is SERIAL
+        assert make_executor(1, "thread") is SERIAL
+        assert make_executor(4, "serial") is SERIAL
+
+    def test_make_executor_kinds(self):
+        for backend, cls in (("thread", ThreadExecutor),
+                             ("process", ProcessExecutor)):
+            ex = make_executor(2, backend)
+            assert isinstance(ex, cls) and ex.workers == 2
+            ex.close()
+
+    def test_env_selects_executor(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        ex = make_executor()
+        assert isinstance(ex, ThreadExecutor) and ex.workers == 2
+        ex.close()
+
+
+class TestExecutorMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_preserves_submission_order(self, backend):
+        with make_executor(4 if backend != "serial" else 1, backend) as ex:
+            out = ex.map(_double, [(i,) for i in range(16)])
+        assert out == [2 * i for i in range(16)]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_propagates_task_errors(self, backend):
+        with make_executor(2 if backend != "serial" else 1, backend) as ex:
+            with pytest.raises(ValueError, match="task 3 failed"):
+                ex.map(_fail_on, [(i, 3) for i in range(6)])
+
+    def test_close_is_idempotent(self):
+        ex = make_executor(2, "thread")
+        ex.map(_double, [(1,), (2,)])
+        ex.close()
+        ex.close()
+
+    def test_parallel_map_defaults_to_serial(self):
+        assert parallel_map(_double, [(i,) for i in range(4)]) == [0, 2, 4, 6]
+
+
+class TestSimulationCacheBound:
+    def _result(self, tag: int) -> KernelResult:
+        return KernelResult(ids=np.array([tag]), values=np.array([float(tag)]),
+                            stats=RunStats())
+
+    def test_lru_eviction_and_stats(self):
+        cache = SimulationCache(maxsize=2)
+        for tag in range(3):
+            cache.store(bytes([tag]), self._result(tag))
+        assert len(cache) == 2 and cache.evictions == 1
+        assert cache.lookup(bytes([0])) is None          # evicted (oldest)
+        assert cache.lookup(bytes([2])).ids[0] == 2
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["maxsize"] == 2
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = SimulationCache(maxsize=2)
+        cache.store(b"a", self._result(1))
+        cache.store(b"b", self._result(2))
+        cache.lookup(b"a")                               # a is now newest
+        cache.store(b"c", self._result(3))
+        assert cache.lookup(b"b") is None and cache.lookup(b"a") is not None
+
+    def test_maxsize_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE_MAX", "5")
+        assert SimulationCache().maxsize == 5
+
+    def test_export_merge_and_account(self):
+        worker = SimulationCache(maxsize=8)
+        worker.store(b"old", self._result(0))
+        before = worker.snapshot_keys()
+        worker.store(b"new", self._result(1))
+        worker.lookup(b"new")
+        shipped = worker.export_since(before)
+        assert set(shipped) == {b"new"}
+
+        parent = SimulationCache(maxsize=8)
+        parent.merge_entries(shipped)
+        parent.account(hits=worker.hits, misses=worker.misses,
+                       evictions=worker.evictions)
+        assert parent.lookup(b"new").ids[0] == 1
+        info = parent.info()
+        assert info["hits"] == worker.hits + 1           # +1: the lookup above
+        assert info["misses"] == worker.misses
+
+    def test_merge_respects_bound(self):
+        parent = SimulationCache(maxsize=2)
+        parent.merge_entries({bytes([t]): self._result(t) for t in range(4)})
+        assert len(parent) == 2 and parent.evictions == 2
+
+
+def _vault_signature(res):
+    """(ids, values, per-vault cycles) — the full bit-exactness surface."""
+    return (res.ids.tolist(), res.values.tolist(),
+            [v.stats.cycles for v in res.vault_results])
+
+
+class TestModuleParallelBitExact:
+    """The 4-vault scan answers identically through every backend."""
+
+    @pytest.fixture(autouse=True)
+    def _uncached(self, monkeypatch):
+        # Every configuration must actually simulate every vault kernel.
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")
+        clear_caches()
+        yield
+        clear_caches()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_engines_match_serial(self, backend, engine):
+        serial = SSAMModule(CFG)
+        serial.load_dataset(DATA)
+        ref = serial.query(DATA[7], 6, engine=engine)
+        with make_executor(2, backend) as ex:
+            par = SSAMModule(CFG, executor=ex)
+            par.load_dataset(DATA)
+            got = par.query(DATA[7], 6, engine=engine)
+        assert _vault_signature(got) == _vault_signature(ref)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "cosine"])
+    def test_metrics_match_serial(self, metric):
+        serial = SSAMModule(CFG)
+        serial.load_dataset(DATA)
+        ref = serial.query(DATA[11], 5, metric=metric)
+        with make_executor(4, "thread") as ex:
+            par = SSAMModule(CFG, executor=ex)
+            par.load_dataset(DATA)
+            got = par.query(DATA[11], 5, metric=metric)
+        assert _vault_signature(got) == _vault_signature(ref)
+
+
+def _search_signature(res):
+    """Everything a SearchResult carries that must survive parallelism."""
+    return (res.ids.tolist(), res.distances.tolist(),
+            res.stats.candidates_scanned, res.stats.nodes_visited,
+            res.stats.distance_ops, res.degraded, res.failed_modules,
+            res.expected_recall_loss)
+
+
+class TestRuntimeParallelSerialProperty:
+    """Satellite property: parallel == serial, all algorithms, any
+    worker count, with and without an active FaultPlan."""
+
+    @given(
+        algo=st.sampled_from(sorted(ALGO_FACTORIES)),
+        workers=st.sampled_from(WORKER_COUNTS),
+        backend=st.sampled_from(["thread", "process"]),
+        fault_seed=st.one_of(st.none(), st.integers(0, 2**16)),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_bit_identical_search_results(self, algo, workers, backend,
+                                          fault_seed, k):
+        config = SSAMConfig(capacity_bytes=DATA.nbytes // 4 + 1)
+        factory = ALGO_FACTORIES[algo]
+        checks = None if algo in ("exact", "graph") else 96
+
+        def run(executor_args):
+            injector = None
+            if fault_seed is not None:
+                plan = FaultPlan(seed=fault_seed).inject(
+                    "module_loss", probability=0.3)
+                injector = plan.injector()
+            rt = MultiModuleRuntime(config, index_factory=factory,
+                                    injector=injector, **executor_args)
+            rt.load(DATA)
+            try:
+                return _search_signature(rt.search(QUERIES, k, checks=checks))
+            except ModuleLost:
+                return "all-shards-lost"
+            finally:
+                rt.close()
+
+        ref = run({})
+        got = run({"workers": workers, "parallel": backend})
+        assert got == ref
+
+
+class TestDriverTraversalParallel:
+    """Per-query traversal fan-out on the cycle backend is bit-exact."""
+
+    def _batch(self, mode, params, workers):
+        cfg = SSAMConfig(machine=MachineConfig(vector_length=4), n_vaults=2)
+        driver = SSAMDriver(config=cfg, backend="cycle", workers=workers)
+        buf = driver.nmalloc(DATA.nbytes)
+        driver.nmode(buf, mode)
+        driver.nmemcpy(buf, DATA)
+        driver.nbuild_index(buf, params=params)
+        res = driver.nexec_batch(buf, QUERIES, 5, checks=128)
+        sig = (res.ids.tolist(), res.distances.tolist(),
+               res.stats.distance_ops, res.stats.candidates_scanned,
+               res.stats.nodes_visited)
+        driver.nfree(buf)
+        driver.close()
+        return sig
+
+    @pytest.mark.parametrize("mode,params", [
+        (IndexMode.KDTREE, {"n_trees": 1, "seed": 0}),
+        (IndexMode.KMEANS, {"branching": 4, "seed": 0}),
+    ])
+    def test_cycle_traversal_matches_serial(self, mode, params):
+        clear_caches()
+        ref = self._batch(mode, params, workers=1)
+        for workers in (2, 4):
+            clear_caches()
+            assert self._batch(mode, params, workers=workers) == ref
+
+    def test_linear_cycle_batch_matches_serial(self):
+        clear_caches()
+        ref = self._batch(IndexMode.LINEAR, None, workers=1)
+        clear_caches()
+        assert self._batch(IndexMode.LINEAR, None, workers=2) == ref
+
+
+class TestDegradedFoldInPool:
+    """A shard faulting *inside* a worker folds into degraded-mode
+    accounting — one dead shard never kills the batch (satellite 2)."""
+
+    def _runtime(self, workers=2):
+        rt = MultiModuleRuntime(
+            SSAMConfig(capacity_bytes=DATA.nbytes // 3 + 1),
+            workers=workers, parallel="thread")
+        rt.load(DATA)
+        return rt
+
+    def test_worker_fault_degrades_not_fatal(self):
+        rt = self._runtime()
+        assert rt.n_modules == 3
+
+        class FaultingIndex:
+            n = rt.shards[1].index.n
+
+            def search(self, queries, k, **kw):
+                raise VaultFault(0, "injected mid-request")
+
+        rt.shards[1].index = FaultingIndex()
+        res = rt.search(QUERIES, 5)
+        assert res.degraded and res.failed_modules == [1]
+        assert 0.0 < res.expected_recall_loss < 1.0
+        surviving = rt.surviving_rows()
+        lost = np.setdiff1d(np.arange(DATA.shape[0]), surviving)
+        assert not np.isin(res.ids, lost).any()
+        rt.close()
+
+    def test_all_workers_faulting_raises_module_lost(self):
+        rt = self._runtime()
+
+        class FaultingIndex:
+            n = 1
+
+            def search(self, queries, k, **kw):
+                raise ModuleLost(detail="injected")
+
+        for shard in rt.shards:
+            shard.index = FaultingIndex()
+        with pytest.raises(ModuleLost, match="no surviving shards"):
+            rt.search(QUERIES, 5)
+        rt.close()
+
+
+class TestEnvOverrideThroughFacade:
+    """REPRO_WORKERS / REPRO_PARALLEL reach the facade's driver and
+    runtime (satellite 6) without changing any answer."""
+
+    def test_workers_env_reaches_driver(self, monkeypatch):
+        from repro.api import SSAMSystem
+
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with SSAMSystem.build(DATA) as serial_sys:
+            assert serial_sys.driver.executor is SERIAL
+            ref = serial_sys.search(QUERIES, 5)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        with SSAMSystem.build(DATA) as par_sys:
+            assert isinstance(par_sys.driver.executor, ThreadExecutor)
+            assert par_sys.driver.executor.workers == 2
+            got = par_sys.search(QUERIES, 5)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        np.testing.assert_array_equal(got.distances, ref.distances)
+
+    def test_workers_kwarg_beats_env(self, monkeypatch):
+        from repro.api import SSAMSystem
+
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        with SSAMSystem.build(DATA, workers=1) as system:
+            assert system.driver.executor is SERIAL
+
+    def test_scale_out_runtime_gets_executor(self, monkeypatch):
+        from repro.api import SSAMSystem
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        with SSAMSystem.build(DATA, scale_out=True, n_modules=3) as system:
+            assert isinstance(system.runtime.executor, ThreadExecutor)
+            res = system.search(QUERIES, 5)
+        exact = LinearScan().build(DATA).search(QUERIES, 5)
+        np.testing.assert_array_equal(res.ids, exact.ids)
+
+
+class TestTelemetryAcrossWorkers:
+    """Spans/counters survive the pool without double-billing."""
+
+    def _query_under_session(self, executor):
+        from repro import telemetry
+
+        with telemetry.session() as tel:
+            module = SSAMModule(CFG, executor=executor)
+            module.load_dataset(DATA)
+            module.query(DATA[3], 5)
+        return tel
+
+    def test_thread_workers_get_chrome_trace_rows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")
+        clear_caches()
+        with make_executor(2, "thread") as ex:
+            tel = self._query_under_session(ex)
+        trace = chrome_trace(tel.to_dict())
+        procs = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert any(name.startswith("repro-worker") for name in procs)
+        clear_caches()
+
+    def test_process_backend_counters_match_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")
+        clear_caches()
+        serial_tel = self._query_under_session(SerialExecutor())
+        clear_caches()
+        with make_executor(2, "process") as ex:
+            proc_tel = self._query_under_session(ex)
+        clear_caches()
+        # Each live vault runs exactly one kernel; the parent absorbs
+        # worker counters exactly once, so the totals are equal.
+        ref = serial_tel.metrics.total("ssam_kernel_runs_total")
+        assert ref == CFG.n_vaults
+        assert proc_tel.metrics.total("ssam_kernel_runs_total") == ref
+
+    def test_process_backend_ships_worker_spans(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE", "0")
+        clear_caches()
+        with make_executor(2, "process") as ex:
+            tel = self._query_under_session(ex)
+        clear_caches()
+        trace = chrome_trace(tel.to_dict())
+        procs = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert any(name.startswith("repro-worker/p") for name in procs)
+
+
+class TestParallelScalingGuard:
+    """The ``bench_guard --parallel`` gate over BENCH_4.json payloads."""
+
+    def _payload(self, cpu_count, speedup, bit_exact=True, rows=()):
+        return {"cpu_count": cpu_count, "speedup_at_4_workers": speedup,
+                "bit_exact": bit_exact, "rows": list(rows)}
+
+    def test_full_floor_on_provisioned_host(self):
+        ok, msg = check_parallel_scaling(self._payload(8, 1.9))
+        assert ok and "OK" in msg
+        ok, msg = check_parallel_scaling(self._payload(8, 1.5))
+        assert not ok and "below floor 1.80x" in msg
+
+    def test_floor_scales_down_with_cores(self):
+        # 1 core -> floor 1.8/4 = 0.45: no speedup required, only the
+        # absence of pathological overhead.
+        ok, _ = check_parallel_scaling(self._payload(1, 0.9))
+        assert ok
+        ok, msg = check_parallel_scaling(self._payload(1, 0.3))
+        assert not ok and "0.45x" in msg
+        ok, _ = check_parallel_scaling(self._payload(2, 0.95))
+        assert ok                                  # floor 0.9 at 2 cores
+
+    def test_bit_exactness_gated_absolutely(self):
+        rows = [{"backend": "thread", "workers": 4, "bit_exact": False},
+                {"backend": "process", "workers": 2, "bit_exact": True}]
+        ok, msg = check_parallel_scaling(
+            self._payload(64, 99.0, bit_exact=False, rows=rows))
+        assert not ok
+        assert "no longer bit-exact" in msg and "threadx4" in msg
+
+    def test_committed_bench4_passes_the_gate(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_4.json"
+        payload = json.loads(path.read_text())
+        ok, msg = check_parallel_scaling(payload)
+        assert ok, msg
