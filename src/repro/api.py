@@ -34,6 +34,7 @@ from repro.ann import SearchResult
 from repro.core.config import SSAMConfig
 from repro.faults import FaultPlan
 from repro.host.driver import IndexMode, SSAMDriver
+from repro.host.health import HealthConfig, ModuleState
 from repro.host.runtime import MultiModuleRuntime
 from repro.host.scheduler import QueryScheduler
 from repro.host.serving import (
@@ -52,6 +53,8 @@ __all__ = [
     "FaultPlan",
     "SSAMConfig",
     "IndexMode",
+    "HealthConfig",
+    "ModuleState",
     "ALGORITHMS",
 ]
 
@@ -66,6 +69,18 @@ ALGORITHMS: Dict[str, IndexMode] = {
     "hamming": IndexMode.HAMMING,
     "graph": IndexMode.GRAPH,
 }
+
+#: Index modes the sharded runtime can serve (each shard builds an
+#: independent, deterministically seeded index over its corpus slice).
+#: IVFADC/Hamming stay single-module: their codebooks/codes are trained
+#: on the whole corpus and do not shard cleanly.
+_SCALE_OUT_MODES = (
+    IndexMode.LINEAR,
+    IndexMode.KDTREE,
+    IndexMode.KMEANS,
+    IndexMode.MPLSH,
+    IndexMode.GRAPH,
+)
 
 
 class SSAMSystem:
@@ -111,6 +126,8 @@ class SSAMSystem:
         service_seconds: Optional[float] = None,
         batching: Optional[BatchingConfig] = None,
         shard_overlap: Optional[float] = None,
+        replication_factor: int = 1,
+        health: Optional[HealthConfig] = None,
         algorithm: Optional[str] = None,
         workers: Optional[int] = None,
         parallel: Optional[str] = None,
@@ -149,10 +166,13 @@ class SSAMSystem:
             Route search through the sharded
             :class:`~repro.host.runtime.MultiModuleRuntime` (capacity
             drives the shard count, overridable via ``n_modules``)
-            instead of the single-module driver.  Supported for exact
-            (``"exact"``/``"linear"``) and ``"graph"`` search; graph
-            shards each build an independent subgraph over their corpus
-            slice and the host merge dedupes overlapping candidates.
+            instead of the single-module driver.  Supported for
+            ``"exact"``/``"linear"``, ``"kdtree"``, ``"kmeans"``,
+            ``"mplsh"``, and ``"graph"`` — each shard builds an
+            independent (deterministically seeded) index over its
+            corpus slice and the host merge dedupes overlapping
+            candidates.  ``ivfadc``/``hamming`` stay single-module
+            (whole-corpus codebooks).
         n_modules, service_seconds:
             Serving-pool shape for :meth:`serve`: pool size (default:
             the capacity-driven module count) and per-query scan time
@@ -166,6 +186,20 @@ class SSAMSystem:
             shard under ``scale_out`` (default 0 for exact search,
             0.1 for graph — boundary neighborhoods stay navigable and
             degraded-mode recall loss drops).
+        replication_factor:
+            Under ``scale_out``, place each shard on this many modules
+            (rotated placement — no module holds two copies of one
+            shard).  With ``r >= 2`` a mid-request module loss fails
+            over to a sibling replica inside the same request: answers
+            stay bit-exact with the fault-free run, ``degraded`` stays
+            ``False``, and recall loss is zero until *every* replica of
+            some shard is down.  See docs/RELIABILITY.md.
+        health:
+            Optional :class:`HealthConfig` arming per-module health
+            tracking with MTTR auto-repair (and optionally a seeded
+            MTBF failure generator), so lost modules rejoin on their
+            own.  Default ``None`` keeps the latch-until-repair
+            behavior.
         algorithm:
             First-class alias for ``algo`` (takes precedence when both
             are given).
@@ -185,8 +219,12 @@ class SSAMSystem:
         mode = ALGORITHMS[algo]
         if metric != "euclidean" and mode not in (IndexMode.LINEAR, IndexMode.HAMMING):
             raise ValueError(f"algo {algo!r} supports only the euclidean metric")
-        if scale_out and mode not in (IndexMode.LINEAR, IndexMode.GRAPH):
-            raise ValueError("scale_out requires exact (linear) or graph search")
+        if scale_out and mode not in _SCALE_OUT_MODES:
+            raise ValueError(
+                "scale_out supports exact/linear, kdtree, kmeans, mplsh, "
+                "and graph search")
+        if not scale_out and replication_factor != 1:
+            raise ValueError("replication_factor needs scale_out=True")
         if shard_overlap is None:
             shard_overlap = 0.1 if (scale_out and mode is IndexMode.GRAPH) else 0.0
         dataset = np.asarray(dataset)
@@ -215,19 +253,34 @@ class SSAMSystem:
         if scale_out:
             # Sharded search: the runtime is the backend (the corpus
             # may exceed one module's capacity, so no single driver
-            # region is built).  Graph shards each build an NSW
-            # subgraph over their slice.
+            # region is built).  Approximate shards each build an
+            # independent seeded index over their slice; replicas of a
+            # shard share one build, so failover answers are bit-exact.
             index_factory = None
-            if mode is IndexMode.GRAPH:
-                from repro.ann import GraphANN
+            if mode is not IndexMode.LINEAR:
+                from repro.ann import (
+                    GraphANN,
+                    HierarchicalKMeansTree,
+                    MultiProbeLSH,
+                    RandomizedKDForest,
+                )
 
-                def index_factory(shard_data, _params=dict(params)):
-                    return GraphANN(**_params).build(
+                index_cls = {
+                    IndexMode.KDTREE: RandomizedKDForest,
+                    IndexMode.KMEANS: HierarchicalKMeansTree,
+                    IndexMode.MPLSH: MultiProbeLSH,
+                    IndexMode.GRAPH: GraphANN,
+                }[mode]
+
+                def index_factory(shard_data, _cls=index_cls,
+                                  _params=dict(params)):
+                    return _cls(**_params).build(
                         np.asarray(shard_data, dtype=np.float64))
 
             runtime = MultiModuleRuntime(
                 config=config, metric=metric, injector=injector,
                 index_factory=index_factory, shard_overlap=shard_overlap,
+                replication_factor=replication_factor, health=health,
                 workers=workers, parallel=parallel)
             runtime.load(dataset, n_modules=n_modules)
         else:
@@ -317,8 +370,11 @@ class SSAMSystem:
         """
         self._assert_open()
         batching = batching or self.batching
+        # The system itself is the backend (it has .search), so the
+        # engine can also introspect runtime health for its summary
+        # gauges and the per-replica failover counters.
         engine = ServingEngine(
-            backend=lambda q, kk: self.search(q, kk),
+            backend=self,
             scheduler=self.scheduler,
             batching=batching,
             service_model=BatchServiceModel(

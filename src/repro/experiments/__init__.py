@@ -38,6 +38,7 @@ from repro.experiments.ablations import (
     run_vector_length_sweep,
 )
 from repro.experiments.extensions import run_batching_ablation, run_pq_extension
+from repro.experiments.chaos import run_chaos
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
 from repro.experiments.graph_ann import run_graph_ann
 from repro.experiments.ivfadc import run_ivfadc
@@ -68,6 +69,7 @@ __all__ = [
     "run_energy_breakdown",
     "run_thermal_check",
     "run_resilience",
+    "run_chaos",
     "run_scaleout",
     "run_tco",
     "run_fixed_point",

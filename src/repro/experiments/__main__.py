@@ -36,6 +36,7 @@ from repro.experiments import (
     run_fixed_point,
     run_fxp_ablation,
     run_batching_ablation,
+    run_chaos,
     run_graph_ann,
     run_ivfadc,
     run_parallel_scaling,
@@ -71,6 +72,8 @@ RUNNERS = {
     "graph": (run_graph_ann, "Graph-ANN recall/throughput frontier (writes BENCH_3.json)"),
     "scaleout": (run_scaleout, "Multi-module capacity scale-out"),
     "resilience": (run_resilience, "Degraded-mode serving under vault/module loss"),
+    "chaos": (run_chaos, "Chaos soak: replicated failover under seeded fault "
+                         "schedules (writes BENCH_5.json)"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),
     "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
     "thermal": (run_thermal_check, "Section V-A thermal check"),

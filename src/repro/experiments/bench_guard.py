@@ -40,6 +40,18 @@ host had at least 4 cores; on under-provisioned runners the floor
 scales down with the recorded ``cpu_count`` (a 1-core container cannot
 exhibit parallel speedup; what it must not exhibit is pathological
 slowdown).
+
+A fourth gate covers the replicated-failover chaos soak
+(``BENCH_5.json``, written by ``python -m repro.experiments chaos``)::
+
+    python -m repro.experiments.bench_guard --chaos BENCH_5.json
+
+All four chaos invariants are absolute: no query may error while any
+replica set survives; scenarios where every shard keeps a live replica
+must answer bit-exact with the unfaulted run; the recall floor and the
+``expected_recall_loss`` ceiling must hold in every scenario; and the
+soak must have exercised at least one real failover (otherwise the
+invariants were vacuous).
 """
 
 from __future__ import annotations
@@ -50,7 +62,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["check_speedup", "check_graph_frontier",
-           "check_parallel_scaling", "main"]
+           "check_parallel_scaling", "check_chaos", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -164,6 +176,67 @@ def check_parallel_scaling(
     )
 
 
+def check_chaos(payload: dict, min_failovers: int = 1) -> Tuple[bool, str]:
+    """Absolute gates over a ``BENCH_5.json`` chaos-soak payload.
+
+    The payload's aggregate flags are recomputed from the per-row data
+    (never trusted), so a harness bug that mis-aggregates cannot slip a
+    regression through.  Returns (ok, message) with one clause per
+    broken invariant.
+    """
+    problems: List[str] = []
+    rows = payload.get("rows", [])
+    if not rows:
+        return False, "REGRESSION: chaos payload has no rows"
+
+    erroring = [f"{r['algo']}/{r['scenario']}" for r in rows
+                if r.get("errors", 1) != 0]
+    if erroring:
+        problems.append(
+            "queries errored while a replica set survived "
+            f"({', '.join(erroring)})")
+    inexact = [f"{r['algo']}/{r['scenario']}" for r in rows
+               if r.get("bit_exact_expected") and not r.get("bit_exact")]
+    if inexact:
+        problems.append(
+            "failover answers not bit-exact with the unfaulted run "
+            f"({', '.join(inexact)})")
+    below_floor = [
+        f"{r['algo']}/{r['scenario']} "
+        f"({r.get('recall_vs_unfaulted', 0.0):.3f} < "
+        f"{r.get('recall_floor', 1.0):.2f})"
+        for r in rows
+        if r.get("recall_vs_unfaulted", 0.0) < r.get("recall_floor", 1.0)
+    ]
+    if below_floor:
+        problems.append("recall floor broken: " + ", ".join(below_floor))
+    over_loss = [
+        f"{r['algo']}/{r['scenario']}" for r in rows
+        if r.get("max_expected_recall_loss", 0.0)
+        > r.get("max_loss_allowed", 0.0) + 1e-12
+    ]
+    if over_loss:
+        problems.append(
+            "expected_recall_loss exceeded the scenario ceiling "
+            f"({', '.join(over_loss)})")
+    failovers = int(payload.get("total_failovers", 0))
+    if failovers < min_failovers:
+        problems.append(
+            f"only {failovers} failovers exercised "
+            f"(need >= {min_failovers}; the invariants were vacuous)")
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    wl = payload.get("workload", {})
+    return True, (
+        f"OK: chaos soak clean over {len(rows)} (algo, scenario) pairs "
+        f"(r={wl.get('replication_factor', '?')}, "
+        f"{wl.get('backend', '?')} backend) — no errors, failover "
+        f"bit-exact where promised, recall floors held, "
+        f"{failovers} failovers exercised"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
@@ -193,13 +266,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="minimum end-to-end speedup at 4 workers on a "
                              ">=4-core host (default 1.8; scaled down on "
                              "smaller hosts)")
+    parser.add_argument("--chaos", default=None, metavar="BENCH_5",
+                        help="BENCH_5.json to gate on the replicated-failover "
+                             "chaos-soak invariants")
+    parser.add_argument("--min-failovers", type=int, default=1,
+                        help="minimum failovers the chaos soak must have "
+                             "exercised (default 1)")
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.new_path):
         parser.error("--baseline and --new must be given together")
-    if not args.baseline and not args.graph and not args.parallel:
+    if not args.baseline and not args.graph and not args.parallel \
+            and not args.chaos:
         parser.error("nothing to check: give --baseline/--new, --graph, "
-                     "and/or --parallel")
+                     "--parallel, and/or --chaos")
 
     ok = True
     if args.baseline:
@@ -226,6 +306,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parallel_payload = json.load(fh)
         passed, message = check_parallel_scaling(
             parallel_payload, min_speedup=args.min_parallel_speedup)
+        print(message)
+        ok = ok and passed
+    if args.chaos:
+        with open(args.chaos) as fh:
+            chaos_payload = json.load(fh)
+        passed, message = check_chaos(
+            chaos_payload, min_failovers=args.min_failovers)
         print(message)
         ok = ok and passed
     return 0 if ok else 1

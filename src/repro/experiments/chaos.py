@@ -1,0 +1,357 @@
+"""Chaos-soak harness for the replicated serving stack.
+
+``python -m repro.experiments chaos`` replays seeded fault schedules
+against :meth:`repro.api.SSAMSystem.serve` — the full admission-queue /
+batching / replicated-runtime path — across all five scale-out
+algorithms (exact, kdtree, kmeans, mplsh, graph), and asserts the
+robustness invariants the replication layer promises:
+
+- **no query errors** while any replica set survives: every serve()
+  wave must answer, faulted or not;
+- **failover is bit-exact**: in scenarios where every shard keeps at
+  least one live replica (``r=2``, single or disjoint double loss,
+  fail-during-batch), ids *and* distances must equal the unfaulted
+  run's exactly — replicas share one deterministically built index, so
+  any deviation is a routing bug;
+- **the recall floor holds**: in scenarios that do lose whole replica
+  sets (correlated double loss takes both modules of one shard), the
+  overlap with the unfaulted answers must stay above the scenario's
+  floor, and ``expected_recall_loss`` must never exceed the lost-shard
+  fraction.
+
+Scenarios (all seeded — the whole soak replays byte-identically):
+
+========================  =====================================================
+``single_loss``           one module dies between serve() waves; MTTR repairs it
+``double_loss_disjoint``  two *non-adjacent* modules die — with rotated
+                          placement every shard keeps a replica, so zero loss
+``double_loss_correlated``  two *adjacent* modules die — one shard loses both
+                          replicas and the stack must degrade gracefully
+``flapping``              probabilistic module loss + PU crashes against a
+                          short MTTR: modules cycle DOWN/RECOVERING/UP while
+                          queries keep flowing (exercises mid-request failover)
+``mtbf_soak``             the seeded exponential-failure / deterministic-repair
+                          generator (the ``QueryScheduler.simulate`` model)
+                          drives module churn instead of an explicit schedule
+``fail_during_batch``     a module dies *between the batch dispatches of one
+                          serve() call* (small ``max_batch`` splits the wave),
+                          so failover happens mid-stream
+========================  =====================================================
+
+The harness writes ``BENCH_5.json`` at the repo root;
+``python -m repro.experiments.bench_guard --chaos BENCH_5.json`` gates
+CI on it (no errors, bit-exactness where promised, recall floors, and
+at least one real failover exercised).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import BatchingConfig, HealthConfig, SSAMSystem
+from repro.faults import FaultPlan
+
+from repro.experiments.bench import _repo_root
+
+__all__ = ["run_chaos", "BENCH_FILENAME", "CHAOS_ALGOS", "SCENARIOS"]
+
+BENCH_FILENAME = "BENCH_5.json"
+
+#: The five algorithms the scale-out runtime shards.
+CHAOS_ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+
+#: Per-shard index knobs, kept small so the soak stays CI-fast.
+_INDEX_PARAMS: Dict[str, dict] = {
+    "exact": {},
+    "kdtree": {"n_trees": 2},
+    "kmeans": {"branching": 4},
+    "mplsh": {"n_tables": 4, "n_bits": 8},
+    "graph": {"max_degree": 8, "ef_construction": 16},
+}
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One seeded fault schedule and the invariants it must satisfy.
+
+    ``plan`` builds a fresh :class:`FaultPlan` per run (None: faults
+    come only from the health tracker's MTBF generator).  The clock is
+    request ticks: the runtime advances the injector by
+    ``request_tick_ns=1`` per dispatched batch, so ``at_time_ns=2.5``
+    means "between the 2nd and 3rd batch dispatch".
+    """
+
+    name: str
+    description: str
+    plan: Optional[Callable[[], FaultPlan]]
+    health: HealthConfig
+    max_batch: int
+    #: Every shard keeps a live replica -> answers must be bit-exact.
+    bit_exact_expected: bool
+    #: Floor on the overlap with the unfaulted run's ids.
+    recall_floor: float
+    #: Ceiling on the reported expected_recall_loss.
+    max_loss: float
+
+
+def _scenarios(n_waves_ticks: float) -> Tuple[ChaosScenario, ...]:
+    """The seeded schedules, parameterized by the soak length in ticks."""
+    mid = n_waves_ticks / 2.0
+    return (
+        ChaosScenario(
+            name="single_loss",
+            description="module 1 dies mid-soak, MTTR repairs it",
+            plan=lambda: FaultPlan(seed=101).inject(
+                "module_loss", target=1, at_time_ns=mid),
+            health=HealthConfig(mttr_ns=4.0, request_tick_ns=1.0),
+            max_batch=64,            # one dispatch per wave: loss lands
+            bit_exact_expected=True,  # between waves
+            recall_floor=1.0,
+            max_loss=0.0,
+        ),
+        ChaosScenario(
+            name="double_loss_disjoint",
+            description="modules 1 and 3 die; rotated placement keeps "
+                        "every shard alive",
+            plan=lambda: FaultPlan(seed=102)
+            .inject("module_loss", target=1, at_time_ns=2.0)
+            .inject("module_loss", target=3, at_time_ns=4.0),
+            health=HealthConfig(request_tick_ns=1.0),   # no auto-repair
+            max_batch=64,
+            bit_exact_expected=True,
+            recall_floor=1.0,
+            max_loss=0.0,
+        ),
+        ChaosScenario(
+            name="double_loss_correlated",
+            description="adjacent modules 1 and 2 die; shard 1 loses "
+                        "both replicas and the merge degrades",
+            plan=lambda: FaultPlan(seed=103)
+            .inject("module_loss", target=1, at_time_ns=2.0)
+            .inject("module_loss", target=2, at_time_ns=2.0),
+            health=HealthConfig(request_tick_ns=1.0),
+            max_batch=64,
+            bit_exact_expected=False,
+            # One of four shards unreachable: >= 3/4 of the answers
+            # must still match (minus boundary-overlap slack).
+            recall_floor=0.60,
+            max_loss=0.40,
+        ),
+        ChaosScenario(
+            name="flapping",
+            description="probabilistic module loss + PU crashes vs a "
+                        "short MTTR; modules flap while queries flow",
+            plan=lambda: FaultPlan(seed=104)
+            .inject("module_loss", probability=0.04)
+            .inject("pu_crash", probability=0.05),
+            health=HealthConfig(mttr_ns=2.0, suspect_ns=1.0,
+                                request_tick_ns=1.0),
+            max_batch=8,
+            bit_exact_expected=False,
+            recall_floor=0.60,
+            max_loss=0.60,
+        ),
+        ChaosScenario(
+            name="mtbf_soak",
+            description="seeded exponential failures + deterministic "
+                        "repair (the QueryScheduler.simulate model)",
+            plan=None,
+            health=HealthConfig(mtbf_ns=6.0, mttr_ns=2.0,
+                                request_tick_ns=1.0, seed=7),
+            max_batch=8,
+            bit_exact_expected=False,
+            recall_floor=0.60,
+            max_loss=0.60,
+        ),
+        ChaosScenario(
+            name="fail_during_batch",
+            description="module 2 dies between the batch dispatches of "
+                        "one serve() call",
+            plan=lambda: FaultPlan(seed=106).inject(
+                "module_loss", target=2, at_time_ns=2.5),
+            health=HealthConfig(mttr_ns=6.0, request_tick_ns=1.0),
+            max_batch=4,             # several dispatches per wave
+            bit_exact_expected=True,
+            recall_floor=1.0,
+            max_loss=0.0,
+        ),
+    )
+
+
+def _build(data: np.ndarray, algo: str, n_modules: int, r: int,
+           plan: Optional[FaultPlan], health: Optional[HealthConfig],
+           workers: Optional[int], parallel: Optional[str]) -> SSAMSystem:
+    return SSAMSystem.build(
+        data, algo=algo, scale_out=True, n_modules=n_modules,
+        replication_factor=r, fault_plan=plan, health=health,
+        index_params=dict(_INDEX_PARAMS[algo]),
+        workers=workers, parallel=parallel,
+    )
+
+
+def _overlap_recall(ref_ids: np.ndarray, got_ids: np.ndarray) -> float:
+    """Mean fraction of the reference answers present in the faulted run."""
+    total = 0.0
+    n = 0
+    for ref_row, got_row in zip(ref_ids, got_ids):
+        ref_set = set(int(i) for i in ref_row if i >= 0)
+        if not ref_set:
+            continue
+        got_set = set(int(i) for i in got_row if i >= 0)
+        total += len(ref_set & got_set) / len(ref_set)
+        n += 1
+    return total / n if n else 1.0
+
+
+def run_chaos(
+    n_rows: int = 360,
+    dims: int = 12,
+    k: int = 10,
+    n_queries: int = 16,
+    n_waves: int = 4,
+    n_modules: int = 4,
+    replication_factor: int = 2,
+    workers: Optional[int] = None,
+    parallel: Optional[str] = None,
+    algos: Tuple[str, ...] = CHAOS_ALGOS,
+) -> Tuple[List[Dict], str]:
+    """Soak every (algorithm, scenario) pair; write ``BENCH_5.json``.
+
+    Each pair serves ``n_waves`` waves of ``n_queries`` queries through
+    ``SSAMSystem.serve`` twice — once unfaulted, once under the
+    scenario's schedule — and scores the invariants.  Returns
+    ``(rows, text)`` like every experiment runner.
+    """
+    rng = np.random.default_rng(42)
+    data = rng.standard_normal((n_rows, dims))
+    queries = rng.standard_normal((n_queries, dims))
+    # Ticks per soak: one runtime dispatch per batch; the smallest
+    # max_batch splits each wave into ceil(n_queries / max_batch)
+    # dispatches.  Scenario times are placed inside [0, n_waves].
+    scenarios = _scenarios(float(n_waves))
+
+    rows: List[Dict] = []
+    total_failovers = 0
+    for algo in algos:
+        for sc in scenarios:
+            baseline = _build(data, algo, n_modules, replication_factor,
+                              None, None, workers, parallel)
+            faulted = _build(data, algo, n_modules, replication_factor,
+                             sc.plan() if sc.plan else None, sc.health,
+                             workers, parallel)
+            batching = BatchingConfig(max_batch=sc.max_batch)
+            errors = 0
+            degraded_waves = 0
+            bit_exact = True
+            recalls: List[float] = []
+            max_seen_loss = 0.0
+            try:
+                for wave in range(n_waves):
+                    ref = baseline.serve(queries, k, arrival_qps=200.0,
+                                         batching=batching, poisson=False,
+                                         seed=wave)
+                    try:
+                        rep = faulted.serve(queries, k, arrival_qps=200.0,
+                                            batching=batching, poisson=False,
+                                            seed=wave)
+                    except Exception:
+                        errors += 1
+                        bit_exact = False
+                        recalls.append(0.0)
+                        continue
+                    res, ref_res = rep.result, ref.result
+                    if res.degraded:
+                        degraded_waves += 1
+                    max_seen_loss = max(max_seen_loss,
+                                        res.expected_recall_loss)
+                    if not (np.array_equal(res.ids, ref_res.ids)
+                            and np.array_equal(res.distances,
+                                               ref_res.distances)):
+                        bit_exact = False
+                    recalls.append(_overlap_recall(ref_res.ids, res.ids))
+                runtime = faulted.runtime
+                failovers = int(sum(runtime.failover_counts.values()))
+                total_failovers += failovers
+                health = runtime.health
+                repairs = sum(
+                    1 for _, _, state in health.transitions
+                    if state.value == "recovering") if health else 0
+                final_states = (dict(health.summary()["counts"])
+                                if health else {})
+            finally:
+                baseline.close()
+                faulted.close()
+            rows.append({
+                "algo": algo,
+                "scenario": sc.name,
+                "waves": n_waves,
+                "errors": errors,
+                "degraded_waves": degraded_waves,
+                "bit_exact": bit_exact,
+                "bit_exact_expected": sc.bit_exact_expected,
+                "recall_vs_unfaulted": min(recalls) if recalls else 1.0,
+                "recall_floor": sc.recall_floor,
+                "max_expected_recall_loss": max_seen_loss,
+                "max_loss_allowed": sc.max_loss,
+                "failovers": failovers,
+                "repairs": repairs,
+                "final_states": final_states,
+            })
+
+    no_query_errors = all(r["errors"] == 0 for r in rows)
+    failover_bit_exact = all(
+        r["bit_exact"] for r in rows if r["bit_exact_expected"])
+    recall_floor_ok = all(
+        r["recall_vs_unfaulted"] >= r["recall_floor"]
+        and r["max_expected_recall_loss"] <= r["max_loss_allowed"] + 1e-12
+        for r in rows)
+    payload = {
+        "workload": {
+            "n_rows": n_rows, "dims": dims, "k": k,
+            "n_queries": n_queries, "n_waves": n_waves,
+            "n_modules": n_modules,
+            "replication_factor": replication_factor,
+            "algos": list(algos),
+            "backend": parallel or "serial",
+            "workers": workers or 1,
+        },
+        "scenarios": [
+            {"name": sc.name, "description": sc.description}
+            for sc in scenarios
+        ],
+        "rows": rows,
+        "total_failovers": total_failovers,
+        "no_query_errors": no_query_errors,
+        "failover_bit_exact": failover_bit_exact,
+        "recall_floor_ok": recall_floor_ok,
+    }
+    path = _repo_root() / BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"chaos soak: {len(algos)} algos x {len(scenarios)} scenarios, "
+        f"{n_modules} modules, r={replication_factor}, "
+        f"{n_waves} waves x {n_queries} queries "
+        f"({payload['workload']['backend']} backend)",
+        f"{'algo':8s} {'scenario':22s} {'err':>3s} {'degr':>4s} "
+        f"{'bitexact':>8s} {'recall':>7s} {'loss':>6s} {'fo':>4s} {'rep':>4s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['algo']:8s} {r['scenario']:22s} {r['errors']:3d} "
+            f"{r['degraded_waves']:4d} {str(r['bit_exact']):>8s} "
+            f"{r['recall_vs_unfaulted']:7.3f} "
+            f"{r['max_expected_recall_loss']:6.3f} "
+            f"{r['failovers']:4d} {r['repairs']:4d}"
+        )
+    lines.append(
+        f"no_query_errors={no_query_errors}  "
+        f"failover_bit_exact={failover_bit_exact}  "
+        f"recall_floor_ok={recall_floor_ok}  "
+        f"total_failovers={total_failovers}   [payload written to {path}]"
+    )
+    return rows, "\n".join(lines)

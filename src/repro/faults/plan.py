@@ -155,6 +155,7 @@ class FaultInjector:
         self.now_ns = 0.0
         self.fired: List[FaultRecord] = []
         self._forced: List[Tuple[str, Optional[int]]] = []
+        self._rearmed: dict = {}
 
     # ------------------------------------------------------------------ clock
     def advance(self, ns: float) -> None:
@@ -184,6 +185,11 @@ class FaultInjector:
                     spec.duration_ns is None
                     or self.now_ns < spec.at_time_ns + spec.duration_ns
                 )
+                if active and spec.at_time_ns <= self._rearm_watermark(kind, target):
+                    # The component was repaired after this scheduled
+                    # fault fired; a permanent schedule must not keep
+                    # re-latching it on every subsequent check.
+                    active = False
                 if active:
                     self.record(kind, target, f"scheduled@{spec.at_time_ns:g}ns")
                     return True
@@ -203,6 +209,28 @@ class FaultInjector:
             if spec.kind == "dram_bit_flip" and spec.matches("dram_bit_flip", target) and spec.ber > 0.0:
                 total += int(self.rng.binomial(nbits, min(1.0, spec.ber)))
         return total
+
+    # ------------------------------------------------------------------ repair
+    def _rearm_watermark(self, kind: str, target: Optional[int]) -> float:
+        wm = self._rearmed.get((kind, None), -float("inf"))
+        if target is not None:
+            wm = max(wm, self._rearmed.get((kind, target), -float("inf")))
+        return wm
+
+    def rearm(self, kind: str, target: Optional[int] = None) -> None:
+        """Mark ``target`` repaired for ``kind`` at the current clock.
+
+        Scheduled specs whose ``at_time_ns`` lies at or before this
+        watermark stop matching ``target`` — so ``repair_module()`` can
+        cleanly un-latch a permanent scheduled ``module_loss`` instead
+        of watching the next :meth:`check` re-fire it forever.
+        Probability- and ber-armed specs are untouched (each check is
+        an independent draw, so repair needs no suppression), and specs
+        scheduled *after* the repair still fire.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._rearmed[(kind, target)] = self.now_ns
 
     # ------------------------------------------------------------------ scoping
     @contextmanager

@@ -15,8 +15,12 @@ package implements that interface:
   simulator;
 - :mod:`repro.host.runtime` — multi-module scale-out: capacity-driven
   module allocation and the host-side global top-k reduction across
-  modules, with degraded-mode merging over surviving shards when
-  modules fail (see ``docs/RELIABILITY.md``);
+  modules, with shard replication (rotated placement, in-request
+  failover) and degraded-mode merging over surviving shards when whole
+  replica sets fail (see ``docs/RELIABILITY.md``);
+- :mod:`repro.host.health` — the per-module UP/SUSPECT/DOWN/RECOVERING
+  state machine with MTTR auto-repair that the replicated runtime
+  routes by;
 - :mod:`repro.host.scheduler` / :mod:`repro.host.serving` — the serving
   substrate: the discrete-event module-pool queue model, and the
   dynamic batcher that coalesces in-flight queries into batched
@@ -25,6 +29,7 @@ package implements that interface:
 
 from repro.host.allocator import AllocationError, FreeListAllocator
 from repro.host.driver import IndexMode, SSAMDriver, SSAMRegion
+from repro.host.health import HealthConfig, HealthTracker, ModuleState
 from repro.host.runtime import DegradedSearchResult, MultiModuleRuntime
 from repro.host.scheduler import (
     BatchedScheduleResult,
@@ -45,6 +50,9 @@ __all__ = [
     "SSAMDriver",
     "SSAMRegion",
     "DegradedSearchResult",
+    "HealthConfig",
+    "HealthTracker",
+    "ModuleState",
     "MultiModuleRuntime",
     "QueryScheduler",
     "ScheduleResult",

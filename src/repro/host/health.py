@@ -1,0 +1,281 @@
+"""Per-module health tracking for the replicated scale-out runtime.
+
+The paper composes SSAM modules over external links to scale capacity;
+a production deployment of that topology needs an answer to "which
+modules can I route to *right now*?".  This module supplies it: a
+:class:`HealthTracker` holds one :class:`ModuleState` per module and
+runs the transition machine that the replicated
+:class:`~repro.host.runtime.MultiModuleRuntime` consults before every
+dispatch:
+
+```
+            non-fatal fault                probation elapsed
+      UP ───────────────────▶ SUSPECT ───────────────────────┐
+       ▲                         │ fault                     │
+       │ success                 ▼                           ▼
+  RECOVERING ◀────────────────  DOWN  ◀──────────────── RECOVERING
+       ▲      mttr elapsed       ▲  fault while recovering
+       └─────────────────────────┘
+```
+
+- **UP** — routable, the steady state.
+- **SUSPECT** — a non-fatal fault (``VaultFault``, ``PUFault``, ...)
+  was observed; the module is routed around for a short probation
+  window (``suspect_ns``), then rejoins as RECOVERING.  A second fault
+  while suspect escalates to DOWN.
+- **DOWN** — a fatal fault (``module_loss``) latched the module, or a
+  suspect module re-faulted.  Routed around for ``mttr_ns`` (the
+  deterministic repair time — the same MTTR model
+  :meth:`repro.host.scheduler.QueryScheduler.simulate` uses), then
+  rejoins as RECOVERING.
+- **RECOVERING** — repaired and routable again, on trial: the first
+  successful dispatch promotes it to UP, a fault demotes it straight
+  back to DOWN.
+
+When ``mttr_ns``/``suspect_ns`` are ``None`` (the default config) the
+repair clocks never fire and every fault latches the module DOWN until
+a manual ``repair_module()`` — exactly the pre-replication behavior.
+
+``mtbf_ns`` optionally arms the tracker's own failure *generator*: the
+seeded exponential inter-failure / deterministic repair model of
+:meth:`QueryScheduler.simulate`, applied to live modules as the clock
+advances.  Every draw comes from one generator seeded with
+``HealthConfig.seed``, so soaks replay byte-identically.
+
+Clocks are nanoseconds to match :class:`repro.faults.FaultInjector`'s
+``now_ns``; the runtime advances that clock by
+``request_tick_ns`` per request, so schedules and repair windows can be
+expressed in request ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry import get_telemetry
+
+__all__ = ["ModuleState", "HealthConfig", "HealthTracker"]
+
+
+class ModuleState(Enum):
+    """Routing state of one SSAM module."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+    RECOVERING = "recovering"
+
+
+#: States a dispatch may be routed to.
+ROUTABLE = (ModuleState.UP, ModuleState.RECOVERING)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs of the health state machine.
+
+    Parameters
+    ----------
+    mttr_ns:
+        Deterministic repair time: a DOWN module rejoins (as
+        RECOVERING) this long after it went down.  ``None`` (default)
+        disables auto-repair — DOWN latches until ``repair_module()``.
+    suspect_ns:
+        Probation window after a non-fatal fault; ``None`` makes every
+        fault fatal (straight to DOWN).  Defaults to ``mttr_ns / 4``
+        when ``mttr_ns`` is set.
+    mtbf_ns:
+        Arms the seeded failure generator: exponential inter-failure
+        times per module (the :meth:`QueryScheduler.simulate` model).
+        ``None`` disables generation — faults then only come from the
+        injector or the indexes.
+    seed:
+        Seed of the failure generator (one
+        :class:`numpy.random.Generator` for every draw).
+    request_tick_ns:
+        How far the runtime advances the fault/health clock per
+        request, so fault schedules and repair windows can be written
+        in request ticks.
+    """
+
+    mttr_ns: Optional[float] = None
+    suspect_ns: Optional[float] = None
+    mtbf_ns: Optional[float] = None
+    seed: int = 0
+    request_tick_ns: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("mttr_ns", "suspect_ns", "mtbf_ns"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if self.request_tick_ns < 0:
+            raise ValueError("request_tick_ns must be non-negative")
+        if self.mtbf_ns is not None and self.mttr_ns is None:
+            raise ValueError("mtbf_ns needs mttr_ns (generated failures "
+                             "must be repairable)")
+
+    @property
+    def effective_suspect_ns(self) -> Optional[float]:
+        if self.suspect_ns is not None:
+            return self.suspect_ns
+        return self.mttr_ns / 4.0 if self.mttr_ns is not None else None
+
+
+class HealthTracker:
+    """The per-module state machine the replicated runtime routes by.
+
+    All transitions are recorded in :attr:`transitions` (a
+    ``(time_ns, module, state)`` ledger) and counted in the telemetry
+    registry (``ssam_health_transitions_total{state=...}``), so a soak
+    run's health history is fully reconstructable.
+    """
+
+    def __init__(self, n_modules: int, config: Optional[HealthConfig] = None):
+        if n_modules <= 0:
+            raise ValueError("n_modules must be positive")
+        self.n_modules = int(n_modules)
+        self.config = config or HealthConfig()
+        self._states: Dict[int, ModuleState] = {
+            m: ModuleState.UP for m in range(self.n_modules)}
+        self._repair_at: Dict[int, float] = {}
+        self._probation_until: Dict[int, float] = {}
+        self.transitions: List[Tuple[float, int, ModuleState]] = []
+        self.fault_counts: Dict[int, int] = {m: 0 for m in range(self.n_modules)}
+        self._rng = np.random.default_rng(self.config.seed)
+        self._next_fail: Dict[int, float] = {}
+        if self.config.mtbf_ns is not None:
+            # One exponential draw per module, in module order, so the
+            # failure schedule depends only on (seed, n_modules).
+            self._next_fail = {
+                m: float(self._rng.exponential(self.config.mtbf_ns))
+                for m in range(self.n_modules)
+            }
+
+    # ------------------------------------------------------------------ state
+    def state(self, module: int) -> ModuleState:
+        return self._states[module]
+
+    def routable(self, module: int) -> bool:
+        """True when dispatches may be sent to ``module``."""
+        return self._states[module] in ROUTABLE
+
+    def counts(self) -> Dict[str, int]:
+        """Module count per state name (``{"up": 3, "down": 1, ...}``)."""
+        out = {state.value: 0 for state in ModuleState}
+        for state in self._states.values():
+            out[state.value] += 1
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Per-module states + aggregate counts (for health endpoints)."""
+        return {
+            "modules": {m: s.value for m, s in sorted(self._states.items())},
+            "counts": self.counts(),
+            "faults": dict(self.fault_counts),
+        }
+
+    def _set(self, module: int, state: ModuleState, now_ns: float) -> None:
+        if self._states[module] is state:
+            return
+        self._states[module] = state
+        self.transitions.append((now_ns, module, state))
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_health_transitions_total", 1,
+                help="module health-state transitions, by destination state",
+                state=state.value)
+
+    # ------------------------------------------------------------------ events
+    def record_fault(self, module: int, now_ns: float,
+                     fatal: bool = False) -> ModuleState:
+        """Fold one observed fault into the machine; returns the new state.
+
+        ``fatal`` marks whole-module loss (straight to DOWN); non-fatal
+        faults pass through SUSPECT first when a probation window is
+        configured.  A fault while SUSPECT or RECOVERING always
+        escalates to DOWN.
+        """
+        self.fault_counts[module] = self.fault_counts.get(module, 0) + 1
+        state = self._states[module]
+        suspect_ns = self.config.effective_suspect_ns
+        if (fatal or suspect_ns is None
+                or state in (ModuleState.SUSPECT, ModuleState.RECOVERING)):
+            self._set(module, ModuleState.DOWN, now_ns)
+            if self.config.mttr_ns is not None:
+                self._repair_at[module] = now_ns + self.config.mttr_ns
+            else:
+                self._repair_at.pop(module, None)
+            self._probation_until.pop(module, None)
+        else:
+            self._set(module, ModuleState.SUSPECT, now_ns)
+            self._probation_until[module] = now_ns + suspect_ns
+        return self._states[module]
+
+    def record_success(self, module: int, now_ns: float) -> None:
+        """A dispatch answered cleanly: RECOVERING modules graduate to UP."""
+        if self._states[module] is ModuleState.RECOVERING:
+            self._set(module, ModuleState.UP, now_ns)
+
+    def force_down(self, module: int, now_ns: float) -> None:
+        """Manual ``fail_module``: latch DOWN (repair clock still applies)."""
+        self.record_fault(module, now_ns, fatal=True)
+
+    def force_up(self, module: int, now_ns: float) -> None:
+        """Manual ``repair_module``: back to UP immediately."""
+        self._repair_at.pop(module, None)
+        self._probation_until.pop(module, None)
+        self._set(module, ModuleState.UP, now_ns)
+
+    # ------------------------------------------------------------------ clock
+    def advance(self, now_ns: float) -> Tuple[List[int], List[int]]:
+        """Advance the repair/failure clocks to ``now_ns``.
+
+        Returns ``(newly_failed, newly_recovered)`` module lists —
+        modules the armed MTBF generator just took down, and modules
+        whose repair (or probation) elapsed and are routable again.
+        The caller (the runtime) un-latches the recovered ones and
+        latches the failed ones.
+        """
+        failed: List[int] = []
+        recovered: List[int] = []
+        # Generated failures first (they may then start a repair clock
+        # that elapses in a *later* advance, never this one).
+        if self._next_fail:
+            for m in range(self.n_modules):
+                next_fail = self._next_fail.get(m)
+                if next_fail is None:
+                    continue
+                while next_fail <= now_ns:
+                    repair_at = next_fail + float(self.config.mttr_ns)
+                    if self._states[m] in ROUTABLE + (ModuleState.SUSPECT,):
+                        self.fault_counts[m] = self.fault_counts.get(m, 0) + 1
+                        self._set(m, ModuleState.DOWN, next_fail)
+                        self._repair_at[m] = repair_at
+                        self._probation_until.pop(m, None)
+                        failed.append(m)
+                    # Next inter-failure gap starts after the repair,
+                    # exactly as in QueryScheduler.simulate.
+                    next_fail = repair_at + float(
+                        self._rng.exponential(self.config.mtbf_ns))
+                self._next_fail[m] = next_fail
+        for m in range(self.n_modules):
+            state = self._states[m]
+            if state is ModuleState.DOWN:
+                repair_at = self._repair_at.get(m)
+                if repair_at is not None and repair_at <= now_ns:
+                    self._set(m, ModuleState.RECOVERING, repair_at)
+                    self._repair_at.pop(m, None)
+                    recovered.append(m)
+            elif state is ModuleState.SUSPECT:
+                until = self._probation_until.get(m)
+                if until is not None and until <= now_ns:
+                    self._set(m, ModuleState.RECOVERING, until)
+                    self._probation_until.pop(m, None)
+                    recovered.append(m)
+        return failed, recovered

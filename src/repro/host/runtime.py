@@ -1,4 +1,4 @@
-"""Multi-module scale-out runtime.
+"""Multi-module scale-out runtime with replicated, health-aware shards.
 
 When the corpus exceeds one cube's capacity, the paper composes modules
 over the external links ("these additional links and SSAM modules allow
@@ -19,22 +19,42 @@ Overlap means the same global row can come back from two shards, so the
 merge dedupes candidate ids per query before the final top-k — without
 that, a duplicated row would occupy two of the k result slots.
 
+Replication (``replication_factor=r``): each shard is *placed* on ``r``
+modules with rotated placement — replica ``j`` of shard ``s`` lives on
+module ``(s + j) % n_modules`` — so no single module holds two copies
+of any shard.  A query is served from one healthy replica per shard
+(the least-recently-used one, so load spreads), and a replica that
+faults mid-request **fails over to a sibling within the same request**:
+as long as any replica of every shard is alive, the response is
+``degraded=False`` with zero recall loss and answers bit-exact with the
+fault-free run (replicas of a shard share one deterministically built
+index).  ``expected_recall_loss`` counts only the rows of shards whose
+*every* replica is down.
+
+Health: a :class:`~repro.host.health.HealthTracker` (see
+``repro.host.health``) drives per-module ``UP / SUSPECT / DOWN /
+RECOVERING`` state from fault events and — when a
+:class:`~repro.host.health.HealthConfig` arms the repair clocks — an
+MTTR model, so failed modules rejoin automatically instead of
+requiring manual :meth:`repair_module`.  Repair (manual or automatic)
+re-arms the fault injector for that module
+(:meth:`repro.faults.FaultInjector.rearm`), so a permanent scheduled
+``module_loss`` does not instantly re-latch the repaired module.
+
 Degraded-mode serving: a kNN service has an unusual graceful-degradation
 story — losing a shard does not fail the query, it measurably lowers
 *recall* (the lost rows simply can't be returned).  ``search`` therefore
-merges over the surviving shards when modules are down (explicitly via
-:meth:`fail_module` or through an attached
-:class:`repro.faults.FaultInjector` firing ``module_loss``), marks the
-response ``degraded=True``, and reports the expected recall loss as the
-fraction of *unique* corpus rows unreachable (a row replicated into a
-surviving shard is not lost).  Only when *every* shard is down does the
-query fail (:class:`repro.faults.ModuleLost`).
+merges over the surviving shards when whole replica sets are down,
+marks the response ``degraded=True``, and reports the expected recall
+loss as the fraction of *unique* corpus rows unreachable.  Only when
+*every* shard is unreachable does the query fail
+(:class:`repro.faults.ModuleLost`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -43,6 +63,7 @@ from repro.ann.base import Index
 from repro.core.config import SSAMConfig
 from repro.core.parallel import SimExecutor, make_executor
 from repro.faults.errors import FaultError, ModuleLost
+from repro.host.health import HealthConfig, HealthTracker, ModuleState
 from repro.telemetry import get_telemetry
 
 __all__ = ["MultiModuleRuntime", "DegradedSearchResult", "merge_shard_results"]
@@ -50,16 +71,20 @@ __all__ = ["MultiModuleRuntime", "DegradedSearchResult", "merge_shard_results"]
 
 @dataclass
 class _Shard:
-    """One module's slice of the corpus.
+    """One replica of one shard, placed on one module.
 
     ``rows`` maps the shard's local row ids to global corpus ids; with
     contiguous non-overlapping sharding it is ``arange(lo, hi)``, with
-    overlap it also carries the replicated boundary rows.
+    overlap it also carries the replicated boundary rows.  Replicas of
+    the same ``shard_index`` share ``rows`` and (until a test swaps one
+    out) the same built ``index`` object, so whichever replica answers,
+    the answer is identical.
     """
 
     module_index: int
     rows: np.ndarray
     index: Index
+    shard_index: int = 0
 
     @property
     def row_offset(self) -> int:
@@ -76,12 +101,13 @@ DegradedSearchResult = SearchResult
 
 def _shard_search_task(index: Index, module_index: int, queries: np.ndarray,
                        k: int, checks: Optional[int]) -> "tuple[str, object]":
-    """One shard's search, run inside the parallel backend.
+    """One shard replica's search, run inside the parallel backend.
 
-    Module-level (picklable) for process pools.  A shard that faults
+    Module-level (picklable) for process pools.  A replica that faults
     mid-request returns ``("fault", error_name)`` instead of raising,
-    so the parent folds it into degraded-mode accounting exactly as the
-    serial loop does — one dead shard never kills the batch.
+    so the parent fails over to a sibling replica (or folds the shard
+    into degraded-mode accounting) exactly as the serial loop does —
+    one dead replica never kills the batch.
     """
     tel = get_telemetry()
     with tel.tracer.span("shard.search", "runtime", module=module_index,
@@ -138,8 +164,8 @@ class MultiModuleRuntime:
 
     Uses the functional (NumPy) per-module search path; the point of
     this class is the *distribution* logic — capacity-driven sharding,
-    broadcast, and the host-side global top-k reduction — which is
-    identical for both backends.
+    replica placement, broadcast, failover, and the host-side global
+    top-k reduction — which is identical for both backends.
 
     Parameters
     ----------
@@ -147,17 +173,33 @@ class MultiModuleRuntime:
         Design point (capacity drives the shard count) and distance.
     injector:
         Optional :class:`repro.faults.FaultInjector`; ``module_loss``
-        faults checked per shard per request latch the module failed.
+        faults checked per module per request latch the module DOWN,
+        and ``pu_crash`` faults checked per dispatch knock out single
+        requests (triggering in-request failover).  All draws happen
+        on the main thread in a fixed order, so fault schedules are
+        worker-count-invariant.
     index_factory:
         ``index_factory(shard_data) -> built Index`` backing each
         shard; default is exact ``LinearScan(metric)``.  Local result
         ids are mapped to global ids through the shard's row map, so
-        any :class:`~repro.ann.base.Index` works.
+        any :class:`~repro.ann.base.Index` works.  The factory must be
+        deterministic for replication's bit-exact failover guarantee
+        to hold (every bundled index builds from a fixed seed).
     shard_overlap:
         Fraction of each shard's span replicated from the *next*
         shard's leading rows (0 ≤ overlap < 1).  Overlap keeps
         boundary neighborhoods intact for per-shard graph indexes and
         lowers degraded-mode recall loss.
+    replication_factor:
+        Number of modules each shard is placed on (rotated placement;
+        must not exceed the module count).  ``r >= 2`` gives
+        zero-recall-loss failover for any single-module failure.
+    health:
+        Optional :class:`~repro.host.health.HealthConfig` arming the
+        MTTR auto-repair clocks (and optionally the seeded MTBF
+        failure generator).  Without it, every fault latches its
+        module DOWN until :meth:`repair_module` — the pre-replication
+        behavior.
     workers / parallel:
         Parallel backend for the shard broadcast (see
         :mod:`repro.core.parallel`): live shards search concurrently
@@ -173,20 +215,33 @@ class MultiModuleRuntime:
         injector: Optional[object] = None,
         index_factory: Optional[Callable[[np.ndarray], Index]] = None,
         shard_overlap: float = 0.0,
+        replication_factor: int = 1,
+        health: Optional[HealthConfig] = None,
         workers: Optional[int] = None,
         parallel: Optional[str] = None,
     ):
         if not 0.0 <= shard_overlap < 1.0:
             raise ValueError("shard_overlap must be in [0, 1)")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         self.config = config or SSAMConfig.design(4)
         self.metric = metric
         self.injector = injector
         self.index_factory = index_factory
         self.shard_overlap = float(shard_overlap)
+        self.replication_factor = int(replication_factor)
+        self.health_config = health
+        self.health: Optional[HealthTracker] = None
         self.executor: SimExecutor = make_executor(workers, parallel)
         self.shards: List[_Shard] = []
+        self._groups: List[List[_Shard]] = []
         self._failed: set = set()
         self._n_rows = 0
+        self._surviving_cache: Optional[np.ndarray] = None
+        self._last_used: Dict[int, int] = {}
+        self._use_tick = 0
+        self._now_ns_internal = 0.0
+        self.failover_counts: Dict[int, int] = {}
 
     def close(self) -> None:
         """Release the parallel executor's worker pool (idempotent)."""
@@ -208,20 +263,32 @@ class MultiModuleRuntime:
 
         ``n_modules`` overrides the capacity-driven count (graph
         scale-out experiments want a fixed shard fan-out regardless of
-        corpus bytes).
+        corpus bytes).  Capacity is checked against the *replicated*
+        footprint: ``replication_factor`` copies of every row must fit.
         """
         arr = np.asarray(data)
         if arr.ndim != 2 or arr.shape[0] == 0:
             raise ValueError("data must be a non-empty (n, d) array")
         if n_modules is None:
-            n_modules = self.modules_needed(arr.nbytes)
+            n_modules = self.modules_needed(arr.nbytes * self.replication_factor)
         if n_modules <= 0:
             raise ValueError("n_modules must be positive")
+        if self.replication_factor > n_modules:
+            raise ValueError(
+                f"replication_factor={self.replication_factor} exceeds the "
+                f"module count ({n_modules}); replicas of one shard must "
+                "land on distinct modules")
         bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
         self.shards = []
+        self._groups = []
         self._failed = set()
-        for m in range(n_modules):
-            lo, hi = int(bounds[m]), int(bounds[m + 1])
+        self._surviving_cache = None
+        self._last_used = {}
+        self._use_tick = 0
+        self.failover_counts = {}
+        self.health = HealthTracker(n_modules, self.health_config)
+        for s in range(n_modules):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
             if hi <= lo:
                 continue
             rows = np.arange(lo, hi, dtype=np.int64)
@@ -234,55 +301,152 @@ class MultiModuleRuntime:
                     borrowed = (np.arange(hi, hi + extra) % arr.shape[0]).astype(np.int64)
                     borrowed = borrowed[~np.isin(borrowed, rows)]
                     rows = np.concatenate([rows, borrowed])
-            self.shards.append(
-                _Shard(
-                    module_index=m,
-                    rows=rows,
-                    index=self._build_shard_index(arr[rows]),
+            # One deterministic build per shard, shared by its replicas
+            # (rotated placement: replica j lands on module (s + j) %
+            # n_modules, so no module holds two copies of one shard).
+            index = self._build_shard_index(arr[rows])
+            group: List[_Shard] = []
+            for j in range(self.replication_factor):
+                group.append(
+                    _Shard(
+                        module_index=(s + j) % n_modules,
+                        rows=rows,
+                        index=index,
+                        shard_index=s,
+                    )
                 )
-            )
+            self._groups.append(group)
+            self.shards.extend(group)
         self._n_rows = arr.shape[0]
         return n_modules
 
     # ------------------------------------------------------------ fault state
     def fail_module(self, module_index: int) -> None:
-        """Mark one module's shard unreachable (until repaired)."""
+        """Mark one module unreachable (until repaired)."""
         self._failed.add(module_index)
+        self._surviving_cache = None
+        if self.health is not None:
+            self.health.force_down(module_index, self._now_ns())
 
     def repair_module(self, module_index: int) -> None:
+        """Return one module to service, re-arming its fault schedule."""
         self._failed.discard(module_index)
+        self._surviving_cache = None
+        if self.health is not None:
+            self.health.force_up(module_index, self._now_ns())
+        if self.injector is not None:
+            self.injector.rearm("module_loss", module_index)
 
     def repair_all(self) -> None:
+        for m in sorted(self._failed):
+            self.repair_module(m)
         self._failed = set()
+        self._surviving_cache = None
 
     @property
     def failed_modules(self) -> List[int]:
         return sorted(self._failed)
 
     def surviving_rows(self) -> np.ndarray:
-        """Unique global row ids still reachable (for recall accounting)."""
-        alive = [
-            s.rows for s in self.shards if s.module_index not in self._failed
-        ]
-        if not alive:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(alive))
+        """Unique global row ids still reachable (for recall accounting).
 
-    def _shard_alive(self, shard: _Shard) -> bool:
-        if shard.module_index in self._failed:
-            return False
-        if self.injector is not None and self.injector.check("module_loss", shard.module_index):
-            self._failed.add(shard.module_index)
-            return False
-        return True
+        A row survives while *any* replica of its shard sits on a
+        non-failed module.  The result is cached and invalidated on
+        every fail/repair transition, so degraded-mode queries do not
+        recompute the union per request.
+        """
+        if self._surviving_cache is None:
+            alive = [
+                group[0].rows for group in self._groups
+                if any(rep.module_index not in self._failed for rep in group)
+            ]
+            if not alive:
+                self._surviving_cache = np.empty(0, dtype=np.int64)
+            else:
+                self._surviving_cache = np.unique(np.concatenate(alive))
+        return self._surviving_cache
+
+    # ------------------------------------------------------------ clock/health
+    def _now_ns(self) -> float:
+        if self.injector is not None:
+            return self.injector.now_ns
+        return self._now_ns_internal
+
+    def _tick_clock(self) -> None:
+        """Advance the fault/health clock by one request tick.
+
+        Auto-repair happens here: modules whose MTTR (or probation)
+        elapsed leave the failed set and become routable again, and
+        modules the armed MTBF generator took down are latched.
+        """
+        tick = (self.health_config.request_tick_ns
+                if self.health_config is not None else 0.0)
+        if tick:
+            if self.injector is not None:
+                self.injector.advance(tick)
+            else:
+                self._now_ns_internal += tick
+        if self.health is None:
+            return
+        failed, recovered = self.health.advance(self._now_ns())
+        for m in failed:
+            self._failed.add(m)
+            self._surviving_cache = None
+        for m in recovered:
+            self._failed.discard(m)
+            self._surviving_cache = None
+            if self.injector is not None:
+                self.injector.rearm("module_loss", m)
+
+    def _mark_fault(self, module_index: int, error_name: str) -> None:
+        """Latch a module that faulted, updating health + telemetry."""
+        self._failed.add(module_index)
+        self._surviving_cache = None
+        if self.health is not None:
+            self.health.record_fault(module_index, self._now_ns(),
+                                     fatal=error_name == "ModuleLost")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_shard_faults_total", 1,
+                help="shard replicas dropped from a merge mid-request")
+
+    def _count_failover(self, from_module: int, to_module: int) -> None:
+        self.failover_counts[to_module] = self.failover_counts.get(to_module, 0) + 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_failovers_total", 1,
+                help="dispatches failed over to a sibling replica, by "
+                     "destination module",
+                module=to_module)
+
+    # ------------------------------------------------------------ routing
+    def _replica_order(self, group: List[_Shard]) -> List[_Shard]:
+        """Healthy replicas of one shard, least-recently-used first.
+
+        SUSPECT modules are not routed to; DOWN modules are latched in
+        ``_failed``.  Ties break on module index, so the order — and
+        therefore every routing decision — is deterministic.
+        """
+        healthy = [rep for rep in group if rep.module_index not in self._failed]
+        healthy.sort(key=lambda rep: (self._last_used.get(rep.module_index, -1),
+                                      rep.module_index))
+        return healthy
+
+    def _touch(self, module_index: int) -> None:
+        self._use_tick += 1
+        self._last_used[module_index] = self._use_tick
 
     # ------------------------------------------------------------ search
     def search(self, queries: np.ndarray, k: int,
                checks: Optional[int] = None) -> SearchResult:
-        """Broadcast queries to every live module; merge per-module top-k.
+        """Broadcast queries to one healthy replica of every shard.
 
-        Shards that are down (or that fault mid-request) are dropped
-        from the merge; the response is then ``degraded=True`` with the
+        A replica that is down — or that faults mid-request — is
+        replaced by a sibling replica *within this request*; only a
+        shard whose every replica is unreachable drops out of the
+        merge, making the response ``degraded=True`` with the
         unreachable *unique* corpus fraction in
         ``expected_recall_loss``.  ``checks`` is forwarded to
         approximate shard indexes.
@@ -290,76 +454,168 @@ class MultiModuleRuntime:
         if not self.shards:
             raise RuntimeError("load() a dataset before search()")
         tel = get_telemetry()
+        self._tick_clock()
         n_queries = int(np.atleast_2d(np.asarray(queries)).shape[0])
         with tel.tracer.span(
             "runtime.search", "runtime", queries=n_queries, k=k,
-            shards=len(self.shards),
+            shards=len(self._groups), replicas=len(self.shards),
         ) as span:
-            partials = []
-            stats = SearchStats()
-            # Liveness — and the injector's module_loss RNG draws — is
-            # checked on the main thread in shard order before the
-            # broadcast, so fault schedules fire identically at any
-            # worker count.
-            live: List[_Shard] = []
-            for shard in self.shards:
-                if self._shard_alive(shard):
-                    live.append(shard)
+            # Liveness — and every injector RNG draw — happens on the
+            # main thread in a fixed order (modules ascending, then
+            # shards ascending), so fault schedules fire identically at
+            # any worker count.
+            if self.injector is not None:
+                for m in sorted({rep.module_index for rep in self.shards}):
+                    if m in self._failed:
+                        continue
+                    if self.injector.check("module_loss", m):
+                        self._mark_fault(m, "ModuleLost")
+            # Route each shard to its least-recently-used healthy
+            # replica; pu_crash draws at dispatch knock single requests
+            # out and fail over to the next replica immediately.
+            chosen: List[Optional[_Shard]] = []
+            fallbacks: List[List[_Shard]] = []
+            for group in self._groups:
+                order = self._replica_order(group)
+                pick = None
+                while order:
+                    rep = order[0]
+                    if (self.injector is not None
+                            and self.injector.check("pu_crash", rep.module_index)):
+                        self._mark_fault(rep.module_index, "PUFault")
+                        order = [r for r in order[1:]
+                                 if r.module_index not in self._failed]
+                        if order:
+                            self._count_failover(rep.module_index,
+                                                 order[0].module_index)
+                        continue
+                    pick = rep
+                    break
+                if pick is None:
+                    chosen.append(None)
+                    fallbacks.append([])
+                    with tel.tracer.span(
+                        "shard.search", "runtime",
+                        module=group[0].module_index,
+                        rows=group[0].index.n,
+                    ) as shard_span:
+                        shard_span.set(skipped="down")
                     continue
-                with tel.tracer.span(
-                    "shard.search", "runtime", module=shard.module_index,
-                    rows=shard.index.n,
-                ) as shard_span:
-                    shard_span.set(skipped="down")
+                self._touch(pick.module_index)
+                chosen.append(pick)
+                fallbacks.append(order[1:])
+            live = [rep for rep in chosen if rep is not None]
             outputs = self.executor.map(
                 _shard_search_task,
-                [(shard.index, shard.module_index, queries, k, checks)
-                 for shard in live],
+                [(rep.index, rep.module_index, queries, k, checks)
+                 for rep in live],
             )
-            # Fold in shard order: a shard that faulted mid-request is
-            # latched failed and dropped from the merge (degraded-mode
-            # semantics), never fatal while any sibling survives.
-            for shard, (status, payload) in zip(live, outputs):
-                if status == "fault":
-                    self._failed.add(shard.module_index)
-                    if tel.enabled:
-                        tel.metrics.inc(
-                            "ssam_shard_faults_total", 1,
-                            help="shards dropped from a merge mid-request")
+            outputs_iter = iter(outputs)
+            partials = []
+            stats = SearchStats()
+            lost_shards: List[int] = []
+            now = self._now_ns()
+            for group, pick, backups in zip(self._groups, chosen, fallbacks):
+                if pick is None:
+                    lost_shards.append(group[0].shard_index)
                     continue
-                res = payload
+                status, payload = next(outputs_iter)
+                if status == "fault":
+                    self._mark_fault(pick.module_index, payload)
+                    # Fail over to a sibling replica within this
+                    # request — serially, on the main thread, so the
+                    # retry order is deterministic.
+                    status, payload = self._failover(
+                        pick, backups, queries, k, checks)
+                if status == "fault":
+                    lost_shards.append(group[0].shard_index)
+                    continue
+                if status == "ok-failover":
+                    res, serving_rep = payload
+                    rows = serving_rep.rows
+                    if self.health is not None:
+                        self.health.record_success(serving_rep.module_index, now)
+                else:
+                    res = payload
+                    rows = pick.rows
+                    if self.health is not None:
+                        self.health.record_success(pick.module_index, now)
                 # Map shard-local row ids to global corpus ids.
-                ids = np.where(res.ids >= 0, shard.rows[np.clip(res.ids, 0, None)], -1)
+                ids = np.where(res.ids >= 0, rows[np.clip(res.ids, 0, None)], -1)
                 partials.append((ids, res.distances))
                 stats += res.stats
             if not partials:
                 raise ModuleLost(detail="no surviving shards to serve the query")
             merged_ids, merged_d = merge_shard_results(partials, k)
             failed = sorted(self._failed)
-            if failed and self._n_rows:
+            degraded = bool(lost_shards)
+            if degraded and self._n_rows:
                 recall_loss = 1.0 - self.surviving_rows().size / self._n_rows
             else:
                 recall_loss = 0.0
             if tel.enabled:
-                span.set(degraded=bool(failed), failed_modules=len(failed),
+                span.set(degraded=degraded, failed_modules=len(failed),
+                         lost_shards=len(lost_shards),
                          expected_recall_loss=recall_loss)
                 tel.metrics.inc("ssam_runtime_queries_total", n_queries,
                                 help="queries served by the multi-module merge")
-                if failed:
+                if degraded:
                     tel.metrics.inc("ssam_degraded_responses_total", 1,
                                     help="merges served from surviving shards")
             return SearchResult(
                 ids=merged_ids,
                 distances=merged_d,
                 stats=stats,
-                degraded=bool(failed),
+                degraded=degraded,
                 failed_modules=failed,
                 expected_recall_loss=recall_loss,
             )
 
+    def _failover(self, failed_rep: _Shard, backups: List[_Shard],
+                  queries: np.ndarray, k: int,
+                  checks: Optional[int]) -> "tuple[str, object]":
+        """Retry one shard's search on its sibling replicas, in LRU order.
+
+        Returns ``("ok-failover", (result, replica))`` from the first
+        sibling that answers, or ``("fault", last_error)`` when every
+        replica is down — the shard is then lost for this request.
+        """
+        last_error = "ModuleLost"
+        prev = failed_rep
+        for rep in backups:
+            if rep.module_index in self._failed:
+                continue
+            self._count_failover(prev.module_index, rep.module_index)
+            self._touch(rep.module_index)
+            status, payload = _shard_search_task(
+                rep.index, rep.module_index, queries, k, checks)
+            if status == "ok":
+                return ("ok-failover", (payload, rep))
+            self._mark_fault(rep.module_index, payload)
+            last_error = payload
+            prev = rep
+        return ("fault", last_error)
+
+    # ------------------------------------------------------------ health views
+    def module_states(self) -> Dict[int, str]:
+        """Current health state name per module (empty before load)."""
+        if self.health is None:
+            return {}
+        return {m: self.health.state(m).value
+                for m in range(self.health.n_modules)}
+
+    def replica_map(self) -> Dict[int, List[int]]:
+        """``shard_index -> [module, ...]`` placement (for inspection)."""
+        return {group[0].shard_index: [rep.module_index for rep in group]
+                for group in self._groups}
+
     @property
     def n_modules(self) -> int:
-        return len(self.shards)
+        return len({rep.module_index for rep in self.shards})
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._groups)
 
     @property
     def n_rows(self) -> int:

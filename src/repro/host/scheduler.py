@@ -97,6 +97,11 @@ class BatchedScheduleResult(ScheduleResult):
     throttled: int = 0
     throttle_seconds: float = 0.0
     queue_peak: int = 0
+    #: Admission-queue depth right after each dispatch (one entry per
+    #: batch) — the backpressure-onset signal the serving engine exports
+    #: as the ``ssam_admission_queue_depth`` gauge.
+    queue_depths: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
 
     @property
     def n_batches(self) -> int:
@@ -352,6 +357,7 @@ class QueryScheduler:
         latencies = np.empty(n_queries)
         batches: List[List[int]] = []
         batch_sizes: List[int] = []
+        queue_depths: List[int] = []
         throttled = 0
         throttle_s = 0.0
         queue_peak = 0
@@ -436,6 +442,7 @@ class QueryScheduler:
                 latencies[qi] = done - arrivals[qi]
             batches.append([qi for _, qi in batch])
             batch_sizes.append(size)
+            queue_depths.append(len(queue))
             if rec:
                 tel.tracer.sim_span(
                     "batch.form", "serving", clock="sched",
@@ -463,6 +470,7 @@ class QueryScheduler:
             n_modules=self.n_modules,
             batches=batches,
             batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+            queue_depths=np.asarray(queue_depths, dtype=np.int64),
             throttled=throttled,
             throttle_seconds=throttle_s,
             queue_peak=queue_peak,

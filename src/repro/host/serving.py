@@ -231,6 +231,51 @@ class ServingEngine:
             return search(queries, k)
         return self.backend(queries, k)
 
+    # ------------------------------------------------------------ health
+    def _runtime(self):
+        """The replicated runtime behind the backend, if there is one."""
+        runtime = getattr(self.backend, "runtime", None)
+        if runtime is None and hasattr(self.backend, "module_states"):
+            runtime = self.backend
+        return runtime
+
+    def health_summary(self) -> dict:
+        """Per-module health + failover view of the backend.
+
+        Keys: ``modules`` (module -> state name), ``counts`` (state
+        name -> module count), ``faults`` (module -> observed faults),
+        ``failovers`` (module -> dispatches it absorbed as a failover
+        target).  All empty when the backend is not a replicated
+        runtime (or an :class:`~repro.api.SSAMSystem` wrapping one).
+        """
+        runtime = self._runtime()
+        if runtime is None or getattr(runtime, "health", None) is None:
+            return {"modules": {}, "counts": {}, "faults": {}, "failovers": {}}
+        summary = runtime.health.summary()
+        summary["failovers"] = dict(runtime.failover_counts)
+        return summary
+
+    def _export_health(self, tel) -> None:
+        """Gauge the health summary into the telemetry registry."""
+        summary = self.health_summary()
+        if not summary["modules"]:
+            return
+        for state, count in summary["counts"].items():
+            tel.metrics.set_gauge(
+                "ssam_modules_by_state", count,
+                help="modules currently in each health state", state=state)
+        for m, state in summary["modules"].items():
+            tel.metrics.set_gauge(
+                "ssam_module_routable",
+                1 if state in ("up", "recovering") else 0,
+                help="1 when dispatches may be routed to the module",
+                module=m)
+        for m, count in summary["failovers"].items():
+            tel.metrics.set_gauge(
+                "ssam_module_failovers", count,
+                help="failover dispatches absorbed by the module so far",
+                module=m)
+
     # ------------------------------------------------------------ serving
     def serve(
         self,
@@ -280,6 +325,20 @@ class ServingEngine:
                 tel.metrics.inc(
                     "ssam_serving_queries_total", n,
                     help="queries answered through the serving engine")
+                if schedule.queue_depths.size:
+                    # Backpressure onset, directly observable instead of
+                    # inferred from the latency bill.
+                    tel.metrics.set_gauge(
+                        "ssam_admission_queue_depth",
+                        int(schedule.queue_depths[-1]),
+                        help="admission-queue depth after the last dispatch "
+                             "of the most recent serve()")
+                    tel.metrics.set_gauge(
+                        "ssam_admission_queue_depth_peak",
+                        int(schedule.queue_depths.max()),
+                        help="peak post-dispatch admission-queue depth of "
+                             "the most recent serve()")
+                self._export_health(tel)
         report = ServingReport(result=result, schedule=schedule,
                                baseline=baseline)
         if compare_per_query:

@@ -1,0 +1,494 @@
+"""Replicated shards: placement, failover, health, repair, chaos gates."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ALGORITHMS, HealthConfig, ModuleState, SSAMSystem
+from repro.core.config import SSAMConfig
+from repro.faults import FaultPlan, ModuleLost, VaultFault
+from repro.host import MultiModuleRuntime, QueryScheduler, ServingEngine
+from repro.host.health import HealthTracker
+from repro.host.runtime import merge_shard_results
+
+RNG = np.random.default_rng(9)
+DATA = RNG.standard_normal((240, 8)).astype(np.float64)
+QUERIES = DATA[:6] + 0.01
+
+#: The five algorithms the scale-out runtime shards (acceptance set).
+SCALE_OUT_ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+
+#: Small per-shard index knobs so every build stays test-fast.
+PARAMS = {
+    "exact": {},
+    "kdtree": {"n_trees": 2},
+    "kmeans": {"branching": 4},
+    "mplsh": {"n_tables": 4, "n_bits": 8},
+    "graph": {"max_degree": 8, "ef_construction": 16},
+}
+
+
+def _replicated(r=2, n_modules=4, injector=None, health=None,
+                data=DATA, **kw) -> MultiModuleRuntime:
+    rt = MultiModuleRuntime(
+        SSAMConfig(capacity_bytes=data.nbytes),
+        injector=injector, replication_factor=r, health=health, **kw)
+    rt.load(data, n_modules=n_modules)
+    return rt
+
+
+def _build_system(algo, *, fault_plan=None, health=None, parallel=None,
+                  workers=None, r=2):
+    return SSAMSystem.build(
+        DATA, algo=algo, scale_out=True, n_modules=4, replication_factor=r,
+        index_params=dict(PARAMS[algo]), fault_plan=fault_plan, health=health,
+        workers=workers, parallel=parallel)
+
+
+class TestPlacement:
+    def test_rotated_placement_no_module_holds_two_copies(self):
+        rt = _replicated(r=2, n_modules=4)
+        for shard_index, modules in rt.replica_map().items():
+            assert len(modules) == len(set(modules)) == 2
+            assert modules == [shard_index, (shard_index + 1) % 4]
+        rt.close()
+
+    def test_replicas_share_one_built_index(self):
+        rt = _replicated(r=3, n_modules=4)
+        for group_start in range(0, len(rt.shards), 3):
+            group = rt.shards[group_start:group_start + 3]
+            assert len({id(s.index) for s in group}) == 1
+        rt.close()
+
+    def test_replication_factor_cannot_exceed_modules(self):
+        rt = MultiModuleRuntime(SSAMConfig(capacity_bytes=DATA.nbytes),
+                                replication_factor=5)
+        with pytest.raises(ValueError, match="replication_factor"):
+            rt.load(DATA, n_modules=4)
+
+    def test_capacity_accounts_for_replicated_footprint(self):
+        rt = MultiModuleRuntime(
+            SSAMConfig(capacity_bytes=DATA.nbytes // 2 + 1),
+            replication_factor=2)
+        n = rt.load(DATA)
+        assert n >= 4          # 2x footprint needs twice the modules
+        rt.close()
+
+    def test_r1_layout_matches_unreplicated(self):
+        rt = _replicated(r=1, n_modules=4)
+        assert [s.module_index for s in rt.shards] == [0, 1, 2, 3]
+        assert rt.n_shards == 4
+        rt.close()
+
+
+class TestFailover:
+    def test_single_module_loss_not_degraded_bit_exact(self):
+        ref_rt = _replicated()
+        ref = ref_rt.search(QUERIES, 5)
+        ref_rt.close()
+        for victim in range(4):
+            rt = _replicated()
+            rt.fail_module(victim)
+            res = rt.search(QUERIES, 5)
+            assert not res.degraded
+            assert res.expected_recall_loss == 0.0
+            np.testing.assert_array_equal(res.ids, ref.ids)
+            np.testing.assert_array_equal(res.distances, ref.distances)
+            rt.close()
+
+    def test_mid_request_fault_fails_over_within_request(self):
+        ref_rt = _replicated()
+        ref = ref_rt.search(QUERIES, 5)
+        ref_rt.close()
+
+        rt = _replicated()
+
+        class FaultingIndex:
+            n = rt.shards[0].index.n
+
+            def search(self, queries, k, **kw):
+                raise VaultFault(0, "injected mid-request")
+
+        # Shard-major layout: shards[0] is shard 0's replica on module
+        # 0, shards[1] its sibling on module 1 (untouched).
+        rt.shards[0].index = FaultingIndex()
+        res = rt.search(QUERIES, 5)
+        assert not res.degraded
+        assert res.expected_recall_loss == 0.0
+        np.testing.assert_array_equal(res.ids, ref.ids)
+        np.testing.assert_array_equal(res.distances, ref.distances)
+        assert sum(rt.failover_counts.values()) >= 1
+        assert 0 in rt.failed_modules
+        rt.close()
+
+    def test_both_replicas_down_degrades_only_that_shard(self):
+        rt = _replicated()          # shard 1 lives on modules 1 and 2
+        rt.fail_module(1)
+        rt.fail_module(2)
+        res = rt.search(QUERIES, 5)
+        assert res.degraded
+        assert res.failed_modules == [1, 2]
+        # Exactly one of four shards is unreachable.
+        assert res.expected_recall_loss == pytest.approx(0.25, abs=0.02)
+        lost = np.setdiff1d(np.arange(DATA.shape[0]), rt.surviving_rows())
+        assert not np.isin(res.ids, lost).any()
+        rt.close()
+
+    def test_disjoint_double_loss_keeps_zero_recall_loss(self):
+        ref_rt = _replicated()
+        ref = ref_rt.search(QUERIES, 5)
+        ref_rt.close()
+        rt = _replicated()          # rotated: shards (0,1),(1,2),(2,3),(3,0)
+        rt.fail_module(1)
+        rt.fail_module(3)
+        res = rt.search(QUERIES, 5)
+        assert not res.degraded and res.expected_recall_loss == 0.0
+        np.testing.assert_array_equal(res.ids, ref.ids)
+        rt.close()
+
+    def test_all_replicas_everywhere_down_raises(self):
+        rt = _replicated()
+        for m in range(4):
+            rt.fail_module(m)
+        with pytest.raises(ModuleLost, match="no surviving shards"):
+            rt.search(QUERIES, 3)
+        rt.close()
+
+    def test_lru_routing_alternates_replicas(self):
+        rt = _replicated()
+        rt.search(QUERIES, 3)
+        first = dict(rt._last_used)
+        rt.search(QUERIES, 3)
+        second = dict(rt._last_used)
+        # Every module served exactly once per request under LRU with
+        # symmetric placement: all four touched both times.
+        assert set(first) == set(second) == {0, 1, 2, 3}
+        assert all(second[m] > first[m] for m in first)
+        rt.close()
+
+
+class TestInjectorRearm:
+    def test_repair_unlatches_scheduled_module_loss(self):
+        # Regression: a permanent scheduled module_loss used to re-fire
+        # on every check() after repair_module(), so long soaks
+        # monotonically degraded.
+        plan = FaultPlan().inject("module_loss", target=0, at_time_ns=0.0)
+        rt = MultiModuleRuntime(SSAMConfig(capacity_bytes=DATA.nbytes),
+                                injector=plan.injector())
+        rt.load(DATA, n_modules=4)
+        assert rt.search(QUERIES, 5).degraded
+        rt.repair_module(0)
+        for _ in range(3):
+            res = rt.search(QUERIES, 5)
+            assert not res.degraded
+            assert rt.failed_modules == []
+        rt.close()
+
+    def test_rearm_spares_later_scheduled_faults(self):
+        plan = (FaultPlan()
+                .inject("module_loss", target=0, at_time_ns=0.0)
+                .inject("module_loss", target=0, at_time_ns=100.0))
+        injector = plan.injector()
+        rt = MultiModuleRuntime(SSAMConfig(capacity_bytes=DATA.nbytes),
+                                injector=injector)
+        rt.load(DATA, n_modules=4)
+        assert rt.search(QUERIES, 5).degraded
+        rt.repair_module(0)
+        assert not rt.search(QUERIES, 5).degraded
+        injector.advance(200.0)       # the 100ns schedule is now due
+        assert rt.search(QUERIES, 5).degraded
+        rt.close()
+
+    def test_rearm_leaves_probability_specs_armed(self):
+        plan = FaultPlan(seed=5).inject("module_loss", probability=1.0)
+        injector = plan.injector()
+        assert injector.check("module_loss", 0)
+        injector.rearm("module_loss", 0)
+        assert injector.check("module_loss", 0)   # independent draw
+
+    def test_rearm_rejects_unknown_kind(self):
+        injector = FaultPlan().injector()
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            injector.rearm("nope")
+
+
+class TestSurvivingRowsCache:
+    def test_cached_between_queries_and_invalidated_on_transitions(self):
+        rt = _replicated(r=1)
+        first = rt.surviving_rows()
+        assert rt.surviving_rows() is first          # cache hit
+        rt.fail_module(2)
+        after_fail = rt.surviving_rows()
+        assert after_fail is not first
+        assert after_fail.size < first.size
+        rt.repair_module(2)
+        restored = rt.surviving_rows()
+        np.testing.assert_array_equal(restored, first)
+        rt.close()
+
+    def test_replicated_reachability(self):
+        rt = _replicated(r=2)
+        full = rt.surviving_rows().size
+        rt.fail_module(0)
+        assert rt.surviving_rows().size == full      # siblings cover it
+        rt.fail_module(1)                            # shard 0 now gone
+        assert rt.surviving_rows().size < full
+        rt.close()
+
+
+class TestMergeEdgeCases:
+    def test_all_padded_partials_yield_padded_output(self):
+        pad_ids = np.full((3, 4), -1, dtype=np.int64)
+        pad_d = np.full((3, 4), np.inf)
+        ids, d = merge_shard_results([(pad_ids, pad_d), (pad_ids, pad_d)], 4)
+        assert (ids == -1).all()
+        assert np.isinf(d).all()
+
+    def test_k_greater_than_total_distinct_candidates(self):
+        ids_a = np.array([[3, 1, -1]], dtype=np.int64)
+        d_a = np.array([[0.1, 0.2, np.inf]])
+        ids_b = np.array([[1, 3, -1]], dtype=np.int64)
+        d_b = np.array([[0.2, 0.1, np.inf]])
+        ids, d = merge_shard_results([(ids_a, d_a), (ids_b, d_b)], 6)
+        assert list(ids[0][:2]) == [3, 1]            # two distinct survivors
+        assert (ids[0][2:] == -1).all()
+        np.testing.assert_allclose(d[0][:2], [0.1, 0.2])
+        assert np.isinf(d[0][2:]).all()
+
+    def test_duplicate_ids_with_exactly_tied_distances_dedupe_once(self):
+        ids_a = np.array([[7, 2]], dtype=np.int64)
+        d_a = np.array([[0.5, 0.9]])
+        ids_b = np.array([[7, 4]], dtype=np.int64)   # same id, same distance
+        d_b = np.array([[0.5, 0.7]])
+        ids, d = merge_shard_results([(ids_a, d_a), (ids_b, d_b)], 4)
+        assert list(ids[0][:3]) == [7, 4, 2]
+        assert (ids[0] == 7).sum() == 1
+        np.testing.assert_allclose(d[0][:3], [0.5, 0.7, 0.9])
+
+    def test_distinct_ids_with_tied_distances_order_by_id(self):
+        ids_a = np.array([[9]], dtype=np.int64)
+        d_a = np.array([[0.5]])
+        ids_b = np.array([[4]], dtype=np.int64)
+        d_b = np.array([[0.5]])
+        ids, _ = merge_shard_results([(ids_a, d_a), (ids_b, d_b)], 2)
+        assert list(ids[0]) == [4, 9]                # deterministic tiebreak
+
+
+class TestHealthTracker:
+    def test_default_config_latches_down_forever(self):
+        h = HealthTracker(2)
+        h.record_fault(0, 1.0)
+        assert h.state(0) is ModuleState.DOWN
+        assert h.advance(1e12) == ([], [])
+        assert h.state(0) is ModuleState.DOWN
+
+    def test_suspect_probation_then_recovering_then_up(self):
+        h = HealthTracker(2, HealthConfig(mttr_ns=8.0, suspect_ns=2.0))
+        assert h.record_fault(0, 1.0) is ModuleState.SUSPECT
+        assert not h.routable(0)
+        _, recovered = h.advance(3.5)
+        assert recovered == [0]
+        assert h.state(0) is ModuleState.RECOVERING and h.routable(0)
+        h.record_success(0, 4.0)
+        assert h.state(0) is ModuleState.UP
+
+    def test_fault_while_suspect_escalates_to_down_then_mttr_repairs(self):
+        h = HealthTracker(2, HealthConfig(mttr_ns=4.0, suspect_ns=2.0))
+        h.record_fault(1, 0.0)
+        assert h.record_fault(1, 1.0) is ModuleState.DOWN
+        _, recovered = h.advance(5.0)
+        assert recovered == [1]
+        assert h.state(1) is ModuleState.RECOVERING
+
+    def test_fatal_fault_goes_straight_down(self):
+        h = HealthTracker(1, HealthConfig(mttr_ns=4.0, suspect_ns=2.0))
+        assert h.record_fault(0, 0.0, fatal=True) is ModuleState.DOWN
+
+    def test_mtbf_generator_is_seeded_and_reproducible(self):
+        cfg = HealthConfig(mtbf_ns=5.0, mttr_ns=2.0, seed=3)
+        runs = []
+        for _ in range(2):
+            h = HealthTracker(3, cfg)
+            events = []
+            for t in range(1, 40):
+                failed, recovered = h.advance(float(t))
+                events.append((failed, recovered))
+            runs.append(events)
+        assert runs[0] == runs[1]
+        assert any(f for f, _ in runs[0])            # something failed
+        assert any(r for _, r in runs[0])            # ...and repaired
+
+    def test_mtbf_requires_mttr(self):
+        with pytest.raises(ValueError, match="mtbf_ns needs mttr_ns"):
+            HealthConfig(mtbf_ns=5.0)
+
+    def test_transitions_ledger_records_history(self):
+        h = HealthTracker(2, HealthConfig(mttr_ns=4.0))
+        h.record_fault(0, 1.0, fatal=True)
+        h.advance(6.0)
+        states = [s for _, m, s in h.transitions if m == 0]
+        assert states == [ModuleState.DOWN, ModuleState.RECOVERING]
+
+
+class TestAutoRepair:
+    def test_module_rejoins_after_mttr_and_serves_again(self):
+        plan = FaultPlan().inject("module_loss", target=1, at_time_ns=0.0)
+        rt = _replicated(injector=plan.injector(),
+                         health=HealthConfig(mttr_ns=3.0, request_tick_ns=1.0))
+        res = rt.search(QUERIES, 5)
+        assert not res.degraded and 1 in rt.failed_modules
+        for _ in range(5):
+            res = rt.search(QUERIES, 5)
+        assert rt.failed_modules == []
+        assert rt.module_states()[1] == "up"
+        assert not res.degraded
+        rt.close()
+
+    def test_r1_auto_repair_restores_full_recall(self):
+        plan = FaultPlan().inject("module_loss", target=0, at_time_ns=0.0)
+        rt = _replicated(r=1, injector=plan.injector(),
+                         health=HealthConfig(mttr_ns=2.0, request_tick_ns=1.0))
+        assert rt.search(QUERIES, 5).degraded
+        for _ in range(4):
+            res = rt.search(QUERIES, 5)
+        assert not res.degraded and res.expected_recall_loss == 0.0
+        rt.close()
+
+
+class TestServingHealthExport:
+    def test_health_summary_shape_and_gauges(self):
+        import repro.telemetry as telemetry
+
+        plan = FaultPlan().inject("module_loss", target=1, at_time_ns=0.0)
+        system = _build_system("exact", fault_plan=plan,
+                              health=HealthConfig(request_tick_ns=1.0))
+        session = telemetry.Telemetry()
+        prev = telemetry.install(session)
+        try:
+            system.serve(QUERIES, 5, arrival_qps=100.0, poisson=False)
+            engine = ServingEngine(backend=system, scheduler=system.scheduler)
+            summary = engine.health_summary()
+            assert summary["modules"][1] == "down"
+            assert summary["counts"]["down"] == 1
+            names = {m["name"] for m in session.metrics.snapshot()}
+            assert "ssam_admission_queue_depth" in names
+            assert "ssam_modules_by_state" in names
+            assert "ssam_module_routable" in names
+        finally:
+            telemetry.uninstall(prev)
+            system.close()
+
+    def test_health_summary_empty_for_plain_backend(self):
+        engine = ServingEngine(
+            backend=lambda q, k: None,
+            scheduler=QueryScheduler(n_modules=1, service_seconds=1e-3))
+        assert engine.health_summary() == {
+            "modules": {}, "counts": {}, "faults": {}, "failovers": {}}
+
+    def test_queue_depths_recorded_per_dispatch(self):
+        scheduler = QueryScheduler(n_modules=1, service_seconds=1e-3)
+        schedule = scheduler.simulate_batched(
+            2000.0, n_queries=32, poisson=False, seed=0, max_batch=4)
+        assert schedule.queue_depths.size == schedule.n_batches
+        assert int(schedule.queue_depths.max()) <= schedule.queue_peak
+
+
+_BASELINES: dict = {}
+
+
+def _baseline(algo):
+    if algo not in _BASELINES:
+        system = _build_system(algo)
+        try:
+            _BASELINES[algo] = system.search(QUERIES, 5)
+        finally:
+            system.close()
+    return _BASELINES[algo]
+
+
+class TestAcceptanceProperty:
+    @given(
+        algo=st.sampled_from(SCALE_OUT_ALGOS),
+        victim=st.integers(0, 3),
+        backend=st.sampled_from([None, "thread"]),
+        when=st.sampled_from(["before", "mid"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_killing_any_single_module_is_invisible(self, algo, victim,
+                                                    backend, when):
+        """ISSUE 7 acceptance: with r=2, killing any one module —
+        before the request or mid-soak via a scheduled fault — yields
+        degraded=False, zero recall loss, and bit-exact answers, for
+        all five algorithms on serial and thread backends."""
+        ref = _baseline(algo)
+        plan = None
+        if when == "mid":
+            plan = FaultPlan(seed=1).inject(
+                "module_loss", target=victim, at_time_ns=2.0)
+        system = _build_system(
+            algo, fault_plan=plan,
+            health=HealthConfig(request_tick_ns=1.0) if plan else None,
+            parallel=backend, workers=2 if backend else None)
+        try:
+            if when == "before":
+                system.runtime.fail_module(victim)
+            for _ in range(4):                       # mini-soak
+                res = system.search(QUERIES, 5)
+            assert not res.degraded
+            assert res.expected_recall_loss == 0.0
+            np.testing.assert_array_equal(res.ids, ref.ids)
+            np.testing.assert_array_equal(res.distances, ref.distances)
+        finally:
+            system.close()
+
+
+class TestChaosGate:
+    def test_check_chaos_accepts_committed_payload(self):
+        from pathlib import Path
+
+        from repro.experiments.bench_guard import check_chaos
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_5.json"
+        payload = json.loads(path.read_text())
+        ok, message = check_chaos(payload)
+        assert ok, message
+
+    def test_check_chaos_rejects_broken_invariants(self):
+        from repro.experiments.bench_guard import check_chaos
+
+        row = {"algo": "exact", "scenario": "single_loss", "errors": 0,
+               "bit_exact": True, "bit_exact_expected": True,
+               "recall_vs_unfaulted": 1.0, "recall_floor": 1.0,
+               "max_expected_recall_loss": 0.0, "max_loss_allowed": 0.0}
+        good = {"rows": [dict(row)], "total_failovers": 3}
+        assert check_chaos(good)[0]
+        assert not check_chaos({"rows": [], "total_failovers": 3})[0]
+        assert not check_chaos(
+            {"rows": [dict(row, errors=1)], "total_failovers": 3})[0]
+        assert not check_chaos(
+            {"rows": [dict(row, bit_exact=False)], "total_failovers": 3})[0]
+        assert not check_chaos(
+            {"rows": [dict(row, recall_vs_unfaulted=0.5)],
+             "total_failovers": 3})[0]
+        assert not check_chaos(
+            {"rows": [dict(row, max_expected_recall_loss=0.5)],
+             "total_failovers": 3})[0]
+        assert not check_chaos({"rows": [dict(row)], "total_failovers": 0})[0]
+
+    def test_chaos_smoke_single_algo(self, tmp_path, monkeypatch):
+        """One-algo end-to-end harness run (CI runs the full soak)."""
+        import repro.experiments.chaos as chaos_mod
+
+        monkeypatch.setattr(chaos_mod, "_repo_root", lambda: tmp_path)
+        rows, text = chaos_mod.run_chaos(
+            n_rows=160, dims=8, n_queries=8, n_waves=3, algos=("exact",))
+        assert (tmp_path / "BENCH_5.json").exists()
+        payload = json.loads((tmp_path / "BENCH_5.json").read_text())
+        assert payload["no_query_errors"]
+        assert payload["failover_bit_exact"]
+        assert payload["recall_floor_ok"]
+        assert payload["total_failovers"] >= 1
+        assert "single_loss" in text
