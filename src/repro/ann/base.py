@@ -86,6 +86,13 @@ class SearchResult:
     ``expected_recall_loss`` is the fraction of corpus rows that were
     unreachable — an upper bound on the average recall@k lost, and
     exact when neighbors are uniform across shards.
+
+    ``explain`` is ``None`` unless the request was traced (the
+    ``explain=True`` kwarg or an ambient ``telemetry.explaining()``
+    scope), in which case it holds the
+    :class:`repro.telemetry.request.ExplainRecord` for this request —
+    replica routing, failovers, retries, cache/byte/cycle attribution.
+    Tracing never changes ``ids``/``distances``.
     """
 
     ids: np.ndarray
@@ -94,6 +101,8 @@ class SearchResult:
     degraded: bool = False
     failed_modules: List[int] = field(default_factory=list)
     expected_recall_loss: float = 0.0
+    #: typed loosely to keep repro.ann free of telemetry imports
+    explain: Optional[object] = None
 
     @property
     def k(self) -> int:

@@ -44,10 +44,12 @@ from repro.host.serving import (
     ServingReport,
 )
 from repro import telemetry as _telemetry
+from repro.telemetry.request import ExplainRecord, begin_request
 
 __all__ = [
     "SSAMSystem",
     "SearchResult",
+    "ExplainRecord",
     "BatchingConfig",
     "ServingReport",
     "FaultPlan",
@@ -95,8 +97,8 @@ class SSAMSystem:
     """
 
     def __init__(self, *, driver, region, algo, runtime=None, scheduler=None,
-                 batching=None, telemetry=None, _owns_telemetry=False,
-                 _telemetry_prev=None):
+                 batching=None, telemetry=None, explain=False,
+                 _owns_telemetry=False, _telemetry_prev=None):
         self.driver = driver
         self.region = region
         self.algo = algo
@@ -104,6 +106,8 @@ class SSAMSystem:
         self.scheduler = scheduler
         self.batching = batching or BatchingConfig()
         self.telemetry = telemetry
+        #: Default request-tracing policy; per-call ``explain=`` overrides.
+        self.explain_default = bool(explain)
         self._owns_telemetry = _owns_telemetry
         self._telemetry_prev = _telemetry_prev
         self._closed = False
@@ -131,6 +135,7 @@ class SSAMSystem:
         algorithm: Optional[str] = None,
         workers: Optional[int] = None,
         parallel: Optional[str] = None,
+        explain: bool = False,
     ) -> "SSAMSystem":
         """Assemble a query-ready system around ``dataset``.
 
@@ -210,6 +215,12 @@ class SSAMSystem:
             ``"thread"`` or ``"process"`` backend.  ``None`` consults
             the ``REPRO_WORKERS`` / ``REPRO_PARALLEL`` environment
             variables; results are bit-exact at any worker count.
+        explain:
+            Default request-tracing policy for this system: ``True``
+            attaches an :class:`ExplainRecord` (replica routing,
+            failovers, retries, cache/byte/cycle attribution) to every
+            ``SearchResult.explain``.  Per-call ``explain=`` arguments
+            override.  Tracing never changes ids/distances.
         """
         if algorithm is not None:
             algo = algorithm
@@ -304,7 +315,8 @@ class SSAMSystem:
 
         return cls(driver=driver, region=region, algo=algo, runtime=runtime,
                    scheduler=scheduler, batching=batching, telemetry=tel,
-                   _owns_telemetry=owns_tel, _telemetry_prev=tel_prev)
+                   explain=explain, _owns_telemetry=owns_tel,
+                   _telemetry_prev=tel_prev)
 
     # ------------------------------------------------------------------ search
     def search(
@@ -313,6 +325,7 @@ class SSAMSystem:
         k: int = 10,
         batch: Optional[int] = None,
         checks: Optional[int] = None,
+        explain: Optional[bool] = None,
     ) -> SearchResult:
         """Answer ``queries`` with the ``k`` nearest neighbors each.
 
@@ -323,31 +336,51 @@ class SSAMSystem:
         batched execution path ``B`` queries at a time — bit-exact with
         ``batch=None``, which issues one dispatch for the whole block.
         ``checks`` bounds the approximate indexes' candidate budget.
+        ``explain`` overrides the system's tracing default for this
+        call; when effective, ``result.explain`` carries the request's
+        :class:`ExplainRecord` (chunked searches fold per-chunk child
+        records under one ``concat`` parent).
         """
         self._assert_open()
         queries = np.atleast_2d(np.asarray(queries))
         if batch is not None and batch <= 0:
             raise ValueError("batch must be positive")
+        eff = self._explain_arg(explain)
         if self.runtime is not None:
-            return self._sharded_search(queries, k, batch, checks)
+            return self._sharded_search(queries, k, batch, checks, eff)
         if batch is None:
             return self.driver.nexec_batch(self.region, queries, k,
-                                           checks=checks)
+                                           checks=checks, explain=eff)
+        ctx = begin_request("concat", eff, n_queries=queries.shape[0], k=k,
+                            mode=self.algo)
+        chunk_explain = True if ctx is not None else eff
         parts = [
             self.driver.nexec_batch(self.region, queries[lo:lo + batch], k,
-                                    checks=checks)
+                                    checks=checks, explain=chunk_explain)
             for lo in range(0, queries.shape[0], batch)
         ]
-        return _concat_results(parts)
+        return _concat_results(parts, ctx=ctx)
 
-    def _sharded_search(self, queries, k, batch, checks=None) -> SearchResult:
+    def _explain_arg(self, explain: Optional[bool]) -> Optional[bool]:
+        """Per-call override > system default > ambient scope (None)."""
+        if explain is not None:
+            return explain
+        return True if self.explain_default else None
+
+    def _sharded_search(self, queries, k, batch, checks=None,
+                        explain=None) -> SearchResult:
         if batch is None:
-            return self.runtime.search(queries, k, checks=checks)
+            return self.runtime.search(queries, k, checks=checks,
+                                       explain=explain)
+        ctx = begin_request("concat", explain, n_queries=queries.shape[0],
+                            k=k, mode=self.algo)
+        chunk_explain = True if ctx is not None else explain
         parts = [
-            self.runtime.search(queries[lo:lo + batch], k, checks=checks)
+            self.runtime.search(queries[lo:lo + batch], k, checks=checks,
+                                explain=chunk_explain)
             for lo in range(0, queries.shape[0], batch)
         ]
-        return _concat_results(parts)
+        return _concat_results(parts, ctx=ctx)
 
     # ------------------------------------------------------------------ serve
     def serve(
@@ -359,6 +392,7 @@ class SSAMSystem:
         poisson: bool = True,
         seed: int = 0,
         compare_per_query: bool = False,
+        explain: Optional[bool] = None,
     ) -> ServingReport:
         """Serve ``queries`` as an arrival stream with dynamic batching.
 
@@ -366,7 +400,10 @@ class SSAMSystem:
         scheduler and replays every dispatched batch as a real search,
         so the report carries both the timing (throughput, p50/p99,
         backpressure) and the actual — bit-exact — results.  See
-        :class:`~repro.host.serving.ServingEngine`.
+        :class:`~repro.host.serving.ServingEngine`.  ``explain``
+        overrides the system's tracing default: when effective, every
+        admitted query gets a correlation id and
+        ``report.result.explain`` carries the per-batch routing story.
         """
         self._assert_open()
         batching = batching or self.batching
@@ -381,7 +418,8 @@ class SSAMSystem:
                 service_seconds=self.scheduler.service_seconds),
         )
         return engine.serve(queries, k, arrival_qps, poisson=poisson,
-                            seed=seed, compare_per_query=compare_per_query)
+                            seed=seed, compare_per_query=compare_per_query,
+                            explain=self._explain_arg(explain))
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -425,8 +463,13 @@ class SSAMSystem:
                 f"modules={self.scheduler.n_modules}, {state})")
 
 
-def _concat_results(parts) -> SearchResult:
-    """Stack per-chunk results back into one (n, k) SearchResult."""
+def _concat_results(parts, ctx=None) -> SearchResult:
+    """Stack per-chunk results back into one (n, k) SearchResult.
+
+    With a request context, the per-chunk explain records fold into the
+    parent ``concat`` record as children (submission order) and the
+    parent attaches to the concatenated result.
+    """
     from repro.ann import SearchStats
 
     stats = SearchStats()
@@ -438,7 +481,7 @@ def _concat_results(parts) -> SearchResult:
         degraded = degraded or p.degraded
         failed.update(p.failed_modules)
         loss = max(loss, p.expected_recall_loss)
-    return SearchResult(
+    result = SearchResult(
         ids=np.concatenate([p.ids for p in parts], axis=0),
         distances=np.concatenate([p.distances for p in parts], axis=0),
         stats=stats,
@@ -446,3 +489,7 @@ def _concat_results(parts) -> SearchResult:
         failed_modules=sorted(failed),
         expected_recall_loss=loss,
     )
+    if ctx is not None:
+        ctx.record.absorb_children([p.explain for p in parts])
+        ctx.finish(result)
+    return result

@@ -227,11 +227,12 @@ def _run_shipped(fn: Callable, args: Tuple, ship_telemetry: bool) -> Tuple:
     """Worker-side task wrapper: run ``fn`` and ship side state back.
 
     Returns ``(result, error, cache_entries, hits, misses, evictions,
-    telemetry_run, metrics_snapshot)``.  ``cache_entries`` holds the
-    simulation-cache entries this task *added* in the worker (keys are
-    content-addressed digests, so the parent can merge them blindly);
-    the hit/miss/eviction deltas keep the parent's accounting truthful
-    across the pool.
+    telemetry_run, metrics_snapshot, slo_export)``.  ``cache_entries``
+    holds the simulation-cache entries this task *added* in the worker
+    (keys are content-addressed digests, so the parent can merge them
+    blindly); the hit/miss/eviction deltas keep the parent's accounting
+    truthful across the pool.  ``slo_export`` ships the worker's exact
+    latency observations (raw values; order-insensitive merge).
     """
     from repro import telemetry
     from repro.core.simcache import get_cache
@@ -256,8 +257,9 @@ def _run_shipped(fn: Callable, args: Tuple, ship_telemetry: bool) -> Tuple:
     entries = cache.export_since(keys_before)
     run = tel.tracer.to_dict() if tel is not None else None
     snap = tel.metrics.snapshot() if tel is not None else None
+    slo = tel.slo.export() if tel is not None else None
     return (result, error, entries, cache.hits - h0, cache.misses - m0,
-            cache.evictions - e0, run, snap)
+            cache.evictions - e0, run, snap, slo)
 
 
 class ProcessExecutor(SimExecutor):
@@ -315,7 +317,7 @@ class ProcessExecutor(SimExecutor):
         results: List[Any] = []
         first_error: Optional[BaseException] = None
         for i, (result, error, entries, hits, misses, evictions, run,
-                snap) in enumerate(shipments):
+                snap, slo) in enumerate(shipments):
             cache.merge_entries(entries)
             cache.account(hits=hits, misses=misses, evictions=evictions)
             if run is not None and tel.enabled:
@@ -323,6 +325,8 @@ class ProcessExecutor(SimExecutor):
                     run, worker=f"{WORKER_THREAD_PREFIX}/p{i % self.workers}")
             if snap is not None and tel.enabled:
                 tel.metrics.merge_snapshot(snap)
+            if slo is not None and tel.enabled:
+                tel.slo.merge(slo)
             if error is not None and first_error is None:
                 first_error = error
             results.append(result)

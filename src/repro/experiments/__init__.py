@@ -45,6 +45,7 @@ from repro.experiments.ivfadc import run_ivfadc
 from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.resilience import run_resilience
 from repro.experiments.scaleout import run_scaleout
+from repro.experiments.slo import run_slo
 from repro.experiments.tco import run_tco
 from repro.experiments.representations import run_fixed_point, run_binarization
 
@@ -71,6 +72,7 @@ __all__ = [
     "run_resilience",
     "run_chaos",
     "run_scaleout",
+    "run_slo",
     "run_tco",
     "run_fixed_point",
     "run_binarization",

@@ -45,6 +45,7 @@ from repro.experiments import (
     run_priority_queue_ablation,
     run_resilience,
     run_scaleout,
+    run_slo,
     run_table1,
     run_table3,
     run_table4,
@@ -74,6 +75,8 @@ RUNNERS = {
     "resilience": (run_resilience, "Degraded-mode serving under vault/module loss"),
     "chaos": (run_chaos, "Chaos soak: replicated failover under seeded fault "
                          "schedules (writes BENCH_5.json)"),
+    "slo": (run_slo, "SLO percentiles: exact sched-clock latency quantiles "
+                     "per algorithm (writes BENCH_6.json)"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),
     "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
     "thermal": (run_thermal_check, "Section V-A thermal check"),

@@ -52,6 +52,18 @@ must answer bit-exact with the unfaulted run; the recall floor and the
 ``expected_recall_loss`` ceiling must hold in every scenario; and the
 soak must have exercised at least one real failover (otherwise the
 invariants were vacuous).
+
+A fifth gate covers the SLO payload (``BENCH_6.json``, written by
+``python -m repro.experiments slo``)::
+
+    python -m repro.experiments.bench_guard --slo BENCH_6.json
+
+Only machine-speed-invariant figures are gated: the payload's
+percentiles come from the scheduler's deterministic sim clock, so the
+quantile ordering (``p99 >= p95 >= p50 >= 0`` per phase), the recorded
+tail ratio (``e2e p99 / p50``, recomputed from the quantiles), and the
+nonzero loads-per-query attribution are absolute invariants, not
+baseline ratios.
 """
 
 from __future__ import annotations
@@ -62,7 +74,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["check_speedup", "check_graph_frontier",
-           "check_parallel_scaling", "check_chaos", "main"]
+           "check_parallel_scaling", "check_chaos", "check_slo", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -237,6 +249,66 @@ def check_chaos(payload: dict, min_failovers: int = 1) -> Tuple[bool, str]:
     )
 
 
+def check_slo(payload: dict, tail_rtol: float = 1e-9) -> Tuple[bool, str]:
+    """Absolute gates over a ``BENCH_6.json`` SLO payload.
+
+    Every figure gated here is computed on the scheduler's deterministic
+    sim clock, so the checks are machine-speed-invariant:
+
+    - every phase of every row has observations and satisfies
+      ``p99 >= p95 >= p50 >= 0``;
+    - the recorded ``tail_ratio`` recomputes from the row's own e2e
+      quantiles (within ``tail_rtol``) and is at least 1;
+    - ``loads_per_query`` is strictly positive (the explain attribution
+      actually ran).
+    """
+    problems: List[str] = []
+    rows = payload.get("rows", [])
+    if not rows:
+        return False, "REGRESSION: SLO payload has no rows"
+    if payload.get("clock") != "sched":
+        problems.append(
+            f"payload clock {payload.get('clock')!r} is not the "
+            "deterministic 'sched' clock")
+
+    for r in rows:
+        algo = r.get("algo", "?")
+        phases = r.get("phases", {})
+        for phase in ("wait", "service", "e2e"):
+            ph = phases.get(phase)
+            if ph is None or ph.get("count", 0) <= 0:
+                problems.append(f"{algo}/{phase}: no observations")
+                continue
+            p50, p95, p99 = ph["p50"], ph["p95"], ph["p99"]
+            if not (p99 >= p95 >= p50 >= 0.0):
+                problems.append(
+                    f"{algo}/{phase}: quantile ordering broken "
+                    f"(p50={p50:g}, p95={p95:g}, p99={p99:g})")
+        e2e = phases.get("e2e")
+        if e2e and e2e.get("count", 0) > 0:
+            expect = e2e["p99"] / e2e["p50"] if e2e["p50"] > 0 else 1.0
+            got = float(r.get("tail_ratio", 0.0))
+            if abs(got - expect) > tail_rtol * max(1.0, abs(expect)):
+                problems.append(
+                    f"{algo}: recorded tail_ratio {got:g} does not "
+                    f"recompute from the e2e quantiles ({expect:g})")
+            elif got < 1.0 - tail_rtol:
+                problems.append(
+                    f"{algo}: tail_ratio {got:g} below 1 (p99 < p50)")
+        if float(r.get("loads_per_query", 0.0)) <= 0.0:
+            problems.append(f"{algo}: loads_per_query not positive")
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    worst = max(rows, key=lambda r: r.get("tail_ratio", 0.0))
+    return True, (
+        f"OK: SLO quantile ordering holds across {len(rows)} algorithms "
+        f"on the sched clock; worst e2e tail ratio "
+        f"{worst.get('tail_ratio', 0.0):.2f} ({worst.get('algo')}), "
+        "loads-per-query attribution nonzero"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
@@ -272,14 +344,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-failovers", type=int, default=1,
                         help="minimum failovers the chaos soak must have "
                              "exercised (default 1)")
+    parser.add_argument("--slo", default=None, metavar="BENCH_6",
+                        help="BENCH_6.json to gate on the exact-percentile "
+                             "SLO invariants (sched clock only)")
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.new_path):
         parser.error("--baseline and --new must be given together")
     if not args.baseline and not args.graph and not args.parallel \
-            and not args.chaos:
+            and not args.chaos and not args.slo:
         parser.error("nothing to check: give --baseline/--new, --graph, "
-                     "--parallel, and/or --chaos")
+                     "--parallel, --chaos, and/or --slo")
 
     ok = True
     if args.baseline:
@@ -313,6 +388,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             chaos_payload = json.load(fh)
         passed, message = check_chaos(
             chaos_payload, min_failovers=args.min_failovers)
+        print(message)
+        ok = ok and passed
+    if args.slo:
+        with open(args.slo) as fh:
+            slo_payload = json.load(fh)
+        passed, message = check_slo(slo_payload)
         print(message)
         ok = ok and passed
     return 0 if ok else 1

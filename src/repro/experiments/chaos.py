@@ -332,6 +332,21 @@ def run_chaos(
     path = _repo_root() / BENCH_FILENAME
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
+    # The always-on flight recorder saw every fault, failover, health
+    # transition, and degraded response of the soak; dump the ring next
+    # to the payload so CI can archive the postmortem trail.
+    from repro.telemetry.flight import flight_recorder
+
+    rec = flight_recorder()
+    flight_path = _repo_root() / "results" / "chaos_flight.json"
+    flight_path.parent.mkdir(parents=True, exist_ok=True)
+    flight_path.write_text(json.dumps({
+        "capacity": rec.capacity,
+        "total_recorded": rec.total_recorded,
+        "dropped": rec.dropped,
+        "events": rec.dump(),
+    }, indent=2, sort_keys=True) + "\n")
+
     lines = [
         f"chaos soak: {len(algos)} algos x {len(scenarios)} scenarios, "
         f"{n_modules} modules, r={replication_factor}, "
@@ -354,4 +369,7 @@ def run_chaos(
         f"recall_floor_ok={recall_floor_ok}  "
         f"total_failovers={total_failovers}   [payload written to {path}]"
     )
+    lines.append(
+        f"[flight-recorder dump ({len(rec.dump())} events, "
+        f"{rec.total_recorded} recorded) written to {flight_path}]")
     return rows, "\n".join(lines)

@@ -1,0 +1,156 @@
+"""SLO experiment: exact latency percentiles per algorithm (BENCH_6.json).
+
+``python -m repro.experiments slo`` drives every scale-out algorithm
+through :meth:`repro.api.SSAMSystem.serve` with a seeded overloaded
+arrival stream and harvests the :class:`~repro.telemetry.slo.SLOTracker`
+series the stack fed while serving:
+
+- the **sched clock only**: the scheduler's discrete-event simulation
+  produces identical latencies on every host, so the exported
+  percentiles (and therefore the CI gate over them) are
+  machine-speed-invariant.  Wall-clock series are fed too but
+  deliberately excluded from the payload.
+- per phase (``wait`` / ``service`` / ``e2e``), pooled across modules:
+  exact p50/p95/p99 over the raw per-query values;
+- the **tail ratio** ``e2e p99 / p50`` — the batcher's
+  tail-amplification figure an SLO review actually argues about;
+- **loads per query** from an explain-traced search — the paper's unit
+  of memory work, again a pure function of the workload.
+
+The harness writes ``BENCH_6.json`` at the repo root;
+``python -m repro.experiments.bench_guard --slo BENCH_6.json`` gates CI
+on it (quantile ordering ``p99 >= p95 >= p50 >= 0``, the recorded tail
+ratio recomputing from the quantiles, and nonzero work attribution).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import SSAMSystem
+from repro.telemetry.slo import SLO_PHASES
+
+from repro.experiments.bench import _repo_root
+
+__all__ = ["run_slo", "BENCH_FILENAME", "SLO_ALGOS"]
+
+BENCH_FILENAME = "BENCH_6.json"
+
+#: The five algorithms the scale-out runtime shards (same set the chaos
+#: soak exercises).
+SLO_ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+
+_INDEX_PARAMS: Dict[str, dict] = {
+    "exact": {},
+    "kdtree": {"n_trees": 2},
+    "kmeans": {"branching": 4},
+    "mplsh": {"n_tables": 4, "n_bits": 8},
+    "graph": {"max_degree": 8, "ef_construction": 16},
+}
+
+
+def _sched_values(slo, phase: str) -> np.ndarray:
+    """Pool one phase's sched-clock values across all module series."""
+    values: List[float] = []
+    for row in slo.export():
+        if row["phase"] == phase and row["clock"] == "sched":
+            values.extend(row["values"])
+    return np.asarray(values, dtype=np.float64)
+
+
+def run_slo(
+    n_rows: int = 360,
+    dims: int = 12,
+    k: int = 10,
+    n_queries: int = 64,
+    n_modules: int = 4,
+    service_seconds: float = 1e-3,
+    overload: float = 1.5,
+    workers: Optional[int] = None,
+    parallel: Optional[str] = None,
+    algos: Tuple[str, ...] = SLO_ALGOS,
+) -> Tuple[List[Dict], str]:
+    """Serve a seeded stream per algorithm; write ``BENCH_6.json``.
+
+    The arrival rate is ``overload`` times the pool's service capacity,
+    so the admission queue actually builds and the wait/e2e tails
+    separate from the medians — on the deterministic sim clock, so the
+    recorded quantiles replay byte-identically on any host.
+    """
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((n_rows, dims))
+    queries = rng.standard_normal((n_queries, dims))
+    arrival_qps = overload * n_modules / service_seconds
+
+    rows: List[Dict] = []
+    for algo in algos:
+        system = SSAMSystem.build(
+            data, algo=algo, scale_out=True, n_modules=n_modules,
+            service_seconds=service_seconds, telemetry=True,
+            index_params=dict(_INDEX_PARAMS[algo]),
+            workers=workers, parallel=parallel,
+        )
+        try:
+            system.serve(queries, k, arrival_qps=arrival_qps,
+                         poisson=True, seed=11)
+            phases: Dict[str, Dict[str, float]] = {}
+            for phase in SLO_PHASES:
+                vals = _sched_values(system.telemetry.slo, phase)
+                phases[phase] = {
+                    "count": int(vals.size),
+                    "p50": float(np.percentile(vals, 50)),
+                    "p95": float(np.percentile(vals, 95)),
+                    "p99": float(np.percentile(vals, 99)),
+                }
+            explained = system.search(queries, k, explain=True)
+        finally:
+            system.close()
+        e2e = phases["e2e"]
+        tail_ratio = e2e["p99"] / e2e["p50"] if e2e["p50"] > 0 else 1.0
+        rows.append({
+            "algo": algo,
+            "queries": n_queries,
+            "phases": phases,
+            "tail_ratio": tail_ratio,
+            "loads_per_query": float(explained.explain.loads_per_query),
+            "vault_bytes_read": int(explained.explain.vault_bytes_read),
+        })
+
+    payload = {
+        "workload": {
+            "n_rows": n_rows, "dims": dims, "k": k,
+            "n_queries": n_queries, "n_modules": n_modules,
+            "service_seconds": service_seconds,
+            "arrival_qps": arrival_qps,
+            "algos": list(algos),
+            "backend": parallel or "serial",
+            "workers": workers or 1,
+        },
+        # Only deterministic sim-clock figures belong in a CI gate;
+        # wall-clock series are machine-dependent and excluded.
+        "clock": "sched",
+        "rows": rows,
+    }
+    path = _repo_root() / BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"SLO percentiles ({len(algos)} algos, {n_modules} modules, "
+        f"{n_queries} queries at {overload:.1f}x capacity, sched clock)",
+        f"{'algo':8s} {'phase':8s} {'n':>4s} {'p50':>10s} {'p95':>10s} "
+        f"{'p99':>10s}",
+    ]
+    for r in rows:
+        for phase in SLO_PHASES:
+            ph = r["phases"][phase]
+            lines.append(
+                f"{r['algo']:8s} {phase:8s} {ph['count']:4d} "
+                f"{ph['p50']:10.6f} {ph['p95']:10.6f} {ph['p99']:10.6f}")
+        lines.append(
+            f"{r['algo']:8s} tail_ratio(e2e)={r['tail_ratio']:.2f}  "
+            f"loads/query={r['loads_per_query']:.0f}")
+    lines.append(f"[payload written to {path}]")
+    return rows, "\n".join(lines)

@@ -247,6 +247,14 @@ class FaultInjector:
     # ------------------------------------------------------------------ ledger
     def record(self, kind: str, target: Optional[int], detail: str = "") -> None:
         self.fired.append(FaultRecord(time_ns=self.now_ns, kind=kind, target=target, detail=detail))
+        # Always-on flight-recorder event (bounded ring; survives with
+        # or without a telemetry session) so degraded-response dumps
+        # carry the recent fault history.
+        from repro.telemetry.flight import flight_recorder
+
+        flight_recorder().record(f"fault.{kind}", "fault",
+                                 sim_ns=self.now_ns, target=target,
+                                 detail=detail)
         tel = get_telemetry()
         if tel.enabled:
             # One instant per injected fault on the injector's simulated

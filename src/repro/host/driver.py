@@ -26,6 +26,7 @@ Two backends:
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -47,6 +48,8 @@ from repro.core.parallel import SimExecutor, make_executor, parallel_map
 from repro.faults.errors import FaultError, PUFault, RequestTimeout
 from repro.host.allocator import FreeListAllocator
 from repro.telemetry import get_telemetry
+from repro.telemetry.flight import flight_recorder
+from repro.telemetry.request import RequestContext, begin_request
 
 __all__ = ["IndexMode", "SSAMRegion", "SSAMDriver"]
 
@@ -83,6 +86,11 @@ class SSAMRegion:
     module: Optional[SSAMModule] = None
     pinned: bool = True                    # SSAM pages are never swapped
     build_params: Dict = field(default_factory=dict)
+    #: Cost of the last executed request (cycle backend: the module's
+    #: max-vault cycle count and summed DRAM bytes; functional: zero).
+    #: Set unconditionally so the explain path reads, never computes.
+    last_cycles: int = 0
+    last_vault_bytes: int = 0
 
 
 def _run_traversal_query(mode: IndexMode, index: object, query: np.ndarray,
@@ -259,7 +267,8 @@ class SSAMDriver:
         self._check(region)
         region.query = np.asarray(query)
 
-    def nexec(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
+    def nexec(self, region: SSAMRegion, k: int, checks: Optional[int] = None,
+              explain: Optional[bool] = None) -> None:
         """Execute the kNN search for the staged query.
 
         With a fault injector attached, each attempt may be hit by a
@@ -268,6 +277,10 @@ class SSAMDriver:
         :class:`RequestTimeout`).  Either way the driver re-issues the
         request with exponential backoff up to ``max_retries`` times,
         then lets the typed error escape to the caller.
+
+        ``explain=True`` (or an ambient ``telemetry.explaining()``
+        scope) attaches an explain record — retries, simcache deltas,
+        cycles, vault bytes — to ``region.result.explain``.
         """
         self._check(region)
         if region.query is None:
@@ -275,6 +288,11 @@ class SSAMDriver:
         if region.index is None:
             raise RuntimeError("nbuild_index() before nexec()")
         tel = get_telemetry()
+        n_queries = int(np.atleast_2d(np.asarray(region.query)).shape[0])
+        ctx = begin_request("driver.nexec", explain, n_queries=n_queries,
+                            k=k, mode=region.mode.value)
+        wall_t0 = time.perf_counter() if tel.enabled else 0.0
+        cache0 = self._cache_info() if ctx is not None else None
         with tel.tracer.span(
             "driver.nexec", "driver", mode=region.mode.value, k=k,
             backend=self.backend,
@@ -283,8 +301,12 @@ class SSAMDriver:
                 tel.metrics.inc("ssam_driver_requests_total", 1,
                                 help="nexec requests by index mode",
                                 mode=region.mode.value)
-            self._execute_with_retries(
+            attempts = self._execute_with_retries(
                 span, tel, lambda: self._nexec_once(region, k, checks))
+        if ctx is not None:
+            self._finish_explain(ctx, region, attempts, cache0)
+        if tel.enabled:
+            tel.slo.observe("e2e", "wall", time.perf_counter() - wall_t0)
 
     def nexec_batch(
         self,
@@ -292,6 +314,7 @@ class SSAMDriver:
         queries: np.ndarray,
         k: int,
         checks: Optional[int] = None,
+        explain: Optional[bool] = None,
     ) -> SearchResult:
         """Execute one coalesced batch of queries as a single request.
 
@@ -312,6 +335,11 @@ class SSAMDriver:
         queries = np.atleast_2d(np.asarray(queries))
         region.query = queries
         tel = get_telemetry()
+        ctx = begin_request("driver.nexec_batch", explain,
+                            n_queries=int(queries.shape[0]), k=k,
+                            mode=region.mode.value)
+        wall_t0 = time.perf_counter() if tel.enabled else 0.0
+        cache0 = self._cache_info() if ctx is not None else None
         with tel.tracer.span(
             "driver.nexec_batch", "driver", mode=region.mode.value, k=k,
             backend=self.backend, batch=queries.shape[0],
@@ -323,16 +351,23 @@ class SSAMDriver:
                 tel.metrics.inc("ssam_driver_batched_queries_total",
                                 queries.shape[0],
                                 help="queries executed through nexec_batch")
-            self._execute_with_retries(
+            attempts = self._execute_with_retries(
                 span, tel,
                 lambda: self._nexec_batch_once(region, queries, k, checks))
+        if ctx is not None:
+            self._finish_explain(ctx, region, attempts, cache0)
+        if tel.enabled:
+            tel.slo.observe("e2e", "wall", time.perf_counter() - wall_t0)
         return region.result
 
-    def _execute_with_retries(self, span, tel, attempt_fn) -> None:
-        """Run one request attempt under the driver's fault/retry policy."""
+    def _execute_with_retries(self, span, tel, attempt_fn) -> int:
+        """Run one request attempt under the driver's fault/retry policy.
+
+        Returns the number of attempts taken (1 = no retries).
+        """
         if self.injector is None:
             attempt_fn()
-            return
+            return 1
         attempt = 0
         while True:
             try:
@@ -343,7 +378,7 @@ class SSAMDriver:
                 attempt_fn()
                 if tel.enabled:
                     span.set(attempts=attempt + 1)
-                return
+                return attempt + 1
             except FaultError as exc:
                 if attempt >= self.max_retries:
                     if tel.enabled:
@@ -360,12 +395,46 @@ class SSAMDriver:
                 self.injector.advance(backoff_s * 1e9)
                 attempt += 1
                 self.total_retries += 1
+                flight_recorder().record(
+                    "driver.retry", "driver",
+                    sim_ns=getattr(self.injector, "now_ns", None),
+                    attempt=attempt, backoff_s=backoff_s,
+                    error=type(exc).__name__)
                 if tel.enabled:
                     span.event("driver.retry", attempt=attempt,
                                backoff_s=backoff_s,
                                error=type(exc).__name__)
                     tel.metrics.inc("ssam_driver_retries_total", 1,
                                     help="nexec retries after PU faults")
+
+    @staticmethod
+    def _cache_info() -> "tuple[int, int]":
+        """(hits, misses) of the process-wide simulation cache."""
+        from repro.core.simcache import get_cache
+
+        info = get_cache().stats()
+        return int(info["hits"]), int(info["misses"])
+
+    def _finish_explain(self, ctx: RequestContext, region: SSAMRegion,
+                        attempts: int, cache0: "tuple[int, int]") -> None:
+        """Close a driver-level explain record from the request's facts."""
+        rec = ctx.record
+        rec.retries = attempts - 1
+        hits, misses = self._cache_info()
+        rec.simcache_hits = hits - cache0[0]
+        rec.simcache_misses = misses - cache0[1]
+        result = region.result
+        if result is not None:
+            ctx.set_stats(result.stats)
+        rec.cycles = int(region.last_cycles)
+        if region.last_vault_bytes:
+            ctx.set_bytes(region.last_vault_bytes)
+        elif result is not None and region.data is not None:
+            # Functional backend: every scanned candidate streams one
+            # corpus row out of the vaults.
+            ctx.set_bytes(result.stats.candidates_scanned
+                          * region.data.shape[1] * region.data.dtype.itemsize)
+        ctx.finish(result)
 
     def _nexec_once(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
         """One attempt of the staged query (no retry policy)."""
@@ -380,6 +449,8 @@ class SSAMDriver:
                 ids=mres.ids[None, :], distances=mres.values[None, :].astype(np.float64)
             )
             region.result.stats.candidates_scanned = region.data.shape[0]
+            region.last_cycles = int(mres.cycles)
+            region.last_vault_bytes = int(mres.total_dram_bytes)
             return
         if self.backend == "cycle" and region.mode in (
             IndexMode.KDTREE, IndexMode.KMEANS, IndexMode.GRAPH
@@ -387,6 +458,8 @@ class SSAMDriver:
             self._nexec_cycle_traversal(region, k, checks)
             return
         region.result = region.index.search(region.query, k, checks=checks)
+        region.last_cycles = 0
+        region.last_vault_bytes = 0
 
     def _nexec_cycle_traversal(self, region: SSAMRegion, k: int,
                                checks: Optional[int]) -> None:
@@ -400,6 +473,9 @@ class SSAMDriver:
         """
         region.result = _run_traversal_query(
             region.mode, region.index, region.query, k, checks, self.config)
+        # The traversal kernel reports cycles in stats.distance_ops.
+        region.last_cycles = int(region.result.stats.distance_ops)
+        region.last_vault_bytes = 0
 
     def _nexec_batch_once(self, region: SSAMRegion, queries: np.ndarray,
                           k: int, checks: Optional[int] = None) -> None:
@@ -418,6 +494,8 @@ class SSAMDriver:
                 ids=ids, distances=values.astype(np.float64))
             region.result.stats.candidates_scanned = (
                 region.data.shape[0] * streams_for_batch(queries.shape[0]))
+            region.last_cycles = 0
+            region.last_vault_bytes = 0
             return
         if self.backend == "cycle" and region.mode in (
             IndexMode.KDTREE, IndexMode.KMEANS, IndexMode.GRAPH
@@ -440,6 +518,8 @@ class SSAMDriver:
                 distances=np.concatenate([p.distances for p in partials], axis=0),
                 stats=stats,
             )
+            region.last_cycles = int(stats.distance_ops)
+            region.last_vault_bytes = 0
             return
         if self.backend == "cycle":
             # Hamming / module scans: the batch dispatches as sequential
@@ -447,19 +527,27 @@ class SSAMDriver:
             # vault kernels out over the executor inside module.query().
             partials = []
             stats = SearchStats()
+            cycles = 0
+            vault_bytes = 0
             for q in queries:
                 region.query = q
                 self._nexec_once(region, k, checks)
                 partials.append(region.result)
                 stats += region.result.stats
+                cycles += region.last_cycles
+                vault_bytes += region.last_vault_bytes
             region.query = queries
             region.result = SearchResult(
                 ids=np.concatenate([p.ids for p in partials], axis=0),
                 distances=np.concatenate([p.distances for p in partials], axis=0),
                 stats=stats,
             )
+            region.last_cycles = cycles
+            region.last_vault_bytes = vault_bytes
             return
         region.result = region.index.search(queries, k, checks=checks)
+        region.last_cycles = 0
+        region.last_vault_bytes = 0
 
     def nread_result(self, region: SSAMRegion) -> np.ndarray:
         """Read back the neighbor ids of the last nexec()."""

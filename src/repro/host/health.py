@@ -182,8 +182,14 @@ class HealthTracker:
     def _set(self, module: int, state: ModuleState, now_ns: float) -> None:
         if self._states[module] is state:
             return
+        previous = self._states[module]
         self._states[module] = state
         self.transitions.append((now_ns, module, state))
+        from repro.telemetry.flight import flight_recorder
+
+        flight_recorder().record(
+            "health.transition", "health", sim_ns=now_ns, module=module,
+            from_state=previous.value, to_state=state.value)
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.inc(

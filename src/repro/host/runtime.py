@@ -53,6 +53,7 @@ loss as the fraction of *unique* corpus rows unreachable.  Only when
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -65,6 +66,8 @@ from repro.core.parallel import SimExecutor, make_executor
 from repro.faults.errors import FaultError, ModuleLost
 from repro.host.health import HealthConfig, HealthTracker, ModuleState
 from repro.telemetry import get_telemetry
+from repro.telemetry.flight import flight_recorder
+from repro.telemetry.request import ShardVisit, begin_request
 
 __all__ = ["MultiModuleRuntime", "DegradedSearchResult", "merge_shard_results"]
 
@@ -405,6 +408,9 @@ class MultiModuleRuntime:
         if self.health is not None:
             self.health.record_fault(module_index, self._now_ns(),
                                      fatal=error_name == "ModuleLost")
+        flight_recorder().record(
+            "module.latched", "runtime", sim_ns=self._now_ns(),
+            module=module_index, error=error_name)
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.inc(
@@ -413,6 +419,9 @@ class MultiModuleRuntime:
 
     def _count_failover(self, from_module: int, to_module: int) -> None:
         self.failover_counts[to_module] = self.failover_counts.get(to_module, 0) + 1
+        flight_recorder().record(
+            "failover", "runtime", sim_ns=self._now_ns(),
+            from_module=from_module, to_module=to_module)
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.inc(
@@ -440,7 +449,8 @@ class MultiModuleRuntime:
 
     # ------------------------------------------------------------ search
     def search(self, queries: np.ndarray, k: int,
-               checks: Optional[int] = None) -> SearchResult:
+               checks: Optional[int] = None,
+               explain: Optional[bool] = None) -> SearchResult:
         """Broadcast queries to one healthy replica of every shard.
 
         A replica that is down — or that faults mid-request — is
@@ -450,12 +460,24 @@ class MultiModuleRuntime:
         unreachable *unique* corpus fraction in
         ``expected_recall_loss``.  ``checks`` is forwarded to
         approximate shard indexes.
+
+        ``explain=True`` (or an ambient ``telemetry.explaining()``
+        scope when ``explain`` is ``None``) attaches an
+        :class:`~repro.telemetry.request.ExplainRecord` to the result:
+        the exact replica sequence tried per shard, failovers,
+        degraded-row attribution, and derived vault-byte/loads-per-query
+        accounting.  Explain is built purely from the main-thread
+        routing facts and the shipped stats, so results are bit-exact
+        with it on or off, at any worker count.
         """
         if not self.shards:
             raise RuntimeError("load() a dataset before search()")
         tel = get_telemetry()
         self._tick_clock()
-        n_queries = int(np.atleast_2d(np.asarray(queries)).shape[0])
+        qarr = np.atleast_2d(np.asarray(queries))
+        n_queries = int(qarr.shape[0])
+        ctx = begin_request("search", explain, n_queries=n_queries, k=k)
+        wall_t0 = time.perf_counter() if tel.enabled else 0.0
         with tel.tracer.span(
             "runtime.search", "runtime", queries=n_queries, k=k,
             shards=len(self._groups), replicas=len(self.shards),
@@ -475,7 +497,16 @@ class MultiModuleRuntime:
             # out and fail over to the next replica immediately.
             chosen: List[Optional[_Shard]] = []
             fallbacks: List[List[_Shard]] = []
+            visits: List[Optional[ShardVisit]] = []
             for group in self._groups:
+                if ctx is not None:
+                    rows = group[0].rows
+                    visit = ctx.visit(
+                        group[0].shard_index, rows=int(rows.size),
+                        row_lo=int(rows.min()), row_hi=int(rows.max()) + 1)
+                else:
+                    visit = None
+                visits.append(visit)
                 order = self._replica_order(group)
                 pick = None
                 while order:
@@ -483,6 +514,9 @@ class MultiModuleRuntime:
                     if (self.injector is not None
                             and self.injector.check("pu_crash", rep.module_index)):
                         self._mark_fault(rep.module_index, "PUFault")
+                        if visit is not None:
+                            visit.replicas_tried.append(rep.module_index)
+                            visit.failovers += 1
                         order = [r for r in order[1:]
                                  if r.module_index not in self._failed]
                         if order:
@@ -494,6 +528,9 @@ class MultiModuleRuntime:
                 if pick is None:
                     chosen.append(None)
                     fallbacks.append([])
+                    if visit is not None:
+                        visit.outcome = "down"
+                        visit.rows_lost = visit.rows
                     with tel.tracer.span(
                         "shard.search", "runtime",
                         module=group[0].module_index,
@@ -502,6 +539,8 @@ class MultiModuleRuntime:
                         shard_span.set(skipped="down")
                     continue
                 self._touch(pick.module_index)
+                if visit is not None:
+                    visit.replicas_tried.append(pick.module_index)
                 chosen.append(pick)
                 fallbacks.append(order[1:])
             live = [rep for rep in chosen if rep is not None]
@@ -515,7 +554,8 @@ class MultiModuleRuntime:
             stats = SearchStats()
             lost_shards: List[int] = []
             now = self._now_ns()
-            for group, pick, backups in zip(self._groups, chosen, fallbacks):
+            for group, pick, backups, visit in zip(
+                    self._groups, chosen, fallbacks, visits):
                 if pick is None:
                     lost_shards.append(group[0].shard_index)
                     continue
@@ -526,18 +566,29 @@ class MultiModuleRuntime:
                     # request — serially, on the main thread, so the
                     # retry order is deterministic.
                     status, payload = self._failover(
-                        pick, backups, queries, k, checks)
+                        pick, backups, queries, k, checks, visit=visit)
                 if status == "fault":
                     lost_shards.append(group[0].shard_index)
+                    if visit is not None:
+                        visit.outcome = "lost"
+                        visit.served_by = None
+                        visit.rows_lost = visit.rows
                     continue
                 if status == "ok-failover":
                     res, serving_rep = payload
                     rows = serving_rep.rows
+                    if visit is not None:
+                        visit.outcome = "failover"
+                        visit.served_by = serving_rep.module_index
                     if self.health is not None:
                         self.health.record_success(serving_rep.module_index, now)
                 else:
                     res = payload
                     rows = pick.rows
+                    if visit is not None:
+                        visit.served_by = pick.module_index
+                        if visit.failovers:
+                            visit.outcome = "failover"
                     if self.health is not None:
                         self.health.record_success(pick.module_index, now)
                 # Map shard-local row ids to global corpus ids.
@@ -553,6 +604,11 @@ class MultiModuleRuntime:
                 recall_loss = 1.0 - self.surviving_rows().size / self._n_rows
             else:
                 recall_loss = 0.0
+            if degraded:
+                flight_recorder().record(
+                    "response.degraded", "runtime", sim_ns=now,
+                    lost_shards=list(lost_shards), failed_modules=failed,
+                    expected_recall_loss=recall_loss)
             if tel.enabled:
                 span.set(degraded=degraded, failed_modules=len(failed),
                          lost_shards=len(lost_shards),
@@ -562,7 +618,7 @@ class MultiModuleRuntime:
                 if degraded:
                     tel.metrics.inc("ssam_degraded_responses_total", 1,
                                     help="merges served from surviving shards")
-            return SearchResult(
+            result = SearchResult(
                 ids=merged_ids,
                 distances=merged_d,
                 stats=stats,
@@ -570,15 +626,40 @@ class MultiModuleRuntime:
                 failed_modules=failed,
                 expected_recall_loss=recall_loss,
             )
+            if ctx is not None:
+                rec = ctx.record
+                rec.failovers = sum(v.failovers for v in visits
+                                    if v is not None)
+                rec.degraded = degraded
+                rec.failed_modules = list(failed)
+                rec.expected_recall_loss = recall_loss
+                for v in visits:
+                    if v is not None and v.rows_lost:
+                        rec.lost_rows[v.shard] = v.rows_lost
+                ctx.set_stats(stats)
+                # Derived traffic: every scanned candidate streams one
+                # corpus row out of the vaults.
+                dims = int(qarr.shape[1]) if qarr.ndim == 2 else 0
+                itemsize = 8
+                data = getattr(self.shards[0].index, "data", None)
+                if data is not None and hasattr(data, "dtype"):
+                    itemsize = int(data.dtype.itemsize)
+                ctx.set_bytes(stats.candidates_scanned * dims * itemsize)
+                ctx.finish(result)
+            if tel.enabled:
+                tel.slo.observe("e2e", "wall",
+                                time.perf_counter() - wall_t0)
+            return result
 
     def _failover(self, failed_rep: _Shard, backups: List[_Shard],
-                  queries: np.ndarray, k: int,
-                  checks: Optional[int]) -> "tuple[str, object]":
+                  queries: np.ndarray, k: int, checks: Optional[int],
+                  visit: Optional[ShardVisit] = None) -> "tuple[str, object]":
         """Retry one shard's search on its sibling replicas, in LRU order.
 
         Returns ``("ok-failover", (result, replica))`` from the first
         sibling that answers, or ``("fault", last_error)`` when every
         replica is down — the shard is then lost for this request.
+        ``visit`` (when tracing) accumulates the exact retry sequence.
         """
         last_error = "ModuleLost"
         prev = failed_rep
@@ -587,6 +668,9 @@ class MultiModuleRuntime:
                 continue
             self._count_failover(prev.module_index, rep.module_index)
             self._touch(rep.module_index)
+            if visit is not None:
+                visit.replicas_tried.append(rep.module_index)
+                visit.failovers += 1
             status, payload = _shard_search_task(
                 rep.index, rep.module_index, queries, k, checks)
             if status == "ok":

@@ -28,19 +28,57 @@ time is charged to the affected queries' latencies.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.telemetry import get_telemetry
+from repro.telemetry.flight import flight_recorder
+from repro.telemetry.metrics import DEFAULT_BUCKETS
 
-__all__ = ["QueryScheduler", "ScheduleResult", "BatchedScheduleResult"]
+__all__ = ["QueryScheduler", "ScheduleResult", "BatchedScheduleResult",
+           "resolve_latency_buckets"]
 
 #: Batch-size histogram layout (powers of two up to the plausible max).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Environment override for the ``ssam_sched_latency_seconds`` bucket
+#: boundaries: comma-separated floats, strictly ascending (e.g.
+#: ``"0.001,0.01,0.1,1,10,100,1000"`` for a long chaos soak whose tail
+#: would saturate the default decade layout into ``+Inf``).
+LATENCY_BUCKETS_ENV = "REPRO_SCHED_LATENCY_BUCKETS"
+
+
+def resolve_latency_buckets(
+        latency_buckets: Optional[Sequence[float]] = None) -> Tuple[float, ...]:
+    """Bucket boundaries for the scheduler latency histogram.
+
+    Precedence: explicit argument > :data:`LATENCY_BUCKETS_ENV` >
+    :data:`repro.telemetry.metrics.DEFAULT_BUCKETS`.  Boundaries must be
+    strictly ascending and positive.
+    """
+    if latency_buckets is None:
+        raw = os.environ.get(LATENCY_BUCKETS_ENV, "").strip()
+        if not raw:
+            return DEFAULT_BUCKETS
+        try:
+            latency_buckets = [float(tok) for tok in raw.split(",") if tok.strip()]
+        except ValueError:
+            raise ValueError(
+                f"{LATENCY_BUCKETS_ENV} must be comma-separated floats, "
+                f"got {raw!r}") from None
+    buckets = tuple(float(b) for b in latency_buckets)
+    if not buckets:
+        raise ValueError("latency_buckets must be non-empty")
+    if any(b <= 0 for b in buckets):
+        raise ValueError("latency bucket boundaries must be positive")
+    if any(b1 <= b0 for b0, b1 in zip(buckets, buckets[1:])):
+        raise ValueError("latency bucket boundaries must be strictly ascending")
+    return buckets
 
 
 @dataclass
@@ -131,15 +169,22 @@ class QueryScheduler:
     service_seconds:
         Deterministic per-query service time (one corpus scan); obtain
         it as ``1 / SSAMPerformanceModel.linear_throughput(...)``.
+    latency_buckets:
+        Bucket boundaries for the ``ssam_sched_latency_seconds``
+        histogram; defaults to the ``REPRO_SCHED_LATENCY_BUCKETS``
+        environment override, else the registry-wide decade layout
+        (see :func:`resolve_latency_buckets`).
     """
 
-    def __init__(self, n_modules: int, service_seconds: float):
+    def __init__(self, n_modules: int, service_seconds: float,
+                 latency_buckets: Optional[Sequence[float]] = None):
         if n_modules <= 0:
             raise ValueError("n_modules must be positive")
         if service_seconds <= 0:
             raise ValueError("service_seconds must be positive")
         self.n_modules = int(n_modules)
         self.service_seconds = float(service_seconds)
+        self.latency_buckets = resolve_latency_buckets(latency_buckets)
 
     @property
     def capacity_qps(self) -> float:
@@ -247,6 +292,10 @@ class QueryScheduler:
                     start_ns=start * 1e9,
                     dur_ns=self.service_seconds * 1e9,
                     tid=f"module{m}", query=i)
+                slo = tel.slo
+                slo.observe("wait", "sched", wait, module=m)
+                slo.observe("service", "sched", self.service_seconds, module=m)
+                slo.observe("e2e", "sched", done - t, module=m)
         result = ScheduleResult(
             latencies=latencies,
             service_seconds=self.service_seconds,
@@ -264,6 +313,7 @@ class QueryScheduler:
                    help="in-flight queries re-run after module failures")
             for lat in latencies:
                 m_.observe("ssam_sched_latency_seconds", float(lat),
+                           buckets=self.latency_buckets,
                            help="end-to-end simulated query latency")
         return result
 
@@ -375,6 +425,8 @@ class QueryScheduler:
                 next_arrival += 1
                 queue_peak = max(queue_peak, len(queue))
 
+        bp_active = False  # inside a backpressure episode (onset fired)
+
         def admit_blocked(t_now: float) -> None:
             """Admit arrivals that were blocked at the high-water mark.
 
@@ -383,7 +435,8 @@ class QueryScheduler:
             queue was backpressured, so its effective admission (and
             batching deadline) starts now.
             """
-            nonlocal next_arrival, queue_peak, throttled, throttle_s
+            nonlocal next_arrival, queue_peak, throttled, throttle_s, bp_active
+            admitted_blocked = 0
             while (
                 next_arrival < n_queries
                 and arrivals[next_arrival] <= t_now
@@ -392,6 +445,15 @@ class QueryScheduler:
                 blocked_for = t_now - arrivals[next_arrival]
                 throttled += 1
                 throttle_s += blocked_for
+                admitted_blocked += 1
+                if not bp_active:
+                    # Always-on flight event at the *onset* of each
+                    # backpressure episode (not per blocked query).
+                    bp_active = True
+                    flight_recorder().record(
+                        "backpressure.onset", "serving",
+                        sim_ns=t_now * 1e9, query=int(next_arrival),
+                        blocked_for=float(blocked_for), queue=len(queue))
                 if rec:
                     tel.metrics.inc(
                         "ssam_serving_throttled_total", 1,
@@ -399,6 +461,8 @@ class QueryScheduler:
                 queue.append((t_now, next_arrival))
                 next_arrival += 1
                 queue_peak = max(queue_peak, len(queue))
+            if admitted_blocked == 0:
+                bp_active = False
 
         while next_arrival < n_queries or queue:
             t_free, m = heappop(free_at)
@@ -461,6 +525,15 @@ class QueryScheduler:
                        help="batches dispatched by the serving engine")
                 m_.set_gauge("ssam_serving_queue_depth", len(queue),
                              help="admission-queue depth after the last dispatch")
+                slo = tel.slo
+                for _, qi in batch:
+                    e2e = done - arrivals[qi]
+                    slo.observe("wait", "sched", start - arrivals[qi], module=m)
+                    slo.observe("service", "sched", service, module=m)
+                    slo.observe("e2e", "sched", e2e, module=m)
+                    m_.observe("ssam_sched_latency_seconds", float(e2e),
+                               buckets=self.latency_buckets,
+                               help="end-to-end simulated query latency")
             # Space freed: let backpressured arrivals in.
             admit_blocked(start)
 

@@ -29,8 +29,9 @@ Batching changes *when* answers arrive, never *what* they are.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.host.scheduler import (
     ScheduleResult,
 )
 from repro.telemetry import get_telemetry
+from repro.telemetry.request import begin_request, explaining, next_request_id
 
 __all__ = [
     "BatchingConfig",
@@ -223,13 +225,26 @@ class ServingEngine:
             service_seconds=scheduler.service_seconds)
         self.links = links
         self.executor = executor
+        # Set for the duration of an explain-traced serve(); read by
+        # _search so the ambient explaining() scope reaches dispatches
+        # replayed on executor worker threads (thread-local scopes set
+        # on the admitting thread would not).
+        self._explain_active = False
 
     # ------------------------------------------------------------ backend call
     def _search(self, queries: np.ndarray, k: int) -> SearchResult:
+        tel = get_telemetry()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         search = getattr(self.backend, "search", None)
-        if callable(search):
-            return search(queries, k)
-        return self.backend(queries, k)
+        call = search if callable(search) else self.backend
+        if self._explain_active:
+            with explaining(True):
+                res = call(queries, k)
+        else:
+            res = call(queries, k)
+        if tel.enabled:
+            tel.slo.observe("service", "wall", time.perf_counter() - t0)
+        return res
 
     # ------------------------------------------------------------ health
     def _runtime(self):
@@ -285,6 +300,7 @@ class ServingEngine:
         poisson: bool = True,
         seed: int = 0,
         compare_per_query: bool = False,
+        explain: Optional[bool] = None,
     ) -> ServingReport:
         """Serve ``queries`` as an arrival stream through the batcher.
 
@@ -294,10 +310,19 @@ class ServingEngine:
         query order.  ``compare_per_query=True`` additionally runs the
         unbatched scheduler on the *same* arrival stream (same seed)
         and attaches it as the report's baseline.
+
+        ``explain=True`` (or an ambient ``telemetry.explaining()``
+        scope) traces the request: every admitted query gets a
+        correlation id at admission, each dispatched batch's backend
+        explain record becomes a child of a parent ``serve`` record
+        (carrying the batch ledger and the per-query id map), and the
+        report's ``result.explain`` holds the folded record.  Tracing
+        never changes ids/distances.
         """
         queries = np.atleast_2d(np.asarray(queries))
         n = queries.shape[0]
         tel = get_telemetry()
+        ctx = begin_request("serve", explain, n_queries=n, k=k)
         with tel.tracer.span(
             "serving.serve", "serving", queries=n, k=k,
             arrival_qps=arrival_qps, max_batch=self.batching.max_batch,
@@ -312,7 +337,22 @@ class ServingEngine:
                 high_water=self.batching.high_water,
                 batch_service=self.service_model,
             )
-            result = self.replay(queries, k, schedule)
+            children: Optional[List[object]] = None
+            if ctx is not None:
+                # Correlation ids are assigned at admission, on the
+                # admitting thread, in arrival (= query index) order —
+                # deterministic regardless of executor/worker count.
+                ctx.record.query_request_ids = [
+                    next_request_id() for _ in range(n)]
+                ctx.record.batches = [list(map(int, batch))
+                                      for batch in schedule.batches]
+                children = []
+                self._explain_active = True
+            try:
+                result = self.replay(queries, k, schedule,
+                                     _explains=children)
+            finally:
+                self._explain_active = False
             baseline = None
             if compare_per_query:
                 baseline = self.scheduler.simulate(
@@ -339,6 +379,11 @@ class ServingEngine:
                         help="peak post-dispatch admission-queue depth of "
                              "the most recent serve()")
                 self._export_health(tel)
+        if ctx is not None:
+            # Fold per-batch children in submission (ledger) order —
+            # the same order regardless of how many workers replayed.
+            ctx.record.absorb_children(children or [])
+            ctx.finish(result)
         report = ServingReport(result=result, schedule=schedule,
                                baseline=baseline)
         if compare_per_query:
@@ -355,6 +400,7 @@ class ServingEngine:
         queries: np.ndarray,
         k: int,
         schedule: BatchedScheduleResult,
+        _explains: Optional[List[object]] = None,
     ) -> SearchResult:
         """Run the schedule's batch ledger against the backend.
 
@@ -392,6 +438,8 @@ class ServingEngine:
             degraded = degraded or res.degraded
             failed.update(res.failed_modules)
             recall_loss = max(recall_loss, res.expected_recall_loss)
+            if _explains is not None:
+                _explains.append(res.explain)
             self._bill_links(queries[idx], res)
         return SearchResult(
             ids=ids,

@@ -50,7 +50,13 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
 from repro.telemetry.export import chrome_trace, prometheus_text, tree_summary
+from repro.telemetry.flight import FlightRecorder, flight_recorder
 from repro.telemetry.metrics import MetricsRegistry, NullMetrics
+from repro.telemetry.request import (ExplainRecord, RequestContext, ShardVisit,
+                                     begin_request, explain_enabled,
+                                     explaining, next_request_id,
+                                     reset_request_ids)
+from repro.telemetry.slo import NullSLO, SLOTracker
 from repro.telemetry.spans import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -63,9 +69,24 @@ __all__ = [
     "NullTracer",
     "MetricsRegistry",
     "Span",
+    "SLOTracker",
+    "NullSLO",
+    "FlightRecorder",
+    "flight_recorder",
+    "ExplainRecord",
+    "ShardVisit",
+    "RequestContext",
+    "begin_request",
+    "explaining",
+    "explain_enabled",
+    "next_request_id",
+    "reset_request_ids",
 ]
 
 RUN_VERSION = 1
+
+#: Serialized explain records a session retains (oldest dropped past this).
+EXPLAIN_LEDGER_CAP = 256
 
 
 class Telemetry:
@@ -76,7 +97,16 @@ class Telemetry:
     def __init__(self, meta: Optional[Dict[str, Any]] = None):
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.slo = SLOTracker()
         self.meta: Dict[str, Any] = dict(meta or {})
+        self._explains: list = []
+
+    def record_explain(self, explain: Dict[str, Any]) -> None:
+        """Retain a serialized explain record in the session's request
+        ledger (bounded at :data:`EXPLAIN_LEDGER_CAP`, oldest dropped)."""
+        self._explains.append(explain)
+        if len(self._explains) > EXPLAIN_LEDGER_CAP:
+            del self._explains[:len(self._explains) - EXPLAIN_LEDGER_CAP]
 
     # ------------------------------------------------------------------ export
     def to_dict(self) -> Dict[str, Any]:
@@ -84,6 +114,8 @@ class Telemetry:
         run = {"version": RUN_VERSION, "meta": dict(self.meta)}
         run.update(self.tracer.to_dict())
         run["metrics"] = self.metrics.snapshot()
+        run["slo"] = self.slo.summary()
+        run["requests"] = list(self._explains)
         return run
 
     def save(self, path: str) -> str:
@@ -112,7 +144,11 @@ class _NullTelemetry:
     enabled = False
     tracer = NULL_TRACER
     metrics = NullMetrics()
+    slo = NullSLO()
     meta: Dict[str, Any] = {}
+
+    def record_explain(self, explain: Dict[str, Any]) -> None:
+        return None
 
 
 _NULL = _NullTelemetry()

@@ -24,6 +24,7 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.metrics import prometheus_text as _prom_from_snapshot
+from repro.telemetry.slo import prometheus_slo_lines
 
 __all__ = ["chrome_trace", "prometheus_text", "tree_summary", "load_run"]
 
@@ -40,8 +41,18 @@ def load_run(path: str) -> Dict[str, Any]:
 
 
 def prometheus_text(run: Dict[str, Any]) -> str:
-    """Prometheus text exposition of the run's metric snapshot."""
-    return _prom_from_snapshot(run.get("metrics", []))
+    """Prometheus text exposition of the run's metric snapshot.
+
+    Includes the run's exact SLO quantiles (the ``slo`` section) as
+    ``ssam_slo_latency_seconds`` gauges after the metric families.
+    """
+    text = _prom_from_snapshot(run.get("metrics", []))
+    slo_lines = prometheus_slo_lines(run.get("slo", []))
+    if slo_lines:
+        body = "\n".join(slo_lines) + "\n"
+        text = text + body if text.endswith("\n") or not text else \
+            text + "\n" + body
+    return text
 
 
 # ---------------------------------------------------------------- chrome trace
@@ -254,4 +265,38 @@ def tree_summary(run: Dict[str, Any], max_depth: Optional[int] = None,
             lines.append(
                 f"  {metric['name']} (histogram): count={count} mean={mean:.4g}"
             )
+
+    slo = run.get("slo", [])
+    if slo:
+        lines.append("slo (exact percentiles):")
+        for row in slo:
+            module = row.get("module")
+            scope = "all" if module is None else f"module{module}"
+            lines.append(
+                f"  {row['phase']}/{row['clock']}/{scope}: "
+                f"n={row['count']} p50={row['p50']:.4g} "
+                f"p95={row['p95']:.4g} p99={row['p99']:.4g} "
+                f"max={row['max']:.4g}"
+            )
+
+    requests = run.get("requests", [])
+    if requests:
+        lines.append(f"requests ({len(requests)} explain records):")
+        for rec in requests[-max_children:]:
+            tag = f"  #{rec.get('request_id', '?')} [{rec.get('kind', '?')}]"
+            bits = [f"q={rec.get('n_queries', 0)}", f"k={rec.get('k', 0)}"]
+            if rec.get("shards"):
+                bits.append(f"shards={len(rec['shards'])}")
+            if rec.get("failovers"):
+                bits.append(f"failovers={rec['failovers']}")
+            if rec.get("retries"):
+                bits.append(f"retries={rec['retries']}")
+            if rec.get("loads_per_query"):
+                bits.append(f"loads/q={rec['loads_per_query']:.0f}")
+            if rec.get("degraded"):
+                bits.append(
+                    f"DEGRADED lost_shards={sorted(rec.get('lost_rows', {}))}")
+            lines.append(tag + " " + " ".join(bits))
+        if len(requests) > max_children:
+            lines.append(f"  … {len(requests) - max_children} more requests")
     return "\n".join(lines) if lines else "(empty run)"

@@ -1,0 +1,154 @@
+"""Always-on flight recorder: a bounded ring of structured events.
+
+Counters say *how much* went wrong; the flight recorder says *what
+happened last*.  It is a process-wide ring buffer (``deque(maxlen=N)``)
+of small structured events — injected faults, in-request failovers,
+module health transitions, driver retries, backpressure onset, degraded
+responses — that is **always armed**, telemetry session or not.  Cost
+when nothing happens: zero (events are only appended when a noteworthy
+transition fires, and each append is one lock + one deque push).  Cost
+when everything happens: still bounded — the ring holds the most recent
+``capacity`` events and silently forgets the rest, so a week-long chaos
+soak carries the same memory footprint as a unit test.
+
+The payoff is the postmortem: any degraded response automatically
+attaches ``flight_recorder().dump()`` to its explain record (see
+:mod:`repro.telemetry.request`), so the answer that lost rows arrives
+*with* the recent fault/failover/health history that explains why.
+
+Events carry a monotonically increasing ``seq`` (total recorded, which
+with ``len()`` also tells you how many were dropped), a wall-clock
+offset ``t`` (seconds since the recorder was armed), an optional
+simulated-clock position ``sim_ns`` (the fault injector's nanosecond
+clock, when the emitting layer has one), and a flat ``attrs`` bag.
+
+Capacity defaults to :data:`DEFAULT_CAPACITY` and can be overridden at
+import time with the ``REPRO_FLIGHT_CAPACITY`` environment variable or
+at runtime with :func:`set_capacity`.
+
+Worker processes (the ``process`` parallel backend) run their own
+recorder post-fork; their events are not shipped back — every event the
+dump exists for (fault draws, routing, failover, health, admission) is
+recorded on the main thread by design, precisely so dumps are
+worker-count-invariant.  Worker *threads* share this recorder (it is
+lock-guarded).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "CAPACITY_ENV",
+    "FlightRecorder",
+    "flight_recorder",
+    "set_capacity",
+]
+
+#: Ring capacity when neither the env var nor set_capacity() overrides it.
+DEFAULT_CAPACITY = 256
+#: Environment override for the ring capacity (read once at import).
+CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(CAPACITY_ENV, "").strip()
+    if not raw:
+        return DEFAULT_CAPACITY
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CAPACITY_ENV} must be an integer, got {raw!r}") from None
+    if cap < 1:
+        raise ValueError(f"{CAPACITY_ENV} must be >= 1, got {cap}")
+    return cap
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------ write
+    def record(self, kind: str, category: str = "", *,
+               sim_ns: Optional[float] = None, **attrs: Any) -> None:
+        """Append one event; oldest events fall off past ``capacity``."""
+        t = time.perf_counter() - self._epoch
+        with self._lock:
+            self._seq += 1
+            rec: Dict[str, Any] = {
+                "seq": self._seq,
+                "kind": kind,
+                "cat": category,
+                "t": t,
+                "attrs": dict(attrs),
+            }
+            if sim_ns is not None:
+                rec["sim_ns"] = float(sim_ns)
+            self._ring.append(rec)
+
+    # ------------------------------------------------------------------ read
+    def dump(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (``last`` trims to the tail).
+
+        Returns copies, so a dump attached to an explain record stays
+        stable while the ring keeps rolling.
+        """
+        with self._lock:
+            events = [dict(rec) for rec in self._ring]
+        if last is not None:
+            events = events[-max(0, int(last)):]
+        return events
+
+    def clear(self) -> None:
+        """Drop every retained event (the seq counter keeps counting)."""
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (retained + dropped)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events the ring has already forgotten."""
+        with self._lock:
+            return self._seq - len(self._ring)
+
+
+_RECORDER = FlightRecorder(_env_capacity())
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide always-on recorder."""
+    return _RECORDER
+
+
+def set_capacity(capacity: int) -> FlightRecorder:
+    """Replace the process-wide recorder with a fresh one of ``capacity``.
+
+    Events retained by the old recorder are dropped — callers that need
+    them should :meth:`FlightRecorder.dump` first.
+    """
+    global _RECORDER
+    _RECORDER = FlightRecorder(capacity)
+    return _RECORDER

@@ -7,9 +7,12 @@ Usage::
     python -m repro.telemetry.report results/run.json --prom metrics.prom
     python -m repro.telemetry.report results/run.json --max-depth 2
 
-Prints the human-readable span tree and counter table; ``--chrome``
-additionally writes Chrome trace-event JSON (open in Perfetto or
-``chrome://tracing``) and ``--prom`` the Prometheus text exposition.
+Prints the human-readable span tree, counter table, the run's exact
+SLO percentiles (per phase/clock/module), and the tail of its explain
+ledger (one line per traced request); ``--chrome`` additionally writes
+Chrome trace-event JSON (open in Perfetto or ``chrome://tracing``) and
+``--prom`` the Prometheus text exposition, which includes the
+``ssam_slo_latency_seconds`` quantile gauges.
 """
 
 from __future__ import annotations

@@ -1,0 +1,333 @@
+"""Request contexts: correlation ids and per-query explain records.
+
+The aggregate telemetry (counters, histograms) says how much work the
+stack did; this layer says *which request* did it.  Every admitted
+query gets a **correlation id** from a process-wide monotonic counter —
+assigned on the main thread at admission, in a fixed order, so the id
+sequence (and everything keyed by it) is worker-count-invariant.  The
+layers the request flows through (serving engine → scheduler → runtime
+replica routing → driver → kernels → parallel backend) each contribute
+their deterministic facts to one :class:`ExplainRecord` attached to the
+returned ``SearchResult.explain``:
+
+- which shards were touched and the **exact replica sequence tried**
+  per shard (including mid-request failovers, in retry order);
+- driver retries, simulation-cache hit/miss deltas;
+- the work accounting (candidates scanned, distance ops), the derived
+  vault bytes read and **loads per query** — the paper's unit;
+- cycle counts when the cycle backend ran;
+- degraded-mode attribution: which lost shard cost which rows, plus an
+  automatic flight-recorder dump (:mod:`repro.telemetry.flight`) for
+  the postmortem.
+
+Determinism contract (the PR 3 invariant, extended): explain records
+are assembled **on the main thread** from facts that are already
+deterministic — routing decisions, injector draws (main-thread, fixed
+order), ``SearchStats`` that thread and process workers ship back with
+their existing result payloads and that fold in submission order.
+Building the record never draws randomness and never changes a result:
+``ids``/``distances`` are bit-exact with explain on or off, at any
+worker count, on every backend.
+
+Two ways to turn it on:
+
+- explicitly — ``runtime.search(..., explain=True)``,
+  ``driver.nexec(..., explain=True)``,
+  ``system.search(..., explain=True)``;
+- ambiently — ``with explaining(): ...`` arms a thread-local flag the
+  layers consult when no explicit argument was given, which is how
+  ``ServingEngine.serve`` propagates the request scope through generic
+  backends it cannot pass keywords to.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "ShardVisit",
+    "ExplainRecord",
+    "RequestContext",
+    "next_request_id",
+    "reset_request_ids",
+    "explaining",
+    "explain_enabled",
+    "begin_request",
+]
+
+_ID_LOCK = threading.Lock()
+_IDS = itertools.count(1)
+_TLS = threading.local()
+
+
+def next_request_id() -> int:
+    """Allocate the next correlation id (process-wide, monotonic)."""
+    with _ID_LOCK:
+        return next(_IDS)
+
+
+def reset_request_ids(start: int = 1) -> None:
+    """Reset the correlation-id counter (tests / fresh experiment runs)."""
+    global _IDS
+    with _ID_LOCK:
+        _IDS = itertools.count(start)
+
+
+# ------------------------------------------------------------------ ambient scope
+def explain_enabled() -> bool:
+    """True inside an :func:`explaining` scope on this thread."""
+    return getattr(_TLS, "depth", 0) > 0
+
+
+@contextmanager
+def explaining(enabled: bool = True) -> Iterator[None]:
+    """Arm request tracing for the block (thread-local, re-entrant)."""
+    if not enabled:
+        yield
+        return
+    _TLS.depth = getattr(_TLS, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _TLS.depth -= 1
+
+
+def _resolve(explicit: Optional[bool]) -> bool:
+    return explain_enabled() if explicit is None else bool(explicit)
+
+
+# ------------------------------------------------------------------ records
+@dataclass
+class ShardVisit:
+    """One shard's routing story within one request.
+
+    ``replicas_tried`` is the exact module sequence consulted, in
+    order: the first entry is the LRU-routed first choice; every
+    further entry is a failover target.  ``served_by`` is the module
+    that answered (``None`` when the shard was lost), ``outcome`` one
+    of ``"ok"`` / ``"failover"`` / ``"lost"`` / ``"down"`` (``down``:
+    no replica was routable before dispatch).  ``rows`` is the shard's
+    row count; ``rows_lost`` is nonzero only for lost/down shards —
+    the degraded-mode attribution of *which lost shard cost which
+    rows* (``row_lo``/``row_hi`` bound the shard's contiguous span).
+    """
+
+    shard: int
+    replicas_tried: List[int] = field(default_factory=list)
+    served_by: Optional[int] = None
+    failovers: int = 0
+    outcome: str = "ok"
+    rows: int = 0
+    rows_lost: int = 0
+    row_lo: int = 0
+    row_hi: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "replicas_tried": list(self.replicas_tried),
+            "served_by": self.served_by,
+            "failovers": self.failovers,
+            "outcome": self.outcome,
+            "rows": self.rows,
+            "rows_lost": self.rows_lost,
+            "row_lo": self.row_lo,
+            "row_hi": self.row_hi,
+        }
+
+
+@dataclass
+class ExplainRecord:
+    """The per-request attribution attached to ``SearchResult.explain``."""
+
+    request_id: int
+    kind: str = "search"                 # search | driver.nexec | serve | concat
+    n_queries: int = 0
+    k: int = 0
+    mode: str = ""                       # algorithm / index mode when known
+    shards: List[ShardVisit] = field(default_factory=list)
+    failovers: int = 0
+    retries: int = 0
+    simcache_hits: int = 0
+    simcache_misses: int = 0
+    candidates_scanned: int = 0
+    nodes_visited: int = 0
+    distance_ops: int = 0
+    vault_bytes_read: int = 0
+    cycles: int = 0
+    loads_per_query: float = 0.0
+    degraded: bool = False
+    failed_modules: List[int] = field(default_factory=list)
+    expected_recall_loss: float = 0.0
+    #: shard index -> unique rows unreachable because of that shard.
+    lost_rows: Dict[int, int] = field(default_factory=dict)
+    #: Flight-recorder dump, attached automatically on degraded responses.
+    flight: Optional[List[Dict[str, Any]]] = None
+    #: Per-dispatch child records (serve / chunked search).
+    children: List["ExplainRecord"] = field(default_factory=list)
+    #: Per-query correlation ids, assigned at admission (serve only).
+    query_request_ids: List[int] = field(default_factory=list)
+    #: Dispatch ledger (query indices per batch; serve only).
+    batches: List[List[int]] = field(default_factory=list)
+
+    # -------------------------------------------------------------- views
+    @property
+    def replica_sequence(self) -> Dict[int, List[int]]:
+        """``shard -> exact replica sequence tried`` (routing order)."""
+        return {v.shard: list(v.replicas_tried) for v in self.shards}
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "n_queries": self.n_queries,
+            "k": self.k,
+            "mode": self.mode,
+            "shards": [v.to_dict() for v in self.shards],
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "simcache_hits": self.simcache_hits,
+            "simcache_misses": self.simcache_misses,
+            "candidates_scanned": self.candidates_scanned,
+            "nodes_visited": self.nodes_visited,
+            "distance_ops": self.distance_ops,
+            "vault_bytes_read": self.vault_bytes_read,
+            "cycles": self.cycles,
+            "loads_per_query": self.loads_per_query,
+            "degraded": self.degraded,
+            "failed_modules": list(self.failed_modules),
+            "expected_recall_loss": self.expected_recall_loss,
+            "lost_rows": {str(k): v for k, v in self.lost_rows.items()},
+        }
+        if self.flight is not None:
+            d["flight"] = self.flight
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        if self.query_request_ids:
+            d["query_request_ids"] = list(self.query_request_ids)
+        if self.batches:
+            d["batches"] = [list(b) for b in self.batches]
+        return d
+
+    def summary(self) -> str:
+        """One line for logs and the report CLI."""
+        parts = [f"request {self.request_id} [{self.kind}]"]
+        if self.mode:
+            parts.append(self.mode)
+        parts.append(f"q={self.n_queries} k={self.k}")
+        if self.shards:
+            parts.append(f"shards={len(self.shards)}")
+        if self.failovers:
+            parts.append(f"failovers={self.failovers}")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.loads_per_query:
+            parts.append(f"loads/q={self.loads_per_query:.0f}")
+        if self.degraded:
+            parts.append(
+                f"DEGRADED loss={self.expected_recall_loss:.3f} "
+                f"lost_shards={sorted(self.lost_rows)}")
+        return " ".join(parts)
+
+    def absorb_children(self, parts: List[Optional["ExplainRecord"]]) -> None:
+        """Fold per-dispatch child records into this parent.
+
+        Children fold in submission order; aggregates (failovers,
+        retries, cache deltas, work accounting) sum, degraded fields
+        take the union/worst exactly like the result merge does.
+        """
+        for child in parts:
+            if child is None:
+                continue
+            self.children.append(child)
+            self.failovers += child.failovers
+            self.retries += child.retries
+            self.simcache_hits += child.simcache_hits
+            self.simcache_misses += child.simcache_misses
+            self.candidates_scanned += child.candidates_scanned
+            self.nodes_visited += child.nodes_visited
+            self.distance_ops += child.distance_ops
+            self.vault_bytes_read += child.vault_bytes_read
+            self.cycles += child.cycles
+            self.degraded = self.degraded or child.degraded
+            for m in child.failed_modules:
+                if m not in self.failed_modules:
+                    self.failed_modules.append(m)
+            self.expected_recall_loss = max(
+                self.expected_recall_loss, child.expected_recall_loss)
+            for shard, rows in child.lost_rows.items():
+                self.lost_rows[shard] = max(
+                    self.lost_rows.get(shard, 0), rows)
+            if child.flight is not None and self.flight is None:
+                self.flight = child.flight
+        self.failed_modules.sort()
+        if self.n_queries:
+            self.loads_per_query = self.vault_bytes_read / self.n_queries
+
+
+class RequestContext:
+    """One in-flight request: its correlation id and growing record."""
+
+    def __init__(self, kind: str, *, n_queries: int = 0, k: int = 0,
+                 mode: str = ""):
+        self.id = next_request_id()
+        self.record = ExplainRecord(
+            request_id=self.id, kind=kind, n_queries=n_queries, k=k,
+            mode=mode)
+
+    # -------------------------------------------------------------- builders
+    def visit(self, shard: int, rows: int, row_lo: int = 0,
+              row_hi: int = 0) -> ShardVisit:
+        """Open a shard-visit entry (the runtime's routing ledger)."""
+        v = ShardVisit(shard=shard, rows=rows, row_lo=row_lo, row_hi=row_hi)
+        self.record.shards.append(v)
+        return v
+
+    def set_stats(self, stats) -> None:
+        """Copy a ``SearchStats`` into the record's work accounting."""
+        self.record.candidates_scanned = int(stats.candidates_scanned)
+        self.record.nodes_visited = int(stats.nodes_visited)
+        self.record.distance_ops = int(stats.distance_ops)
+
+    def set_bytes(self, vault_bytes: int) -> None:
+        self.record.vault_bytes_read = int(vault_bytes)
+        if self.record.n_queries:
+            self.record.loads_per_query = (
+                self.record.vault_bytes_read / self.record.n_queries)
+
+    def finish(self, result=None):
+        """Close the record: attach the flight dump on degraded
+        responses, attach the record to ``result.explain``, and ship a
+        serialized copy to the installed telemetry session's request
+        ledger.  Returns the record."""
+        rec = self.record
+        if rec.degraded and rec.flight is None:
+            from repro.telemetry.flight import flight_recorder
+
+            rec.flight = flight_recorder().dump()
+        if result is not None:
+            result.explain = rec
+        from repro.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.record_explain(rec.to_dict())
+        return rec
+
+
+def begin_request(kind: str, explain: Optional[bool] = None, *,
+                  n_queries: int = 0, k: int = 0,
+                  mode: str = "") -> Optional[RequestContext]:
+    """Mint a context when tracing is requested, else ``None``.
+
+    ``explain=None`` consults the ambient :func:`explaining` scope;
+    ``True``/``False`` override it.  Returning ``None`` keeps the
+    disabled path at a single ``if ctx is not None`` per probe site.
+    """
+    if not _resolve(explain):
+        return None
+    return RequestContext(kind, n_queries=n_queries, k=k, mode=mode)

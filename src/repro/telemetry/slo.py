@@ -1,0 +1,203 @@
+"""SLO layer: exact streaming percentiles over latency phases.
+
+Fixed-bucket histograms (:mod:`repro.telemetry.metrics`) answer "roughly
+how is latency distributed"; an SLO gate needs the *exact* p99.  The
+:class:`SLOTracker` keeps every observation per series — the streams the
+SSAM stack produces are query streams of at most a few hundred thousand
+entries, so retaining the raw values is cheap and makes every quantile
+exact (NumPy ``percentile`` over the sorted sample, linear
+interpolation, the same definition ``ScheduleResult.percentile`` uses) —
+no sketch error term to argue about in a regression gate.
+
+A series is keyed by ``(phase, clock, module)``:
+
+- ``phase`` — ``"wait"`` (admission/queue), ``"service"`` (backend
+  busy), or ``"e2e"`` (arrival to completion);
+- ``clock`` — ``"sched"`` (the scheduler's deterministic simulated
+  event clock; identical numbers on every host) or ``"wall"`` (host
+  wall time; real but machine-dependent);
+- ``module`` — the serving module's index for per-module breakdown, or
+  ``None`` for pool-wide series.
+
+Feeding happens at the layers that own each phase: the query scheduler
+(per-query wait/service/e2e on the ``sched`` clock, per module), the
+multi-module runtime and the driver (wall ``e2e``), and the serving
+engine (wall ``service`` per dispatch).  Everything is gated behind
+``tel.enabled`` — the disabled path costs one attribute check.
+
+Process-pool workers observe into their private session; the shipment
+channel (:mod:`repro.core.parallel`) ships the raw values back and the
+parent merges them with :meth:`SLOTracker.merge` — exact quantiles are
+order-insensitive, so merged series equal single-process series.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SLO_PHASES", "SLO_CLOCKS", "SLO_QUANTILES", "SLOTracker",
+           "NullSLO", "prometheus_slo_lines"]
+
+#: The phase vocabulary every feeding layer uses.
+SLO_PHASES = ("wait", "service", "e2e")
+#: The two time domains a series can live on.
+SLO_CLOCKS = ("wall", "sched")
+#: Quantiles reported in summaries and the Prometheus export.
+SLO_QUANTILES = (50.0, 95.0, 99.0)
+
+_Key = Tuple[str, str, Optional[str]]
+
+
+class SLOTracker:
+    """Exact-percentile latency series, keyed by (phase, clock, module)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: Dict[_Key, List[float]] = {}
+
+    # ------------------------------------------------------------------ write
+    def observe(self, phase: str, clock: str, seconds: float,
+                module: Optional[Any] = None) -> None:
+        """Record one latency observation (seconds) on a series."""
+        key = (phase, clock, None if module is None else str(module))
+        with self._lock:
+            self._series.setdefault(key, []).append(float(seconds))
+
+    def merge(self, exported: Optional[List[Dict[str, Any]]]) -> None:
+        """Fold a worker-shipped :meth:`export` into this tracker.
+
+        Exact percentiles are order-insensitive, so merging raw values
+        in any order reproduces the single-process series.
+        """
+        if not exported:
+            return
+        with self._lock:
+            for row in exported:
+                key = (row["phase"], row["clock"], row.get("module"))
+                self._series.setdefault(key, []).extend(
+                    float(v) for v in row.get("values", ()))
+
+    # ------------------------------------------------------------------ read
+    def percentile(self, phase: str, clock: str, p: float,
+                   module: Optional[Any] = None) -> float:
+        """Exact p-th percentile of one series (0.0 when empty)."""
+        key = (phase, clock, None if module is None else str(module))
+        with self._lock:
+            values = list(self._series.get(key, ()))
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values), p))
+
+    def count(self, phase: str, clock: str,
+              module: Optional[Any] = None) -> int:
+        key = (phase, clock, None if module is None else str(module))
+        with self._lock:
+            return len(self._series.get(key, ()))
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """One row per series: count, mean, max, and the exact quantiles.
+
+        Rows are sorted by (phase, clock, module) so two identical runs
+        serialize byte-identically.
+        """
+        with self._lock:
+            items = [(key, np.asarray(vals))
+                     for key, vals in self._series.items()]
+        rows: List[Dict[str, Any]] = []
+        for (phase, clock, module), arr in sorted(
+                items, key=lambda kv: (kv[0][0], kv[0][1], kv[0][2] or "")):
+            row: Dict[str, Any] = {
+                "phase": phase,
+                "clock": clock,
+                "module": module,
+                "count": int(arr.size),
+                "mean": float(arr.mean()),
+                "max": float(arr.max()),
+            }
+            for q in SLO_QUANTILES:
+                row[f"p{q:g}"] = float(np.percentile(arr, q))
+            rows.append(row)
+        return rows
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Summary rows *plus* raw values — the worker-shipment form."""
+        rows = self.summary()
+        with self._lock:
+            for row in rows:
+                key = (row["phase"], row["clock"], row["module"])
+                row["values"] = list(self._series.get(key, ()))
+        return rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+
+class NullSLO:
+    """Disabled tracker: observations vanish, reads are empty."""
+
+    enabled = False
+
+    def observe(self, phase: str, clock: str, seconds: float,
+                module: Optional[Any] = None) -> None:
+        return None
+
+    def merge(self, exported: Optional[List[Dict[str, Any]]]) -> None:
+        return None
+
+    def percentile(self, phase: str, clock: str, p: float,
+                   module: Optional[Any] = None) -> float:
+        return 0.0
+
+    def count(self, phase: str, clock: str,
+              module: Optional[Any] = None) -> int:
+        return 0
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return []
+
+    def export(self) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+def prometheus_slo_lines(slo_rows: List[Dict[str, Any]]) -> List[str]:
+    """Prometheus exposition lines for a run's ``slo`` section.
+
+    Quantiles render as one gauge family with a ``quantile`` label (the
+    summary-metric convention), plus ``_count``/``_sum``-style gauges —
+    all plain gauges so the exposition stays promtool-parseable without
+    claiming native summary semantics.
+    """
+    if not slo_rows:
+        return []
+    name = "ssam_slo_latency_seconds"
+    lines = [
+        f"# HELP {name} exact latency quantiles per (phase, clock, module)",
+        f"# TYPE {name} gauge",
+    ]
+
+    def fmt(row: Dict[str, Any], extra: str = "") -> str:
+        labels = [f'phase="{row["phase"]}"', f'clock="{row["clock"]}"']
+        if row.get("module") is not None:
+            labels.append(f'module="{row["module"]}"')
+        if extra:
+            labels.append(extra)
+        return "{" + ",".join(labels) + "}"
+
+    for row in slo_rows:
+        for q in SLO_QUANTILES:
+            qlabel = 'quantile="{0:g}"'.format(q / 100.0)
+            value = row["p{0:g}".format(q)]
+            lines.append(f"{name}{fmt(row, qlabel)} {value!r}")
+    lines.append(f"# TYPE {name}_count gauge")
+    for row in slo_rows:
+        lines.append(f"{name}_count{fmt(row)} {row['count']}")
+    return lines

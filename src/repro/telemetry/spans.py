@@ -120,6 +120,28 @@ class Span:
         return d
 
 
+def _absorb_span_key(rec: Dict[str, Any]):
+    """Deterministic order for absorbed worker spans.
+
+    (clock, timestamp, remapped id): wall spans ("" clock) sort by t0;
+    sim spans group per clock and sort by rebased start.  The remapped
+    id — assigned in shipment order — breaks timestamp ties stably.
+    """
+    clock = rec.get("clock")
+    if clock is None:
+        return ("", float(rec.get("t0") or 0.0), rec.get("id", 0))
+    return (clock, float(rec.get("sim_t0_ns") or 0.0), rec.get("id", 0))
+
+
+def _absorb_instant_key(item):
+    """(clock, timestamp, shipment position) for absorbed instants."""
+    pos, rec = item
+    clock = rec.get("clock")
+    if clock is None:
+        return ("", float(rec.get("t") or 0.0), pos)
+    return (clock, float(rec.get("sim_ns") or 0.0), pos)
+
+
 class Tracer:
     """Collects spans and instants for one telemetry session."""
 
@@ -261,6 +283,13 @@ class Tracer:
             rec.setdefault("attrs", {})
             rec["attrs"] = dict(rec["attrs"], worker=worker)
             instants.append(rec)
+        # Worker threads race to finish spans, so a shipment's internal
+        # order varies run to run.  Sort each shipment by (clock,
+        # timestamp, sequence) before extending the ledgers so two
+        # identical runs export byte-identical traces.
+        absorbed.sort(key=_absorb_span_key)
+        instants = [rec for _, rec in sorted(enumerate(instants),
+                                             key=_absorb_instant_key)]
         with self._lock:
             self._foreign_spans.extend(absorbed)
             self.instants.extend(instants)

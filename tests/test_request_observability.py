@@ -1,0 +1,503 @@
+"""Per-request observability: explain traces, SLO percentiles, flight ring.
+
+The contract under test is the PR 3 determinism invariant extended to
+tracing: ``explain=True`` must be *invisible* in the answers — all five
+scale-out algorithms bit-exact with tracing on or off, at any worker
+count, on the thread and process backends, including under an active
+:class:`~repro.faults.FaultPlan`.  On top of that: the explain record
+for a failover query names the exact replica sequence tried; degraded
+answers carry per-shard lost-row attribution and an automatic
+flight-recorder dump; the SLO tracker's percentiles are exact
+(``np.percentile``-identical) and order-insensitive under worker
+merges; correlation ids are worker-count-invariant; the report CLI
+round-trips through ``--chrome`` / ``--prom`` with the new explain/SLO
+sections; and ``bench_guard --slo`` recomputes the quantile invariants
+from ``BENCH_6.json`` rows.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.api import SSAMSystem
+from repro.experiments.bench_guard import check_slo
+from repro.faults import FaultPlan
+from repro.host.runtime import MultiModuleRuntime
+from repro.host.scheduler import (
+    LATENCY_BUCKETS_ENV,
+    QueryScheduler,
+    resolve_latency_buckets,
+)
+from repro.telemetry import Telemetry, install, uninstall
+from repro.telemetry.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    flight_recorder,
+    set_capacity,
+)
+from repro.telemetry.metrics import DEFAULT_BUCKETS
+from repro.telemetry.report import main as report_main
+from repro.telemetry.request import (
+    begin_request,
+    explain_enabled,
+    explaining,
+    next_request_id,
+    reset_request_ids,
+)
+from repro.telemetry.slo import SLOTracker, prometheus_slo_lines
+
+RNG = np.random.default_rng(23)
+DATA = RNG.standard_normal((160, 8))
+QUERIES = DATA[:4] + 0.01
+
+ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+INDEX_PARAMS = {
+    "exact": {},
+    "kdtree": {"n_trees": 2, "seed": 7},
+    "kmeans": {"branching": 4, "seed": 7},
+    "mplsh": {"n_tables": 4, "n_bits": 8, "seed": 7},
+    "graph": {"max_degree": 8, "ef_construction": 16, "seed": 7},
+}
+
+
+def _run(algo, *, workers=None, parallel=None, plan=None, explain=False):
+    system = SSAMSystem.build(
+        DATA, algo=algo, scale_out=True, n_modules=4,
+        replication_factor=2, fault_plan=plan,
+        index_params=dict(INDEX_PARAMS[algo]),
+        workers=workers, parallel=parallel,
+    )
+    try:
+        return system.search(QUERIES, k=5, explain=explain)
+    finally:
+        system.close()
+
+
+def _plan():
+    # One scheduled module loss; r=2 keeps every shard served, so the
+    # faulted run still answers (via failover) and must stay bit-exact
+    # with tracing on or off.
+    return FaultPlan(seed=5).inject("module_loss", target=1, at_time_ns=0.0)
+
+
+# ---------------------------------------------------------------- differential
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_explain_is_invisible_in_results(backend, workers):
+    """All five algorithms: tracing on == tracing off, bit for bit."""
+    for algo in ALGOS:
+        for plan_factory in (None, _plan):
+            base = _run(algo, workers=workers, parallel=backend,
+                        plan=plan_factory() if plan_factory else None,
+                        explain=False)
+            traced = _run(algo, workers=workers, parallel=backend,
+                          plan=plan_factory() if plan_factory else None,
+                          explain=True)
+            label = f"{algo}/{backend}x{workers}/" \
+                    f"{'fault' if plan_factory else 'clean'}"
+            assert base.explain is None, label
+            assert traced.explain is not None, label
+            assert np.array_equal(base.ids, traced.ids), label
+            assert np.array_equal(base.distances, traced.distances), label
+
+
+def test_explain_matches_across_worker_counts():
+    """The explain record itself is worker-count-invariant."""
+    def record(workers, parallel):
+        rec = _run("exact", workers=workers, parallel=parallel,
+                   plan=_plan(), explain=True).explain
+        d = rec.to_dict()
+        d.pop("request_id")
+        d.pop("flight", None)   # wall offsets differ; content checked elsewhere
+        return d
+
+    serial = record(1, None)
+    assert record(2, "thread") == serial
+    assert record(4, "process") == serial
+
+
+# ---------------------------------------------------------------- failover
+def test_failover_explain_names_exact_replica_sequence():
+    injector = FaultPlan.empty(seed=0).injector()
+    runtime = MultiModuleRuntime(injector=injector, replication_factor=2)
+    runtime.load(DATA, n_modules=4)
+    try:
+        with injector.forcing("pu_crash", target=0):
+            res = runtime.search(QUERIES, k=5, explain=True)
+        clean = runtime.search(QUERIES, k=5)
+    finally:
+        runtime.close()
+
+    rec = res.explain
+    assert rec.failovers >= 1
+    visits = {v.shard: v for v in rec.shards}
+    crashed = [v for v in visits.values()
+               if v.replicas_tried and v.replicas_tried[0] == 0
+               and len(v.replicas_tried) > 1]
+    assert crashed, f"no failover recorded: {rec.replica_sequence}"
+    for v in crashed:
+        # The exact sequence: primary 0 crashed, then the sibling
+        # replica answered.
+        assert v.outcome == "failover"
+        assert v.served_by == v.replicas_tried[-1]
+        assert v.served_by != 0
+        assert v.failovers == len(v.replicas_tried) - 1
+    # Replicas share one build: failover answers stay bit-exact and
+    # undegraded.
+    assert not res.degraded
+    assert np.array_equal(res.ids, clean.ids)
+
+
+def test_degraded_explain_attributes_lost_rows_and_attaches_flight():
+    plan = (FaultPlan(seed=9)
+            .inject("module_loss", target=1, at_time_ns=0.0)
+            .inject("module_loss", target=2, at_time_ns=0.0))
+    system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
+                              n_modules=4, replication_factor=2,
+                              fault_plan=plan)
+    try:
+        res = system.search(QUERIES, k=5, explain=True)
+    finally:
+        system.close()
+
+    rec = res.explain
+    assert res.degraded and rec.degraded
+    assert rec.failed_modules == [1, 2]
+    # Adjacent losses take both replicas of shard 1: the attribution
+    # names that shard and its full row span.
+    assert set(rec.lost_rows) == {1}
+    assert rec.lost_rows[1] > 0
+    lost_visit = next(v for v in rec.shards if v.shard == 1)
+    assert lost_visit.outcome in ("lost", "down")
+    assert lost_visit.served_by is None
+    assert lost_visit.rows_lost == rec.lost_rows[1]
+    assert rec.expected_recall_loss == pytest.approx(
+        rec.lost_rows[1] / DATA.shape[0])
+    # The flight dump arrived with the degraded answer and explains it.
+    assert rec.flight, "degraded response did not attach a flight dump"
+    kinds = [ev["kind"] for ev in rec.flight]
+    assert "response.degraded" in kinds
+    assert any(k.startswith("fault.") for k in kinds)
+
+
+def test_explain_off_leaves_result_untouched():
+    res = _run("exact")
+    assert res.explain is None
+
+
+# ---------------------------------------------------------------- request ids
+def test_request_ids_are_worker_count_invariant():
+    def serve_ids(workers, parallel):
+        reset_request_ids()
+        system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
+                                  n_modules=4, service_seconds=1e-3,
+                                  workers=workers, parallel=parallel)
+        try:
+            report = system.serve(QUERIES, k=5, arrival_qps=2000.0,
+                                  poisson=False, seed=0, explain=True)
+        finally:
+            system.close()
+        rec = report.result.explain
+        return rec.query_request_ids, rec.batches
+
+    serial_ids, serial_batches = serve_ids(None, None)
+    assert len(serial_ids) == QUERIES.shape[0]
+    assert len(set(serial_ids)) == len(serial_ids)
+    assert serve_ids(2, "thread") == (serial_ids, serial_batches)
+    assert serve_ids(4, "process") == (serial_ids, serial_batches)
+
+
+def test_ambient_explaining_scope_is_thread_local_and_reentrant():
+    assert not explain_enabled()
+    with explaining():
+        assert explain_enabled()
+        with explaining():
+            assert explain_enabled()
+        assert explain_enabled()
+        assert begin_request("search") is not None
+        # Explicit False overrides the ambient scope.
+        assert begin_request("search", False) is None
+    assert not explain_enabled()
+    assert begin_request("search") is None
+    a = next_request_id()
+    b = next_request_id()
+    assert b == a + 1
+
+
+# ---------------------------------------------------------------- SLO tracker
+def test_slo_percentiles_are_exact():
+    tracker = SLOTracker()
+    values = RNG.standard_normal(257) ** 2
+    for v in values:
+        tracker.observe("e2e", "sched", float(v))
+    for p in (50, 95, 99):
+        assert tracker.percentile("e2e", "sched", p) == pytest.approx(
+            float(np.percentile(values, p)), rel=0, abs=0)
+    row = tracker.summary()[0]
+    assert row["count"] == values.size
+    assert row["p99"] >= row["p95"] >= row["p50"] >= 0.0
+
+
+def test_slo_merge_is_order_insensitive():
+    values = list(RNG.standard_normal(64) ** 2)
+    one = SLOTracker()
+    for v in values:
+        one.observe("service", "wall", v, module=3)
+
+    merged = SLOTracker()
+    half = len(values) // 2
+    worker_a, worker_b = SLOTracker(), SLOTracker()
+    for v in values[half:]:
+        worker_b.observe("service", "wall", v, module=3)
+    for v in values[:half]:
+        worker_a.observe("service", "wall", v, module=3)
+    merged.merge(worker_b.export())     # reversed shipment order
+    merged.merge(worker_a.export())
+    got, want = merged.summary()[0], one.summary()[0]
+    # Quantiles/extrema are exactly order-insensitive (sorted sample);
+    # the mean is a float sum, identical only to rounding.
+    for key in ("phase", "clock", "module", "count", "max",
+                "p50", "p95", "p99"):
+        assert got[key] == want[key], key
+    assert got["mean"] == pytest.approx(want["mean"])
+
+
+def test_prometheus_slo_lines_shape():
+    tracker = SLOTracker()
+    tracker.observe("wait", "sched", 0.25, module=1)
+    lines = prometheus_slo_lines(tracker.summary())
+    body = [ln for ln in lines if not ln.startswith("#")]
+    assert any('quantile="0.99"' in ln for ln in body)
+    assert any(ln.startswith("ssam_slo_latency_seconds_count") for ln in body)
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$")
+    for ln in body:
+        assert sample.match(ln), ln
+
+
+# ---------------------------------------------------------------- flight ring
+def test_flight_recorder_is_bounded_and_always_on():
+    rec = FlightRecorder(capacity=8)
+    for i in range(20):
+        rec.record("fault.test", "fault", sim_ns=float(i), i=i)
+    events = rec.dump()
+    assert len(events) == 8
+    assert rec.total_recorded == 20
+    assert rec.dropped == 12
+    assert [ev["attrs"]["i"] for ev in events] == list(range(12, 20))
+    assert [ev["seq"] for ev in events] == sorted(ev["seq"] for ev in events)
+    assert rec.dump(last=3) == events[-3:]
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_process_recorder_captures_faults_without_telemetry_session():
+    # No telemetry session installed: the ring still records.
+    start = flight_recorder().total_recorded
+    injector = FaultPlan.empty(seed=0).injector()
+    with injector.forcing("link_crc"):
+        injector.check("link_crc")
+    assert flight_recorder().total_recorded == start + 1
+    assert flight_recorder().dump(last=1)[0]["kind"] == "fault.link_crc"
+
+
+def test_set_capacity_replaces_process_ring():
+    old = flight_recorder()
+    try:
+        ring = set_capacity(4)
+        assert flight_recorder() is ring
+        for i in range(9):
+            ring.record("x")
+        assert len(ring.dump()) == 4
+    finally:
+        fresh = set_capacity(old.capacity or DEFAULT_CAPACITY)
+        assert fresh.capacity == old.capacity
+
+
+# ---------------------------------------------------------------- buckets
+def test_latency_buckets_resolution_precedence(monkeypatch):
+    assert resolve_latency_buckets() == DEFAULT_BUCKETS
+    monkeypatch.setenv(LATENCY_BUCKETS_ENV, "0.5, 2, 8")
+    assert resolve_latency_buckets() == (0.5, 2.0, 8.0)
+    # Explicit argument wins over the environment.
+    assert resolve_latency_buckets((1.0, 10.0)) == (1.0, 10.0)
+    monkeypatch.setenv(LATENCY_BUCKETS_ENV, "5,1")
+    with pytest.raises(ValueError):
+        resolve_latency_buckets()
+    monkeypatch.setenv(LATENCY_BUCKETS_ENV, "abc")
+    with pytest.raises(ValueError):
+        resolve_latency_buckets()
+    with pytest.raises(ValueError):
+        resolve_latency_buckets(())
+    with pytest.raises(ValueError):
+        resolve_latency_buckets((-1.0, 2.0))
+
+
+def test_scheduler_histogram_uses_configured_buckets():
+    custom = (0.003, 0.03, 0.3)
+    tel = Telemetry()
+    prev = install(tel)
+    try:
+        sched = QueryScheduler(n_modules=2, service_seconds=1e-3,
+                               latency_buckets=custom)
+        assert sched.latency_buckets == custom
+        sched.simulate(arrival_qps=500.0, n_queries=16, seed=1)
+        sched.simulate_batched(arrival_qps=500.0, n_queries=16, seed=1,
+                               max_batch=4)
+    finally:
+        uninstall(prev)
+    entries = [e for e in tel.metrics.snapshot()
+               if e["name"] == "ssam_sched_latency_seconds"]
+    assert entries and entries[0]["buckets"] == list(custom)
+
+
+# ---------------------------------------------------------------- report CLI
+@pytest.fixture()
+def saved_run(tmp_path):
+    tel = Telemetry(meta={"suite": "observability"})
+    prev = install(tel)
+    try:
+        system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
+                                  n_modules=2, service_seconds=1e-3)
+        try:
+            system.serve(QUERIES, k=5, arrival_qps=1500.0, poisson=False,
+                         seed=0, explain=True)
+        finally:
+            system.close()
+    finally:
+        uninstall(prev)
+    from pathlib import Path
+
+    return Path(tel.save(str(tmp_path / "run.json")))
+
+
+def test_report_cli_round_trip(saved_run, tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    prom = tmp_path / "metrics.prom"
+    rc = report_main([str(saved_run), "--chrome", str(chrome),
+                      "--prom", str(prom)])
+    assert rc == 0
+
+    out = capsys.readouterr().out
+    assert "slo (exact percentiles):" in out
+    assert "requests (" in out
+    assert "[serve]" in out
+
+    # Perfetto-loadable trace-event JSON: a traceEvents array of
+    # complete/instant events with the required fields.
+    doc = json.loads(chrome.read_text())
+    events = doc["traceEvents"]
+    assert events
+    for ev in events:
+        assert ev["ph"] in ("X", "i", "M")
+        assert "name" in ev and "pid" in ev
+        if ev["ph"] == "X":
+            assert "ts" in ev and "dur" in ev
+
+    # Promtool-parseable exposition: every non-comment line is one
+    # sample; the SLO quantile gauges are present.
+    text = prom.read_text()
+    assert "ssam_slo_latency_seconds" in text
+    assert 'quantile="0.5"' in text
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+        r"[-+]?[0-9.eE+naif]+$")
+    for ln in text.splitlines():
+        if not ln or ln.startswith("#"):
+            continue
+        assert sample.match(ln), ln
+
+
+def test_run_dict_carries_slo_and_requests(saved_run):
+    run = json.loads(saved_run.read_text())
+    assert any(r["clock"] == "sched" for r in run["slo"])
+    for row in run["slo"]:
+        assert row["p99"] >= row["p95"] >= row["p50"]
+    assert run["requests"], "explain ledger missing from the run dict"
+    parent = run["requests"][-1]
+    assert parent["kind"] == "serve"
+    assert parent["query_request_ids"]
+    assert parent["batches"]
+
+
+# ---------------------------------------------------------------- absorb sort
+def test_absorb_run_orders_worker_events_deterministically():
+    def worker_run(order):
+        tel = Telemetry()
+        events = [("b", 30.0), ("a", 10.0), ("c", 20.0)]
+        for name, t in (events if order else reversed(events)):
+            tel.tracer.instant(name, "test", clock="sim", sim_ns=t)
+        with tel.tracer.span("w2", "test"):
+            pass
+        with tel.tracer.span("w1", "test"):
+            pass
+        return tel.to_dict()
+
+    def absorb(run):
+        parent = Telemetry()
+        parent.tracer.absorb_run(run, worker="repro-worker/p0")
+        d = parent.to_dict()
+        # Wall timestamps differ between recordings; compare structure.
+        names_i = [i["name"] for i in d["instants"]]
+        sims = [i.get("sim_ns") for i in d["instants"]]
+        return names_i, sims
+
+    fwd = absorb(worker_run(True))
+    rev = absorb(worker_run(False))
+    assert fwd == rev
+    assert fwd[1] == sorted(fwd[1])
+
+
+# ---------------------------------------------------------------- slo guard
+def _slo_payload(**overrides):
+    phases = {p: {"count": 8, "p50": 1.0, "p95": 2.0, "p99": 3.0}
+              for p in ("wait", "service", "e2e")}
+    row = {"algo": "exact", "queries": 8, "phases": phases,
+           "tail_ratio": 3.0, "loads_per_query": 64.0}
+    row.update(overrides)
+    return {"clock": "sched", "rows": [row]}
+
+
+def test_check_slo_accepts_consistent_payload():
+    ok, message = check_slo(_slo_payload())
+    assert ok, message
+    assert "OK" in message
+
+
+def test_check_slo_rejects_quantile_ordering_violation():
+    payload = _slo_payload()
+    payload["rows"][0]["phases"]["e2e"]["p95"] = 5.0   # p95 > p99
+    ok, message = check_slo(payload)
+    assert not ok
+    assert "ordering" in message
+
+
+def test_check_slo_rejects_tail_ratio_mismatch():
+    ok, message = check_slo(_slo_payload(tail_ratio=1.5))
+    assert not ok
+    assert "tail_ratio" in message
+
+
+def test_check_slo_rejects_missing_work_attribution():
+    ok, message = check_slo(_slo_payload(loads_per_query=0.0))
+    assert not ok
+    assert "loads_per_query" in message
+
+
+def test_check_slo_rejects_empty_payload():
+    ok, _ = check_slo({"clock": "sched", "rows": []})
+    assert not ok
+
+
+def test_committed_bench6_passes_the_gate():
+    from repro.experiments.bench import _repo_root
+
+    path = _repo_root() / "BENCH_6.json"
+    if not path.exists():
+        pytest.skip("BENCH_6.json not generated yet")
+    ok, message = check_slo(json.loads(path.read_text()))
+    assert ok, message
