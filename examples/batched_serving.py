@@ -12,14 +12,14 @@ Run:  python examples/batched_serving.py
 
 import numpy as np
 
-from repro.api import BatchingConfig, SSAMSystem
+from repro.api import BatchingConfig, SSAMSystem, SystemConfig
 from repro.datasets import make_glove_like
 
 
 def main() -> None:
     ds = make_glove_like(n=8_000, n_queries=400)
-    with SSAMSystem.build(ds.train, algo="exact", n_modules=4,
-                          service_seconds=1e-3) as system:
+    with SSAMSystem.create(ds.train, SystemConfig(
+            algo="exact", n_modules=4, service_seconds=1e-3)) as system:
         # Offer 4x the per-query pool capacity: the regime where
         # batching's candidate-stream amortization pays.
         qps = 4.0 * system.scheduler.capacity_qps

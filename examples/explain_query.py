@@ -18,7 +18,7 @@ Run:  python examples/explain_query.py
 
 import numpy as np
 
-from repro.api import FaultPlan, SSAMSystem
+from repro.api import FaultPlan, SSAMSystem, SystemConfig
 from repro.datasets import make_glove_like
 
 
@@ -29,10 +29,10 @@ def main() -> None:
     plan = (FaultPlan(seed=3)
             .inject("module_loss", target=1, at_time_ns=0.0)
             .inject("module_loss", target=2, at_time_ns=0.0))
-    with SSAMSystem.build(ds.train, algo="exact", scale_out=True,
-                          n_modules=4, replication_factor=2,
-                          service_seconds=1e-3, fault_plan=plan,
-                          telemetry=True) as system:
+    with SSAMSystem.create(ds.train, SystemConfig(
+            algo="exact", scale_out=True, n_modules=4, replication_factor=2,
+            service_seconds=1e-3, fault_plan=plan,
+            telemetry=True)) as system:
         baseline = system.search(ds.test, k=ds.k)           # tracing off
         result = system.search(ds.test, k=ds.k, explain=True)
         rec = result.explain

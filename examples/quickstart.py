@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.ann import mean_recall
-from repro.api import SSAMSystem
+from repro.api import SSAMSystem, SystemConfig
 from repro.datasets import make_glove_like
 
 
@@ -24,7 +24,7 @@ def main() -> None:
     print(f"dataset: {ds}")
 
     # --- exact search ----------------------------------------------------
-    with SSAMSystem.build(ds.train, algo="exact") as system:
+    with SSAMSystem.create(ds.train) as system:
         exact = system.search(ds.test, k=ds.k)
     print(f"exact search done: {ds.n_queries} queries over {ds.n} vectors")
 
@@ -33,8 +33,8 @@ def main() -> None:
         ("kdtree", {"n_trees": 4, "seed": 0}, 512),
         ("mplsh", {"n_tables": 8, "n_bits": 14, "seed": 0}, 8),
     ):
-        with SSAMSystem.build(ds.train, algo=algo,
-                              index_params=params) as system:
+        with SSAMSystem.create(ds.train, SystemConfig(
+                algo=algo, index_params=params)) as system:
             approx = system.search(ds.test, k=ds.k, checks=checks)
         recall = mean_recall(approx.ids, exact.ids)
         print(f"{algo:8s} (checks={checks}): recall {recall:.3f}")

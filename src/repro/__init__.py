@@ -22,12 +22,12 @@ The package rebuilds the paper's whole stack in Python:
 
 Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro.api import SSAMSystem
+    from repro.api import SSAMSystem, SystemConfig
     from repro.datasets import make_glove_like
 
     ds = make_glove_like(n=10_000)
-    with SSAMSystem.build(ds.train, algo="kdtree",
-                          index_params={"n_trees": 4}) as system:
+    cfg = SystemConfig(algo="kdtree", index_params={"n_trees": 4})
+    with SSAMSystem.create(ds.train, cfg) as system:
         result = system.search(ds.test, k=ds.k, checks=512)
         print(result.ids[0])
 

@@ -161,17 +161,39 @@ def top_k_from_candidates(
 
 
 class Index(abc.ABC):
-    """Abstract kNN index over a fixed database.
+    """Abstract kNN index over a mutable, id-addressed database.
 
     Concrete indexes are constructed with their hyperparameters, then
     ``build(data)`` once, then answer queries with ``search``.  The
     ``checks`` argument bounds the work an approximate index may do per
     query (number of candidates scanned), which is the single knob the
     paper sweeps to trade accuracy for throughput.
+
+    Mutability: every index supports online :meth:`insert` and
+    :meth:`delete` after build.  Rows are addressed by *external ids* —
+    ``build(data)`` implicitly assigns ids ``0..n-1`` (and search
+    results keep returning those row numbers, so pre-mutability callers
+    see no change); the first mutation (or :meth:`assign_ids`)
+    materializes the ``ids`` array, after which search results report
+    external ids.  Physical-delete indexes (exact scan, MPLSH buckets)
+    remove rows eagerly; structural indexes (trees, graph) tombstone and
+    amortize the rebuild through :meth:`compact`, which fires
+    automatically once the mutated fraction crosses
+    ``compaction_threshold``.  ``version`` counts applied mutations and
+    compactions — snapshot stores and explain traces use it to tell
+    index states apart.
     """
 
     #: Set by build(); the database array, shape (n, d), float32/float64.
     data: Optional[np.ndarray] = None
+    #: External row ids, shape (n,) int64 — ``None`` until the first
+    #: mutation (equivalent to ``arange(n)``).
+    ids: Optional[np.ndarray] = None
+    #: Mutation/compaction generation counter.
+    version: int = 0
+    #: Mutated fraction (tombstones + unindexed inserts) that triggers
+    #: an automatic compaction; subclasses with lazy structures override.
+    compaction_threshold: float = 0.25
 
     @abc.abstractmethod
     def build(self, data: np.ndarray) -> "Index":
@@ -193,6 +215,173 @@ class Index(abc.ABC):
     @property
     def dims(self) -> int:
         return 0 if self.data is None else self.data.shape[1]
+
+    # ------------------------------------------------------------ id addressing
+    def assign_ids(self, ids: Sequence[int]) -> None:
+        """Install external ids for the current rows (e.g. global corpus
+        ids when this index backs one shard of a sharded runtime)."""
+        data = self._require_built()
+        arr = np.asarray(ids, dtype=np.int64)
+        if arr.shape != (data.shape[0],):
+            raise ValueError(
+                f"ids must have shape ({data.shape[0]},); got {arr.shape}")
+        if np.unique(arr).size != arr.size:
+            raise ValueError("ids must be unique")
+        self.ids = arr.copy()
+
+    def _materialize_ids(self) -> np.ndarray:
+        if self.ids is None:
+            self.ids = np.arange(self.n, dtype=np.int64)
+        return self.ids
+
+    @property
+    def live_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of live (non-tombstoned) rows; ``None`` = all live."""
+        return None
+
+    def live_ids(self) -> np.ndarray:
+        """External ids of the rows a search may return."""
+        ids = self.ids if self.ids is not None else np.arange(self.n, dtype=np.int64)
+        mask = self.live_mask
+        return ids if mask is None else ids[mask]
+
+    @property
+    def n_live(self) -> int:
+        mask = self.live_mask
+        return self.n if mask is None else int(mask.sum())
+
+    def _externalize(self, pos_ids: np.ndarray) -> np.ndarray:
+        """Map internal row positions to external ids (``-1`` passes through)."""
+        if self.ids is None:
+            return pos_ids
+        return np.where(pos_ids >= 0, self.ids[np.clip(pos_ids, 0, None)], -1)
+
+    # ------------------------------------------------------------ mutation
+    def insert(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        """Add rows ``vectors`` under external ``ids`` (online).
+
+        ``ids`` must be non-negative and not collide with any live id.
+        Re-using a tombstoned id is allowed only on indexes that delete
+        physically (where the old row is really gone).
+        """
+        data = self._require_built()
+        id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.ndim != 1 or id_arr.size == 0:
+            raise ValueError("ids must be a non-empty 1-D sequence")
+        if (id_arr < 0).any():
+            raise ValueError("ids must be non-negative")
+        if np.unique(id_arr).size != id_arr.size:
+            raise ValueError("ids must be unique")
+        vec = np.asarray(vectors, dtype=data.dtype)
+        if vec.ndim == 1:
+            vec = vec[None, :]
+        if vec.ndim != 2 or vec.shape[1] != data.shape[1]:
+            raise ValueError(
+                f"vectors must have shape (m, {data.shape[1]}); got "
+                f"{np.asarray(vectors).shape}")
+        if vec.shape[0] != id_arr.size:
+            raise ValueError("ids and vectors disagree on the row count")
+        current = self._materialize_ids()
+        clash = np.isin(id_arr, current)
+        if clash.any():
+            raise ValueError(
+                f"ids already present: {id_arr[clash][:8].tolist()}")
+        self._insert_impl(id_arr, np.ascontiguousarray(vec))
+        self.ids = np.concatenate([self.ids, id_arr])
+        self.version += 1
+        self._count_mutation("insert", id_arr.size)
+        self.compact()
+
+    def delete(self, ids: Sequence[int]) -> None:
+        """Remove the rows with external ``ids`` (online).
+
+        Unknown (or already-deleted) ids raise ``KeyError``.  Deleting
+        every live row is refused — an index over zero rows cannot
+        answer queries; free the region instead.
+        """
+        self._require_built()
+        id_arr = np.unique(np.asarray(ids, dtype=np.int64))
+        if id_arr.size == 0:
+            raise ValueError("ids must be a non-empty sequence")
+        current = self._materialize_ids()
+        mask = self.live_mask
+        live = current if mask is None else current[mask]
+        missing = id_arr[~np.isin(id_arr, live)]
+        if missing.size:
+            raise KeyError(
+                f"ids not present (or already deleted): {missing[:8].tolist()}")
+        if id_arr.size >= live.size:
+            raise ValueError("refusing to delete every live row")
+        positions = np.flatnonzero(np.isin(current, id_arr))
+        if mask is not None:
+            positions = positions[mask[positions]]
+        self._delete_impl(positions)
+        self.version += 1
+        self._count_mutation("delete", id_arr.size)
+        self.compact()
+
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support online insert")
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support online delete")
+
+    @property
+    def mutated_fraction(self) -> float:
+        """Fraction of rows the built structure does not cleanly index
+        (tombstones + overflow inserts); drives auto-compaction."""
+        return 0.0
+
+    def compact(self, force: bool = False) -> bool:
+        """Fold mutations back into the built structure.
+
+        ``force=False`` (the auto-compaction path) rebuilds only once
+        :attr:`mutated_fraction` crosses :attr:`compaction_threshold`;
+        ``force=True`` rebuilds unconditionally.  Returns ``True`` when
+        a rebuild happened.  Physical-delete indexes have nothing to
+        fold and always return ``False``.
+        """
+        return False
+
+    def _count_mutation(self, kind: str, rows: int) -> None:
+        from repro.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc(
+                f"ssam_index_{kind}s_total", rows,
+                help=f"rows {kind}ed into live indexes, by algorithm",
+                algo=type(self).__name__)
+
+    def _compaction_span(self, **fields):
+        """Telemetry span wrapping one compaction rebuild."""
+        from repro.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_index_compactions_total", 1,
+                help="compaction rebuilds, by algorithm",
+                algo=type(self).__name__)
+        return tel.tracer.span("index.compact", "ann",
+                               algo=type(self).__name__, **fields)
+
+    # ------------------------------------------------------------ persistence
+    def to_state(self) -> "tuple[dict, dict]":
+        """``(meta, arrays)`` snapshot of this index (see :mod:`repro.store`).
+
+        ``meta`` is JSON-able constructor/runtime scalars; ``arrays``
+        maps names to ``np.ndarray``.  ``from_state`` inverts it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshotting")
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "Index":
+        raise NotImplementedError(
+            f"{cls.__name__} does not support snapshotting")
 
 
 def validate_queries(queries: np.ndarray, dims: int) -> np.ndarray:

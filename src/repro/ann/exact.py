@@ -95,4 +95,39 @@ class LinearScan(Index):
             candidates_scanned=n * n_q,
             distance_ops=n * n_q * d,
         )
-        return SearchResult(ids=ids, distances=dists, stats=stats)
+        return SearchResult(ids=self._externalize(ids), distances=dists, stats=stats)
+
+    # Mutations are physical: the scan has no structure beyond the rows
+    # themselves, so inserted rows append and deleted rows vanish — a
+    # post-mutation search is bit-identical to a fresh build over the
+    # surviving rows (blockwise distances depend only on row order).
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        self.data = np.ascontiguousarray(np.vstack([self.data, vectors]))
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        keep = np.ones(self.n, dtype=bool)
+        keep[positions] = False
+        self.data = np.ascontiguousarray(self.data[keep])
+        self.ids = self.ids[keep]
+
+    def to_state(self):
+        data = self._require_built()
+        meta = {
+            "metric": self.metric_name,
+            "block_rows": self.block_rows,
+            "version": self.version,
+            "has_ids": self.ids is not None,
+        }
+        arrays = {"data": data}
+        if self.ids is not None:
+            arrays["ids"] = self.ids
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "LinearScan":
+        idx = cls(metric=meta["metric"], block_rows=int(meta["block_rows"]))
+        idx.data = np.ascontiguousarray(arrays["data"])
+        if meta.get("has_ids"):
+            idx.ids = np.asarray(arrays["ids"], dtype=np.int64)
+        idx.version = int(meta.get("version", 0))
+        return idx

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ann.base import Index, SearchResult, SearchStats, validate_queries
-from repro.graph.build import NeighborGraph, build_nsw_graph
+from repro.graph.build import NeighborGraph, build_nsw_graph, insert_nodes
 from repro.graph.search import beam_search
 from repro.telemetry import get_telemetry
 
@@ -80,6 +80,9 @@ class GraphANN(Index):
         self.metric_name = metric
         self.graph: Optional[NeighborGraph] = None
         self.data: Optional[np.ndarray] = None
+        # Tombstone mask over rows (None = all live).  Tombstoned nodes
+        # stay navigable in the graph until compact() rebuilds it.
+        self.deleted: Optional[np.ndarray] = None
 
     def build(self, data: np.ndarray) -> "GraphANN":
         arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
@@ -97,6 +100,7 @@ class GraphANN(Index):
                 layered=self.layered,
             )
         self.data = arr
+        self.deleted = None
         return self
 
     def search(
@@ -132,12 +136,16 @@ class GraphANN(Index):
         total = SearchStats()
         tel = get_telemetry()
         peak_beam = 0
+        exclude = (
+            np.flatnonzero(self.deleted)
+            if self.deleted is not None and self.deleted.any() else None
+        )
         with tel.tracer.span("graph.search", "ann",
                              queries=nq, k=k, ef=ef_eff):
             for i in range(nq):
                 res = beam_search(
                     data, q[i], graph.neighbors, graph.entry_point,
-                    ef=ef_eff, max_evals=max_evals,
+                    ef=ef_eff, max_evals=max_evals, exclude=exclude,
                 )
                 found = min(k, res.ids.size)
                 ids[i, :found] = res.ids[:found]
@@ -164,4 +172,134 @@ class GraphANN(Index):
                 "ssam_graph_peak_beam", peak_beam,
                 help="Max beam occupancy observed (pqueue depth needed)",
             )
-        return SearchResult(ids=ids, distances=dists, stats=total)
+        return SearchResult(ids=self._externalize(ids), distances=dists, stats=total)
+
+    # Mutations: inserts continue the NSW construction sequence (beam
+    # search from the original build entry, diversity-pruned links,
+    # reverse-edge re-pruning), so an insert-only mutated graph is
+    # bit-identical to building over the grown corpus with the original
+    # insertion order extended by the new rows.  Deletes tombstone; the
+    # nodes stay navigable (beam_search ``exclude``) so the graph never
+    # fragments, and compact() rebuilds over survivors once the
+    # tombstone fraction crosses ``compaction_threshold``.
+    @property
+    def live_mask(self) -> Optional[np.ndarray]:
+        return None if self.deleted is None else ~self.deleted
+
+    @property
+    def mutated_fraction(self) -> float:
+        if self.deleted is None:
+            return 0.0
+        return float(self.deleted.sum()) / max(1, self.n)
+
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        assert self.data is not None and self.graph is not None
+        graph = self.graph
+        entry = graph.build_entry if graph.build_entry >= 0 else graph.entry_point
+        arr = np.ascontiguousarray(
+            np.vstack([self.data, vectors.astype(np.float64, copy=False)]))
+        tel = get_telemetry()
+        with tel.tracer.span("graph.insert", "ann",
+                             rows=int(id_arr.size), n=arr.shape[0]):
+            adjacency = insert_nodes(
+                arr, graph.adjacency, entry,
+                ef_construction=graph.ef_construction,
+                max_degree=graph.max_degree,
+            )
+        self.data = arr
+        if self.deleted is not None:
+            self.deleted = np.concatenate(
+                [self.deleted, np.zeros(id_arr.size, dtype=bool)])
+        if graph.layered:
+            final_entry = entry
+        else:
+            # Mirror the builder's medoid rule over the grown corpus.
+            centered = arr - arr.mean(axis=0)
+            final_entry = int(np.argmin(np.einsum("ij,ij->i", centered, centered)))
+        self.graph = NeighborGraph(
+            adjacency=adjacency,
+            entry_point=final_entry,
+            max_degree=graph.max_degree,
+            ef_construction=graph.ef_construction,
+            seed=graph.seed,
+            layered=graph.layered,
+            build_entry=entry,
+        )
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        if self.deleted is None:
+            self.deleted = np.zeros(self.n, dtype=bool)
+        self.deleted[positions] = True
+
+    def compact(self, force: bool = False) -> bool:
+        if self.data is None:
+            return False
+        frac = self.mutated_fraction
+        if not force and frac < self.compaction_threshold:
+            return False
+        if frac == 0.0 and not force:
+            return False
+        with self._compaction_span(rows=self.n_live, mutated_fraction=frac):
+            keep = self.live_mask
+            survivors = self.data if keep is None else self.data[keep]
+            ids = None
+            if self.ids is not None:
+                ids = self.ids if keep is None else self.ids[keep]
+            version = self.version
+            self.build(np.ascontiguousarray(survivors))
+            self.ids = ids
+            self.version = version + 1
+        return True
+
+    def to_state(self):
+        data = self._require_built()
+        if self.graph is None:
+            raise RuntimeError("GraphANN.build() must be called before to_state()")
+        graph = self.graph
+        meta = {
+            "max_degree": self.max_degree,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "layered": self.layered,
+            "seed": self.seed,
+            "metric": self.metric_name,
+            "version": self.version,
+            "has_ids": self.ids is not None,
+            "has_deleted": self.deleted is not None,
+            "entry_point": int(graph.entry_point),
+            "build_entry": int(graph.build_entry),
+            "graph_seed": int(graph.seed),
+        }
+        arrays = {"data": data, "adjacency": graph.adjacency}
+        if self.ids is not None:
+            arrays["ids"] = self.ids
+        if self.deleted is not None:
+            arrays["deleted"] = self.deleted
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "GraphANN":
+        idx = cls(
+            max_degree=int(meta["max_degree"]),
+            ef_construction=int(meta["ef_construction"]),
+            ef_search=int(meta["ef_search"]),
+            layered=bool(meta["layered"]),
+            seed=int(meta["seed"]),
+            metric=meta["metric"],
+        )
+        idx.data = np.ascontiguousarray(np.asarray(arrays["data"], dtype=np.float64))
+        if meta.get("has_ids"):
+            idx.ids = np.asarray(arrays["ids"], dtype=np.int64)
+        if meta.get("has_deleted"):
+            idx.deleted = np.asarray(arrays["deleted"], dtype=bool)
+        idx.version = int(meta.get("version", 0))
+        idx.graph = NeighborGraph(
+            adjacency=np.asarray(arrays["adjacency"], dtype=np.int64),
+            entry_point=int(meta["entry_point"]),
+            max_degree=int(meta["max_degree"]),
+            ef_construction=int(meta["ef_construction"]),
+            seed=int(meta.get("graph_seed", meta["seed"])),
+            layered=bool(meta["layered"]),
+            build_entry=int(meta.get("build_entry", -1)),
+        )
+        return idx

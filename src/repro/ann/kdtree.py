@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -181,6 +181,7 @@ class RandomizedKDForest(Index):
         variance_sample: int = 128,
         seed: int = 0,
         default_checks: int = 256,
+        compaction_threshold: float = 0.25,
     ):
         if n_trees <= 0 or leaf_size <= 0:
             raise ValueError("n_trees and leaf_size must be positive")
@@ -192,8 +193,15 @@ class RandomizedKDForest(Index):
         self.variance_sample = int(variance_sample)
         self.seed = int(seed)
         self.default_checks = int(default_checks)
+        self.compaction_threshold = float(compaction_threshold)
         self.trees: List[_FlatTree] = []
         self.data: Optional[np.ndarray] = None
+        # Mutation state: tombstone mask over rows (None = all live) and,
+        # per tree, inserted positions hanging off the leaf they descend
+        # to (the tree structure itself is immutable between compactions).
+        self.deleted: Optional[np.ndarray] = None
+        self.overflow: List[Dict[int, List[int]]] = []
+        self._n_built = 0
         self._squared_bounds = metric in ("euclidean", "squared_euclidean")
 
     def build(self, data: np.ndarray) -> "RandomizedKDForest":
@@ -211,6 +219,9 @@ class RandomizedKDForest(Index):
             )
             for t in range(self.n_trees)
         ]
+        self.deleted = None
+        self.overflow = []
+        self._n_built = arr.shape[0]
         return self
 
     def _margin(self, delta: float) -> float:
@@ -251,8 +262,15 @@ class RandomizedKDForest(Index):
             bucket = tree.perm[tree.leaf_start[node]:tree.leaf_end[node]]
             candidates.append(bucket)
             n_candidates += bucket.size
+            if self.overflow:
+                extra = self.overflow[t].get(node)
+                if extra:
+                    candidates.append(np.asarray(extra, dtype=np.int64))
+                    n_candidates += len(extra)
 
         cand = np.concatenate(candidates) if candidates else np.empty(0, dtype=np.int64)
+        if self.deleted is not None and cand.size:
+            cand = cand[~self.deleted[cand]]
         ids, dists = top_k_from_candidates(query, cand, data, k, self.metric)
         n_unique = int(np.unique(cand).size)
         stats = SearchStats(
@@ -276,4 +294,154 @@ class RandomizedKDForest(Index):
         for i in range(q.shape[0]):
             ids[i], dists[i], st = self._search_one(q[i], k, budget)
             total += st
-        return SearchResult(ids=ids, distances=dists, stats=total)
+        return SearchResult(ids=self._externalize(ids), distances=dists, stats=total)
+
+    # Mutations: inserts descend each immutable tree to a leaf and hang
+    # off it as overflow; deletes tombstone.  Once the mutated fraction
+    # crosses ``compaction_threshold``, compact() physically drops
+    # tombstones and rebuilds the forest with the same seed — from then
+    # on searches are bit-identical to a fresh build over the survivors.
+    @property
+    def live_mask(self) -> Optional[np.ndarray]:
+        return None if self.deleted is None else ~self.deleted
+
+    @property
+    def mutated_fraction(self) -> float:
+        if self.data is None:
+            return 0.0
+        n_deleted = 0 if self.deleted is None else int(self.deleted.sum())
+        return (n_deleted + (self.n - self._n_built)) / max(1, self.n)
+
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        assert self.data is not None
+        n_old = self.data.shape[0]
+        m = vectors.shape[0]
+        self.data = np.ascontiguousarray(np.vstack([self.data, vectors]))
+        if self.deleted is not None:
+            self.deleted = np.concatenate([self.deleted, np.zeros(m, dtype=bool)])
+        if not self.overflow:
+            self.overflow = [{} for _ in self.trees]
+        for pos in range(n_old, n_old + m):
+            row = self.data[pos]
+            for t, tree in enumerate(self.trees):
+                node = 0
+                while tree.split_dim[node] != -1:
+                    dim = tree.split_dim[node]
+                    node = int(
+                        tree.left[node]
+                        if row[dim] < tree.split_val[node]
+                        else tree.right[node]
+                    )
+                self.overflow[t].setdefault(node, []).append(pos)
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        if self.deleted is None:
+            self.deleted = np.zeros(self.n, dtype=bool)
+        self.deleted[positions] = True
+
+    def compact(self, force: bool = False) -> bool:
+        if self.data is None:
+            return False
+        frac = self.mutated_fraction
+        if not force and frac < self.compaction_threshold:
+            return False
+        if frac == 0.0 and not force:
+            return False
+        with self._compaction_span(rows=self.n_live, mutated_fraction=frac):
+            keep = self.live_mask
+            survivors = self.data if keep is None else self.data[keep]
+            ids = None
+            if self.ids is not None:
+                ids = self.ids if keep is None else self.ids[keep]
+            version = self.version
+            self.build(np.ascontiguousarray(survivors))
+            self.ids = ids
+            self.version = version + 1
+        return True
+
+    def to_state(self):
+        data = self._require_built()
+        meta = {
+            "n_trees": self.n_trees,
+            "leaf_size": self.leaf_size,
+            "metric": self.metric_name,
+            "top_variance_dims": self.top_variance_dims,
+            "variance_sample": self.variance_sample,
+            "seed": self.seed,
+            "default_checks": self.default_checks,
+            "compaction_threshold": self.compaction_threshold,
+            "version": self.version,
+            "has_ids": self.ids is not None,
+            "n_built": self._n_built,
+            "has_deleted": self.deleted is not None,
+            "has_overflow": bool(self.overflow),
+        }
+        arrays = {"data": data}
+        if self.ids is not None:
+            arrays["ids"] = self.ids
+        if self.deleted is not None:
+            arrays["deleted"] = self.deleted
+        for t, tree in enumerate(self.trees):
+            arrays[f"kd{t}_split_dim"] = tree.split_dim
+            arrays[f"kd{t}_split_val"] = tree.split_val
+            arrays[f"kd{t}_left"] = tree.left
+            arrays[f"kd{t}_right"] = tree.right
+            arrays[f"kd{t}_leaf_start"] = tree.leaf_start
+            arrays[f"kd{t}_leaf_end"] = tree.leaf_end
+            arrays[f"kd{t}_perm"] = tree.perm
+        if self.overflow:
+            for t, over in enumerate(self.overflow):
+                nodes = np.array(sorted(over), dtype=np.int64)
+                lens = np.array([len(over[int(nd)]) for nd in nodes], dtype=np.int64)
+                vals = (
+                    np.concatenate(
+                        [np.asarray(over[int(nd)], dtype=np.int64) for nd in nodes])
+                    if nodes.size else np.empty(0, dtype=np.int64)
+                )
+                arrays[f"ov{t}_nodes"] = nodes
+                arrays[f"ov{t}_lens"] = lens
+                arrays[f"ov{t}_vals"] = vals
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "RandomizedKDForest":
+        idx = cls(
+            n_trees=int(meta["n_trees"]),
+            leaf_size=int(meta["leaf_size"]),
+            metric=meta["metric"],
+            top_variance_dims=int(meta["top_variance_dims"]),
+            variance_sample=int(meta["variance_sample"]),
+            seed=int(meta["seed"]),
+            default_checks=int(meta["default_checks"]),
+            compaction_threshold=float(meta.get("compaction_threshold", 0.25)),
+        )
+        idx.data = np.ascontiguousarray(np.asarray(arrays["data"], dtype=np.float64))
+        if meta.get("has_ids"):
+            idx.ids = np.asarray(arrays["ids"], dtype=np.int64)
+        if meta.get("has_deleted"):
+            idx.deleted = np.asarray(arrays["deleted"], dtype=bool)
+        idx.version = int(meta.get("version", 0))
+        idx._n_built = int(meta["n_built"])
+        idx.trees = [
+            _FlatTree(
+                split_dim=np.asarray(arrays[f"kd{t}_split_dim"], dtype=np.int32),
+                split_val=np.asarray(arrays[f"kd{t}_split_val"], dtype=np.float64),
+                left=np.asarray(arrays[f"kd{t}_left"], dtype=np.int32),
+                right=np.asarray(arrays[f"kd{t}_right"], dtype=np.int32),
+                leaf_start=np.asarray(arrays[f"kd{t}_leaf_start"], dtype=np.int64),
+                leaf_end=np.asarray(arrays[f"kd{t}_leaf_end"], dtype=np.int64),
+                perm=np.asarray(arrays[f"kd{t}_perm"], dtype=np.int64),
+            )
+            for t in range(idx.n_trees)
+        ]
+        if meta.get("has_overflow"):
+            idx.overflow = []
+            for t in range(idx.n_trees):
+                nodes = np.asarray(arrays[f"ov{t}_nodes"], dtype=np.int64)
+                lens = np.asarray(arrays[f"ov{t}_lens"], dtype=np.int64)
+                vals = np.asarray(arrays[f"ov{t}_vals"], dtype=np.int64)
+                over: Dict[int, List[int]] = {}
+                for nd, chunk in zip(nodes, np.split(vals, np.cumsum(lens)[:-1])):
+                    over[int(nd)] = chunk.tolist()
+                idx.overflow.append(over)
+        return idx

@@ -140,6 +140,7 @@ class HierarchicalKMeansTree(Index):
         metric: str = "euclidean",
         seed: int = 0,
         default_checks: int = 256,
+        compaction_threshold: float = 0.25,
     ):
         if branching < 2:
             raise ValueError("branching must be >= 2")
@@ -152,14 +153,24 @@ class HierarchicalKMeansTree(Index):
         self.metric = get_metric(metric)
         self.seed = int(seed)
         self.default_checks = int(default_checks)
+        self.compaction_threshold = float(compaction_threshold)
         self.nodes: List[_KMeansNode] = []
         self.data: Optional[np.ndarray] = None
+        # Mutation state: tombstone mask (None = all live); inserts land
+        # in the leaf their nearest-centroid descent reaches, and an
+        # overgrown leaf is lazily re-split in place (see _maybe_resplit).
+        self.deleted: Optional[np.ndarray] = None
+        self._n_built = 0
+        self._resplit_gen = 0
 
     def build(self, data: np.ndarray) -> "HierarchicalKMeansTree":
         arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
         if arr.ndim != 2 or arr.shape[0] == 0:
             raise ValueError("data must be a non-empty (n, d) array")
         self.data = arr
+        self.deleted = None
+        self._n_built = arr.shape[0]
+        self._resplit_gen = 0
         self.nodes = [_KMeansNode()]
         rng = np.random.default_rng(self.seed)
         stack = [(0, np.arange(arr.shape[0], dtype=np.int64))]
@@ -218,6 +229,8 @@ class HierarchicalKMeansTree(Index):
             n_candidates += bucket.size
 
         cand = np.concatenate(candidates) if candidates else np.empty(0, dtype=np.int64)
+        if self.deleted is not None and cand.size:
+            cand = cand[~self.deleted[cand]]
         ids, dists = top_k_from_candidates(query, cand, data, k, self.metric)
         stats = SearchStats(
             candidates_scanned=n_candidates,
@@ -240,7 +253,7 @@ class HierarchicalKMeansTree(Index):
         for i in range(q.shape[0]):
             ids[i], dists[i], st = self._search_one(q[i], k, budget)
             total += st
-        return SearchResult(ids=ids, distances=dists, stats=total)
+        return SearchResult(ids=self._externalize(ids), distances=dists, stats=total)
 
     @property
     def n_nodes(self) -> int:
@@ -249,3 +262,192 @@ class HierarchicalKMeansTree(Index):
     @property
     def n_leaves(self) -> int:
         return sum(1 for nd in self.nodes if nd.is_leaf)
+
+    # Mutations: an insert descends to its nearest-centroid leaf and
+    # joins that bucket; a leaf that outgrows ``2 * leaf_size`` is
+    # re-split in place with a locally-seeded k-means (the build's rng
+    # stream is left untouched).  Deletes tombstone.  compact() rebuilds
+    # the whole tree over the survivors with the original seed, after
+    # which searches are bit-identical to a fresh build.
+    @property
+    def live_mask(self) -> Optional[np.ndarray]:
+        return None if self.deleted is None else ~self.deleted
+
+    @property
+    def mutated_fraction(self) -> float:
+        if self.data is None:
+            return 0.0
+        n_deleted = 0 if self.deleted is None else int(self.deleted.sum())
+        return (n_deleted + (self.n - self._n_built)) / max(1, self.n)
+
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        assert self.data is not None
+        n_old = self.data.shape[0]
+        m = vectors.shape[0]
+        self.data = np.ascontiguousarray(np.vstack([self.data, vectors]))
+        if self.deleted is not None:
+            self.deleted = np.concatenate([self.deleted, np.zeros(m, dtype=bool)])
+        for pos in range(n_old, n_old + m):
+            row = self.data[pos]
+            node_id = 0
+            node = self.nodes[node_id]
+            while not node.is_leaf:
+                d2 = squared_euclidean(row[None, :], node.centroids)[0]
+                node_id = node.children[int(d2.argmin())]
+                node = self.nodes[node_id]
+            node.bucket = np.append(node.bucket, np.int64(pos))
+            self._maybe_resplit(node_id)
+
+    def _maybe_resplit(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        rows = node.bucket
+        if rows is None or rows.size <= 2 * self.leaf_size:
+            return
+        rng = np.random.default_rng([self.seed, node_id, self._resplit_gen])
+        self._resplit_gen += 1
+        node.bucket = None
+        stack = [(node_id, rows)]
+        while stack:
+            nid, rws = stack.pop()
+            nd = self.nodes[nid]
+            if rws.size <= self.leaf_size:
+                nd.bucket = rws
+                continue
+            centroids, assign = kmeans(self.data[rws], self.branching, rng, self.max_iters)
+            if centroids.shape[0] < 2:
+                nd.bucket = rws
+                continue
+            nd.centroids = centroids
+            for c in range(centroids.shape[0]):
+                child_rows = rws[assign == c]
+                child = _KMeansNode()
+                self.nodes.append(child)
+                child_id = len(self.nodes) - 1
+                nd.children.append(child_id)
+                if child_rows.size == rws.size:
+                    child.bucket = child_rows
+                else:
+                    stack.append((child_id, child_rows))
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        if self.deleted is None:
+            self.deleted = np.zeros(self.n, dtype=bool)
+        self.deleted[positions] = True
+
+    def compact(self, force: bool = False) -> bool:
+        if self.data is None:
+            return False
+        frac = self.mutated_fraction
+        if not force and frac < self.compaction_threshold:
+            return False
+        if frac == 0.0 and not force:
+            return False
+        with self._compaction_span(rows=self.n_live, mutated_fraction=frac):
+            keep = self.live_mask
+            survivors = self.data if keep is None else self.data[keep]
+            ids = None
+            if self.ids is not None:
+                ids = self.ids if keep is None else self.ids[keep]
+            version = self.version
+            self.build(np.ascontiguousarray(survivors))
+            self.ids = ids
+            self.version = version + 1
+        return True
+
+    def to_state(self):
+        data = self._require_built()
+        is_leaf = np.array([nd.is_leaf for nd in self.nodes], dtype=bool)
+        child_lens = np.array([len(nd.children) for nd in self.nodes], dtype=np.int64)
+        child_vals = (
+            np.concatenate([
+                np.asarray(nd.children, dtype=np.int64) for nd in self.nodes
+            ]) if child_lens.sum() else np.empty(0, dtype=np.int64)
+        )
+        cent_lens = np.array(
+            [0 if nd.centroids is None else nd.centroids.shape[0] for nd in self.nodes],
+            dtype=np.int64)
+        cent_vals = (
+            np.concatenate([
+                nd.centroids for nd in self.nodes if nd.centroids is not None
+            ]) if cent_lens.sum() else np.empty((0, data.shape[1]), dtype=np.float64)
+        )
+        bucket_lens = np.array(
+            [0 if nd.bucket is None else nd.bucket.size for nd in self.nodes],
+            dtype=np.int64)
+        bucket_vals = (
+            np.concatenate([
+                nd.bucket for nd in self.nodes if nd.bucket is not None
+            ]) if bucket_lens.sum() else np.empty(0, dtype=np.int64)
+        )
+        meta = {
+            "branching": self.branching,
+            "leaf_size": self.leaf_size,
+            "max_iters": self.max_iters,
+            "metric": self.metric_name,
+            "seed": self.seed,
+            "default_checks": self.default_checks,
+            "compaction_threshold": self.compaction_threshold,
+            "version": self.version,
+            "has_ids": self.ids is not None,
+            "has_deleted": self.deleted is not None,
+            "n_built": self._n_built,
+            "resplit_gen": self._resplit_gen,
+        }
+        arrays = {
+            "data": data,
+            "km_is_leaf": is_leaf,
+            "km_child_lens": child_lens,
+            "km_child_vals": child_vals,
+            "km_cent_lens": cent_lens,
+            "km_cent_vals": cent_vals,
+            "km_bucket_lens": bucket_lens,
+            "km_bucket_vals": bucket_vals,
+        }
+        if self.ids is not None:
+            arrays["ids"] = self.ids
+        if self.deleted is not None:
+            arrays["deleted"] = self.deleted
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "HierarchicalKMeansTree":
+        idx = cls(
+            branching=int(meta["branching"]),
+            leaf_size=int(meta["leaf_size"]),
+            max_iters=int(meta["max_iters"]),
+            metric=meta["metric"],
+            seed=int(meta["seed"]),
+            default_checks=int(meta["default_checks"]),
+            compaction_threshold=float(meta.get("compaction_threshold", 0.25)),
+        )
+        idx.data = np.ascontiguousarray(np.asarray(arrays["data"], dtype=np.float64))
+        if meta.get("has_ids"):
+            idx.ids = np.asarray(arrays["ids"], dtype=np.int64)
+        if meta.get("has_deleted"):
+            idx.deleted = np.asarray(arrays["deleted"], dtype=bool)
+        idx.version = int(meta.get("version", 0))
+        idx._n_built = int(meta["n_built"])
+        idx._resplit_gen = int(meta.get("resplit_gen", 0))
+        is_leaf = np.asarray(arrays["km_is_leaf"], dtype=bool)
+        child_lens = np.asarray(arrays["km_child_lens"], dtype=np.int64)
+        child_chunks = np.split(
+            np.asarray(arrays["km_child_vals"], dtype=np.int64),
+            np.cumsum(child_lens)[:-1])
+        cent_lens = np.asarray(arrays["km_cent_lens"], dtype=np.int64)
+        cent_chunks = np.split(
+            np.asarray(arrays["km_cent_vals"], dtype=np.float64),
+            np.cumsum(cent_lens)[:-1])
+        bucket_lens = np.asarray(arrays["km_bucket_lens"], dtype=np.int64)
+        bucket_chunks = np.split(
+            np.asarray(arrays["km_bucket_vals"], dtype=np.int64),
+            np.cumsum(bucket_lens)[:-1])
+        idx.nodes = []
+        for i in range(is_leaf.shape[0]):
+            node = _KMeansNode()
+            if bool(is_leaf[i]):
+                node.bucket = bucket_chunks[i]
+            else:
+                node.centroids = cent_chunks[i]
+                node.children = child_chunks[i].tolist()
+            idx.nodes.append(node)
+        return idx

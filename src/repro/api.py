@@ -2,23 +2,38 @@
 
 Everything the rest of the package builds — the Fig. 4 driver, the
 multi-module runtime, the query scheduler, the dynamic batcher, fault
-plans, telemetry — is assembled here behind two calls::
+plans, telemetry — is assembled here behind a small lifecycle::
 
-    from repro.api import SSAMSystem
+    from repro.api import SSAMSystem, SystemConfig
 
-    system = SSAMSystem.build(dataset, algo="kdtree",
-                              index_params={"n_trees": 4})
+    system = SSAMSystem.create(dataset, SystemConfig(
+        algo="kdtree", index_params={"n_trees": 4}))
     result = system.search(queries, k=10)       # SearchResult
+    system.insert([n, n + 1], new_vectors)      # online mutation
+    system.delete([3, 17])
+    system.save("snapshots/kd")                 # checksummed snapshot
     system.close()
 
+    system = SSAMSystem.open("snapshots/kd")    # warm start, no rebuild
+
 No ``repro.host`` imports, no region bookkeeping, no injector plumbing:
-``build`` wires the driver (and, for scale-out exact search, the
-:class:`~repro.host.runtime.MultiModuleRuntime`), mints the fault
+:meth:`SSAMSystem.create` wires the driver (and, for scale-out search,
+the :class:`~repro.host.runtime.MultiModuleRuntime`), mints the fault
 injector from an optional :class:`~repro.faults.FaultPlan`, installs an
 optional telemetry session, and derives a serving-time model for
 :meth:`SSAMSystem.serve`.  Results always come back as the unified
 :class:`~repro.ann.SearchResult` — ids, distances, stats, and the
 degraded-mode fields — for every algorithm and backend.
+
+Persistence goes through :mod:`repro.store`: :meth:`SSAMSystem.save`
+writes a versioned, checksummed snapshot directory and
+:meth:`SSAMSystem.open` reconstructs a query-ready system from it
+without rebuilding any index.  :meth:`SSAMSystem.open_or_create` keys
+the snapshot on the corpus content hash — a changed corpus invalidates
+the cache and triggers a fresh build.
+
+``SSAMSystem.build(...)`` — the pre-lifecycle constructor — remains as
+a thin deprecated shim over :meth:`create`.
 
 The underlying layers remain public and stable; the facade is sugar,
 not a wall.  See ``docs/API.md`` for the full tour.
@@ -26,10 +41,14 @@ not a wall.  See ``docs/API.md`` for the full tour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import dataclasses
+import hashlib
+import threading
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._compat import warn_deprecated
 from repro.ann import SearchResult
 from repro.core.config import SSAMConfig
 from repro.faults import FaultPlan
@@ -43,17 +62,21 @@ from repro.host.serving import (
     ServingEngine,
     ServingReport,
 )
+from repro import store as _store
+from repro.store import SnapshotError
 from repro import telemetry as _telemetry
 from repro.telemetry.request import ExplainRecord, begin_request
 
 __all__ = [
     "SSAMSystem",
+    "SystemConfig",
     "SearchResult",
     "ExplainRecord",
     "BatchingConfig",
     "ServingReport",
     "FaultPlan",
     "SSAMConfig",
+    "SnapshotError",
     "IndexMode",
     "HealthConfig",
     "ModuleState",
@@ -85,238 +108,358 @@ _SCALE_OUT_MODES = (
 )
 
 
-class SSAMSystem:
-    """A built, query-ready SSAM deployment.
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Everything :meth:`SSAMSystem.create` needs beyond the dataset.
 
-    Construct with :meth:`build`; do not call ``__init__`` directly.
-    The system owns a driver region (always) and, when
-    ``scale_out=True``, a sharded multi-module runtime for exact
-    search.  It is a context manager: ``with SSAMSystem.build(...) as
-    system: ...`` releases the region (and any telemetry session it
-    installed) on exit.
+    One typed object instead of a 17-kwarg constructor: validation in
+    one place (:meth:`validate`), overridable per call
+    (``create(data, cfg, explain=True)`` via :meth:`replace`), and the
+    structural fields round-trip through snapshots so
+    :meth:`SSAMSystem.open` can rebuild the same deployment shape.
+
+    Parameters
+    ----------
+    algo:
+        One of :data:`ALGORITHMS` — ``"exact"`` (alias ``"linear"``),
+        ``"kdtree"``, ``"kmeans"``, ``"mplsh"``, ``"ivfadc"``,
+        ``"hamming"``, or ``"graph"``.
+    metric:
+        Distance for exact search (``"euclidean"``, ``"cosine"``, ...);
+        the approximate indexes are Euclidean-only.
+    index_params:
+        Forwarded to the index constructor (e.g. ``{"n_trees": 4}``).
+    ssam:
+        SSAM design point (default: the 4-link design).
+    backend:
+        ``"functional"`` (NumPy reference) or ``"cycle"`` (ISA
+        simulators; reduced-scale datasets only, no online mutation).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; a fresh injector is
+        minted and threaded through the driver (and the runtime when
+        ``scale_out``), enabling retries / degraded serving.
+    telemetry:
+        ``True`` installs a fresh process-wide
+        :class:`~repro.telemetry.Telemetry` session (uninstalled by
+        :meth:`SSAMSystem.close`); an existing session is installed
+        likewise; ``None`` leaves telemetry as-is.
+    scale_out:
+        Route search through the sharded
+        :class:`~repro.host.runtime.MultiModuleRuntime` (capacity
+        drives the shard count, overridable via ``n_modules``) instead
+        of the single-module driver.  Supported for ``"exact"`` /
+        ``"linear"``, ``"kdtree"``, ``"kmeans"``, ``"mplsh"``, and
+        ``"graph"``; ``ivfadc``/``hamming`` stay single-module
+        (whole-corpus codebooks).
+    n_modules, service_seconds:
+        Serving-pool shape for :meth:`SSAMSystem.serve`: pool size
+        (default: the capacity-driven module count) and per-query scan
+        time (default: dataset bytes over the cube's aggregate internal
+        bandwidth).  With ``scale_out``, ``n_modules`` also overrides
+        the capacity-driven shard count.
+    batching:
+        Default :class:`BatchingConfig` for :meth:`SSAMSystem.serve`.
+    shard_overlap:
+        Fraction of each shard's rows replicated into a neighbor shard
+        under ``scale_out`` (default 0 for exact search, 0.1 for graph
+        — boundary neighborhoods stay navigable and degraded-mode
+        recall loss drops).
+    replication_factor:
+        Under ``scale_out``, place each shard on this many modules
+        (rotated placement — no module holds two copies of one shard).
+        See docs/RELIABILITY.md.
+    health:
+        Optional :class:`HealthConfig` arming per-module health
+        tracking with MTTR auto-repair (and optionally a seeded MTBF
+        failure generator).
+    workers, parallel:
+        Parallel simulation backend (see :mod:`repro.core.parallel`):
+        ``workers`` real cores using the ``"thread"`` or ``"process"``
+        backend; ``None`` consults ``REPRO_WORKERS`` /
+        ``REPRO_PARALLEL``.  Results are bit-exact at any worker count.
+    explain:
+        Default request-tracing policy: ``True`` attaches an
+        :class:`ExplainRecord` to every ``SearchResult.explain``;
+        per-call ``explain=`` arguments override.
     """
 
-    def __init__(self, *, driver, region, algo, runtime=None, scheduler=None,
-                 batching=None, telemetry=None, explain=False,
-                 _owns_telemetry=False, _telemetry_prev=None):
-        self.driver = driver
-        self.region = region
-        self.algo = algo
-        self.runtime = runtime
-        self.scheduler = scheduler
-        self.batching = batching or BatchingConfig()
-        self.telemetry = telemetry
-        #: Default request-tracing policy; per-call ``explain=`` overrides.
-        self.explain_default = bool(explain)
-        self._owns_telemetry = _owns_telemetry
-        self._telemetry_prev = _telemetry_prev
-        self._closed = False
+    algo: str = "exact"
+    metric: str = "euclidean"
+    index_params: Optional[dict] = None
+    ssam: Optional[SSAMConfig] = None
+    backend: str = "functional"
+    fault_plan: Optional[FaultPlan] = None
+    telemetry: Union[None, bool, "_telemetry.Telemetry"] = None
+    scale_out: bool = False
+    n_modules: Optional[int] = None
+    service_seconds: Optional[float] = None
+    batching: Optional[BatchingConfig] = None
+    shard_overlap: Optional[float] = None
+    replication_factor: int = 1
+    health: Optional[HealthConfig] = None
+    workers: Optional[int] = None
+    parallel: Optional[str] = None
+    explain: bool = False
 
-    # ------------------------------------------------------------------ build
-    @classmethod
-    def build(
-        cls,
-        dataset: np.ndarray,
-        algo: str = "exact",
-        config: Optional[SSAMConfig] = None,
-        *,
-        metric: str = "euclidean",
-        index_params: Optional[dict] = None,
-        backend: str = "functional",
-        fault_plan: Optional[FaultPlan] = None,
-        telemetry: Union[None, bool, "_telemetry.Telemetry"] = None,
-        scale_out: bool = False,
-        n_modules: Optional[int] = None,
-        service_seconds: Optional[float] = None,
-        batching: Optional[BatchingConfig] = None,
-        shard_overlap: Optional[float] = None,
-        replication_factor: int = 1,
-        health: Optional[HealthConfig] = None,
-        algorithm: Optional[str] = None,
-        workers: Optional[int] = None,
-        parallel: Optional[str] = None,
-        explain: bool = False,
-    ) -> "SSAMSystem":
-        """Assemble a query-ready system around ``dataset``.
+    def replace(self, **overrides) -> "SystemConfig":
+        """A copy with ``overrides`` applied (unknown names raise)."""
+        return dataclasses.replace(self, **overrides)
 
-        Parameters
-        ----------
-        dataset:
-            The ``(n, d)`` corpus to pin into SSAM memory.
-        algo:
-            One of :data:`ALGORITHMS` — ``"exact"`` (alias
-            ``"linear"``), ``"kdtree"``, ``"kmeans"``, ``"mplsh"``,
-            ``"ivfadc"``, ``"hamming"``, or ``"graph"``.
-            ``algorithm=`` is accepted as a first-class keyword alias.
-        config:
-            SSAM design point (default: the 4-link design).
-        metric:
-            Distance for exact search (``"euclidean"``, ``"cosine"``,
-            ...); the approximate indexes are Euclidean-only.
-        index_params:
-            Forwarded to the index constructor (e.g. ``{"n_trees": 4}``).
-        backend:
-            ``"functional"`` (NumPy reference) or ``"cycle"`` (ISA
-            simulators; reduced-scale datasets only).
-        fault_plan:
-            Optional :class:`~repro.faults.FaultPlan`; a fresh injector
-            is minted and threaded through the driver (and the runtime
-            when ``scale_out``), enabling retries / degraded serving.
-        telemetry:
-            ``True`` installs a fresh process-wide
-            :class:`~repro.telemetry.Telemetry` session (uninstalled by
-            :meth:`close`); an existing session is installed likewise;
-            ``None`` leaves telemetry as-is.
-        scale_out:
-            Route search through the sharded
-            :class:`~repro.host.runtime.MultiModuleRuntime` (capacity
-            drives the shard count, overridable via ``n_modules``)
-            instead of the single-module driver.  Supported for
-            ``"exact"``/``"linear"``, ``"kdtree"``, ``"kmeans"``,
-            ``"mplsh"``, and ``"graph"`` — each shard builds an
-            independent (deterministically seeded) index over its
-            corpus slice and the host merge dedupes overlapping
-            candidates.  ``ivfadc``/``hamming`` stay single-module
-            (whole-corpus codebooks).
-        n_modules, service_seconds:
-            Serving-pool shape for :meth:`serve`: pool size (default:
-            the capacity-driven module count) and per-query scan time
-            (default: dataset bytes over the cube's aggregate internal
-            bandwidth).  With ``scale_out``, ``n_modules`` also
-            overrides the capacity-driven shard count.
-        batching:
-            Default :class:`BatchingConfig` for :meth:`serve`.
-        shard_overlap:
-            Fraction of each shard's rows replicated into a neighbor
-            shard under ``scale_out`` (default 0 for exact search,
-            0.1 for graph — boundary neighborhoods stay navigable and
-            degraded-mode recall loss drops).
-        replication_factor:
-            Under ``scale_out``, place each shard on this many modules
-            (rotated placement — no module holds two copies of one
-            shard).  With ``r >= 2`` a mid-request module loss fails
-            over to a sibling replica inside the same request: answers
-            stay bit-exact with the fault-free run, ``degraded`` stays
-            ``False``, and recall loss is zero until *every* replica of
-            some shard is down.  See docs/RELIABILITY.md.
-        health:
-            Optional :class:`HealthConfig` arming per-module health
-            tracking with MTTR auto-repair (and optionally a seeded
-            MTBF failure generator), so lost modules rejoin on their
-            own.  Default ``None`` keeps the latch-until-repair
-            behavior.
-        algorithm:
-            First-class alias for ``algo`` (takes precedence when both
-            are given).
-        workers, parallel:
-            Parallel simulation backend (see :mod:`repro.core.parallel`):
-            independent vault kernels, traversal queries, and shard
-            searches fan out across ``workers`` real cores using the
-            ``"thread"`` or ``"process"`` backend.  ``None`` consults
-            the ``REPRO_WORKERS`` / ``REPRO_PARALLEL`` environment
-            variables; results are bit-exact at any worker count.
-        explain:
-            Default request-tracing policy for this system: ``True``
-            attaches an :class:`ExplainRecord` (replica routing,
-            failovers, retries, cache/byte/cycle attribution) to every
-            ``SearchResult.explain``.  Per-call ``explain=`` arguments
-            override.  Tracing never changes ids/distances.
-        """
-        if algorithm is not None:
-            algo = algorithm
-        if algo not in ALGORITHMS:
+    @property
+    def mode(self) -> IndexMode:
+        return ALGORITHMS[self.algo]
+
+    def validate(self) -> "SystemConfig":
+        """Check cross-field consistency; returns self for chaining."""
+        if self.algo not in ALGORITHMS:
             raise ValueError(
-                f"unknown algo {algo!r}; expected one of {sorted(ALGORITHMS)}")
-        mode = ALGORITHMS[algo]
-        if metric != "euclidean" and mode not in (IndexMode.LINEAR, IndexMode.HAMMING):
-            raise ValueError(f"algo {algo!r} supports only the euclidean metric")
-        if scale_out and mode not in _SCALE_OUT_MODES:
+                f"unknown algo {self.algo!r}; expected one of {sorted(ALGORITHMS)}")
+        mode = ALGORITHMS[self.algo]
+        if self.metric != "euclidean" and mode not in (IndexMode.LINEAR,
+                                                       IndexMode.HAMMING):
+            raise ValueError(
+                f"algo {self.algo!r} supports only the euclidean metric")
+        if self.scale_out and mode not in _SCALE_OUT_MODES:
             raise ValueError(
                 "scale_out supports exact/linear, kdtree, kmeans, mplsh, "
                 "and graph search")
-        if not scale_out and replication_factor != 1:
+        if not self.scale_out and self.replication_factor != 1:
             raise ValueError("replication_factor needs scale_out=True")
-        if shard_overlap is None:
-            shard_overlap = 0.1 if (scale_out and mode is IndexMode.GRAPH) else 0.0
+        if self.n_modules is not None and self.n_modules <= 0:
+            raise ValueError("n_modules must be positive")
+        return self
+
+    def resolved_shard_overlap(self) -> float:
+        if self.shard_overlap is not None:
+            return float(self.shard_overlap)
+        return 0.1 if (self.scale_out and self.mode is IndexMode.GRAPH) else 0.0
+
+
+def _corpus_key(ids: np.ndarray, vectors: np.ndarray) -> str:
+    """Content hash of an id-addressed corpus, order-independent.
+
+    Rows are hashed in ascending-id order (dtype-canonicalized to the
+    float64 every index builds over), with the ids themselves included
+    — the same vectors under different ids are a different corpus.  For
+    a fresh ``(n, d)`` dataset the ids are ``arange(n)``, so the key of
+    a never-mutated snapshot matches :func:`_dataset_key` of the array
+    it was built from.
+    """
+    idc = np.ascontiguousarray(np.asarray(ids, dtype=np.int64))
+    arr = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+    order = np.argsort(idc, kind="stable")
+    idc, arr = idc[order], np.ascontiguousarray(arr[order])
+    h = hashlib.sha256()
+    h.update(idc.tobytes())
+    h.update(f"{arr.dtype.str}|{arr.shape}|".encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _dataset_key(dataset: np.ndarray) -> str:
+    arr = np.asarray(dataset)
+    return _corpus_key(np.arange(arr.shape[0], dtype=np.int64), arr)
+
+
+def _live_rows(index) -> Tuple[np.ndarray, np.ndarray]:
+    """``(external ids, vectors)`` of an index's live rows."""
+    ids = index.live_ids()
+    mask = index.live_mask
+    vecs = index.data if mask is None else index.data[mask]
+    return ids, vecs
+
+
+def _gather_corpus(shards: List[Tuple[np.ndarray, object]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Union the live rows of sharded indexes into one id-sorted corpus.
+
+    Overlapping shards hold duplicate rows; the unique pass keeps one
+    copy per global id.  Shards that never mutated address rows
+    positionally, so their global ids come from the shard's row map.
+    """
+    all_ids, all_vecs = [], []
+    for rows, index in shards:
+        lids, lvecs = _live_rows(index)
+        if index.ids is None:
+            lids = np.asarray(rows, dtype=np.int64)
+        all_ids.append(lids)
+        all_vecs.append(np.asarray(lvecs, dtype=np.float64))
+    ids = np.concatenate(all_ids)
+    vecs = np.vstack(all_vecs)
+    uniq, first = np.unique(ids, return_index=True)
+    return uniq, np.ascontiguousarray(vecs[first])
+
+
+class SSAMSystem:
+    """A built, query-ready SSAM deployment.
+
+    Construct with :meth:`create` (or :meth:`open` from a snapshot); do
+    not call ``__init__`` directly.  The system owns a driver region
+    (always) and, when ``scale_out=True``, a sharded multi-module
+    runtime.  It is a context manager: ``with SSAMSystem.create(...)
+    as system: ...`` releases the region (and any telemetry session it
+    installed) on exit.
+
+    Lifecycle: ``create`` -> ``search``/``serve``/``insert``/``delete``
+    -> ``save`` -> ``close``; ``open`` resumes from a saved snapshot
+    without rebuilding.  Mutations and searches serialize on an
+    internal lock, so a serving loop never observes a half-applied
+    batch.
+    """
+
+    def __init__(self, *, driver, region, config: SystemConfig, runtime=None,
+                 scheduler=None, telemetry=None, _owns_telemetry=False,
+                 _telemetry_prev=None):
+        self.driver = driver
+        self.region = region
+        self.config = config
+        self.algo = config.algo
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.batching = config.batching or BatchingConfig()
+        self.telemetry = telemetry
+        #: Default request-tracing policy; per-call ``explain=`` overrides.
+        self.explain_default = bool(config.explain)
+        #: Set by :meth:`open_or_create`: True when the snapshot was used.
+        self.warm_started = False
+        self._owns_telemetry = _owns_telemetry
+        self._telemetry_prev = _telemetry_prev
+        self._mutation_lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ create
+    @classmethod
+    def create(cls, dataset: np.ndarray,
+               config: Optional[SystemConfig] = None,
+               **overrides) -> "SSAMSystem":
+        """Assemble a query-ready system around ``dataset``.
+
+        ``config`` carries every knob (see :class:`SystemConfig`);
+        keyword ``overrides`` are applied on top via
+        :meth:`SystemConfig.replace`, so one-off tweaks don't need a
+        new config object::
+
+            SSAMSystem.create(data, cfg, explain=True)
+        """
+        cfg = (config or SystemConfig())
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        cfg.validate()
+        mode = cfg.mode
         dataset = np.asarray(dataset)
         if dataset.ndim != 2 or dataset.shape[0] == 0:
             raise ValueError("dataset must be a non-empty (n, d) array")
-        config = config or SSAMConfig.design(4)
-        params = dict(index_params or {})
-        if mode is IndexMode.LINEAR and metric != "euclidean":
-            params.setdefault("metric", metric)
+        ssam = cfg.ssam or SSAMConfig.design(4)
+        params = dict(cfg.index_params or {})
+        if mode is IndexMode.LINEAR and cfg.metric != "euclidean":
+            params.setdefault("metric", cfg.metric)
 
-        injector = fault_plan.injector() if fault_plan is not None else None
-
-        tel = None
-        owns_tel = False
-        tel_prev = None
-        if telemetry is True:
-            tel = _telemetry.Telemetry()
-            tel_prev = _telemetry.install(tel)
-            owns_tel = True
-        elif telemetry:
-            tel = telemetry
-            tel_prev = _telemetry.install(tel)
-            owns_tel = True
+        injector = cfg.fault_plan.injector() if cfg.fault_plan is not None else None
+        tel, owns_tel, tel_prev = cls._install_telemetry(cfg)
 
         driver = region = runtime = None
-        if scale_out:
-            # Sharded search: the runtime is the backend (the corpus
-            # may exceed one module's capacity, so no single driver
-            # region is built).  Approximate shards each build an
-            # independent seeded index over their slice; replicas of a
-            # shard share one build, so failover answers are bit-exact.
-            index_factory = None
-            if mode is not IndexMode.LINEAR:
-                from repro.ann import (
-                    GraphANN,
-                    HierarchicalKMeansTree,
-                    MultiProbeLSH,
-                    RandomizedKDForest,
-                )
+        try:
+            if cfg.scale_out:
+                # Sharded search: the runtime is the backend (the corpus
+                # may exceed one module's capacity, so no single driver
+                # region is built).  Approximate shards each build an
+                # independent seeded index over their slice; replicas of
+                # a shard share one build, so failover answers are
+                # bit-exact.
+                runtime = MultiModuleRuntime(
+                    config=ssam, metric=cfg.metric, injector=injector,
+                    index_factory=cls._index_factory(mode, params),
+                    shard_overlap=cfg.resolved_shard_overlap(),
+                    replication_factor=cfg.replication_factor,
+                    health=cfg.health, workers=cfg.workers,
+                    parallel=cfg.parallel)
+                runtime.load(dataset, n_modules=cfg.n_modules)
+            else:
+                driver = SSAMDriver(config=ssam, backend=cfg.backend,
+                                    injector=injector, workers=cfg.workers,
+                                    parallel=cfg.parallel)
+                region = driver.nmalloc(max(dataset.nbytes, 1))
+                driver.nmode(region, mode)
+                driver.nmemcpy(region, dataset)
+                driver.nbuild_index(region, params=params)
+        except BaseException:
+            if owns_tel:
+                _telemetry.uninstall(tel_prev)
+            raise
 
-                index_cls = {
-                    IndexMode.KDTREE: RandomizedKDForest,
-                    IndexMode.KMEANS: HierarchicalKMeansTree,
-                    IndexMode.MPLSH: MultiProbeLSH,
-                    IndexMode.GRAPH: GraphANN,
-                }[mode]
+        scheduler = cls._make_scheduler(cfg, ssam, dataset.nbytes, runtime)
+        return cls(driver=driver, region=region, config=cfg, runtime=runtime,
+                   scheduler=scheduler, telemetry=tel,
+                   _owns_telemetry=owns_tel, _telemetry_prev=tel_prev)
 
-                def index_factory(shard_data, _cls=index_cls,
-                                  _params=dict(params)):
-                    return _cls(**_params).build(
-                        np.asarray(shard_data, dtype=np.float64))
+    @staticmethod
+    def _index_factory(mode: IndexMode, params: dict):
+        """Per-shard index builder for the scale-out runtime (None = exact)."""
+        if mode is IndexMode.LINEAR:
+            return None
+        from repro.ann import (
+            GraphANN,
+            HierarchicalKMeansTree,
+            MultiProbeLSH,
+            RandomizedKDForest,
+        )
 
-            runtime = MultiModuleRuntime(
-                config=config, metric=metric, injector=injector,
-                index_factory=index_factory, shard_overlap=shard_overlap,
-                replication_factor=replication_factor, health=health,
-                workers=workers, parallel=parallel)
-            runtime.load(dataset, n_modules=n_modules)
-        else:
-            driver = SSAMDriver(config=config, backend=backend,
-                                injector=injector, workers=workers,
-                                parallel=parallel)
-            region = driver.nmalloc(max(dataset.nbytes, 1))
-            driver.nmode(region, mode)
-            driver.nmemcpy(region, dataset)
-            driver.nbuild_index(region, params=params)
+        index_cls = {
+            IndexMode.KDTREE: RandomizedKDForest,
+            IndexMode.KMEANS: HierarchicalKMeansTree,
+            IndexMode.MPLSH: MultiProbeLSH,
+            IndexMode.GRAPH: GraphANN,
+        }[mode]
 
+        def factory(shard_data, _cls=index_cls, _params=dict(params)):
+            return _cls(**_params).build(np.asarray(shard_data, dtype=np.float64))
+
+        return factory
+
+    @staticmethod
+    def _install_telemetry(cfg: SystemConfig):
+        if cfg.telemetry is True:
+            tel = _telemetry.Telemetry()
+            return tel, True, _telemetry.install(tel)
+        if cfg.telemetry:
+            return cfg.telemetry, True, _telemetry.install(cfg.telemetry)
+        return None, False, None
+
+    @staticmethod
+    def _make_scheduler(cfg: SystemConfig, ssam: SSAMConfig,
+                        dataset_nbytes: int, runtime) -> QueryScheduler:
+        service_seconds = cfg.service_seconds
         if service_seconds is None:
             # Streaming-bound full scan: corpus bytes over the cube's
             # aggregate internal bandwidth (per-query reference time).
-            service_seconds = max(dataset.nbytes / config.internal_bandwidth,
+            service_seconds = max(dataset_nbytes / ssam.internal_bandwidth,
                                   1e-9)
+        n_modules = cfg.n_modules
         if n_modules is None:
             n_modules = runtime.n_modules if runtime is not None else 1
-        scheduler = QueryScheduler(n_modules=max(1, n_modules),
-                                   service_seconds=service_seconds)
+        return QueryScheduler(n_modules=max(1, n_modules),
+                              service_seconds=service_seconds)
 
-        return cls(driver=driver, region=region, algo=algo, runtime=runtime,
-                   scheduler=scheduler, batching=batching, telemetry=tel,
-                   explain=explain, _owns_telemetry=owns_tel,
-                   _telemetry_prev=tel_prev)
+    # ------------------------------------------------------------------ build (deprecated)
+    @classmethod
+    def build(cls, dataset: np.ndarray, algo: str = "exact",
+              config: Optional[SSAMConfig] = None, *,
+              algorithm: Optional[str] = None, **kwargs) -> "SSAMSystem":
+        """Deprecated pre-lifecycle constructor; use :meth:`create`.
+
+        Maps the old flat-kwarg signature onto :class:`SystemConfig`
+        (the old ``config=`` SSAM design point becomes
+        ``SystemConfig.ssam``; ``algorithm=`` aliases ``algo``) and
+        delegates.  Emits a :class:`DeprecationWarning` attributed to
+        the caller.
+        """
+        warn_deprecated(
+            "SSAMSystem.build() is deprecated; use "
+            "SSAMSystem.create(dataset, SystemConfig(...)) — and "
+            "open()/save() for persistence — instead")
+        if algorithm is not None:
+            algo = algorithm
+        return cls.create(dataset, SystemConfig(algo=algo, ssam=config,
+                                                **kwargs))
 
     # ------------------------------------------------------------------ search
     def search(
@@ -340,26 +483,32 @@ class SSAMSystem:
         call; when effective, ``result.explain`` carries the request's
         :class:`ExplainRecord` (chunked searches fold per-chunk child
         records under one ``concat`` parent).
+
+        Searches serialize with :meth:`insert`/:meth:`delete` on the
+        mutation lock: a query sees either all of a mutation batch or
+        none of it.
         """
         self._assert_open()
         queries = np.atleast_2d(np.asarray(queries))
         if batch is not None and batch <= 0:
             raise ValueError("batch must be positive")
         eff = self._explain_arg(explain)
-        if self.runtime is not None:
-            return self._sharded_search(queries, k, batch, checks, eff)
-        if batch is None:
-            return self.driver.nexec_batch(self.region, queries, k,
-                                           checks=checks, explain=eff)
-        ctx = begin_request("concat", eff, n_queries=queries.shape[0], k=k,
-                            mode=self.algo)
-        chunk_explain = True if ctx is not None else eff
-        parts = [
-            self.driver.nexec_batch(self.region, queries[lo:lo + batch], k,
-                                    checks=checks, explain=chunk_explain)
-            for lo in range(0, queries.shape[0], batch)
-        ]
-        return _concat_results(parts, ctx=ctx)
+        with self._mutation_lock:
+            if self.runtime is not None:
+                return self._sharded_search(queries, k, batch, checks, eff)
+            if batch is None:
+                return self.driver.nexec_batch(self.region, queries, k,
+                                               checks=checks, explain=eff)
+            ctx = begin_request("concat", eff, n_queries=queries.shape[0],
+                                k=k, mode=self.algo)
+            chunk_explain = True if ctx is not None else eff
+            parts = [
+                self.driver.nexec_batch(self.region, queries[lo:lo + batch],
+                                        k, checks=checks,
+                                        explain=chunk_explain)
+                for lo in range(0, queries.shape[0], batch)
+            ]
+            return _concat_results(parts, ctx=ctx)
 
     def _explain_arg(self, explain: Optional[bool]) -> Optional[bool]:
         """Per-call override > system default > ambient scope (None)."""
@@ -381,6 +530,65 @@ class SSAMSystem:
             for lo in range(0, queries.shape[0], batch)
         ]
         return _concat_results(parts, ctx=ctx)
+
+    # ------------------------------------------------------------------ mutation
+    def insert(self, ids, vectors: np.ndarray) -> None:
+        """Insert rows under external ``ids`` into the live index.
+
+        Single-module systems grow the driver region in place; under
+        ``scale_out`` the batch routes to the smallest shard group and
+        — because replicas of a shard share one index object — every
+        replica observes the mutation atomically.  Ids must be fresh
+        (``ValueError`` on clashes).  Admission serializes on the
+        mutation lock, so concurrent searches (including the serving
+        queue, which replays through :meth:`search`) never see a
+        half-applied batch.
+        """
+        self._assert_open()
+        with self._mutation_lock:
+            if self.runtime is not None:
+                self.runtime.insert(ids, vectors)
+            else:
+                self.driver.ninsert(self.region, ids, vectors)
+
+    def delete(self, ids) -> None:
+        """Delete rows by external id (``KeyError`` on unknown ids).
+
+        Tree indexes tombstone and compact lazily; exact/LSH remove
+        physically.  Under ``scale_out`` the ids are removed from every
+        shard that holds them (overlapping shards cannot resurface a
+        deleted row).
+        """
+        self._assert_open()
+        with self._mutation_lock:
+            if self.runtime is not None:
+                self.runtime.delete(ids)
+            else:
+                self.driver.ndelete(self.region, ids)
+
+    def compact(self, force: bool = False) -> bool:
+        """Fold accumulated mutations back into the index structure.
+
+        Returns ``True`` when any rebuild happened.  Without ``force``,
+        each index compacts only past its ``compaction_threshold``
+        mutated fraction — mutation calls already invoke this, so
+        explicit calls are for checkpointing (e.g. before
+        :meth:`save`).
+        """
+        self._assert_open()
+        with self._mutation_lock:
+            if self.runtime is not None:
+                return self.runtime.compact(force=force)
+            return self.driver.ncompact(self.region, force=force)
+
+    @property
+    def index_version(self) -> int:
+        """Mutation generation (0 = never mutated); sums shards under scale-out."""
+        if self.runtime is not None:
+            return self.runtime.index_version
+        if self.region is not None and self.region.index is not None:
+            return int(getattr(self.region.index, "version", 0))
+        return 0
 
     # ------------------------------------------------------------------ serve
     def serve(
@@ -421,6 +629,197 @@ class SSAMSystem:
                             seed=seed, compare_per_query=compare_per_query,
                             explain=self._explain_arg(explain))
 
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: str) -> dict:
+        """Snapshot the system to directory ``path``; returns the manifest.
+
+        The snapshot holds the full index structure (not just the
+        corpus), a content checksum of the live corpus (the
+        :meth:`open_or_create` cache key), and a payload checksum that
+        rejects truncated or bit-rotted files on load.  Operational
+        state — fault plans, telemetry sessions, batching, health
+        tracking — is deliberately *not* persisted; re-arm it through
+        :meth:`open` overrides.  ``ivfadc`` systems are not
+        snapshot-capable (:class:`SnapshotError`).
+        """
+        self._assert_open()
+        with self._mutation_lock:
+            if self.runtime is not None:
+                manifest = self._save_scale_out(path)
+            else:
+                manifest = self._save_single(path)
+        tel = _telemetry.get_telemetry()
+        if tel.enabled:
+            tel.metrics.inc("ssam_snapshot_saves_total", 1,
+                            help="System snapshots written")
+        return manifest
+
+    def _save_single(self, path: str) -> dict:
+        index = self.region.index if self.region is not None else None
+        if index is None:
+            raise SnapshotError("cannot snapshot a system with no built index")
+        name = type(index).__name__
+        _store.index_class(name)  # unregistered (ivfadc) -> SnapshotError
+        meta, arrays = index.to_state()
+        ids, vecs = _live_rows(index)
+        manifest = {
+            "kind": "system",
+            "scale_out": False,
+            "algo": self.algo,
+            "metric": self.config.metric,
+            "index_params": dict(self.config.index_params or {}),
+            "index": {"class": name, "meta": meta},
+            "corpus_checksum": _corpus_key(ids, vecs),
+            "n": int(ids.size),
+            "dims": int(index.dims),
+        }
+        return _store.write_snapshot(path, manifest, dict(arrays))
+
+    def _save_scale_out(self, path: str) -> dict:
+        runtime = self.runtime
+        shards = runtime.shard_state()
+        shards_meta = []
+        arrays: Dict[str, np.ndarray] = {}
+        for i, (rows, index) in enumerate(shards):
+            name = type(index).__name__
+            _store.index_class(name)
+            meta, idx_arrays = index.to_state()
+            shards_meta.append({"class": name, "meta": meta})
+            arrays[f"g{i}_rows"] = np.asarray(rows, dtype=np.int64)
+            for key, arr in idx_arrays.items():
+                arrays[f"g{i}_{key}"] = arr
+        ids, vecs = _gather_corpus(shards)
+        manifest = {
+            "kind": "system",
+            "scale_out": True,
+            "algo": self.algo,
+            "metric": self.config.metric,
+            "index_params": dict(self.config.index_params or {}),
+            "n_modules": int(runtime.health.n_modules),
+            "replication_factor": int(runtime.replication_factor),
+            "shard_overlap": float(runtime.shard_overlap),
+            "shards": shards_meta,
+            "corpus_checksum": _corpus_key(ids, vecs),
+            "n": int(ids.size),
+            "dims": int(vecs.shape[1]),
+        }
+        return _store.write_snapshot(path, manifest, arrays)
+
+    @classmethod
+    def open(cls, path: str, config: Optional[SystemConfig] = None,
+             **overrides) -> "SSAMSystem":
+        """Reconstruct a query-ready system from a :meth:`save` snapshot.
+
+        No index is rebuilt — the warm start is the point.  Structural
+        fields (``algo``, ``metric``, ``index_params``, the scale-out
+        shape) come from the manifest; operational fields
+        (``fault_plan``, ``telemetry``, ``batching``, ``health``,
+        ``workers``/``parallel``, ``explain``, ``backend``,
+        ``service_seconds``) come from ``config``/``overrides`` so a
+        reopened system can be re-armed differently.  Raises
+        :class:`SnapshotError` on a missing, corrupt (payload checksum
+        mismatch), or unknown-format snapshot.
+        """
+        cfg = (config or SystemConfig())
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        manifest, arrays = _store.read_snapshot(path, expected_kind="system")
+        return cls._from_snapshot(manifest, arrays, cfg)
+
+    @classmethod
+    def _from_snapshot(cls, manifest: dict, arrays: Dict[str, np.ndarray],
+                       cfg: SystemConfig) -> "SSAMSystem":
+        scale_out = bool(manifest.get("scale_out"))
+        cfg = cfg.replace(
+            algo=manifest["algo"],
+            metric=manifest["metric"],
+            index_params=dict(manifest.get("index_params") or {}),
+            scale_out=scale_out,
+            replication_factor=int(manifest.get("replication_factor", 1)),
+            shard_overlap=(float(manifest["shard_overlap"])
+                           if scale_out else cfg.shard_overlap),
+        ).validate()
+        ssam = cfg.ssam or SSAMConfig.design(4)
+        injector = cfg.fault_plan.injector() if cfg.fault_plan is not None else None
+        tel, owns_tel, tel_prev = cls._install_telemetry(cfg)
+
+        driver = region = runtime = None
+        try:
+            if scale_out:
+                prebuilt = []
+                for i, info in enumerate(manifest["shards"]):
+                    index_cls = _store.index_class(info["class"])
+                    prefix = f"g{i}_"
+                    sub = {k[len(prefix):]: v for k, v in arrays.items()
+                           if k.startswith(prefix) and k != f"g{i}_rows"}
+                    prebuilt.append((arrays[f"g{i}_rows"],
+                                     index_cls.from_state(info["meta"], sub)))
+                _, corpus = _gather_corpus(prebuilt)
+                runtime = MultiModuleRuntime(
+                    config=ssam, metric=cfg.metric, injector=injector,
+                    index_factory=cls._index_factory(
+                        cfg.mode, dict(cfg.index_params or {})),
+                    shard_overlap=cfg.resolved_shard_overlap(),
+                    replication_factor=cfg.replication_factor,
+                    health=cfg.health, workers=cfg.workers,
+                    parallel=cfg.parallel)
+                runtime.load(corpus, n_modules=int(manifest["n_modules"]),
+                             prebuilt=prebuilt)
+                dataset_nbytes = corpus.nbytes
+            else:
+                info = manifest["index"]
+                index_cls = _store.index_class(info["class"])
+                index = index_cls.from_state(info["meta"], arrays)
+                driver = SSAMDriver(config=ssam, backend=cfg.backend,
+                                    injector=injector, workers=cfg.workers,
+                                    parallel=cfg.parallel)
+                region = driver.nmalloc(max(index.data.nbytes, 1))
+                driver.nmode(region, cfg.mode)
+                driver.ninstall_index(region, index,
+                                      params=dict(cfg.index_params or {}))
+                dataset_nbytes = index.data.nbytes
+        except BaseException:
+            if owns_tel:
+                _telemetry.uninstall(tel_prev)
+            raise
+
+        scheduler = cls._make_scheduler(cfg, ssam, dataset_nbytes, runtime)
+        system = cls(driver=driver, region=region, config=cfg,
+                     runtime=runtime, scheduler=scheduler, telemetry=tel,
+                     _owns_telemetry=owns_tel, _telemetry_prev=tel_prev)
+        system.warm_started = True
+        cur = _telemetry.get_telemetry()
+        if cur.enabled:
+            cur.metrics.inc("ssam_snapshot_opens_total", 1,
+                            help="System snapshots warm-started")
+        return system
+
+    @classmethod
+    def open_or_create(cls, dataset: np.ndarray, path: str,
+                       config: Optional[SystemConfig] = None,
+                       **overrides) -> "SSAMSystem":
+        """Warm-start from ``path`` when its snapshot matches ``dataset``.
+
+        The snapshot's corpus checksum is the cache key: a hit opens
+        (``system.warm_started`` is ``True``), while a missing, stale
+        (corpus or algo changed), or corrupt snapshot falls back to
+        :meth:`create` and overwrites ``path`` with a fresh snapshot.
+        """
+        cfg = (config or SystemConfig())
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        cfg.validate()
+        try:
+            manifest, arrays = _store.read_snapshot(path, expected_kind="system")
+            if (manifest.get("corpus_checksum") == _dataset_key(dataset)
+                    and manifest.get("algo") == cfg.algo):
+                return cls._from_snapshot(manifest, arrays, cfg)
+        except SnapshotError:
+            pass
+        system = cls.create(dataset, cfg)
+        system.save(path)
+        return system
+
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Release the region and worker pools; restore telemetry."""
@@ -453,8 +852,11 @@ class SSAMSystem:
 
     @property
     def n_rows(self) -> int:
+        """Live row count (tombstoned rows excluded)."""
         if self.runtime is not None:
             return self.runtime.n_rows
+        if self.region.index is not None:
+            return int(self.region.index.n_live)
         return int(self.region.data.shape[0])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

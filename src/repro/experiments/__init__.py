@@ -42,6 +42,7 @@ from repro.experiments.chaos import run_chaos
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
 from repro.experiments.graph_ann import run_graph_ann
 from repro.experiments.ivfadc import run_ivfadc
+from repro.experiments.mutability import run_mutability
 from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.resilience import run_resilience
 from repro.experiments.scaleout import run_scaleout
@@ -66,6 +67,7 @@ __all__ = [
     "run_batching_ablation",
     "run_graph_ann",
     "run_ivfadc",
+    "run_mutability",
     "run_parallel_scaling",
     "run_energy_breakdown",
     "run_thermal_check",

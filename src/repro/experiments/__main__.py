@@ -39,6 +39,7 @@ from repro.experiments import (
     run_chaos,
     run_graph_ann,
     run_ivfadc,
+    run_mutability,
     run_parallel_scaling,
     run_thermal_check,
     run_pq_extension,
@@ -77,6 +78,9 @@ RUNNERS = {
                          "schedules (writes BENCH_5.json)"),
     "slo": (run_slo, "SLO percentiles: exact sched-clock latency quantiles "
                      "per algorithm (writes BENCH_6.json)"),
+    "mutability": (run_mutability,
+                   "Mutable-index lifecycle: insert/delete/compact + "
+                   "snapshot warm start (writes BENCH_7.json)"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),
     "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
     "thermal": (run_thermal_check, "Section V-A thermal check"),

@@ -64,6 +64,19 @@ quantile ordering (``p99 >= p95 >= p50 >= 0`` per phase), the recorded
 tail ratio (``e2e p99 / p50``, recomputed from the quantiles), and the
 nonzero loads-per-query attribution are absolute invariants, not
 baseline ratios.
+
+A sixth gate covers the mutable-index lifecycle (``BENCH_7.json``,
+written by ``python -m repro.experiments mutability``)::
+
+    python -m repro.experiments.bench_guard --mutate BENCH_7.json
+
+Rebuild equivalence (a mutated index answering bit-exact with a fresh
+build over the surviving rows), snapshot round-trip bit-exactness, the
+post-compaction recall floor, and checksum rejection of a corrupted
+snapshot are absolute.  The insert-throughput floor is a deliberately
+low constant (pathology guard, not a benchmark), and the warm-start
+speedup (``open`` beating a cold build) is enforced only on rows whose
+cold build was slow enough to time reliably (``gate_warm``).
 """
 
 from __future__ import annotations
@@ -74,7 +87,8 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["check_speedup", "check_graph_frontier",
-           "check_parallel_scaling", "check_chaos", "check_slo", "main"]
+           "check_parallel_scaling", "check_chaos", "check_slo",
+           "check_mutability", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -309,6 +323,77 @@ def check_slo(payload: dict, tail_rtol: float = 1e-9) -> Tuple[bool, str]:
     )
 
 
+def check_mutability(payload: dict,
+                     min_insert_rows_per_sec: float = 50.0,
+                     min_warm_speedup: float = 1.0) -> Tuple[bool, str]:
+    """Gates over a ``BENCH_7.json`` mutable-index lifecycle payload.
+
+    Absolute: rebuild equivalence and snapshot round-trip bit-exactness
+    per algorithm, the post-compaction recall floor, and checksum
+    rejection of the corrupted snapshot.  Machine-dependent but
+    pathology-proof: the insert-throughput floor is a low constant, and
+    the warm-start speedup is only enforced on rows flagged
+    ``gate_warm`` (cold build slow enough to time).
+    """
+    problems: List[str] = []
+    rows = payload.get("rows", [])
+    if not rows:
+        return False, "REGRESSION: mutability payload has no rows"
+    floor = float(payload.get("recall_floor", 0.95))
+
+    inexact = [r["algo"] for r in rows if not r.get("bit_exact_vs_rebuild")]
+    if inexact:
+        problems.append(
+            "mutated index no longer bit-exact with a fresh rebuild over "
+            f"the surviving rows ({', '.join(inexact)})")
+    broken_rt = [r["algo"] for r in rows if not r.get("roundtrip_exact")]
+    if broken_rt:
+        problems.append(
+            f"snapshot round-trip not bit-exact ({', '.join(broken_rt)})")
+    low_recall = [
+        f"{r['algo']} ({r.get('recall_at_10', 0.0):.3f} < {floor:.2f})"
+        for r in rows if r.get("recall_at_10", 0.0) < floor
+    ]
+    if low_recall:
+        problems.append(
+            "post-compaction recall floor broken: " + ", ".join(low_recall))
+    slow = [
+        f"{r['algo']} ({r.get('insert_rows_per_sec', 0.0):.0f}/s)"
+        for r in rows
+        if r.get("insert_rows_per_sec", 0.0) < min_insert_rows_per_sec
+    ]
+    if slow:
+        problems.append(
+            f"insert throughput below the {min_insert_rows_per_sec:.0f} "
+            f"rows/s pathology floor: {', '.join(slow)}")
+    cold_warm = [
+        f"{r['algo']} ({r.get('warm_speedup', 0.0):.2f}x)"
+        for r in rows
+        if r.get("gate_warm") and r.get("warm_speedup", 0.0) < min_warm_speedup
+    ]
+    if cold_warm:
+        problems.append(
+            "snapshot open() not faster than a cold build where gated: "
+            + ", ".join(cold_warm))
+    if not payload.get("checksum_invalidation_detected", False):
+        problems.append(
+            "a corrupted snapshot payload was NOT rejected by its checksum")
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    gated = [r for r in rows if r.get("gate_warm")]
+    warm_note = (
+        f"warm-start gated on {len(gated)} row(s), best "
+        f"{max(r['warm_speedup'] for r in gated):.0f}x"
+        if gated else "warm-start informational only (fast cold builds)")
+    return True, (
+        f"OK: mutability lifecycle clean over {len(rows)} algorithms — "
+        f"rebuild equivalence and snapshot round-trips bit-exact, recall "
+        f">= {floor:.2f} after compaction, checksum rejection verified; "
+        + warm_note
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
@@ -347,14 +432,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--slo", default=None, metavar="BENCH_6",
                         help="BENCH_6.json to gate on the exact-percentile "
                              "SLO invariants (sched clock only)")
+    parser.add_argument("--mutate", default=None, metavar="BENCH_7",
+                        help="BENCH_7.json to gate on the mutable-index "
+                             "lifecycle invariants")
+    parser.add_argument("--min-insert-rate", type=float, default=50.0,
+                        help="insert-throughput pathology floor in rows/s "
+                             "(default 50)")
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.new_path):
         parser.error("--baseline and --new must be given together")
     if not args.baseline and not args.graph and not args.parallel \
-            and not args.chaos and not args.slo:
+            and not args.chaos and not args.slo and not args.mutate:
         parser.error("nothing to check: give --baseline/--new, --graph, "
-                     "--parallel, --chaos, and/or --slo")
+                     "--parallel, --chaos, --slo, and/or --mutate")
 
     ok = True
     if args.baseline:
@@ -394,6 +485,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.slo) as fh:
             slo_payload = json.load(fh)
         passed, message = check_slo(slo_payload)
+        print(message)
+        ok = ok and passed
+    if args.mutate:
+        with open(args.mutate) as fh:
+            mutate_payload = json.load(fh)
+        passed, message = check_mutability(
+            mutate_payload, min_insert_rows_per_sec=args.min_insert_rate)
         print(message)
         ok = ok and passed
     return 0 if ok else 1

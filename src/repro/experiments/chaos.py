@@ -52,7 +52,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.api import BatchingConfig, HealthConfig, SSAMSystem
+from repro.api import BatchingConfig, HealthConfig, SSAMSystem, SystemConfig
 from repro.faults import FaultPlan
 
 from repro.experiments.bench import _repo_root
@@ -185,12 +185,12 @@ def _scenarios(n_waves_ticks: float) -> Tuple[ChaosScenario, ...]:
 def _build(data: np.ndarray, algo: str, n_modules: int, r: int,
            plan: Optional[FaultPlan], health: Optional[HealthConfig],
            workers: Optional[int], parallel: Optional[str]) -> SSAMSystem:
-    return SSAMSystem.build(
-        data, algo=algo, scale_out=True, n_modules=n_modules,
+    return SSAMSystem.create(data, SystemConfig(
+        algo=algo, scale_out=True, n_modules=n_modules,
         replication_factor=r, fault_plan=plan, health=health,
         index_params=dict(_INDEX_PARAMS[algo]),
         workers=workers, parallel=parallel,
-    )
+    ))
 
 
 def _overlap_recall(ref_ids: np.ndarray, got_ids: np.ndarray) -> float:

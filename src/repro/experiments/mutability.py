@@ -1,0 +1,235 @@
+"""Mutability experiment: live mutation + persistence (BENCH_7.json).
+
+``python -m repro.experiments mutability`` drives every snapshot-capable
+algorithm through the full index lifecycle the PR-9 API redesign added:
+
+- **cold create** — build a fresh single-module system and time it;
+- **online insert** — a batch of new rows through
+  :meth:`~repro.api.SSAMSystem.insert` (rows/s recorded);
+- **online delete** — a batch of existing ids (tombstone or physical,
+  per algorithm);
+- **compaction** — ``compact(force=True)`` folds tombstones back into
+  the structure;
+- **rebuild equivalence** — the mutated system's answers at a
+  saturating candidate budget must be *bit-exact* against a fresh
+  system built over exactly the surviving rows (ids mapped through the
+  survivor order).  Post-compaction this holds for all five algorithms
+  because compaction rebuilds with the original seed;
+- **recall** — post-compaction recall@10 against an exact scan over the
+  survivors (gated absolutely; at a saturating budget this is 1.0 for
+  everything but the graph, whose beam is still finite);
+- **persistence** — ``save`` / ``open`` round-trip: answers from the
+  reopened system must be bit-exact, and the warm-start ``open`` time
+  is compared with the cold build (the speedup is only *gated* when the
+  cold build was slow enough to measure: ``gate_warm``);
+- **checksum invalidation** — one flipped byte in a saved snapshot's
+  payload must be rejected with :class:`~repro.store.SnapshotError`.
+
+The harness writes ``BENCH_7.json`` at the repo root;
+``python -m repro.experiments.bench_guard --mutate BENCH_7.json`` gates
+CI on it (rebuild equivalence and round-trip bit-exactness, the recall
+floor, the insert-throughput floor, checksum rejection, and — on hosts
+where the cold build took long enough — the warm-start speedup).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann import LinearScan, mean_recall
+from repro.api import SSAMSystem, SystemConfig
+from repro.store import ARRAYS_NAME, SnapshotError
+
+from repro.experiments.bench import _repo_root
+
+__all__ = ["run_mutability", "BENCH_FILENAME", "MUTABLE_ALGOS"]
+
+BENCH_FILENAME = "BENCH_7.json"
+
+#: Every algorithm the snapshot store can persist (= every mutable one).
+MUTABLE_ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+
+_INDEX_PARAMS: Dict[str, dict] = {
+    "exact": {},
+    "kdtree": {"n_trees": 2, "seed": 0},
+    "kmeans": {"branching": 4, "seed": 0},
+    "mplsh": {"n_tables": 4, "n_bits": 8, "seed": 0},
+    # A beam wide enough to saturate the corpus makes the equivalence
+    # check exact rather than probabilistic.
+    "graph": {"max_degree": 8, "ef_construction": 16, "ef_search": 4096,
+              "seed": 0},
+}
+
+#: Candidate budget that exceeds any corpus size used here, so tree and
+#: hash searches rank every candidate they can reach.
+_SATURATING_CHECKS = 1_000_000
+
+
+def _search(system: SSAMSystem, algo: str, queries: np.ndarray,
+            k: int):
+    # Exact scan ignores checks; the graph's budget rides on ef_search.
+    checks = None if algo in ("exact", "graph") else _SATURATING_CHECKS
+    return system.search(queries, k=k, checks=checks)
+
+
+def _corrupt_one_byte(snapshot_dir: str) -> None:
+    path = Path(snapshot_dir) / ARRAYS_NAME
+    with open(path, "r+b") as fh:
+        fh.seek(max(path.stat().st_size // 2, 0))
+        byte = fh.read(1)
+        fh.seek(-1, 1)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def run_mutability(
+    n_rows: int = 1200,
+    dims: int = 16,
+    k: int = 10,
+    n_queries: int = 32,
+    n_insert: int = 200,
+    n_delete: int = 150,
+    recall_floor: float = 0.95,
+    warm_gate_seconds: float = 0.25,
+    algos: Tuple[str, ...] = MUTABLE_ALGOS,
+    snapshot_dir: Optional[str] = None,
+) -> Tuple[List[Dict], str]:
+    """Exercise insert/delete/compact/save/open per algorithm.
+
+    Returns ``(rows, text)`` like every runner and writes
+    ``BENCH_7.json``.  ``snapshot_dir`` overrides the scratch directory
+    (default: a temp dir removed afterwards).
+    """
+    rng = np.random.default_rng(13)
+    data = rng.standard_normal((n_rows, dims))
+    extra = rng.standard_normal((n_insert, dims))
+    queries = rng.standard_normal((n_queries, dims))
+    insert_ids = np.arange(n_rows, n_rows + n_insert, dtype=np.int64)
+    delete_ids = rng.choice(n_rows + n_insert, size=n_delete, replace=False)
+    delete_ids = np.unique(delete_ids.astype(np.int64))
+
+    # The survivor corpus every mutated system must be equivalent to:
+    # original rows + inserted rows, minus the deleted ids, in id order
+    # (both the physical and the tombstone-compaction paths preserve it).
+    full = np.vstack([data, extra])
+    surviving_ids = np.setdiff1d(
+        np.arange(n_rows + n_insert, dtype=np.int64), delete_ids)
+    survivors = full[surviving_ids]
+
+    exact_ref = LinearScan().build(survivors).search(queries, k)
+    # Map survivor positions back to global ids for recall/bit-exactness.
+    ref_ids = np.where(exact_ref.ids >= 0,
+                       surviving_ids[np.clip(exact_ref.ids, 0, None)], -1)
+
+    scratch = snapshot_dir or tempfile.mkdtemp(prefix="repro-mutability-")
+    owns_scratch = snapshot_dir is None
+    rows: List[Dict] = []
+    checksum_rejected = False
+    try:
+        for algo in algos:
+            cfg = SystemConfig(algo=algo,
+                               index_params=dict(_INDEX_PARAMS[algo]))
+            t0 = time.perf_counter()
+            system = SSAMSystem.create(data, cfg)
+            cold_seconds = time.perf_counter() - t0
+            try:
+                t0 = time.perf_counter()
+                system.insert(insert_ids, extra)
+                insert_seconds = max(time.perf_counter() - t0, 1e-9)
+                t0 = time.perf_counter()
+                system.delete(delete_ids)
+                delete_seconds = max(time.perf_counter() - t0, 1e-9)
+                compacted = system.compact(force=True)
+
+                got = _search(system, algo, queries, k)
+                fresh = SSAMSystem.create(survivors, cfg)
+                try:
+                    ref = _search(fresh, algo, queries, k)
+                finally:
+                    fresh.close()
+                fresh_ids = np.where(
+                    ref.ids >= 0,
+                    surviving_ids[np.clip(ref.ids, 0, None)], -1)
+                bit_exact = (np.array_equal(got.ids, fresh_ids)
+                             and np.allclose(got.distances, ref.distances))
+                recall = float(mean_recall(got.ids, ref_ids))
+
+                snap = str(Path(scratch) / algo)
+                system.save(snap)
+                t0 = time.perf_counter()
+                reopened = SSAMSystem.open(snap)
+                open_seconds = max(time.perf_counter() - t0, 1e-9)
+                try:
+                    again = _search(reopened, algo, queries, k)
+                finally:
+                    reopened.close()
+                roundtrip_exact = (
+                    np.array_equal(got.ids, again.ids)
+                    and np.array_equal(got.distances, again.distances))
+
+                if not checksum_rejected:
+                    _corrupt_one_byte(snap)
+                    try:
+                        SSAMSystem.open(snap)
+                    except SnapshotError:
+                        checksum_rejected = True
+
+                rows.append({
+                    "algo": algo,
+                    "cold_build_seconds": cold_seconds,
+                    "insert_rows_per_sec": n_insert / insert_seconds,
+                    "delete_rows_per_sec": delete_ids.size / delete_seconds,
+                    "compacted": bool(compacted),
+                    "index_version": int(system.index_version),
+                    "n_rows_after": int(system.n_rows),
+                    "bit_exact_vs_rebuild": bool(bit_exact),
+                    "recall_at_10": recall,
+                    "open_seconds": open_seconds,
+                    "warm_speedup": cold_seconds / open_seconds,
+                    "gate_warm": cold_seconds >= warm_gate_seconds,
+                    "roundtrip_exact": bool(roundtrip_exact),
+                })
+            finally:
+                system.close()
+    finally:
+        if owns_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    payload = {
+        "workload": {
+            "n_rows": n_rows, "dims": dims, "k": k,
+            "n_queries": n_queries, "n_insert": n_insert,
+            "n_delete": int(delete_ids.size), "algos": list(algos),
+        },
+        "recall_floor": recall_floor,
+        "warm_gate_seconds": warm_gate_seconds,
+        "checksum_invalidation_detected": checksum_rejected,
+        "rows": rows,
+    }
+    path = _repo_root() / BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"Mutable-index lifecycle ({len(algos)} algos, {n_rows}+{n_insert} "
+        f"rows, {delete_ids.size} deletes, k={k})",
+        f"{'algo':8s} {'build s':>8s} {'ins/s':>9s} {'del/s':>9s} "
+        f"{'recall':>7s} {'exact':>6s} {'open s':>8s} {'warm x':>7s} "
+        f"{'rt':>3s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['algo']:8s} {r['cold_build_seconds']:8.3f} "
+            f"{r['insert_rows_per_sec']:9.0f} "
+            f"{r['delete_rows_per_sec']:9.0f} {r['recall_at_10']:7.3f} "
+            f"{str(r['bit_exact_vs_rebuild']):>6s} {r['open_seconds']:8.3f} "
+            f"{r['warm_speedup']:7.1f} {str(r['roundtrip_exact']):>3s}")
+    lines.append(
+        f"checksum invalidation detected: {checksum_rejected}")
+    lines.append(f"[payload written to {path}]")
+    return rows, "\n".join(lines)

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.api import SSAMSystem
+from repro.api import SSAMSystem, SystemConfig
 from repro.telemetry.slo import SLO_PHASES
 
 from repro.experiments.bench import _repo_root
@@ -87,12 +87,12 @@ def run_slo(
 
     rows: List[Dict] = []
     for algo in algos:
-        system = SSAMSystem.build(
-            data, algo=algo, scale_out=True, n_modules=n_modules,
+        system = SSAMSystem.create(data, SystemConfig(
+            algo=algo, scale_out=True, n_modules=n_modules,
             service_seconds=service_seconds, telemetry=True,
             index_params=dict(_INDEX_PARAMS[algo]),
             workers=workers, parallel=parallel,
-        )
+        ))
         try:
             system.serve(queries, k, arrival_qps=arrival_qps,
                          poisson=True, seed=11)

@@ -24,13 +24,14 @@ the common :class:`repro.ann.base.Index` interface, and
 traversal onto the SSAM ISA.
 """
 
-from repro.graph.build import NeighborGraph, build_nsw_graph
+from repro.graph.build import NeighborGraph, build_nsw_graph, insert_nodes
 from repro.graph.layout import VaultLayout, plan_vault_layout
 from repro.graph.search import BeamSearchResult, beam_search
 
 __all__ = [
     "NeighborGraph",
     "build_nsw_graph",
+    "insert_nodes",
     "BeamSearchResult",
     "beam_search",
     "VaultLayout",

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.graph.search import beam_search
 
-__all__ = ["NeighborGraph", "build_nsw_graph"]
+__all__ = ["NeighborGraph", "build_nsw_graph", "insert_nodes"]
 
 
 @dataclass
@@ -51,6 +51,10 @@ class NeighborGraph:
     ef_construction: int
     seed: int
     layered: bool = False
+    #: First-inserted node — the entry the *builder* searched from, kept
+    #: so online insertion can continue the exact construction sequence.
+    #: ``-1`` on graphs predating mutability (falls back to entry_point).
+    build_entry: int = -1
 
     @property
     def n(self) -> int:
@@ -84,6 +88,11 @@ class NeighborGraph:
             keep = sub[i][sub[i] >= 0]
             packed[i, : keep.size] = keep
         entry = int(remap[self.entry_point]) if remap[self.entry_point] >= 0 else 0
+        build_entry = (
+            int(remap[self.build_entry])
+            if 0 <= self.build_entry < self.n and remap[self.build_entry] >= 0
+            else entry
+        )
         return NeighborGraph(
             adjacency=packed,
             entry_point=entry,
@@ -91,6 +100,7 @@ class NeighborGraph:
             ef_construction=self.ef_construction,
             seed=self.seed,
             layered=self.layered,
+            build_entry=build_entry,
         )
 
 
@@ -237,4 +247,61 @@ def build_nsw_graph(
         ef_construction=ef_construction,
         seed=seed,
         layered=layered,
+        build_entry=int(order[0]),
     )
+
+
+def insert_nodes(
+    data: np.ndarray,
+    adjacency: np.ndarray,
+    entry: int,
+    ef_construction: int,
+    max_degree: int,
+) -> np.ndarray:
+    """Continue NSW construction: link appended rows into an adjacency.
+
+    ``data`` is the grown corpus (old rows followed by the new ones);
+    ``adjacency`` covers only the old rows.  Every row past
+    ``adjacency.shape[0]`` is inserted in ascending order by the exact
+    builder step — beam search from ``entry`` (the graph's
+    ``build_entry``), diversity-pruned link selection, bidirectional
+    edges with reverse-side re-pruning — so the result is bit-identical
+    to ``build_nsw_graph`` called with ``insertion_order`` equal to the
+    original order followed by the new rows.  Returns the grown
+    ``(n, max_degree)`` adjacency.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    n_old = adjacency.shape[0]
+    if n <= n_old:
+        raise ValueError("data must contain rows beyond the existing adjacency")
+    if not (0 <= entry < n_old):
+        raise ValueError(f"entry {entry} out of range for {n_old} existing rows")
+    adj: List[List[int]] = [
+        [int(x) for x in row[row >= 0]] for row in adjacency
+    ] + [[] for _ in range(n - n_old)]
+
+    def neighbors_fn(node: int) -> np.ndarray:
+        return np.array(adj[node], dtype=np.int64)
+
+    for node in range(n_old, n):
+        found = beam_search(
+            data,
+            data[node],
+            neighbors_fn,
+            entry_point=entry,
+            ef=ef_construction,
+        )
+        links = _select_diverse(data, node, found.ids, found.distances, max_degree)
+        adj[node] = links
+        for nb in links:
+            if node not in adj[nb]:
+                adj[nb].append(node)
+                if len(adj[nb]) > max_degree:
+                    adj[nb] = _prune_row(data, nb, adj[nb], max_degree)
+
+    out = np.full((n, max_degree), -1, dtype=np.int64)
+    for node, links in enumerate(adj):
+        row = links[:max_degree]
+        out[node, : len(row)] = row
+    return out

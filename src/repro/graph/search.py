@@ -56,6 +56,7 @@ def beam_search(
     entry_point: int,
     ef: int,
     max_evals: Optional[int] = None,
+    exclude: Optional[np.ndarray] = None,
 ) -> BeamSearchResult:
     """Best-first search from ``entry_point``; returns the ``ef`` best nodes.
 
@@ -78,10 +79,19 @@ def beam_search(
     max_evals:
         Optional cap on distance evaluations (the paper's per-query
         work bound); the traversal stops scoring once it is reached.
+    exclude:
+        Optional node ids that must not appear in the results (deleted
+        rows awaiting compaction).  Excluded nodes stay *navigable* —
+        they are expanded and their edges followed, so tombstones do not
+        sever the graph — they just never enter the result beam.
     """
     if ef <= 0:
         raise ValueError("ef must be positive")
     query = np.asarray(query, dtype=np.float64)
+    excluded = (
+        None if exclude is None
+        else {int(x) for x in np.asarray(exclude, dtype=np.int64).ravel()}
+    )
     diff0 = data[entry_point] - query
     d0 = float(diff0 @ diff0)
     visited = {entry_point}
@@ -90,8 +100,12 @@ def beam_search(
     # candidates: min-heap of unexpanded nodes; results: max-heap (negated
     # distances) holding the ef best seen so far.
     candidates = [(d0, entry_point)]
-    results = [(-d0, entry_point)]
-    peak_beam = 1
+    if excluded is not None and entry_point in excluded:
+        results = []
+        peak_beam = 0
+    else:
+        results = [(-d0, entry_point)]
+        peak_beam = 1
     budget_left = None if max_evals is None else max(0, max_evals - evals)
     while candidates:
         dist, node = heapq.heappop(candidates)
@@ -118,10 +132,11 @@ def beam_search(
             dn = float(dn)
             if len(results) < ef or dn < -results[0][0]:
                 heapq.heappush(candidates, (dn, nb))
-                heapq.heappush(results, (-dn, nb))
-                if len(results) > ef:
-                    heapq.heappop(results)
-                peak_beam = max(peak_beam, len(results))
+                if excluded is None or nb not in excluded:
+                    heapq.heappush(results, (-dn, nb))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    peak_beam = max(peak_beam, len(results))
     pairs = sorted((-nd, node) for nd, node in results)
     return BeamSearchResult(
         ids=np.array([node for _, node in pairs], dtype=np.int64),

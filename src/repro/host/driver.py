@@ -261,6 +261,83 @@ class SSAMDriver:
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown mode {mode}")
 
+    def ninstall_index(self, region: SSAMRegion, index: object,
+                       params: Optional[dict] = None) -> None:
+        """Install an already-built index (snapshot warm-start path).
+
+        The paper's ``nbuild_index`` call is replaced by handing the
+        region a prebuilt :class:`~repro.ann.base.Index` — the corpus
+        image is taken from the index itself, so no rebuild happens.
+        On the cycle backend the module memory image is still loaded
+        (vault layout is derived from the data, not the build).
+        """
+        self._check(region)
+        data = getattr(index, "data", None)
+        if data is None:
+            raise ValueError("ninstall_index needs a built index")
+        if data.nbytes > region.size:
+            raise ValueError(
+                f"index data ({data.nbytes} B) exceeds region ({region.size} B)")
+        region.data = data
+        if self.backend == "cycle":
+            module = SSAMModule(self.config, executor=self.executor)
+            if region.mode is IndexMode.HAMMING:
+                module.load_codes(data)
+            else:
+                module.load_dataset(data)
+            region.module = module
+        region.index = index
+        region.build_params = dict(params or {})
+        region.result = None
+
+    # ------------------------------------------------------------- mutation
+    def _grow_region(self, region: SSAMRegion, nbytes: int) -> None:
+        """Remap a region to at least ``nbytes`` (allocator free+alloc)."""
+        if nbytes <= region.size:
+            return
+        del self._regions[region.address]
+        self.allocator.free(region.address)
+        addr = self.allocator.alloc(nbytes)
+        region.address = addr
+        region.size = nbytes
+        self._regions[addr] = region
+
+    def _check_mutable(self, region: SSAMRegion) -> None:
+        self._check(region)
+        if region.index is None:
+            raise RuntimeError("nbuild_index() before mutating a region")
+        if self.backend == "cycle":
+            raise RuntimeError(
+                "online mutation is functional-backend only; the cycle "
+                "backend's module memory image is immutable once loaded — "
+                "rebuild the region instead")
+
+    def ninsert(self, region: SSAMRegion, ids, vectors: np.ndarray) -> None:
+        """Insert rows into the region's live index (online).
+
+        Grows the region allocation when the corpus outgrows it and
+        keeps ``region.data`` in sync with the index's backing array.
+        """
+        self._check_mutable(region)
+        region.index.insert(ids, vectors)
+        region.data = region.index.data
+        self._grow_region(region, max(region.data.nbytes, 1))
+        region.result = None
+
+    def ndelete(self, region: SSAMRegion, ids) -> None:
+        """Delete rows (by external id) from the region's live index."""
+        self._check_mutable(region)
+        region.index.delete(ids)
+        region.data = region.index.data
+        region.result = None
+
+    def ncompact(self, region: SSAMRegion, force: bool = False) -> bool:
+        """Fold the region index's mutations back into its structure."""
+        self._check_mutable(region)
+        compacted = region.index.compact(force=force)
+        region.data = region.index.data
+        return compacted
+
     # ------------------------------------------------------------- execution
     def nwrite_query(self, region: SSAMRegion, query: np.ndarray) -> None:
         """Write the query vector into the region's scratchpad slot."""
@@ -427,6 +504,7 @@ class SSAMDriver:
         if result is not None:
             ctx.set_stats(result.stats)
         rec.cycles = int(region.last_cycles)
+        rec.index_version = int(getattr(region.index, "version", 0))
         if region.last_vault_bytes:
             ctx.set_bytes(region.last_vault_bytes)
         elif result is not None and region.data is not None:

@@ -261,17 +261,27 @@ class MultiModuleRuntime:
             return self.index_factory(shard_data)
         return LinearScan(metric=self.metric).build(shard_data)
 
-    def load(self, data: np.ndarray, n_modules: Optional[int] = None) -> int:
+    def load(self, data: np.ndarray, n_modules: Optional[int] = None,
+             prebuilt: Optional[List] = None) -> int:
         """Shard ``data`` across modules; returns the module count.
 
         ``n_modules`` overrides the capacity-driven count (graph
         scale-out experiments want a fixed shard fan-out regardless of
         corpus bytes).  Capacity is checked against the *replicated*
         footprint: ``replication_factor`` copies of every row must fit.
+
+        ``prebuilt`` warm-starts from a snapshot: a list of
+        ``(rows, index)`` pairs — one per shard, in shard order, with
+        ``rows`` the shard's global row ids and ``index`` an
+        already-built :class:`~repro.ann.base.Index` — skips the
+        per-shard builds entirely (replica placement, health, and fault
+        state are still set up fresh).  Requires ``n_modules``.
         """
         arr = np.asarray(data)
         if arr.ndim != 2 or arr.shape[0] == 0:
             raise ValueError("data must be a non-empty (n, d) array")
+        if prebuilt is not None and n_modules is None:
+            raise ValueError("prebuilt shards require an explicit n_modules")
         if n_modules is None:
             n_modules = self.modules_needed(arr.nbytes * self.replication_factor)
         if n_modules <= 0:
@@ -281,7 +291,6 @@ class MultiModuleRuntime:
                 f"replication_factor={self.replication_factor} exceeds the "
                 f"module count ({n_modules}); replicas of one shard must "
                 "land on distinct modules")
-        bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
         self.shards = []
         self._groups = []
         self._failed = set()
@@ -290,24 +299,33 @@ class MultiModuleRuntime:
         self._use_tick = 0
         self.failover_counts = {}
         self.health = HealthTracker(n_modules, self.health_config)
-        for s in range(n_modules):
-            lo, hi = int(bounds[s]), int(bounds[s + 1])
-            if hi <= lo:
-                continue
-            rows = np.arange(lo, hi, dtype=np.int64)
-            if self.shard_overlap > 0.0:
-                # Replicate the next shard's leading rows (wrapping at
-                # the end) so every boundary neighborhood exists whole
-                # in at least one shard.
-                extra = int(round((hi - lo) * self.shard_overlap))
-                if extra > 0:
-                    borrowed = (np.arange(hi, hi + extra) % arr.shape[0]).astype(np.int64)
-                    borrowed = borrowed[~np.isin(borrowed, rows)]
-                    rows = np.concatenate([rows, borrowed])
+        if prebuilt is not None:
+            shard_plan = [(np.asarray(rows, dtype=np.int64), index)
+                          for rows, index in prebuilt]
+        else:
+            bounds = np.linspace(0, arr.shape[0], n_modules + 1).astype(np.int64)
+            shard_plan = []
+            for s in range(n_modules):
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                if hi <= lo:
+                    continue
+                rows = np.arange(lo, hi, dtype=np.int64)
+                if self.shard_overlap > 0.0:
+                    # Replicate the next shard's leading rows (wrapping at
+                    # the end) so every boundary neighborhood exists whole
+                    # in at least one shard.
+                    extra = int(round((hi - lo) * self.shard_overlap))
+                    if extra > 0:
+                        borrowed = (np.arange(hi, hi + extra) % arr.shape[0]).astype(np.int64)
+                        borrowed = borrowed[~np.isin(borrowed, rows)]
+                        rows = np.concatenate([rows, borrowed])
+                shard_plan.append((rows, None))
+        for s, (rows, index) in enumerate(shard_plan):
             # One deterministic build per shard, shared by its replicas
             # (rotated placement: replica j lands on module (s + j) %
             # n_modules, so no module holds two copies of one shard).
-            index = self._build_shard_index(arr[rows])
+            if index is None:
+                index = self._build_shard_index(arr[rows])
             group: List[_Shard] = []
             for j in range(self.replication_factor):
                 group.append(
@@ -320,7 +338,10 @@ class MultiModuleRuntime:
                 )
             self._groups.append(group)
             self.shards.extend(group)
-        self._n_rows = arr.shape[0]
+        if prebuilt is not None:
+            self._recount_rows()
+        else:
+            self._n_rows = arr.shape[0]
         return n_modules
 
     # ------------------------------------------------------------ fault state
@@ -368,6 +389,109 @@ class MultiModuleRuntime:
             else:
                 self._surviving_cache = np.unique(np.concatenate(alive))
         return self._surviving_cache
+
+    # ------------------------------------------------------------ mutation
+    def _ensure_external_ids(self) -> None:
+        """Switch every shard index to global external-id addressing.
+
+        Before the first mutation, shard indexes return shard-local row
+        positions and the merge maps them through ``rows``.  Mutations
+        need stable global addressing, so each group's shared index is
+        told its global ids once; from then on results are external and
+        the merge passes them through.  Untouched systems never take
+        this path, so their behavior is byte-identical to pre-mutability
+        builds.
+        """
+        for group in self._groups:
+            if group[0].index.ids is None:
+                group[0].index.assign_ids(group[0].rows)
+
+    def _recount_rows(self) -> None:
+        self._surviving_cache = None
+        if self._groups:
+            self._n_rows = int(np.unique(
+                np.concatenate([g[0].rows for g in self._groups])).size)
+        else:
+            self._n_rows = 0
+
+    def insert(self, ids, vectors: np.ndarray) -> None:
+        """Insert rows under global ``ids``, routed to the smallest shard.
+
+        The whole batch lands in one shard group (the one with the
+        fewest rows; ties break on shard index, so routing is
+        deterministic).  Replicas of that shard share one index object,
+        so a single ``index.insert`` updates every replica at once —
+        replica consistency is by construction, and a failover after
+        the insert serves the mutated index bit-exactly.
+        """
+        if not self._groups:
+            raise RuntimeError("load() a dataset before insert()")
+        id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.ndim != 1 or id_arr.size == 0:
+            raise ValueError("ids must be a non-empty 1-D sequence")
+        for group in self._groups:
+            clash = id_arr[np.isin(id_arr, group[0].rows)]
+            if clash.size:
+                raise ValueError(
+                    f"ids already present in shard {group[0].shard_index}: "
+                    f"{clash[:8].tolist()}")
+        self._ensure_external_ids()
+        target = min(self._groups,
+                     key=lambda g: (g[0].rows.size, g[0].shard_index))
+        target[0].index.insert(id_arr, vectors)
+        new_rows = np.concatenate([target[0].rows, id_arr])
+        for rep in target:
+            rep.rows = new_rows
+        self._recount_rows()
+
+    def delete(self, ids) -> None:
+        """Delete rows by global id from every shard that holds them.
+
+        With overlapping shards a row lives in two groups and is
+        removed from both, so no shard can resurface it.  Unknown ids
+        raise ``KeyError``; a delete that would empty a shard's index
+        is refused (the underlying index raises).
+        """
+        if not self._groups:
+            raise RuntimeError("load() a dataset before delete()")
+        id_arr = np.unique(np.asarray(ids, dtype=np.int64))
+        if id_arr.size == 0:
+            raise ValueError("ids must be a non-empty sequence")
+        held = np.isin(id_arr,
+                       np.concatenate([g[0].rows for g in self._groups]))
+        if not held.all():
+            raise KeyError(
+                f"ids not present in any shard: {id_arr[~held][:8].tolist()}")
+        self._ensure_external_ids()
+        for group in self._groups:
+            hit = id_arr[np.isin(id_arr, group[0].rows)]
+            if not hit.size:
+                continue
+            group[0].index.delete(hit)
+            new_rows = group[0].rows[~np.isin(group[0].rows, hit)]
+            for rep in group:
+                rep.rows = new_rows
+        self._recount_rows()
+
+    def compact(self, force: bool = False) -> bool:
+        """Compact every shard index; True if any rebuild happened."""
+        compacted = False
+        for group in self._groups:
+            compacted = group[0].index.compact(force=force) or compacted
+        return compacted
+
+    @property
+    def index_version(self) -> int:
+        """Sum of shard index mutation generations (0 = never mutated)."""
+        return sum(int(getattr(g[0].index, "version", 0)) for g in self._groups)
+
+    def shard_state(self) -> List:
+        """``(rows, index)`` per shard group, in shard order.
+
+        The snapshot store persists exactly this and feeds it back to
+        :meth:`load` as ``prebuilt`` on warm start.
+        """
+        return [(g[0].rows, g[0].index) for g in self._groups]
 
     # ------------------------------------------------------------ clock/health
     def _now_ns(self) -> float:
@@ -591,8 +715,14 @@ class MultiModuleRuntime:
                             visit.outcome = "failover"
                     if self.health is not None:
                         self.health.record_success(pick.module_index, now)
-                # Map shard-local row ids to global corpus ids.
-                ids = np.where(res.ids >= 0, rows[np.clip(res.ids, 0, None)], -1)
+                # Map shard-local row ids to global corpus ids.  Once a
+                # shard index has been mutated it carries global ids
+                # itself (assign_ids at first mutation) and its results
+                # are already external — pass them through unchanged.
+                if getattr(group[0].index, "ids", None) is not None:
+                    ids = res.ids
+                else:
+                    ids = np.where(res.ids >= 0, rows[np.clip(res.ids, 0, None)], -1)
                 partials.append((ids, res.distances))
                 stats += res.stats
             if not partials:
@@ -633,6 +763,7 @@ class MultiModuleRuntime:
                 rec.degraded = degraded
                 rec.failed_modules = list(failed)
                 rec.expected_recall_loss = recall_loss
+                rec.index_version = self.index_version
                 for v in visits:
                     if v is not None and v.rows_lost:
                         rec.lost_rows[v.shard] = v.rows_lost

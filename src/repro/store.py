@@ -1,0 +1,203 @@
+"""Checksummed snapshot store for indexes and whole systems.
+
+A long-lived SSAM deployment cannot afford to rebuild its indexes on
+every process start — the computational-storage ANN systems this repo
+reproduces persist device-side indexes and reload them across runs.
+This module is that persistence layer: a snapshot is a directory with
+
+- ``MANIFEST.json`` — versioned header: ``format_version``, snapshot
+  ``kind``, the **corpus checksum** (content hash of the vector data —
+  the cache key that detects a changed corpus, the resembl
+  checksum-as-primary-key idiom), the **payload checksum** (hash of the
+  array file, so a truncated or bit-rotted snapshot is rejected rather
+  than half-loaded), and JSON-able index/config metadata;
+- ``arrays.npz`` — every NumPy array (corpus, adjacency, tree
+  structure, buckets, tombstones ...) in one uncompressed npz.
+
+No pickle anywhere: metadata is JSON, payloads are plain arrays, and
+indexes are reconstructed through their ``from_state`` classmethods via
+an explicit class-name registry — a snapshot can never execute code.
+
+Stale-snapshot invalidation is the caller's contract: ``load_*``
+verifies ``format_version`` and the payload checksum and raises
+:class:`SnapshotError` on any mismatch; callers that cache by corpus
+content compare :func:`corpus_checksum` of their live data against the
+manifest's before trusting a snapshot (see
+``SSAMSystem.open_or_create``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.ann.base import Index
+from repro.ann.exact import LinearScan
+from repro.ann.graph import GraphANN
+from repro.ann.kdtree import RandomizedKDForest
+from repro.ann.kmeans_tree import HierarchicalKMeansTree
+from repro.ann.mplsh import MultiProbeLSH
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "corpus_checksum",
+    "file_checksum",
+    "write_snapshot",
+    "read_snapshot",
+    "save_index",
+    "load_index",
+    "index_class",
+]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Snapshot class-name registry — the only classes a snapshot can name.
+_INDEX_REGISTRY: Dict[str, Type[Index]] = {
+    "LinearScan": LinearScan,
+    "RandomizedKDForest": RandomizedKDForest,
+    "HierarchicalKMeansTree": HierarchicalKMeansTree,
+    "MultiProbeLSH": MultiProbeLSH,
+    "GraphANN": GraphANN,
+}
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot is missing, corrupt, stale, or from an unknown format."""
+
+
+def index_class(name: str) -> Type[Index]:
+    """Resolve a registered index class name (raises SnapshotError)."""
+    try:
+        return _INDEX_REGISTRY[name]
+    except KeyError:
+        raise SnapshotError(
+            f"unknown index class {name!r}; snapshot registry knows "
+            f"{sorted(_INDEX_REGISTRY)}") from None
+
+
+def corpus_checksum(data: np.ndarray) -> str:
+    """Content hash of a vector corpus: dtype + shape + raw bytes.
+
+    The dtype/shape header means a reshaped or recast array with the
+    same bytes hashes differently — the key identifies the *corpus*,
+    not the buffer.
+    """
+    arr = np.ascontiguousarray(data)
+    h = hashlib.sha256()
+    h.update(f"{arr.dtype.str}|{arr.shape}|".encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def file_checksum(path: str) -> str:
+    """sha256 of a file's bytes (streamed)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def write_snapshot(path: str, manifest: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    """Write a snapshot directory atomically-ish; returns the manifest.
+
+    ``manifest`` is extended with ``format_version`` and the payload
+    checksum.  The array file is written first (to a temp name, then
+    renamed) so a crash mid-write leaves no manifest pointing at a
+    half-written payload.
+    """
+    os.makedirs(path, exist_ok=True)
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    fd, tmp = tempfile.mkstemp(dir=path, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, arrays_path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    full = dict(manifest)
+    full["format_version"] = FORMAT_VERSION
+    full["payload_checksum"] = file_checksum(arrays_path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    tmp_manifest = manifest_path + ".tmp"
+    with open(tmp_manifest, "w") as fh:
+        json.dump(full, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_manifest, manifest_path)
+    return full
+
+
+def read_snapshot(path: str, expected_kind: Optional[str] = None) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Load and verify a snapshot directory -> ``(manifest, arrays)``.
+
+    Raises :class:`SnapshotError` when the directory is not a snapshot,
+    the format version is unknown, or the payload checksum mismatches
+    (stale/corrupt payload).
+    """
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    if not os.path.isfile(manifest_path):
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}")
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest {manifest_path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format_version {version!r} unsupported "
+            f"(this build reads version {FORMAT_VERSION})")
+    if expected_kind is not None and manifest.get("kind") != expected_kind:
+        raise SnapshotError(
+            f"snapshot at {path} has kind {manifest.get('kind')!r}; "
+            f"expected {expected_kind!r}")
+    if not os.path.isfile(arrays_path):
+        raise SnapshotError(f"snapshot payload missing: {arrays_path}")
+    actual = file_checksum(arrays_path)
+    recorded = manifest.get("payload_checksum")
+    if actual != recorded:
+        raise SnapshotError(
+            f"snapshot payload checksum mismatch at {arrays_path}: "
+            f"manifest records {recorded}, file hashes to {actual} — "
+            "the snapshot is stale or corrupt; rebuild and re-save")
+    with np.load(arrays_path) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    return manifest, arrays
+
+
+def save_index(index: Index, path: str, extra_manifest: Optional[dict] = None) -> dict:
+    """Snapshot a single built index to ``path``; returns the manifest."""
+    if index.data is None:
+        raise SnapshotError("cannot snapshot an unbuilt index")
+    meta, arrays = index.to_state()
+    manifest = {
+        "kind": "index",
+        "index": {"class": type(index).__name__, "meta": meta},
+        "corpus_checksum": corpus_checksum(index.data),
+        "n": int(index.n),
+        "dims": int(index.dims),
+    }
+    if extra_manifest:
+        manifest.update(extra_manifest)
+    return write_snapshot(path, manifest, dict(arrays))
+
+
+def load_index(path: str) -> Index:
+    """Load a single-index snapshot written by :func:`save_index`."""
+    manifest, arrays = read_snapshot(path, expected_kind="index")
+    info = manifest.get("index")
+    if not isinstance(info, dict) or "class" not in info:
+        raise SnapshotError(f"snapshot at {path} lacks an index descriptor")
+    cls = index_class(info["class"])
+    return cls.from_state(info.get("meta", {}), arrays)

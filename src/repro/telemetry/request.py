@@ -173,6 +173,8 @@ class ExplainRecord:
     query_request_ids: List[int] = field(default_factory=list)
     #: Dispatch ledger (query indices per batch; serve only).
     batches: List[List[int]] = field(default_factory=list)
+    #: Index mutation generation the request observed (0 = never mutated).
+    index_version: int = 0
 
     # -------------------------------------------------------------- views
     @property
@@ -211,6 +213,8 @@ class ExplainRecord:
             d["query_request_ids"] = list(self.query_request_ids)
         if self.batches:
             d["batches"] = [list(b) for b in self.batches]
+        if self.index_version:
+            d["index_version"] = self.index_version
         return d
 
     def summary(self) -> str:
@@ -264,6 +268,7 @@ class ExplainRecord:
                     self.lost_rows.get(shard, 0), rows)
             if child.flight is not None and self.flight is None:
                 self.flight = child.flight
+            self.index_version = max(self.index_version, child.index_version)
         self.failed_modules.sort()
         if self.n_queries:
             self.loads_per_query = self.vault_bytes_read / self.n_queries

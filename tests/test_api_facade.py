@@ -1,4 +1,4 @@
-"""The repro.api facade: build/search round-trips, aliases, lifecycle."""
+"""The repro.api facade: create/search round-trips, aliases, lifecycle."""
 
 import numpy as np
 import pytest
@@ -11,7 +11,13 @@ from repro.ann import (
     RandomizedKDForest,
     SearchResult,
 )
-from repro.api import ALGORITHMS, BatchingConfig, FaultPlan, SSAMSystem
+from repro.api import (
+    ALGORITHMS,
+    BatchingConfig,
+    FaultPlan,
+    SSAMSystem,
+    SystemConfig,
+)
 from repro.core.config import SSAMConfig
 from repro.hmc.config import HMCConfig
 
@@ -44,8 +50,8 @@ class TestFacadeRoundTrip:
         data, queries = corpus
         cls, params = _LEGACY[algo]
         legacy = cls(**params).build(np.asarray(data, dtype=np.float64))
-        with SSAMSystem.build(data, algo=algo,
-                              index_params=params or None) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo=algo, index_params=params or None)) as system:
             got = system.search(queries, k=5, checks=200)
         ref = legacy.search(queries, 5, checks=200)
         assert isinstance(got, SearchResult)
@@ -55,15 +61,16 @@ class TestFacadeRoundTrip:
     def test_batched_dispatch_is_bit_exact(self, corpus, algo):
         data, queries = corpus
         _, params = _LEGACY[algo]
-        with SSAMSystem.build(data, algo=algo,
-                              index_params=params or None) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo=algo, index_params=params or None)) as system:
             whole = system.search(queries, k=5, checks=200)
             chunked = system.search(queries, k=5, batch=7, checks=200)
         _assert_results_equal(whole, chunked)
 
     def test_linear_alias_and_metric(self, corpus):
         data, queries = corpus
-        with SSAMSystem.build(data, algo="linear", metric="cosine") as system:
+        with SSAMSystem.create(data, SystemConfig(algo="linear",
+                                                  metric="cosine")) as system:
             got = system.search(queries, k=5)
         ref = LinearScan(metric="cosine").build(data).search(queries, 5)
         assert np.array_equal(got.ids, ref.ids)
@@ -71,7 +78,7 @@ class TestFacadeRoundTrip:
     def test_unknown_algo_rejected(self, corpus):
         data, _ = corpus
         with pytest.raises(ValueError, match="unknown algo"):
-            SSAMSystem.build(data, algo="annoy")
+            SSAMSystem.create(data, SystemConfig(algo="annoy"))
         assert set(ALGORITHMS) == {
             "exact", "linear", "kdtree", "kmeans", "mplsh", "graph",
             "ivfadc", "hamming"}
@@ -79,7 +86,7 @@ class TestFacadeRoundTrip:
     def test_metric_guard_for_approximate(self, corpus):
         data, _ = corpus
         with pytest.raises(ValueError, match="euclidean"):
-            SSAMSystem.build(data, algo="kdtree", metric="cosine")
+            SSAMSystem.create(data, SystemConfig(algo="kdtree", metric="cosine"))
 
 
 class TestFacadeScaleOutAndFaults:
@@ -89,8 +96,9 @@ class TestFacadeScaleOutAndFaults:
 
     def test_scale_out_matches_single_module(self, corpus):
         data, queries = corpus
-        with SSAMSystem.build(data, algo="exact", scale_out=True,
-                              config=self._sharded_config(data)) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo="exact", scale_out=True,
+                ssam=self._sharded_config(data))) as system:
             assert system.runtime.n_modules >= 3
             got = system.search(queries, k=5)
         ref = LinearScan().build(data).search(queries, 5)
@@ -99,8 +107,9 @@ class TestFacadeScaleOutAndFaults:
 
     def test_degraded_serving_surfaces_in_result(self, corpus):
         data, queries = corpus
-        with SSAMSystem.build(data, algo="exact", scale_out=True,
-                              config=self._sharded_config(data)) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo="exact", scale_out=True,
+                ssam=self._sharded_config(data))) as system:
             system.runtime.fail_module(0)
             got = system.search(queries, k=5)
             assert got.degraded
@@ -111,17 +120,17 @@ class TestFacadeScaleOutAndFaults:
         data, queries = corpus
         plan = FaultPlan(seed=3).inject("module_loss", target=1,
                                         probability=1.0)
-        with SSAMSystem.build(data, algo="exact", scale_out=True,
-                              config=self._sharded_config(data),
-                              fault_plan=plan) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo="exact", scale_out=True,
+                ssam=self._sharded_config(data), fault_plan=plan)) as system:
             got = system.search(queries, k=5)
         assert got.degraded
         assert 1 in got.failed_modules
 
     def test_serve_through_facade_is_bit_exact(self, corpus):
         data, queries = corpus
-        with SSAMSystem.build(data, algo="exact", n_modules=4,
-                              service_seconds=1e-3) as system:
+        with SSAMSystem.create(data, SystemConfig(
+                algo="exact", n_modules=4, service_seconds=1e-3)) as system:
             report = system.serve(queries, k=5, arrival_qps=16_000.0,
                                   batching=BatchingConfig(max_batch=8),
                                   compare_per_query=True)
@@ -135,7 +144,7 @@ class TestFacadeLifecycleAndTelemetry:
     def test_telemetry_session_installed_and_restored(self, corpus):
         data, queries = corpus
         assert not telemetry.get_telemetry().enabled
-        with SSAMSystem.build(data, algo="exact", telemetry=True) as system:
+        with SSAMSystem.create(data, telemetry=True) as system:
             assert telemetry.get_telemetry() is system.telemetry
             system.search(queries, k=3)
             assert system.telemetry.metrics.total(
@@ -144,7 +153,7 @@ class TestFacadeLifecycleAndTelemetry:
 
     def test_closed_system_rejects_search(self, corpus):
         data, queries = corpus
-        system = SSAMSystem.build(data, algo="exact")
+        system = SSAMSystem.create(data)
         system.close()
         system.close()  # idempotent
         with pytest.raises(RuntimeError, match="closed"):
@@ -181,3 +190,69 @@ class TestDeprecatedSpellings:
             ids, distances = res
         assert np.array_equal(ids, res.ids)
         assert np.array_equal(distances, res.distances)
+
+    def test_build_shim_warns_and_matches_create(self, corpus):
+        data, queries = corpus
+        with pytest.warns(DeprecationWarning, match="SSAMSystem.build"):
+            legacy = SSAMSystem.build(data, algo="kdtree",
+                                      index_params={"seed": 0})
+        try:
+            got = legacy.search(queries, k=5, checks=200)
+        finally:
+            legacy.close()
+        with SSAMSystem.create(data, SystemConfig(
+                algo="kdtree", index_params={"seed": 0})) as system:
+            ref = system.search(queries, k=5, checks=200)
+        _assert_results_equal(got, ref)
+
+    def test_build_shim_maps_old_config_kwarg_to_ssam(self, corpus):
+        data, queries = corpus
+        sharded = SSAMConfig(capacity_bytes=data.nbytes // 3 + 1)
+        with pytest.warns(DeprecationWarning, match="SSAMSystem.build"):
+            system = SSAMSystem.build(data, algo="exact", scale_out=True,
+                                      config=sharded)
+        try:
+            assert system.config.ssam is sharded
+            assert system.runtime.n_modules >= 3
+            got = system.search(queries, k=5)
+        finally:
+            system.close()
+        ref = LinearScan().build(data).search(queries, 5)
+        assert np.array_equal(got.ids, ref.ids)
+
+    def test_build_shim_accepts_algorithm_alias(self, corpus):
+        data, _ = corpus
+        with pytest.warns(DeprecationWarning, match="SSAMSystem.build"):
+            system = SSAMSystem.build(data, algorithm="exact")
+        try:
+            assert system.algo == "exact"
+        finally:
+            system.close()
+
+
+class TestSystemConfig:
+    def test_unknown_override_rejected(self, corpus):
+        data, _ = corpus
+        with pytest.raises(TypeError):
+            SSAMSystem.create(data, SystemConfig(), algos="kdtree")
+
+    def test_validate_catches_cross_field_errors(self):
+        with pytest.raises(ValueError, match="unknown algo"):
+            SystemConfig(algo="annoy").validate()
+        with pytest.raises(ValueError, match="euclidean"):
+            SystemConfig(algo="mplsh", metric="cosine").validate()
+        with pytest.raises(ValueError, match="scale_out"):
+            SystemConfig(algo="ivfadc", scale_out=True).validate()
+        with pytest.raises(ValueError, match="replication_factor"):
+            SystemConfig(replication_factor=2).validate()
+
+    def test_overrides_layer_on_config(self, corpus):
+        data, queries = corpus
+        cfg = SystemConfig(algo="exact", n_modules=2)
+        with SSAMSystem.create(data, cfg, explain=True) as system:
+            assert system.explain_default
+            assert system.scheduler.n_modules == 2
+            got = system.search(queries, k=3)
+        assert got.explain is not None
+        # the original config is untouched (frozen dataclass semantics)
+        assert cfg.explain is False

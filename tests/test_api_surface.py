@@ -28,6 +28,14 @@ def test_every_export_resolves():
 def test_facade_needs_no_host_imports():
     """The documented entry points are reachable from repro.api alone."""
     system_cls = api.SSAMSystem
-    for method in ("build", "search", "serve", "close"):
+    for method in ("create", "open", "open_or_create", "save", "search",
+                   "serve", "insert", "delete", "compact", "close"):
         assert hasattr(system_cls, method)
     assert set(api.ALGORITHMS) >= {"exact", "kdtree", "kmeans", "mplsh"}
+
+
+def test_deprecated_names_still_resolve():
+    """Deprecated spellings stay importable/callable until removal —
+    deprecation is a warning, not a break."""
+    assert callable(api.SSAMSystem.build)
+    assert "deprecated" in (api.SSAMSystem.build.__doc__ or "").lower()

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.ann import GraphANN, LinearScan, mean_recall, recall_curve
 from repro.ann.recall import tie_aware_recall_at_k
-from repro.api import ALGORITHMS, SSAMSystem
+from repro.api import ALGORITHMS, SSAMSystem, SystemConfig
 from repro.datasets import make_glove_like
 from repro.experiments.bench_guard import check_graph_frontier
 from repro.graph import build_nsw_graph, beam_search, plan_vault_layout
@@ -300,20 +300,20 @@ class TestFacadeGraph:
         assert "graph" in ALGORITHMS
 
     def test_end_to_end_recall(self, exact):
-        with SSAMSystem.build(
-            DATA, algorithm="graph",
+        with SSAMSystem.create(DATA, SystemConfig(
+            algo="graph",
             index_params={"max_degree": 12, "ef_construction": 32,
                           "ef_search": 64, "seed": 0},
-        ) as system:
+        )) as system:
             res = system.search(QUERIES, K)
         assert mean_recall(res.ids, exact.ids) >= 0.9
 
     def test_scale_out_graph(self, exact):
-        with SSAMSystem.build(
-            DATA, algorithm="graph", scale_out=True, n_modules=3,
+        with SSAMSystem.create(DATA, SystemConfig(
+            algo="graph", scale_out=True, n_modules=3,
             index_params={"max_degree": 10, "ef_construction": 24,
                           "ef_search": 64, "seed": 0},
-        ) as system:
+        )) as system:
             res = system.search(QUERIES, K)
         assert mean_recall(res.ids, exact.ids) >= 0.8
         for row in res.ids:

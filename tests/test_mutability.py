@@ -1,0 +1,254 @@
+"""Mutable-index properties: any insert/delete interleaving, then search,
+must match a fresh rebuild over exactly the surviving rows.
+
+The equivalence is checked at *saturating* candidate budgets (every
+reachable candidate ranked) so approximate structure differences cannot
+hide behind budget truncation: post-compaction the mutated index and a
+fresh build over the survivors are the same structure (compaction
+rebuilds with the original seed), so ids and distances are bit-exact.
+
+The same interleavings run on the 2-worker thread backend against the
+serial backend — mutation plus parallel dispatch must stay bit-exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import GraphANN, LinearScan
+from repro.api import BatchingConfig, SSAMSystem, SystemConfig
+
+ALGOS = ("exact", "kdtree", "kmeans", "mplsh", "graph")
+
+_PARAMS = {
+    "exact": {},
+    "kdtree": {"n_trees": 2, "seed": 0},
+    "kmeans": {"branching": 4, "seed": 0},
+    "mplsh": {"n_tables": 4, "n_bits": 6, "seed": 0},
+    # ef_search wider than any corpus here -> the beam saturates.
+    "graph": {"max_degree": 6, "ef_construction": 12, "ef_search": 512,
+              "seed": 0},
+}
+
+#: Exceeds every corpus size in this module, so tree/hash searches rank
+#: every candidate they can reach.
+_SATURATING = 1_000_000
+
+K = 5
+DIMS = 6
+BASE_ROWS = 40
+
+#: An interleaving: ("insert", m) adds m fresh rows, ("delete", m) drops
+#: up to m live rows (clamped so at least K+2 rows survive).
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(1, 12)),
+        st.tuples(st.just("delete"), st.integers(1, 10)),
+    ),
+    min_size=1, max_size=6,
+)
+
+
+def _base_corpus():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((BASE_ROWS, DIMS))
+
+
+def _queries():
+    return np.random.default_rng(8).standard_normal((9, DIMS))
+
+
+def _config(algo, **overrides):
+    return SystemConfig(algo=algo, index_params=dict(_PARAMS[algo]) or None,
+                        **overrides)
+
+
+def _search(system, algo, queries, k=K):
+    checks = None if algo in ("exact", "graph") else _SATURATING
+    return system.search(queries, k=k, checks=checks)
+
+
+def _apply_plan(systems, ops, seed):
+    """Run one interleaving against every system in ``systems`` and a
+    model; returns ``(ids, vectors)`` of the surviving rows in insertion
+    order (which is also id order — ids are assigned monotonically)."""
+    base = _base_corpus()
+    rng = np.random.default_rng(seed)
+    ids = np.arange(BASE_ROWS, dtype=np.int64)
+    vecs = base.copy()
+    next_id = BASE_ROWS
+    for kind, count in ops:
+        if kind == "insert":
+            new_ids = np.arange(next_id, next_id + count, dtype=np.int64)
+            new_vecs = rng.standard_normal((count, DIMS))
+            next_id += count
+            for system in systems:
+                system.insert(new_ids, new_vecs)
+            ids = np.concatenate([ids, new_ids])
+            vecs = np.vstack([vecs, new_vecs])
+        else:
+            headroom = ids.size - (K + 2)
+            if headroom <= 0:
+                continue
+            victims = rng.choice(ids, size=min(count, headroom),
+                                 replace=False)
+            for system in systems:
+                system.delete(victims)
+            keep = ~np.isin(ids, victims)
+            ids, vecs = ids[keep], vecs[keep]
+    return ids, vecs
+
+
+class TestRebuildEquivalence:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @given(ops=_OPS, seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_interleaving_matches_fresh_rebuild(self, algo, ops, seed):
+        queries = _queries()
+        with SSAMSystem.create(_base_corpus(), _config(algo)) as system:
+            ids, vecs = _apply_plan([system], ops, seed)
+            system.compact(force=True)
+            assert system.n_rows == ids.size
+            assert system.index_version > 0
+            got = _search(system, algo, queries)
+            with SSAMSystem.create(vecs, _config(algo)) as fresh:
+                ref = _search(fresh, algo, queries)
+        # The fresh system numbers rows positionally; map to global ids.
+        ref_ids = np.where(ref.ids >= 0, ids[np.clip(ref.ids, 0, None)], -1)
+        np.testing.assert_array_equal(got.ids, ref_ids)
+        np.testing.assert_allclose(got.distances, ref.distances)
+
+    @pytest.mark.parametrize("algo", ["exact", "mplsh"])
+    @given(ops=_OPS, seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_physical_delete_exact_without_compaction(self, algo, ops, seed):
+        """Eager physical mutation needs no compaction to be equivalent."""
+        queries = _queries()
+        with SSAMSystem.create(_base_corpus(), _config(algo)) as system:
+            ids, vecs = _apply_plan([system], ops, seed)
+            got = _search(system, algo, queries)
+            with SSAMSystem.create(vecs, _config(algo)) as fresh:
+                ref = _search(fresh, algo, queries)
+        ref_ids = np.where(ref.ids >= 0, ids[np.clip(ref.ids, 0, None)], -1)
+        np.testing.assert_array_equal(got.ids, ref_ids)
+        np.testing.assert_allclose(got.distances, ref.distances)
+
+    @pytest.mark.parametrize("algo", ["kdtree", "kmeans", "graph"])
+    def test_tombstones_filtered_before_compaction(self, algo):
+        """Deleted rows never surface, even while still tombstoned."""
+        base = _base_corpus()
+        queries = _queries()
+        with SSAMSystem.create(base, _config(algo)) as system:
+            victims = np.arange(0, 8, dtype=np.int64)
+            system.delete(victims)
+            got = _search(system, algo, queries)
+            assert system.n_rows == BASE_ROWS - victims.size
+        assert not np.isin(got.ids[got.ids >= 0], victims).any()
+
+
+class TestParallelConsistency:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @given(ops=_OPS, seed=st.integers(0, 2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_two_worker_scale_out_matches_serial(self, algo, ops, seed):
+        base = _base_corpus()
+        queries = _queries()
+        cfg = _config(algo, scale_out=True, n_modules=2)
+        serial = SSAMSystem.create(base, cfg)
+        threaded = SSAMSystem.create(base, cfg, workers=2, parallel="thread")
+        try:
+            ids, _ = _apply_plan([serial, threaded], ops, seed)
+            serial.compact(force=True)
+            threaded.compact(force=True)
+            a = _search(serial, algo, queries)
+            b = _search(threaded, algo, queries)
+        finally:
+            serial.close()
+            threaded.close()
+        assert serial.n_rows == threaded.n_rows == ids.size
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_scale_out_exact_matches_linear_scan(self):
+        """Anchor: mutated sharded exact == LinearScan over survivors."""
+        base = _base_corpus()
+        queries = _queries()
+        with SSAMSystem.create(base, _config(
+                "exact", scale_out=True, n_modules=3)) as system:
+            ids, vecs = _apply_plan(
+                [system], [("insert", 12), ("delete", 9), ("insert", 5)], 3)
+            got = system.search(queries, k=K)
+        ref = LinearScan().build(vecs).search(queries, K)
+        np.testing.assert_array_equal(
+            got.ids, ids[np.clip(ref.ids, 0, None)])
+        np.testing.assert_allclose(got.distances, ref.distances)
+
+
+class TestGraphStructure:
+    def test_compaction_rebuilds_identical_adjacency(self):
+        base = _base_corpus()
+        with SSAMSystem.create(base, _config("graph")) as system:
+            rng = np.random.default_rng(11)
+            extra = rng.standard_normal((10, DIMS))
+            system.insert(np.arange(BASE_ROWS, BASE_ROWS + 10), extra)
+            system.delete(np.arange(0, 12, dtype=np.int64))
+            system.compact(force=True)
+            mutated = system.region.index
+            survivors = np.vstack([base[12:], extra])
+            fresh = GraphANN(**_PARAMS["graph"]).build(survivors)
+            np.testing.assert_array_equal(
+                mutated.graph.adjacency, fresh.graph.adjacency)
+            assert mutated.graph.entry_point == fresh.graph.entry_point
+
+    def test_insert_keeps_degree_bound_and_no_self_loops(self):
+        base = _base_corpus()
+        with SSAMSystem.create(base, _config("graph")) as system:
+            rng = np.random.default_rng(12)
+            system.insert(np.arange(BASE_ROWS, BASE_ROWS + 20),
+                          rng.standard_normal((20, DIMS)))
+            graph = system.region.index.graph
+        n = BASE_ROWS + 20
+        assert graph.adjacency.shape[0] == n
+        assert (graph.adjacency < n).all()
+        degrees = (graph.adjacency >= 0).sum(axis=1)
+        assert degrees.max() <= graph.max_degree
+        rows = np.arange(n)[:, None]
+        assert not (graph.adjacency == rows).any()
+
+
+class TestServingWithMutation:
+    def test_serve_after_mutation_matches_exact(self):
+        base = _base_corpus()
+        queries = _queries()
+        with SSAMSystem.create(base, _config(
+                "exact", n_modules=2, service_seconds=1e-3)) as system:
+            ids, vecs = _apply_plan(
+                [system], [("insert", 10), ("delete", 6)], 5)
+            report = system.serve(queries, k=K, arrival_qps=10_000.0,
+                                  batching=BatchingConfig(max_batch=4))
+        ref = LinearScan().build(vecs).search(queries, K)
+        np.testing.assert_array_equal(
+            report.result.ids, ids[np.clip(ref.ids, 0, None)])
+
+    def test_mutation_counters_and_version_in_explain(self):
+        from repro import telemetry
+
+        base = _base_corpus()
+        with SSAMSystem.create(base, _config("kdtree"),
+                               telemetry=True) as system:
+            system.insert(np.arange(BASE_ROWS, BASE_ROWS + 4),
+                          np.random.default_rng(6).standard_normal((4, DIMS)))
+            system.delete(np.asarray([0, 1]))
+            system.compact(force=True)
+            got = system.search(_queries(), k=K, checks=_SATURATING,
+                                explain=True)
+            metrics = system.telemetry.metrics
+            assert metrics.total("ssam_index_inserts_total") == 4
+            assert metrics.total("ssam_index_deletes_total") == 2
+            assert metrics.total("ssam_index_compactions_total") >= 1
+            version = system.index_version
+        assert version > 0
+        assert got.explain is not None
+        assert got.explain.to_dict()["index_version"] == version
+        assert not telemetry.get_telemetry().enabled

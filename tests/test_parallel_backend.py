@@ -387,11 +387,11 @@ class TestEnvOverrideThroughFacade:
 
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         monkeypatch.delenv(BACKEND_ENV, raising=False)
-        with SSAMSystem.build(DATA) as serial_sys:
+        with SSAMSystem.create(DATA) as serial_sys:
             assert serial_sys.driver.executor is SERIAL
             ref = serial_sys.search(QUERIES, 5)
         monkeypatch.setenv(WORKERS_ENV, "2")
-        with SSAMSystem.build(DATA) as par_sys:
+        with SSAMSystem.create(DATA) as par_sys:
             assert isinstance(par_sys.driver.executor, ThreadExecutor)
             assert par_sys.driver.executor.workers == 2
             got = par_sys.search(QUERIES, 5)
@@ -403,7 +403,7 @@ class TestEnvOverrideThroughFacade:
 
         monkeypatch.setenv(WORKERS_ENV, "4")
         monkeypatch.setenv(BACKEND_ENV, "thread")
-        with SSAMSystem.build(DATA, workers=1) as system:
+        with SSAMSystem.create(DATA, workers=1) as system:
             assert system.driver.executor is SERIAL
 
     def test_scale_out_runtime_gets_executor(self, monkeypatch):
@@ -411,7 +411,7 @@ class TestEnvOverrideThroughFacade:
 
         monkeypatch.delenv(BACKEND_ENV, raising=False)
         monkeypatch.setenv(WORKERS_ENV, "2")
-        with SSAMSystem.build(DATA, scale_out=True, n_modules=3) as system:
+        with SSAMSystem.create(DATA, scale_out=True, n_modules=3) as system:
             assert isinstance(system.runtime.executor, ThreadExecutor)
             res = system.search(QUERIES, 5)
         exact = LinearScan().build(DATA).search(QUERIES, 5)

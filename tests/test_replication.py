@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import ALGORITHMS, HealthConfig, ModuleState, SSAMSystem
+from repro.api import (
+    ALGORITHMS,
+    HealthConfig,
+    ModuleState,
+    SSAMSystem,
+    SystemConfig,
+)
 from repro.core.config import SSAMConfig
 from repro.faults import FaultPlan, ModuleLost, VaultFault
 from repro.host import MultiModuleRuntime, QueryScheduler, ServingEngine
@@ -42,10 +48,10 @@ def _replicated(r=2, n_modules=4, injector=None, health=None,
 
 def _build_system(algo, *, fault_plan=None, health=None, parallel=None,
                   workers=None, r=2):
-    return SSAMSystem.build(
-        DATA, algo=algo, scale_out=True, n_modules=4, replication_factor=r,
+    return SSAMSystem.create(DATA, SystemConfig(
+        algo=algo, scale_out=True, n_modules=4, replication_factor=r,
         index_params=dict(PARAMS[algo]), fault_plan=fault_plan, health=health,
-        workers=workers, parallel=parallel)
+        workers=workers, parallel=parallel))
 
 
 class TestPlacement:

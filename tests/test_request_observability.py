@@ -23,7 +23,7 @@ import re
 import numpy as np
 import pytest
 
-from repro.api import SSAMSystem
+from repro.api import SSAMSystem, SystemConfig
 from repro.experiments.bench_guard import check_slo
 from repro.faults import FaultPlan
 from repro.host.runtime import MultiModuleRuntime
@@ -65,12 +65,12 @@ INDEX_PARAMS = {
 
 
 def _run(algo, *, workers=None, parallel=None, plan=None, explain=False):
-    system = SSAMSystem.build(
-        DATA, algo=algo, scale_out=True, n_modules=4,
+    system = SSAMSystem.create(DATA, SystemConfig(
+        algo=algo, scale_out=True, n_modules=4,
         replication_factor=2, fault_plan=plan,
         index_params=dict(INDEX_PARAMS[algo]),
         workers=workers, parallel=parallel,
-    )
+    ))
     try:
         return system.search(QUERIES, k=5, explain=explain)
     finally:
@@ -156,9 +156,9 @@ def test_degraded_explain_attributes_lost_rows_and_attaches_flight():
     plan = (FaultPlan(seed=9)
             .inject("module_loss", target=1, at_time_ns=0.0)
             .inject("module_loss", target=2, at_time_ns=0.0))
-    system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
-                              n_modules=4, replication_factor=2,
-                              fault_plan=plan)
+    system = SSAMSystem.create(DATA, SystemConfig(
+        algo="exact", scale_out=True, n_modules=4, replication_factor=2,
+        fault_plan=plan))
     try:
         res = system.search(QUERIES, k=5, explain=True)
     finally:
@@ -193,9 +193,9 @@ def test_explain_off_leaves_result_untouched():
 def test_request_ids_are_worker_count_invariant():
     def serve_ids(workers, parallel):
         reset_request_ids()
-        system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
-                                  n_modules=4, service_seconds=1e-3,
-                                  workers=workers, parallel=parallel)
+        system = SSAMSystem.create(DATA, SystemConfig(
+            algo="exact", scale_out=True, n_modules=4, service_seconds=1e-3,
+            workers=workers, parallel=parallel))
         try:
             report = system.serve(QUERIES, k=5, arrival_qps=2000.0,
                                   poisson=False, seed=0, explain=True)
@@ -361,8 +361,8 @@ def saved_run(tmp_path):
     tel = Telemetry(meta={"suite": "observability"})
     prev = install(tel)
     try:
-        system = SSAMSystem.build(DATA, algo="exact", scale_out=True,
-                                  n_modules=2, service_seconds=1e-3)
+        system = SSAMSystem.create(DATA, SystemConfig(
+            algo="exact", scale_out=True, n_modules=2, service_seconds=1e-3))
         try:
             system.serve(QUERIES, k=5, arrival_qps=1500.0, poisson=False,
                          seed=0, explain=True)

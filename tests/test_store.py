@@ -1,0 +1,255 @@
+"""The snapshot store: round-trips, checksums, and staleness rejection."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    GraphANN,
+    HierarchicalKMeansTree,
+    LinearScan,
+    MultiProbeLSH,
+    RandomizedKDForest,
+)
+from repro.api import SSAMSystem, SystemConfig
+from repro.store import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    SnapshotError,
+    corpus_checksum,
+    index_class,
+    load_index,
+    read_snapshot,
+    save_index,
+    write_snapshot,
+)
+
+_INDEXES = {
+    "exact": lambda: LinearScan(),
+    "kdtree": lambda: RandomizedKDForest(n_trees=2, seed=0),
+    "kmeans": lambda: HierarchicalKMeansTree(branching=4, seed=0),
+    "mplsh": lambda: MultiProbeLSH(n_tables=4, n_bits=6, seed=0),
+    "graph": lambda: GraphANN(max_degree=6, ef_construction=12,
+                              ef_search=256, seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(21)
+    return rng.standard_normal((120, 8)), rng.standard_normal((7, 8))
+
+
+def _corrupt_byte(path, offset=100):
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(-1, 1)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestIndexRoundTrip:
+    @pytest.mark.parametrize("name", sorted(_INDEXES))
+    def test_search_survives_round_trip(self, corpus, tmp_path, name):
+        data, queries = corpus
+        index = _INDEXES[name]().build(data)
+        ref = index.search(queries, 5, checks=10_000)
+        save_index(index, str(tmp_path / name))
+        loaded = load_index(str(tmp_path / name))
+        got = loaded.search(queries, 5, checks=10_000)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        np.testing.assert_array_equal(got.distances, ref.distances)
+
+    @pytest.mark.parametrize("name", sorted(_INDEXES))
+    def test_mutated_index_round_trips_ids_and_tombstones(
+            self, corpus, tmp_path, name):
+        data, queries = corpus
+        rng = np.random.default_rng(3)
+        index = _INDEXES[name]().build(data)
+        index.insert(np.arange(120, 140), rng.standard_normal((20, 8)))
+        index.delete(np.arange(0, 15))
+        ref = index.search(queries, 5, checks=10_000)
+        save_index(index, str(tmp_path / name))
+        loaded = load_index(str(tmp_path / name))
+        assert loaded.version == index.version
+        np.testing.assert_array_equal(loaded.live_ids(), index.live_ids())
+        got = loaded.search(queries, 5, checks=10_000)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        np.testing.assert_array_equal(got.distances, ref.distances)
+
+    def test_hamming_scan_preserves_dtype(self, tmp_path):
+        codes = np.random.default_rng(4).integers(
+            0, 256, size=(60, 8), dtype=np.uint8)
+        index = LinearScan(metric="hamming").build(codes)
+        ref = index.search(codes[:5], 3)
+        save_index(index, str(tmp_path / "ham"))
+        loaded = load_index(str(tmp_path / "ham"))
+        assert loaded.data.dtype == np.uint8
+        got = loaded.search(codes[:5], 3)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+
+    def test_unbuilt_index_refused(self, tmp_path):
+        with pytest.raises(SnapshotError, match="unbuilt"):
+            save_index(LinearScan(), str(tmp_path / "x"))
+
+
+class TestVerification:
+    def _saved(self, corpus, tmp_path):
+        data, _ = corpus
+        path = str(tmp_path / "snap")
+        save_index(LinearScan().build(data), path)
+        return path
+
+    def test_corrupt_payload_rejected(self, corpus, tmp_path):
+        path = self._saved(corpus, tmp_path)
+        _corrupt_byte(os.path.join(path, ARRAYS_NAME))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            load_index(path)
+
+    def test_unknown_format_version_rejected(self, corpus, tmp_path):
+        path = self._saved(corpus, tmp_path)
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        manifest["format_version"] = FORMAT_VERSION + 1
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(SnapshotError, match="format_version"):
+            load_index(path)
+
+    def test_wrong_kind_rejected(self, corpus, tmp_path):
+        path = self._saved(corpus, tmp_path)
+        with pytest.raises(SnapshotError, match="kind"):
+            read_snapshot(path, expected_kind="system")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_index(str(tmp_path / "nowhere"))
+
+    def test_missing_payload_rejected(self, corpus, tmp_path):
+        path = self._saved(corpus, tmp_path)
+        os.unlink(os.path.join(path, ARRAYS_NAME))
+        with pytest.raises(SnapshotError, match="payload missing"):
+            load_index(path)
+
+    def test_unknown_index_class_rejected(self):
+        with pytest.raises(SnapshotError, match="unknown index class"):
+            index_class("EvilIndex")
+
+    def test_corpus_checksum_keys_on_dtype_and_shape(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert corpus_checksum(a) == corpus_checksum(a.copy())
+        assert corpus_checksum(a) != corpus_checksum(a.reshape(4, 3))
+        assert corpus_checksum(a) != corpus_checksum(a.astype(np.float32))
+
+    def test_write_snapshot_records_payload_checksum(self, tmp_path):
+        manifest = write_snapshot(
+            str(tmp_path / "s"), {"kind": "index"},
+            {"data": np.zeros((2, 2))})
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert len(manifest["payload_checksum"]) == 64
+
+
+class TestSystemPersistence:
+    def test_save_mutate_save_open_round_trip(self, corpus, tmp_path):
+        """Both generations of a mutating system reopen independently."""
+        data, queries = corpus
+        rng = np.random.default_rng(9)
+        cfg = SystemConfig(algo="kdtree", index_params={"n_trees": 2,
+                                                        "seed": 0})
+        first, second = str(tmp_path / "gen1"), str(tmp_path / "gen2")
+        with SSAMSystem.create(data, cfg) as system:
+            system.save(first)
+            before = system.search(queries, k=5, checks=10_000)
+            system.insert(np.arange(120, 140),
+                          rng.standard_normal((20, 8)))
+            system.delete(np.arange(0, 10))
+            system.save(second)
+            after = system.search(queries, k=5, checks=10_000)
+
+        with SSAMSystem.open(first) as gen1:
+            assert gen1.warm_started
+            assert gen1.n_rows == 120
+            got1 = gen1.search(queries, k=5, checks=10_000)
+        np.testing.assert_array_equal(got1.ids, before.ids)
+
+        with SSAMSystem.open(second) as gen2:
+            assert gen2.n_rows == 130
+            assert gen2.index_version > 0
+            got2 = gen2.search(queries, k=5, checks=10_000)
+        np.testing.assert_array_equal(got2.ids, after.ids)
+        np.testing.assert_array_equal(got2.distances, after.distances)
+
+    def test_scale_out_round_trip(self, corpus, tmp_path):
+        data, queries = corpus
+        cfg = SystemConfig(algo="exact", scale_out=True, n_modules=3,
+                           replication_factor=2)
+        path = str(tmp_path / "sharded")
+        with SSAMSystem.create(data, cfg) as system:
+            system.insert(np.arange(120, 130),
+                          np.random.default_rng(2).standard_normal((10, 8)))
+            ref = system.search(queries, k=5)
+            system.save(path)
+        with SSAMSystem.open(path) as reopened:
+            assert reopened.runtime is not None
+            assert reopened.config.replication_factor == 2
+            assert reopened.n_rows == 130
+            got = reopened.search(queries, k=5)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        np.testing.assert_array_equal(got.distances, ref.distances)
+
+    def test_open_or_create_caches_by_corpus_checksum(self, corpus, tmp_path):
+        data, queries = corpus
+        path = str(tmp_path / "cache")
+        cfg = SystemConfig(algo="exact")
+        with SSAMSystem.open_or_create(data, path, cfg) as cold:
+            assert not cold.warm_started
+            ref = cold.search(queries, k=5)
+        with SSAMSystem.open_or_create(data, path, cfg) as warm:
+            assert warm.warm_started
+            got = warm.search(queries, k=5)
+        np.testing.assert_array_equal(got.ids, ref.ids)
+
+    def test_open_or_create_rebuilds_on_stale_corpus(self, corpus, tmp_path):
+        data, _ = corpus
+        path = str(tmp_path / "cache")
+        with SSAMSystem.open_or_create(data, path) as first:
+            assert not first.warm_started
+        changed = data.copy()
+        changed[0, 0] += 1.0
+        with SSAMSystem.open_or_create(changed, path) as rebuilt:
+            assert not rebuilt.warm_started
+        # The overwritten snapshot now keys on the changed corpus.
+        with SSAMSystem.open_or_create(changed, path) as warm:
+            assert warm.warm_started
+
+    def test_open_or_create_rebuilds_on_algo_change(self, corpus, tmp_path):
+        data, _ = corpus
+        path = str(tmp_path / "cache")
+        with SSAMSystem.open_or_create(data, path):
+            pass
+        with SSAMSystem.open_or_create(
+                data, path, SystemConfig(algo="kdtree")) as switched:
+            assert not switched.warm_started
+            assert switched.algo == "kdtree"
+
+    def test_corrupt_system_snapshot_rejected(self, corpus, tmp_path):
+        data, _ = corpus
+        path = str(tmp_path / "snap")
+        with SSAMSystem.create(data) as system:
+            system.save(path)
+        _corrupt_byte(os.path.join(path, ARRAYS_NAME))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            SSAMSystem.open(path)
+
+    def test_ivfadc_not_snapshot_capable(self, corpus, tmp_path):
+        data, _ = corpus
+        with SSAMSystem.create(data, SystemConfig(
+                algo="ivfadc",
+                index_params={"n_lists": 4, "n_subspaces": 2,
+                              "n_centroids": 16, "seed": 0})) as system:
+            with pytest.raises(SnapshotError, match="unknown index class"):
+                system.save(str(tmp_path / "pq"))
