@@ -13,7 +13,10 @@ This package reimplements every algorithm the paper characterizes
   multi-probe LSH (20 hash bits by default, as in the paper);
 - :class:`~repro.ann.graph.GraphANN` — NSW/HNSW-style neighbor graph
   with best-first beam search (the modern traversal workload the SSAM
-  ISA's priority queue and stack unit were codesigned for).
+  ISA's priority queue and stack unit were codesigned for);
+- :class:`~repro.hybrid.index.HybridIndex` (re-exported here) — the
+  two-stage compressed pipeline: PQ/binary codes first, exact rerank of
+  the over-fetched survivors (see :mod:`repro.hybrid`).
 
 All indexes share the :class:`~repro.ann.base.Index` interface and
 report :class:`~repro.ann.base.SearchStats` (candidates scanned, nodes
@@ -30,6 +33,7 @@ from repro.ann.mplsh import MultiProbeLSH
 from repro.ann.ivf import IVFADC
 from repro.ann.pq import PQLinearScan, ProductQuantizer
 from repro.ann.recall import mean_recall, recall_at_k, recall_curve, tie_aware_recall_at_k
+from repro.hybrid.index import HybridIndex
 
 __all__ = [
     "Index",
@@ -37,6 +41,7 @@ __all__ = [
     "SearchStats",
     "LinearScan",
     "GraphANN",
+    "HybridIndex",
     "RandomizedKDForest",
     "HierarchicalKMeansTree",
     "MultiProbeLSH",

@@ -36,24 +36,39 @@ class SearchStats:
     distance_ops:
         Scalar multiply-accumulate count for distance math
         (``candidates_scanned * dims`` for dense metrics).
+    stage1_candidates:
+        Candidates surviving a compressed first pass and forwarded to
+        exact reranking (hybrid indexes only; 0 elsewhere).  When this
+        is nonzero, ``candidates_scanned`` counts the *rerank* stage's
+        full-vector evaluations.
+    bytes_read:
+        Vault bytes the index actually streamed, when the index knows
+        better than the default ``candidates_scanned * dims * itemsize``
+        model (compressed codes read far fewer bytes per candidate).
+        0 means "use the default model".
     """
 
     candidates_scanned: int = 0
     nodes_visited: int = 0
     hash_evaluations: int = 0
     distance_ops: int = 0
+    stage1_candidates: int = 0
+    bytes_read: int = 0
 
     def __iadd__(self, other: "SearchStats") -> "SearchStats":
         self.candidates_scanned += other.candidates_scanned
         self.nodes_visited += other.nodes_visited
         self.hash_evaluations += other.hash_evaluations
         self.distance_ops += other.distance_ops
+        self.stage1_candidates += other.stage1_candidates
+        self.bytes_read += other.bytes_read
         return self
 
     def __add__(self, other: "SearchStats") -> "SearchStats":
         out = SearchStats(
             self.candidates_scanned, self.nodes_visited,
             self.hash_evaluations, self.distance_ops,
+            self.stage1_candidates, self.bytes_read,
         )
         out += other
         return out
@@ -65,6 +80,8 @@ class SearchStats:
             nodes_visited=int(round(self.nodes_visited * factor)),
             hash_evaluations=int(round(self.hash_evaluations * factor)),
             distance_ops=int(round(self.distance_ops * factor)),
+            stage1_candidates=int(round(self.stage1_candidates * factor)),
+            bytes_read=int(round(self.bytes_read * factor)),
         )
 
 

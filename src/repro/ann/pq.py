@@ -16,6 +16,7 @@ vault, and the per-candidate work is a handful of scalar lookups — see
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -64,8 +65,20 @@ class ProductQuantizer:
 
     def fit(self, data: np.ndarray) -> "ProductQuantizer":
         arr = np.asarray(data, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[0] < self.n_centroids:
-            raise ValueError("need (n, d) data with n >= n_centroids")
+        if arr.ndim != 2 or arr.shape[0] < 2:
+            raise ValueError("need (n, d) training data with n >= 2")
+        if arr.shape[0] < self.n_centroids:
+            # Fewer rows than centroids would leave k-means with empty
+            # clusters and the tiling fallback would silently duplicate
+            # centroids; clamp deterministically instead and say so.
+            clamped = int(arr.shape[0])
+            warnings.warn(
+                f"ProductQuantizer.fit: n_centroids={self.n_centroids} exceeds "
+                f"the {clamped} training rows; clamping to {clamped} "
+                "(codebooks would otherwise contain empty clusters)",
+                UserWarning, stacklevel=2,
+            )
+            self.n_centroids = clamped
         self.dims = arr.shape[1]
         self._d_sub = -(-self.dims // self.n_subspaces)
         sub = self._split(arr)

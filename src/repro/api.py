@@ -52,6 +52,7 @@ from repro._compat import warn_deprecated
 from repro.ann import SearchResult
 from repro.core.config import SSAMConfig
 from repro.faults import FaultPlan
+from repro.hybrid import COMPRESSIONS
 from repro.host.driver import IndexMode, SSAMDriver
 from repro.host.health import HealthConfig, ModuleState
 from repro.host.runtime import MultiModuleRuntime
@@ -81,6 +82,7 @@ __all__ = [
     "HealthConfig",
     "ModuleState",
     "ALGORITHMS",
+    "COMPRESSIONS",
 ]
 
 #: Public algorithm names -> driver index modes.
@@ -105,7 +107,15 @@ _SCALE_OUT_MODES = (
     IndexMode.KMEANS,
     IndexMode.MPLSH,
     IndexMode.GRAPH,
+    IndexMode.HYBRID,
 )
+
+#: Base algorithms the compressed hybrid pipeline composes with:
+#: ``exact``/``linear`` keep a compressed full scan as stage 1, while
+#: ``graph`` traverses the neighbor graph *in code space* before the
+#: exact rerank.  Tree/LSH stage-1 structures do not compose (their
+#: pruning geometry is defined on the uncompressed vectors).
+_HYBRID_ALGOS = ("exact", "linear", "graph")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -129,6 +139,20 @@ class SystemConfig:
         the approximate indexes are Euclidean-only.
     index_params:
         Forwarded to the index constructor (e.g. ``{"n_trees": 4}``).
+    compression:
+        ``None`` (default) searches full vectors.  ``"pq"`` or
+        ``"binary"`` (see :data:`COMPRESSIONS`) switches to the
+        two-stage hybrid pipeline: stage 1 runs over vault-resident
+        compressed codes (product-quantization ADC or packed binary
+        Hamming), stage 2 exact-reranks the over-fetched survivors from
+        the full vectors.  Composes with ``algo`` ``"exact"`` /
+        ``"linear"`` (compressed scan) and ``"graph"`` (code-space
+        traversal); see docs/COMPRESSION.md.
+    rerank_factor:
+        Stage-1 over-fetch multiplier for the hybrid pipeline: stage 1
+        forwards ``ceil(rerank_factor * k)`` candidates to the exact
+        rerank.  Higher values trade bytes read for recall; ignored
+        without ``compression``.
     ssam:
         SSAM design point (default: the 4-link design).
     backend:
@@ -186,6 +210,8 @@ class SystemConfig:
     algo: str = "exact"
     metric: str = "euclidean"
     index_params: Optional[dict] = None
+    compression: Optional[str] = None
+    rerank_factor: float = 4.0
     ssam: Optional[SSAMConfig] = None
     backend: str = "functional"
     fault_plan: Optional[FaultPlan] = None
@@ -207,14 +233,44 @@ class SystemConfig:
 
     @property
     def mode(self) -> IndexMode:
+        if self.compression is not None:
+            return IndexMode.HYBRID
         return ALGORITHMS[self.algo]
+
+    def hybrid_params(self) -> dict:
+        """Constructor kwargs for :class:`~repro.hybrid.HybridIndex`.
+
+        ``index_params`` ride through untouched (codec/graph tuning);
+        the structural knobs come from the config itself.
+        """
+        params = dict(self.index_params or {})
+        params["compression"] = self.compression
+        params["rerank_factor"] = float(self.rerank_factor)
+        params.setdefault("stage1",
+                          "graph" if self.algo == "graph" else "scan")
+        return params
 
     def validate(self) -> "SystemConfig":
         """Check cross-field consistency; returns self for chaining."""
         if self.algo not in ALGORITHMS:
             raise ValueError(
                 f"unknown algo {self.algo!r}; expected one of {sorted(ALGORITHMS)}")
-        mode = ALGORITHMS[self.algo]
+        if self.compression is not None:
+            if self.compression not in COMPRESSIONS:
+                raise ValueError(
+                    f"unknown compression {self.compression!r}; expected "
+                    f"one of {sorted(COMPRESSIONS)} (or None)")
+            if self.algo not in _HYBRID_ALGOS:
+                raise ValueError(
+                    f"compression composes with algos {_HYBRID_ALGOS}, "
+                    f"not {self.algo!r}")
+            if self.rerank_factor < 1.0:
+                raise ValueError("rerank_factor must be >= 1")
+            if self.metric != "euclidean":
+                raise ValueError(
+                    "compressed hybrid search supports only the "
+                    "euclidean metric")
+        mode = self.mode
         if self.metric != "euclidean" and mode not in (IndexMode.LINEAR,
                                                        IndexMode.HAMMING):
             raise ValueError(
@@ -222,7 +278,7 @@ class SystemConfig:
         if self.scale_out and mode not in _SCALE_OUT_MODES:
             raise ValueError(
                 "scale_out supports exact/linear, kdtree, kmeans, mplsh, "
-                "and graph search")
+                "graph, and compressed hybrid search")
         if not self.scale_out and self.replication_factor != 1:
             raise ValueError("replication_factor needs scale_out=True")
         if self.n_modules is not None and self.n_modules <= 0:
@@ -232,7 +288,9 @@ class SystemConfig:
     def resolved_shard_overlap(self) -> float:
         if self.shard_overlap is not None:
             return float(self.shard_overlap)
-        return 0.1 if (self.scale_out and self.mode is IndexMode.GRAPH) else 0.0
+        graphish = (self.mode is IndexMode.GRAPH
+                    or (self.compression is not None and self.algo == "graph"))
+        return 0.1 if (self.scale_out and graphish) else 0.0
 
 
 def _corpus_key(ids: np.ndarray, vectors: np.ndarray) -> str:
@@ -349,9 +407,12 @@ class SSAMSystem:
         if dataset.ndim != 2 or dataset.shape[0] == 0:
             raise ValueError("dataset must be a non-empty (n, d) array")
         ssam = cfg.ssam or SSAMConfig.design(4)
-        params = dict(cfg.index_params or {})
-        if mode is IndexMode.LINEAR and cfg.metric != "euclidean":
-            params.setdefault("metric", cfg.metric)
+        if mode is IndexMode.HYBRID:
+            params = cfg.hybrid_params()
+        else:
+            params = dict(cfg.index_params or {})
+            if mode is IndexMode.LINEAR and cfg.metric != "euclidean":
+                params.setdefault("metric", cfg.metric)
 
         injector = cfg.fault_plan.injector() if cfg.fault_plan is not None else None
         tel, owns_tel, tel_prev = cls._install_telemetry(cfg)
@@ -399,6 +460,7 @@ class SSAMSystem:
         from repro.ann import (
             GraphANN,
             HierarchicalKMeansTree,
+            HybridIndex,
             MultiProbeLSH,
             RandomizedKDForest,
         )
@@ -408,6 +470,7 @@ class SSAMSystem:
             IndexMode.KMEANS: HierarchicalKMeansTree,
             IndexMode.MPLSH: MultiProbeLSH,
             IndexMode.GRAPH: GraphANN,
+            IndexMode.HYBRID: HybridIndex,
         }[mode]
 
         def factory(shard_data, _cls=index_cls, _params=dict(params)):
@@ -668,6 +731,8 @@ class SSAMSystem:
             "algo": self.algo,
             "metric": self.config.metric,
             "index_params": dict(self.config.index_params or {}),
+            "compression": self.config.compression,
+            "rerank_factor": float(self.config.rerank_factor),
             "index": {"class": name, "meta": meta},
             "corpus_checksum": _corpus_key(ids, vecs),
             "n": int(ids.size),
@@ -695,6 +760,8 @@ class SSAMSystem:
             "algo": self.algo,
             "metric": self.config.metric,
             "index_params": dict(self.config.index_params or {}),
+            "compression": self.config.compression,
+            "rerank_factor": float(self.config.rerank_factor),
             "n_modules": int(runtime.health.n_modules),
             "replication_factor": int(runtime.replication_factor),
             "shard_overlap": float(runtime.shard_overlap),
@@ -734,6 +801,8 @@ class SSAMSystem:
             algo=manifest["algo"],
             metric=manifest["metric"],
             index_params=dict(manifest.get("index_params") or {}),
+            compression=manifest.get("compression"),
+            rerank_factor=float(manifest.get("rerank_factor", 4.0)),
             scale_out=scale_out,
             replication_factor=int(manifest.get("replication_factor", 1)),
             shard_overlap=(float(manifest["shard_overlap"])
@@ -755,10 +824,12 @@ class SSAMSystem:
                     prebuilt.append((arrays[f"g{i}_rows"],
                                      index_cls.from_state(info["meta"], sub)))
                 _, corpus = _gather_corpus(prebuilt)
+                factory_params = (cfg.hybrid_params()
+                                  if cfg.mode is IndexMode.HYBRID
+                                  else dict(cfg.index_params or {}))
                 runtime = MultiModuleRuntime(
                     config=ssam, metric=cfg.metric, injector=injector,
-                    index_factory=cls._index_factory(
-                        cfg.mode, dict(cfg.index_params or {})),
+                    index_factory=cls._index_factory(cfg.mode, factory_params),
                     shard_overlap=cfg.resolved_shard_overlap(),
                     replication_factor=cfg.replication_factor,
                     health=cfg.health, workers=cfg.workers,
@@ -775,8 +846,10 @@ class SSAMSystem:
                                     parallel=cfg.parallel)
                 region = driver.nmalloc(max(index.data.nbytes, 1))
                 driver.nmode(region, cfg.mode)
-                driver.ninstall_index(region, index,
-                                      params=dict(cfg.index_params or {}))
+                install_params = (cfg.hybrid_params()
+                                  if cfg.mode is IndexMode.HYBRID
+                                  else dict(cfg.index_params or {}))
+                driver.ninstall_index(region, index, params=install_params)
                 dataset_nbytes = index.data.nbytes
         except BaseException:
             if owns_tel:
@@ -812,7 +885,8 @@ class SSAMSystem:
         try:
             manifest, arrays = _store.read_snapshot(path, expected_kind="system")
             if (manifest.get("corpus_checksum") == _dataset_key(dataset)
-                    and manifest.get("algo") == cfg.algo):
+                    and manifest.get("algo") == cfg.algo
+                    and manifest.get("compression") == cfg.compression):
                 return cls._from_snapshot(manifest, arrays, cfg)
         except SnapshotError:
             pass

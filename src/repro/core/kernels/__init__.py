@@ -22,7 +22,10 @@ Kernels:
   probing;
 - :mod:`~repro.core.kernels.graph` — best-first graph beam search with
   the chained priority queue as the beam and the stack as the per-hop
-  neighbor work list.
+  neighbor work list;
+- :mod:`~repro.core.kernels.rerank` — gather + exact rerank over a
+  stage-1 candidate list (the second phase of the hybrid compressed
+  pipeline).
 """
 
 from repro.core.kernels.common import Kernel, KernelResult, quantize_for_kernel
@@ -34,6 +37,7 @@ from repro.core.kernels.linear import (
 from repro.core.kernels.hamming import hamming_scan_kernel
 from repro.core.kernels.batched import batched_euclidean_scan_kernel
 from repro.core.kernels.pq import pq_adc_scan_kernel
+from repro.core.kernels.rerank import rerank_gather_kernel, rerank_reference_values
 from repro.core.kernels.traversal import kdtree_kernel, kmeans_tree_kernel
 from repro.core.kernels.mplsh import mplsh_kernel
 from repro.core.kernels.graph import graph_search_kernel
@@ -48,6 +52,8 @@ __all__ = [
     "hamming_scan_kernel",
     "batched_euclidean_scan_kernel",
     "pq_adc_scan_kernel",
+    "rerank_gather_kernel",
+    "rerank_reference_values",
     "kdtree_kernel",
     "kmeans_tree_kernel",
     "mplsh_kernel",

@@ -1,0 +1,151 @@
+"""Gather + exact-rerank kernel (stage 2 of the hybrid pipeline).
+
+The compressed first pass (:mod:`repro.core.kernels.pq` ADC scan or the
+FXP Hamming scan) leaves a short candidate-id list in the scratchpad;
+this kernel walks that list, *gathers* each candidate's full vector
+from its computed DRAM address (``dram_base + id * dims``), accumulates
+the squared-Euclidean distance against the scratchpad-resident query,
+and inserts ``(original id, distance)`` into the hardware priority
+queue.  Unlike the linear-scan kernels the data stream is not
+sequential — each candidate costs one ``mem_fetch`` at a gathered
+address, which is exactly the two-phase traffic pattern the hybrid
+design trades for: ``n * code_bytes`` streamed + ``|candidates| * d * 4``
+gathered instead of ``n * d * 4`` streamed.
+
+:func:`rerank_reference_values` mirrors the kernel's integer arithmetic
+bit-for-bit; ``bench_guard --hybrid`` gates on the two agreeing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.kernels.common import (
+    Kernel,
+    pad_to_multiple,
+    quantize_for_kernel,
+    reduce_vector_asm,
+)
+from repro.isa.simulator import MachineConfig, Simulator
+
+__all__ = ["rerank_gather_kernel", "rerank_reference_values"]
+
+
+def rerank_gather_kernel(
+    dataset: np.ndarray,
+    candidate_ids: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    machine: MachineConfig = MachineConfig(),
+    prequantized: bool = False,
+) -> Kernel:
+    """Exact squared-Euclidean rerank over a gathered candidate list.
+
+    ``dataset`` is the *full* corpus (the quantization scale must not
+    depend on which candidates stage 1 picked, or the fixed-point
+    values would change between rerank sets); ``candidate_ids`` are the
+    row ids to gather and rescore.  Returns a kernel whose priority
+    queue yields the top-``k`` candidates by exact FXP distance, ids
+    preserved.
+    """
+    cand = np.asarray(candidate_ids, dtype=np.int64).reshape(-1)
+    if cand.size == 0:
+        raise ValueError("candidate_ids must be non-empty")
+    if (cand < 0).any() or (cand >= np.asarray(dataset).shape[0]).any():
+        raise ValueError("candidate_ids out of range for the dataset")
+    if prequantized:
+        d_int = np.asarray(dataset, dtype=np.int64)
+        q_int = np.asarray(query, dtype=np.int64).reshape(1, -1)
+        scale = 1.0
+    else:
+        d_int, q_int, scale = quantize_for_kernel(dataset, query)
+    vlen = machine.vector_length
+    data = pad_to_multiple(d_int, vlen, axis=1)
+    qpad = pad_to_multiple(q_int.reshape(-1), vlen, axis=0)
+    n, dp = data.shape
+    ncand = cand.size
+    if k > machine.pq_depth * machine.pq_chained:
+        raise ValueError(
+            f"k={k} exceeds the hardware priority queue depth "
+            f"({machine.pq_depth * machine.pq_chained}); chain more queues"
+        )
+
+    ibase = dp                      # candidate-id list follows the query
+    dram_base = machine.scratchpad_bytes // 4
+
+    lines: List[str] = [
+        f"# rerank_gather: ncand={ncand}, padded dims={dp}, VLEN={vlen}",
+        f"li s2, {ncand}",
+        f"li s3, {dp}",
+        f"li s24, {dram_base}",
+        "li s5, 0",
+        "outer:",
+        f"addi s20, s5, {ibase}",   # &candidate_ids[i]
+        "load s21, 0(s20)",          # s21 = candidate row id
+        f"li s22, {dp}",
+        "mult s23, s21, s22",        # row word offset = id * dims_padded
+        "add s23, s23, s24",         # gathered DRAM address
+        "mem_fetch 0(s23)",
+        "li s10, 0",
+        "svmove v3, s10",
+        "li s7, 0",
+        "li s6, 0",
+        "inner:",
+        "vload v1, 0(s23)",
+        "vload v2, 0(s7)",
+        "vsub v4, v1, v2",
+        "vmult v4, v4, v4",
+        "vadd v3, v3, v4",
+        f"addi s23, s23, {vlen}",
+        f"addi s7, s7, {vlen}",
+        f"addi s6, s6, {vlen}",
+        "blt s6, s3, inner",
+        *reduce_vector_asm("v3", "s9", "s10", vlen),
+        "pqueue_insert s21, s9",
+        "addi s5, s5, 1",
+        "blt s5, s2, outer",
+        "halt",
+    ]
+
+    flat_data = data.reshape(-1)
+
+    def loader(sim: Simulator) -> None:
+        sim.load_scratchpad(0, qpad)
+        sim.load_scratchpad(ibase, cand)
+        sim.load_dram(sim.dram_base, flat_data)
+
+    meta = {
+        "n": n,
+        "n_candidates": ncand,
+        "dims_padded": dp,
+        "bytes_per_candidate": dp * 4,
+        "scale": scale,
+        "metric": "euclidean",
+        "dram_words": max(1 << 16, flat_data.size + 1024),
+    }
+    return Kernel(
+        name="hybrid_rerank",
+        source="\n".join(lines),
+        loader=loader,
+        k=k,
+        machine=machine,
+        metadata=meta,
+    )
+
+
+def rerank_reference_values(
+    dataset_int: np.ndarray, query_int: np.ndarray, candidate_ids: np.ndarray
+) -> np.ndarray:
+    """NumPy bit-exact model of the rerank kernel's FXP distances.
+
+    Takes the *quantized* dataset/query (what :func:`quantize_for_kernel`
+    produced for the kernel) and returns the exact integer squared
+    distances the hardware accumulates, in candidate-list order.
+    """
+    d = np.asarray(dataset_int, dtype=np.int64)
+    q = np.asarray(query_int, dtype=np.int64).reshape(-1)
+    cand = np.asarray(candidate_ids, dtype=np.int64).reshape(-1)
+    diff = d[cand] - q[None, :]
+    return np.einsum("ij,ij->i", diff, diff)

@@ -41,6 +41,7 @@ from repro.experiments.extensions import run_batching_ablation, run_pq_extension
 from repro.experiments.chaos import run_chaos
 from repro.experiments.energy import run_energy_breakdown, run_thermal_check
 from repro.experiments.graph_ann import run_graph_ann
+from repro.experiments.hybrid import run_hybrid
 from repro.experiments.ivfadc import run_ivfadc
 from repro.experiments.mutability import run_mutability
 from repro.experiments.parallel_scaling import run_parallel_scaling
@@ -66,6 +67,7 @@ __all__ = [
     "run_pq_extension",
     "run_batching_ablation",
     "run_graph_ann",
+    "run_hybrid",
     "run_ivfadc",
     "run_mutability",
     "run_parallel_scaling",

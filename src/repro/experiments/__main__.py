@@ -38,6 +38,7 @@ from repro.experiments import (
     run_batching_ablation,
     run_chaos,
     run_graph_ann,
+    run_hybrid,
     run_ivfadc,
     run_mutability,
     run_parallel_scaling,
@@ -81,6 +82,9 @@ RUNNERS = {
     "mutability": (run_mutability,
                    "Mutable-index lifecycle: insert/delete/compact + "
                    "snapshot warm start (writes BENCH_7.json)"),
+    "hybrid": (run_hybrid,
+               "Compressed hybrid search: PQ/binary first pass + exact "
+               "rerank frontier (writes BENCH_8.json)"),
     "tco": (run_tco, "Section VI-A: datacenter TCO"),
     "energy": (run_energy_breakdown, "Energy-per-query breakdown"),
     "thermal": (run_thermal_check, "Section V-A thermal check"),

@@ -77,6 +77,20 @@ snapshot are absolute.  The insert-throughput floor is a deliberately
 low constant (pathology guard, not a benchmark), and the warm-start
 speedup (``open`` beating a cold build) is enforced only on rows whose
 cold build was slow enough to time reliably (``gate_warm``).
+
+A seventh gate covers the compressed hybrid pipeline (``BENCH_8.json``,
+written by ``python -m repro.experiments hybrid``)::
+
+    python -m repro.experiments.bench_guard --hybrid BENCH_8.json
+
+All gates are absolute: each compression family (``pq`` and
+``binary``) must have at least one swept point whose recall@10 clears
+the floor *while* reading at least ``--min-bytes-reduction`` (default
+4x) fewer vault bytes per query than the uncompressed scan and holding
+at least a 4x resident-memory reduction; the rerank kernel must be
+bit-exact against its NumPy reference; and hybrid answers must be
+bit-exact across the serial/thread/process backends and across replica
+failover.
 """
 
 from __future__ import annotations
@@ -88,7 +102,7 @@ from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["check_speedup", "check_graph_frontier",
            "check_parallel_scaling", "check_chaos", "check_slo",
-           "check_mutability", "main"]
+           "check_mutability", "check_hybrid", "main"]
 
 GUARDED_ENGINE = "trace"
 
@@ -394,6 +408,76 @@ def check_mutability(payload: dict,
     )
 
 
+def check_hybrid(payload: dict,
+                 min_recall: Optional[float] = None,
+                 min_bytes_reduction: Optional[float] = None,
+                 min_memory_reduction: float = 4.0) -> Tuple[bool, str]:
+    """Absolute gates over a ``BENCH_8.json`` hybrid-search payload.
+
+    ``min_recall`` / ``min_bytes_reduction`` default to the payload's
+    own recorded floors (the acceptance criteria the sweep ran
+    against).  Each compression family needs one swept point clearing
+    the recall floor *and* both reduction floors simultaneously — a
+    frontier whose accurate points read as many bytes as the full scan
+    (or whose cheap points are inaccurate) fails.  The three
+    bit-exactness invariants are unconditional.
+    """
+    if min_recall is None:
+        min_recall = float(payload.get("recall_floor", 0.9))
+    if min_bytes_reduction is None:
+        min_bytes_reduction = float(payload.get("min_bytes_reduction", 4.0))
+    problems: List[str] = []
+    rows = payload.get("rows", [])
+    if not rows:
+        return False, "REGRESSION: hybrid payload has no rows"
+
+    families = sorted({r.get("compression", "?") for r in rows})
+    winners = {}
+    for family in families:
+        candidates = [
+            r for r in rows
+            if r.get("compression") == family
+            and r.get("recall_at_10", 0.0) >= min_recall
+            and r.get("bytes_reduction", 0.0) >= min_bytes_reduction
+            and r.get("memory_reduction", 0.0) >= min_memory_reduction
+        ]
+        if not candidates:
+            best = max((r for r in rows if r.get("compression") == family),
+                       key=lambda r: r.get("recall_at_10", 0.0))
+            problems.append(
+                f"{family}: no swept point reaches recall@10 >= "
+                f"{min_recall:.2f} at >= {min_bytes_reduction:.0f}x fewer "
+                f"bytes/query and >= {min_memory_reduction:.0f}x less "
+                f"memory (best recall {best.get('recall_at_10', 0.0):.3f} "
+                f"at {best.get('bytes_reduction', 0.0):.1f}x)")
+        else:
+            winners[family] = max(candidates,
+                                  key=lambda r: r.get("bytes_reduction", 0.0))
+    for flag, label in (
+            ("rerank_kernel_bit_exact",
+             "rerank kernel no longer bit-exact vs the NumPy reference"),
+            ("bit_exact_across_backends",
+             "hybrid answers differ across serial/thread/process backends"),
+            ("failover_bit_exact",
+             "hybrid answers changed across replica failover")):
+        if not payload.get(flag, False):
+            problems.append(label)
+
+    if problems:
+        return False, "REGRESSION: " + "; ".join(problems)
+    frontier = ", ".join(
+        f"{fam} rf={winners[fam]['rerank_factor']:.0f} "
+        f"(recall {winners[fam]['recall_at_10']:.3f}, "
+        f"{winners[fam]['bytes_reduction']:.1f}x fewer bytes, "
+        f"{winners[fam]['memory_reduction']:.0f}x less memory)"
+        for fam in families)
+    return True, (
+        f"OK: hybrid frontier clears recall >= {min_recall:.2f} at >= "
+        f"{min_bytes_reduction:.0f}x byte reduction — {frontier}; rerank "
+        "kernel, backends, and failover all bit-exact"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench_guard",
@@ -438,14 +522,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-insert-rate", type=float, default=50.0,
                         help="insert-throughput pathology floor in rows/s "
                              "(default 50)")
+    parser.add_argument("--hybrid", default=None, metavar="BENCH_8",
+                        help="BENCH_8.json to gate on the compressed hybrid "
+                             "search frontier and bit-exactness invariants")
+    parser.add_argument("--min-hybrid-recall", type=float, default=None,
+                        help="hybrid recall@10 floor (default: the payload's "
+                             "recorded recall_floor)")
+    parser.add_argument("--min-bytes-reduction", type=float, default=None,
+                        help="minimum vault-bytes-per-query reduction vs the "
+                             "uncompressed scan at the recall floor "
+                             "(default: the payload's recorded value, 4x)")
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.new_path):
         parser.error("--baseline and --new must be given together")
     if not args.baseline and not args.graph and not args.parallel \
-            and not args.chaos and not args.slo and not args.mutate:
+            and not args.chaos and not args.slo and not args.mutate \
+            and not args.hybrid:
         parser.error("nothing to check: give --baseline/--new, --graph, "
-                     "--parallel, --chaos, --slo, and/or --mutate")
+                     "--parallel, --chaos, --slo, --mutate, and/or --hybrid")
 
     ok = True
     if args.baseline:
@@ -492,6 +587,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mutate_payload = json.load(fh)
         passed, message = check_mutability(
             mutate_payload, min_insert_rows_per_sec=args.min_insert_rate)
+        print(message)
+        ok = ok and passed
+    if args.hybrid:
+        with open(args.hybrid) as fh:
+            hybrid_payload = json.load(fh)
+        passed, message = check_hybrid(
+            hybrid_payload,
+            min_recall=args.min_hybrid_recall,
+            min_bytes_reduction=args.min_bytes_reduction)
         print(message)
         ok = ok and passed
     return 0 if ok else 1

@@ -1,0 +1,200 @@
+"""Compressed hybrid search frontier: recall vs memory vs throughput.
+
+``python -m repro.experiments hybrid`` sweeps the two-stage compressed
+pipeline (:mod:`repro.hybrid`) over ``rerank_factor`` for both code
+families — product quantization (ADC scan) and packed binary codes
+(Hamming scan) — on a clustered synthetic corpus, and records the
+recall@10 / vault-bytes-per-query / throughput frontier the codesign
+argument rests on: compressed codes keep the *streamed* bytes per query
+far below the uncompressed full scan while the exact rerank recovers
+the accuracy the codes give up.
+
+Alongside the frontier the harness verifies three absolute invariants:
+
+- **rerank kernel bit-exactness** — the gather + exact-rerank SSAM
+  kernel's integer distances equal the NumPy reference
+  (:func:`~repro.core.kernels.rerank.rerank_reference_values`) on the
+  same quantized inputs;
+- **backend bit-exactness** — hybrid answers (ids *and* distances) are
+  identical across the serial path and the thread / process parallel
+  backends at 2 workers;
+- **failover bit-exactness** — under ``scale_out`` with
+  ``replication_factor=2``, killing one module leaves answers
+  bit-exact (replicas of a shard share one index object).
+
+The payload lands in ``BENCH_8.json`` at the repo root;
+``python -m repro.experiments.bench_guard --hybrid BENCH_8.json`` gates
+CI on it: each compression must have at least one swept point with
+recall@10 >= 0.9 *and* >= 4x fewer vault bytes per query than the
+uncompressed scan, and all three bit-exactness invariants must hold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann import LinearScan, mean_recall
+from repro.api import SSAMSystem, SystemConfig
+
+from repro.experiments.bench import _repo_root
+
+__all__ = ["run_hybrid", "BENCH_FILENAME", "RERANK_FACTORS"]
+
+BENCH_FILENAME = "BENCH_8.json"
+
+#: Stage-1 over-fetch multipliers swept per compression family.
+RERANK_FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Codec tuning per compression (kept modest so the sweep stays fast;
+#: the memory math is documented in docs/COMPRESSION.md).
+_CODEC_PARAMS: Dict[str, dict] = {
+    "pq": {"pq_params": {"n_subspaces": 8, "n_centroids": 64,
+                         "kmeans_iters": 10, "seed": 0}},
+    # ITQ bits are capped by the input dimensionality (32 here).
+    "binary": {"binary_params": {"binarizer": "itq", "n_bits": 32,
+                                 "n_iterations": 20, "seed": 0}},
+}
+
+
+def _clustered_corpus(n: int, dims: int, n_queries: int, seed: int = 0,
+                      n_centers: int = 24, noise: float = 0.3,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Clustered Gaussians — the regime where coarse codes rank well.
+
+    Queries are perturbed corpus points, so every query has genuinely
+    near neighbors (uniform noise would make recall@10 a coin flip for
+    any sublinear method).
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_centers, dims)) * 3.0
+    assign = rng.integers(0, n_centers, size=n)
+    data = centers[assign] + noise * rng.standard_normal((n, dims))
+    picks = rng.integers(0, n, size=n_queries)
+    queries = data[picks] + noise * 0.5 * rng.standard_normal((n_queries, dims))
+    return data, queries
+
+
+def _sweep(data: np.ndarray, queries: np.ndarray, gt_ids: np.ndarray,
+           k: int) -> List[dict]:
+    """One row per (compression, rerank_factor) point of the frontier."""
+    n, dims = data.shape
+    baseline_bytes = float(n * dims * 8)          # uncompressed full scan
+    rows: List[dict] = []
+    for compression, params in _CODEC_PARAMS.items():
+        for rf in RERANK_FACTORS:
+            cfg = SystemConfig(algo="exact", compression=compression,
+                               rerank_factor=rf, index_params=dict(params))
+            with SSAMSystem.create(data, cfg) as system:
+                t0 = time.perf_counter()
+                result = system.search(queries, k=k)
+                dt = max(time.perf_counter() - t0, 1e-9)
+                ratio = float(system.index.compression_ratio)
+            bytes_per_query = float(result.stats.bytes_read) / queries.shape[0]
+            rows.append({
+                "compression": compression,
+                "rerank_factor": float(rf),
+                "recall_at_10": float(mean_recall(result.ids, gt_ids)),
+                "bytes_per_query": bytes_per_query,
+                "baseline_bytes_per_query": baseline_bytes,
+                "bytes_reduction": baseline_bytes / max(bytes_per_query, 1.0),
+                "memory_reduction": ratio,
+                "qps": queries.shape[0] / dt,
+            })
+    return rows
+
+
+def _check_rerank_kernel(seed: int = 5) -> bool:
+    """Kernel integer distances vs the NumPy reference, bit for bit."""
+    from repro.core.kernels import rerank_gather_kernel, rerank_reference_values
+    from repro.core.kernels.common import quantize_for_kernel
+    from repro.isa.simulator import MachineConfig
+
+    rng = np.random.default_rng(seed)
+    dataset = rng.standard_normal((120, 24))
+    query = rng.standard_normal(24)
+    cand = rng.choice(120, size=40, replace=False)
+    k = 8
+    res = rerank_gather_kernel(dataset, cand, query, k,
+                               MachineConfig(pq_chained=2)).run()
+    d_int, q_int, _ = quantize_for_kernel(dataset, query[None, :])
+    ref_vals = rerank_reference_values(d_int, q_int[0], cand)
+    order = np.lexsort((cand, ref_vals))[:k]
+    return (np.array_equal(res.ids, cand[order])
+            and np.array_equal(res.values, ref_vals[order]))
+
+
+def _check_backends(data: np.ndarray, queries: np.ndarray, k: int) -> bool:
+    """Serial vs thread/process parallel backends, ids and distances."""
+    results = []
+    for workers, parallel in ((None, None), (2, "thread"), (2, "process")):
+        cfg = SystemConfig(algo="exact", compression="pq", rerank_factor=8.0,
+                           index_params=dict(_CODEC_PARAMS["pq"]),
+                           workers=workers, parallel=parallel)
+        with SSAMSystem.create(data, cfg) as system:
+            results.append(system.search(queries, k=k))
+    ref = results[0]
+    return all(np.array_equal(ref.ids, r.ids)
+               and np.array_equal(ref.distances, r.distances)
+               for r in results[1:])
+
+
+def _check_failover(data: np.ndarray, queries: np.ndarray, k: int) -> bool:
+    """Replica failover must not change a single id or distance."""
+    cfg = SystemConfig(algo="exact", compression="pq", rerank_factor=8.0,
+                       index_params=dict(_CODEC_PARAMS["pq"]),
+                       scale_out=True, n_modules=4, replication_factor=2)
+    with SSAMSystem.create(data, cfg) as system:
+        healthy = system.search(queries, k=k)
+        system.runtime.fail_module(0)
+        degraded = system.search(queries, k=k)
+    return bool(np.array_equal(healthy.ids, degraded.ids)
+                and np.array_equal(healthy.distances, degraded.distances)
+                and not degraded.degraded)
+
+
+def run_hybrid(n: int = 3000, dims: int = 32, n_queries: int = 48,
+               k: int = 10, seed: int = 0):
+    data, queries = _clustered_corpus(n, dims, n_queries, seed=seed)
+    gt = LinearScan().build(data).search(queries, k)
+
+    rows = _sweep(data, queries, gt.ids, k)
+    rerank_ok = _check_rerank_kernel()
+    backends_ok = _check_backends(data[:600], queries[:8], k)
+    failover_ok = _check_failover(data[:800], queries[:8], k)
+
+    payload = {
+        "bench_version": 1,
+        "workload": {"n": n, "dims": dims, "n_queries": n_queries, "k": k,
+                     "seed": seed, "codec_params": _CODEC_PARAMS},
+        "recall_floor": 0.9,
+        "min_bytes_reduction": 4.0,
+        "rows": rows,
+        "rerank_kernel_bit_exact": rerank_ok,
+        "bit_exact_across_backends": backends_ok,
+        "failover_bit_exact": failover_ok,
+    }
+    path = _repo_root() / BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"Hybrid compressed search frontier (n={n}, dims={dims}, k={k}):",
+        f"  {'codec':7s} {'rf':>5s} {'recall@10':>9s} {'bytes/q':>10s} "
+        f"{'vs scan':>8s} {'mem':>6s} {'qps':>9s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r['compression']:7s} {r['rerank_factor']:5.0f} "
+            f"{r['recall_at_10']:9.3f} {r['bytes_per_query']:10,.0f} "
+            f"{r['bytes_reduction']:7.1f}x {r['memory_reduction']:5.0f}x "
+            f"{r['qps']:9,.0f}"
+        )
+    lines.append(
+        f"rerank_kernel_bit_exact={rerank_ok}  "
+        f"bit_exact_across_backends={backends_ok}  "
+        f"failover_bit_exact={failover_ok}   [payload written to {path}]"
+    )
+    return rows, "\n".join(lines)

@@ -70,6 +70,9 @@ class IndexMode(enum.Enum):
     IVFADC = "ivfadc"
     HAMMING = "hamming"
     GRAPH = "graph"
+    #: Two-stage compressed search: vault-local PQ/binary codes first,
+    #: exact rerank of the over-fetched survivors from full vectors.
+    HYBRID = "hybrid"
 
 
 @dataclass
@@ -91,6 +94,11 @@ class SSAMRegion:
     #: Set unconditionally so the explain path reads, never computes.
     last_cycles: int = 0
     last_vault_bytes: int = 0
+    #: HYBRID mode: a second allocation holding the vault-local
+    #: compressed codes, tracked separately so the allocator charges
+    #: the code region alongside the vector region.
+    code_address: Optional[int] = None
+    code_bytes: int = 0
 
 
 def _run_traversal_query(mode: IndexMode, index: object, query: np.ndarray,
@@ -125,6 +133,58 @@ def _run_traversal_query(mode: IndexMode, index: object, query: np.ndarray,
     result.stats.candidates_scanned = res.stats.pq_inserts
     result.stats.nodes_visited = res.stats.stack_pushes
     result.stats.distance_ops = res.stats.cycles
+    return result
+
+
+def _run_hybrid_query(index: object, query: np.ndarray, k: int,
+                      checks: Optional[int], config: SSAMConfig) -> SearchResult:
+    """One cycle-accurate two-phase hybrid query (module-level for the
+    process-pool backend).
+
+    Phase 1 scans the vault-resident compressed codes (ADC or FXP
+    Hamming kernel) and drains the over-fetched candidate set from the
+    chained priority queue; phase 2 runs the gather/rerank kernel over
+    those candidates' full vectors.  Cycles and DRAM bytes sum across
+    the two dispatches; ``stats.distance_ops`` carries total cycles and
+    ``stats.bytes_read`` total vault bytes (the conventions the
+    traversal path and the explain layer already use).
+    """
+    from dataclasses import replace
+
+    from repro.core.kernels.hamming import hamming_scan_kernel
+    from repro.core.kernels.pq import pq_adc_scan_kernel
+    from repro.core.kernels.rerank import rerank_gather_kernel
+
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    r = index.rerank_count(k)
+    if checks:
+        r = max(k, min(r, int(checks)))
+    r = min(r, index.codes.shape[0])
+    machine = replace(
+        config.machine,
+        pq_chained=max(1, -(-max(r, k) // config.machine.pq_depth)),
+    )
+    if index.compression == "pq":
+        kern1 = pq_adc_scan_kernel(index.codec.pq, index.codes, query, r, machine)
+    else:
+        kern1 = hamming_scan_kernel(
+            index.codes, index.codec.encode_query(query), r, machine)
+    res1 = kern1.run()
+    kern2 = rerank_gather_kernel(index.data, res1.ids, query, k, machine)
+    res2 = kern2.run()
+    pad = k - res2.ids.size
+    ids = (np.concatenate([res2.ids, np.full(pad, -1, dtype=np.int64)])
+           if pad else res2.ids)
+    vals = (
+        np.concatenate([res2.values.astype(np.float64), np.full(pad, np.inf)])
+        if pad else res2.values.astype(np.float64)
+    )
+    result = SearchResult(ids=ids[None, :], distances=vals[None, :])
+    result.stats.candidates_scanned = int(res1.ids.size)
+    result.stats.stage1_candidates = int(res1.ids.size)
+    result.stats.distance_ops = int(res1.stats.cycles + res2.stats.cycles)
+    result.stats.bytes_read = int(
+        res1.stats.dram_bytes_read + res2.stats.dram_bytes_read)
     return result
 
 
@@ -199,8 +259,29 @@ class SSAMDriver:
         """Release a region and everything loaded into it."""
         self._check(region)
         self.allocator.free(region.address)
+        if region.code_address is not None:
+            self.allocator.free(region.code_address)
+            region.code_address = None
+            region.code_bytes = 0
         del self._regions[region.address]
         region.data = region.index = region.query = region.result = None
+
+    def _sync_code_region(self, region: SSAMRegion) -> None:
+        """(Re-)allocate the vault-local code region for a hybrid index.
+
+        The compressed codes are a second first-class allocation: they
+        live next to the vectors they summarize, grow/shrink with
+        mutations and recoding, and are what the stage-1 kernels stream.
+        """
+        codes = getattr(region.index, "codes", None)
+        nbytes = 0 if codes is None else max(int(codes.nbytes), 1)
+        if region.code_address is not None:
+            self.allocator.free(region.code_address)
+            region.code_address = None
+            region.code_bytes = 0
+        if nbytes:
+            region.code_address = self.allocator.alloc(nbytes)
+            region.code_bytes = nbytes
 
     # ------------------------------------------------------------- configuration
     def nmode(self, region: SSAMRegion, mode: IndexMode) -> None:
@@ -258,6 +339,12 @@ class SSAMDriver:
             region.index = IVFADC(**params).build(np.asarray(region.data, dtype=np.float64))
         elif mode is IndexMode.GRAPH:
             region.index = GraphANN(**params).build(np.asarray(region.data, dtype=np.float64))
+        elif mode is IndexMode.HYBRID:
+            from repro.hybrid import HybridIndex
+
+            region.index = HybridIndex(**params).build(
+                np.asarray(region.data, dtype=np.float64))
+            self._sync_code_region(region)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown mode {mode}")
 
@@ -288,6 +375,8 @@ class SSAMDriver:
             region.module = module
         region.index = index
         region.build_params = dict(params or {})
+        if region.mode is IndexMode.HYBRID:
+            self._sync_code_region(region)
         region.result = None
 
     # ------------------------------------------------------------- mutation
@@ -322,6 +411,8 @@ class SSAMDriver:
         region.index.insert(ids, vectors)
         region.data = region.index.data
         self._grow_region(region, max(region.data.nbytes, 1))
+        if region.mode is IndexMode.HYBRID:
+            self._sync_code_region(region)
         region.result = None
 
     def ndelete(self, region: SSAMRegion, ids) -> None:
@@ -329,6 +420,8 @@ class SSAMDriver:
         self._check_mutable(region)
         region.index.delete(ids)
         region.data = region.index.data
+        if region.mode is IndexMode.HYBRID:
+            self._sync_code_region(region)
         region.result = None
 
     def ncompact(self, region: SSAMRegion, force: bool = False) -> bool:
@@ -336,6 +429,8 @@ class SSAMDriver:
         self._check_mutable(region)
         compacted = region.index.compact(force=force)
         region.data = region.index.data
+        if compacted and region.mode is IndexMode.HYBRID:
+            self._sync_code_region(region)
         return compacted
 
     # ------------------------------------------------------------- execution
@@ -507,11 +602,18 @@ class SSAMDriver:
         rec.index_version = int(getattr(region.index, "version", 0))
         if region.last_vault_bytes:
             ctx.set_bytes(region.last_vault_bytes)
+        elif result is not None and result.stats.bytes_read:
+            # The index measured its own traffic (hybrid: code stream +
+            # gathered rerank rows) — more accurate than the row model.
+            ctx.set_bytes(result.stats.bytes_read)
         elif result is not None and region.data is not None:
             # Functional backend: every scanned candidate streams one
             # corpus row out of the vaults.
             ctx.set_bytes(result.stats.candidates_scanned
                           * region.data.shape[1] * region.data.dtype.itemsize)
+        ratio = float(getattr(region.index, "compression_ratio", 0.0) or 0.0)
+        if ratio:
+            ctx.set_compression(ratio)
         ctx.finish(result)
 
     def _nexec_once(self, region: SSAMRegion, k: int, checks: Optional[int] = None) -> None:
@@ -534,6 +636,14 @@ class SSAMDriver:
             IndexMode.KDTREE, IndexMode.KMEANS, IndexMode.GRAPH
         ):
             self._nexec_cycle_traversal(region, k, checks)
+            return
+        if self.backend == "cycle" and region.mode is IndexMode.HYBRID:
+            # Two-phase dispatch: compressed-code scan kernel, then the
+            # gather/rerank kernel over the surviving candidates.
+            region.result = _run_hybrid_query(
+                region.index, region.query, k, checks, self.config)
+            region.last_cycles = int(region.result.stats.distance_ops)
+            region.last_vault_bytes = int(region.result.stats.bytes_read)
             return
         region.result = region.index.search(region.query, k, checks=checks)
         region.last_cycles = 0
@@ -598,6 +708,25 @@ class SSAMDriver:
             )
             region.last_cycles = int(stats.distance_ops)
             region.last_vault_bytes = 0
+            return
+        if self.backend == "cycle" and region.mode is IndexMode.HYBRID:
+            # Per-query two-phase dispatches are independent PU runs;
+            # fan them out like the traversal batch.
+            partials = parallel_map(
+                _run_hybrid_query,
+                [(region.index, q, k, checks, self.config) for q in queries],
+                self.executor,
+            )
+            stats = SearchStats()
+            for p in partials:
+                stats += p.stats
+            region.result = SearchResult(
+                ids=np.concatenate([p.ids for p in partials], axis=0),
+                distances=np.concatenate([p.distances for p in partials], axis=0),
+                stats=stats,
+            )
+            region.last_cycles = int(stats.distance_ops)
+            region.last_vault_bytes = int(stats.bytes_read)
             return
         if self.backend == "cycle":
             # Hamming / module scans: the batch dispatches as sequential

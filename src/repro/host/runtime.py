@@ -768,14 +768,23 @@ class MultiModuleRuntime:
                     if v is not None and v.rows_lost:
                         rec.lost_rows[v.shard] = v.rows_lost
                 ctx.set_stats(stats)
-                # Derived traffic: every scanned candidate streams one
-                # corpus row out of the vaults.
-                dims = int(qarr.shape[1]) if qarr.ndim == 2 else 0
-                itemsize = 8
-                data = getattr(self.shards[0].index, "data", None)
-                if data is not None and hasattr(data, "dtype"):
-                    itemsize = int(data.dtype.itemsize)
-                ctx.set_bytes(stats.candidates_scanned * dims * itemsize)
+                if stats.bytes_read:
+                    # The shard indexes measured their own traffic
+                    # (hybrid: code stream + gathered rerank rows).
+                    ctx.set_bytes(stats.bytes_read)
+                else:
+                    # Derived traffic: every scanned candidate streams
+                    # one corpus row out of the vaults.
+                    dims = int(qarr.shape[1]) if qarr.ndim == 2 else 0
+                    itemsize = 8
+                    data = getattr(self.shards[0].index, "data", None)
+                    if data is not None and hasattr(data, "dtype"):
+                        itemsize = int(data.dtype.itemsize)
+                    ctx.set_bytes(stats.candidates_scanned * dims * itemsize)
+                ratio = float(getattr(
+                    self.shards[0].index, "compression_ratio", 0.0) or 0.0)
+                if ratio:
+                    ctx.set_compression(ratio)
                 ctx.finish(result)
             if tel.enabled:
                 tel.slo.observe("e2e", "wall",

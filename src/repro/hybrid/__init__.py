@@ -1,0 +1,20 @@
+"""Compressed-vector hybrid search (two-stage: codes first, exact rerank).
+
+See :mod:`repro.hybrid.index` for the pipeline and
+:mod:`repro.hybrid.codec` for the PQ / binary code machinery; the
+facade exposes it as ``SystemConfig(compression="pq"|"binary",
+rerank_factor=...)`` and ``docs/COMPRESSION.md`` documents tuning.
+"""
+
+from repro.hybrid.codec import BinaryCodec, PQCodec, codec_from_state, make_codec
+from repro.hybrid.index import COMPRESSIONS, HybridIndex, beam_search_compressed
+
+__all__ = [
+    "BinaryCodec",
+    "COMPRESSIONS",
+    "HybridIndex",
+    "PQCodec",
+    "beam_search_compressed",
+    "codec_from_state",
+    "make_codec",
+]

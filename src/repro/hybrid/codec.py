@@ -1,0 +1,239 @@
+"""Compressed-vector codecs for the two-stage hybrid pipeline.
+
+A codec owns everything the stage-1 pass needs: fitting the compressor
+on the corpus, encoding rows to vault-resident codes, and scoring a
+query against those codes cheaply.  Two families, both already present
+in the repo, are wrapped behind one interface:
+
+``PQCodec``
+    Product quantization (:class:`repro.ann.pq.ProductQuantizer`): one
+    byte per subspace, asymmetric distances via per-query ``(m, 256)``
+    tables — the ADC scheme the SSAM PQ kernel executes near the data.
+``BinaryCodec``
+    Packed Hamming codes via sign random projection
+    (:class:`repro.distances.binarize.SignRandomProjection`) or learned
+    ITQ rotations (:class:`repro.distances.itq.IterativeQuantization`);
+    distances are XOR+popcount, the software analogue of the SSAM
+    ``VFXP`` instruction.
+
+Both are deterministic given their seed, picklable (process-pool
+workers ship them with the shard index), and snapshot-able through
+``to_state``/``from_state`` — codebooks, hyperplanes, the ITQ
+PCA/rotation, and the centering means all round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ann.pq import ProductQuantizer
+from repro.distances.binarize import SignRandomProjection
+from repro.distances.itq import IterativeQuantization
+from repro.distances.metrics import hamming_packed
+
+__all__ = ["PQCodec", "BinaryCodec", "make_codec", "codec_from_state"]
+
+
+class PQCodec:
+    """Product-quantization codec: ``n_subspaces`` bytes per row."""
+
+    kind = "pq"
+
+    def __init__(self, n_subspaces: int = 8, n_centroids: int = 256,
+                 kmeans_iters: int = 15, seed: int = 0,
+                 quantizer: Optional[ProductQuantizer] = None):
+        self.pq = quantizer or ProductQuantizer(
+            n_subspaces=n_subspaces, n_centroids=n_centroids,
+            kmeans_iters=kmeans_iters, seed=seed,
+        )
+
+    def fit(self, data: np.ndarray) -> "PQCodec":
+        self.pq.fit(data)
+        return self
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Rows -> ``(n, m)`` uint8 codes."""
+        return self.pq.encode(data)
+
+    def approx_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC distances query -> codes, shape ``(n,)`` float64."""
+        return self.pq.adc_distances(query, codes)
+
+    @property
+    def bytes_per_row(self) -> int:
+        return self.pq.bytes_per_code
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw float32 bytes over code bytes (PQ paper convention)."""
+        return self.pq.compression_ratio
+
+    @property
+    def dims(self) -> int:
+        return self.pq.dims
+
+    # ------------------------------------------------------------ persistence
+    def to_state(self) -> Tuple[dict, dict]:
+        if self.pq.codebooks is None:
+            raise RuntimeError("fit() before to_state()")
+        meta = {
+            "kind": self.kind,
+            "n_subspaces": self.pq.n_subspaces,
+            "n_centroids": self.pq.n_centroids,
+            "kmeans_iters": self.pq.kmeans_iters,
+            "seed": self.pq.seed,
+            "dims": self.pq.dims,
+        }
+        arrays = {"codec_codebooks": self.pq.codebooks}
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "PQCodec":
+        codec = cls(
+            n_subspaces=int(meta["n_subspaces"]),
+            n_centroids=int(meta["n_centroids"]),
+            kmeans_iters=int(meta["kmeans_iters"]),
+            seed=int(meta["seed"]),
+        )
+        codec.pq.codebooks = np.ascontiguousarray(
+            np.asarray(arrays["codec_codebooks"], dtype=np.float64))
+        codec.pq.dims = int(meta["dims"])
+        codec.pq._d_sub = codec.pq.codebooks.shape[2]
+        return codec
+
+
+class BinaryCodec:
+    """Packed-Hamming codec: ``n_bits`` per row via SRP or ITQ."""
+
+    kind = "binary"
+
+    def __init__(self, n_dims: int, n_bits: int = 64, binarizer: str = "srp",
+                 seed: int = 0, n_iterations: int = 30, center: bool = True):
+        if binarizer not in ("srp", "itq"):
+            raise ValueError(
+                f"binarizer must be 'srp' or 'itq'; got {binarizer!r}")
+        self.binarizer_name = binarizer
+        self.n_dims = int(n_dims)
+        self.n_bits = int(n_bits)
+        self.seed = int(seed)
+        self.n_iterations = int(n_iterations)
+        self.center = bool(center)
+        if binarizer == "srp":
+            self.binarizer = SignRandomProjection(
+                n_dims, n_bits=n_bits, seed=seed, center=center)
+        else:
+            self.binarizer = IterativeQuantization(
+                n_dims, n_bits=n_bits, n_iterations=n_iterations, seed=seed)
+
+    def fit(self, data: np.ndarray) -> "BinaryCodec":
+        self.binarizer.fit(data)
+        return self
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Rows -> ``(n, ceil(n_bits/32))`` packed uint32 codes."""
+        return np.atleast_2d(self.binarizer.transform(data))
+
+    def approx_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Hamming distances query -> codes, shape ``(n,)`` float64."""
+        qcode = np.atleast_2d(self.binarizer.transform(query))
+        return hamming_packed(qcode, codes)[0].astype(np.float64)
+
+    def encode_query(self, query: np.ndarray) -> np.ndarray:
+        """Query -> packed ``(w,)`` uint32 code (for the FXP kernel)."""
+        return np.atleast_2d(self.binarizer.transform(query))[0]
+
+    @property
+    def bytes_per_row(self) -> int:
+        return 4 * self.binarizer.words_per_code
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw float32 bytes over code bytes (``32*d / n_bits``)."""
+        return 32.0 * self.n_dims / (32.0 * self.binarizer.words_per_code)
+
+    @property
+    def dims(self) -> int:
+        return self.n_dims
+
+    # ------------------------------------------------------------ persistence
+    def to_state(self) -> Tuple[dict, dict]:
+        meta = {
+            "kind": self.kind,
+            "binarizer": self.binarizer_name,
+            "n_dims": self.n_dims,
+            "n_bits": self.n_bits,
+            "seed": self.seed,
+            "n_iterations": self.n_iterations,
+            "center": self.center,
+        }
+        arrays = {}
+        if self.binarizer_name == "srp":
+            srp = self.binarizer
+            arrays["codec_hyperplanes"] = srp.hyperplanes
+            if srp._mean is not None:
+                arrays["codec_mean"] = srp._mean
+        else:
+            itq = self.binarizer
+            if itq._pca is None:
+                raise RuntimeError("fit() before to_state()")
+            arrays["codec_mean"] = itq._mean
+            arrays["codec_pca"] = itq._pca
+            arrays["codec_rotation"] = itq._rotation
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "BinaryCodec":
+        codec = cls(
+            n_dims=int(meta["n_dims"]),
+            n_bits=int(meta["n_bits"]),
+            binarizer=meta["binarizer"],
+            seed=int(meta["seed"]),
+            n_iterations=int(meta["n_iterations"]),
+            center=bool(meta["center"]),
+        )
+        if codec.binarizer_name == "srp":
+            codec.binarizer.hyperplanes = np.ascontiguousarray(
+                np.asarray(arrays["codec_hyperplanes"], dtype=np.float64))
+            if "codec_mean" in arrays:
+                codec.binarizer._mean = np.asarray(
+                    arrays["codec_mean"], dtype=np.float64)
+        else:
+            codec.binarizer._mean = np.asarray(
+                arrays["codec_mean"], dtype=np.float64)
+            codec.binarizer._pca = np.ascontiguousarray(
+                np.asarray(arrays["codec_pca"], dtype=np.float64))
+            codec.binarizer._rotation = np.ascontiguousarray(
+                np.asarray(arrays["codec_rotation"], dtype=np.float64))
+        return codec
+
+
+def make_codec(compression: str, n_dims: int, seed: int = 0,
+               pq_params: Optional[dict] = None,
+               binary_params: Optional[dict] = None):
+    """Construct an (unfitted) codec for ``compression`` over ``n_dims``.
+
+    An explicit ``seed`` inside ``pq_params`` / ``binary_params`` wins
+    over the index-level ``seed`` argument.
+    """
+    if compression == "pq":
+        params = dict(pq_params or {})
+        params.setdefault("seed", seed)
+        return PQCodec(**params)
+    if compression == "binary":
+        params = dict(binary_params or {})
+        params.setdefault("seed", seed)
+        return BinaryCodec(n_dims, **params)
+    raise ValueError(
+        f"compression must be 'pq' or 'binary'; got {compression!r}")
+
+
+def codec_from_state(meta: dict, arrays: dict):
+    """Rehydrate a codec from its ``to_state`` snapshot."""
+    kind = meta.get("kind")
+    if kind == "pq":
+        return PQCodec.from_state(meta, arrays)
+    if kind == "binary":
+        return BinaryCodec.from_state(meta, arrays)
+    raise ValueError(f"unknown codec kind {kind!r}")

@@ -1,0 +1,516 @@
+"""Two-stage hybrid index: compressed first pass + exact rerank.
+
+NDSEARCH-style pipeline over the repo's existing pieces.  Stage 1 runs
+entirely over vault-resident compressed codes — an exhaustive ADC or
+Hamming scan (``stage1="scan"``) or a best-first graph traversal scored
+in the compressed domain (``stage1="graph"``) — and over-fetches
+``ceil(rerank_factor * k)`` candidates.  Stage 2 gathers only those
+rows' full vectors and reranks them exactly, reusing the same
+``top_k_from_candidates`` tail every approximate index in the repo
+uses, so the final distances are bit-identical to exact search whenever
+the candidate set covers the true top-k.
+
+Byte accounting is the point of the design: stage 1 streams
+``n * bytes_per_row`` of codes (8-32x smaller than vectors) and stage 2
+touches only ``|candidates| * d * 8`` bytes of full vectors, so
+``SearchStats.bytes_read`` carries the real traffic instead of the
+default ``candidates_scanned * d * itemsize`` model.
+
+Determinism: stage-1 selection breaks distance ties by ascending row
+position (lexsort), the graph traversal orders its beam by
+``(distance, id)``, and the rerank tail is the shared stable-sort
+implementation — results are bit-identical across serial, thread, and
+process backends and across replica failover.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ann.base import (
+    Index,
+    SearchResult,
+    SearchStats,
+    top_k_from_candidates,
+    validate_queries,
+)
+from repro.distances.metrics import get_metric
+from repro.graph.build import NeighborGraph, build_nsw_graph, insert_nodes
+from repro.hybrid.codec import codec_from_state, make_codec
+from repro.telemetry import get_telemetry
+
+__all__ = ["HybridIndex", "beam_search_compressed"]
+
+#: Facade-visible compression schemes.
+COMPRESSIONS = ("pq", "binary")
+
+
+def beam_search_compressed(
+    dist_fn: Callable[[np.ndarray], np.ndarray],
+    neighbors_fn: Callable[[int], np.ndarray],
+    entry_point: int,
+    ef: int,
+    max_evals: Optional[int] = None,
+    exclude: Optional[set] = None,
+) -> tuple:
+    """Best-first beam search scored by a compressed distance function.
+
+    Mirrors :func:`repro.graph.search.beam_search` (same frontier/beam
+    discipline, same ``(distance, id)`` tie-breaking) but computes
+    distances through ``dist_fn(positions) -> float array`` — ADC table
+    lookups or packed-Hamming popcounts — instead of full vectors.
+    Returns ``(ids, distances, hops, evals)`` with ids sorted ascending
+    by ``(distance, id)``.
+    """
+    if ef <= 0:
+        raise ValueError("ef must be positive")
+    d0 = float(dist_fn(np.array([entry_point], dtype=np.int64))[0])
+    visited = {entry_point}
+    evals = 1
+    hops = 0
+    candidates = [(d0, entry_point)]
+    if exclude is not None and entry_point in exclude:
+        results = []
+    else:
+        results = [(-d0, entry_point)]
+    budget_left = None if max_evals is None else max(0, max_evals - evals)
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        if len(results) >= ef and dist > -results[0][0]:
+            break
+        if budget_left is not None and budget_left == 0:
+            break
+        hops += 1
+        nbrs = [
+            int(nb) for nb in neighbors_fn(node)
+            if nb >= 0 and nb not in visited
+        ]
+        if not nbrs:
+            continue
+        if budget_left is not None and len(nbrs) > budget_left:
+            nbrs = nbrs[:budget_left]
+        visited.update(nbrs)
+        dists = dist_fn(np.asarray(nbrs, dtype=np.int64))
+        evals += len(nbrs)
+        if budget_left is not None:
+            budget_left -= len(nbrs)
+        for nb, dn in zip(nbrs, dists):
+            dn = float(dn)
+            if len(results) < ef or dn < -results[0][0]:
+                heapq.heappush(candidates, (dn, nb))
+                if exclude is None or nb not in exclude:
+                    heapq.heappush(results, (-dn, nb))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+    pairs = sorted((-nd, node) for nd, node in results)
+    ids = np.array([node for _, node in pairs], dtype=np.int64)
+    dd = np.array([d for d, _ in pairs], dtype=np.float64)
+    return ids, dd, hops, evals
+
+
+class HybridIndex(Index):
+    """Compressed first pass + exact rerank behind the ``Index`` interface.
+
+    Parameters
+    ----------
+    compression:
+        ``"pq"`` (byte codes + per-query ADC tables) or ``"binary"``
+        (packed Hamming codes via SRP or ITQ).
+    rerank_factor:
+        Over-fetch multiplier: stage 1 forwards ``ceil(rerank_factor*k)``
+        candidates to the exact rerank.  >= 1; larger values trade
+        stage-2 bytes for recall.  A factor that saturates the corpus
+        makes results bit-identical to exact search.
+    stage1:
+        ``"scan"`` — exhaustive compressed scan (the default, exact in
+        the compressed domain) or ``"graph"`` — NSW traversal scored
+        over codes (sub-linear candidate generation, NDSEARCH-style).
+    metric:
+        ``"euclidean"`` (default) or ``"squared_euclidean"``; the space
+        the *reranked* distances are reported in.
+    seed:
+        Seeds the codec (codebooks / hyperplanes / rotation) and the
+        graph insertion order.
+    pq_params / binary_params:
+        Codec constructor overrides (``n_subspaces``, ``n_centroids``,
+        ``n_bits``, ``binarizer`` ...).
+    graph_params:
+        NSW build overrides (``max_degree``, ``ef_construction``,
+        ``layered``) for ``stage1="graph"``.
+
+    Mutability: inserts encode the new rows and append codes (and, in
+    graph mode, continue the NSW construction sequence); deletes are
+    physical in scan mode and tombstones in graph mode; ``compact``
+    re-fits the codec over the survivors and re-encodes everything, so
+    a compacted index's codes never go stale against corpus drift.
+    """
+
+    def __init__(
+        self,
+        compression: str = "pq",
+        rerank_factor: float = 4.0,
+        stage1: str = "scan",
+        metric: str = "euclidean",
+        seed: int = 0,
+        pq_params: Optional[dict] = None,
+        binary_params: Optional[dict] = None,
+        graph_params: Optional[dict] = None,
+    ):
+        if compression not in COMPRESSIONS:
+            raise ValueError(
+                f"compression must be one of {COMPRESSIONS}; got {compression!r}")
+        if not float(rerank_factor) >= 1.0:
+            raise ValueError("rerank_factor must be >= 1")
+        if stage1 not in ("scan", "graph"):
+            raise ValueError(f"stage1 must be 'scan' or 'graph'; got {stage1!r}")
+        if metric not in ("euclidean", "squared_euclidean"):
+            raise ValueError(
+                "HybridIndex reranks in euclidean/squared_euclidean; "
+                f"got {metric!r}")
+        self.compression = compression
+        self.rerank_factor = float(rerank_factor)
+        self.stage1 = stage1
+        self.metric_name = metric
+        self.seed = int(seed)
+        self.pq_params = dict(pq_params or {})
+        self.binary_params = dict(binary_params or {})
+        self.graph_params = dict(graph_params or {})
+        self.codec = None
+        self.codes: Optional[np.ndarray] = None
+        self.data: Optional[np.ndarray] = None
+        self.graph: Optional[NeighborGraph] = None
+        #: Tombstone mask (graph mode only; scan mode deletes physically).
+        self.deleted: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ build
+    def build(self, data: np.ndarray) -> "HybridIndex":
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "hybrid.build", "ann", n=arr.shape[0],
+            compression=self.compression, stage1=self.stage1,
+        ):
+            self.codec = make_codec(
+                self.compression, arr.shape[1], seed=self.seed,
+                pq_params=self.pq_params, binary_params=self.binary_params,
+            )
+            self.codec.fit(arr)
+            self.codes = self.codec.encode(arr)
+            if self.stage1 == "graph":
+                self.graph = build_nsw_graph(
+                    arr,
+                    max_degree=int(self.graph_params.get("max_degree", 16)),
+                    ef_construction=int(
+                        self.graph_params.get("ef_construction", 64)),
+                    seed=self.seed,
+                    layered=bool(self.graph_params.get("layered", False)),
+                )
+        self.data = arr
+        self.deleted = None
+        return self
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw float32 bytes over code bytes for the fitted codec."""
+        return 0.0 if self.codec is None else float(self.codec.compression_ratio)
+
+    @property
+    def code_bytes_per_row(self) -> int:
+        return 0 if self.codec is None else int(self.codec.bytes_per_row)
+
+    def rerank_count(self, k: int) -> int:
+        """Stage-1 over-fetch size for a given ``k``."""
+        return max(int(k), int(math.ceil(self.rerank_factor * k)))
+
+    # ------------------------------------------------------------------ search
+    def search(self, queries: np.ndarray, k: int,
+               checks: Optional[int] = None) -> SearchResult:
+        data = self._require_built()
+        if self.codec is None or self.codes is None:
+            raise RuntimeError("HybridIndex.build() must be called before search()")
+        q = validate_queries(queries, data.shape[1])
+        if k <= 0:
+            raise ValueError("k must be positive")
+        r = self.rerank_count(k)
+        if checks is not None:
+            if checks <= 0:
+                raise ValueError("checks must be positive")
+            # ``checks`` bounds per-query full-vector evaluations, which
+            # for the hybrid pipeline is the rerank set size.
+            r = max(k, min(r, int(checks)))
+        metric_fn = get_metric(self.metric_name)
+        itemsize = data.dtype.itemsize
+        nq = q.shape[0]
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf)
+        total = SearchStats()
+        tel = get_telemetry()
+        with tel.tracer.span(
+            "hybrid.search", "ann", queries=nq, k=k, rerank=r,
+            compression=self.compression, stage1=self.stage1,
+        ):
+            for i in range(nq):
+                cand, s1 = self._stage1_candidates(q[i], r)
+                total += s1
+                ids[i], dists[i] = top_k_from_candidates(
+                    q[i], cand, data, k, metric_fn)
+                total += SearchStats(
+                    candidates_scanned=cand.size,
+                    distance_ops=cand.size * data.shape[1],
+                    bytes_read=cand.size * data.shape[1] * itemsize,
+                )
+        if tel.enabled:
+            tel.metrics.inc(
+                "ssam_hybrid_stage1_candidates_total", total.stage1_candidates,
+                help="candidates forwarded from the compressed first pass",
+            )
+            tel.metrics.inc(
+                "ssam_hybrid_rerank_total", total.candidates_scanned,
+                help="full-vector exact rerank evaluations",
+            )
+        return SearchResult(
+            ids=self._externalize(ids), distances=dists, stats=total)
+
+    def _stage1_candidates(self, query: np.ndarray, r: int):
+        """Compressed first pass: up to ``r`` candidate row positions.
+
+        Returns ``(positions, stats)``; positions are unique, live, and
+        selected by ascending ``(compressed distance, position)``.
+        """
+        codes = self.codes
+        assert codes is not None and self.codec is not None
+        n = codes.shape[0]
+        bpr = self.codec.bytes_per_row
+        if self.stage1 == "graph":
+            assert self.graph is not None
+            exclude = (
+                {int(x) for x in np.flatnonzero(self.deleted)}
+                if self.deleted is not None and self.deleted.any() else None
+            )
+            dist_fn = self._compressed_dist_fn(query)
+            cand, _, hops, evals = beam_search_compressed(
+                dist_fn, self.graph.neighbors, self.graph.entry_point,
+                ef=r, exclude=exclude,
+            )
+            adjacency_bytes = hops * self.graph.adjacency.shape[1] * 8
+            stats = SearchStats(
+                nodes_visited=hops,
+                stage1_candidates=cand.size,
+                hash_evaluations=self._query_prep_ops(),
+                bytes_read=evals * bpr + adjacency_bytes,
+            )
+            return cand, stats
+        # Exhaustive compressed scan over all (live) rows.
+        d = self.codec.approx_distances(query, codes)
+        if self.deleted is not None and self.deleted.any():
+            d = np.where(self.deleted, np.inf, d)
+            n_live = int(n - self.deleted.sum())
+        else:
+            n_live = n
+        r_eff = min(r, n_live)
+        # (distance, position) ascending — lexsort's last key is primary.
+        order = np.lexsort((np.arange(n, dtype=np.int64), d))[:r_eff]
+        stats = SearchStats(
+            stage1_candidates=r_eff,
+            hash_evaluations=self._query_prep_ops(),
+            bytes_read=n * bpr,
+        )
+        return order.astype(np.int64), stats
+
+    def _compressed_dist_fn(self, query: np.ndarray):
+        """Positions -> compressed distances, with per-query prep hoisted."""
+        codes = self.codes
+        if self.compression == "pq":
+            pq = self.codec.pq
+            tables = pq.distance_tables(query)
+            cols = np.arange(pq.n_subspaces)
+
+            def dist_fn(positions: np.ndarray) -> np.ndarray:
+                sub = codes[positions].astype(np.int64)
+                return tables[cols[None, :], sub].sum(axis=1)
+        else:
+            from repro.distances.metrics import hamming_packed
+
+            qcode = self.codec.encode_query(query)[None, :]
+
+            def dist_fn(positions: np.ndarray) -> np.ndarray:
+                return hamming_packed(qcode, codes[positions])[0].astype(
+                    np.float64)
+        return dist_fn
+
+    def _query_prep_ops(self) -> int:
+        """Per-query encode cost (table build / projection), for stats."""
+        if self.compression == "pq":
+            pq = self.codec.pq
+            return pq.n_subspaces * pq.n_centroids
+        return self.codec.n_bits
+
+    # ------------------------------------------------------------------ mutation
+    @property
+    def live_mask(self) -> Optional[np.ndarray]:
+        return None if self.deleted is None else ~self.deleted
+
+    @property
+    def mutated_fraction(self) -> float:
+        if self.deleted is None:
+            return 0.0
+        return float(self.deleted.sum()) / max(1, self.n)
+
+    def _insert_impl(self, id_arr: np.ndarray, vectors: np.ndarray) -> None:
+        assert self.data is not None and self.codes is not None
+        assert self.codec is not None
+        new = np.ascontiguousarray(vectors.astype(np.float64, copy=False))
+        arr = np.ascontiguousarray(np.vstack([self.data, new]))
+        new_codes = self.codec.encode(new)
+        tel = get_telemetry()
+        with tel.tracer.span("hybrid.insert", "ann",
+                             rows=int(id_arr.size), n=arr.shape[0]):
+            if self.stage1 == "graph":
+                graph = self.graph
+                assert graph is not None
+                entry = (graph.build_entry if graph.build_entry >= 0
+                         else graph.entry_point)
+                adjacency = insert_nodes(
+                    arr, graph.adjacency, entry,
+                    ef_construction=graph.ef_construction,
+                    max_degree=graph.max_degree,
+                )
+                if graph.layered:
+                    final_entry = entry
+                else:
+                    centered = arr - arr.mean(axis=0)
+                    final_entry = int(np.argmin(
+                        np.einsum("ij,ij->i", centered, centered)))
+                self.graph = NeighborGraph(
+                    adjacency=adjacency,
+                    entry_point=final_entry,
+                    max_degree=graph.max_degree,
+                    ef_construction=graph.ef_construction,
+                    seed=graph.seed,
+                    layered=graph.layered,
+                    build_entry=entry,
+                )
+            self.data = arr
+            self.codes = np.ascontiguousarray(
+                np.vstack([self.codes, new_codes]))
+            if self.deleted is not None:
+                self.deleted = np.concatenate(
+                    [self.deleted, np.zeros(id_arr.size, dtype=bool)])
+
+    def _delete_impl(self, positions: np.ndarray) -> None:
+        assert self.data is not None and self.codes is not None
+        if self.stage1 == "graph":
+            # Tombstone: the node stays navigable until compaction.
+            if self.deleted is None:
+                self.deleted = np.zeros(self.n, dtype=bool)
+            self.deleted[positions] = True
+            return
+        keep = np.ones(self.n, dtype=bool)
+        keep[positions] = False
+        self.data = np.ascontiguousarray(self.data[keep])
+        self.codes = np.ascontiguousarray(self.codes[keep])
+        if self.ids is not None:
+            self.ids = self.ids[keep]
+
+    def compact(self, force: bool = False) -> bool:
+        """Re-fit the codec over survivors and re-encode (+ graph rebuild).
+
+        Auto-compaction (``force=False``) fires once the tombstone
+        fraction crosses :attr:`compaction_threshold` — only possible in
+        graph mode.  ``force=True`` recodes unconditionally, which is
+        how callers refresh codebooks after heavy corpus drift.
+        """
+        if self.data is None or self.codec is None:
+            return False
+        frac = self.mutated_fraction
+        if not force and frac < self.compaction_threshold:
+            return False
+        if frac == 0.0 and not force:
+            return False
+        with self._compaction_span(rows=self.n_live, mutated_fraction=frac):
+            keep = self.live_mask
+            survivors = self.data if keep is None else self.data[keep]
+            ids = None
+            if self.ids is not None:
+                ids = self.ids if keep is None else self.ids[keep]
+            version = self.version
+            self.build(np.ascontiguousarray(survivors))
+            self.ids = ids
+            self.version = version + 1
+        return True
+
+    # ------------------------------------------------------------------ persistence
+    def to_state(self):
+        data = self._require_built()
+        if self.codec is None or self.codes is None:
+            raise RuntimeError("HybridIndex.build() must be called before to_state()")
+        codec_meta, codec_arrays = self.codec.to_state()
+        meta = {
+            "compression": self.compression,
+            "rerank_factor": self.rerank_factor,
+            "stage1": self.stage1,
+            "metric": self.metric_name,
+            "seed": self.seed,
+            "pq_params": self.pq_params,
+            "binary_params": self.binary_params,
+            "graph_params": self.graph_params,
+            "version": self.version,
+            "has_ids": self.ids is not None,
+            "has_deleted": self.deleted is not None,
+            "codec": codec_meta,
+        }
+        arrays = {"data": data, "codes": self.codes}
+        arrays.update(codec_arrays)
+        if self.ids is not None:
+            arrays["ids"] = self.ids
+        if self.deleted is not None:
+            arrays["deleted"] = self.deleted
+        if self.graph is not None:
+            graph = self.graph
+            arrays["adjacency"] = graph.adjacency
+            meta["entry_point"] = int(graph.entry_point)
+            meta["build_entry"] = int(graph.build_entry)
+            meta["graph_seed"] = int(graph.seed)
+            meta["max_degree"] = int(graph.max_degree)
+            meta["ef_construction"] = int(graph.ef_construction)
+            meta["layered"] = bool(graph.layered)
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict) -> "HybridIndex":
+        idx = cls(
+            compression=meta["compression"],
+            rerank_factor=float(meta["rerank_factor"]),
+            stage1=meta["stage1"],
+            metric=meta["metric"],
+            seed=int(meta["seed"]),
+            pq_params=dict(meta.get("pq_params") or {}),
+            binary_params=dict(meta.get("binary_params") or {}),
+            graph_params=dict(meta.get("graph_params") or {}),
+        )
+        idx.data = np.ascontiguousarray(
+            np.asarray(arrays["data"], dtype=np.float64))
+        idx.codes = np.ascontiguousarray(np.asarray(arrays["codes"]))
+        idx.codec = codec_from_state(meta["codec"], arrays)
+        if meta.get("has_ids"):
+            idx.ids = np.asarray(arrays["ids"], dtype=np.int64)
+        if meta.get("has_deleted"):
+            idx.deleted = np.asarray(arrays["deleted"], dtype=bool)
+        idx.version = int(meta.get("version", 0))
+        if idx.stage1 == "graph":
+            idx.graph = NeighborGraph(
+                adjacency=np.asarray(arrays["adjacency"], dtype=np.int64),
+                entry_point=int(meta["entry_point"]),
+                max_degree=int(meta["max_degree"]),
+                ef_construction=int(meta["ef_construction"]),
+                seed=int(meta.get("graph_seed", meta["seed"])),
+                layered=bool(meta.get("layered", False)),
+                build_entry=int(meta.get("build_entry", -1)),
+            )
+        return idx

@@ -42,6 +42,7 @@ from repro.ann.graph import GraphANN
 from repro.ann.kdtree import RandomizedKDForest
 from repro.ann.kmeans_tree import HierarchicalKMeansTree
 from repro.ann.mplsh import MultiProbeLSH
+from repro.hybrid.index import HybridIndex
 
 __all__ = [
     "FORMAT_VERSION",
@@ -66,6 +67,7 @@ _INDEX_REGISTRY: Dict[str, Type[Index]] = {
     "HierarchicalKMeansTree": HierarchicalKMeansTree,
     "MultiProbeLSH": MultiProbeLSH,
     "GraphANN": GraphANN,
+    "HybridIndex": HybridIndex,
 }
 
 

@@ -157,6 +157,13 @@ class ExplainRecord:
     candidates_scanned: int = 0
     nodes_visited: int = 0
     distance_ops: int = 0
+    #: Hybrid two-stage attribution: candidates the compressed first
+    #: pass forwarded, and the full-vector rerank evaluations they cost
+    #: (0/0 for single-stage modes).  ``compression_ratio`` is the
+    #: fitted codec's raw-bytes / code-bytes factor (0 = uncompressed).
+    stage1_candidates: int = 0
+    rerank_candidates: int = 0
+    compression_ratio: float = 0.0
     vault_bytes_read: int = 0
     cycles: int = 0
     loads_per_query: float = 0.0
@@ -197,6 +204,9 @@ class ExplainRecord:
             "candidates_scanned": self.candidates_scanned,
             "nodes_visited": self.nodes_visited,
             "distance_ops": self.distance_ops,
+            "stage1_candidates": self.stage1_candidates,
+            "rerank_candidates": self.rerank_candidates,
+            "compression_ratio": self.compression_ratio,
             "vault_bytes_read": self.vault_bytes_read,
             "cycles": self.cycles,
             "loads_per_query": self.loads_per_query,
@@ -231,6 +241,12 @@ class ExplainRecord:
             parts.append(f"retries={self.retries}")
         if self.loads_per_query:
             parts.append(f"loads/q={self.loads_per_query:.0f}")
+        if self.stage1_candidates:
+            parts.append(
+                f"stage1={self.stage1_candidates}"
+                f"->rerank={self.rerank_candidates}")
+        if self.compression_ratio:
+            parts.append(f"compression={self.compression_ratio:.0f}x")
         if self.degraded:
             parts.append(
                 f"DEGRADED loss={self.expected_recall_loss:.3f} "
@@ -255,6 +271,10 @@ class ExplainRecord:
             self.candidates_scanned += child.candidates_scanned
             self.nodes_visited += child.nodes_visited
             self.distance_ops += child.distance_ops
+            self.stage1_candidates += child.stage1_candidates
+            self.rerank_candidates += child.rerank_candidates
+            self.compression_ratio = max(
+                self.compression_ratio, child.compression_ratio)
             self.vault_bytes_read += child.vault_bytes_read
             self.cycles += child.cycles
             self.degraded = self.degraded or child.degraded
@@ -297,6 +317,15 @@ class RequestContext:
         self.record.candidates_scanned = int(stats.candidates_scanned)
         self.record.nodes_visited = int(stats.nodes_visited)
         self.record.distance_ops = int(stats.distance_ops)
+        s1 = int(getattr(stats, "stage1_candidates", 0))
+        self.record.stage1_candidates = s1
+        # With a compressed first pass, candidates_scanned counts the
+        # exact rerank's full-vector evaluations.
+        self.record.rerank_candidates = (
+            int(stats.candidates_scanned) if s1 else 0)
+
+    def set_compression(self, ratio: float) -> None:
+        self.record.compression_ratio = float(ratio)
 
     def set_bytes(self, vault_bytes: int) -> None:
         self.record.vault_bytes_read = int(vault_bytes)

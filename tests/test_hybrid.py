@@ -1,0 +1,506 @@
+"""Compressed hybrid search: codecs, two-stage index, facade, kernels.
+
+Covers the ``repro.hybrid`` subsystem end to end:
+
+- codec unit behavior (PQ ADC tables, packed binary codes, compression
+  ratios, snapshot state round-trips — including the ITQ rotation and
+  the mutated/tombstoned index case);
+- the two-stage ``HybridIndex`` against the exact scan: saturation
+  equivalence (property-based, all backends at 1 and 2 workers),
+  recall monotonicity in ``rerank_factor``, stats/explain attribution,
+  and the Prometheus stage counters;
+- the facade composition (``SystemConfig(compression=...)``) across
+  scan/graph stage 1, scale-out + replication failover, snapshots, and
+  the cycle backend's two-phase kernel dispatch;
+- the gather+rerank SSAM kernel bit-exact against its NumPy reference;
+- stale-snapshot rejection through the corpus-checksum path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.ann import LinearScan, SearchStats, recall_at_k
+from repro.api import COMPRESSIONS, SSAMSystem, SystemConfig
+from repro.host.driver import IndexMode, SSAMDriver
+from repro.hybrid import BinaryCodec, HybridIndex, PQCodec, codec_from_state
+from repro.store import SnapshotError
+from repro.telemetry import Telemetry
+
+RNG = np.random.default_rng(7)
+
+
+def clustered(n=300, dims=16, seed=3):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, dims)) * 3.0
+    assign = rng.integers(0, 6, size=n)
+    return centers[assign] + 0.3 * rng.standard_normal((n, dims))
+
+
+DATA = clustered()
+QUERIES = DATA[:8] + 0.05 * RNG.standard_normal((8, 16))
+
+
+# --------------------------------------------------------------------- codecs
+class TestPQCodec:
+    def test_roundtrip_state(self):
+        codec = PQCodec(n_subspaces=4, n_centroids=16, seed=0)
+        codec.fit(DATA)
+        codes = codec.encode(DATA)
+        meta, arrays = codec.to_state()
+        back = codec_from_state(meta, arrays)
+        np.testing.assert_array_equal(back.encode(DATA), codes)
+        q = QUERIES[0]
+        np.testing.assert_allclose(back.approx_distances(q, codes),
+                                   codec.approx_distances(q, codes))
+        assert back.compression_ratio == codec.compression_ratio
+
+    def test_compression_ratio(self):
+        codec = PQCodec(n_subspaces=4, n_centroids=16, seed=0)
+        codec.fit(DATA)
+        # Ratio follows the PQ convention: float32 vectors (4 bytes/dim)
+        # vs one uint8 code per subspace -> 4*16/4 = 16x.
+        assert codec.compression_ratio == 16.0
+        assert codec.bytes_per_row == 4
+
+    def test_adc_orders_like_exact_on_easy_data(self):
+        codec = PQCodec(n_subspaces=8, n_centroids=32, seed=0)
+        codec.fit(DATA)
+        codes = codec.encode(DATA)
+        d = codec.approx_distances(QUERIES[0], codes)
+        exact = np.linalg.norm(DATA - QUERIES[0], axis=1) ** 2
+        # ADC's nearest candidate should be among the true top few.
+        assert int(np.argmin(d)) in set(np.argsort(exact)[:5])
+
+
+class TestBinaryCodec:
+    @pytest.mark.parametrize("binarizer", ["srp", "itq"])
+    def test_roundtrip_state(self, binarizer):
+        codec = BinaryCodec(16, n_bits=16, binarizer=binarizer, seed=1)
+        codec.fit(DATA)
+        codes = codec.encode(DATA)
+        assert codes.dtype == np.uint32
+        meta, arrays = codec.to_state()
+        back = codec_from_state(meta, arrays)
+        np.testing.assert_array_equal(back.encode(DATA), codes)
+        np.testing.assert_array_equal(back.encode_query(QUERIES[0]),
+                                      codec.encode_query(QUERIES[0]))
+
+    def test_hamming_distances_match_unpacked(self):
+        codec = BinaryCodec(16, n_bits=16, binarizer="srp", seed=1)
+        codec.fit(DATA)
+        codes = codec.encode(DATA)
+        qcode = codec.encode_query(QUERIES[0])
+        d = codec.approx_distances(QUERIES[0], codes)
+        xor = codes ^ qcode[None, :]
+        expect = np.unpackbits(xor.view(np.uint8), axis=1).sum(axis=1)
+        np.testing.assert_array_equal(d, expect)
+
+
+# ---------------------------------------------------------------- HybridIndex
+class TestHybridIndex:
+    @pytest.mark.parametrize("compression", COMPRESSIONS)
+    @pytest.mark.parametrize("stage1", ["scan", "graph"])
+    def test_recall_reasonable(self, compression, stage1):
+        index = HybridIndex(compression=compression, rerank_factor=8.0,
+                            stage1=stage1, seed=0).build(DATA)
+        exact = LinearScan().build(DATA).search(QUERIES, 10)
+        got = index.search(QUERIES, 10)
+        assert recall_at_k(got.ids, exact.ids).mean() >= 0.7
+
+    def test_saturating_rerank_equals_exact(self):
+        """rerank_factor covering the corpus makes stage 2 a full scan."""
+        index = HybridIndex(compression="pq", rerank_factor=1e9,
+                            seed=0).build(DATA)
+        exact = LinearScan().build(DATA).search(QUERIES, 10)
+        got = index.search(QUERIES, 10)
+        np.testing.assert_array_equal(got.ids, exact.ids)
+        np.testing.assert_array_equal(got.distances, exact.distances)
+
+    def test_stats_attribution(self):
+        index = HybridIndex(compression="pq", rerank_factor=4.0,
+                            seed=0).build(DATA)
+        res = index.search(QUERIES[:1], 10)
+        s = res.stats
+        assert s.stage1_candidates == 40          # ceil(4.0 * 10)
+        assert s.candidates_scanned == 40         # stage-2 rerank evals
+        # bytes: whole code table + 40 full vectors.
+        assert s.bytes_read == DATA.shape[0] * index.code_bytes_per_row \
+            + 40 * 16 * 8
+        assert s.distance_ops > 0
+
+    def test_checks_bounds_stage1(self):
+        index = HybridIndex(compression="pq", rerank_factor=100.0,
+                            seed=0).build(DATA)
+        res = index.search(QUERIES[:1], 10, checks=25)
+        assert res.stats.stage1_candidates == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridIndex(compression="gzip")
+        with pytest.raises(ValueError):
+            HybridIndex(rerank_factor=0.5)
+        with pytest.raises(ValueError):
+            HybridIndex(stage1="tree")
+        with pytest.raises(ValueError):
+            HybridIndex(metric="cosine")
+
+    @pytest.mark.parametrize("stage1", ["scan", "graph"])
+    def test_mutation_then_rerank_exact_at_saturation(self, stage1):
+        index = HybridIndex(compression="pq", rerank_factor=1e9,
+                            stage1=stage1, seed=0).build(DATA)
+        extra = clustered(20, 16, seed=9)
+        index.insert(np.arange(300, 320), extra)
+        index.delete([0, 7, 150])
+        survivors = np.concatenate([DATA[[i for i in range(300)
+                                          if i not in (0, 7, 150)]], extra])
+        sids = np.array([i for i in range(300) if i not in (0, 7, 150)]
+                        + list(range(300, 320)))
+        exact = LinearScan().build(survivors).search(QUERIES, 10)
+        got = index.search(QUERIES, 10)
+        np.testing.assert_array_equal(got.ids, sids[exact.ids])
+        np.testing.assert_array_equal(got.distances, exact.distances)
+
+    def test_compact_recodes(self):
+        index = HybridIndex(compression="pq", rerank_factor=4.0,
+                            seed=0).build(DATA)
+        v0 = index.version
+        index.insert([300], clustered(1, 16, seed=11))
+        assert index.compact(force=True)
+        assert index.version > v0
+        assert index.codes.shape[0] == index.n_live
+
+    def test_prometheus_stage_counters(self):
+        tel = Telemetry()
+        prev = telemetry.install(tel)
+        try:
+            index = HybridIndex(compression="pq", rerank_factor=4.0,
+                                seed=0).build(DATA)
+            index.search(QUERIES[:2], 10)
+            text = tel.prometheus()
+        finally:
+            telemetry.uninstall(prev)
+        assert "ssam_hybrid_stage1_candidates_total 80" in text
+        assert "ssam_hybrid_rerank_total 80" in text
+
+
+# ----------------------------------------------------------- property tests
+BACKENDS = [(None, None), (2, "thread"), (2, "process")]
+
+
+class TestHybridProperties:
+    @pytest.mark.parametrize("workers,parallel", BACKENDS,
+                             ids=["serial", "thread2", "process2"])
+    @given(seed=st.integers(0, 50),
+           compression=st.sampled_from(list(COMPRESSIONS)))
+    @settings(max_examples=8, deadline=None)
+    def test_saturated_hybrid_equals_exact(self, workers, parallel, seed,
+                                           compression):
+        """With the corpus-saturating over-fetch, hybrid == exact top-k —
+        ids and distances — on every execution backend."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((120, 8))
+        queries = rng.standard_normal((4, 8))
+        pq_params = {"n_subspaces": 4, "n_centroids": 16}
+        with SSAMSystem.create(
+                data, SystemConfig(algo="exact", compression=compression,
+                                   rerank_factor=1e9,
+                                   index_params={"pq_params": pq_params,
+                                                 "seed": seed},
+                                   workers=workers, parallel=parallel)) as hy:
+            got = hy.search(queries, k=5)
+        exact = LinearScan().build(data).search(queries, 5)
+        np.testing.assert_array_equal(got.ids, exact.ids)
+        np.testing.assert_array_equal(got.distances, exact.distances)
+
+    @given(seed=st.integers(0, 50),
+           compression=st.sampled_from(list(COMPRESSIONS)))
+    @settings(max_examples=8, deadline=None)
+    def test_recall_monotone_in_rerank_factor(self, seed, compression):
+        """Scan stage 1 forwards a prefix of the code-distance order, so
+        candidate sets are nested and recall@10 cannot decrease as
+        rerank_factor grows."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((150, 8))
+        queries = rng.standard_normal((6, 8))
+        exact = LinearScan().build(data).search(queries, 10)
+        recalls = []
+        for rf in (1.0, 2.0, 4.0, 8.0, 15.0):
+            index = HybridIndex(compression=compression, rerank_factor=rf,
+                                stage1="scan", seed=seed,
+                                pq_params={"n_subspaces": 4,
+                                           "n_centroids": 16}).build(data)
+            got = index.search(queries, 10)
+            recalls.append(recall_at_k(got.ids, exact.ids).mean())
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:])), \
+            recalls
+
+
+# ------------------------------------------------------------------- facade
+class TestHybridFacade:
+    def test_mode_and_validation(self):
+        cfg = SystemConfig(algo="exact", compression="pq")
+        assert cfg.mode is IndexMode.HYBRID
+        assert SystemConfig(algo="exact").mode is IndexMode.LINEAR
+        with pytest.raises(ValueError):
+            SystemConfig(compression="lz4").validate()
+        with pytest.raises(ValueError):
+            SystemConfig(algo="kdtree", compression="pq").validate()
+        with pytest.raises(ValueError):
+            SystemConfig(compression="pq", rerank_factor=0.1).validate()
+        with pytest.raises(ValueError):
+            SystemConfig(compression="pq", metric="cosine").validate()
+
+    def test_graph_algo_selects_graph_stage1(self):
+        cfg = SystemConfig(algo="graph", compression="binary")
+        assert cfg.hybrid_params()["stage1"] == "graph"
+        with SSAMSystem.create(DATA, cfg) as system:
+            assert system.index.stage1 == "graph"
+            res = system.search(QUERIES, k=5)
+            assert res.ids.shape == (8, 5)
+
+    def test_explain_carries_stage_fields(self):
+        cfg = SystemConfig(algo="exact", compression="pq", rerank_factor=4.0,
+                           explain=True)
+        with SSAMSystem.create(DATA, cfg) as system:
+            res = system.search(QUERIES[:2], k=10)
+        ex = res.explain
+        assert ex is not None
+        assert ex.stage1_candidates == 80          # 2 queries x 40
+        assert ex.rerank_candidates == 80
+        assert ex.compression_ratio == 8.0    # 4*dims/m = 4*16/8 (default m)
+        assert ex.vault_bytes_read == res.stats.bytes_read
+        d = ex.to_dict()
+        for key in ("stage1_candidates", "rerank_candidates",
+                    "compression_ratio"):
+            assert key in d
+        assert "stage1=80->rerank=80" in ex.summary()
+
+    def test_snapshot_roundtrip_after_mutation(self, tmp_path):
+        """Mutated (inserted + tombstoned) hybrid state survives
+        save/open bit-exact, for both codec families."""
+        for compression in COMPRESSIONS:
+            stage1 = "graph" if compression == "binary" else "scan"
+            algo = "graph" if stage1 == "graph" else "exact"
+            cfg = SystemConfig(algo=algo, compression=compression,
+                               rerank_factor=8.0)
+            path = str(tmp_path / f"snap_{compression}")
+            with SSAMSystem.create(DATA, cfg) as system:
+                system.insert(np.arange(300, 330), clustered(30, 16, seed=5))
+                system.delete([2, 3, 44])
+                ref = system.search(QUERIES, k=10)
+                manifest = system.save(path)
+            assert manifest["compression"] == compression
+            assert manifest["rerank_factor"] == 8.0
+            with SSAMSystem.open(path) as back:
+                assert back.config.compression == compression
+                got = back.search(QUERIES, k=10)
+            np.testing.assert_array_equal(ref.ids, got.ids)
+            np.testing.assert_array_equal(ref.distances, got.distances)
+
+    def test_stale_codebook_rejected_via_corpus_checksum(self, tmp_path):
+        """A snapshot fitted on a different corpus must not warm-start:
+        the corpus checksum detects the stale codebooks and triggers a
+        fresh build (satellite: stale-codebook rejection)."""
+        path = str(tmp_path / "snap")
+        cfg = SystemConfig(algo="exact", compression="pq")
+        s1 = SSAMSystem.open_or_create(DATA, path, cfg)
+        assert not s1.warm_started
+        s1.close()
+        s2 = SSAMSystem.open_or_create(DATA, path, cfg)
+        assert s2.warm_started
+        s2.close()
+        other = clustered(300, 16, seed=99)
+        s3 = SSAMSystem.open_or_create(other, path, cfg)
+        assert not s3.warm_started          # stale codebooks rejected
+        s3.close()
+        # Compression change over the same corpus also invalidates.
+        s4 = SSAMSystem.open_or_create(
+            DATA, path, SystemConfig(algo="exact", compression="binary"))
+        assert not s4.warm_started
+        s4.close()
+
+    def test_corrupt_snapshot_rejected(self, tmp_path):
+        path = str(tmp_path / "snap")
+        with SSAMSystem.create(DATA, SystemConfig(algo="exact",
+                                                  compression="pq")) as s:
+            s.save(path)
+        arrays = tmp_path / "snap" / "arrays.npz"
+        blob = bytearray(arrays.read_bytes())
+        blob[250] ^= 0xFF
+        arrays.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            SSAMSystem.open(path)
+
+    def test_scale_out_failover_bit_exact(self):
+        cfg = SystemConfig(algo="exact", compression="pq", rerank_factor=8.0,
+                           scale_out=True, n_modules=3, replication_factor=2)
+        with SSAMSystem.create(DATA, cfg) as system:
+            healthy = system.search(QUERIES, k=10)
+            system.runtime.fail_module(0)
+            degraded = system.search(QUERIES, k=10)
+        np.testing.assert_array_equal(healthy.ids, degraded.ids)
+        np.testing.assert_array_equal(healthy.distances, degraded.distances)
+
+
+# ------------------------------------------------------------- cycle backend
+class TestHybridCycleBackend:
+    def test_two_phase_dispatch(self):
+        data = clustered(96, 16, seed=2)
+        driver = SSAMDriver(backend="cycle")
+        region = driver.nmalloc(data.nbytes)
+        driver.nmode(region, IndexMode.HYBRID)
+        driver.nmemcpy(region, data)
+        driver.nbuild_index(region, params={
+            "compression": "pq", "rerank_factor": 4.0,
+            "pq_params": {"n_subspaces": 4, "n_centroids": 16}})
+        assert region.code_address is not None
+        assert region.code_bytes == region.index.codes.nbytes
+        driver.nwrite_query(region, data[5])
+        driver.nexec(region, k=5)
+        res = region.result
+        assert res.ids[0, 0] == 5                  # own row is nearest
+        assert region.last_cycles > 0
+        assert region.last_vault_bytes > 0
+        # Batched dispatch agrees with single dispatch.
+        batch = driver.nexec_batch(region, data[5:7], k=5)
+        np.testing.assert_array_equal(batch.ids[0], res.ids[0])
+        driver.nfree(region)
+        driver.close()
+
+    def test_cycle_mutation_refused(self):
+        data = clustered(64, 16, seed=2)
+        driver = SSAMDriver(backend="cycle")
+        region = driver.nmalloc(data.nbytes)
+        driver.nmode(region, IndexMode.HYBRID)
+        driver.nmemcpy(region, data)
+        driver.nbuild_index(region, params={"compression": "binary"})
+        with pytest.raises(RuntimeError):
+            driver.ninsert(region, [64], data[:1])
+        driver.nfree(region)
+        driver.close()
+
+
+# ------------------------------------------------------------- rerank kernel
+class TestRerankKernel:
+    def test_bit_exact_vs_reference(self):
+        from repro.core.kernels import (
+            rerank_gather_kernel,
+            rerank_reference_values,
+        )
+        from repro.core.kernels.common import quantize_for_kernel
+        from repro.isa.simulator import MachineConfig
+
+        rng = np.random.default_rng(4)
+        dataset = rng.standard_normal((80, 12))
+        query = rng.standard_normal(12)
+        cand = rng.choice(80, size=24, replace=False)
+        res = rerank_gather_kernel(dataset, cand, query, 6,
+                                   MachineConfig(pq_chained=2)).run()
+        d_int, q_int, _ = quantize_for_kernel(dataset, query[None, :])
+        vals = rerank_reference_values(d_int, q_int[0], cand)
+        order = np.lexsort((cand, vals))[:6]
+        np.testing.assert_array_equal(res.ids, cand[order])
+        np.testing.assert_array_equal(res.values, vals[order])
+        assert res.stats.cycles > 0
+        # Only the gathered candidates are streamed from DRAM.
+        assert res.stats.dram_bytes_read < dataset.shape[0] * 12 * 4
+
+    def test_rejects_empty_and_out_of_range(self):
+        from repro.core.kernels import rerank_gather_kernel
+
+        data = RNG.standard_normal((10, 4))
+        with pytest.raises(ValueError):
+            rerank_gather_kernel(data, np.array([], dtype=np.int64),
+                                 data[0], 2)
+        with pytest.raises(ValueError):
+            rerank_gather_kernel(data, np.array([99]), data[0], 1)
+
+
+# -------------------------------------------------------------- bench guard
+class TestHybridGuard:
+    """The ``bench_guard --hybrid`` gate over BENCH_8.json payloads."""
+
+    @staticmethod
+    def _payload(**overrides):
+        rows = [
+            {"compression": "pq", "rerank_factor": 8.0, "recall_at_10": 0.95,
+             "bytes_reduction": 12.0, "memory_reduction": 16.0},
+            {"compression": "binary", "rerank_factor": 16.0,
+             "recall_at_10": 0.97, "bytes_reduction": 9.0,
+             "memory_reduction": 32.0},
+        ]
+        payload = {"recall_floor": 0.9, "min_bytes_reduction": 4.0,
+                   "rows": rows, "rerank_kernel_bit_exact": True,
+                   "bit_exact_across_backends": True,
+                   "failover_bit_exact": True}
+        payload.update(overrides)
+        return payload
+
+    def test_accepts_healthy_payload(self):
+        from repro.experiments.bench_guard import check_hybrid
+
+        ok, message = check_hybrid(self._payload())
+        assert ok, message
+        assert message.startswith("OK")
+
+    def test_accepts_committed_payload(self):
+        import json
+        from pathlib import Path
+
+        from repro.experiments.bench_guard import check_hybrid
+
+        path = Path(__file__).parent.parent / "BENCH_8.json"
+        ok, message = check_hybrid(json.loads(path.read_text()))
+        assert ok, message
+
+    def test_rejects_low_recall_frontier(self):
+        from repro.experiments.bench_guard import check_hybrid
+
+        payload = self._payload()
+        for r in payload["rows"]:
+            if r["compression"] == "pq":
+                r["recall_at_10"] = 0.5
+        ok, message = check_hybrid(payload)
+        assert not ok and "pq" in message
+
+    def test_rejects_insufficient_byte_reduction(self):
+        from repro.experiments.bench_guard import check_hybrid
+
+        payload = self._payload()
+        for r in payload["rows"]:
+            if r["compression"] == "binary":
+                r["bytes_reduction"] = 2.0
+        ok, message = check_hybrid(payload)
+        assert not ok and "binary" in message
+
+    def test_rejects_broken_bit_exactness(self):
+        from repro.experiments.bench_guard import check_hybrid
+
+        for flag in ("rerank_kernel_bit_exact", "bit_exact_across_backends",
+                     "failover_bit_exact"):
+            ok, message = check_hybrid(self._payload(**{flag: False}))
+            assert not ok, flag
+            assert message.startswith("REGRESSION")
+
+    def test_rejects_empty_payload(self):
+        from repro.experiments.bench_guard import check_hybrid
+
+        ok, _ = check_hybrid({"rows": []})
+        assert not ok
+
+
+# --------------------------------------------------------------- SearchStats
+def test_searchstats_new_fields_aggregate():
+    a = SearchStats(candidates_scanned=10, stage1_candidates=40, bytes_read=100)
+    b = SearchStats(candidates_scanned=5, stage1_candidates=20, bytes_read=50)
+    c = a + b
+    assert c.stage1_candidates == 60 and c.bytes_read == 150
+    a += b
+    assert a.stage1_candidates == 60 and a.bytes_read == 150
+    s = b.scaled(2.0)
+    assert s.stage1_candidates == 40 and s.bytes_read == 100

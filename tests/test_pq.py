@@ -79,7 +79,30 @@ class TestProductQuantizer:
         with pytest.raises(RuntimeError):
             ProductQuantizer().encode(np.zeros((2, 8)))
         with pytest.raises(ValueError):
-            ProductQuantizer(n_centroids=16).fit(RNG.standard_normal((8, 4)))
+            ProductQuantizer().fit(RNG.standard_normal(8))
+        with pytest.raises(ValueError):
+            ProductQuantizer().fit(RNG.standard_normal((1, 8)))
+
+    def test_fit_clamps_excess_centroids(self):
+        """n_centroids > n_rows clamps (with a warning) instead of raising.
+
+        The clamp must be deterministic: two fits over the same rows
+        produce identical codebooks and codes, and every emitted code
+        stays within the clamped alphabet.
+        """
+        data = RNG.standard_normal((8, 4))
+        with pytest.warns(UserWarning, match="clamping to 8"):
+            pq_a = ProductQuantizer(n_subspaces=2, n_centroids=16, seed=0)
+            pq_a.fit(data)
+        with pytest.warns(UserWarning, match="clamping to 8"):
+            pq_b = ProductQuantizer(n_subspaces=2, n_centroids=16, seed=0)
+            pq_b.fit(data)
+        assert pq_a.n_centroids == 8
+        assert pq_a.codebooks.shape[1] == 8
+        np.testing.assert_array_equal(pq_a.codebooks, pq_b.codebooks)
+        codes_a, codes_b = pq_a.encode(data), pq_b.encode(data)
+        np.testing.assert_array_equal(codes_a, codes_b)
+        assert codes_a.max() < 8
 
 
 class TestPQLinearScan:
